@@ -1,0 +1,110 @@
+// Reproduces Figure 12: empirical overhead of 100 MB chunk encoding and
+// decoding while changing t and n.
+//
+// The paper sweeps the secret-sharing parameters over a 100 MB chunk with
+// zfec and reports throughput; decoding slows with t (more rows in the
+// decode matrix-vector product) and encoding with n (more output shares).
+// This is a google-benchmark binary over our from-scratch GF(2^8) codec;
+// the Throughput counter is chunk-MB per second.
+#include <benchmark/benchmark.h>
+
+#include "src/rs/secret_sharing.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr size_t kChunkBytes = 100 * 1024 * 1024;
+
+cyrus::Bytes MakeChunk() {
+  cyrus::Rng rng(42);
+  cyrus::Bytes chunk(kChunkBytes);
+  for (size_t i = 0; i < chunk.size(); i += 8) {
+    const uint64_t v = rng.Next();
+    for (size_t j = 0; j < 8 && i + j < chunk.size(); ++j) {
+      chunk[i + j] = static_cast<uint8_t>(v >> (8 * j));
+    }
+  }
+  return chunk;
+}
+
+const cyrus::Bytes& Chunk() {
+  static const cyrus::Bytes chunk = MakeChunk();
+  return chunk;
+}
+
+// Encoding: t fixed at 2 (the paper's default privacy level), n sweeps.
+void BM_Encode(benchmark::State& state) {
+  const uint32_t t = static_cast<uint32_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  auto codec = cyrus::SecretSharingCodec::Create("fig12 key", t, n);
+  if (!codec.ok()) {
+    state.SkipWithError("codec creation failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto shares = codec->Encode(Chunk());
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kChunkBytes);
+  state.counters["chunk_MBps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kChunkBytes / (1024.0 * 1024.0),
+      benchmark::Counter::kIsRate);
+}
+
+// Decoding from exactly t shares.
+void BM_Decode(benchmark::State& state) {
+  const uint32_t t = static_cast<uint32_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  auto codec = cyrus::SecretSharingCodec::Create("fig12 key", t, n);
+  if (!codec.ok()) {
+    state.SkipWithError("codec creation failed");
+    return;
+  }
+  auto shares = codec->Encode(Chunk());
+  if (!shares.ok()) {
+    state.SkipWithError("encode failed");
+    return;
+  }
+  shares->resize(t);
+  for (auto _ : state) {
+    auto chunk = codec->Decode(*shares, kChunkBytes);
+    benchmark::DoNotOptimize(chunk);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kChunkBytes);
+  state.counters["chunk_MBps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kChunkBytes / (1024.0 * 1024.0),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+// Encoding throughput depends mostly on n (paper: minimum ~100 MB/s at
+// n=11): sweep n with t=2.
+BENCHMARK(BM_Encode)
+    ->Args({2, 3})
+    ->Args({2, 4})
+    ->Args({2, 5})
+    ->Args({2, 7})
+    ->Args({2, 9})
+    ->Args({2, 11})
+    ->Unit(benchmark::kMillisecond);
+
+// Paper's operating points.
+BENCHMARK(BM_Encode)->Args({3, 4})->Args({3, 5})->Unit(benchmark::kMillisecond);
+
+// Decoding throughput depends mostly on t (paper: minimum ~100 MB/s at
+// t=10): sweep t with n=11.
+BENCHMARK(BM_Decode)
+    ->Args({2, 11})
+    ->Args({3, 11})
+    ->Args({4, 11})
+    ->Args({6, 11})
+    ->Args({8, 11})
+    ->Args({10, 11})
+    ->Unit(benchmark::kMillisecond);
+
+// Paper's operating points.
+BENCHMARK(BM_Decode)->Args({2, 3})->Args({2, 4})->Args({3, 4})->Args({3, 5})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

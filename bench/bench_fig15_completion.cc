@@ -1,0 +1,70 @@
+// Reproduces Figure 15: cumulative upload and download completion times of
+// the whole Table 4 dataset under different privacy/reliability settings.
+//
+// Paper shape: the more private (3,4) configuration is consistently the
+// fastest (shares are chunk/t, so t=3 moves less data per cloud),
+// especially for uploads; (2,4) and (2,3) are similar, with (2,4) slightly
+// slower on upload because the fourth share must also reach a slow cloud.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace cyrus;
+  using namespace cyrus::bench;
+
+  constexpr double kDatasetScale = 0.25;
+  const auto files = GenerateTable4Dataset(kDatasetScale, 15);
+
+  struct Config {
+    uint32_t t;
+    uint32_t n;
+  };
+  const std::vector<Config> configs = {{2, 3}, {2, 4}, {3, 4}};
+
+  std::vector<std::vector<double>> upload_cum(configs.size());
+  std::vector<std::vector<double>> download_cum(configs.size());
+
+  for (size_t c = 0; c < configs.size(); ++c) {
+    Testbed bed = MakeTestbed(configs[c].t, configs[c].n);
+    double up_total = 0.0;
+    for (const DatasetFile& file : files) {
+      auto put = bed.client->Put(file.name, file.content);
+      if (!put.ok()) {
+        std::fprintf(stderr, "put failed: %s\n", put.status().ToString().c_str());
+        return 1;
+      }
+      up_total += TransferCompletionSeconds(put->transfer, bed.upload_bytes_per_sec,
+                                            bed.download_bytes_per_sec);
+      upload_cum[c].push_back(up_total);
+    }
+    double down_total = 0.0;
+    for (const DatasetFile& file : files) {
+      auto get = bed.client->Get(file.name);
+      if (!get.ok()) {
+        std::fprintf(stderr, "get failed: %s\n", get.status().ToString().c_str());
+        return 1;
+      }
+      down_total += TransferCompletionSeconds(get->transfer, bed.upload_bytes_per_sec,
+                                              bed.download_bytes_per_sec);
+      download_cum[c].push_back(down_total);
+    }
+  }
+
+  std::printf("Figure 15: cumulative completion times (s), %zu files, x%.2f scale\n\n",
+              files.size(), kDatasetScale);
+  std::printf("%-8s | %10s %10s %10s | %10s %10s %10s\n", "", "up(2,3)", "up(2,4)",
+              "up(3,4)", "down(2,3)", "down(2,4)", "down(3,4)");
+  const size_t total = files.size();
+  for (size_t frac = 1; frac <= 8; ++frac) {
+    const size_t idx = frac * total / 8 - 1;
+    std::printf("file %3zu | %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n", idx + 1,
+                upload_cum[0][idx], upload_cum[1][idx], upload_cum[2][idx],
+                download_cum[0][idx], download_cum[1][idx], download_cum[2][idx]);
+  }
+  std::printf(
+      "\nPaper shape: (3,4) fastest overall (smaller shares), (2,4) slightly\n"
+      "slower than (2,3) on upload (an extra share reaches the slow clouds).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Figure 16: upload/download completion times of a 40 MB file
+// under CYRUS, DepSky, Full Replication, and Full Striping on four CSPs.
+//
+// Both CYRUS and DepSky use (t,n) = (2,3) with no chunking (each share is
+// 20 MB, matching the paper's footnote 13 setup). The four CSP rate
+// profiles are spread like real-world providers; the client's uplink is a
+// shared bottleneck, as in the paper's real-world runs. Paper shape:
+//   upload:   striping < CYRUS < {DepSky, Full Replication}
+//             (DepSky pays lock RTTs + backoff and pushes a share to every
+//             CSP, cancelling stragglers only after n complete)
+//   download: CYRUS < DepSky < striping < replication-average
+//             (striping must read from the slowest cloud; replication is
+//             averaged over the four replica choices).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace cyrus;
+  using namespace cyrus::bench;
+
+  constexpr uint64_t kFileBytes = 40 * 1000 * 1000;
+  // Spread per-CSP rates (bytes/s): one fast, one medium, two slow-ish.
+  const std::vector<SchemeCsp> csps = {
+      {140, 4.0e6, 1.2e6},
+      {150, 2.5e6, 0.9e6},
+      {190, 1.0e6, 0.7e6},
+      {230, 0.45e6, 0.55e6},
+  };
+  TimingOptions timing;
+  timing.client_uplink = 2.0e6;    // shared client uplink bottleneck
+  timing.client_downlink = 8.0e6;
+
+  FullReplicationScheme replication;
+  FullStripingScheme striping;
+  DepSkyScheme depsky(2, 3, /*seed=*/16, /*mean_backoff_seconds=*/5.0);
+  CyrusScheme cyrus_scheme(2, 3, /*seed=*/16);
+
+  std::printf("Figure 16: completion times for a 40 MB file, 4 CSPs, (t,n)=(2,3)\n\n");
+  std::printf("%-18s %12s %14s\n", "scheme", "upload (s)", "download (s)");
+
+  auto run = [&](StorageScheme& scheme) {
+    auto up = scheme.PlanUpload(kFileBytes, csps);
+    auto down = scheme.PlanDownload(kFileBytes, csps);
+    if (!up.ok() || !down.ok()) {
+      std::fprintf(stderr, "planning failed for %s\n",
+                   std::string(scheme.name()).c_str());
+      std::abort();
+    }
+    const double up_s = SchemeCompletionSeconds(*up, /*download=*/false, csps, timing);
+    const double down_s = SchemeCompletionSeconds(*down, /*download=*/true, csps, timing);
+    return std::pair<double, double>(up_s, down_s);
+  };
+
+  const auto [cyrus_up, cyrus_down] = run(cyrus_scheme);
+  const auto [depsky_up, depsky_down] = run(depsky);
+  const auto [striping_up, striping_down] = run(striping);
+
+  // Full Replication download: the paper averages over the four replica
+  // choices and also quotes the best/worst CSP.
+  auto rep_up_plan = replication.PlanUpload(kFileBytes, csps);
+  const double rep_up =
+      SchemeCompletionSeconds(*rep_up_plan, /*download=*/false, csps, timing);
+  double rep_down_sum = 0.0, rep_down_best = 1e18, rep_down_worst = 0.0;
+  for (size_t c = 0; c < csps.size(); ++c) {
+    replication.set_download_csp(static_cast<int>(c));
+    auto plan = replication.PlanDownload(kFileBytes, csps);
+    const double seconds = SchemeCompletionSeconds(*plan, /*download=*/true, csps, timing);
+    rep_down_sum += seconds;
+    rep_down_best = std::min(rep_down_best, seconds);
+    rep_down_worst = std::max(rep_down_worst, seconds);
+  }
+  const double rep_down = rep_down_sum / csps.size();
+
+  std::printf("%-18s %12.1f %14.1f\n", "cyrus", cyrus_up, cyrus_down);
+  std::printf("%-18s %12.1f %14.1f\n", "depsky", depsky_up, depsky_down);
+  std::printf("%-18s %12.1f %14.1f\n", "full-striping", striping_up, striping_down);
+  std::printf("%-18s %12.1f %14.1f   (best CSP %.1f, worst %.1f)\n", "full-replication",
+              rep_up, rep_down, rep_down_best, rep_down_worst);
+
+  std::printf(
+      "\nPaper shape check: striping has the fastest upload (least data), CYRUS is\n"
+      "second; DepSky pays lock+backoff+push-to-all overheads; CYRUS has the\n"
+      "fastest download and replication-average the slowest.\n"
+      "(Known deviation, recorded in EXPERIMENTS.md: the paper measured DepSky\n"
+      "uploads even slower than full replication; our fluid model reproduces the\n"
+      "ordering striping < cyrus < depsky < replication for uploads instead.)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 3: hierarchical clustering of Table 2's CSPs from
+// traceroute paths.
+//
+// The paper traceroutes from one client to each of the twenty providers,
+// builds the minimum spanning tree of the union of paths, and cuts it
+// horizontally; the five asterisked (Amazon-hosted) CSPs fall into one
+// cluster. Offline, the routed-topology simulator stands in for the real
+// Internet; the clustering pipeline (traceroute -> MST -> level cut) is the
+// same code a real deployment would run on real traceroutes.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/net/clustering.h"
+#include "src/net/providers.h"
+#include "src/net/topology.h"
+
+int main() {
+  using namespace cyrus;
+
+  ProviderTopology pt = MakePaperTopology();
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "routing tree failed: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 3: routing tree from the client to Table 2's CSPs\n\n");
+  std::printf("%s\n", tree->Render(pt.topology).c_str());
+
+  auto clusters = ClusterByPlatform(*tree, pt.csp_nodes);
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n", clusters.status().ToString().c_str());
+    return 1;
+  }
+
+  std::map<int, std::vector<std::string>> members;
+  for (size_t i = 0; i < pt.csp_names.size(); ++i) {
+    members[(*clusters)[i]].push_back(pt.csp_names[i]);
+  }
+  std::printf("Platform clusters (cut one level above the CSP leaves):\n");
+  size_t multi = 0;
+  for (const auto& [cluster, names] : members) {
+    std::printf("  cluster %2d (%zu CSPs):", cluster, names.size());
+    for (const std::string& name : names) {
+      std::printf(" [%s]", name.c_str());
+    }
+    std::printf("\n");
+    if (names.size() > 1) {
+      ++multi;
+    }
+  }
+  std::printf("\nPaper: five CSPs (asterisked in Table 2) share Amazon infrastructure\n");
+  std::printf("Found: %zu multi-CSP cluster(s); total clusters: %zu\n", multi,
+              members.size());
+  return 0;
+}

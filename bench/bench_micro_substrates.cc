@@ -1,0 +1,87 @@
+// Substrate microbenchmarks (google-benchmark): throughput of the hot
+// primitives under the CYRUS pipeline - SHA-1 content addressing, Rabin
+// chunking, consistent-hash placement, and Algorithm 1's LP machinery.
+// Not a paper figure; used to confirm the paper's premise that client-side
+// computation never rivals WAN transfer time (§7.1 extends this to coding;
+// these cover everything else on the Put/Get path).
+#include <benchmark/benchmark.h>
+
+#include "src/chunker/chunker.h"
+#include "src/core/hash_ring.h"
+#include "src/crypto/sha1.h"
+#include "src/opt/download_selector.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using namespace cyrus;
+
+Bytes MakeData(size_t size) {
+  Rng rng(11);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * data.size());
+}
+BENCHMARK(BM_Sha1)->Arg(64 << 10)->Arg(4 << 20)->Unit(benchmark::kMicrosecond);
+
+void BM_RabinChunking(benchmark::State& state) {
+  const Bytes data = MakeData(static_cast<size_t>(state.range(0)));
+  ChunkerOptions options;  // 4 MB average, production setting
+  options.min_chunk_size = 64 * 1024;
+  auto chunker = Chunker::Create(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker->Split(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * data.size());
+}
+BENCHMARK(BM_RabinChunking)->Arg(16 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_HashRingSelect(benchmark::State& state) {
+  HashRing ring;
+  for (int i = 0; i < 8; ++i) {
+    (void)ring.AddCsp(i, StrCat("csp", i), -1);
+  }
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    const Sha1Digest id = Sha1::Hash(StrCat("chunk-", counter++));
+    benchmark::DoNotOptimize(ring.SelectCsps(id, 4));
+  }
+}
+BENCHMARK(BM_HashRingSelect);
+
+void BM_DownloadSelection(benchmark::State& state) {
+  const size_t chunks = static_cast<size_t>(state.range(0));
+  Rng rng(12);
+  DownloadProblem problem;
+  problem.t = 2;
+  for (int c = 0; c < 7; ++c) {
+    problem.csp_bandwidth.push_back(c < 4 ? 15e6 : 2e6);
+  }
+  for (size_t r = 0; r < chunks; ++r) {
+    DownloadChunk chunk;
+    chunk.share_bytes = rng.NextDouble(0.5e6, 4e6);
+    chunk.stored_at = {0, 1, 2, 3, 4, 5, 6};
+    problem.chunks.push_back(chunk);
+  }
+  OptimalDownloadSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(problem));
+  }
+  state.counters["chunks"] = static_cast<double>(chunks);
+}
+BENCHMARK(BM_DownloadSelection)->Arg(1)->Arg(4)->Arg(13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces Table 1 (feature comparison with similar cloud integration
+// systems) and Table 3 (CYRUS's API) as executable documentation: each
+// CYRUS "Yes" cell names the module implementing the feature and the test
+// that demonstrates it, so the claims are checkable against this repo.
+#include <cstdio>
+#include <string>
+
+int main() {
+  std::printf("Table 1: feature comparison (CYRUS column backed by this repo)\n\n");
+  std::printf("%-26s %-8s %s\n", "feature", "CYRUS", "implementation / demonstrating test");
+  std::printf("%s\n", std::string(110, '-').c_str());
+  struct Row {
+    const char* feature;
+    const char* where;
+  };
+  const Row rows[] = {
+      {"Erasure coding", "src/rs (keyed non-systematic RS); SecretSharingSweep.*"},
+      {"Data deduplication",
+       "src/meta/chunk_table + src/chunker; ClientTest.DeduplicationSkipsStoredChunks"},
+      {"Concurrency",
+       "lock-free uploads + conflict detection; "
+       "ClientTest.ConcurrentEditsConflictDetectedAndResolved"},
+      {"Versioning", "src/meta/version_tree; ClientTest.VersioningAndRestore"},
+      {"Optimal CSP selection",
+       "src/opt (Algorithm 1 LP+B&B); OptimalSelectorTest.NearOptimalOnRandomInstances"},
+      {"Customizable reliability",
+       "src/core/reliability (Eq. 1); ClientTest.CurrentNRespondsToEpsilon"},
+      {"Client-based architecture",
+       "no coordinator anywhere: clients talk only to CloudConnector; "
+       "ClientTest.SecondClientSeesFirstClientsFiles"},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-26s %-8s %s\n", row.feature, "Yes", row.where);
+  }
+  std::printf(
+      "\n(Comparison rows for Attasena, DepSky, InterCloud RAIDer and PiCsMu are\n"
+      "the paper's; this repo additionally implements the DepSky protocol as a\n"
+      "baseline - src/baseline/depsky_client.)\n");
+
+  std::printf("\nTable 3: CYRUS API -> CyrusClient methods\n\n");
+  std::printf("%-34s %s\n", "paper call", "this repo");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  const Row api[] = {
+      {"s = create()", "CyrusClient::Create(config)"},
+      {"add(s, c)", "CyrusClient::AddCsp(connector, profile, creds)"},
+      {"remove(s, c)", "CyrusClient::RemoveCsp(csp)"},
+      {"f' = get(s, f, v)", "CyrusClient::Get / GetVersion(name, id)"},
+      {"put(s, f)", "CyrusClient::Put(name, content)"},
+      {"delete(s, f)", "CyrusClient::Delete(name)"},
+      {"[(f, r), ...] = list(s, d)", "CyrusClient::List(directory_prefix)"},
+      {"s' = recover(s)", "CyrusClient::Recover()"},
+  };
+  for (const Row& row : api) {
+    std::printf("%-34s %s\n", row.feature, row.where);
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/reliability.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace bench {
+
+Testbed MakeTestbed(uint32_t t, uint32_t n, uint64_t seed) {
+  Testbed bed;
+
+  CyrusConfig config;
+  config.client_id = "bench-client";
+  config.key_string = StrCat("bench-key-", seed);
+  config.t = t;
+  config.cluster_aware = false;
+  config.default_failure_prob = 0.01;
+  // Pin Eq. (1)'s answer to exactly n: epsilon between the loss of n and
+  // the loss of n-1 shares (geometric mean keeps clear of both edges).
+  const double loss_n = ChunkLossProbability(t, n, config.default_failure_prob);
+  const double loss_prev =
+      (n > t) ? ChunkLossProbability(t, n - 1, config.default_failure_prob) : 1.0;
+  config.epsilon = std::sqrt(loss_n * loss_prev);
+  // Scaled-down Dropbox-style chunking: ~1 MB average (the benches run the
+  // Table 4 dataset at 1/4 scale so chunk-per-file counts match the paper).
+  config.chunker.modulus = 1 * 1024 * 1024;
+  config.chunker.min_chunk_size = 128 * 1024;
+  config.chunker.max_chunk_size = 8 * 1024 * 1024;
+
+  auto client = CyrusClient::Create(config);
+  if (!client.ok()) {
+    std::abort();
+  }
+  bed.client = std::move(client).value();
+
+  for (int i = 0; i < kNumFastClouds + kNumSlowClouds; ++i) {
+    const bool fast = i < kNumFastClouds;
+    SimulatedCspOptions o;
+    o.id = StrCat(fast ? "fast" : "slow", i);
+    o.naming = (i % 2 == 0) ? NamingPolicy::kNameKeyed : NamingPolicy::kIdKeyed;
+    auto csp = std::make_shared<SimulatedCsp>(o);
+    bed.csps.push_back(csp);
+    const double rate = fast ? kFastCloudBytesPerSec : kSlowCloudBytesPerSec;
+    bed.download_bytes_per_sec.push_back(rate);
+    bed.upload_bytes_per_sec.push_back(rate);
+    CspProfile profile;
+    profile.rtt_ms = 1.0;  // LAN testbed
+    profile.download_bytes_per_sec = rate;
+    profile.upload_bytes_per_sec = rate;
+    auto added = bed.client->AddCsp(csp, profile, Credentials{"token"});
+    if (!added.ok()) {
+      std::abort();
+    }
+  }
+  return bed;
+}
+
+const std::vector<DatasetSpec>& Table4Spec() {
+  static const std::vector<DatasetSpec> kSpec = {
+      {"pdf", 70, 60575608},   {"pptx", 11, 12263894}, {"docx", 15, 9844628},
+      {"jpg", 55, 151918946},  {"mov", 7, 351603110},  {"apk", 10, 4872703},
+      {"ipa", 4, 47354590},
+  };
+  return kSpec;
+}
+
+std::vector<DatasetFile> GenerateTable4Dataset(double scale, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DatasetFile> files;
+  for (const DatasetSpec& spec : Table4Spec()) {
+    const uint64_t target = static_cast<uint64_t>(scale * spec.total_bytes);
+    // Log-normal jitter gives a realistic spread; normalizing the weights
+    // makes the per-extension byte total scale exactly.
+    std::vector<double> weights(spec.num_files);
+    double weight_sum = 0.0;
+    for (double& w : weights) {
+      w = std::exp(rng.NextGaussian(0.0, 0.4));
+      weight_sum += w;
+    }
+    uint64_t assigned = 0;
+    for (size_t i = 0; i < spec.num_files; ++i) {
+      uint64_t size;
+      if (i + 1 == spec.num_files) {
+        size = target > assigned ? target - assigned : 1;
+      } else {
+        size = std::max<uint64_t>(
+            1, static_cast<uint64_t>(target * weights[i] / weight_sum));
+      }
+      assigned += size;
+      DatasetFile file;
+      file.extension = spec.extension;
+      file.name = StrCat(spec.extension, "/", i, ".", spec.extension);
+      file.content.resize(size);
+      Rng content_rng = rng.Fork();
+      for (auto& b : file.content) {
+        b = static_cast<uint8_t>(content_rng.Next());
+      }
+      files.push_back(std::move(file));
+    }
+  }
+  return files;
+}
+
+double TransferCompletionSeconds(const TransferReport& report,
+                                 const std::vector<double>& upload_bps,
+                                 const std::vector<double>& download_bps,
+                                 const TimingOptions& options) {
+  FlowNetwork net;
+  const int client_up = net.AddLink(options.client_uplink, "client-up");
+  const int client_down = net.AddLink(options.client_downlink, "client-down");
+  std::vector<int> csp_up(upload_bps.size());
+  std::vector<int> csp_down(download_bps.size());
+  for (size_t c = 0; c < upload_bps.size(); ++c) {
+    csp_up[c] = net.AddLink(upload_bps[c], StrCat("csp", c, "-up"));
+  }
+  for (size_t c = 0; c < download_bps.size(); ++c) {
+    csp_down[c] = net.AddLink(download_bps[c], StrCat("csp", c, "-down"));
+  }
+
+  std::vector<FlowSpec> flows;
+  for (const TransferRecord& record : report.records) {
+    if (!record.success || record.csp < 0) {
+      continue;
+    }
+    FlowSpec flow;
+    flow.bytes = static_cast<double>(record.bytes);
+    flow.start_time = options.pre_delay_seconds;
+    const bool upload =
+        record.kind == TransferKind::kPut || record.kind == TransferKind::kPutMeta;
+    if (upload) {
+      flow.links = {client_up, csp_up[record.csp]};
+    } else {
+      flow.links = {client_down, csp_down[record.csp]};
+    }
+    flows.push_back(flow);
+  }
+  auto results = net.Run(flows);
+  if (!results.ok()) {
+    std::abort();
+  }
+  double completion = options.pre_delay_seconds;
+  for (const FlowResult& r : *results) {
+    completion = std::max(completion, r.completion_time);
+  }
+  return completion;
+}
+
+double SchemeCompletionSeconds(const SchemePlan& plan, bool download,
+                               const std::vector<SchemeCsp>& csps,
+                               const TimingOptions& options) {
+  FlowNetwork net;
+  const int client =
+      net.AddLink(download ? options.client_downlink : options.client_uplink, "client");
+  std::vector<int> csp_links(csps.size());
+  for (size_t c = 0; c < csps.size(); ++c) {
+    csp_links[c] = net.AddLink(
+        download ? csps[c].download_bytes_per_sec : csps[c].upload_bytes_per_sec,
+        StrCat("csp", c));
+  }
+  const double start = options.pre_delay_seconds + plan.pre_delay_seconds;
+  std::vector<FlowSpec> flows;
+  for (const SchemeTransfer& transfer : plan.transfers) {
+    FlowSpec flow;
+    flow.bytes = static_cast<double>(transfer.bytes);
+    flow.start_time = start;
+    flow.links = {client, csp_links[transfer.csp]};
+    flows.push_back(flow);
+  }
+  auto results = net.Run(flows);
+  if (!results.ok()) {
+    std::abort();
+  }
+  std::vector<double> completions;
+  for (const FlowResult& r : *results) {
+    completions.push_back(r.completion_time);
+  }
+  std::sort(completions.begin(), completions.end());
+  if (completions.empty()) {
+    return start;
+  }
+  if (plan.quorum > 0 && plan.quorum <= completions.size()) {
+    return completions[plan.quorum - 1];  // done when the quorum-th finishes
+  }
+  return completions.back();
+}
+
+BoxStats ComputeBoxStats(std::vector<double> samples) {
+  BoxStats stats;
+  if (samples.empty()) {
+    return stats;
+  }
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const double pos = q * (samples.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - lo;
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  stats.min = samples.front();
+  stats.q1 = at(0.25);
+  stats.median = at(0.5);
+  stats.q3 = at(0.75);
+  stats.max = samples.back();
+  for (double s : samples) {
+    stats.mean += s;
+  }
+  stats.mean /= samples.size();
+  return stats;
+}
+
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double pos = pct / 100.0 * (samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - lo;
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace bench
+}  // namespace cyrus

@@ -1,0 +1,106 @@
+// Shared infrastructure for the experiment harnesses in bench/.
+//
+// Each bench binary reproduces one table or figure of the paper's
+// evaluation (§7). They share: the lab testbed of §7.2 (seven private
+// clouds: four fast at 15 MB/s, three slow at 2 MB/s), the Table 4
+// dataset generator, and the conversion from a client's TransferReport
+// (which CSPs moved how many bytes) to completion times under the fluid
+// network simulator.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/schemes.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/core/transfer.h"
+#include "src/sim/flow_network.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+namespace bench {
+
+// --- Testbed (§7.2): 4 fast + 3 slow private clouds -----------------------
+
+constexpr double kFastCloudBytesPerSec = 15e6;
+constexpr double kSlowCloudBytesPerSec = 2e6;
+constexpr int kNumFastClouds = 4;
+constexpr int kNumSlowClouds = 3;
+
+struct Testbed {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::unique_ptr<CyrusClient> client;
+  std::vector<double> download_bytes_per_sec;  // per CSP
+  std::vector<double> upload_bytes_per_sec;
+};
+
+// Builds the 7-cloud testbed and a CYRUS client configured with the given
+// (t, n). n is pinned by setting epsilon so that Eq. (1) returns exactly n
+// for the synthetic failure probability.
+Testbed MakeTestbed(uint32_t t, uint32_t n, uint64_t seed = 1);
+
+// --- Table 4 dataset -------------------------------------------------------
+
+struct DatasetFile {
+  std::string name;
+  std::string extension;
+  Bytes content;
+};
+
+struct DatasetSpec {
+  std::string extension;
+  size_t num_files;
+  uint64_t total_bytes;
+};
+
+// The rows of Table 4 (172 files, 638,433,479 bytes in total).
+const std::vector<DatasetSpec>& Table4Spec();
+
+// Generates files matching a (possibly scaled) Table 4: per-extension file
+// counts are kept, sizes are scaled by `scale` and jittered around the
+// extension's mean. Contents are incompressible pseudo-random bytes.
+std::vector<DatasetFile> GenerateTable4Dataset(double scale, uint64_t seed);
+
+// --- Transfer timing -------------------------------------------------------
+
+struct TimingOptions {
+  // Client NIC caps in bytes/second; <= 0 = uncapped (the testbed's 1 Gbps
+  // ethernet never binds against 15 MB/s clouds).
+  double client_uplink = 0.0;
+  double client_downlink = 0.0;
+  // Extra latency charged before the data phase (protocol round-trips).
+  double pre_delay_seconds = 0.0;
+};
+
+// Completion time of one API call's TransferReport: every PUT/GET record
+// becomes a flow over {client NIC, that CSP's rate cap}; metadata records
+// ride along. Returns the time the last flow finishes.
+double TransferCompletionSeconds(const TransferReport& report,
+                                 const std::vector<double>& upload_bps,
+                                 const std::vector<double>& download_bps,
+                                 const TimingOptions& options = {});
+
+// Completion time of a baseline SchemePlan (handles DepSky's quorum: the
+// plan completes at the quorum-th flow finish). `download` selects which
+// per-CSP rate bound applies.
+double SchemeCompletionSeconds(const SchemePlan& plan, bool download,
+                               const std::vector<SchemeCsp>& csps,
+                               const TimingOptions& options = {});
+
+// --- Small stats helpers ---------------------------------------------------
+
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+BoxStats ComputeBoxStats(std::vector<double> samples);
+
+// Percentile (0..100) of a sample vector.
+double Percentile(std::vector<double> samples, double pct);
+
+}  // namespace bench
+}  // namespace cyrus
+
+#endif  // BENCH_COMMON_H_

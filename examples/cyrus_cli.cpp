@@ -1,0 +1,277 @@
+// cyrus_cli: a command-line CYRUS client over directory-backed providers.
+//
+// The paper's prototype exposed CYRUS through a desktop GUI; this is the
+// command-line analog, and it is genuinely usable: point it at two or more
+// directories (a NAS mount, a USB drive, folders synced by commercial
+// clients...) and it secret-shares your files across them. No directory
+// alone reveals anything; any t of them reconstruct everything.
+//
+// All durable state lives in the "cloud": an invocation rebuilds the client
+// via recover(), exactly as a freshly installed device would (Table 3) - or
+// warm-starts from the --cache file (the paper's local metadata copy, §5.2)
+// and syncs incrementally.
+//
+// Usage:
+//   cyrus_cli --key <secret> --csp <dir> --csp <dir> [--csp <dir>...]
+//             [--cache <file>] [--t <threshold>] <cmd>
+// Commands:
+//   put <local-file> [remote-name]     store a file
+//   get <remote-name> [local-file]     retrieve the latest version
+//   ls [prefix]                        list stored files
+//   history <remote-name>              show the version chain
+//   rm <remote-name>                   delete (undelete via history + restore)
+//   restore <remote-name> <version-#>  fetch an old version (1 = newest)
+//   status                             provider and dedup statistics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/cloud/file_csp.h"
+#include "src/core/local_cache.h"
+#include "src/core/client.h"
+#include "src/util/strings.h"
+
+using namespace cyrus;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "cyrus: %s\n", message.c_str());
+  return 1;
+}
+
+Result<Bytes> ReadLocalFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return NotFoundError(StrCat("cannot open ", path));
+  }
+  return Bytes((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+}
+
+Status WriteLocalFile(const std::string& path, ByteSpan data) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return UnavailableError(StrCat("cannot open ", path, " for writing"));
+  }
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  return file ? OkStatus() : UnavailableError(StrCat("short write to ", path));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string key;
+  std::string cache_path;
+  std::vector<std::string> csp_dirs;
+  uint32_t t = 2;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--key" && i + 1 < argc) {
+      key = argv[++i];
+    } else if (arg == "--csp" && i + 1 < argc) {
+      csp_dirs.emplace_back(argv[++i]);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--t" && i + 1 < argc) {
+      t = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (key.empty() || csp_dirs.size() < 2 || args.empty()) {
+    std::fprintf(stderr,
+                 "usage: cyrus_cli --key <secret> --csp <dir> --csp <dir> [...] "
+                 "[--cache <file>] [--t <threshold>] <command> [args]\n"
+                 "commands: put get ls history rm restore status\n");
+    return 2;
+  }
+
+  CyrusConfig config;
+  config.key_string = key;
+  config.client_id = "cyrus-cli";
+  config.t = t;
+  config.epsilon = 1e-3;  // Eq. (1) sizes n against the configured budget
+  config.default_failure_prob = 0.01;
+  config.cluster_aware = false;
+  config.chunker.modulus = 1 * 1024 * 1024;  // ~1 MB chunks
+  config.chunker.min_chunk_size = 64 * 1024;
+  config.chunker.max_chunk_size = 8 * 1024 * 1024;
+  auto client_or = CyrusClient::Create(config);
+  if (!client_or.ok()) {
+    return Fail(client_or.status().ToString());
+  }
+  auto client = std::move(client_or).value();
+  client->set_time(static_cast<double>(std::time(nullptr)));
+
+  for (size_t i = 0; i < csp_dirs.size(); ++i) {
+    auto csp = FileCsp::Open(StrCat("dir", i, ":", csp_dirs[i]), csp_dirs[i]);
+    if (!csp.ok()) {
+      return Fail(csp.status().ToString());
+    }
+    CspProfile profile;  // local disks: uniform profile
+    profile.rtt_ms = 1.0;
+    profile.download_bytes_per_sec = 100e6;
+    profile.upload_bytes_per_sec = 100e6;
+    auto added = client->AddCsp(std::shared_ptr<CloudConnector>(std::move(csp).value()),
+                                profile, Credentials{});
+    if (!added.ok()) {
+      return Fail(added.status().ToString());
+    }
+  }
+
+  // Warm start from the local metadata cache when available (paper §5.2);
+  // otherwise rebuild from the providers like a fresh device. Either way an
+  // incremental sync picks up anything newer.
+  const Sha1Digest cache_key = Sha1::Hash(key);
+  bool warm = false;
+  if (!cache_path.empty()) {
+    auto snapshot = LoadLocalCache(cache_path, cache_key);
+    if (snapshot.ok() && client->ImportCache(*snapshot).ok()) {
+      warm = true;
+    }
+  }
+  if (warm) {
+    if (auto synced = client->SyncMetadata(); !synced.ok()) {
+      return Fail(StrCat("sync failed: ", synced.status().ToString()));
+    }
+  } else if (Status recovered = client->Recover(); !recovered.ok()) {
+    return Fail(StrCat("recover failed: ", recovered.ToString()));
+  }
+  // Persist the refreshed cache on the way out (best effort).
+  struct CacheSaver {
+    CyrusClient* client;
+    std::string path;
+    Sha1Digest key;
+    ~CacheSaver() {
+      if (!path.empty()) {
+        (void)SaveLocalCache(path, client->ExportCache(), key);
+      }
+    }
+  } cache_saver{client.get(), cache_path, cache_key};
+
+  const std::string& command = args[0];
+  if (command == "put") {
+    if (args.size() < 2) {
+      return Fail("put needs a local file");
+    }
+    const std::string remote = args.size() > 2 ? args[2] : args[1];
+    auto content = ReadLocalFile(args[1]);
+    if (!content.ok()) {
+      return Fail(content.status().ToString());
+    }
+    auto put = client->Put(remote, *content);
+    if (!put.ok()) {
+      return Fail(put.status().ToString());
+    }
+    if (put->unchanged) {
+      std::printf("%s unchanged (already stored)\n", remote.c_str());
+    } else {
+      std::printf("%s: %zu chunk(s), %zu new, %zu deduplicated, %s of shares written "
+                  "(n=%u, t=%u)\n",
+                  remote.c_str(), put->total_chunks, put->new_chunks,
+                  put->dedup_chunks, HumanBytes(put->uploaded_share_bytes).c_str(),
+                  put->n, t);
+    }
+    return 0;
+  }
+  if (command == "get" || command == "restore") {
+    if (args.size() < 2) {
+      return Fail(StrCat(command, " needs a remote name"));
+    }
+    Result<GetResult> get = NotFoundError("unresolved");
+    if (command == "get") {
+      get = client->Get(args[1]);
+    } else {
+      if (args.size() < 3) {
+        return Fail("restore needs a version number (1 = newest)");
+      }
+      auto versions = client->Versions(args[1]);
+      if (!versions.ok()) {
+        return Fail(versions.status().ToString());
+      }
+      const size_t index = static_cast<size_t>(std::atoi(args[2].c_str()));
+      if (index < 1 || index > versions->size()) {
+        return Fail(StrCat("version out of range; file has ", versions->size()));
+      }
+      get = client->GetVersion(args[1], (*versions)[index - 1]->id);
+    }
+    if (!get.ok()) {
+      return Fail(get.status().ToString());
+    }
+    const std::string local = args.size() > 3 ? args[3]
+                              : (command == "get" && args.size() > 2) ? args[2]
+                                                                      : args[1];
+    if (Status written = WriteLocalFile(local, get->content); !written.ok()) {
+      return Fail(written.ToString());
+    }
+    std::printf("%s -> %s (%s)%s\n", args[1].c_str(), local.c_str(),
+                HumanBytes(get->content.size()).c_str(),
+                get->had_conflicts ? "  [CONFLICTED: see history]" : "");
+    return 0;
+  }
+  if (command == "ls") {
+    auto listing = client->List(args.size() > 1 ? args[1] : "");
+    if (!listing.ok()) {
+      return Fail(listing.status().ToString());
+    }
+    for (const FileListing& f : *listing) {
+      std::printf("%10s  %2zu version(s)%s  %s\n", HumanBytes(f.size).c_str(),
+                  f.num_versions, f.conflicted ? " [conflict]" : "", f.name.c_str());
+    }
+    std::printf("%zu file(s)\n", listing->size());
+    return 0;
+  }
+  if (command == "history") {
+    if (args.size() < 2) {
+      return Fail("history needs a remote name");
+    }
+    auto versions = client->Versions(args[1]);
+    if (!versions.ok()) {
+      return Fail(versions.status().ToString());
+    }
+    size_t index = 1;
+    for (const FileVersion* v : *versions) {
+      std::printf("%2zu. %s  %10s  by %-12s%s\n", index++,
+                  v->id.ToHex().substr(0, 12).c_str(), HumanBytes(v->size).c_str(),
+                  v->client_id.c_str(), v->deleted ? "  [deletion marker]" : "");
+    }
+    return 0;
+  }
+  if (command == "rm") {
+    if (args.size() < 2) {
+      return Fail("rm needs a remote name");
+    }
+    if (Status deleted = client->Delete(args[1]); !deleted.ok()) {
+      return Fail(deleted.ToString());
+    }
+    std::printf("%s deleted (history retained; use 'history' + 'restore')\n",
+                args[1].c_str());
+    return 0;
+  }
+  if (command == "status") {
+    std::printf("providers:\n");
+    for (size_t i = 0; i < client->registry().size(); ++i) {
+      auto name = client->registry().name(static_cast<int>(i));
+      std::printf("  [%zu] %s\n", i, name.ok() ? name->c_str() : "?");
+    }
+    auto n = client->CurrentN();
+    if (n.ok()) {
+      std::printf("secret sharing: t=%u, n=%u (epsilon=%g)\n", t, *n, config.epsilon);
+    } else {
+      std::printf(
+          "secret sharing: t=%u, n=%zu (degraded: epsilon=%g unreachable with %zu "
+          "providers)\n",
+          t, client->registry().ActiveIndices().size(), config.epsilon,
+          client->registry().ActiveIndices().size());
+    }
+    std::printf("versions known: %zu; unique chunks: %zu (%s before coding)\n",
+                client->tree().size(), client->chunk_table().size(),
+                HumanBytes(client->chunk_table().TotalUniqueBytes()).c_str());
+    return 0;
+  }
+  return Fail(StrCat("unknown command '", command, "'"));
+}

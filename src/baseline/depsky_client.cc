@@ -1,0 +1,235 @@
+#include "src/baseline/depsky_client.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/crypto/sha1.h"
+#include "src/meta/serialize.h"
+#include "src/rs/secret_sharing.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+std::string LockName(std::string_view file, std::string_view client) {
+  return StrCat("depsky-lock-", file, "-", client);
+}
+
+std::string ShareObjectName(std::string_view file, uint32_t index) {
+  return StrCat("depsky-share-", file, "-", index);
+}
+
+std::string MetaObjectName(std::string_view file) {
+  return StrCat("depsky-meta-", file);
+}
+
+}  // namespace
+
+DepSkyClient::DepSkyClient(std::string key_string, uint32_t t, uint32_t n,
+                           std::string client_id, uint64_t seed,
+                           double mean_backoff_seconds)
+    : key_string_(std::move(key_string)),
+      t_(t),
+      n_(n),
+      client_id_(std::move(client_id)),
+      rng_(seed),
+      mean_backoff_(mean_backoff_seconds) {}
+
+Result<int> DepSkyClient::AddCsp(std::shared_ptr<CloudConnector> connector,
+                                 CspProfile profile, const Credentials& credentials) {
+  if (connector == nullptr) {
+    return InvalidArgumentError("connector must not be null");
+  }
+  CYRUS_RETURN_IF_ERROR(connector->Authenticate(credentials));
+  return registry_.Add(std::move(connector), profile);
+}
+
+std::vector<int> DepSkyClient::FastestFirst(bool download) const {
+  std::vector<int> order = registry_.ActiveIndices();
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const CspProfile pa = registry_.profile(a).value_or(CspProfile{});
+    const CspProfile pb = registry_.profile(b).value_or(CspProfile{});
+    return (download ? pa.download_bytes_per_sec : pa.upload_bytes_per_sec) >
+           (download ? pb.download_bytes_per_sec : pb.upload_bytes_per_sec);
+  });
+  return order;
+}
+
+Result<DepSkyWriteStats> DepSkyClient::Write(std::string_view name, ByteSpan content) {
+  const std::vector<int> active = registry_.ActiveIndices();
+  if (active.size() < n_) {
+    return FailedPreconditionError(
+        StrCat("DepSky needs n=", n_, " CSPs, has ", active.size()));
+  }
+
+  DepSkyWriteStats stats;
+
+  // --- Lock phase: create the lock, back off, check for rival writers. ---
+  double max_rtt_ms = 0.0;
+  for (int csp : active) {
+    max_rtt_ms = std::max(max_rtt_ms,
+                          registry_.profile(csp).value_or(CspProfile{}).rtt_ms);
+  }
+  const std::string lock = LockName(name, client_id_);
+  const std::string lock_prefix = StrCat("depsky-lock-", name, "-");
+  for (int csp : active) {
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+    CYRUS_RETURN_IF_ERROR(conn->Upload(lock, AsByteSpan(client_id_)));
+    stats.transfer.records.push_back(
+        TransferRecord{TransferKind::kPutMeta, csp, lock, client_id_.size(), true});
+  }
+  stats.protocol_delay_seconds =
+      2.0 * max_rtt_ms / 1000.0 + rng_.NextExponential(mean_backoff_);
+  for (int csp : active) {
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+    CYRUS_ASSIGN_OR_RETURN(std::vector<ObjectInfo> locks, conn->List(lock_prefix));
+    for (const ObjectInfo& other : locks) {
+      if (other.name != lock) {
+        // Rival writer: release our lock and fail with a conflict.
+        for (int cleanup : active) {
+          auto cleanup_conn = registry_.connector(cleanup);
+          if (cleanup_conn.ok()) {
+            (void)(*cleanup_conn)->Delete(lock);
+          }
+        }
+        return ConflictError(StrCat("concurrent DepSky writer holds a lock on ", name));
+      }
+    }
+  }
+
+  // --- Data phase: push shares everywhere; first n completers win. ---
+  // Completion order under equal share sizes follows upload bandwidth, so
+  // the cancel-after-n behaviour keeps the n fastest CSPs' shares.
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec codec,
+      SecretSharingCodec::Create(key_string_, t_,
+                                 static_cast<uint32_t>(active.size())));
+  CYRUS_ASSIGN_OR_RETURN(std::vector<Share> shares, codec.Encode(content));
+
+  const std::vector<int> completion_order = FastestFirst(/*download=*/false);
+  for (size_t i = 0; i < completion_order.size(); ++i) {
+    const int csp = completion_order[i];
+    const bool kept = i < n_;  // stragglers are cancelled
+    if (!kept) {
+      continue;
+    }
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+    // The share index is the CSP's position in the active list, DepSky's
+    // fixed share-per-cloud mapping.
+    const uint32_t index = static_cast<uint32_t>(
+        std::find(active.begin(), active.end(), csp) - active.begin());
+    const std::string object = ShareObjectName(name, index);
+    CYRUS_RETURN_IF_ERROR(conn->Upload(object, shares[index].data));
+    stats.transfer.records.push_back(TransferRecord{TransferKind::kPut, csp, object,
+                                                    shares[index].data.size(), true});
+    stats.share_csps.push_back(csp);
+  }
+
+  // --- Metadata: replicated in the clear protocol-wise (content is still
+  // coded); one copy per CSP. ---
+  BinaryWriter meta;
+  meta.WriteU64(content.size());
+  meta.WriteU32(t_);
+  meta.WriteU32(n_);
+  meta.WriteDigest(Sha1::Hash(content));
+  meta.WriteU32(static_cast<uint32_t>(stats.share_csps.size()));
+  for (int csp : stats.share_csps) {
+    meta.WriteI32(csp);
+    const uint32_t index = static_cast<uint32_t>(
+        std::find(active.begin(), active.end(), csp) - active.begin());
+    meta.WriteU32(index);
+  }
+  const std::string meta_name = MetaObjectName(name);
+  for (int csp : active) {
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+    CYRUS_RETURN_IF_ERROR(conn->Upload(meta_name, meta.data()));
+    stats.transfer.records.push_back(TransferRecord{TransferKind::kPutMeta, csp,
+                                                    meta_name, meta.data().size(), true});
+  }
+
+  // --- Unlock. ---
+  for (int csp : active) {
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+    CYRUS_RETURN_IF_ERROR(conn->Delete(lock));
+  }
+  return stats;
+}
+
+Result<DepSkyReadStats> DepSkyClient::Read(std::string_view name) {
+  const std::vector<int> order = FastestFirst(/*download=*/true);
+  if (order.empty()) {
+    return FailedPreconditionError("DepSky has no CSPs");
+  }
+  DepSkyReadStats stats;
+
+  // Metadata from the fastest reachable CSP (one round-trip).
+  const std::string meta_name = MetaObjectName(name);
+  Result<Bytes> meta_bytes = NotFoundError("no metadata");
+  double rtt_ms = 0.0;
+  for (int csp : order) {
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+    meta_bytes = conn->Download(meta_name);
+    if (meta_bytes.ok()) {
+      rtt_ms = registry_.profile(csp).value_or(CspProfile{}).rtt_ms;
+      stats.transfer.records.push_back(TransferRecord{TransferKind::kGetMeta, csp,
+                                                      meta_name, meta_bytes->size(), true});
+      break;
+    }
+  }
+  if (!meta_bytes.ok()) {
+    return NotFoundError(StrCat("DepSky metadata for ", name, " not found"));
+  }
+  stats.protocol_delay_seconds = rtt_ms / 1000.0;
+
+  BinaryReader reader(*meta_bytes);
+  CYRUS_ASSIGN_OR_RETURN(uint64_t size, reader.ReadU64());
+  CYRUS_ASSIGN_OR_RETURN(uint32_t t, reader.ReadU32());
+  CYRUS_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  CYRUS_ASSIGN_OR_RETURN(Sha1Digest digest, reader.ReadDigest());
+  CYRUS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  std::vector<std::pair<int, uint32_t>> locations;  // (csp, share index)
+  for (uint32_t i = 0; i < count; ++i) {
+    CYRUS_ASSIGN_OR_RETURN(int32_t csp, reader.ReadI32());
+    CYRUS_ASSIGN_OR_RETURN(uint32_t index, reader.ReadU32());
+    locations.emplace_back(csp, index);
+  }
+  (void)n;
+
+  // Greedy: fastest holders first.
+  std::stable_sort(locations.begin(), locations.end(), [&](const auto& a, const auto& b) {
+    return registry_.profile(a.first).value_or(CspProfile{}).download_bytes_per_sec >
+           registry_.profile(b.first).value_or(CspProfile{}).download_bytes_per_sec;
+  });
+  std::vector<Share> shares;
+  for (const auto& [csp, index] : locations) {
+    if (shares.size() >= t) {
+      break;
+    }
+    auto conn = registry_.connector(csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    auto data = (*conn)->Download(ShareObjectName(name, index));
+    if (!data.ok()) {
+      continue;
+    }
+    stats.transfer.records.push_back(TransferRecord{
+        TransferKind::kGet, csp, ShareObjectName(name, index), data->size(), true});
+    stats.share_csps.push_back(csp);
+    shares.push_back(Share{index, *std::move(data)});
+  }
+  if (shares.size() < t) {
+    return DataLossError(StrCat("DepSky: only ", shares.size(), " of ", t,
+                                " shares reachable for ", name));
+  }
+
+  CYRUS_ASSIGN_OR_RETURN(SecretSharingCodec codec,
+                         SecretSharingCodec::Create(key_string_, t, 255));
+  CYRUS_ASSIGN_OR_RETURN(stats.content, codec.Decode(shares, size));
+  if (Sha1::Hash(stats.content) != digest) {
+    return DataLossError(StrCat("DepSky: ", name, " failed integrity check"));
+  }
+  return stats;
+}
+
+}  // namespace cyrus

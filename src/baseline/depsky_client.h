@@ -1,0 +1,75 @@
+// A functional DepSky-style client (Bessani et al., EuroSys 2011), the
+// paper's main comparison system (§7.3), implemented against the same
+// CloudConnector interface as CYRUS so both run on identical simulated
+// providers.
+//
+// Protocol differences from CYRUS that this client reproduces:
+//   - writes take a lock: create a lock object, list to check for a
+//     concurrent writer, wait a random backoff, and only then write
+//     (two extra round-trips plus backoff latency);
+//   - shares are uploaded to ALL CSPs and the write completes once n
+//     finish - the pending stragglers are cancelled, so consistently fast
+//     CSPs accumulate shares (Figure 18's imbalance);
+//   - reads fetch metadata then greedily download from the fastest CSPs.
+#ifndef SRC_BASELINE_DEPSKY_CLIENT_H_
+#define SRC_BASELINE_DEPSKY_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/connector.h"
+#include "src/cloud/registry.h"
+#include "src/core/transfer.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+struct DepSkyWriteStats {
+  // Lock round-trips + backoff, charged before data movement.
+  double protocol_delay_seconds = 0.0;
+  // CSPs that ended up holding a share (the first n "completers").
+  std::vector<int> share_csps;
+  TransferReport transfer;
+};
+
+struct DepSkyReadStats {
+  Bytes content;
+  std::vector<int> share_csps;  // CSPs the shares were read from
+  double protocol_delay_seconds = 0.0;
+  TransferReport transfer;
+};
+
+class DepSkyClient {
+ public:
+  DepSkyClient(std::string key_string, uint32_t t, uint32_t n, std::string client_id,
+               uint64_t seed, double mean_backoff_seconds = 1.0);
+
+  Result<int> AddCsp(std::shared_ptr<CloudConnector> connector, CspProfile profile,
+                     const Credentials& credentials);
+
+  // Writes under DepSky's protocol. kConflict if another writer holds the
+  // lock after the backoff.
+  Result<DepSkyWriteStats> Write(std::string_view name, ByteSpan content);
+
+  Result<DepSkyReadStats> Read(std::string_view name);
+
+  const CspRegistry& registry() const { return registry_; }
+
+ private:
+  // CSP indices ordered by the given bandwidth, fastest first.
+  std::vector<int> FastestFirst(bool download) const;
+
+  std::string key_string_;
+  uint32_t t_;
+  uint32_t n_;
+  std::string client_id_;
+  Rng rng_;
+  double mean_backoff_;
+  CspRegistry registry_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_BASELINE_DEPSKY_CLIENT_H_

@@ -1,0 +1,163 @@
+#include "src/baseline/schemes.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+uint64_t ShareBytes(uint64_t file_bytes, uint32_t t) {
+  return (file_bytes + t - 1) / t;
+}
+
+double MaxRttSeconds(const std::vector<SchemeCsp>& csps) {
+  double rtt = 0.0;
+  for (const SchemeCsp& c : csps) {
+    rtt = std::max(rtt, c.rtt_ms);
+  }
+  return rtt / 1000.0;
+}
+
+// CSP indices sorted by descending bandwidth (download or upload).
+std::vector<int> ByBandwidth(const std::vector<SchemeCsp>& csps, bool download) {
+  std::vector<int> order(csps.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return (download ? csps[a].download_bytes_per_sec : csps[a].upload_bytes_per_sec) >
+           (download ? csps[b].download_bytes_per_sec : csps[b].upload_bytes_per_sec);
+  });
+  return order;
+}
+
+Status CheckCsps(const std::vector<SchemeCsp>& csps, size_t needed,
+                 std::string_view scheme) {
+  if (csps.size() < needed) {
+    return FailedPreconditionError(
+        StrCat(scheme, " needs ", needed, " CSPs, got ", csps.size()));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+// --- Full Replication ---
+
+Result<SchemePlan> FullReplicationScheme::PlanUpload(uint64_t file_bytes,
+                                                     const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, 1, name()));
+  SchemePlan plan;
+  for (size_t c = 0; c < csps.size(); ++c) {
+    plan.transfers.push_back(SchemeTransfer{static_cast<int>(c), file_bytes});
+  }
+  return plan;
+}
+
+Result<SchemePlan> FullReplicationScheme::PlanDownload(
+    uint64_t file_bytes, const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, 1, name()));
+  if (download_csp_ < 0 || static_cast<size_t>(download_csp_) >= csps.size()) {
+    return InvalidArgumentError(StrCat("replica CSP ", download_csp_, " out of range"));
+  }
+  SchemePlan plan;
+  plan.transfers.push_back(SchemeTransfer{download_csp_, file_bytes});
+  return plan;
+}
+
+// --- Full Striping ---
+
+Result<SchemePlan> FullStripingScheme::PlanUpload(uint64_t file_bytes,
+                                                  const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, 1, name()));
+  SchemePlan plan;
+  const uint64_t fragment = file_bytes / csps.size();
+  uint64_t assigned = 0;
+  for (size_t c = 0; c < csps.size(); ++c) {
+    const uint64_t bytes =
+        (c + 1 == csps.size()) ? file_bytes - assigned : fragment;
+    assigned += bytes;
+    plan.transfers.push_back(SchemeTransfer{static_cast<int>(c), bytes});
+  }
+  return plan;
+}
+
+Result<SchemePlan> FullStripingScheme::PlanDownload(uint64_t file_bytes,
+                                                    const std::vector<SchemeCsp>& csps) {
+  // Striping reads require every fragment, including from the slowest CSP.
+  return PlanUpload(file_bytes, csps);
+}
+
+// --- DepSky ---
+
+Result<SchemePlan> DepSkyScheme::PlanUpload(uint64_t file_bytes,
+                                            const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, n_, name()));
+  SchemePlan plan;
+  // Two round-trips create and verify the lock file, then a random backoff
+  // guards against concurrent writers (paper §7.3).
+  plan.pre_delay_seconds = 2.0 * MaxRttSeconds(csps) + rng_.NextExponential(mean_backoff_);
+  // Shares are pushed to every CSP; the write completes at the n-th finish
+  // and the stragglers are cancelled.
+  const uint64_t share = ShareBytes(file_bytes, t_);
+  for (size_t c = 0; c < csps.size(); ++c) {
+    plan.transfers.push_back(SchemeTransfer{static_cast<int>(c), share});
+  }
+  plan.quorum = n_;
+  return plan;
+}
+
+Result<SchemePlan> DepSkyScheme::PlanDownload(uint64_t file_bytes,
+                                              const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, t_, name()));
+  SchemePlan plan;
+  // One metadata round-trip, then greedily read from the fastest CSPs.
+  plan.pre_delay_seconds = MaxRttSeconds(csps);
+  const uint64_t share = ShareBytes(file_bytes, t_);
+  const std::vector<int> order = ByBandwidth(csps, /*download=*/true);
+  for (uint32_t k = 0; k < t_; ++k) {
+    plan.transfers.push_back(SchemeTransfer{order[k], share});
+  }
+  return plan;
+}
+
+// --- CYRUS (planning form) ---
+
+Result<SchemePlan> CyrusScheme::PlanUpload(uint64_t file_bytes,
+                                           const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, n_, name()));
+  SchemePlan plan;
+  const uint64_t share = ShareBytes(file_bytes, t_);
+  // Consistent hashing spreads placements evenly across uploads; a rotating
+  // cursor reproduces that long-run balance deterministically.
+  for (uint32_t i = 0; i < n_; ++i) {
+    plan.transfers.push_back(
+        SchemeTransfer{static_cast<int>((upload_counter_ + i) % csps.size()), share});
+  }
+  ++upload_counter_;
+  return plan;
+}
+
+Result<SchemePlan> CyrusScheme::PlanDownload(uint64_t file_bytes,
+                                             const std::vector<SchemeCsp>& csps) {
+  CYRUS_RETURN_IF_ERROR(CheckCsps(csps, t_, name()));
+  SchemePlan plan;
+  // For a single unchunked file the optimizer's choice is exactly the t
+  // fastest CSPs holding shares (paper footnote 13); shares were stored on
+  // the most recent upload's targets.
+  std::vector<int> holders;
+  const size_t base = (upload_counter_ == 0) ? 0 : (upload_counter_ - 1) % csps.size();
+  for (uint32_t i = 0; i < n_; ++i) {
+    holders.push_back(static_cast<int>((base + i) % csps.size()));
+  }
+  std::stable_sort(holders.begin(), holders.end(), [&](int a, int b) {
+    return csps[a].download_bytes_per_sec > csps[b].download_bytes_per_sec;
+  });
+  const uint64_t share = ShareBytes(file_bytes, t_);
+  for (uint32_t k = 0; k < t_; ++k) {
+    plan.transfers.push_back(SchemeTransfer{holders[k], share});
+  }
+  return plan;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,128 @@
+// Baseline storage schemes compared against CYRUS (paper §7.3, Figure 16):
+//
+//   Full Replication - the whole file replicated to every CSP; a download
+//     reads one replica from one CSP.
+//   Full Striping    - the file split into C equal fragments, one per CSP;
+//     reads need every fragment (no redundancy: any CSP failure loses data).
+//   DepSky           - (t, n) RS shares like CYRUS, but with DepSky's
+//     protocol costs: two lock round-trips plus a random backoff before
+//     writing, uploads issued to ALL CSPs with pending requests cancelled
+//     once n finish (so fast CSPs accumulate shares - Figure 18), and
+//     greedy fastest-CSP reads.
+//   CYRUS            - (t, n) shares to n consistent-hash-chosen CSPs and
+//     optimizer-selected downloads (for apples-to-apples planning).
+//
+// Planners emit the byte movements plus protocol overheads; benchmarks run
+// the movements through the fluid network simulator to obtain times.
+#ifndef SRC_BASELINE_SCHEMES_H_
+#define SRC_BASELINE_SCHEMES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+struct SchemeCsp {
+  double rtt_ms = 100.0;
+  double download_bytes_per_sec = 1e6;
+  double upload_bytes_per_sec = 1e6;
+};
+
+struct SchemeTransfer {
+  int csp = 0;
+  uint64_t bytes = 0;
+};
+
+struct SchemePlan {
+  // Concurrent data movements. Completion is when `quorum` of them finish
+  // (0 = all); with a quorum, the rest are cancelled at that instant
+  // (DepSky's write optimization).
+  std::vector<SchemeTransfer> transfers;
+  uint32_t quorum = 0;
+  // Protocol overhead incurred before the data phase starts (lock
+  // round-trips, random backoff, metadata fetches).
+  double pre_delay_seconds = 0.0;
+};
+
+class StorageScheme {
+ public:
+  virtual ~StorageScheme() = default;
+  virtual std::string_view name() const = 0;
+  virtual Result<SchemePlan> PlanUpload(uint64_t file_bytes,
+                                        const std::vector<SchemeCsp>& csps) = 0;
+  virtual Result<SchemePlan> PlanDownload(uint64_t file_bytes,
+                                          const std::vector<SchemeCsp>& csps) = 0;
+};
+
+// Full Replication. Downloads read the replica from `download_csp`; the
+// paper averages over all CSPs, so benchmarks sweep this.
+class FullReplicationScheme : public StorageScheme {
+ public:
+  explicit FullReplicationScheme(int download_csp = 0) : download_csp_(download_csp) {}
+  std::string_view name() const override { return "full-replication"; }
+  Result<SchemePlan> PlanUpload(uint64_t file_bytes,
+                                const std::vector<SchemeCsp>& csps) override;
+  Result<SchemePlan> PlanDownload(uint64_t file_bytes,
+                                  const std::vector<SchemeCsp>& csps) override;
+
+  void set_download_csp(int csp) { download_csp_ = csp; }
+
+ private:
+  int download_csp_;
+};
+
+class FullStripingScheme : public StorageScheme {
+ public:
+  std::string_view name() const override { return "full-striping"; }
+  Result<SchemePlan> PlanUpload(uint64_t file_bytes,
+                                const std::vector<SchemeCsp>& csps) override;
+  Result<SchemePlan> PlanDownload(uint64_t file_bytes,
+                                  const std::vector<SchemeCsp>& csps) override;
+};
+
+class DepSkyScheme : public StorageScheme {
+ public:
+  // mean_backoff_seconds: DepSky waits a random backoff after acquiring the
+  // lock to detect write races (paper §7.3 cites this as a latency cost).
+  DepSkyScheme(uint32_t t, uint32_t n, uint64_t seed, double mean_backoff_seconds = 1.0)
+      : t_(t), n_(n), rng_(seed), mean_backoff_(mean_backoff_seconds) {}
+
+  std::string_view name() const override { return "depsky"; }
+  Result<SchemePlan> PlanUpload(uint64_t file_bytes,
+                                const std::vector<SchemeCsp>& csps) override;
+  Result<SchemePlan> PlanDownload(uint64_t file_bytes,
+                                  const std::vector<SchemeCsp>& csps) override;
+
+ private:
+  uint32_t t_;
+  uint32_t n_;
+  Rng rng_;
+  double mean_backoff_;
+};
+
+class CyrusScheme : public StorageScheme {
+ public:
+  // upload_targets rotates deterministically to model consistent hashing's
+  // even placement across uploads.
+  CyrusScheme(uint32_t t, uint32_t n, uint64_t seed) : t_(t), n_(n), rng_(seed) {}
+
+  std::string_view name() const override { return "cyrus"; }
+  Result<SchemePlan> PlanUpload(uint64_t file_bytes,
+                                const std::vector<SchemeCsp>& csps) override;
+  Result<SchemePlan> PlanDownload(uint64_t file_bytes,
+                                  const std::vector<SchemeCsp>& csps) override;
+
+ private:
+  uint32_t t_;
+  uint32_t n_;
+  Rng rng_;
+  uint64_t upload_counter_ = 0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_BASELINE_SCHEMES_H_

@@ -1,0 +1,55 @@
+#include "src/chunker/chunker.h"
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+Result<Chunker> Chunker::Create(const ChunkerOptions& options) {
+  if (options.modulus == 0) {
+    return InvalidArgumentError("chunker modulus must be positive");
+  }
+  if (options.residue >= options.modulus) {
+    return InvalidArgumentError("chunker residue must be < modulus");
+  }
+  if (options.window_size == 0 || options.window_size > options.min_chunk_size) {
+    return InvalidArgumentError(
+        StrCat("window size ", options.window_size, " must be in (0, min_chunk_size]"));
+  }
+  if (options.min_chunk_size > options.max_chunk_size) {
+    return InvalidArgumentError("min_chunk_size must be <= max_chunk_size");
+  }
+  return Chunker(options);
+}
+
+std::vector<ChunkSpan> Chunker::Split(ByteSpan data) const {
+  std::vector<ChunkSpan> chunks;
+  if (data.empty()) {
+    return chunks;
+  }
+
+  RabinFingerprint rf(options_.window_size);
+  size_t chunk_start = 0;
+  size_t in_chunk = 0;  // bytes accumulated in the current chunk
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    const uint64_t fp = rf.Roll(data[i]);
+    ++in_chunk;
+    const bool at_boundary =
+        in_chunk >= options_.min_chunk_size && fp % options_.modulus == options_.residue;
+    if (at_boundary || in_chunk >= options_.max_chunk_size) {
+      chunks.push_back(ChunkSpan{chunk_start, in_chunk});
+      chunk_start = i + 1;
+      in_chunk = 0;
+      // A boundary resets the window so chunk identity depends only on the
+      // chunk's own content, not on preceding chunks. This is what lets two
+      // files sharing a middle section produce identical chunk ids there.
+      rf.Reset();
+    }
+  }
+  if (in_chunk > 0) {
+    chunks.push_back(ChunkSpan{chunk_start, in_chunk});
+  }
+  return chunks;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,39 @@
+#include "src/cloud/bandwidth.h"
+
+namespace cyrus {
+
+void BandwidthEstimator::AddSample(int csp, TransferDirection direction, uint64_t bytes,
+                                   double seconds) {
+  if (seconds <= 0.0 || bytes < options_.min_sample_bytes) {
+    return;
+  }
+  const double rate = static_cast<double>(bytes) / seconds;
+  Stream& stream = streams_[{csp, direction}];
+  if (stream.samples == 0) {
+    stream.ewma_bytes_per_sec = rate;
+  } else {
+    stream.ewma_bytes_per_sec =
+        options_.alpha * rate + (1.0 - options_.alpha) * stream.ewma_bytes_per_sec;
+  }
+  ++stream.samples;
+}
+
+double BandwidthEstimator::Estimate(int csp, TransferDirection direction) const {
+  auto it = streams_.find({csp, direction});
+  if (it == streams_.end() || it->second.samples == 0) {
+    return options_.default_bytes_per_sec;
+  }
+  return it->second.ewma_bytes_per_sec;
+}
+
+bool BandwidthEstimator::HasSamples(int csp, TransferDirection direction) const {
+  auto it = streams_.find({csp, direction});
+  return it != streams_.end() && it->second.samples > 0;
+}
+
+size_t BandwidthEstimator::sample_count(int csp, TransferDirection direction) const {
+  auto it = streams_.find({csp, direction});
+  return it == streams_.end() ? 0 : it->second.samples;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,59 @@
+// Per-CSP bandwidth estimation (paper footnote 7: "Each client maintains
+// local bandwidth statistics to all CSPs for different network interfaces").
+//
+// The downlink optimizer's beta_bar_c inputs come from here in a real
+// deployment: every completed transfer contributes a (bytes, seconds)
+// sample, and the estimator keeps an exponentially-weighted moving average
+// per CSP and direction, so estimates track diurnal swings (Figure 17's
+// phenomenon) without being whipsawed by single slow requests. Tiny
+// transfers are ignored - their timing measures latency, not bandwidth.
+#ifndef SRC_CLOUD_BANDWIDTH_H_
+#define SRC_CLOUD_BANDWIDTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace cyrus {
+
+enum class TransferDirection { kUpload, kDownload };
+
+class BandwidthEstimator {
+ public:
+  struct Options {
+    // EWMA weight of a new sample (0 < alpha <= 1).
+    double alpha = 0.3;
+    // Samples below this size measure RTT, not bandwidth: skipped.
+    uint64_t min_sample_bytes = 16 * 1024;
+    // Returned when a CSP has no samples yet.
+    double default_bytes_per_sec = 1e6;
+  };
+
+  BandwidthEstimator() : BandwidthEstimator(Options()) {}
+  explicit BandwidthEstimator(Options options) : options_(options) {}
+
+  // Records a completed transfer of `bytes` that took `seconds` (> 0).
+  void AddSample(int csp, TransferDirection direction, uint64_t bytes, double seconds);
+
+  // Current estimate in bytes/second (the default until samples arrive).
+  double Estimate(int csp, TransferDirection direction) const;
+
+  // Whether any qualifying sample has been recorded.
+  bool HasSamples(int csp, TransferDirection direction) const;
+
+  size_t sample_count(int csp, TransferDirection direction) const;
+
+ private:
+  struct Stream {
+    double ewma_bytes_per_sec = 0.0;
+    size_t samples = 0;
+  };
+
+  Options options_;
+  std::map<std::pair<int, TransferDirection>, Stream> streams_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CLOUD_BANDWIDTH_H_

@@ -1,0 +1,58 @@
+// The CSP connector abstraction (paper §3.1, §6).
+//
+// CYRUS deliberately restricts itself to the five operations every storage
+// provider - even a bare FTP server - offers: authenticate, list, upload,
+// download, delete. All provider heterogeneity (name-keyed vs id-keyed
+// object stores, overwrite semantics, quotas, outages) lives behind this
+// interface; everything above it is provider-agnostic.
+#ifndef SRC_CLOUD_CONNECTOR_H_
+#define SRC_CLOUD_CONNECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+struct Credentials {
+  std::string token;  // stand-in for OAuth tokens / API keys
+};
+
+struct ObjectInfo {
+  std::string name;
+  uint64_t size = 0;
+  double modified_time = 0.0;  // seconds since epoch (virtual time)
+};
+
+class CloudConnector {
+ public:
+  virtual ~CloudConnector() = default;
+
+  // Stable identifier, e.g. "dropbox".
+  virtual std::string_view id() const = 0;
+
+  // Establishes a session. Every other call fails with kPermissionDenied
+  // until this succeeds.
+  virtual Status Authenticate(const Credentials& credentials) = 0;
+
+  // Objects whose name starts with `prefix` ("" lists everything).
+  virtual Result<std::vector<ObjectInfo>> List(std::string_view prefix) = 0;
+
+  // Stores an object. Whether an existing object with the same name is
+  // overwritten or duplicated is provider-specific (see SimulatedCsp).
+  virtual Status Upload(std::string_view name, ByteSpan data) = 0;
+
+  // Retrieves the newest object with this name.
+  virtual Result<Bytes> Download(std::string_view name) = 0;
+
+  // Removes every object with this name. Deleting a missing object is not
+  // an error (providers differ; CYRUS treats it as idempotent).
+  virtual Status Delete(std::string_view name) = 0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CLOUD_CONNECTOR_H_

@@ -1,0 +1,160 @@
+#include "src/cloud/file_csp.h"
+
+#include <fstream>
+#include <system_error>
+
+#include "src/util/hex.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+bool IsSafeChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '-' || c == '_' || c == '.';
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string EscapeObjectName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (IsSafeChar(c) && c != '%') {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[static_cast<uint8_t>(c) >> 4]);
+      out.push_back(kHexDigits[static_cast<uint8_t>(c) & 0x0f]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeObjectName(std::string_view file_name) {
+  std::string out;
+  out.reserve(file_name.size());
+  for (size_t i = 0; i < file_name.size(); ++i) {
+    if (file_name[i] != '%') {
+      out.push_back(file_name[i]);
+      continue;
+    }
+    if (i + 2 >= file_name.size()) {
+      return InvalidArgumentError("truncated escape in object file name");
+    }
+    const int hi = HexNibble(file_name[i + 1]);
+    const int lo = HexNibble(file_name[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return InvalidArgumentError("bad escape in object file name");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<FileCsp>> FileCsp::Open(std::string id,
+                                               std::filesystem::path root) {
+  std::error_code ec;
+  if (std::filesystem::exists(root, ec)) {
+    if (!std::filesystem::is_directory(root, ec)) {
+      return InvalidArgumentError(StrCat(root.string(), " exists and is not a directory"));
+    }
+  } else {
+    std::filesystem::create_directories(root, ec);
+    if (ec) {
+      return UnavailableError(StrCat("cannot create ", root.string(), ": ", ec.message()));
+    }
+  }
+  return std::unique_ptr<FileCsp>(new FileCsp(std::move(id), std::move(root)));
+}
+
+Status FileCsp::Authenticate(const Credentials& credentials) {
+  (void)credentials;  // a local directory has no credentials
+  return OkStatus();
+}
+
+Result<std::vector<ObjectInfo>> FileCsp::List(std::string_view prefix) {
+  std::vector<ObjectInfo> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    auto name = UnescapeObjectName(entry.path().filename().string());
+    if (!name.ok() || !StartsWith(*name, prefix)) {
+      continue;
+    }
+    ObjectInfo info;
+    info.name = *std::move(name);
+    info.size = entry.file_size(ec);
+    const auto mtime = entry.last_write_time(ec);
+    info.modified_time =
+        std::chrono::duration<double>(mtime.time_since_epoch()).count();
+    out.push_back(std::move(info));
+  }
+  if (ec) {
+    return UnavailableError(StrCat(id_, ": listing failed: ", ec.message()));
+  }
+  return out;
+}
+
+Status FileCsp::Upload(std::string_view name, ByteSpan data) {
+  const std::filesystem::path path = root_ / EscapeObjectName(name);
+  // Write-then-rename for atomicity against concurrent readers.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return UnavailableError(StrCat(id_, ": cannot open ", tmp.string()));
+    }
+    file.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size()));
+    if (!file) {
+      return UnavailableError(StrCat(id_, ": short write to ", tmp.string()));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return UnavailableError(StrCat(id_, ": rename failed: ", ec.message()));
+  }
+  return OkStatus();
+}
+
+Result<Bytes> FileCsp::Download(std::string_view name) {
+  const std::filesystem::path path = root_ / EscapeObjectName(name);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return NotFoundError(StrCat(id_, ": no object named ", name));
+  }
+  Bytes data((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    return UnavailableError(StrCat(id_, ": read failed for ", name));
+  }
+  return data;
+}
+
+Status FileCsp::Delete(std::string_view name) {
+  const std::filesystem::path path = root_ / EscapeObjectName(name);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // removing a missing file is fine
+  if (ec) {
+    return UnavailableError(StrCat(id_, ": delete failed: ", ec.message()));
+  }
+  return OkStatus();
+}
+
+}  // namespace cyrus

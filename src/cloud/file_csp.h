@@ -1,0 +1,50 @@
+// A CloudConnector persisting objects to a local directory.
+//
+// The paper notes CYRUS's connector interface is minimal enough that even
+// an FTP server qualifies (§3.1); a directory on disk is the simplest such
+// provider and makes the CLI tool (examples/cyrus_cli.cpp) genuinely
+// usable: point one FileCsp at a NAS mount, another at a USB drive, a third
+// at a cloud-synced folder, and CYRUS secret-shares across them. Objects
+// are stored one-per-file with percent-escaped names.
+#ifndef SRC_CLOUD_FILE_CSP_H_
+#define SRC_CLOUD_FILE_CSP_H_
+
+#include <filesystem>
+#include <string>
+
+#include "src/cloud/connector.h"
+
+namespace cyrus {
+
+class FileCsp : public CloudConnector {
+ public:
+  // Creates the directory if missing. Fails if the path exists and is not
+  // a directory, or cannot be created.
+  static Result<std::unique_ptr<FileCsp>> Open(std::string id,
+                                               std::filesystem::path root);
+
+  std::string_view id() const override { return id_; }
+  Status Authenticate(const Credentials& credentials) override;
+  Result<std::vector<ObjectInfo>> List(std::string_view prefix) override;
+  Status Upload(std::string_view name, ByteSpan data) override;
+  Result<Bytes> Download(std::string_view name) override;
+  Status Delete(std::string_view name) override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  FileCsp(std::string id, std::filesystem::path root)
+      : id_(std::move(id)), root_(std::move(root)) {}
+
+  std::string id_;
+  std::filesystem::path root_;
+};
+
+// Object-name <-> file-name escaping ('%', '/' and other characters that
+// are unsafe in file names become %XX). Exposed for tests.
+std::string EscapeObjectName(std::string_view name);
+Result<std::string> UnescapeObjectName(std::string_view file_name);
+
+}  // namespace cyrus
+
+#endif  // SRC_CLOUD_FILE_CSP_H_

@@ -1,0 +1,88 @@
+#include "src/cloud/registry.h"
+
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+int CspRegistry::Add(std::shared_ptr<CloudConnector> connector, CspProfile profile) {
+  entries_.push_back(Entry{std::move(connector), profile, CspState::kActive});
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+Status CspRegistry::CheckIndex(int index) const {
+  if (index < 0 || static_cast<size_t>(index) >= entries_.size()) {
+    return InvalidArgumentError(StrCat("CSP index ", index, " out of range"));
+  }
+  return OkStatus();
+}
+
+Result<CloudConnector*> CspRegistry::connector(int index) const {
+  CYRUS_RETURN_IF_ERROR(CheckIndex(index));
+  return entries_[index].connector.get();
+}
+
+Result<CspProfile> CspRegistry::profile(int index) const {
+  CYRUS_RETURN_IF_ERROR(CheckIndex(index));
+  return entries_[index].profile;
+}
+
+Result<CspState> CspRegistry::state(int index) const {
+  CYRUS_RETURN_IF_ERROR(CheckIndex(index));
+  return entries_[index].state;
+}
+
+Result<std::string> CspRegistry::name(int index) const {
+  CYRUS_RETURN_IF_ERROR(CheckIndex(index));
+  return std::string(entries_[index].connector->id());
+}
+
+Status CspRegistry::SetState(int index, CspState state) {
+  CYRUS_RETURN_IF_ERROR(CheckIndex(index));
+  entries_[index].state = state;
+  return OkStatus();
+}
+
+Status CspRegistry::SetProfile(int index, CspProfile profile) {
+  CYRUS_RETURN_IF_ERROR(CheckIndex(index));
+  entries_[index].profile = profile;
+  return OkStatus();
+}
+
+Result<int> CspRegistry::IndexByName(std::string_view name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].connector->id() == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return NotFoundError(StrCat("no CSP account named ", name));
+}
+
+std::vector<int> CspRegistry::ActiveIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].state == CspState::kActive) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+size_t CspRegistry::NumActiveClusters() const {
+  std::set<int> clusters;
+  size_t unclustered = 0;
+  for (const Entry& e : entries_) {
+    if (e.state != CspState::kActive) {
+      continue;
+    }
+    if (e.profile.cluster >= 0) {
+      clusters.insert(e.profile.cluster);
+    } else {
+      ++unclustered;
+    }
+  }
+  return clusters.size() + unclustered;
+}
+
+}  // namespace cyrus

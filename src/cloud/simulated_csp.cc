@@ -1,0 +1,144 @@
+#include "src/cloud/simulated_csp.h"
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+SimulatedCsp::SimulatedCsp(SimulatedCspOptions options) : options_(std::move(options)) {}
+
+Status SimulatedCsp::CheckUp() const {
+  if (!available_) {
+    return UnavailableError(StrCat(options_.id, " is unreachable"));
+  }
+  if (!authenticated_) {
+    return PermissionDeniedError(StrCat(options_.id, ": not authenticated"));
+  }
+  return OkStatus();
+}
+
+Status SimulatedCsp::Authenticate(const Credentials& credentials) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!available_) {
+    ++counters_.failed_requests;
+    return UnavailableError(StrCat(options_.id, " is unreachable"));
+  }
+  if (credentials.token != options_.expected_token) {
+    return PermissionDeniedError(StrCat(options_.id, ": bad token"));
+  }
+  authenticated_ = true;
+  return OkStatus();
+}
+
+Result<std::vector<ObjectInfo>> SimulatedCsp::List(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = CheckUp(); !s.ok()) {
+    ++counters_.failed_requests;
+    return s;
+  }
+  ++counters_.lists;
+  std::vector<ObjectInfo> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) {
+      break;
+    }
+    // Id-keyed providers report one row per stored object, so a name
+    // uploaded twice shows up twice (the heterogeneity in paper §3.1).
+    for (const StoredObject& version : it->second) {
+      out.push_back(ObjectInfo{it->first, version.data.size(), version.modified_time});
+    }
+  }
+  return out;
+}
+
+Status SimulatedCsp::Upload(std::string_view name, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = CheckUp(); !s.ok()) {
+    ++counters_.failed_requests;
+    return s;
+  }
+  auto& versions = objects_[std::string(name)];
+  uint64_t delta = data.size();
+  if (options_.naming == NamingPolicy::kNameKeyed && !versions.empty()) {
+    delta = data.size() >= versions.back().data.size()
+                ? data.size() - versions.back().data.size()
+                : 0;
+  }
+  if (options_.quota_bytes > 0 && used_bytes_ + delta > options_.quota_bytes) {
+    if (versions.empty()) {
+      objects_.erase(std::string(name));
+    }
+    return ResourceExhaustedError(StrCat(options_.id, ": quota exceeded"));
+  }
+
+  StoredObject object;
+  object.data.assign(data.begin(), data.end());
+  object.modified_time = now_;
+  if (options_.naming == NamingPolicy::kNameKeyed && !versions.empty()) {
+    used_bytes_ -= versions.back().data.size();
+    versions.back() = std::move(object);
+  } else {
+    versions.push_back(std::move(object));
+  }
+  used_bytes_ += data.size();
+  ++counters_.uploads;
+  counters_.bytes_uploaded += data.size();
+  return OkStatus();
+}
+
+Result<Bytes> SimulatedCsp::Download(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = CheckUp(); !s.ok()) {
+    ++counters_.failed_requests;
+    return s;
+  }
+  auto it = objects_.find(std::string(name));
+  if (it == objects_.end() || it->second.empty()) {
+    return NotFoundError(StrCat(options_.id, ": no object named ", name));
+  }
+  ++counters_.downloads;
+  counters_.bytes_downloaded += it->second.back().data.size();
+  return it->second.back().data;
+}
+
+Status SimulatedCsp::Delete(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = CheckUp(); !s.ok()) {
+    ++counters_.failed_requests;
+    return s;
+  }
+  ++counters_.deletes;
+  auto it = objects_.find(std::string(name));
+  if (it == objects_.end()) {
+    return OkStatus();  // idempotent
+  }
+  for (const StoredObject& version : it->second) {
+    used_bytes_ -= version.data.size();
+  }
+  objects_.erase(it);
+  return OkStatus();
+}
+
+Status SimulatedCsp::CorruptObject(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(std::string(name));
+  if (it == objects_.end() || it->second.empty()) {
+    return NotFoundError(StrCat(options_.id, ": no object named ", name));
+  }
+  for (StoredObject& version : it->second) {
+    for (size_t i = 0; i < version.data.size(); i += 7) {
+      version.data[i] ^= 0x5A;
+    }
+  }
+  return OkStatus();
+}
+
+uint64_t SimulatedCsp::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t count = 0;
+  for (const auto& [name, versions] : objects_) {
+    count += versions.size();
+  }
+  return count;
+}
+
+}  // namespace cyrus

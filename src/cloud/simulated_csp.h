@@ -1,0 +1,123 @@
+// An in-memory simulated cloud storage provider.
+//
+// Substitutes for the commercial CSPs of the paper's prototype while
+// preserving the semantics CYRUS's design actually depends on:
+//   - naming policy: name-keyed stores (Dropbox-style) overwrite an object
+//     uploaded under an existing name; id-keyed stores (Google-Drive-style)
+//     keep both, and List then shows duplicate names (paper §3.1);
+//   - no locking primitives;
+//   - quotas (kResourceExhausted once exceeded);
+//   - outages (kUnavailable while down) for reliability experiments;
+//   - token authentication;
+//   - request/byte counters, which the benchmarks read (e.g. Figure 18's
+//     shares-per-CSP counts).
+#ifndef SRC_CLOUD_SIMULATED_CSP_H_
+#define SRC_CLOUD_SIMULATED_CSP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/cloud/connector.h"
+
+namespace cyrus {
+
+enum class NamingPolicy {
+  kNameKeyed,  // upload to an existing name overwrites (Dropbox-like)
+  kIdKeyed,    // upload always creates a new object (Google-Drive-like)
+};
+
+struct SimulatedCspOptions {
+  std::string id;
+  NamingPolicy naming = NamingPolicy::kNameKeyed;
+  std::string expected_token = "token";
+  uint64_t quota_bytes = 0;  // 0 = unlimited
+};
+
+struct CspCounters {
+  uint64_t uploads = 0;
+  uint64_t downloads = 0;
+  uint64_t lists = 0;
+  uint64_t deletes = 0;
+  uint64_t failed_requests = 0;  // rejected while unavailable
+  uint64_t bytes_uploaded = 0;
+  uint64_t bytes_downloaded = 0;
+};
+
+class SimulatedCsp : public CloudConnector {
+ public:
+  explicit SimulatedCsp(SimulatedCspOptions options);
+
+  // CloudConnector:
+  std::string_view id() const override { return options_.id; }
+  Status Authenticate(const Credentials& credentials) override;
+  Result<std::vector<ObjectInfo>> List(std::string_view prefix) override;
+  Status Upload(std::string_view name, ByteSpan data) override;
+  Result<Bytes> Download(std::string_view name) override;
+  Status Delete(std::string_view name) override;
+
+  // --- Simulation controls (not part of the connector surface) ---
+
+  // Takes the provider down / brings it back; while down every operation
+  // fails with kUnavailable.
+  void set_available(bool available) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    available_ = available;
+  }
+  bool available() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return available_;
+  }
+
+  // Virtual timestamp applied to subsequently stored objects.
+  void set_time(double now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ = now;
+  }
+
+  // Flips bytes of a stored object in place (bit rot / tampering injection
+  // for error-correction tests). kNotFound if absent.
+  Status CorruptObject(std::string_view name);
+
+  uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_bytes_;
+  }
+  uint64_t object_count() const;
+  CspCounters counters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_ = CspCounters{};
+  }
+
+ private:
+  struct StoredObject {
+    Bytes data;
+    double modified_time = 0.0;
+  };
+
+  // Requires mutex_ held.
+  Status CheckUp() const;
+
+  // Connectors are called from the client's transfer thread pool; all
+  // state is guarded by one mutex (an in-memory store has no slow path
+  // worth finer locking).
+  mutable std::mutex mutex_;
+  SimulatedCspOptions options_;
+  bool authenticated_ = false;
+  bool available_ = true;
+  double now_ = 0.0;
+  uint64_t used_bytes_ = 0;
+  CspCounters counters_;
+  // name -> versions (newest last). Name-keyed stores keep one version.
+  std::map<std::string, std::vector<StoredObject>, std::less<>> objects_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CLOUD_SIMULATED_CSP_H_

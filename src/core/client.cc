@@ -1,0 +1,1251 @@
+#include "src/core/client.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/core/reliability.h"
+#include "src/crypto/naming.h"
+#include "src/meta/serialize.h"
+#include "src/rs/secret_sharing.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+// Decoding only needs dispersal-matrix rows up to the highest share index;
+// rows are a deterministic prefix for fixed (key, t), so a decoder built
+// with the maximum n can decode shares produced under any stored n.
+constexpr uint32_t kMaxShares = 255;
+
+// Wraps payload bytes in a length-prefixed envelope so the secret-sharing
+// padding can be trimmed without tracking the exact plaintext size.
+Bytes WrapEnvelope(ByteSpan payload) {
+  BinaryWriter w;
+  w.WriteU32(static_cast<uint32_t>(payload.size()));
+  Bytes out = w.TakeData();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Bytes> UnwrapEnvelope(ByteSpan envelope) {
+  BinaryReader r(envelope);
+  CYRUS_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+  if (len > r.remaining()) {
+    return DataLossError("metadata envelope length exceeds payload");
+  }
+  return Bytes(envelope.begin() + 4, envelope.begin() + 4 + len);
+}
+
+// Metadata share object name: "<base>.<index>.<generation>".
+//
+// The index must be recoverable by other clients; unlike chunk shares,
+// metadata shares embed it in the name (confidentiality still requires
+// meta_t shares from distinct CSPs plus the user's key string).
+//
+// The generation tags which *rewrite* of the metadata a share belongs to:
+// a version's metadata is republished after share migration, and a CSP
+// that was unreachable during the republish still holds a share of the old
+// plaintext. Mixing generations would decode garbage, so readers group
+// shares by generation and decode within one.
+std::string MetaShareName(const std::string& base, uint32_t index,
+                          std::string_view generation) {
+  return StrCat(base, ".", index, ".", generation);
+}
+
+// Short content tag for a metadata envelope (8 hex chars).
+std::string MetaGeneration(ByteSpan envelope) {
+  return Sha1::Hash(envelope).ToHex().substr(0, 8);
+}
+
+// Parses "<base>.<index>.<generation>"; returns false for other names.
+bool ParseMetaShareName(std::string_view object, std::string* base, uint32_t* index,
+                        std::string* generation) {
+  const size_t gen_dot = object.rfind('.');
+  if (gen_dot == std::string_view::npos || gen_dot + 1 >= object.size()) {
+    return false;
+  }
+  const size_t idx_dot = object.rfind('.', gen_dot - 1);
+  if (idx_dot == std::string_view::npos || idx_dot + 1 >= gen_dot) {
+    return false;
+  }
+  uint32_t value = 0;
+  for (size_t i = idx_dot + 1; i < gen_dot; ++i) {
+    if (object[i] < '0' || object[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint32_t>(object[i] - '0');
+  }
+  *base = std::string(object.substr(0, idx_dot));
+  *index = value;
+  *generation = std::string(object.substr(gen_dot + 1));
+  return true;
+}
+
+}  // namespace
+
+CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
+    : config_(std::move(config)),
+      chunker_(std::move(chunker)),
+      ring_(config_.ring_virtual_points),
+      selector_(std::make_unique<OptimalDownloadSelector>()) {
+  if (config_.transfer_concurrency > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.transfer_concurrency);
+  }
+}
+
+Result<std::unique_ptr<CyrusClient>> CyrusClient::Create(CyrusConfig config) {
+  if (config.t < 1) {
+    return InvalidArgumentError("privacy parameter t must be >= 1");
+  }
+  if (config.meta_t < 1) {
+    return InvalidArgumentError("metadata threshold meta_t must be >= 1");
+  }
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    return InvalidArgumentError("epsilon must be in (0, 1)");
+  }
+  if (config.key_string.empty()) {
+    return InvalidArgumentError("key string must not be empty");
+  }
+  CYRUS_ASSIGN_OR_RETURN(Chunker chunker, Chunker::Create(config.chunker));
+  return std::unique_ptr<CyrusClient>(
+      new CyrusClient(std::move(config), std::move(chunker)));
+}
+
+// ---------------------------------------------------------------------------
+// CSP account management
+// ---------------------------------------------------------------------------
+
+Result<int> CyrusClient::AddCsp(std::shared_ptr<CloudConnector> connector,
+                                CspProfile profile, const Credentials& credentials) {
+  if (connector == nullptr) {
+    return InvalidArgumentError("connector must not be null");
+  }
+  CYRUS_RETURN_IF_ERROR(connector->Authenticate(credentials));
+  const std::string name(connector->id());
+  const int index = registry_.Add(std::move(connector), profile);
+  Status ring_status = ring_.AddCsp(index, name, profile.cluster);
+  if (!ring_status.ok()) {
+    // Roll the registry entry back to keep ring and registry consistent.
+    (void)registry_.SetState(index, CspState::kRemoved);
+    return ring_status;
+  }
+  monitor_.RecordProbe(index, now_, true);
+  return index;
+}
+
+Status CyrusClient::RemoveCsp(int csp) {
+  CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
+  if (state == CspState::kRemoved) {
+    return OkStatus();
+  }
+  CYRUS_RETURN_IF_ERROR(registry_.SetState(csp, CspState::kRemoved));
+  if (ring_.Contains(csp)) {
+    CYRUS_RETURN_IF_ERROR(ring_.RemoveCsp(csp));
+  }
+  // Metadata is small: re-scatter every version to the remaining CSPs now.
+  // Chunk shares migrate lazily on subsequent downloads (paper §5.5).
+  TransferReport report;
+  for (const FileVersion* version : tree_.AllVersions()) {
+    CYRUS_RETURN_IF_ERROR(UploadMetadata(*version, report));
+  }
+  return OkStatus();
+}
+
+Status CyrusClient::MarkCspFailed(int csp) {
+  CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
+  monitor_.RecordProbe(csp, now_, false);
+  if (state != CspState::kActive) {
+    return OkStatus();
+  }
+  CYRUS_RETURN_IF_ERROR(registry_.SetState(csp, CspState::kFailed));
+  if (ring_.Contains(csp)) {
+    CYRUS_RETURN_IF_ERROR(ring_.RemoveCsp(csp));
+  }
+  return OkStatus();
+}
+
+Status CyrusClient::MarkCspRecovered(int csp) {
+  CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
+  monitor_.RecordProbe(csp, now_, true);
+  if (state != CspState::kFailed) {
+    return OkStatus();
+  }
+  CYRUS_RETURN_IF_ERROR(registry_.SetState(csp, CspState::kActive));
+  CYRUS_ASSIGN_OR_RETURN(std::string name, registry_.name(csp));
+  CYRUS_ASSIGN_OR_RETURN(CspProfile profile, registry_.profile(csp));
+  return ring_.AddCsp(csp, name, profile.cluster);
+}
+
+Status CyrusClient::AssignClusters(const std::vector<int>& cluster_per_csp) {
+  if (cluster_per_csp.size() != registry_.size()) {
+    return InvalidArgumentError(StrCat("got ", cluster_per_csp.size(),
+                                       " cluster ids for ", registry_.size(), " CSPs"));
+  }
+  for (size_t i = 0; i < cluster_per_csp.size(); ++i) {
+    const int csp = static_cast<int>(i);
+    CYRUS_ASSIGN_OR_RETURN(CspProfile profile, registry_.profile(csp));
+    profile.cluster = cluster_per_csp[i];
+    CYRUS_RETURN_IF_ERROR(registry_.SetProfile(csp, profile));
+    if (ring_.Contains(csp)) {
+      CYRUS_RETURN_IF_ERROR(ring_.RemoveCsp(csp));
+      CYRUS_ASSIGN_OR_RETURN(std::string name, registry_.name(csp));
+      CYRUS_RETURN_IF_ERROR(ring_.AddCsp(csp, name, profile.cluster));
+    }
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> CyrusClient::CurrentN() const {
+  const size_t max_n = config_.cluster_aware ? registry_.NumActiveClusters()
+                                             : registry_.ActiveIndices().size();
+  double p = monitor_.MaxFailureProbability();
+  if (p <= 0.0) {
+    p = config_.default_failure_prob;
+  }
+  return MinSharesForReliability(config_.t, p, config_.epsilon,
+                                 static_cast<uint32_t>(max_n));
+}
+
+void CyrusClient::set_download_selector(std::unique_ptr<DownloadSelector> selector) {
+  selector_ = std::move(selector);
+}
+
+// ---------------------------------------------------------------------------
+// Share placement and scatter/gather
+// ---------------------------------------------------------------------------
+
+Result<std::vector<int>> CyrusClient::PlaceShares(const Sha1Digest& chunk_id,
+                                                  uint32_t n) const {
+  return config_.cluster_aware ? ring_.SelectCspsClusterAware(chunk_id, n)
+                               : ring_.SelectCsps(chunk_id, n);
+}
+
+Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
+    const Sha1Digest& chunk_id, ByteSpan chunk, uint32_t n, const std::string& file,
+    TransferReport& report) {
+  CYRUS_ASSIGN_OR_RETURN(SecretSharingCodec codec,
+                         SecretSharingCodec::Create(config_.key_string, config_.t, n));
+  CYRUS_ASSIGN_OR_RETURN(std::vector<Share> shares, codec.Encode(chunk));
+  CYRUS_ASSIGN_OR_RETURN(std::vector<int> placement, PlaceShares(chunk_id, n));
+
+  // Phase 1: issue all n uploads concurrently on the transfer pool (the
+  // prototype's per-connector threads, §5.3). Placement targets are
+  // distinct, so the parallel requests never race on a provider decision;
+  // connectors themselves are thread-safe.
+  std::vector<Status> first_pass(n, InternalError("no upload attempted"));
+  auto upload_share = [&](size_t i) {
+    const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
+    auto conn = registry_.connector(placement[i]);
+    first_pass[i] = conn.ok() ? (*conn)->Upload(object, shares[i].data) : conn.status();
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(n, upload_share);
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      upload_share(i);
+    }
+  }
+
+  // Phase 2 (sequential): bookkeeping plus the failover path for shares
+  // whose first upload failed. Failovers must avoid every CSP that already
+  // holds a share - including targets of *later* shares whose first-pass
+  // upload succeeded but has not been book-kept yet.
+  std::vector<int> reserved;
+  for (uint32_t j = 0; j < n; ++j) {
+    if (first_pass[j].ok()) {
+      reserved.push_back(placement[j]);
+    }
+  }
+  std::vector<ShareLocation> locations;
+  std::vector<int> used;
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
+    int target = placement[i];
+    Status upload = first_pass[i];
+    report.records.push_back(TransferRecord{TransferKind::kPut, target, object,
+                                            shares[i].data.size(), upload.ok()});
+    if (upload.ok()) {
+      monitor_.RecordProbe(target, now_, true);
+      used.push_back(target);
+      locations.push_back(ShareLocation{chunk_id, shares[i].index, target});
+      continue;
+    }
+    // Retry on replacements from the ring, excluding CSPs already holding
+    // (or already refusing) a share of this chunk. Only connectivity
+    // errors indict the provider; a full quota just makes it ineligible
+    // for *this* share.
+    std::vector<int> exhausted = reserved;
+    for (int held : used) {
+      if (std::find(exhausted.begin(), exhausted.end(), held) == exhausted.end()) {
+        exhausted.push_back(held);
+      }
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (upload.code() == StatusCode::kUnavailable ||
+          upload.code() == StatusCode::kPermissionDenied) {
+        CYRUS_RETURN_IF_ERROR(MarkCspFailed(target));
+      } else {
+        exhausted.push_back(target);
+      }
+      auto replacement = ring_.SelectCspsExcluding(chunk_id, 1, exhausted);
+      if (!replacement.ok()) {
+        break;  // no CSP left to try
+      }
+      target = replacement->front();
+      // Defense in depth: never store two shares of one chunk on the same
+      // provider (the exclusion list above should already prevent this).
+      if (std::find(used.begin(), used.end(), target) != used.end() ||
+          std::find(reserved.begin(), reserved.end(), target) != reserved.end()) {
+        exhausted.push_back(target);
+        upload = InternalError("placement collision");
+        continue;
+      }
+      CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
+      upload = conn->Upload(object, shares[i].data);
+      report.records.push_back(TransferRecord{TransferKind::kPut, target, object,
+                                              shares[i].data.size(), upload.ok()});
+      if (upload.ok()) {
+        monitor_.RecordProbe(target, now_, true);
+        used.push_back(target);
+        reserved.push_back(target);
+        locations.push_back(ShareLocation{chunk_id, shares[i].index, target});
+        break;
+      }
+    }
+  }
+  if (locations.size() < config_.t) {
+    return UnavailableError(StrCat("only ", locations.size(), " of ", n,
+                                   " shares uploaded; need at least t=", config_.t));
+  }
+  aggregator_.ExpectChunk(file, chunk_id, static_cast<uint32_t>(locations.size()));
+  for (size_t i = 0; i < locations.size(); ++i) {
+    aggregator_.OnShareEvent(file, chunk_id, /*success=*/true);
+  }
+  return locations;
+}
+
+Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
+                                       const ChunkRecord& chunk,
+                                       const std::vector<int>& selected_csps,
+                                       std::vector<ShareLocation>& updated_shares,
+                                       size_t& migrated, TransferReport& report) {
+  // Current locations: prefer the global chunk table (it sees migrations
+  // from other files) and fall back to this version's ShareMap.
+  std::vector<ShareLocation> locations;
+  if (const ChunkEntry* entry = chunk_table_.Find(chunk.id); entry != nullptr) {
+    for (const ChunkShare& s : entry->shares) {
+      locations.push_back(ShareLocation{chunk.id, s.share_index, s.csp});
+    }
+  } else {
+    locations = version.SharesOfChunk(chunk.id);
+  }
+
+  auto location_state = [&](const ShareLocation& loc) {
+    auto state = registry_.state(loc.csp);
+    return state.ok() ? *state : CspState::kRemoved;
+  };
+
+  // Prefetch the optimizer-selected shares concurrently on the transfer
+  // pool (the synchronous fallback path below reuses these results).
+  std::map<int, Result<Bytes>> prefetched;
+  {
+    std::vector<const ShareLocation*> to_fetch;
+    for (int csp : selected_csps) {
+      for (const ShareLocation& loc : locations) {
+        if (loc.csp == csp && location_state(loc) == CspState::kActive) {
+          to_fetch.push_back(&loc);
+          break;
+        }
+      }
+    }
+    if (pool_ != nullptr && to_fetch.size() > 1) {
+      std::vector<Result<Bytes>> results(to_fetch.size(),
+                                         InternalError("not fetched"));
+      pool_->ParallelFor(to_fetch.size(), [&](size_t k) {
+        auto conn = registry_.connector(to_fetch[k]->csp);
+        results[k] = conn.ok() ? (*conn)->Download(ShareName(
+                                     chunk.id, to_fetch[k]->share_index, chunk.t))
+                               : Result<Bytes>(conn.status());
+      });
+      for (size_t k = 0; k < to_fetch.size(); ++k) {
+        prefetched.emplace(to_fetch[k]->csp, std::move(results[k]));
+      }
+    }
+  }
+
+  // Download t shares, preferring the optimizer's CSP choices.
+  std::vector<Share> shares;
+  std::set<int> attempted;
+  auto try_download = [&](const ShareLocation& loc) -> bool {
+    if (!attempted.insert(loc.csp).second) {
+      return false;
+    }
+    const std::string object = ShareName(chunk.id, loc.share_index, chunk.t);
+    Result<Bytes> data = InternalError("not fetched");
+    if (auto hit = prefetched.find(loc.csp); hit != prefetched.end()) {
+      data = std::move(hit->second);
+      prefetched.erase(hit);
+    } else {
+      auto conn = registry_.connector(loc.csp);
+      if (!conn.ok()) {
+        return false;
+      }
+      data = (*conn)->Download(object);
+    }
+    report.records.push_back(TransferRecord{
+        TransferKind::kGet, loc.csp, object,
+        data.ok() ? data->size() : uint64_t{0}, data.ok()});
+    if (!data.ok()) {
+      // Only connectivity failures indict the CSP; a missing object is a
+      // metadata staleness problem, not an outage.
+      if (data.status().code() == StatusCode::kUnavailable) {
+        (void)MarkCspFailed(loc.csp);
+      }
+      return false;
+    }
+    monitor_.RecordProbe(loc.csp, now_, true);
+    shares.push_back(Share{loc.share_index, *std::move(data)});
+    aggregator_.OnShareEvent(version.file_name, chunk.id, /*success=*/true);
+    return true;
+  };
+
+  aggregator_.ExpectChunk(version.file_name, chunk.id, chunk.t);
+  for (int csp : selected_csps) {
+    if (shares.size() >= chunk.t) {
+      break;
+    }
+    for (const ShareLocation& loc : locations) {
+      if (loc.csp == csp && location_state(loc) == CspState::kActive) {
+        (void)try_download(loc);
+        break;
+      }
+    }
+  }
+  // Fall back to any remaining active location if the optimizer's picks
+  // failed under us.
+  for (const ShareLocation& loc : locations) {
+    if (shares.size() >= chunk.t) {
+      break;
+    }
+    if (location_state(loc) == CspState::kActive) {
+      (void)try_download(loc);
+    }
+  }
+  if (shares.size() < chunk.t) {
+    return DataLossError(StrCat("chunk ", chunk.id.ToHex(), ": only ", shares.size(),
+                                " of t=", chunk.t, " shares reachable"));
+  }
+
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec decoder,
+      SecretSharingCodec::Create(config_.key_string, chunk.t, kMaxShares));
+  CYRUS_ASSIGN_OR_RETURN(Bytes data, decoder.Decode(shares, chunk.size));
+  if (Sha1::Hash(data) != chunk.id) {
+    // A share is corrupted (bit rot or a tampering provider). Pull every
+    // reachable share and run the error-correcting decode (§5.1 footnote
+    // 9); the redundancy beyond t is exactly what pays for this.
+    for (const ShareLocation& loc : locations) {
+      if (location_state(loc) == CspState::kActive) {
+        (void)try_download(loc);
+      }
+    }
+    auto corrected = decoder.DecodeWithErrorCorrection(shares, chunk.size);
+    if (!corrected.ok() || Sha1::Hash(corrected->chunk) != chunk.id) {
+      return DataLossError(StrCat("chunk ", chunk.id.ToHex(),
+                                  " failed integrity check after decode"));
+    }
+    data = std::move(corrected->chunk);
+    // Repair: overwrite each corrupted share with freshly encoded bytes at
+    // its existing location.
+    for (uint32_t bad_index : corrected->corrupted_indices) {
+      for (const ShareLocation& loc : locations) {
+        if (loc.share_index != bad_index ||
+            location_state(loc) != CspState::kActive) {
+          continue;
+        }
+        auto fresh = decoder.EncodeShare(data, bad_index);
+        auto conn = registry_.connector(loc.csp);
+        if (fresh.ok() && conn.ok()) {
+          const std::string object = ShareName(chunk.id, bad_index, chunk.t);
+          Status repaired = (*conn)->Upload(object, fresh->data);
+          report.records.push_back(TransferRecord{TransferKind::kPut, loc.csp, object,
+                                                  fresh->data.size(), repaired.ok()});
+        }
+        break;
+      }
+    }
+  }
+
+  // Lazy share migration (paper §5.5, Figure 9): regenerate shares whose
+  // CSP is failed or removed and place them on fresh CSPs.
+  std::vector<ShareLocation> repaired = locations;
+  for (ShareLocation& loc : repaired) {
+    if (location_state(loc) == CspState::kActive) {
+      continue;
+    }
+    std::vector<int> exclude;
+    uint32_t max_index = 0;
+    for (const ShareLocation& l : repaired) {
+      if (location_state(l) == CspState::kActive) {
+        exclude.push_back(l.csp);
+      }
+      max_index = std::max(max_index, l.share_index);
+    }
+    auto replacement = ring_.SelectCspsExcluding(chunk.id, 1, exclude);
+    if (!replacement.ok()) {
+      continue;  // nowhere to migrate; retry on a later download
+    }
+    const uint32_t new_index = max_index + 1;
+    if (new_index >= kMaxShares) {
+      continue;
+    }
+    CYRUS_ASSIGN_OR_RETURN(Share fresh, decoder.EncodeShare(data, new_index));
+    const int target = replacement->front();
+    CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
+    const std::string object = ShareName(chunk.id, new_index, chunk.t);
+    Status upload = conn->Upload(object, fresh.data);
+    report.records.push_back(TransferRecord{TransferKind::kPut, target, object,
+                                            fresh.data.size(), upload.ok()});
+    if (!upload.ok()) {
+      (void)MarkCspFailed(target);
+      continue;
+    }
+    const int32_t old_csp = loc.csp;
+    const uint32_t old_index = loc.share_index;
+    loc.csp = target;
+    loc.share_index = new_index;
+    (void)chunk_table_.MoveShare(chunk.id, old_csp, old_index, target, new_index);
+    ++migrated;
+  }
+  updated_shares = std::move(repaired);
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Metadata scatter / fetch / sync
+// ---------------------------------------------------------------------------
+
+Status CyrusClient::UploadMetadata(const FileVersion& version, TransferReport& report) {
+  const std::vector<int> active = registry_.ActiveIndices();
+  if (active.size() < config_.meta_t) {
+    return FailedPreconditionError(
+        StrCat("metadata needs ", config_.meta_t, " CSPs but only ", active.size(),
+               " are active"));
+  }
+  // Metadata shares go to every active CSP (paper footnote 3), secret-
+  // shared with threshold meta_t.
+  const uint32_t m = static_cast<uint32_t>(std::min<size_t>(active.size(), kMaxShares));
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec codec,
+      SecretSharingCodec::Create(config_.key_string, config_.meta_t, m));
+  const Bytes envelope = WrapEnvelope(ToWireForm(version).Serialize());
+  CYRUS_ASSIGN_OR_RETURN(std::vector<Share> shares, codec.Encode(envelope));
+
+  const std::string base = MetadataName(version.id);
+  // The generation is hashed over the *padded* envelope (what a decoder
+  // reconstructs), so readers can verify a share group decoded cleanly.
+  Bytes padded_envelope = envelope;
+  padded_envelope.resize(ShareSize(envelope.size(), config_.meta_t) * config_.meta_t, 0);
+  const std::string generation = MetaGeneration(padded_envelope);
+  size_t uploaded = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    const int csp = active[i];
+    auto conn = registry_.connector(csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    const std::string object = MetaShareName(base, shares[i].index, generation);
+    Status upload = (*conn)->Upload(object, shares[i].data);
+    report.records.push_back(TransferRecord{TransferKind::kPutMeta, csp, object,
+                                            shares[i].data.size(), upload.ok()});
+    if (!upload.ok()) {
+      if (upload.code() == StatusCode::kUnavailable ||
+          upload.code() == StatusCode::kPermissionDenied) {
+        CYRUS_RETURN_IF_ERROR(MarkCspFailed(csp));
+      }
+      continue;  // e.g. quota: the CSP is full, not down
+    }
+    ++uploaded;
+    // Metadata for a version is mutable (share migration rewrites the
+    // ShareMap) and the active set changes over time, so a CSP may hold a
+    // share object from an earlier upload under a *different* index. A
+    // reader mixing that stale share with fresh ones would decode garbage;
+    // make each CSP hold exactly its assigned share.
+    auto existing = (*conn)->List(base);
+    if (existing.ok()) {
+      for (const ObjectInfo& stale : *existing) {
+        if (stale.name != object) {
+          (void)(*conn)->Delete(stale.name);
+        }
+      }
+    }
+  }
+  if (uploaded < config_.meta_t) {
+    return UnavailableError(StrCat("metadata for ", version.file_name, " reached only ",
+                                   uploaded, " CSPs; need ", config_.meta_t));
+  }
+  known_meta_bases_.insert(base);
+  return OkStatus();
+}
+
+Result<FileVersion> CyrusClient::FetchMetadata(const std::string& base,
+                                               TransferReport& report) {
+  // Find shares of this base across active CSPs, grouped by generation: a
+  // CSP that slept through a republish still holds an old-generation share
+  // that must never be mixed with fresh ones.
+  std::map<std::string, std::map<uint32_t, int>> generations;  // gen -> idx -> csp
+  for (int csp : registry_.ActiveIndices()) {
+    auto conn = registry_.connector(csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    auto listing = (*conn)->List(base);
+    if (!listing.ok()) {
+      (void)MarkCspFailed(csp);
+      continue;
+    }
+    for (const ObjectInfo& object : *listing) {
+      std::string parsed_base;
+      uint32_t index = 0;
+      std::string generation;
+      if (ParseMetaShareName(object.name, &parsed_base, &index, &generation) &&
+          parsed_base == base) {
+        generations[generation].emplace(index, csp);
+      }
+    }
+  }
+  // Try generations by decreasing share availability; the current one is
+  // on every reachable CSP, stale ones survive only on stragglers.
+  std::vector<const std::pair<const std::string, std::map<uint32_t, int>>*> order;
+  for (const auto& entry : generations) {
+    order.push_back(&entry);
+  }
+  std::stable_sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return a->second.size() > b->second.size();
+  });
+
+  Bytes envelope;
+  bool decoded = false;
+  for (const auto* entry : order) {
+    const auto& [generation, index_to_csp] = *entry;
+    if (index_to_csp.size() < config_.meta_t) {
+      continue;
+    }
+    std::vector<Share> shares;
+    for (const auto& [index, csp] : index_to_csp) {
+      if (shares.size() >= config_.meta_t) {
+        break;
+      }
+      auto conn = registry_.connector(csp);
+      if (!conn.ok()) {
+        continue;
+      }
+      const std::string object = MetaShareName(base, index, generation);
+      auto data = (*conn)->Download(object);
+      report.records.push_back(TransferRecord{TransferKind::kGetMeta, csp, object,
+                                              data.ok() ? data->size() : uint64_t{0},
+                                              data.ok()});
+      if (!data.ok()) {
+        (void)MarkCspFailed(csp);
+        continue;
+      }
+      shares.push_back(Share{index, *std::move(data)});
+    }
+    if (shares.size() < config_.meta_t) {
+      continue;
+    }
+    CYRUS_ASSIGN_OR_RETURN(
+        SecretSharingCodec decoder,
+        SecretSharingCodec::Create(config_.key_string, config_.meta_t, kMaxShares));
+    const size_t envelope_size = shares.front().data.size() * config_.meta_t;
+    auto decoded_envelope = decoder.Decode(shares, envelope_size);
+    if (!decoded_envelope.ok() ||
+        MetaGeneration(*decoded_envelope) != generation) {
+      continue;  // inconsistent shares within the group; try the next gen
+    }
+    envelope = *std::move(decoded_envelope);
+    decoded = true;
+    break;
+  }
+  if (!decoded) {
+    return UnavailableError(
+        StrCat("metadata ", base, ": no generation has ", config_.meta_t,
+               " consistent shares reachable"));
+  }
+  CYRUS_ASSIGN_OR_RETURN(Bytes payload, UnwrapEnvelope(envelope));
+  CYRUS_ASSIGN_OR_RETURN(FileVersion version, FileVersion::Deserialize(payload));
+  if (MetadataName(version.id) != base) {
+    return DataLossError(StrCat("metadata ", base, " decodes to mismatched version id"));
+  }
+  return ToLocalForm(std::move(version));
+}
+
+FileVersion CyrusClient::ToWireForm(const FileVersion& version) const {
+  // Rewrite local registry indices to stable connector names via the
+  // csp_directory, so any client can interpret the ShareMap (registry
+  // indices differ between devices and sessions).
+  FileVersion wire = version;
+  wire.csp_directory.clear();
+  std::map<int32_t, int32_t> local_to_dir;
+  for (ShareLocation& loc : wire.shares) {
+    auto it = local_to_dir.find(loc.csp);
+    if (it == local_to_dir.end()) {
+      auto name_or = registry_.name(loc.csp);
+      const std::string stable =
+          name_or.ok() ? *name_or : StrCat("<unknown-", loc.csp, ">");
+      it = local_to_dir
+               .emplace(loc.csp, static_cast<int32_t>(wire.csp_directory.size()))
+               .first;
+      wire.csp_directory.push_back(stable);
+    }
+    loc.csp = it->second;
+  }
+  return wire;
+}
+
+FileVersion CyrusClient::ToLocalForm(FileVersion version) const {
+  // Map the directory of stable connector names back to this client's
+  // registry indices; providers this client has no account at become -1
+  // (unreachable, candidates for lazy migration).
+  std::vector<int32_t> dir_to_local(version.csp_directory.size(), -1);
+  for (size_t k = 0; k < version.csp_directory.size(); ++k) {
+    auto index = registry_.IndexByName(version.csp_directory[k]);
+    if (index.ok()) {
+      dir_to_local[k] = *index;
+    }
+  }
+  for (ShareLocation& loc : version.shares) {
+    loc.csp = (loc.csp >= 0 && static_cast<size_t>(loc.csp) < dir_to_local.size())
+                  ? dir_to_local[loc.csp]
+                  : -1;
+  }
+  version.csp_directory.clear();  // back to local in-memory form
+  return version;
+}
+
+LocalCacheSnapshot CyrusClient::ExportCache() const {
+  LocalCacheSnapshot snapshot;
+  for (const FileVersion* version : tree_.AllVersions()) {
+    snapshot.versions.push_back(ToWireForm(*version));
+  }
+  snapshot.chunk_table = chunk_table_;
+  snapshot.known_meta_bases = known_meta_bases_;
+  return snapshot;
+}
+
+Status CyrusClient::ImportCache(const LocalCacheSnapshot& snapshot) {
+  tree_ = VersionTree();
+  chunk_table_ = ChunkTable();
+  known_meta_bases_.clear();
+  for (const FileVersion& wire : snapshot.versions) {
+    FileVersion version = ToLocalForm(wire);
+    CYRUS_RETURN_IF_ERROR(version.Validate());
+    CYRUS_RETURN_IF_ERROR(tree_.Insert(version));
+    // The chunk table is rebuilt from the versions rather than trusted
+    // from the snapshot: its share locations are registry-local and the
+    // rebuild reproduces refcounts exactly.
+    CYRUS_RETURN_IF_ERROR(RegisterVersionChunks(version));
+  }
+  known_meta_bases_ = snapshot.known_meta_bases;
+  return OkStatus();
+}
+
+Status CyrusClient::RegisterVersionChunks(const FileVersion& version) {
+  std::set<Sha1Digest> seen;
+  for (const ChunkRecord& chunk : version.chunks) {
+    if (!seen.insert(chunk.id).second) {
+      continue;  // duplicate chunk within the file: count once per version
+    }
+    if (chunk_table_.Contains(chunk.id)) {
+      CYRUS_RETURN_IF_ERROR(chunk_table_.AddRef(chunk.id));
+      continue;
+    }
+    ChunkEntry entry;
+    entry.size = chunk.size;
+    entry.t = chunk.t;
+    entry.n = chunk.n;
+    for (const ShareLocation& loc : version.SharesOfChunk(chunk.id)) {
+      entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+    }
+    CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(chunk.id, std::move(entry)));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<Conflict>> CyrusClient::SyncMetadata() {
+  // One listing pass over the active CSPs discovers every metadata base.
+  std::set<std::string> bases;
+  for (int csp : registry_.ActiveIndices()) {
+    auto conn = registry_.connector(csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    auto listing = (*conn)->List("meta-");
+    if (!listing.ok()) {
+      (void)MarkCspFailed(csp);
+      continue;
+    }
+    monitor_.RecordProbe(csp, now_, true);
+    for (const ObjectInfo& object : *listing) {
+      std::string base;
+      uint32_t index = 0;
+      std::string generation;
+      if (ParseMetaShareName(object.name, &base, &index, &generation)) {
+        bases.insert(base);
+      }
+    }
+  }
+
+  TransferReport report;
+  std::set<std::string> touched_names;
+  for (const std::string& base : bases) {
+    if (known_meta_bases_.count(base) > 0) {
+      continue;
+    }
+    auto version = FetchMetadata(base, report);
+    if (!version.ok()) {
+      continue;  // unreachable this round; retried on the next sync
+    }
+    CYRUS_RETURN_IF_ERROR(version->Validate());
+    if (!tree_.Contains(version->id)) {
+      CYRUS_RETURN_IF_ERROR(tree_.Insert(*version));
+      CYRUS_RETURN_IF_ERROR(RegisterVersionChunks(*version));
+      touched_names.insert(version->file_name);
+    }
+    known_meta_bases_.insert(base);
+  }
+
+  // Report user-level conflicts: names with several live heads (paper
+  // Figure 8's two cases both surface this way).
+  std::vector<Conflict> conflicts;
+  for (const std::string& name : touched_names) {
+    std::vector<const FileVersion*> live;
+    for (const FileVersion* head : tree_.Heads(name)) {
+      if (!head->deleted) {
+        live.push_back(head);
+      }
+    }
+    if (live.size() < 2) {
+      continue;
+    }
+    bool all_roots = true;
+    std::vector<Sha1Digest> ids;
+    for (const FileVersion* head : live) {
+      all_roots &= IsNullDigest(head->prev_id);
+      ids.push_back(head->id);
+    }
+    conflicts.push_back(Conflict{
+        all_roots ? ConflictType::kSameName : ConflictType::kDivergedVersions, name,
+        std::move(ids)});
+  }
+  return conflicts;
+}
+
+Status CyrusClient::Recover() {
+  tree_ = VersionTree();
+  chunk_table_ = ChunkTable();
+  known_meta_bases_.clear();
+  return SyncMetadata().status();
+}
+
+// ---------------------------------------------------------------------------
+// File operations
+// ---------------------------------------------------------------------------
+
+Sha1Digest CyrusClient::ParentFor(std::string_view name) const {
+  const FileVersion* newest = nullptr;
+  for (const FileVersion* head : tree_.Heads(name)) {
+    if (newest == nullptr || head->modified_time > newest->modified_time ||
+        (head->modified_time == newest->modified_time && head->id > newest->id)) {
+      newest = head;
+    }
+  }
+  return newest != nullptr ? newest->id : Sha1Digest{};
+}
+
+Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
+  if (name.empty()) {
+    return InvalidArgumentError("file name must not be empty");
+  }
+  // Algorithm 2 reads the head from the *local* tree (metadata sync runs as
+  // its own service); a stale local tree is exactly what produces the
+  // Figure 8 conflicts, which are detected on download instead of blocking
+  // the upload.
+  PutResult result;
+  result.content_bytes = content.size();
+
+  const Sha1Digest content_hash = Sha1::Hash(content);
+  const Sha1Digest parent = ParentFor(name);
+  if (!IsNullDigest(parent)) {
+    const FileVersion* head = tree_.Find(parent);
+    if (head != nullptr && !head->deleted && head->content_id == content_hash) {
+      result.unchanged = true;
+      result.version_id = head->id;
+      return result;
+    }
+  }
+  result.version_id = ComputeVersionId(content_hash, parent, name);
+  if (tree_.Contains(result.version_id)) {
+    // Identical (content, parent, name): re-putting is a no-op.
+    result.unchanged = true;
+    return result;
+  }
+
+  // Eq. (1) sizes n; if the failure budget is unreachable with the CSPs
+  // currently active (e.g. some are marked failed), degrade to the widest
+  // feasible scatter rather than refusing writes - the paper's "no shares
+  // are uploaded to that CSP until it is back" implies exactly this.
+  uint32_t n;
+  if (auto n_or = CurrentN(); n_or.ok()) {
+    n = *n_or;
+  } else {
+    const size_t max_n = config_.cluster_aware ? registry_.NumActiveClusters()
+                                               : registry_.ActiveIndices().size();
+    if (max_n < config_.t) {
+      return n_or.status();
+    }
+    n = static_cast<uint32_t>(max_n);
+  }
+  result.n = n;
+
+  FileVersion version;
+  version.id = result.version_id;
+  version.content_id = content_hash;
+  version.prev_id = parent;
+  version.client_id = config_.client_id;
+  version.file_name = std::string(name);
+  version.modified_time = now_;
+  version.size = content.size();
+
+  std::set<Sha1Digest> shares_recorded;
+  for (const ChunkSpan& span : chunker_.Split(content)) {
+    const ByteSpan chunk_bytes = content.subspan(span.offset, span.size);
+    const Sha1Digest chunk_id = Sha1::Hash(chunk_bytes);
+    ++result.total_chunks;
+
+    const ChunkEntry* existing = chunk_table_.Find(chunk_id);
+    if (existing != nullptr) {
+      // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk is
+      // not stored" guard).
+      ++result.dedup_chunks;
+      version.chunks.push_back(
+          ChunkRecord{chunk_id, span.offset, span.size, existing->t, existing->n});
+      if (shares_recorded.insert(chunk_id).second) {
+        for (const ChunkShare& s : existing->shares) {
+          version.shares.push_back(ShareLocation{chunk_id, s.share_index, s.csp});
+        }
+        CYRUS_RETURN_IF_ERROR(chunk_table_.AddRef(chunk_id));
+      }
+      continue;
+    }
+
+    ++result.new_chunks;
+    TransferReport scatter_report;
+    CYRUS_ASSIGN_OR_RETURN(
+        std::vector<ShareLocation> locations,
+        ScatterChunk(chunk_id, chunk_bytes, n, version.file_name, scatter_report));
+    result.transfer.Append(scatter_report);
+    version.chunks.push_back(ChunkRecord{
+        chunk_id, span.offset, span.size, config_.t,
+        static_cast<uint32_t>(locations.size())});
+    ChunkEntry entry;
+    entry.size = span.size;
+    entry.t = config_.t;
+    entry.n = static_cast<uint32_t>(locations.size());
+    for (const ShareLocation& loc : locations) {
+      entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+    }
+    CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(chunk_id, std::move(entry)));
+    if (shares_recorded.insert(chunk_id).second) {
+      version.shares.insert(version.shares.end(), locations.begin(), locations.end());
+    }
+  }
+  result.uploaded_share_bytes = result.transfer.TotalBytes(TransferKind::kPut);
+
+  CYRUS_RETURN_IF_ERROR(version.Validate());
+  CYRUS_RETURN_IF_ERROR(tree_.Insert(version));
+
+  // Metadata publishes only after every chunk's shares are stored
+  // (Algorithm 2 line 10), so readers never see a half-uploaded file.
+  TransferReport meta_report;
+  CYRUS_RETURN_IF_ERROR(UploadMetadata(version, meta_report));
+  result.transfer.Append(meta_report);
+  return result;
+}
+
+Result<GetResult> CyrusClient::Get(std::string_view name) {
+  CYRUS_RETURN_IF_ERROR(SyncMetadata().status());
+
+  std::vector<const FileVersion*> live;
+  for (const FileVersion* head : tree_.Heads(name)) {
+    if (!head->deleted) {
+      live.push_back(head);
+    }
+  }
+  if (live.empty()) {
+    return NotFoundError(StrCat("no live version of ", name));
+  }
+  const FileVersion* newest = live.front();
+  for (const FileVersion* head : live) {
+    if (head->modified_time > newest->modified_time ||
+        (head->modified_time == newest->modified_time && head->id > newest->id)) {
+      newest = head;
+    }
+  }
+
+  CYRUS_ASSIGN_OR_RETURN(GetResult result, GetVersion(name, newest->id));
+  if (live.size() > 1) {
+    result.had_conflicts = true;
+    bool all_roots = true;
+    std::vector<Sha1Digest> ids;
+    for (const FileVersion* head : live) {
+      all_roots &= IsNullDigest(head->prev_id);
+      ids.push_back(head->id);
+    }
+    result.conflicts.push_back(Conflict{
+        all_roots ? ConflictType::kSameName : ConflictType::kDivergedVersions,
+        std::string(name), std::move(ids)});
+  }
+  return result;
+}
+
+Result<GetResult> CyrusClient::GetVersion(std::string_view name,
+                                          const Sha1Digest& version_id) {
+  const FileVersion* version = tree_.Find(version_id);
+  if (version == nullptr || version->file_name != name) {
+    return NotFoundError(StrCat("no version ", version_id.ToHex(), " of ", name));
+  }
+
+  GetResult result;
+  result.version_id = version_id;
+
+  // Build the download problem over *unique* chunks (duplicates within the
+  // file reuse the decoded bytes).
+  std::vector<Sha1Digest> unique_ids;
+  std::map<Sha1Digest, const ChunkRecord*> by_id;
+  for (const ChunkRecord& chunk : version->chunks) {
+    if (by_id.emplace(chunk.id, &chunk).second) {
+      unique_ids.push_back(chunk.id);
+    }
+  }
+
+  DownloadProblem problem;
+  problem.t = config_.t;
+  problem.client_bandwidth = config_.client_downlink_bytes_per_sec;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    auto profile = registry_.profile(static_cast<int>(i));
+    problem.csp_bandwidth.push_back(profile.ok() ? profile->download_bytes_per_sec
+                                                 : 1.0);
+  }
+  bool optimizable = true;
+  for (const Sha1Digest& id : unique_ids) {
+    const ChunkRecord* chunk = by_id[id];
+    if (chunk->t != config_.t) {
+      optimizable = false;  // mixed thresholds: fall back to direct gather
+    }
+    DownloadChunk dc;
+    dc.share_bytes = static_cast<double>(ShareSize(chunk->size, chunk->t));
+    std::vector<ShareLocation> locations;
+    if (const ChunkEntry* entry = chunk_table_.Find(id); entry != nullptr) {
+      for (const ChunkShare& s : entry->shares) {
+        locations.push_back(ShareLocation{id, s.share_index, s.csp});
+      }
+    } else {
+      locations = version->SharesOfChunk(id);
+    }
+    std::set<int> active_holders;
+    for (const ShareLocation& loc : locations) {
+      auto state = registry_.state(loc.csp);
+      if (state.ok() && *state == CspState::kActive) {
+        active_holders.insert(loc.csp);
+      }
+    }
+    dc.stored_at.assign(active_holders.begin(), active_holders.end());
+    problem.chunks.push_back(std::move(dc));
+  }
+
+  // Optimized downlink selection (Algorithm 1); on infeasibility (e.g. too
+  // few active holders) GatherChunk's fallback path still tries everything.
+  std::vector<std::vector<int>> selections(unique_ids.size());
+  if (optimizable) {
+    auto assignment = selector_->Select(problem);
+    if (assignment.ok()) {
+      selections = assignment->selected;
+    }
+  }
+
+  std::map<Sha1Digest, Bytes> decoded;
+  for (size_t i = 0; i < unique_ids.size(); ++i) {
+    const ChunkRecord* chunk = by_id[unique_ids[i]];
+    std::vector<ShareLocation> updated;
+    CYRUS_ASSIGN_OR_RETURN(
+        Bytes data, GatherChunk(*version, *chunk, selections[i], updated,
+                                result.migrated_shares, result.transfer));
+    decoded.emplace(unique_ids[i], std::move(data));
+
+    // Persist migrations into the version's ShareMap and republish its
+    // metadata so other clients find the new locations.
+    if (result.migrated_shares > 0) {
+      std::vector<ShareLocation> merged;
+      for (const ShareLocation& loc : version->shares) {
+        if (loc.chunk_id != chunk->id) {
+          merged.push_back(loc);
+        }
+      }
+      merged.insert(merged.end(), updated.begin(), updated.end());
+      CYRUS_RETURN_IF_ERROR(tree_.UpdateShareLocations(version->id, std::move(merged)));
+      version = tree_.Find(version_id);  // re-resolve after mutation
+    }
+  }
+  if (result.migrated_shares > 0) {
+    TransferReport meta_report;
+    CYRUS_RETURN_IF_ERROR(UploadMetadata(*version, meta_report));
+    result.transfer.Append(meta_report);
+  }
+
+  // Assemble and verify the whole file.
+  result.content.assign(version->size, 0);
+  for (const ChunkRecord& chunk : version->chunks) {
+    const Bytes& data = decoded.at(chunk.id);
+    if (chunk.offset + chunk.size > result.content.size() ||
+        data.size() != chunk.size) {
+      return DataLossError(StrCat(name, ": chunk geometry mismatch"));
+    }
+    std::copy(data.begin(), data.end(), result.content.begin() + chunk.offset);
+  }
+  if (Sha1::Hash(result.content) != version->content_id) {
+    return DataLossError(StrCat(name, ": reassembled content fails integrity check"));
+  }
+  return result;
+}
+
+Result<PutResult> CyrusClient::ImportForeignObject(int csp, std::string_view object_name,
+                                                   std::string_view target_name,
+                                                   bool delete_original) {
+  CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(csp));
+  CYRUS_ASSIGN_OR_RETURN(Bytes content, conn->Download(object_name));
+  CYRUS_ASSIGN_OR_RETURN(PutResult result, Put(target_name, content));
+  if (delete_original) {
+    // Only remove the plaintext once the CYRUS copy is fully durable
+    // (Put published metadata after all shares landed).
+    CYRUS_RETURN_IF_ERROR(conn->Delete(object_name));
+  }
+  return result;
+}
+
+Status CyrusClient::RebalanceMetadata() {
+  TransferReport report;
+  for (const FileVersion* version : tree_.AllVersions()) {
+    CYRUS_RETURN_IF_ERROR(UploadMetadata(*version, report));
+  }
+  return OkStatus();
+}
+
+Status CyrusClient::Delete(std::string_view name) {
+  const Sha1Digest parent = ParentFor(name);
+  if (IsNullDigest(parent)) {
+    return NotFoundError(StrCat("no version of ", name, " to delete"));
+  }
+  const FileVersion* head = tree_.Find(parent);
+  if (head == nullptr || head->deleted) {
+    return NotFoundError(StrCat(name, " is already deleted"));
+  }
+  // Deletion is a marker version: metadata stays (undelete support), chunk
+  // shares stay (other files may reference them) - paper §5.4.
+  FileVersion marker;
+  marker.content_id = Sha1::Hash(ByteSpan{});
+  marker.id = ComputeVersionId(marker.content_id, parent, name);
+  marker.prev_id = parent;
+  marker.client_id = config_.client_id;
+  marker.file_name = std::string(name);
+  marker.deleted = true;
+  marker.modified_time = now_;
+  marker.size = 0;
+  CYRUS_RETURN_IF_ERROR(tree_.Insert(marker));
+  TransferReport report;
+  return UploadMetadata(marker, report);
+}
+
+Result<std::vector<FileListing>> CyrusClient::List(std::string_view directory_prefix) {
+  CYRUS_RETURN_IF_ERROR(SyncMetadata().status());
+  std::vector<FileListing> out;
+  for (const std::string& name : tree_.FileNames(/*include_deleted=*/false)) {
+    if (!StartsWith(name, directory_prefix)) {
+      continue;
+    }
+    std::vector<const FileVersion*> live;
+    for (const FileVersion* head : tree_.Heads(name)) {
+      if (!head->deleted) {
+        live.push_back(head);
+      }
+    }
+    if (live.empty()) {
+      continue;
+    }
+    const FileVersion* newest = live.front();
+    for (const FileVersion* head : live) {
+      if (head->modified_time > newest->modified_time) {
+        newest = head;
+      }
+    }
+    auto history = tree_.History(newest->id);
+    out.push_back(FileListing{name, newest->size, newest->modified_time,
+                              history.ok() ? history->size() : 1, live.size() > 1});
+  }
+  return out;
+}
+
+Result<std::vector<const FileVersion*>> CyrusClient::Versions(std::string_view name) {
+  const std::vector<const FileVersion*> heads = tree_.Heads(name);
+  if (heads.empty()) {
+    return NotFoundError(StrCat("no versions of ", name));
+  }
+  const FileVersion* newest = heads.front();
+  for (const FileVersion* head : heads) {
+    if (head->modified_time > newest->modified_time) {
+      newest = head;
+    }
+  }
+  return tree_.History(newest->id);
+}
+
+Status CyrusClient::ResolveConflict(std::string_view name, const Sha1Digest& winner) {
+  std::vector<const FileVersion*> live;
+  for (const FileVersion* head : tree_.Heads(name)) {
+    if (!head->deleted) {
+      live.push_back(head);
+    }
+  }
+  if (live.size() < 2) {
+    return FailedPreconditionError(StrCat(name, " has no conflict to resolve"));
+  }
+  bool winner_found = false;
+  for (const FileVersion* head : live) {
+    winner_found |= head->id == winner;
+  }
+  if (!winner_found) {
+    return InvalidArgumentError(
+        StrCat(winner.ToHex(), " is not a conflicting head of ", name));
+  }
+  // Losing heads are renamed, never discarded: each gets a child version
+  // under "<name>.conflict-<shortid>" pointing at the same content.
+  TransferReport report;
+  for (const FileVersion* head : live) {
+    if (head->id == winner) {
+      continue;
+    }
+    FileVersion rename = *head;
+    rename.prev_id = head->id;
+    rename.client_id = config_.client_id;
+    rename.file_name = StrCat(name, ".conflict-", head->id.ToHex().substr(0, 8));
+    rename.id = ComputeVersionId(rename.content_id, rename.prev_id, rename.file_name);
+    rename.modified_time = now_;
+    CYRUS_RETURN_IF_ERROR(tree_.Insert(rename));
+    CYRUS_RETURN_IF_ERROR(RegisterVersionChunks(rename));
+    CYRUS_RETURN_IF_ERROR(UploadMetadata(rename, report));
+  }
+  return OkStatus();
+}
+
+}  // namespace cyrus

@@ -1,0 +1,257 @@
+// CyrusClient: the public facade implementing the paper's API (Table 3).
+//
+//   s = create()      -> CyrusClient::Create(config)
+//   add(s, c)         -> AddCsp()
+//   remove(s, c)      -> RemoveCsp()
+//   put(s, f)         -> Put()
+//   f' = get(s, f, v) -> Get() / GetVersion()
+//   delete(s, f)      -> Delete()
+//   list(s, d)        -> List()
+//   s' = recover(s)   -> Recover()
+//
+// The client owns all CYRUS mechanics: content-defined chunking,
+// deduplication against the global chunk table, keyed non-systematic
+// Reed-Solomon secret sharing, reliability parameter selection (Eq. 1),
+// consistent-hash share placement (optionally cluster-aware), optimized
+// downlink CSP selection (Algorithm 1), metadata scattering, distributed
+// conflict detection, versioning/undelete, and lazy share migration after
+// CSP failure or removal. It talks to providers exclusively through the
+// five-call CloudConnector interface.
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/chunker/chunker.h"
+#include "src/cloud/availability.h"
+#include "src/cloud/registry.h"
+#include "src/core/hash_ring.h"
+#include "src/core/local_cache.h"
+#include "src/core/transfer.h"
+#include "src/meta/chunk_table.h"
+#include "src/meta/version_tree.h"
+#include "src/opt/download_selector.h"
+#include "src/util/result.h"
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+
+struct CyrusConfig {
+  // The user's secret: keys the RS dispersal matrix (privacy, §7.1).
+  std::string key_string = "cyrus-default-key";
+  // Identifies this device/user in FileMap rows.
+  std::string client_id = "client";
+
+  // Privacy parameter: shares (and thus CSPs) needed to reconstruct data.
+  uint32_t t = 2;
+  // Reliability budget epsilon for Eq. (1).
+  double epsilon = 1e-6;
+  // Per-CSP failure probability assumed when the availability monitor has
+  // no observations yet.
+  double default_failure_prob = 0.01;
+
+  // Metadata secret-sharing threshold; metadata shares go to *all* active
+  // CSPs (paper footnote 3).
+  uint32_t meta_t = 2;
+
+  // Place at most one share of a chunk per platform cluster (§4.1).
+  bool cluster_aware = true;
+
+  // Content-defined chunking parameters (default: 4 MB average, like
+  // Dropbox; tests shrink these).
+  ChunkerOptions chunker;
+
+  // Client NIC caps in bytes/second for the download optimizer's model;
+  // <= 0 means uncapped.
+  double client_downlink_bytes_per_sec = 0.0;
+  double client_uplink_bytes_per_sec = 0.0;
+
+  uint32_t ring_virtual_points = 64;
+
+  // Concurrent connector calls per scatter/gather phase (the prototype's
+  // dedicated transfer threads, paper §5.3). 1 = fully synchronous.
+  uint32_t transfer_concurrency = 4;
+};
+
+struct FileListing {
+  std::string name;
+  uint64_t size = 0;
+  double modified_time = 0.0;
+  size_t num_versions = 0;
+  bool conflicted = false;
+};
+
+struct PutResult {
+  Sha1Digest version_id;
+  uint32_t n = 0;            // shares stored for each newly scattered chunk
+  size_t total_chunks = 0;
+  size_t new_chunks = 0;
+  size_t dedup_chunks = 0;   // chunks served from the global chunk table
+  uint64_t content_bytes = 0;
+  uint64_t uploaded_share_bytes = 0;
+  bool unchanged = false;    // content identical to the current head
+  TransferReport transfer;
+};
+
+struct GetResult {
+  Bytes content;
+  Sha1Digest version_id;
+  bool had_conflicts = false;
+  std::vector<Conflict> conflicts;
+  size_t migrated_shares = 0;  // lazily repaired share locations (§5.5)
+  TransferReport transfer;
+};
+
+class CyrusClient {
+ public:
+  static Result<std::unique_ptr<CyrusClient>> Create(CyrusConfig config);
+
+  // --- CSP account management ---
+
+  // Registers a CSP account, authenticates, and adds it to the placement
+  // ring. Returns the CSP's registry index.
+  Result<int> AddCsp(std::shared_ptr<CloudConnector> connector, CspProfile profile,
+                     const Credentials& credentials);
+
+  // User-initiated removal: metadata is re-scattered to the remaining CSPs
+  // immediately; chunk shares migrate lazily on subsequent downloads.
+  Status RemoveCsp(int csp);
+
+  // Failure handling (upload errors call this internally too).
+  Status MarkCspFailed(int csp);
+  Status MarkCspRecovered(int csp);
+
+  // Installs platform cluster ids (output of src/net/clustering.h), one per
+  // registry index, and rebuilds the placement ring.
+  Status AssignClusters(const std::vector<int>& cluster_per_csp);
+
+  // --- File operations (Table 3) ---
+
+  Result<PutResult> Put(std::string_view name, ByteSpan content);
+  Result<GetResult> Get(std::string_view name);
+  Result<GetResult> GetVersion(std::string_view name, const Sha1Digest& version_id);
+  Status Delete(std::string_view name);
+  Result<std::vector<FileListing>> List(std::string_view directory_prefix);
+
+  // Version history of the file's newest head (newest first). Works for
+  // deleted files too, enabling undelete via GetVersion (paper §5.4).
+  Result<std::vector<const FileVersion*>> Versions(std::string_view name);
+
+  // Imports a file the user already stores in plaintext at one provider
+  // into CYRUS (the most-requested extension from the paper's user trial,
+  // §7.5): downloads the object through the connector, stores it under
+  // `target_name` with full chunking/coding/scattering, and optionally
+  // deletes the plaintext original.
+  Result<PutResult> ImportForeignObject(int csp, std::string_view object_name,
+                                        std::string_view target_name,
+                                        bool delete_original = false);
+
+  // Re-scatters every metadata object over the *current* active CSP set.
+  // Useful after AddCsp when the user wants newly added accounts to raise
+  // metadata reliability immediately (paper §5.5: "shares of the file
+  // metadata can be stored at the new CSP ... if the user wishes").
+  Status RebalanceMetadata();
+
+  // --- Multi-client synchronization ---
+
+  // Pulls metadata objects this client has not seen and returns the
+  // conflicts the new versions introduce (paper §5.4).
+  Result<std::vector<Conflict>> SyncMetadata();
+
+  // Rebuilds the whole local state (version tree + chunk table) from the
+  // clouds; what a freshly installed device runs (Table 3's recover()).
+  Status Recover();
+
+  // --- Local metadata cache (paper §5.2) ---
+
+  // Snapshot of the synced state (version tree in portable wire form,
+  // chunk table, ingested metadata names) for SaveLocalCache().
+  LocalCacheSnapshot ExportCache() const;
+
+  // Installs a snapshot saved earlier, replacing local state; callers then
+  // run SyncMetadata() to pick up anything newer than the snapshot. Share
+  // locations are remapped by stable connector name, so the CSP
+  // registration order may differ from the saving session's.
+  Status ImportCache(const LocalCacheSnapshot& snapshot);
+
+  // Resolves a conflicted name: `winner` stays as `name`; every other
+  // conflicting live head is renamed to "<name>.conflict-<shortid>" so no
+  // update is silently lost.
+  Status ResolveConflict(std::string_view name, const Sha1Digest& winner);
+
+  // --- Introspection (benchmarks, tests, UI) ---
+
+  const VersionTree& tree() const { return tree_; }
+  const ChunkTable& chunk_table() const { return chunk_table_; }
+  const CspRegistry& registry() const { return registry_; }
+  AvailabilityMonitor& availability_monitor() { return monitor_; }
+  TransferAggregator& aggregator() { return aggregator_; }
+  const CyrusConfig& config() const { return config_; }
+
+  // Solves Eq. (1) for the current CSP set; the n a Put would use.
+  Result<uint32_t> CurrentN() const;
+
+  // Replaces the downlink selector (benchmarks swap in random/round-robin).
+  void set_download_selector(std::unique_ptr<DownloadSelector> selector);
+
+  // Virtual clock for modified times and availability probes.
+  void set_time(double now) { now_ = now; }
+  double now() const { return now_; }
+
+ private:
+  explicit CyrusClient(CyrusConfig config, Chunker chunker);
+
+  // Placement candidates for new shares (cluster-aware if configured).
+  Result<std::vector<int>> PlaceShares(const Sha1Digest& chunk_id, uint32_t n) const;
+
+  // Scatters one chunk to n CSPs; fills table entry + report + share rows.
+  Result<std::vector<ShareLocation>> ScatterChunk(const Sha1Digest& chunk_id,
+                                                  ByteSpan chunk, uint32_t n,
+                                                  const std::string& file,
+                                                  TransferReport& report);
+
+  // Downloads and reconstructs one chunk per its ChunkRecord; performs lazy
+  // migration of shares on failed/removed CSPs.
+  Result<Bytes> GatherChunk(const FileVersion& version, const ChunkRecord& chunk,
+                            const std::vector<int>& selected_csps,
+                            std::vector<ShareLocation>& updated_shares,
+                            size_t& migrated, TransferReport& report);
+
+  // Wire-form conversion: local registry indices <-> stable connector
+  // names via the version's csp_directory.
+  FileVersion ToWireForm(const FileVersion& version) const;
+  FileVersion ToLocalForm(FileVersion version) const;
+
+  // Metadata scatter/fetch (secret-shared to all active CSPs).
+  Status UploadMetadata(const FileVersion& version, TransferReport& report);
+  Result<FileVersion> FetchMetadata(const std::string& base_name,
+                                    TransferReport& report);
+
+  // Picks this Put's parent version for `name` (newest live head), or a
+  // null digest for new files.
+  Sha1Digest ParentFor(std::string_view name) const;
+
+  Status RegisterVersionChunks(const FileVersion& version);
+
+  CyrusConfig config_;
+  Chunker chunker_;
+  CspRegistry registry_;
+  HashRing ring_;
+  VersionTree tree_;
+  ChunkTable chunk_table_;
+  AvailabilityMonitor monitor_;
+  TransferAggregator aggregator_;
+  std::unique_ptr<DownloadSelector> selector_;
+  // Transfer worker threads (null when transfer_concurrency == 1).
+  std::unique_ptr<ThreadPool> pool_;
+  // Metadata object base names this client has already ingested.
+  std::set<std::string> known_meta_bases_;
+  double now_ = 0.0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CORE_CLIENT_H_

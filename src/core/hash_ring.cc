@@ -1,0 +1,114 @@
+#include "src/core/hash_ring.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+uint64_t RingPosition(std::string_view name, uint32_t replica) {
+  Sha1 h;
+  h.Update(std::string_view("cyrus-ring-v1"));
+  h.Update(name);
+  const uint8_t rep_bytes[4] = {
+      static_cast<uint8_t>(replica >> 24), static_cast<uint8_t>(replica >> 16),
+      static_cast<uint8_t>(replica >> 8), static_cast<uint8_t>(replica)};
+  h.Update(ByteSpan(rep_bytes, 4));
+  return h.Finish().Prefix64();
+}
+
+}  // namespace
+
+Status HashRing::AddCsp(int csp_index, std::string_view name, int cluster) {
+  if (csps_.count(csp_index) > 0) {
+    return AlreadyExistsError(StrCat("CSP ", csp_index, " already on the ring"));
+  }
+  for (const auto& [index, info] : csps_) {
+    if (info.name == name) {
+      return AlreadyExistsError(StrCat("CSP name '", name, "' already on the ring"));
+    }
+  }
+  csps_.emplace(csp_index, CspInfo{std::string(name), cluster});
+  for (uint32_t r = 0; r < virtual_points_; ++r) {
+    // Collisions across 64-bit positions are negligible; keep first owner.
+    ring_.emplace(RingPosition(name, r), csp_index);
+  }
+  return OkStatus();
+}
+
+Status HashRing::RemoveCsp(int csp_index) {
+  auto it = csps_.find(csp_index);
+  if (it == csps_.end()) {
+    return NotFoundError(StrCat("CSP ", csp_index, " not on the ring"));
+  }
+  for (uint32_t r = 0; r < virtual_points_; ++r) {
+    auto ring_it = ring_.find(RingPosition(it->second.name, r));
+    if (ring_it != ring_.end() && ring_it->second == csp_index) {
+      ring_.erase(ring_it);
+    }
+  }
+  csps_.erase(it);
+  return OkStatus();
+}
+
+bool HashRing::Contains(int csp_index) const { return csps_.count(csp_index) > 0; }
+
+template <typename Accept>
+Result<std::vector<int>> HashRing::Walk(const Sha1Digest& chunk_id, uint32_t n,
+                                        Accept accept) const {
+  std::vector<int> selected;
+  if (n == 0) {
+    return selected;
+  }
+  if (ring_.empty()) {
+    return FailedPreconditionError("hash ring has no CSPs");
+  }
+  const uint64_t start = chunk_id.Prefix64();
+  auto it = ring_.lower_bound(start);
+  std::set<int> seen;
+  // Two laps around the ring guarantee every distinct CSP is visited.
+  const size_t max_steps = 2 * ring_.size();
+  for (size_t step = 0; step < max_steps && selected.size() < n; ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    const int csp = it->second;
+    if (seen.insert(csp).second && accept(csp, csps_.at(csp))) {
+      selected.push_back(csp);
+    }
+    ++it;
+  }
+  if (selected.size() < n) {
+    return FailedPreconditionError(
+        StrCat("need ", n, " placement targets but only ", selected.size(),
+               " eligible CSPs on the ring"));
+  }
+  return selected;
+}
+
+Result<std::vector<int>> HashRing::SelectCsps(const Sha1Digest& chunk_id,
+                                              uint32_t n) const {
+  return Walk(chunk_id, n, [](int, const CspInfo&) { return true; });
+}
+
+Result<std::vector<int>> HashRing::SelectCspsClusterAware(const Sha1Digest& chunk_id,
+                                                          uint32_t n) const {
+  std::set<int> used_clusters;
+  return Walk(chunk_id, n, [&used_clusters](int, const CspInfo& info) {
+    if (info.cluster < 0) {
+      return true;  // unclustered CSPs are their own platform
+    }
+    return used_clusters.insert(info.cluster).second;
+  });
+}
+
+Result<std::vector<int>> HashRing::SelectCspsExcluding(
+    const Sha1Digest& chunk_id, uint32_t n, const std::vector<int>& excluded) const {
+  return Walk(chunk_id, n, [&excluded](int csp, const CspInfo&) {
+    return std::find(excluded.begin(), excluded.end(), csp) == excluded.end();
+  });
+}
+
+}  // namespace cyrus

@@ -1,0 +1,69 @@
+// Consistent hashing for uplink share placement (paper §5.3).
+//
+// Each CSP owns a set of virtual points on a 64-bit ring (many points per
+// CSP smooth the partition). A chunk maps to the ring position of its id;
+// walking clockwise and taking the first n *distinct* CSPs yields the
+// upload targets. Consistent hashing balances stored bytes across CSPs and
+// minimizes share reshuffling when accounts come and go (paper §5.5). The
+// cluster-aware walk instead takes the first n distinct *platform clusters*
+// so that no two shares of a chunk land on CSPs sharing infrastructure
+// (paper §4.1).
+#ifndef SRC_CORE_HASH_RING_H_
+#define SRC_CORE_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha1.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+class HashRing {
+ public:
+  // virtual_points: ring positions created per CSP (default smooths the
+  // partition to a few percent imbalance).
+  explicit HashRing(uint32_t virtual_points = 64) : virtual_points_(virtual_points) {}
+
+  // Adds a CSP under a stable name (its connector id). `cluster` < 0 means
+  // unclustered. kAlreadyExists on duplicate names.
+  Status AddCsp(int csp_index, std::string_view name, int cluster);
+
+  Status RemoveCsp(int csp_index);
+
+  bool Contains(int csp_index) const;
+  size_t num_csps() const { return csps_.size(); }
+
+  // First n distinct CSPs clockwise from the chunk's ring position.
+  Result<std::vector<int>> SelectCsps(const Sha1Digest& chunk_id, uint32_t n) const;
+
+  // Like SelectCsps but at most one CSP per cluster (unclustered CSPs each
+  // count as their own cluster). Fails if fewer than n clusters exist.
+  Result<std::vector<int>> SelectCspsClusterAware(const Sha1Digest& chunk_id,
+                                                  uint32_t n) const;
+
+  // First n distinct CSPs excluding the given ones (share regeneration
+  // picks replacement CSPs this way).
+  Result<std::vector<int>> SelectCspsExcluding(const Sha1Digest& chunk_id, uint32_t n,
+                                               const std::vector<int>& excluded) const;
+
+ private:
+  struct CspInfo {
+    std::string name;
+    int cluster = -1;
+  };
+
+  template <typename Accept>
+  Result<std::vector<int>> Walk(const Sha1Digest& chunk_id, uint32_t n,
+                                Accept accept) const;
+
+  uint32_t virtual_points_;
+  std::map<uint64_t, int> ring_;  // ring position -> CSP index
+  std::map<int, CspInfo> csps_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CORE_HASH_RING_H_

@@ -1,0 +1,105 @@
+#include "src/core/local_cache.h"
+
+#include <fstream>
+#include <system_error>
+
+#include "src/meta/serialize.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr uint32_t kMagic = 0x43594c43;  // "CYLC"
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+Bytes EncodeLocalCache(const LocalCacheSnapshot& snapshot,
+                       const Sha1Digest& key_fingerprint) {
+  BinaryWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kFormatVersion);
+  w.WriteDigest(key_fingerprint);
+  w.WriteU32(static_cast<uint32_t>(snapshot.versions.size()));
+  for (const FileVersion& version : snapshot.versions) {
+    w.WriteBytes(version.Serialize());
+  }
+  w.WriteBytes(snapshot.chunk_table.Serialize());
+  w.WriteU32(static_cast<uint32_t>(snapshot.known_meta_bases.size()));
+  for (const std::string& base : snapshot.known_meta_bases) {
+    w.WriteString(base);
+  }
+  return w.TakeData();
+}
+
+Result<LocalCacheSnapshot> DecodeLocalCache(ByteSpan data,
+                                            const Sha1Digest& key_fingerprint) {
+  BinaryReader r(data);
+  CYRUS_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return DataLossError("local cache magic mismatch");
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return DataLossError(StrCat("unsupported local cache version ", version));
+  }
+  CYRUS_ASSIGN_OR_RETURN(Sha1Digest fingerprint, r.ReadDigest());
+  if (fingerprint != key_fingerprint) {
+    return FailedPreconditionError("local cache belongs to a different CYRUS cloud");
+  }
+  LocalCacheSnapshot snapshot;
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_versions, r.ReadU32());
+  snapshot.versions.reserve(num_versions);
+  for (uint32_t i = 0; i < num_versions; ++i) {
+    CYRUS_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
+    CYRUS_ASSIGN_OR_RETURN(FileVersion v, FileVersion::Deserialize(blob));
+    snapshot.versions.push_back(std::move(v));
+  }
+  CYRUS_ASSIGN_OR_RETURN(Bytes table_blob, r.ReadBytes());
+  CYRUS_ASSIGN_OR_RETURN(snapshot.chunk_table, ChunkTable::Deserialize(table_blob));
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_bases, r.ReadU32());
+  for (uint32_t i = 0; i < num_bases; ++i) {
+    CYRUS_ASSIGN_OR_RETURN(std::string base, r.ReadString());
+    snapshot.known_meta_bases.insert(std::move(base));
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes after local cache");
+  }
+  return snapshot;
+}
+
+Status SaveLocalCache(const std::filesystem::path& path,
+                      const LocalCacheSnapshot& snapshot,
+                      const Sha1Digest& key_fingerprint) {
+  const Bytes data = EncodeLocalCache(snapshot, key_fingerprint);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return UnavailableError(StrCat("cannot open ", tmp.string()));
+    }
+    file.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size()));
+    if (!file) {
+      return UnavailableError(StrCat("short write to ", tmp.string()));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return UnavailableError(StrCat("rename failed: ", ec.message()));
+  }
+  return OkStatus();
+}
+
+Result<LocalCacheSnapshot> LoadLocalCache(const std::filesystem::path& path,
+                                          const Sha1Digest& key_fingerprint) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return NotFoundError(StrCat("no local cache at ", path.string()));
+  }
+  Bytes data((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  return DecodeLocalCache(data, key_fingerprint);
+}
+
+}  // namespace cyrus

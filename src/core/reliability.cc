@@ -1,0 +1,56 @@
+#include "src/core/reliability.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+double BinomialCoefficient(uint32_t n, uint32_t k) {
+  if (k > n) {
+    return 0.0;
+  }
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (uint32_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double ChunkLossProbability(uint32_t t, uint32_t n, double p) {
+  assert(t >= 1 && t <= n);
+  assert(p >= 0.0 && p <= 1.0);
+  // Survivors s ~ Binomial(n, 1-p); loss iff s < t.
+  double loss = 0.0;
+  for (uint32_t s = 0; s < t; ++s) {
+    loss += BinomialCoefficient(n, s) * std::pow(1.0 - p, s) *
+            std::pow(p, static_cast<double>(n - s));
+  }
+  return std::min(loss, 1.0);
+}
+
+Result<uint32_t> MinSharesForReliability(uint32_t t, double p, double epsilon,
+                                         uint32_t max_n) {
+  if (t == 0) {
+    return InvalidArgumentError("t must be positive");
+  }
+  if (max_n < t) {
+    return FailedPreconditionError(
+        StrCat("only ", max_n, " CSPs/clusters available but t=", t));
+  }
+  if (p < 0.0 || p > 1.0) {
+    return InvalidArgumentError(StrCat("failure probability ", p, " outside [0,1]"));
+  }
+  for (uint32_t n = t; n <= max_n; ++n) {
+    if (ChunkLossProbability(t, n, p) <= epsilon) {
+      return n;
+    }
+  }
+  return FailedPreconditionError(
+      StrCat("cannot meet failure budget ", epsilon, " with t=", t, ", p=", p,
+             " using at most ", max_n, " CSPs"));
+}
+
+}  // namespace cyrus

@@ -1,0 +1,35 @@
+// Reliability parameter selection (paper §4.2, Equation 1).
+//
+// The user fixes privacy t (shares required to reconstruct) and a failure
+// budget epsilon. Each CSP fails independently with probability p. A chunk
+// is unrecoverable when fewer than t of its n shares are reachable, i.e.
+// when fewer than t CSPs survive:
+//     P(loss) = sum_{s=0}^{t-1} C(n, s) (1-p)^s p^(n-s).
+// CYRUS picks the smallest n in [t, max_n] with P(loss) <= epsilon,
+// minimizing stored data (shares cost chunk/t bytes each).
+#ifndef SRC_CORE_RELIABILITY_H_
+#define SRC_CORE_RELIABILITY_H_
+
+#include <cstdint>
+
+#include "src/util/result.h"
+
+namespace cyrus {
+
+// Exact binomial loss probability for a (t, n) configuration with per-CSP
+// failure probability p in [0, 1]. Requires 1 <= t <= n.
+double ChunkLossProbability(uint32_t t, uint32_t n, double p);
+
+// Smallest n in [t, max_n] with ChunkLossProbability(t, n, p) <= epsilon.
+// kFailedPrecondition if even n = max_n misses the budget (the caller can
+// add CSP accounts or relax epsilon).
+Result<uint32_t> MinSharesForReliability(uint32_t t, double p, double epsilon,
+                                         uint32_t max_n);
+
+// Binomial coefficient as a double (exact for the small arguments used
+// here; exposed for tests and the Figure 13 benchmark).
+double BinomialCoefficient(uint32_t n, uint32_t k);
+
+}  // namespace cyrus
+
+#endif  // SRC_CORE_RELIABILITY_H_

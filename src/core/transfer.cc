@@ -1,0 +1,98 @@
+#include "src/core/transfer.h"
+
+namespace cyrus {
+
+std::string_view TransferKindName(TransferKind kind) {
+  switch (kind) {
+    case TransferKind::kPut:
+      return "PUT";
+    case TransferKind::kGet:
+      return "GET";
+    case TransferKind::kPutMeta:
+      return "PUT_META";
+    case TransferKind::kGetMeta:
+      return "GET_META";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t TransferReport::TotalBytes(TransferKind kind) const {
+  uint64_t total = 0;
+  for (const TransferRecord& r : records) {
+    if (r.kind == kind && r.success) {
+      total += r.bytes;
+    }
+  }
+  return total;
+}
+
+uint64_t TransferReport::BytesToCsp(int csp) const {
+  uint64_t total = 0;
+  for (const TransferRecord& r : records) {
+    if (r.csp == csp && r.success) {
+      total += r.bytes;
+    }
+  }
+  return total;
+}
+
+size_t TransferReport::CountOf(TransferKind kind) const {
+  size_t count = 0;
+  for (const TransferRecord& r : records) {
+    if (r.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void TransferReport::Append(const TransferReport& other) {
+  records.insert(records.end(), other.records.begin(), other.records.end());
+}
+
+void TransferAggregator::ExpectChunk(const std::string& file, const Sha1Digest& chunk_id,
+                                     uint32_t shares_needed) {
+  auto [it, inserted] = chunks_.emplace(chunk_id, ChunkState{shares_needed, 0});
+  if (!inserted) {
+    return;  // chunk already tracked (dedup within a file)
+  }
+  chunk_file_[chunk_id] = file;
+  ++files_[file].chunks_expected;
+}
+
+void TransferAggregator::OnShareEvent(const std::string& file, const Sha1Digest& chunk_id,
+                                      bool success) {
+  if (!success) {
+    return;
+  }
+  auto it = chunks_.find(chunk_id);
+  if (it == chunks_.end() || it->second.done >= it->second.needed) {
+    return;  // unknown or already complete: surplus shares are fine
+  }
+  if (++it->second.done < it->second.needed) {
+    return;
+  }
+  // ChunkComplete just transitioned to true.
+  if (on_chunk_complete_) {
+    on_chunk_complete_(chunk_id);
+  }
+  FileState& fs = files_[file];
+  if (++fs.chunks_complete >= fs.chunks_expected && !fs.fired) {
+    fs.fired = true;
+    if (on_file_complete_) {
+      on_file_complete_(file);
+    }
+  }
+}
+
+bool TransferAggregator::ChunkComplete(const Sha1Digest& chunk_id) const {
+  auto it = chunks_.find(chunk_id);
+  return it != chunks_.end() && it->second.done >= it->second.needed;
+}
+
+bool TransferAggregator::FileComplete(const std::string& file) const {
+  auto it = files_.find(file);
+  return it != files_.end() && it->second.fired;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,92 @@
+// Transfer records and asynchronous completion aggregation (paper §5.3).
+//
+// Cloud connectors answer requests as asynchronous events; the CYRUS core
+// aggregates them through three levels of completion:
+//   ShareComplete - one share uploaded/downloaded,
+//   ChunkComplete - n shares uploaded or t shares downloaded for a chunk,
+//   FileComplete  - every chunk of the file complete.
+// The event types mirror the paper: PUT, GET, PUT_META, GET_META.
+//
+// The core also journals every request as a TransferRecord. Benchmarks feed
+// those records into the fluid network simulator (src/sim/flow_network.h)
+// to obtain completion times for the exact byte pattern a real deployment
+// would have moved.
+#ifndef SRC_CORE_TRANSFER_H_
+#define SRC_CORE_TRANSFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha1.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+enum class TransferKind { kPut, kGet, kPutMeta, kGetMeta };
+
+std::string_view TransferKindName(TransferKind kind);
+
+struct TransferRecord {
+  TransferKind kind = TransferKind::kPut;
+  int csp = -1;
+  std::string object_name;
+  uint64_t bytes = 0;
+  bool success = true;
+};
+
+// Journal of the requests one API call issued. Records within a phase are
+// logically concurrent (CYRUS issues them in parallel); metadata uploads
+// happen strictly after all share uploads (Algorithm 2 line 10).
+struct TransferReport {
+  std::vector<TransferRecord> records;
+
+  uint64_t TotalBytes(TransferKind kind) const;
+  uint64_t BytesToCsp(int csp) const;
+  size_t CountOf(TransferKind kind) const;
+  void Append(const TransferReport& other);
+};
+
+// Aggregates share-level events into chunk- and file-level completion.
+class TransferAggregator {
+ public:
+  using ChunkCallback = std::function<void(const Sha1Digest&)>;
+  using FileCallback = std::function<void(const std::string&)>;
+
+  // Declares that `chunk_id` of `file` needs `shares_needed` successful
+  // share events (n when uploading, t when downloading).
+  void ExpectChunk(const std::string& file, const Sha1Digest& chunk_id,
+                   uint32_t shares_needed);
+
+  // Feeds one share event. Unsuccessful events do not advance completion.
+  void OnShareEvent(const std::string& file, const Sha1Digest& chunk_id, bool success);
+
+  bool ChunkComplete(const Sha1Digest& chunk_id) const;
+  bool FileComplete(const std::string& file) const;
+
+  void set_on_chunk_complete(ChunkCallback cb) { on_chunk_complete_ = std::move(cb); }
+  void set_on_file_complete(FileCallback cb) { on_file_complete_ = std::move(cb); }
+
+ private:
+  struct ChunkState {
+    uint32_t needed = 0;
+    uint32_t done = 0;
+  };
+  struct FileState {
+    uint32_t chunks_expected = 0;
+    uint32_t chunks_complete = 0;
+    bool fired = false;
+  };
+
+  std::map<Sha1Digest, ChunkState> chunks_;
+  std::map<Sha1Digest, std::string> chunk_file_;
+  std::map<std::string, FileState> files_;
+  ChunkCallback on_chunk_complete_;
+  FileCallback on_file_complete_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CORE_TRANSFER_H_

@@ -1,0 +1,93 @@
+#include "src/crypto/naming.h"
+
+#include <cassert>
+
+#include "src/util/bytes.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+// Appends a 32-bit big-endian integer to the hash input.
+void UpdateU32(Sha1& h, uint32_t v) {
+  const uint8_t b[4] = {static_cast<uint8_t>(v >> 24), static_cast<uint8_t>(v >> 16),
+                        static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+  h.Update(ByteSpan(b, 4));
+}
+
+// Expands key material into a stream of bytes: block k is
+// SHA-1(domain || key || k). Deterministic and domain-separated.
+class KeyStream {
+ public:
+  KeyStream(std::string_view domain, std::string_view key)
+      : domain_(domain), key_(key) {}
+
+  uint8_t NextByte() {
+    if (pos_ == block_.bytes.size()) {
+      pos_ = 0;
+      ++counter_;
+    }
+    if (pos_ == 0) {
+      Sha1 h;
+      h.Update(domain_);
+      h.Update(key_);
+      UpdateU32(h, counter_);
+      block_ = h.Finish();
+    }
+    return block_.bytes[pos_++];
+  }
+
+ private:
+  std::string domain_;
+  std::string key_;
+  uint32_t counter_ = 0;
+  size_t pos_ = 0;
+  Sha1Digest block_{};
+};
+
+// Draws `count` distinct nonzero bytes from the key stream.
+std::vector<uint8_t> DistinctNonzeroBytes(std::string_view domain, std::string_view key,
+                                          uint32_t count) {
+  assert(count <= 255);
+  std::vector<uint8_t> out;
+  out.reserve(count);
+  bool seen[256] = {false};
+  seen[0] = true;  // zero is never a valid evaluation point
+  KeyStream stream(domain, key);
+  while (out.size() < count) {
+    const uint8_t b = stream.NextByte();
+    if (!seen[b]) {
+      seen[b] = true;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ShareName(const Sha1Digest& chunk_id, uint32_t share_index, uint32_t t) {
+  Sha1 h;
+  h.Update(std::string_view("cyrus-share-v1"));
+  UpdateU32(h, share_index);
+  UpdateU32(h, t);
+  h.Update(ByteSpan(chunk_id.bytes.data(), chunk_id.bytes.size()));
+  return h.Finish().ToHex();
+}
+
+std::string MetadataName(const Sha1Digest& version_id) {
+  Sha1 h;
+  h.Update(std::string_view("cyrus-meta-v1"));
+  h.Update(ByteSpan(version_id.bytes.data(), version_id.bytes.size()));
+  return StrCat("meta-", h.Finish().ToHex());
+}
+
+std::vector<uint8_t> DeriveDispersalVector(std::string_view key_string, uint32_t t) {
+  return DistinctNonzeroBytes("cyrus-dispersal-v1", key_string, t);
+}
+
+std::vector<uint8_t> DeriveEvaluationPoints(std::string_view key_string, uint32_t n) {
+  return DistinctNonzeroBytes("cyrus-evalpoints-v1", key_string, n);
+}
+
+}  // namespace cyrus

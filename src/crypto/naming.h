@@ -1,0 +1,45 @@
+// Share naming and key derivation (paper §5.1).
+//
+// Each share stored at a CSP is named H'(index, H(chunk_content)) so that a
+// CSP cannot learn which index (and hence which row of the dispersal matrix)
+// a share corresponds to, while any client that knows the chunk id can
+// recompute the name. H is SHA-1; H' here is SHA-1 over a domain-separated
+// encoding of (index, chunk_id, t).
+//
+// The dispersal matrix is keyed: the Vandermonde generator vector is derived
+// from a consistent hash of the user's key string, so decoding requires the
+// key (paper §5.1, §7.1).
+#ifndef SRC_CRYPTO_NAMING_H_
+#define SRC_CRYPTO_NAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha1.h"
+
+namespace cyrus {
+
+// Name of the share with the given creation index for the given chunk.
+// Guaranteed unique per (chunk content, index, t): shares of identical
+// content map to identical names, so re-uploading is an idempotent
+// overwrite (paper: "we only overwrite the existing file share if its
+// content is the same").
+std::string ShareName(const Sha1Digest& chunk_id, uint32_t share_index, uint32_t t);
+
+// Name of a metadata object for the file version with the given id.
+std::string MetadataName(const Sha1Digest& version_id);
+
+// Derives the length-t Vandermonde generator vector for the non-systematic
+// Reed-Solomon dispersal matrix from the user's key string. Elements are
+// distinct and nonzero in GF(2^8), which makes the Vandermonde matrix
+// invertible on any t distinct evaluation points.
+std::vector<uint8_t> DeriveDispersalVector(std::string_view key_string, uint32_t t);
+
+// Derives distinct nonzero evaluation points x_0..x_{n-1} in GF(2^8) for the
+// n shares, keyed by the same key string. n must be <= 255.
+std::vector<uint8_t> DeriveEvaluationPoints(std::string_view key_string, uint32_t n);
+
+}  // namespace cyrus
+
+#endif  // SRC_CRYPTO_NAMING_H_

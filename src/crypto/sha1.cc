@@ -1,0 +1,129 @@
+#include "src/crypto/sha1.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/hex.h"
+
+namespace cyrus {
+namespace {
+
+uint32_t RotL32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+}  // namespace
+
+std::string Sha1Digest::ToHex() const { return HexEncode(bytes); }
+
+uint64_t Sha1Digest::Prefix64() const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | bytes[i];
+  }
+  return v;
+}
+
+Sha1::Sha1() : h_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {}
+
+void Sha1::Update(ByteSpan data) {
+  assert(!finished_);
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  // Fill a partially-buffered block first.
+  if (buffer_len_ > 0) {
+    const size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  // Whole blocks straight from the input.
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  // Stash the tail.
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffer_len_);
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  assert(!finished_);
+
+  const uint64_t bit_len = total_bytes_ * 8;
+  // Append 0x80, zero-pad to 56 mod 64, then the 64-bit big-endian length.
+  uint8_t pad[72] = {0x80};
+  const size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  Update(ByteSpan(pad, pad_len));
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(ByteSpan(len_bytes, 8));
+  assert(buffer_len_ == 0);
+  finished_ = true;
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    digest.bytes[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest.bytes[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest.bytes[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1::Hash(ByteSpan data) {
+  Sha1 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const uint32_t temp = RotL32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL32(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,72 @@
+// The global chunk table (paper §5.2): which chunks exist, their secret-
+// sharing parameters, where their shares live, and how many file versions
+// reference them. This is the deduplication index - before scattering a
+// chunk, the uploader consults the table; a hit means zero new bytes leave
+// the client (Algorithm 2, "if chunk is not stored").
+#ifndef SRC_META_CHUNK_TABLE_H_
+#define SRC_META_CHUNK_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/crypto/sha1.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+struct ChunkShare {
+  uint32_t share_index = 0;
+  int32_t csp = -1;
+};
+
+struct ChunkEntry {
+  uint64_t size = 0;
+  uint32_t t = 0;
+  uint32_t n = 0;
+  uint32_t refcount = 0;  // number of referencing file versions
+  std::vector<ChunkShare> shares;
+};
+
+class ChunkTable {
+ public:
+  bool Contains(const Sha1Digest& chunk_id) const;
+  const ChunkEntry* Find(const Sha1Digest& chunk_id) const;
+  size_t size() const { return entries_.size(); }
+
+  // Registers a new chunk with refcount 1. kAlreadyExists if present.
+  Status Insert(const Sha1Digest& chunk_id, ChunkEntry entry);
+
+  // Bumps / drops the reference count. Release keeps the entry at zero
+  // references (shares stay on CSPs; other files may still adopt the chunk,
+  // paper §5.4 "shares of the file's component chunks are left alone").
+  Status AddRef(const Sha1Digest& chunk_id);
+  Status Release(const Sha1Digest& chunk_id);
+
+  // Replaces the share (old_csp, old_index) with a regenerated share
+  // (new_csp, new_index) - lazy migration after CSP removal (paper §5.5 /
+  // Figure 9). The index changes because migration derives a fresh share
+  // rather than re-creating the lost one byte-for-byte.
+  Status MoveShare(const Sha1Digest& chunk_id, int32_t old_csp, uint32_t old_index,
+                   int32_t new_csp, uint32_t new_index);
+
+  // Adds a share location (e.g. a regenerated share with a fresh index).
+  Status AddShare(const Sha1Digest& chunk_id, ChunkShare share);
+
+  // Chunk ids that have a share on the given CSP.
+  std::vector<Sha1Digest> ChunksOnCsp(int32_t csp) const;
+
+  // Total bytes of unique chunk payload tracked (pre-encoding).
+  uint64_t TotalUniqueBytes() const;
+
+  Bytes Serialize() const;
+  static Result<ChunkTable> Deserialize(ByteSpan data);
+
+ private:
+  std::map<Sha1Digest, ChunkEntry> entries_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_META_CHUNK_TABLE_H_

@@ -1,0 +1,154 @@
+#include "src/meta/metadata.h"
+
+#include <algorithm>
+
+#include "src/meta/serialize.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kMagic = 0x43595253;  // "CYRS"
+
+}  // namespace
+
+Bytes FileVersion::Serialize() const {
+  BinaryWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kFormatVersion);
+  // FileMap.
+  w.WriteDigest(id);
+  w.WriteDigest(content_id);
+  w.WriteDigest(prev_id);
+  w.WriteString(client_id);
+  w.WriteString(file_name);
+  w.WriteU8(deleted ? 1 : 0);
+  w.WriteDouble(modified_time);
+  w.WriteU64(size);
+  // ChunkMap.
+  w.WriteU32(static_cast<uint32_t>(chunks.size()));
+  for (const ChunkRecord& c : chunks) {
+    w.WriteDigest(c.id);
+    w.WriteU64(c.offset);
+    w.WriteU64(c.size);
+    w.WriteU32(c.t);
+    w.WriteU32(c.n);
+  }
+  // ShareMap.
+  w.WriteU32(static_cast<uint32_t>(shares.size()));
+  for (const ShareLocation& s : shares) {
+    w.WriteDigest(s.chunk_id);
+    w.WriteU32(s.share_index);
+    w.WriteI32(s.csp);
+  }
+  // CSP directory (stable names for the csp values above).
+  w.WriteU32(static_cast<uint32_t>(csp_directory.size()));
+  for (const std::string& name : csp_directory) {
+    w.WriteString(name);
+  }
+  return w.TakeData();
+}
+
+Result<FileVersion> FileVersion::Deserialize(ByteSpan data) {
+  BinaryReader r(data);
+  CYRUS_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return DataLossError("metadata magic mismatch");
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return DataLossError(StrCat("unsupported metadata format version ", version));
+  }
+  FileVersion v;
+  CYRUS_ASSIGN_OR_RETURN(v.id, r.ReadDigest());
+  CYRUS_ASSIGN_OR_RETURN(v.content_id, r.ReadDigest());
+  CYRUS_ASSIGN_OR_RETURN(v.prev_id, r.ReadDigest());
+  CYRUS_ASSIGN_OR_RETURN(v.client_id, r.ReadString());
+  CYRUS_ASSIGN_OR_RETURN(v.file_name, r.ReadString());
+  CYRUS_ASSIGN_OR_RETURN(uint8_t deleted, r.ReadU8());
+  v.deleted = deleted != 0;
+  CYRUS_ASSIGN_OR_RETURN(v.modified_time, r.ReadDouble());
+  CYRUS_ASSIGN_OR_RETURN(v.size, r.ReadU64());
+
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_chunks, r.ReadU32());
+  v.chunks.reserve(num_chunks);
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    ChunkRecord c;
+    CYRUS_ASSIGN_OR_RETURN(c.id, r.ReadDigest());
+    CYRUS_ASSIGN_OR_RETURN(c.offset, r.ReadU64());
+    CYRUS_ASSIGN_OR_RETURN(c.size, r.ReadU64());
+    CYRUS_ASSIGN_OR_RETURN(c.t, r.ReadU32());
+    CYRUS_ASSIGN_OR_RETURN(c.n, r.ReadU32());
+    v.chunks.push_back(c);
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_shares, r.ReadU32());
+  v.shares.reserve(num_shares);
+  for (uint32_t i = 0; i < num_shares; ++i) {
+    ShareLocation s;
+    CYRUS_ASSIGN_OR_RETURN(s.chunk_id, r.ReadDigest());
+    CYRUS_ASSIGN_OR_RETURN(s.share_index, r.ReadU32());
+    CYRUS_ASSIGN_OR_RETURN(s.csp, r.ReadI32());
+    v.shares.push_back(s);
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_names, r.ReadU32());
+  v.csp_directory.reserve(num_names);
+  for (uint32_t i = 0; i < num_names; ++i) {
+    CYRUS_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    v.csp_directory.push_back(std::move(name));
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes after metadata");
+  }
+  return v;
+}
+
+std::vector<ShareLocation> FileVersion::SharesOfChunk(const Sha1Digest& chunk_id) const {
+  std::vector<ShareLocation> out;
+  for (const ShareLocation& s : shares) {
+    if (s.chunk_id == chunk_id) {
+      out.push_back(s);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ShareLocation& a, const ShareLocation& b) {
+                     return a.share_index < b.share_index;
+                   });
+  return out;
+}
+
+Status FileVersion::Validate() const {
+  uint64_t expected_offset = 0;
+  for (const ChunkRecord& c : chunks) {
+    if (c.t == 0 || c.t > c.n) {
+      return InvalidArgumentError(
+          StrCat(file_name, ": chunk has invalid (t,n)=(", c.t, ",", c.n, ")"));
+    }
+    if (c.offset != expected_offset) {
+      return InvalidArgumentError(StrCat(file_name, ": chunk offsets do not tile"));
+    }
+    expected_offset += c.size;
+    const size_t located = SharesOfChunk(c.id).size();
+    if (located < c.t) {
+      return InvalidArgumentError(StrCat(file_name, ": chunk lists ", located,
+                                         " share locations but t=", c.t));
+    }
+  }
+  if (expected_offset != size) {
+    return InvalidArgumentError(
+        StrCat(file_name, ": chunks cover ", expected_offset, " of ", size, " bytes"));
+  }
+  return OkStatus();
+}
+
+Sha1Digest ComputeVersionId(const Sha1Digest& content_id, const Sha1Digest& prev_id,
+                            std::string_view file_name) {
+  Sha1 h;
+  h.Update(std::string_view("cyrus-version-v1"));
+  h.Update(ByteSpan(content_id.bytes.data(), content_id.bytes.size()));
+  h.Update(ByteSpan(prev_id.bytes.data(), prev_id.bytes.size()));
+  h.Update(file_name);
+  return h.Finish();
+}
+
+}  // namespace cyrus

@@ -1,0 +1,98 @@
+// Per-file-version metadata (paper §5.2, Figure 6).
+//
+// Every upload creates one immutable metadata object holding the three
+// tables of Figure 6:
+//   FileMap  - version id (SHA-1 of the file content), parent version id,
+//              creating client, file name, deleted flag, mtime, size;
+//   ChunkMap - the chunks composing the file (id, offset, size, t, n);
+//   ShareMap - which CSP holds which share index of each chunk.
+// Metadata objects are content-addressed: their name at a CSP derives from
+// the version id, so concurrent uploaders never clobber each other - they
+// create sibling versions, detected later as conflicts.
+#ifndef SRC_META_METADATA_H_
+#define SRC_META_METADATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha1.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+// A zero digest marks "no parent" (prevId = 0 in the paper).
+inline bool IsNullDigest(const Sha1Digest& d) {
+  for (uint8_t b : d.bytes) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ChunkMap row.
+struct ChunkRecord {
+  Sha1Digest id;       // SHA-1 of chunk content
+  uint64_t offset = 0; // position within the file
+  uint64_t size = 0;   // chunk byte count
+  uint32_t t = 0;      // shares needed to reconstruct
+  uint32_t n = 0;      // shares stored
+};
+
+// ShareMap row.
+//
+// In memory, `csp` is the *local* registry index of the provider holding
+// the share (-1 when the provider is unknown to this client). Registry
+// indices are client-local, so on the wire each metadata object carries a
+// `csp_directory` of stable connector ids and `csp` indexes into it; the
+// client translates in both directions (see CyrusClient's metadata I/O).
+struct ShareLocation {
+  Sha1Digest chunk_id;
+  uint32_t share_index = 0;
+  int32_t csp = -1;
+};
+
+// One node of the metadata tree (FileMap row + its two tables).
+//
+// The paper keys FileMap rows by the SHA-1 of the file content alone; that
+// collides when identical content is stored under two names (or re-created
+// after deletion), so this implementation derives `id` from (content hash,
+// parent, name) and keeps the pure content hash in `content_id` for
+// integrity checks and deduplication.
+struct FileVersion {
+  Sha1Digest id;          // unique version id (content x parent x name)
+  Sha1Digest content_id;  // SHA-1 of the whole file content
+  Sha1Digest prev_id;     // parent version; null digest for new files
+  std::string client_id;
+  std::string file_name;
+  bool deleted = false;
+  double modified_time = 0.0;
+  uint64_t size = 0;
+  std::vector<ChunkRecord> chunks;
+  std::vector<ShareLocation> shares;
+  // Stable connector ids naming the CSPs that `shares[].csp` refers to in
+  // *serialized* metadata (entry k names csp value k). Local in-memory
+  // versions leave it empty and use registry indices directly.
+  std::vector<std::string> csp_directory;
+
+  // Binary encoding (versioned; see serialize.h for the wire format).
+  Bytes Serialize() const;
+  static Result<FileVersion> Deserialize(ByteSpan data);
+
+  // Share locations for one chunk, in share-index order.
+  std::vector<ShareLocation> SharesOfChunk(const Sha1Digest& chunk_id) const;
+
+  // Internal consistency: every chunk has >= t shares listed, chunk offsets
+  // tile [0, size), and t <= n for every chunk.
+  Status Validate() const;
+};
+
+// Derives the unique version id for a (content, parent, name) triple.
+Sha1Digest ComputeVersionId(const Sha1Digest& content_id, const Sha1Digest& prev_id,
+                            std::string_view file_name);
+
+}  // namespace cyrus
+
+#endif  // SRC_META_METADATA_H_

@@ -1,0 +1,106 @@
+#include "src/meta/serialize.h"
+
+#include <cstring>
+
+namespace cyrus {
+
+void BinaryWriter::WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::WriteBytes(ByteSpan data) {
+  WriteU32(static_cast<uint32_t>(data.size()));
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void BinaryWriter::WriteDigest(const Sha1Digest& d) {
+  buffer_.insert(buffer_.end(), d.bytes.begin(), d.bytes.end());
+}
+
+Result<ByteSpan> BinaryReader::Take(size_t count) {
+  if (pos_ + count > data_.size()) {
+    return DataLossError("truncated metadata: read past end of buffer");
+  }
+  ByteSpan out = data_.subspan(pos_, count);
+  pos_ += count;
+  return out;
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  CYRUS_ASSIGN_OR_RETURN(ByteSpan b, Take(1));
+  return b[0];
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  CYRUS_ASSIGN_OR_RETURN(ByteSpan b, Take(4));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | b[i];
+  }
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  CYRUS_ASSIGN_OR_RETURN(ByteSpan b, Take(8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[i];
+  }
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  CYRUS_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  CYRUS_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  CYRUS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  CYRUS_ASSIGN_OR_RETURN(ByteSpan b, Take(len));
+  return std::string(b.begin(), b.end());
+}
+
+Result<Bytes> BinaryReader::ReadBytes() {
+  CYRUS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  CYRUS_ASSIGN_OR_RETURN(ByteSpan b, Take(len));
+  return Bytes(b.begin(), b.end());
+}
+
+Result<Sha1Digest> BinaryReader::ReadDigest() {
+  CYRUS_ASSIGN_OR_RETURN(ByteSpan b, Take(20));
+  Sha1Digest d;
+  std::copy(b.begin(), b.end(), d.bytes.begin());
+  return d;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,62 @@
+// Bounds-checked binary serialization for metadata objects.
+//
+// Metadata files are scattered to CSPs as opaque bytes (secret-shared like
+// everything else), so the encoding only needs to be compact, versioned,
+// and safe to parse from untrusted storage. Integers are little-endian
+// fixed width; strings and blobs are u32-length-prefixed.
+#ifndef SRC_META_SERIALIZE_H_
+#define SRC_META_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/sha1.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteDouble(double v);
+  void WriteString(std::string_view s);
+  void WriteBytes(ByteSpan data);  // length-prefixed
+  void WriteDigest(const Sha1Digest& d);
+
+  const Bytes& data() const { return buffer_; }
+  Bytes TakeData() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteSpan data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<Bytes> ReadBytes();
+  Result<Sha1Digest> ReadDigest();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Result<ByteSpan> Take(size_t count);
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_META_SERIALIZE_H_

@@ -1,0 +1,215 @@
+#include "src/meta/version_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+Status VersionTree::Insert(const FileVersion& version) {
+  auto it = nodes_.find(version.id);
+  if (it != nodes_.end()) {
+    // Content-addressed: same id must mean same metadata.
+    if (it->second.Serialize() != version.Serialize()) {
+      return AlreadyExistsError(
+          StrCat("version ", version.id.ToHex(), " already exists with different content"));
+    }
+    return OkStatus();
+  }
+  nodes_.emplace(version.id, version);
+  if (IsNullDigest(version.prev_id)) {
+    roots_.emplace(version.file_name, version.id);
+  } else {
+    children_.emplace(version.prev_id, version.id);
+  }
+  return OkStatus();
+}
+
+bool VersionTree::Contains(const Sha1Digest& id) const { return nodes_.count(id) > 0; }
+
+const FileVersion* VersionTree::Find(const Sha1Digest& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FileVersion*> VersionTree::Children(const Sha1Digest& id) const {
+  std::vector<const FileVersion*> out;
+  auto [begin, end] = children_.equal_range(id);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(Find(it->second));
+  }
+  return out;
+}
+
+std::vector<const FileVersion*> VersionTree::Heads(std::string_view file_name) const {
+  std::vector<const FileVersion*> out;
+  for (const auto& [id, version] : nodes_) {
+    if (version.file_name != file_name) {
+      continue;
+    }
+    if (Children(id).empty()) {
+      out.push_back(&version);
+    }
+  }
+  return out;
+}
+
+Result<const FileVersion*> VersionTree::Latest(std::string_view file_name) const {
+  std::vector<const FileVersion*> live;
+  for (const FileVersion* head : Heads(file_name)) {
+    if (!head->deleted) {
+      live.push_back(head);
+    }
+  }
+  if (live.empty()) {
+    return NotFoundError(StrCat("no live version of ", file_name));
+  }
+  if (live.size() > 1) {
+    return ConflictError(StrCat(file_name, " has ", live.size(), " conflicting heads"));
+  }
+  return live.front();
+}
+
+Result<std::vector<const FileVersion*>> VersionTree::History(const Sha1Digest& id) const {
+  std::vector<const FileVersion*> out;
+  const FileVersion* node = Find(id);
+  if (node == nullptr) {
+    return NotFoundError(StrCat("unknown version ", id.ToHex()));
+  }
+  std::set<Sha1Digest> seen;  // defends against (corrupt) parent cycles
+  while (node != nullptr) {
+    if (!seen.insert(node->id).second) {
+      return DataLossError("cycle in version history");
+    }
+    out.push_back(node);
+    if (IsNullDigest(node->prev_id)) {
+      break;
+    }
+    node = Find(node->prev_id);
+  }
+  return out;
+}
+
+std::vector<Conflict> VersionTree::DetectConflicts() const {
+  std::vector<Conflict> out;
+
+  // Type 1: multiple parentless versions sharing a file name.
+  for (auto it = roots_.begin(); it != roots_.end();) {
+    auto range_end = roots_.upper_bound(it->first);
+    std::vector<Sha1Digest> ids;
+    for (auto jt = it; jt != range_end; ++jt) {
+      ids.push_back(jt->second);
+    }
+    if (ids.size() > 1) {
+      out.push_back(Conflict{ConflictType::kSameName, it->first, std::move(ids)});
+    }
+    it = range_end;
+  }
+
+  // Type 2: any version with multiple children.
+  for (auto it = children_.begin(); it != children_.end();) {
+    auto range_end = children_.upper_bound(it->first);
+    std::vector<Sha1Digest> ids;
+    for (auto jt = it; jt != range_end; ++jt) {
+      ids.push_back(jt->second);
+    }
+    if (ids.size() > 1) {
+      const FileVersion* parent = Find(it->first);
+      out.push_back(Conflict{ConflictType::kDivergedVersions,
+                             parent != nullptr ? parent->file_name : "<unknown>",
+                             std::move(ids)});
+    }
+    it = range_end;
+  }
+  return out;
+}
+
+std::vector<Conflict> VersionTree::DetectConflictsFor(const Sha1Digest& id) const {
+  std::vector<Conflict> out;
+  const FileVersion* node = Find(id);
+  if (node == nullptr) {
+    return out;
+  }
+
+  if (IsNullDigest(node->prev_id)) {
+    // Type 1: another root with the same name but different id?
+    std::vector<Sha1Digest> ids;
+    auto [begin, end] = roots_.equal_range(node->file_name);
+    for (auto it = begin; it != end; ++it) {
+      ids.push_back(it->second);
+    }
+    if (ids.size() > 1) {
+      out.push_back(Conflict{ConflictType::kSameName, node->file_name, std::move(ids)});
+    }
+  }
+
+  // Type 2: walk up from the new node; any ancestor with several children
+  // indicates divergence (paper §5.4: "traverse the tree upwards").
+  const FileVersion* cursor = node;
+  std::set<Sha1Digest> seen;
+  while (cursor != nullptr && seen.insert(cursor->id).second) {
+    if (!IsNullDigest(cursor->prev_id)) {
+      const FileVersion* parent = Find(cursor->prev_id);
+      if (parent != nullptr) {
+        std::vector<const FileVersion*> siblings = Children(parent->id);
+        if (siblings.size() > 1) {
+          std::vector<Sha1Digest> ids;
+          for (const FileVersion* s : siblings) {
+            ids.push_back(s->id);
+          }
+          out.push_back(
+              Conflict{ConflictType::kDivergedVersions, parent->file_name, std::move(ids)});
+        }
+      }
+      cursor = parent;
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> VersionTree::FileNames(bool include_deleted) const {
+  std::set<std::string> names;
+  for (const auto& [id, version] : nodes_) {
+    names.insert(version.file_name);
+  }
+  std::vector<std::string> out;
+  for (const std::string& name : names) {
+    if (include_deleted) {
+      out.push_back(name);
+      continue;
+    }
+    // A name is live if any head is non-deleted.
+    bool live = false;
+    for (const FileVersion* head : Heads(name)) {
+      live |= !head->deleted;
+    }
+    if (live) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+Status VersionTree::UpdateShareLocations(const Sha1Digest& id,
+                                         std::vector<ShareLocation> shares) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFoundError(StrCat("unknown version ", id.ToHex()));
+  }
+  it->second.shares = std::move(shares);
+  return OkStatus();
+}
+
+std::vector<const FileVersion*> VersionTree::AllVersions() const {
+  std::vector<const FileVersion*> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, version] : nodes_) {
+    out.push_back(&version);
+  }
+  return out;
+}
+
+}  // namespace cyrus

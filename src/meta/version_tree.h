@@ -1,0 +1,89 @@
+// The metadata version tree (paper §5.2, §5.4, Figures 6 and 8).
+//
+// All versions of all files form a forest under a dummy root: new files are
+// first-level nodes, edits hang off their parent version. Because clients
+// upload without locking, two situations create conflicts, detected by
+// traversal after download:
+//   1. same-name conflict: two parentless versions share a file name but
+//      have different content ids;
+//   2. diverged-version conflict: one version has multiple children (two
+//      clients edited the same parent concurrently).
+#ifndef SRC_META_VERSION_TREE_H_
+#define SRC_META_VERSION_TREE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/meta/metadata.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+enum class ConflictType {
+  kSameName,          // Figure 8, left: independent creations collide
+  kDivergedVersions,  // Figure 8, right: concurrent edits of one parent
+};
+
+struct Conflict {
+  ConflictType type;
+  std::string file_name;
+  // The sibling version ids involved (>= 2 entries).
+  std::vector<Sha1Digest> versions;
+};
+
+class VersionTree {
+ public:
+  // Inserts a version node. Inserting an id already present is a no-op if
+  // the content matches and kAlreadyExists if it differs (ids are content
+  // hashes, so a mismatch means corruption).
+  Status Insert(const FileVersion& version);
+
+  bool Contains(const Sha1Digest& id) const;
+  const FileVersion* Find(const Sha1Digest& id) const;
+  size_t size() const { return nodes_.size(); }
+
+  // Children of a version (versions naming it as parent).
+  std::vector<const FileVersion*> Children(const Sha1Digest& id) const;
+
+  // Leaf versions for a file name: versions with no children, following
+  // either creation roots or edit chains. Deleted leaves are included
+  // (the caller decides how to treat deletion markers).
+  std::vector<const FileVersion*> Heads(std::string_view file_name) const;
+
+  // The single live head of a file.
+  //   kNotFound  - no version, or every head is deleted;
+  //   kConflict  - multiple live heads (caller should surface conflicts).
+  Result<const FileVersion*> Latest(std::string_view file_name) const;
+
+  // Version chain from `id` back to its creation (newest first).
+  Result<std::vector<const FileVersion*>> History(const Sha1Digest& id) const;
+
+  // Every conflict in the tree (paper's distributed conflict detection).
+  std::vector<Conflict> DetectConflicts() const;
+
+  // Conflicts involving one newly-inserted version id only - what a client
+  // checks when a new metadata object arrives during sync (Algorithm 3).
+  std::vector<Conflict> DetectConflictsFor(const Sha1Digest& id) const;
+
+  // Distinct file names, ascending; names whose every head is deleted are
+  // excluded unless include_deleted.
+  std::vector<std::string> FileNames(bool include_deleted = false) const;
+
+  // All versions (arbitrary order), for sync-service diffing.
+  std::vector<const FileVersion*> AllVersions() const;
+
+  // Replaces a version's ShareMap (lazy share migration, paper §5.5).
+  // Version ids hash file *content*, so relocating shares does not change
+  // the id. kNotFound if the version is absent.
+  Status UpdateShareLocations(const Sha1Digest& id, std::vector<ShareLocation> shares);
+
+ private:
+  std::map<Sha1Digest, FileVersion> nodes_;
+  std::multimap<Sha1Digest, Sha1Digest> children_;          // parent -> child
+  std::multimap<std::string, Sha1Digest, std::less<>> roots_;  // name -> parentless
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_META_VERSION_TREE_H_

@@ -1,0 +1,158 @@
+#include "src/net/clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "src/net/union_find.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+int RoutingTree::IndexOf(int topology_node) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].topology_node == topology_node) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int RoutingTree::Height() const {
+  int h = 0;
+  for (const TreeNode& n : nodes) {
+    h = std::max(h, n.depth);
+  }
+  return h;
+}
+
+std::string RoutingTree::Render(const Topology& topology) const {
+  std::string out;
+  // Depth-first with indentation.
+  std::vector<std::pair<int, int>> stack = {{root, 0}};  // (index, depth)
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    out += std::string(static_cast<size_t>(depth) * 2, ' ');
+    out += topology.node(nodes[idx].topology_node).name;
+    out += "\n";
+    // Push children in reverse so they render in order.
+    const auto& children = nodes[idx].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+Result<RoutingTree> BuildRoutingTree(const Topology& topology, int client,
+                                     const std::vector<int>& csp_nodes) {
+  // Union of traceroute paths: collect the distinct weighted edges.
+  struct Edge {
+    int a;
+    int b;
+    double weight;
+  };
+  std::map<std::pair<int, int>, double> edge_weights;
+  std::set<int> touched = {client};
+  for (int csp : csp_nodes) {
+    CYRUS_ASSIGN_OR_RETURN(std::vector<TracerouteHop> hops,
+                           topology.Traceroute(client, csp));
+    for (size_t i = 1; i < hops.size(); ++i) {
+      const int a = std::min(hops[i - 1].node, hops[i].node);
+      const int b = std::max(hops[i - 1].node, hops[i].node);
+      edge_weights[{a, b}] = hops[i].rtt_ms - hops[i - 1].rtt_ms;
+      touched.insert(hops[i - 1].node);
+      touched.insert(hops[i].node);
+    }
+  }
+
+  // Compact node ids.
+  std::map<int, size_t> compact;
+  std::vector<int> topo_of;
+  for (int node : touched) {
+    compact[node] = topo_of.size();
+    topo_of.push_back(node);
+  }
+
+  // Kruskal MST. (Traceroute unions are usually already trees; the MST
+  // makes the construction robust to path diversity.)
+  std::vector<Edge> edges;
+  edges.reserve(edge_weights.size());
+  for (const auto& [key, w] : edge_weights) {
+    edges.push_back(Edge{key.first, key.second, w});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& x, const Edge& y) { return x.weight < y.weight; });
+  UnionFind uf(topo_of.size());
+  std::vector<std::vector<int>> adjacency(topo_of.size());
+  for (const Edge& e : edges) {
+    const size_t ca = compact[e.a];
+    const size_t cb = compact[e.b];
+    if (uf.Union(ca, cb)) {
+      adjacency[ca].push_back(static_cast<int>(cb));
+      adjacency[cb].push_back(static_cast<int>(ca));
+    }
+  }
+
+  // Root at the client; BFS assigns parents and depths.
+  RoutingTree tree;
+  tree.nodes.resize(topo_of.size());
+  for (size_t i = 0; i < topo_of.size(); ++i) {
+    tree.nodes[i].topology_node = topo_of[i];
+  }
+  const size_t root_compact = compact[client];
+  tree.root = static_cast<int>(root_compact);
+  std::vector<bool> visited(topo_of.size(), false);
+  std::queue<size_t> queue;
+  queue.push(root_compact);
+  visited[root_compact] = true;
+  while (!queue.empty()) {
+    const size_t u = queue.front();
+    queue.pop();
+    for (int v : adjacency[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        tree.nodes[v].parent = static_cast<int>(u);
+        tree.nodes[v].depth = tree.nodes[u].depth + 1;
+        tree.nodes[u].children.push_back(v);
+        queue.push(static_cast<size_t>(v));
+      }
+    }
+  }
+  return tree;
+}
+
+Result<std::vector<int>> ClusterByLevel(const RoutingTree& tree,
+                                        const std::vector<int>& csp_nodes, int level) {
+  if (level < 0) {
+    return InvalidArgumentError("cut level must be nonnegative");
+  }
+  std::vector<int> clusters(csp_nodes.size(), -1);
+  std::map<int, int> anchor_to_cluster;  // tree index (or unique tag) -> cluster id
+  int next_cluster = 0;
+  for (size_t i = 0; i < csp_nodes.size(); ++i) {
+    int idx = tree.IndexOf(csp_nodes[i]);
+    if (idx < 0) {
+      return NotFoundError(StrCat("CSP node ", csp_nodes[i], " not in routing tree"));
+    }
+    // Walk up to the ancestor at `level` (or stay put if shallower).
+    while (tree.nodes[idx].depth > level) {
+      idx = tree.nodes[idx].parent;
+    }
+    auto [it, inserted] = anchor_to_cluster.emplace(idx, next_cluster);
+    if (inserted) {
+      ++next_cluster;
+    }
+    clusters[i] = it->second;
+  }
+  return clusters;
+}
+
+Result<std::vector<int>> ClusterByPlatform(const RoutingTree& tree,
+                                           const std::vector<int>& csp_nodes) {
+  return ClusterByLevel(tree, csp_nodes, std::max(0, tree.Height() - 1));
+}
+
+}  // namespace cyrus

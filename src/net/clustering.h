@@ -1,0 +1,62 @@
+// CSP platform clustering from traceroute paths (paper §4.1, Figure 3).
+//
+// The union of client->CSP traceroute paths forms a weighted graph; its
+// minimum spanning tree, rooted at the client, is the routing tree. Cutting
+// the tree horizontally at a depth level groups CSP endpoints by the
+// subtree they fall in - CSPs behind a shared platform gateway land in the
+// same cluster. CYRUS stores at most one share of a chunk per cluster to
+// avoid correlated failures.
+#ifndef SRC_NET_CLUSTERING_H_
+#define SRC_NET_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+// The routing tree: MST of the union of traceroute paths, rooted at the
+// client. Node ids refer to the originating Topology.
+struct RoutingTree {
+  struct TreeNode {
+    int topology_node = 0;
+    int parent = -1;            // index into `nodes`; -1 for the root
+    int depth = 0;              // root is depth 0
+    std::vector<int> children;  // indices into `nodes`
+  };
+  std::vector<TreeNode> nodes;
+  int root = 0;
+
+  // Index into `nodes` for a topology node id, or -1 if absent.
+  int IndexOf(int topology_node) const;
+
+  // Maximum depth over all nodes.
+  int Height() const;
+
+  // ASCII rendering (for the Figure 3 bench and debugging).
+  std::string Render(const Topology& topology) const;
+};
+
+// Builds the routing tree by tracerouting from `client` to every CSP node
+// and taking the MST of the union graph (Kruskal over link RTT weights).
+Result<RoutingTree> BuildRoutingTree(const Topology& topology, int client,
+                                     const std::vector<int>& csp_nodes);
+
+// Clusters the CSPs by cutting the tree at `level`: two CSPs share a
+// cluster iff they share an ancestor at that depth. Returns one cluster id
+// per entry of csp_nodes, normalized to 0..k-1 in first-appearance order.
+// CSPs shallower than `level` get singleton clusters.
+Result<std::vector<int>> ClusterByLevel(const RoutingTree& tree,
+                                        const std::vector<int>& csp_nodes, int level);
+
+// Convenience: the finest level at which any two CSPs still share a
+// cluster, i.e. platform granularity (the paper cuts just above the CSP
+// leaves). Equivalent to ClusterByLevel(tree, csps, Height() - 1).
+Result<std::vector<int>> ClusterByPlatform(const RoutingTree& tree,
+                                           const std::vector<int>& csp_nodes);
+
+}  // namespace cyrus
+
+#endif  // SRC_NET_CLUSTERING_H_

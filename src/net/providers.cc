@@ -1,0 +1,41 @@
+#include "src/net/providers.h"
+
+namespace cyrus {
+
+const std::vector<ProviderInfo>& PaperProviders() {
+  static const std::vector<ProviderInfo> kProviders = {
+      {"Amazon S3", "XML", "SOAP/REST", "AWS Signature", 235, true},
+      {"Box", "JSON", "REST", "OAuth 2.0", 149, false},
+      {"Dropbox", "JSON", "REST", "OAuth 2.0", 137, false},
+      {"OneDrive", "JSON", "REST", "OAuth 2.0", 142, false},
+      {"Google Drive", "JSON", "REST", "OAuth 2.0", 71, false},
+      {"SugarSync", "XML", "REST", "OAuth-like", 146, false},
+      {"CloudMine", "JSON", "REST", "ID/Password", 215, false},
+      {"Rackspace", "XML/JSON", "REST", "API Key", 186, false},
+      {"Copy", "JSON", "REST", "OAuth", 192, false},
+      {"ShareFile", "JSON", "REST", "OAuth 2.0", 215, false},
+      {"4Shared", "XML", "SOAP", "OAuth 1.0", 186, false},
+      {"DigitalBucket", "XML", "REST", "ID/Password", 217, true},
+      {"Bitcasa", "JSON", "REST", "OAuth 2.0", 139, true},
+      {"Egnyte", "JSON", "REST", "OAuth 2.0", 153, false},
+      {"MediaFire", "XML/JSON", "REST", "OAuth-like", 192, false},
+      {"HP Cloud", "XML/JSON", "REST", "OpenStack Keystone V3", 210, false},
+      {"CloudApp", "JSON", "REST", "HTTP Digest", 205, true},
+      {"Safe Creative", "XML/JSON", "REST", "Two-step authentication", 295, true},
+      {"FilesAnywhere", "XML", "SOAP", "Custom", 202, false},
+      {"CenturyLink", "XML/JSON", "SOAP/REST", "SAML 2.0", 293, false},
+  };
+  return kProviders;
+}
+
+const std::vector<ProviderInfo>& PrototypeProviders() {
+  static const std::vector<ProviderInfo> kPrototype = {
+      PaperProviders()[2],  // Dropbox
+      PaperProviders()[4],  // Google Drive
+      PaperProviders()[3],  // OneDrive (SkyDrive at the time)
+      PaperProviders()[1],  // Box
+  };
+  return kPrototype;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,32 @@
+// The commercial-CSP catalog of paper Table 2.
+//
+// Twenty providers with their API style, protocol, authentication scheme,
+// measured RTT from the paper's vantage point (Korea), and whether the
+// provider's destination IPs resolve into Amazon's address space (the
+// asterisked rows, used by the Figure 3 clustering experiment).
+#ifndef SRC_NET_PROVIDERS_H_
+#define SRC_NET_PROVIDERS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace cyrus {
+
+struct ProviderInfo {
+  std::string_view name;
+  std::string_view format;     // XML / JSON
+  std::string_view protocol;   // REST / SOAP
+  std::string_view auth;       // OAuth 2.0, API key, ...
+  double rtt_ms;               // measured RTT from the paper
+  bool on_amazon;              // asterisk in Table 2
+};
+
+// The rows of Table 2, in the paper's order.
+const std::vector<ProviderInfo>& PaperProviders();
+
+// The four providers the prototype ships connectors for (paper §6).
+const std::vector<ProviderInfo>& PrototypeProviders();
+
+}  // namespace cyrus
+
+#endif  // SRC_NET_PROVIDERS_H_

@@ -1,0 +1,30 @@
+#include "src/net/tcp_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cyrus {
+
+double TcpThroughputBps(double rtt_ms, const TcpModelParams& params) {
+  assert(rtt_ms > 0.0);
+  const double rtt_s = rtt_ms / 1000.0;
+  const double window_limit = params.window_bytes * 8.0 / rtt_s;
+  const double loss_limit =
+      (params.mss_bytes * 8.0 / rtt_s) * params.mathis_constant / std::sqrt(params.loss_rate);
+  return std::min(window_limit, loss_limit);
+}
+
+double TcpThroughputMbps(double rtt_ms, const TcpModelParams& params) {
+  return TcpThroughputBps(rtt_ms, params) / 1e6;
+}
+
+double RttForThroughputMbps(double mbps, const TcpModelParams& params) {
+  assert(mbps > 0.0);
+  // Invert the loss-limited regime; check the window limit afterwards.
+  const double rtt_s =
+      (params.mss_bytes * 8.0 * params.mathis_constant) / (std::sqrt(params.loss_rate) * mbps * 1e6);
+  return rtt_s * 1000.0;
+}
+
+}  // namespace cyrus

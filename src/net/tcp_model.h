@@ -1,0 +1,39 @@
+// TCP throughput estimation from path RTT (paper Table 2).
+//
+// The paper derives each CSP's achievable throughput from its measured RTT
+// "assuming a 0.1% packet loss rate and 65,535 byte TCP window". Two
+// regimes bound a long-lived TCP flow:
+//   - receive-window limit:            W / RTT
+//   - loss limit (Mathis et al. 1997): (MSS / RTT) * (C / sqrt(p))
+// with C = sqrt(3/4) for delayed-ACK receivers. The achieved rate is the
+// minimum of the two. With MSS = 1448 (1500 MTU minus IP/TCP headers and
+// timestamps) this reproduces Table 2's numbers to the printed precision.
+#ifndef SRC_NET_TCP_MODEL_H_
+#define SRC_NET_TCP_MODEL_H_
+
+#include <cstdint>
+
+namespace cyrus {
+
+struct TcpModelParams {
+  double loss_rate = 0.001;          // p
+  uint32_t window_bytes = 65535;     // receiver window W
+  uint32_t mss_bytes = 1448;         // segment size
+  double mathis_constant = 0.8660254037844386;  // sqrt(3/4), delayed ACKs
+};
+
+// Estimated steady-state throughput in bits/second for the given RTT.
+// rtt_ms must be positive.
+double TcpThroughputBps(double rtt_ms, const TcpModelParams& params = {});
+
+// Convenience: the same value in Mbps (1e6 bits/s), as Table 2 prints it.
+double TcpThroughputMbps(double rtt_ms, const TcpModelParams& params = {});
+
+// Inverse model: the RTT (ms) at which the loss-limited rate equals
+// `mbps`. Used by the trial benchmark to turn published per-CSP rates back
+// into link parameters.
+double RttForThroughputMbps(double mbps, const TcpModelParams& params = {});
+
+}  // namespace cyrus
+
+#endif  // SRC_NET_TCP_MODEL_H_

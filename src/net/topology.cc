@@ -1,0 +1,139 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "src/net/providers.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+int Topology::AddNode(NodeKind kind, std::string name) {
+  nodes_.push_back(TopologyNode{kind, std::move(name)});
+  adjacency_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Topology::AddLink(int a, int b, double latency_ms) {
+  assert(a >= 0 && static_cast<size_t>(a) < nodes_.size());
+  assert(b >= 0 && static_cast<size_t>(b) < nodes_.size());
+  assert(latency_ms >= 0.0);
+  adjacency_[a].push_back(Link{b, latency_ms});
+  adjacency_[b].push_back(Link{a, latency_ms});
+}
+
+Result<std::vector<int>> Topology::ShortestPath(int src, int dst) const {
+  if (src < 0 || dst < 0 || static_cast<size_t>(src) >= nodes_.size() ||
+      static_cast<size_t>(dst) >= nodes_.size()) {
+    return InvalidArgumentError("node id out of range");
+  }
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<int> prev(nodes_.size(), -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    if (u == dst) {
+      break;
+    }
+    for (const Link& link : adjacency_[u]) {
+      const double nd = d + link.latency_ms;
+      if (nd < dist[link.peer]) {
+        dist[link.peer] = nd;
+        prev[link.peer] = u;
+        heap.emplace(nd, link.peer);
+      }
+    }
+  }
+  if (dist[dst] == kInf) {
+    return NotFoundError(StrCat("no route from node ", src, " to node ", dst));
+  }
+  std::vector<int> path;
+  for (int at = dst; at != -1; at = prev[at]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<std::vector<TracerouteHop>> Topology::Traceroute(int src, int dst) const {
+  CYRUS_ASSIGN_OR_RETURN(std::vector<int> path, ShortestPath(src, dst));
+  std::vector<TracerouteHop> hops;
+  hops.reserve(path.size());
+  double one_way = 0.0;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) {
+      // Recover the link latency from the adjacency list.
+      for (const Link& link : adjacency_[path[i - 1]]) {
+        if (link.peer == path[i]) {
+          one_way += link.latency_ms;
+          break;
+        }
+      }
+    }
+    hops.push_back(TracerouteHop{path[i], 2.0 * one_way});
+  }
+  return hops;
+}
+
+ProviderTopology BuildProviderTopology(const std::vector<PlatformSpec>& platforms,
+                                       double client_isp_latency_ms,
+                                       double isp_backbone_latency_ms) {
+  ProviderTopology out;
+  Topology& topo = out.topology;
+  out.client = topo.AddNode(NodeKind::kClient, "client");
+  const int isp = topo.AddNode(NodeKind::kRouter, "isp");
+  const int backbone = topo.AddNode(NodeKind::kRouter, "backbone");
+  topo.AddLink(out.client, isp, client_isp_latency_ms);
+  topo.AddLink(isp, backbone, isp_backbone_latency_ms);
+
+  for (const PlatformSpec& platform : platforms) {
+    const int gateway =
+        topo.AddNode(NodeKind::kPlatformGateway, StrCat("gw-", platform.name));
+    topo.AddLink(backbone, gateway, platform.backbone_latency_ms);
+    for (const std::string& csp : platform.csps) {
+      const int endpoint = topo.AddNode(NodeKind::kCspEndpoint, csp);
+      topo.AddLink(gateway, endpoint, platform.intra_platform_latency_ms);
+      out.csp_nodes.push_back(endpoint);
+      out.csp_names.push_back(csp);
+    }
+  }
+  return out;
+}
+
+ProviderTopology MakePaperTopology() {
+  std::vector<PlatformSpec> platforms;
+  PlatformSpec amazon;
+  amazon.name = "amazon";
+  for (const ProviderInfo& p : PaperProviders()) {
+    // RTT-derived one-way backbone latency: the client-side hops contribute
+    // a fixed 15 ms one-way, the rest comes from the platform link.
+    const double platform_latency = std::max(1.0, p.rtt_ms / 2.0 - 15.0 - 1.0);
+    if (p.on_amazon) {
+      amazon.csps.emplace_back(p.name);
+      // Amazon's gateway latency: keyed off the S3 row.
+      if (p.name == "Amazon S3") {
+        amazon.backbone_latency_ms = platform_latency;
+      }
+    } else {
+      PlatformSpec solo;
+      solo.name = StrCat("platform-", platforms.size());
+      solo.csps.emplace_back(p.name);
+      solo.backbone_latency_ms = platform_latency;
+      platforms.push_back(std::move(solo));
+    }
+  }
+  platforms.push_back(std::move(amazon));
+  return BuildProviderTopology(platforms);
+}
+
+}  // namespace cyrus

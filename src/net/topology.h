@@ -1,0 +1,97 @@
+// A routed network topology simulator.
+//
+// CYRUS infers which CSPs share physical infrastructure by tracerouting to
+// each provider and clustering the resulting routing tree (paper §4.1,
+// Figure 3). The paper uses real traceroutes; offline we substitute this
+// topology model: clients, ISP and backbone routers, platform gateways
+// (one per physical cloud platform, e.g. "Amazon"), and CSP API endpoints.
+// Traceroute returns the latency-shortest hop sequence, which is what the
+// clustering consumes.
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+enum class NodeKind {
+  kClient,
+  kRouter,           // ISP or backbone
+  kPlatformGateway,  // entry into a physical cloud platform
+  kCspEndpoint,      // a provider's API endpoint
+};
+
+struct TopologyNode {
+  NodeKind kind = NodeKind::kRouter;
+  std::string name;
+};
+
+struct TracerouteHop {
+  int node = 0;
+  double rtt_ms = 0.0;  // cumulative round-trip time at this hop
+};
+
+class Topology {
+ public:
+  // Returns the new node's id.
+  int AddNode(NodeKind kind, std::string name);
+
+  // Undirected link with the given one-way latency.
+  void AddLink(int a, int b, double latency_ms);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const TopologyNode& node(int id) const { return nodes_[id]; }
+
+  // Latency-shortest node sequence from src to dst (inclusive), or
+  // kNotFound if disconnected.
+  Result<std::vector<int>> ShortestPath(int src, int dst) const;
+
+  // Simulated traceroute: the shortest path annotated with cumulative RTTs
+  // (2x the one-way latency, as ICMP echoes would measure).
+  Result<std::vector<TracerouteHop>> Traceroute(int src, int dst) const;
+
+ private:
+  struct Link {
+    int peer;
+    double latency_ms;
+  };
+  std::vector<TopologyNode> nodes_;
+  std::vector<std::vector<Link>> adjacency_;
+};
+
+// Specification for one physical cloud platform and the CSPs it hosts.
+struct PlatformSpec {
+  std::string name;
+  std::vector<std::string> csps;
+  // One-way latency from the backbone to this platform's gateway.
+  double backbone_latency_ms = 20.0;
+  // One-way latency from the gateway to each hosted CSP endpoint.
+  double intra_platform_latency_ms = 1.0;
+};
+
+// Builds client -> ISP -> backbone -> platform gateways -> CSP endpoints.
+// Returns the topology plus the node ids of the client and each CSP
+// endpoint (in spec order, flattened platform by platform).
+struct ProviderTopology {
+  Topology topology;
+  int client = 0;
+  std::vector<int> csp_nodes;
+  std::vector<std::string> csp_names;
+};
+
+ProviderTopology BuildProviderTopology(const std::vector<PlatformSpec>& platforms,
+                                       double client_isp_latency_ms = 5.0,
+                                       double isp_backbone_latency_ms = 10.0);
+
+// The Figure 3 scenario: Table 2's twenty providers, with the five
+// Amazon-hosted ones (asterisked rows) behind a shared "amazon" gateway and
+// every other provider on its own platform.
+ProviderTopology MakePaperTopology();
+
+}  // namespace cyrus
+
+#endif  // SRC_NET_TOPOLOGY_H_

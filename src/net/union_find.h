@@ -1,0 +1,55 @@
+// Disjoint-set (union-find) with path compression and union by rank.
+// Used by the minimum-spanning-tree construction in CSP clustering.
+#ifndef SRC_NET_UNION_FIND_H_
+#define SRC_NET_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace cyrus {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Merges the sets holding a and b; returns false if already joined.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) {
+      return false;
+    }
+    if (rank_[ra] < rank_[rb]) {
+      std::swap(ra, rb);
+    }
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) {
+      ++rank_[ra];
+    }
+    --num_sets_;
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+  size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_NET_UNION_FIND_H_

@@ -1,0 +1,324 @@
+#include "src/opt/download_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/opt/milp.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+// Completion time of a load vector under the optimal static bandwidth split:
+// y = max( sum L / beta, max_c L_c / beta_bar_c ).
+double CompletionTime(const std::vector<double>& loads, const DownloadProblem& problem) {
+  double total = 0.0;
+  double bottleneck = 0.0;
+  for (size_t c = 0; c < loads.size(); ++c) {
+    total += loads[c];
+    if (loads[c] > 0.0) {
+      bottleneck = std::max(bottleneck, loads[c] / problem.csp_bandwidth[c]);
+    }
+  }
+  if (problem.client_bandwidth > 0.0) {
+    bottleneck = std::max(bottleneck, total / problem.client_bandwidth);
+  }
+  return bottleneck;
+}
+
+}  // namespace
+
+Status DownloadSelector::Validate(const DownloadProblem& problem) {
+  if (problem.t == 0) {
+    return InvalidArgumentError("t must be positive");
+  }
+  for (double bw : problem.csp_bandwidth) {
+    if (bw <= 0.0) {
+      return InvalidArgumentError("every CSP bandwidth must be positive");
+    }
+  }
+  for (size_t r = 0; r < problem.chunks.size(); ++r) {
+    const DownloadChunk& chunk = problem.chunks[r];
+    if (chunk.stored_at.size() < problem.t) {
+      return FailedPreconditionError(
+          StrCat("chunk ", r, " has shares on only ", chunk.stored_at.size(),
+                 " CSPs but t=", problem.t));
+    }
+    for (int c : chunk.stored_at) {
+      if (c < 0 || static_cast<size_t>(c) >= problem.csp_bandwidth.size()) {
+        return InvalidArgumentError(StrCat("chunk ", r, " references unknown CSP ", c));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+DownloadAssignment FinalizeAssignment(const DownloadProblem& problem,
+                                      std::vector<std::vector<int>> selected) {
+  std::vector<double> loads(problem.csp_bandwidth.size(), 0.0);
+  for (size_t r = 0; r < selected.size(); ++r) {
+    for (int c : selected[r]) {
+      loads[c] += problem.chunks[r].share_bytes;
+    }
+  }
+  DownloadAssignment out;
+  out.selected = std::move(selected);
+  out.predicted_seconds = CompletionTime(loads, problem);
+  out.allocated_bandwidth.assign(loads.size(), 0.0);
+  if (out.predicted_seconds > 0.0) {
+    for (size_t c = 0; c < loads.size(); ++c) {
+      out.allocated_bandwidth[c] = loads[c] / out.predicted_seconds;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CYRUS optimizer (Algorithm 1).
+// ---------------------------------------------------------------------------
+
+Result<DownloadAssignment> OptimalDownloadSelector::Select(
+    const DownloadProblem& problem) {
+  CYRUS_RETURN_IF_ERROR(Validate(problem));
+  const size_t R = problem.chunks.size();
+  const size_t C = problem.csp_bandwidth.size();
+  if (R == 0) {
+    return FinalizeAssignment(problem, {});
+  }
+
+  // Variable layout per LP: y at index 0, then one d variable per feasible
+  // (chunk, CSP) pair for chunks not yet fixed. Loads of already-fixed
+  // chunks enter as constants.
+  std::vector<std::vector<int>> fixed(R);
+  std::vector<double> fixed_loads(C, 0.0);
+
+  // Process large chunks first: their placement constrains the bottleneck
+  // most, and Algorithm 1's quality depends on fixing dominant decisions
+  // early. (For equal-size chunks this is the paper's natural order.)
+  std::vector<size_t> order(R);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return problem.chunks[a].share_bytes > problem.chunks[b].share_bytes;
+  });
+
+  for (size_t step = 0; step < R; ++step) {
+    const size_t eta = order[step];
+
+    // Build the LP over y and the d variables of all not-yet-fixed chunks.
+    std::vector<size_t> free_chunks;
+    for (size_t s = step; s < R; ++s) {
+      free_chunks.push_back(order[s]);
+    }
+
+    // var_index[r][k]: LP variable for chunk r's k-th feasible CSP.
+    size_t num_vars = 1;
+    std::vector<std::vector<size_t>> var_index(R);
+    for (size_t r : free_chunks) {
+      var_index[r].resize(problem.chunks[r].stored_at.size());
+      for (size_t k = 0; k < var_index[r].size(); ++k) {
+        var_index[r][k] = num_vars++;
+      }
+    }
+
+    LpProblem lp;
+    lp.num_vars = num_vars;
+    lp.objective.assign(num_vars, 0.0);
+    lp.objective[0] = 1.0;  // minimize y
+
+    // Per-CSP bottleneck rows: (fixed_load_c + sum b_r d_rc) / beta_bar_c <= y.
+    for (size_t c = 0; c < C; ++c) {
+      std::vector<double> coeffs(num_vars, 0.0);
+      coeffs[0] = -problem.csp_bandwidth[c];
+      bool any = fixed_loads[c] > 0.0;
+      for (size_t r : free_chunks) {
+        const auto& stored = problem.chunks[r].stored_at;
+        for (size_t k = 0; k < stored.size(); ++k) {
+          if (stored[k] == static_cast<int>(c)) {
+            coeffs[var_index[r][k]] = problem.chunks[r].share_bytes;
+            any = true;
+          }
+        }
+      }
+      if (any) {
+        lp.AddLessEqual(std::move(coeffs), -fixed_loads[c]);
+      }
+    }
+    // Client-cap row: (sum of all loads) / beta <= y.
+    if (problem.client_bandwidth > 0.0) {
+      std::vector<double> coeffs(num_vars, 0.0);
+      coeffs[0] = -problem.client_bandwidth;
+      double fixed_total = std::accumulate(fixed_loads.begin(), fixed_loads.end(), 0.0);
+      for (size_t r : free_chunks) {
+        for (size_t k = 0; k < var_index[r].size(); ++k) {
+          coeffs[var_index[r][k]] = problem.chunks[r].share_bytes;
+        }
+      }
+      lp.AddLessEqual(std::move(coeffs), -fixed_total);
+    }
+    // Feasibility: each free chunk selects exactly t shares; d in [0,1].
+    for (size_t r : free_chunks) {
+      std::vector<double> coeffs(num_vars, 0.0);
+      for (size_t k = 0; k < var_index[r].size(); ++k) {
+        coeffs[var_index[r][k]] = 1.0;
+        lp.AddUpperBound(var_index[r][k], 1.0);
+      }
+      lp.AddEqual(std::move(coeffs), static_cast<double>(problem.t));
+    }
+
+    // Integrality on chunk eta only (Algorithm 1 line 4), branch-and-bound.
+    std::vector<size_t> binary_vars;
+    for (size_t k = 0; k < var_index[eta].size(); ++k) {
+      binary_vars.push_back(var_index[eta][k]);
+    }
+    CYRUS_ASSIGN_OR_RETURN(LpSolution solution, SolveBinaryMilp(lp, binary_vars));
+
+    // Fix chunk eta's selection (Algorithm 1 line 6).
+    for (size_t k = 0; k < var_index[eta].size(); ++k) {
+      if (solution.x[var_index[eta][k]] > 0.5) {
+        const int csp = problem.chunks[eta].stored_at[k];
+        fixed[eta].push_back(csp);
+        fixed_loads[csp] += problem.chunks[eta].share_bytes;
+      }
+    }
+    if (fixed[eta].size() != problem.t) {
+      return InternalError(StrCat("selector fixed ", fixed[eta].size(),
+                                  " shares for chunk ", eta, ", expected ", problem.t));
+    }
+  }
+
+  return FinalizeAssignment(problem, std::move(fixed));
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+// ---------------------------------------------------------------------------
+
+Result<DownloadAssignment> RandomDownloadSelector::Select(const DownloadProblem& problem) {
+  CYRUS_RETURN_IF_ERROR(Validate(problem));
+  std::vector<std::vector<int>> selected(problem.chunks.size());
+  for (size_t r = 0; r < problem.chunks.size(); ++r) {
+    std::vector<int> pool = problem.chunks[r].stored_at;
+    // Partial Fisher-Yates: draw t distinct CSPs uniformly.
+    for (uint32_t k = 0; k < problem.t; ++k) {
+      const size_t j = k + rng_.NextBelow(pool.size() - k);
+      std::swap(pool[k], pool[j]);
+      selected[r].push_back(pool[k]);
+    }
+  }
+  return FinalizeAssignment(problem, std::move(selected));
+}
+
+Result<DownloadAssignment> RoundRobinDownloadSelector::Select(
+    const DownloadProblem& problem) {
+  CYRUS_RETURN_IF_ERROR(Validate(problem));
+  const size_t C = problem.csp_bandwidth.size();
+  std::vector<std::vector<int>> selected(problem.chunks.size());
+  for (size_t r = 0; r < problem.chunks.size(); ++r) {
+    const auto& stored = problem.chunks[r].stored_at;
+    // Walk the global CSP ring from the cursor, taking feasible CSPs.
+    size_t probe = cursor_;
+    while (selected[r].size() < problem.t) {
+      const int candidate = static_cast<int>(probe % C);
+      if (std::find(stored.begin(), stored.end(), candidate) != stored.end() &&
+          std::find(selected[r].begin(), selected[r].end(), candidate) ==
+              selected[r].end()) {
+        selected[r].push_back(candidate);
+      }
+      ++probe;
+    }
+    cursor_ = (cursor_ + 1) % C;
+  }
+  return FinalizeAssignment(problem, std::move(selected));
+}
+
+Result<DownloadAssignment> ExactMilpDownloadSelector::Select(
+    const DownloadProblem& problem) {
+  CYRUS_RETURN_IF_ERROR(Validate(problem));
+  const size_t R = problem.chunks.size();
+  const size_t C = problem.csp_bandwidth.size();
+  if (R == 0) {
+    return FinalizeAssignment(problem, {});
+  }
+
+  // Same LP as the optimizer's relaxation, but every d variable is binary.
+  size_t num_vars = 1;  // y first
+  std::vector<std::vector<size_t>> var_index(R);
+  for (size_t r = 0; r < R; ++r) {
+    var_index[r].resize(problem.chunks[r].stored_at.size());
+    for (size_t k = 0; k < var_index[r].size(); ++k) {
+      var_index[r][k] = num_vars++;
+    }
+  }
+  LpProblem lp;
+  lp.num_vars = num_vars;
+  lp.objective.assign(num_vars, 0.0);
+  lp.objective[0] = 1.0;
+  for (size_t c = 0; c < C; ++c) {
+    std::vector<double> coeffs(num_vars, 0.0);
+    coeffs[0] = -problem.csp_bandwidth[c];
+    bool any = false;
+    for (size_t r = 0; r < R; ++r) {
+      const auto& stored = problem.chunks[r].stored_at;
+      for (size_t k = 0; k < stored.size(); ++k) {
+        if (stored[k] == static_cast<int>(c)) {
+          coeffs[var_index[r][k]] = problem.chunks[r].share_bytes;
+          any = true;
+        }
+      }
+    }
+    if (any) {
+      lp.AddLessEqual(std::move(coeffs), 0.0);
+    }
+  }
+  if (problem.client_bandwidth > 0.0) {
+    std::vector<double> coeffs(num_vars, 0.0);
+    coeffs[0] = -problem.client_bandwidth;
+    for (size_t r = 0; r < R; ++r) {
+      for (size_t k = 0; k < var_index[r].size(); ++k) {
+        coeffs[var_index[r][k]] = problem.chunks[r].share_bytes;
+      }
+    }
+    lp.AddLessEqual(std::move(coeffs), 0.0);
+  }
+  std::vector<size_t> binary_vars;
+  for (size_t r = 0; r < R; ++r) {
+    std::vector<double> coeffs(num_vars, 0.0);
+    for (size_t k = 0; k < var_index[r].size(); ++k) {
+      coeffs[var_index[r][k]] = 1.0;
+      binary_vars.push_back(var_index[r][k]);
+    }
+    lp.AddEqual(std::move(coeffs), static_cast<double>(problem.t));
+  }
+
+  MilpOptions options;
+  options.max_nodes = 2000000;
+  CYRUS_ASSIGN_OR_RETURN(LpSolution solution, SolveBinaryMilp(lp, binary_vars, options));
+
+  std::vector<std::vector<int>> selected(R);
+  for (size_t r = 0; r < R; ++r) {
+    for (size_t k = 0; k < var_index[r].size(); ++k) {
+      if (solution.x[var_index[r][k]] > 0.5) {
+        selected[r].push_back(problem.chunks[r].stored_at[k]);
+      }
+    }
+  }
+  return FinalizeAssignment(problem, std::move(selected));
+}
+
+Result<DownloadAssignment> GreedyFastestDownloadSelector::Select(
+    const DownloadProblem& problem) {
+  CYRUS_RETURN_IF_ERROR(Validate(problem));
+  std::vector<std::vector<int>> selected(problem.chunks.size());
+  for (size_t r = 0; r < problem.chunks.size(); ++r) {
+    std::vector<int> pool = problem.chunks[r].stored_at;
+    std::stable_sort(pool.begin(), pool.end(), [&](int a, int b) {
+      return problem.csp_bandwidth[a] > problem.csp_bandwidth[b];
+    });
+    selected[r].assign(pool.begin(), pool.begin() + problem.t);
+  }
+  return FinalizeAssignment(problem, std::move(selected));
+}
+
+}  // namespace cyrus

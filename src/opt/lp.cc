@@ -1,0 +1,288 @@
+#include "src/opt/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau.
+//
+// Layout: rows 0..m-1 are constraints (all equalities after adding slack /
+// surplus / artificial columns, with rhs >= 0); row m is the objective row.
+// Column layout: [structural vars | slack+surplus | artificials | rhs].
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double pivot = At(pivot_row, pivot_col);
+    for (size_t c = 0; c < cols_; ++c) {
+      At(pivot_row, c) /= pivot;
+    }
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) {
+        continue;
+      }
+      const double factor = At(r, pivot_col);
+      if (std::fabs(factor) < kEps) {
+        continue;
+      }
+      for (size_t c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+enum class PivotOutcome { kOptimal, kUnbounded };
+
+// Runs simplex iterations on the tableau until the objective row (row m)
+// has no negative reduced costs among columns [0, num_cols_usable).
+// `basis[r]` tracks which column is basic in constraint row r.
+PivotOutcome RunSimplex(Tableau& tableau, std::vector<size_t>& basis,
+                        size_t num_cols_usable) {
+  const size_t m = tableau.rows() - 1;
+  const size_t rhs_col = tableau.cols() - 1;
+  // Iteration cap: Bland's rule guarantees termination, but guard anyway.
+  const size_t max_iters = 50000 + 200 * (m + num_cols_usable);
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    // Bland's rule: entering column = lowest index with negative reduced cost.
+    size_t entering = num_cols_usable;
+    for (size_t c = 0; c < num_cols_usable; ++c) {
+      if (tableau.At(m, c) < -kEps) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == num_cols_usable) {
+      return PivotOutcome::kOptimal;
+    }
+
+    // Ratio test; ties broken by lowest basis variable index (Bland).
+    size_t leaving = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < m; ++r) {
+      const double a = tableau.At(r, entering);
+      if (a > kEps) {
+        const double ratio = tableau.At(r, rhs_col) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && (leaving == m || basis[r] < basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+    }
+    if (leaving == m) {
+      return PivotOutcome::kUnbounded;
+    }
+
+    tableau.Pivot(leaving, entering);
+    basis[leaving] = entering;
+  }
+  // Treat a blown iteration cap as optimal-at-tolerance; callers validate.
+  return PivotOutcome::kOptimal;
+}
+
+}  // namespace
+
+void LpProblem::AddLessEqual(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(LpConstraint{std::move(coeffs), LpRelation::kLessEqual, rhs});
+}
+
+void LpProblem::AddEqual(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(LpConstraint{std::move(coeffs), LpRelation::kEqual, rhs});
+}
+
+void LpProblem::AddGreaterEqual(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(LpConstraint{std::move(coeffs), LpRelation::kGreaterEqual, rhs});
+}
+
+void LpProblem::AddUpperBound(size_t var, double bound) {
+  std::vector<double> coeffs(num_vars, 0.0);
+  coeffs[var] = 1.0;
+  AddLessEqual(std::move(coeffs), bound);
+}
+
+Result<LpSolution> SolveLp(const LpProblem& problem) {
+  const size_t n = problem.num_vars;
+  const size_t m = problem.constraints.size();
+  if (problem.objective.size() != n) {
+    return InvalidArgumentError(StrCat("objective has ", problem.objective.size(),
+                                       " coefficients for ", n, " variables"));
+  }
+  for (const LpConstraint& c : problem.constraints) {
+    if (c.coeffs.size() != n) {
+      return InvalidArgumentError("constraint coefficient count mismatch");
+    }
+  }
+
+  // Count auxiliary columns. Every row gets either a slack (<=), a surplus
+  // plus artificial (>=), or an artificial (=). Rows with negative rhs are
+  // sign-flipped first, which can convert <= into >= and vice versa.
+  struct RowPlan {
+    std::vector<double> coeffs;
+    double rhs;
+    LpRelation rel;
+  };
+  std::vector<RowPlan> rows(m);
+  for (size_t i = 0; i < m; ++i) {
+    rows[i].coeffs = problem.constraints[i].coeffs;
+    rows[i].rhs = problem.constraints[i].rhs;
+    rows[i].rel = problem.constraints[i].relation;
+    if (rows[i].rhs < 0) {
+      for (double& v : rows[i].coeffs) {
+        v = -v;
+      }
+      rows[i].rhs = -rows[i].rhs;
+      if (rows[i].rel == LpRelation::kLessEqual) {
+        rows[i].rel = LpRelation::kGreaterEqual;
+      } else if (rows[i].rel == LpRelation::kGreaterEqual) {
+        rows[i].rel = LpRelation::kLessEqual;
+      }
+    }
+  }
+
+  size_t num_slack = 0;
+  size_t num_artificial = 0;
+  for (const RowPlan& row : rows) {
+    if (row.rel == LpRelation::kLessEqual) {
+      ++num_slack;
+    } else if (row.rel == LpRelation::kGreaterEqual) {
+      ++num_slack;       // surplus
+      ++num_artificial;  // plus artificial
+    } else {
+      ++num_artificial;
+    }
+  }
+
+  const size_t total_cols = n + num_slack + num_artificial + 1;  // +1 rhs
+  const size_t rhs_col = total_cols - 1;
+  Tableau tableau(m + 1, total_cols);
+  std::vector<size_t> basis(m);
+
+  size_t next_slack = n;
+  size_t next_artificial = n + num_slack;
+  std::vector<size_t> artificial_cols;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      tableau.At(i, j) = rows[i].coeffs[j];
+    }
+    tableau.At(i, rhs_col) = rows[i].rhs;
+    switch (rows[i].rel) {
+      case LpRelation::kLessEqual:
+        tableau.At(i, next_slack) = 1.0;
+        basis[i] = next_slack++;
+        break;
+      case LpRelation::kGreaterEqual:
+        tableau.At(i, next_slack) = -1.0;
+        ++next_slack;
+        tableau.At(i, next_artificial) = 1.0;
+        basis[i] = next_artificial;
+        artificial_cols.push_back(next_artificial++);
+        break;
+      case LpRelation::kEqual:
+        tableau.At(i, next_artificial) = 1.0;
+        basis[i] = next_artificial;
+        artificial_cols.push_back(next_artificial++);
+        break;
+    }
+  }
+
+  // --- Phase 1: minimize the sum of artificials. ---
+  if (!artificial_cols.empty()) {
+    for (size_t col : artificial_cols) {
+      tableau.At(m, col) = 1.0;
+    }
+    // Make the objective row consistent with the starting basis (reduced
+    // cost of basic artificials must be zero).
+    for (size_t i = 0; i < m; ++i) {
+      if (tableau.At(m, basis[i]) != 0.0) {
+        for (size_t c = 0; c < total_cols; ++c) {
+          tableau.At(m, c) -= tableau.At(i, c);
+        }
+      }
+    }
+    const PivotOutcome outcome = RunSimplex(tableau, basis, total_cols - 1);
+    (void)outcome;  // phase 1 is bounded below by 0
+    const double phase1 = -tableau.At(m, rhs_col);
+    if (phase1 > 1e-6) {
+      return FailedPreconditionError("LP is infeasible");
+    }
+    // Drive any artificial still in the basis (at value 0) out of it.
+    for (size_t i = 0; i < m; ++i) {
+      const bool is_artificial = basis[i] >= n + num_slack;
+      if (!is_artificial) {
+        continue;
+      }
+      size_t pivot_col = total_cols;
+      for (size_t c = 0; c < n + num_slack; ++c) {
+        if (std::fabs(tableau.At(i, c)) > kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col < total_cols) {
+        tableau.Pivot(i, pivot_col);
+        basis[i] = pivot_col;
+      }
+      // If the row is all zeros it is redundant; the artificial stays basic
+      // at value zero, which is harmless for phase 2.
+    }
+    // Zero the phase-1 objective row before installing the real objective.
+    for (size_t c = 0; c < total_cols; ++c) {
+      tableau.At(m, c) = 0.0;
+    }
+  }
+
+  // --- Phase 2: minimize the real objective. ---
+  for (size_t j = 0; j < n; ++j) {
+    tableau.At(m, j) = problem.objective[j];
+  }
+  // Price out basic variables.
+  for (size_t i = 0; i < m; ++i) {
+    const double cost = tableau.At(m, basis[i]);
+    if (cost != 0.0) {
+      for (size_t c = 0; c < total_cols; ++c) {
+        tableau.At(m, c) -= cost * tableau.At(i, c);
+      }
+    }
+  }
+  // Artificials must never re-enter: exclude them from the usable columns.
+  const PivotOutcome outcome = RunSimplex(tableau, basis, n + num_slack);
+  if (outcome == PivotOutcome::kUnbounded) {
+    return ResourceExhaustedError("LP is unbounded below");
+  }
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) {
+      solution.x[basis[i]] = tableau.At(i, rhs_col);
+    }
+  }
+  solution.objective = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    solution.objective += problem.objective[j] * solution.x[j];
+  }
+  return solution;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,100 @@
+#include "src/opt/milp.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+namespace cyrus {
+namespace {
+
+constexpr double kIntegerTolerance = 1e-6;
+
+struct SearchState {
+  const std::vector<size_t>* binary_vars;
+  MilpOptions options;
+  size_t nodes_explored = 0;
+  double incumbent_value = std::numeric_limits<double>::infinity();
+  std::optional<LpSolution> incumbent;
+};
+
+// Returns the index (into binary_vars) of the most fractional binary
+// variable, or nullopt if all are integral.
+std::optional<size_t> MostFractional(const LpSolution& solution,
+                                     const std::vector<size_t>& binary_vars) {
+  std::optional<size_t> best;
+  double best_distance = kIntegerTolerance;
+  for (size_t i = 0; i < binary_vars.size(); ++i) {
+    const double v = solution.x[binary_vars[i]];
+    const double distance = std::fabs(v - std::round(v));
+    if (distance > best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Branch(LpProblem& problem, SearchState& state) {
+  if (state.nodes_explored >= state.options.max_nodes) {
+    return;
+  }
+  ++state.nodes_explored;
+
+  Result<LpSolution> relaxed = SolveLp(problem);
+  if (!relaxed.ok()) {
+    return;  // infeasible branch
+  }
+  if (relaxed->objective >= state.incumbent_value - state.options.bound_tolerance) {
+    return;  // bound: cannot beat the incumbent
+  }
+
+  const std::optional<size_t> fractional = MostFractional(*relaxed, *state.binary_vars);
+  if (!fractional.has_value()) {
+    // Integer feasible and better than the incumbent.
+    state.incumbent_value = relaxed->objective;
+    state.incumbent = std::move(relaxed).value();
+    return;
+  }
+
+  const size_t var = (*state.binary_vars)[*fractional];
+  const double value = relaxed->x[var];
+  // Explore the nearer side first: better incumbents earlier -> more pruning.
+  const double first = (value >= 0.5) ? 1.0 : 0.0;
+  for (const double fixed : {first, 1.0 - first}) {
+    std::vector<double> coeffs(problem.num_vars, 0.0);
+    coeffs[var] = 1.0;
+    problem.AddEqual(coeffs, fixed);
+    Branch(problem, state);
+    problem.constraints.pop_back();
+  }
+}
+
+}  // namespace
+
+Result<LpSolution> SolveBinaryMilp(const LpProblem& problem,
+                                   const std::vector<size_t>& binary_vars,
+                                   const MilpOptions& options) {
+  LpProblem working = problem;
+  for (size_t var : binary_vars) {
+    if (var >= working.num_vars) {
+      return InvalidArgumentError("binary variable index out of range");
+    }
+    working.AddUpperBound(var, 1.0);
+  }
+
+  SearchState state;
+  state.binary_vars = &binary_vars;
+  state.options = options;
+  Branch(working, state);
+
+  if (!state.incumbent.has_value()) {
+    return FailedPreconditionError("no integer-feasible solution found");
+  }
+  // Snap binaries exactly to {0,1} for downstream consumers.
+  for (size_t var : binary_vars) {
+    state.incumbent->x[var] = std::round(state.incumbent->x[var]);
+  }
+  return *std::move(state.incumbent);
+}
+
+}  // namespace cyrus

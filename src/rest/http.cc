@@ -1,0 +1,150 @@
+#include "src/rest/http.h"
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+bool IsUnreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+         c == '-' || c == '_' || c == '.' || c == '~';
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string_view HttpMethodName(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet:
+      return "GET";
+    case HttpMethod::kPost:
+      return "POST";
+    case HttpMethod::kPut:
+      return "PUT";
+    case HttpMethod::kDelete:
+      return "DELETE";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view HttpRequest::Header(std::string_view key) const {
+  auto it = headers.find(std::string(key));
+  return it == headers.end() ? std::string_view() : std::string_view(it->second);
+}
+
+std::string_view HttpRequest::Query(std::string_view key) const {
+  auto it = query.find(std::string(key));
+  return it == query.end() ? std::string_view() : std::string_view(it->second);
+}
+
+std::string HttpRequest::RequestLine() const {
+  std::string line = StrCat(HttpMethodName(method), " ", path);
+  if (!query.empty()) {
+    line += "?" + BuildQueryString(query);
+  }
+  return line;
+}
+
+HttpResponse HttpResponse::Ok(Bytes body, std::string content_type) {
+  HttpResponse response;
+  response.status = 200;
+  response.headers["content-type"] = std::move(content_type);
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Error(int status, std::string_view message,
+                                 std::string content_type) {
+  HttpResponse response;
+  response.status = status;
+  response.headers["content-type"] = std::move(content_type);
+  const std::string body = StrCat("{\"error\": \"", message, "\"}");
+  response.body = ToBytes(body);
+  return response;
+}
+
+std::string UrlEncode(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (IsUnreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[static_cast<uint8_t>(c) >> 4]);
+      out.push_back(kHexDigits[static_cast<uint8_t>(c) & 0x0f]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UrlDecode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= encoded.size()) {
+        return InvalidArgumentError("truncated percent escape");
+      }
+      const int hi = HexNibble(encoded[i + 1]);
+      const int lo = HexNibble(encoded[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return InvalidArgumentError("bad percent escape");
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string BuildQueryString(const std::map<std::string, std::string>& query) {
+  std::string out;
+  for (const auto& [key, value] : query) {
+    if (!out.empty()) {
+      out += "&";
+    }
+    out += UrlEncode(key) + "=" + UrlEncode(value);
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> ParseQueryString(std::string_view text) {
+  std::map<std::string, std::string> out;
+  if (text.empty()) {
+    return out;
+  }
+  for (const std::string& pair : Split(text, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      CYRUS_ASSIGN_OR_RETURN(std::string key, UrlDecode(pair));
+      out[key] = "";
+      continue;
+    }
+    CYRUS_ASSIGN_OR_RETURN(std::string key, UrlDecode(pair.substr(0, eq)));
+    CYRUS_ASSIGN_OR_RETURN(std::string value, UrlDecode(pair.substr(eq + 1)));
+    out[std::move(key)] = std::move(value);
+  }
+  return out;
+}
+
+}  // namespace cyrus

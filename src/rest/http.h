@@ -1,0 +1,65 @@
+// A minimal HTTP message model for the simulated provider APIs.
+//
+// The paper's connectors "create a specific REST URL with proper parameters
+// and content" (§6); this module supplies the request/response types, URL
+// percent-encoding, and query-string handling those connectors and the
+// simulated vendor endpoints (src/rest/rest_server.h) share. There is no
+// socket layer - requests are delivered in-process - but the boundary is
+// the same wire-shaped interface a real deployment would cross.
+#ifndef SRC_REST_HTTP_H_
+#define SRC_REST_HTTP_H_
+
+#include <map>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+enum class HttpMethod { kGet, kPost, kPut, kDelete };
+
+std::string_view HttpMethodName(HttpMethod method);
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  std::string path;  // path only, e.g. "/2/files/upload"
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  // lowercase keys
+  Bytes body;
+
+  // Convenience accessors.
+  std::string_view Header(std::string_view key) const;
+  std::string_view Query(std::string_view key) const;
+
+  // Renders "<METHOD> <path>?<query>" for logs and tests.
+  std::string RequestLine() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  static HttpResponse Ok(Bytes body, std::string content_type);
+  static HttpResponse Error(int status, std::string_view message,
+                            std::string content_type = "application/json");
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+// Percent-encodes every character outside [A-Za-z0-9_.~-].
+std::string UrlEncode(std::string_view raw);
+
+// Decodes %XX escapes and '+' as space. Fails on malformed escapes.
+Result<std::string> UrlDecode(std::string_view encoded);
+
+// Builds "a=1&b=x%20y" from a map (keys sorted, values encoded).
+std::string BuildQueryString(const std::map<std::string, std::string>& query);
+
+// Parses a query string into a map (later duplicates win).
+Result<std::map<std::string, std::string>> ParseQueryString(std::string_view text);
+
+}  // namespace cyrus
+
+#endif  // SRC_REST_HTTP_H_

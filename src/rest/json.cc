@@ -1,0 +1,396 @@
+#include "src/rest/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue kNull;
+  return kNull;
+}
+
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+const JsonValue::Object& EmptyObject() {
+  static const JsonValue::Object kEmpty;
+  return kEmpty;
+}
+
+const JsonValue::Array& EmptyArray() {
+  static const JsonValue::Array kEmpty;
+  return kEmpty;
+}
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<uint8_t>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 passthrough
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    out += StrCat(static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    CYRUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("unexpected end of JSON input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      CYRUS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) {
+      return JsonValue(true);
+    }
+    if (ConsumeLiteral("false")) {
+      return JsonValue(false);
+    }
+    if (ConsumeLiteral("null")) {
+      return JsonValue();
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue::Object object;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue(std::move(object));
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return InvalidArgumentError("expected object key");
+      }
+      CYRUS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) {
+        return InvalidArgumentError("expected ':' after object key");
+      }
+      CYRUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      object[std::move(key)] = std::move(value);
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return JsonValue(std::move(object));
+      }
+      return InvalidArgumentError("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue::Array array;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue(std::move(array));
+    }
+    for (;;) {
+      CYRUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      array.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return JsonValue(std::move(array));
+      }
+      return InvalidArgumentError("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return InvalidArgumentError("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return InvalidArgumentError("bad \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogates unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return InvalidArgumentError("unknown escape character");
+      }
+    }
+    return InvalidArgumentError("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return InvalidArgumentError("invalid JSON value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return InvalidArgumentError(StrCat("invalid number: ", token));
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool(bool fallback) const {
+  const bool* b = std::get_if<bool>(&value_);
+  return b != nullptr ? *b : fallback;
+}
+
+double JsonValue::AsNumber(double fallback) const {
+  const double* d = std::get_if<double>(&value_);
+  return d != nullptr ? *d : fallback;
+}
+
+const std::string& JsonValue::AsString() const {
+  const std::string* s = std::get_if<std::string>(&value_);
+  return s != nullptr ? *s : EmptyString();
+}
+
+const JsonValue::Object& JsonValue::AsObject() const {
+  const Object* o = std::get_if<Object>(&value_);
+  return o != nullptr ? *o : EmptyObject();
+}
+
+const JsonValue::Array& JsonValue::AsArray() const {
+  const Array* a = std::get_if<Array>(&value_);
+  return a != nullptr ? *a : EmptyArray();
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) {
+    return NullValue();
+  }
+  auto it = o->find(std::string(key));
+  return it == o->end() ? NullValue() : it->second;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  if (!is_object()) {
+    value_ = Object{};
+  }
+  std::get<Object>(value_)[std::move(key)] = std::move(value);
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  if (!is_array()) {
+    value_ = Array{};
+  }
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  if (is_null()) {
+    out = "null";
+  } else if (is_bool()) {
+    out = AsBool() ? "true" : "false";
+  } else if (is_number()) {
+    AppendNumber(out, AsNumber());
+  } else if (is_string()) {
+    AppendEscaped(out, AsString());
+  } else if (is_object()) {
+    out = "{";
+    bool first = true;
+    for (const auto& [key, value] : AsObject()) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      AppendEscaped(out, key);
+      out += ":";
+      out += value.Dump();
+    }
+    out += "}";
+  } else {
+    out = "[";
+    bool first = true;
+    for (const JsonValue& value : AsArray()) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += value.Dump();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace cyrus

@@ -1,0 +1,73 @@
+// A small JSON value model, parser, and serializer.
+//
+// Most of Table 2's providers speak JSON (Dropbox, Google Drive, Box...);
+// the simulated REST endpoints and the connector use this module for their
+// message bodies. Supports the full JSON data model with UTF-8 passthrough
+// (\uXXXX escapes are decoded for the BMP).
+#ifndef SRC_REST_JSON_H_
+#define SRC_REST_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace cyrus {
+
+class JsonValue {
+ public:
+  using Object = std::map<std::string, JsonValue>;
+  using Array = std::vector<JsonValue>;
+
+  JsonValue() : value_(nullptr) {}                       // null
+  JsonValue(bool b) : value_(b) {}                       // NOLINT
+  JsonValue(double d) : value_(d) {}                     // NOLINT
+  JsonValue(int i) : value_(static_cast<double>(i)) {}   // NOLINT
+  JsonValue(int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(uint64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}   // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}     // NOLINT
+  JsonValue(Object o) : value_(std::move(o)) {}          // NOLINT
+  JsonValue(Array a) : value_(std::move(a)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  bool AsBool(bool fallback = false) const;
+  double AsNumber(double fallback = 0.0) const;
+  const std::string& AsString() const;  // empty string when not a string
+  const Object& AsObject() const;       // empty object when not an object
+  const Array& AsArray() const;         // empty array when not an array
+
+  // Object field lookup; returns a shared null value when absent.
+  const JsonValue& operator[](std::string_view key) const;
+
+  // Mutable object/array builders.
+  JsonValue& Set(std::string key, JsonValue value);
+  JsonValue& Append(JsonValue value);
+
+  // Compact serialization (keys in map order, numbers via shortest round
+  // trip for integers, %.17g otherwise).
+  std::string Dump() const;
+
+  // Strict parser: the whole input must be one JSON value.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array> value_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_REST_JSON_H_

@@ -1,0 +1,77 @@
+#include "src/rest/oauth.h"
+
+#include "src/util/hex.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+OAuthService::OAuthService(double token_lifetime_seconds, uint64_t seed)
+    : token_lifetime_(token_lifetime_seconds), rng_(seed) {}
+
+void OAuthService::RegisterClient(std::string client_id, std::string client_secret,
+                                  std::string authorization_code) {
+  clients_[std::move(client_id)] =
+      Client{std::move(client_secret), std::move(authorization_code)};
+}
+
+std::string OAuthService::MintToken(std::string_view prefix) {
+  Bytes random(16);
+  for (auto& b : random) {
+    b = static_cast<uint8_t>(rng_.Next());
+  }
+  return StrCat(prefix, "-", HexEncode(random));
+}
+
+Result<OAuthToken> OAuthService::ExchangeAuthorizationCode(std::string_view client_id,
+                                                           std::string_view client_secret,
+                                                           std::string_view code,
+                                                           double now) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end() || it->second.secret != client_secret) {
+    return PermissionDeniedError("invalid_client");
+  }
+  if (it->second.authorization_code != code) {
+    return PermissionDeniedError("invalid_grant");
+  }
+  OAuthToken token;
+  token.access_token = MintToken("at");
+  token.refresh_token = MintToken("rt");
+  token.expires_at = now + token_lifetime_;
+  access_tokens_[token.access_token] = token.expires_at;
+  refresh_tokens_[token.refresh_token] = std::string(client_id);
+  return token;
+}
+
+Result<OAuthToken> OAuthService::Refresh(std::string_view client_id,
+                                         std::string_view client_secret,
+                                         std::string_view refresh_token, double now) {
+  auto client = clients_.find(client_id);
+  if (client == clients_.end() || client->second.secret != client_secret) {
+    return PermissionDeniedError("invalid_client");
+  }
+  auto it = refresh_tokens_.find(refresh_token);
+  if (it == refresh_tokens_.end() || it->second != client_id) {
+    return PermissionDeniedError("invalid_grant");
+  }
+  OAuthToken token;
+  token.access_token = MintToken("at");
+  token.refresh_token = std::string(refresh_token);  // refresh tokens persist
+  token.expires_at = now + token_lifetime_;
+  access_tokens_[token.access_token] = token.expires_at;
+  return token;
+}
+
+Status OAuthService::ValidateBearer(std::string_view access_token, double now) const {
+  auto it = access_tokens_.find(access_token);
+  if (it == access_tokens_.end()) {
+    return PermissionDeniedError("invalid_token");
+  }
+  if (now >= it->second) {
+    return PermissionDeniedError("expired_token");
+  }
+  return OkStatus();
+}
+
+void OAuthService::RevokeAllAccessTokens() { access_tokens_.clear(); }
+
+}  // namespace cyrus

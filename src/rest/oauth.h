@@ -1,0 +1,69 @@
+// An OAuth-2.0-style token service for the simulated providers.
+//
+// Table 2 shows most CSPs authenticate with OAuth 2.0 (plus API keys and
+// password schemes); the simulated vendor endpoints embed this service and
+// the connector drives it exactly as the prototype drives real OAuth:
+// exchange client credentials + an authorization grant for a bearer token,
+// attach the token to every request, refresh it when it expires (§6 - "we
+// utilize existing CSP authentication mechanisms", and the trial's UX note
+// about caching authentication keys so users log in once).
+#ifndef SRC_REST_OAUTH_H_
+#define SRC_REST_OAUTH_H_
+
+#include <map>
+#include <string>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+struct OAuthToken {
+  std::string access_token;
+  std::string refresh_token;
+  double expires_at = 0.0;  // virtual time
+};
+
+class OAuthService {
+ public:
+  // token_lifetime: seconds a bearer token stays valid.
+  explicit OAuthService(double token_lifetime_seconds = 3600.0, uint64_t seed = 7);
+
+  // Registers an app (client_id/client_secret pair) authorized by a user
+  // who granted it `authorization_code`.
+  void RegisterClient(std::string client_id, std::string client_secret,
+                      std::string authorization_code);
+
+  // authorization_code grant: code + client credentials -> tokens.
+  Result<OAuthToken> ExchangeAuthorizationCode(std::string_view client_id,
+                                               std::string_view client_secret,
+                                               std::string_view code, double now);
+
+  // refresh_token grant.
+  Result<OAuthToken> Refresh(std::string_view client_id, std::string_view client_secret,
+                             std::string_view refresh_token, double now);
+
+  // Validates "Bearer <token>" material on a resource request.
+  Status ValidateBearer(std::string_view access_token, double now) const;
+
+  // Expires every outstanding access token (for tests and outage drills).
+  void RevokeAllAccessTokens();
+
+ private:
+  struct Client {
+    std::string secret;
+    std::string authorization_code;
+  };
+
+  std::string MintToken(std::string_view prefix);
+
+  double token_lifetime_;
+  Rng rng_;
+  std::map<std::string, Client, std::less<>> clients_;
+  std::map<std::string, double, std::less<>> access_tokens_;   // token -> expiry
+  std::map<std::string, std::string, std::less<>> refresh_tokens_;  // token -> client
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_REST_OAUTH_H_

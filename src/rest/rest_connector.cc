@@ -1,0 +1,192 @@
+#include "src/rest/rest_connector.h"
+
+#include <cstdlib>
+
+#include "src/rest/json.h"
+#include "src/rest/xml.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+void RestConnector::set_time(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ = now;
+}
+
+uint64_t RestConnector::requests_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+uint64_t RestConnector::token_refreshes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return refreshes_;
+}
+
+Status RestConnector::StatusFromHttp(const HttpResponse& response,
+                                     std::string_view context) {
+  if (response.ok()) {
+    return OkStatus();
+  }
+  const std::string detail = StrCat(context, ": HTTP ", response.status);
+  switch (response.status) {
+    case 401:
+    case 403:
+      return PermissionDeniedError(detail);
+    case 404:
+      return NotFoundError(detail);
+    case 507:
+    case 413:
+      return ResourceExhaustedError(detail);
+    case 503:
+      return UnavailableError(detail);
+    default:
+      return InternalError(detail);
+  }
+}
+
+Status RestConnector::FetchInitialToken() {
+  const RestVendorOptions& vendor = server_->options();
+  HttpRequest request;
+  request.method = HttpMethod::kPost;
+  request.path = "/oauth2/token";
+  request.body = ToBytes(BuildQueryString({{"grant_type", "authorization_code"},
+                                           {"code", grant_},
+                                           {"client_id", vendor.client_id},
+                                           {"client_secret", vendor.client_secret}}));
+  ++requests_;
+  const HttpResponse response = server_->Handle(request);
+  CYRUS_RETURN_IF_ERROR(StatusFromHttp(response, "token exchange"));
+  CYRUS_ASSIGN_OR_RETURN(JsonValue body, JsonValue::Parse(ToString(response.body)));
+  token_.access_token = body["access_token"].AsString();
+  token_.refresh_token = body["refresh_token"].AsString();
+  token_.expires_at = now_ + body["expires_in"].AsNumber();
+  if (token_.access_token.empty()) {
+    return PermissionDeniedError("token exchange returned no access token");
+  }
+  return OkStatus();
+}
+
+Status RestConnector::RefreshToken() {
+  const RestVendorOptions& vendor = server_->options();
+  HttpRequest request;
+  request.method = HttpMethod::kPost;
+  request.path = "/oauth2/token";
+  request.body = ToBytes(BuildQueryString({{"grant_type", "refresh_token"},
+                                           {"refresh_token", token_.refresh_token},
+                                           {"client_id", vendor.client_id},
+                                           {"client_secret", vendor.client_secret}}));
+  ++requests_;
+  ++refreshes_;
+  const HttpResponse response = server_->Handle(request);
+  CYRUS_RETURN_IF_ERROR(StatusFromHttp(response, "token refresh"));
+  CYRUS_ASSIGN_OR_RETURN(JsonValue body, JsonValue::Parse(ToString(response.body)));
+  token_.access_token = body["access_token"].AsString();
+  token_.expires_at = now_ + body["expires_in"].AsNumber();
+  return OkStatus();
+}
+
+Status RestConnector::Authenticate(const Credentials& credentials) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  grant_ = credentials.token;
+  if (server_->options().dialect == ApiDialect::kJson) {
+    CYRUS_RETURN_IF_ERROR(FetchInitialToken());
+  } else if (grant_ != server_->options().api_key) {
+    // Fail fast on a wrong key; real vendors reject at the first request.
+    return PermissionDeniedError(StrCat(id_, ": bad API key"));
+  }
+  authenticated_ = true;
+  return OkStatus();
+}
+
+Result<HttpResponse> RestConnector::SendAuthorized(HttpRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!authenticated_) {
+    return PermissionDeniedError(StrCat(id_, ": not authenticated"));
+  }
+  const bool json = server_->options().dialect == ApiDialect::kJson;
+  auto attach_auth = [&](HttpRequest& r) {
+    if (json) {
+      r.headers["authorization"] = StrCat("Bearer ", token_.access_token);
+    } else {
+      r.headers["x-api-key"] = grant_;
+    }
+  };
+  attach_auth(request);
+  ++requests_;
+  HttpResponse response = server_->Handle(request);
+  if (response.status == 401 && json) {
+    // Expired or revoked bearer token: refresh and retry once (the
+    // "login once" behaviour the trial users saw, §7.5).
+    CYRUS_RETURN_IF_ERROR(RefreshToken());
+    attach_auth(request);
+    ++requests_;
+    response = server_->Handle(request);
+  }
+  return response;
+}
+
+Result<std::vector<ObjectInfo>> RestConnector::List(std::string_view prefix) {
+  const bool json = server_->options().dialect == ApiDialect::kJson;
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.path = json ? "/files/list" : "/v1/objects";
+  request.query["prefix"] = std::string(prefix);
+  CYRUS_ASSIGN_OR_RETURN(HttpResponse response, SendAuthorized(std::move(request)));
+  CYRUS_RETURN_IF_ERROR(StatusFromHttp(response, StrCat(id_, " list")));
+
+  std::vector<ObjectInfo> out;
+  if (json) {
+    CYRUS_ASSIGN_OR_RETURN(JsonValue body, JsonValue::Parse(ToString(response.body)));
+    for (const JsonValue& entry : body["entries"].AsArray()) {
+      out.push_back(ObjectInfo{entry["name"].AsString(),
+                               static_cast<uint64_t>(entry["size"].AsNumber()),
+                               entry["modified"].AsNumber()});
+    }
+  } else {
+    CYRUS_ASSIGN_OR_RETURN(XmlElement root, XmlElement::Parse(ToString(response.body)));
+    for (const XmlElement* object : root.Children("Object")) {
+      out.push_back(
+          ObjectInfo{std::string(object->Attribute("name")),
+                     std::strtoull(std::string(object->Attribute("size")).c_str(),
+                                   nullptr, 10),
+                     std::strtod(std::string(object->Attribute("modified")).c_str(),
+                                 nullptr)});
+    }
+  }
+  return out;
+}
+
+Status RestConnector::Upload(std::string_view name, ByteSpan data) {
+  const bool json = server_->options().dialect == ApiDialect::kJson;
+  HttpRequest request;
+  request.method = json ? HttpMethod::kPost : HttpMethod::kPut;
+  request.path = json ? "/files/upload" : "/v1/objects";
+  request.query["name"] = std::string(name);
+  request.body.assign(data.begin(), data.end());
+  CYRUS_ASSIGN_OR_RETURN(HttpResponse response, SendAuthorized(std::move(request)));
+  return StatusFromHttp(response, StrCat(id_, " upload ", name));
+}
+
+Result<Bytes> RestConnector::Download(std::string_view name) {
+  const bool json = server_->options().dialect == ApiDialect::kJson;
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.path = json ? "/files/download" : "/v1/object";
+  request.query["name"] = std::string(name);
+  CYRUS_ASSIGN_OR_RETURN(HttpResponse response, SendAuthorized(std::move(request)));
+  CYRUS_RETURN_IF_ERROR(StatusFromHttp(response, StrCat(id_, " download ", name)));
+  return response.body;
+}
+
+Status RestConnector::Delete(std::string_view name) {
+  const bool json = server_->options().dialect == ApiDialect::kJson;
+  HttpRequest request;
+  request.method = json ? HttpMethod::kPost : HttpMethod::kDelete;
+  request.path = json ? "/files/delete" : "/v1/objects";
+  request.query["name"] = std::string(name);
+  CYRUS_ASSIGN_OR_RETURN(HttpResponse response, SendAuthorized(std::move(request)));
+  return StatusFromHttp(response, StrCat(id_, " delete ", name));
+}
+
+}  // namespace cyrus

@@ -1,0 +1,67 @@
+// RestConnector: CloudConnector over a vendor REST endpoint.
+//
+// The production-shaped connector of paper §6: it maps CYRUS's five basic
+// operations onto vendor-specific URLs, speaks the vendor's dialect (JSON +
+// OAuth bearer tokens, or XML + API key), caches authentication material so
+// the user logs in once, and transparently refreshes expired tokens
+// (retrying the failed request once). CyrusClient runs unmodified on top -
+// the point of the paper's CSP-agnostic design.
+#ifndef SRC_REST_REST_CONNECTOR_H_
+#define SRC_REST_REST_CONNECTOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cloud/connector.h"
+#include "src/rest/rest_server.h"
+
+namespace cyrus {
+
+class RestConnector : public CloudConnector {
+ public:
+  // Borrows the server (the "network"); callers keep it alive.
+  RestConnector(std::string id, std::shared_ptr<RestVendorServer> server)
+      : id_(std::move(id)), server_(std::move(server)) {}
+
+  std::string_view id() const override { return id_; }
+
+  // For the JSON dialect, `credentials.token` carries the OAuth
+  // authorization code the user granted (client id/secret come from the
+  // app registration). For the XML dialect it carries the API key.
+  Status Authenticate(const Credentials& credentials) override;
+
+  Result<std::vector<ObjectInfo>> List(std::string_view prefix) override;
+  Status Upload(std::string_view name, ByteSpan data) override;
+  Result<Bytes> Download(std::string_view name) override;
+  Status Delete(std::string_view name) override;
+
+  // Virtual clock for token expiry bookkeeping (mirrors the server's).
+  void set_time(double now);
+
+  // Requests issued (including token traffic); tests assert refresh flows.
+  uint64_t requests_sent() const;
+  uint64_t token_refreshes() const;
+
+ private:
+  // Sends with auth attached; on 401 refreshes the token and retries once.
+  Result<HttpResponse> SendAuthorized(HttpRequest request);
+  Status FetchInitialToken();
+  Status RefreshToken();
+  static Status StatusFromHttp(const HttpResponse& response, std::string_view context);
+
+  std::string id_;
+  std::shared_ptr<RestVendorServer> server_;
+
+  mutable std::mutex mutex_;
+  bool authenticated_ = false;
+  std::string grant_;  // authorization code (JSON) or API key (XML)
+  OAuthToken token_;
+  double now_ = 0.0;
+  uint64_t requests_ = 0;
+  uint64_t refreshes_ = 0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_REST_REST_CONNECTOR_H_

@@ -1,0 +1,258 @@
+#include "src/rest/rest_server.h"
+
+#include "src/crypto/sha1.h"
+#include "src/rest/json.h"
+#include "src/rest/xml.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr std::string_view kBearerPrefix = "Bearer ";
+
+}  // namespace
+
+RestVendorServer::RestVendorServer(RestVendorOptions options)
+    : options_(std::move(options)),
+      oauth_(options_.token_lifetime_seconds, /*seed=*/Sha1::Hash(options_.id).Prefix64()) {
+  oauth_.RegisterClient(options_.client_id, options_.client_secret,
+                        options_.authorization_code);
+}
+
+void RestVendorServer::set_time(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ = now;
+}
+
+void RestVendorServer::set_available(bool available) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  available_ = available;
+}
+
+void RestVendorServer::ExpireTokens() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  oauth_.RevokeAllAccessTokens();
+}
+
+uint64_t RestVendorServer::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_bytes_;
+}
+
+uint64_t RestVendorServer::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t count = 0;
+  for (const auto& [name, versions] : objects_) {
+    count += versions.size();
+  }
+  return count;
+}
+
+uint64_t RestVendorServer::requests_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+HttpResponse RestVendorServer::Handle(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  if (!available_) {
+    return HttpResponse::Error(503, "service unavailable");
+  }
+  // The token endpoint is dialect-independent (XML vendors use API keys
+  // and never call it, but serving it is harmless).
+  if (request.path == "/oauth2/token") {
+    return HandleToken(request);
+  }
+  return options_.dialect == ApiDialect::kJson ? HandleJson(request)
+                                               : HandleXml(request);
+}
+
+HttpResponse RestVendorServer::HandleToken(const HttpRequest& request) {
+  auto form = ParseQueryString(ToString(request.body));
+  if (!form.ok()) {
+    return HttpResponse::Error(400, "malformed token request");
+  }
+  const std::string grant_type = (*form)["grant_type"];
+  Result<OAuthToken> token = PermissionDeniedError("unsupported_grant_type");
+  if (grant_type == "authorization_code") {
+    token = oauth_.ExchangeAuthorizationCode((*form)["client_id"],
+                                             (*form)["client_secret"], (*form)["code"],
+                                             now_);
+  } else if (grant_type == "refresh_token") {
+    token = oauth_.Refresh((*form)["client_id"], (*form)["client_secret"],
+                           (*form)["refresh_token"], now_);
+  }
+  if (!token.ok()) {
+    return HttpResponse::Error(401, token.status().message());
+  }
+  JsonValue body;
+  body.Set("access_token", token->access_token)
+      .Set("refresh_token", token->refresh_token)
+      .Set("token_type", "bearer")
+      .Set("expires_in", options_.token_lifetime_seconds);
+  return HttpResponse::Ok(ToBytes(body.Dump()), "application/json");
+}
+
+Status RestVendorServer::StoreObject(std::string_view name, ByteSpan data) {
+  auto& versions = objects_[std::string(name)];
+  uint64_t delta = data.size();
+  if (options_.naming == NamingPolicy::kNameKeyed && !versions.empty()) {
+    delta = data.size() >= versions.back().data.size()
+                ? data.size() - versions.back().data.size()
+                : 0;
+  }
+  if (options_.quota_bytes > 0 && used_bytes_ + delta > options_.quota_bytes) {
+    if (versions.empty()) {
+      objects_.erase(std::string(name));
+    }
+    return ResourceExhaustedError("quota exceeded");
+  }
+  StoredObject object;
+  object.data.assign(data.begin(), data.end());
+  object.modified_time = now_;
+  if (options_.naming == NamingPolicy::kNameKeyed && !versions.empty()) {
+    used_bytes_ -= versions.back().data.size();
+    versions.back() = std::move(object);
+  } else {
+    versions.push_back(std::move(object));
+  }
+  used_bytes_ += data.size();
+  return OkStatus();
+}
+
+HttpResponse RestVendorServer::NotFoundResponse(std::string_view name) const {
+  return HttpResponse::Error(404, StrCat("no object named ", name));
+}
+
+HttpResponse RestVendorServer::HandleJson(const HttpRequest& request) {
+  // Bearer-token authentication on every resource route.
+  const std::string_view auth = request.Header("authorization");
+  if (!StartsWith(auth, kBearerPrefix) ||
+      !oauth_.ValidateBearer(auth.substr(kBearerPrefix.size()), now_).ok()) {
+    return HttpResponse::Error(401, "invalid or expired token");
+  }
+
+  if (request.path == "/files/list" && request.method == HttpMethod::kGet) {
+    const std::string prefix(request.Query("prefix"));
+    JsonValue entries{JsonValue::Array{}};
+    for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+      if (!StartsWith(it->first, prefix)) {
+        break;
+      }
+      for (const StoredObject& version : it->second) {
+        JsonValue entry;
+        entry.Set("name", it->first)
+            .Set("size", static_cast<uint64_t>(version.data.size()))
+            .Set("modified", version.modified_time);
+        entries.Append(std::move(entry));
+      }
+    }
+    JsonValue body;
+    body.Set("entries", std::move(entries));
+    return HttpResponse::Ok(ToBytes(body.Dump()), "application/json");
+  }
+
+  if (request.path == "/files/upload" && request.method == HttpMethod::kPost) {
+    const std::string name(request.Query("name"));
+    if (name.empty()) {
+      return HttpResponse::Error(400, "missing name");
+    }
+    if (Status stored = StoreObject(name, request.body); !stored.ok()) {
+      return HttpResponse::Error(
+          stored.code() == StatusCode::kResourceExhausted ? 507 : 500,
+          stored.message());
+    }
+    JsonValue body;
+    body.Set("name", name).Set("size", static_cast<uint64_t>(request.body.size()));
+    return HttpResponse::Ok(ToBytes(body.Dump()), "application/json");
+  }
+
+  if (request.path == "/files/download" && request.method == HttpMethod::kGet) {
+    const std::string name(request.Query("name"));
+    auto it = objects_.find(name);
+    if (it == objects_.end() || it->second.empty()) {
+      return NotFoundResponse(name);
+    }
+    return HttpResponse::Ok(it->second.back().data, "application/octet-stream");
+  }
+
+  if (request.path == "/files/delete" && request.method == HttpMethod::kPost) {
+    const std::string name(request.Query("name"));
+    auto it = objects_.find(name);
+    if (it != objects_.end()) {
+      for (const StoredObject& version : it->second) {
+        used_bytes_ -= version.data.size();
+      }
+      objects_.erase(it);
+    }
+    return HttpResponse::Ok(ToBytes(std::string("{}")), "application/json");
+  }
+
+  return HttpResponse::Error(404, StrCat("no route ", request.path));
+}
+
+HttpResponse RestVendorServer::HandleXml(const HttpRequest& request) {
+  if (request.Header("x-api-key") != options_.api_key) {
+    return HttpResponse::Error(401, "bad api key", "application/xml");
+  }
+
+  if (request.path == "/v1/objects" && request.method == HttpMethod::kGet) {
+    const std::string prefix(request.Query("prefix"));
+    XmlElement root("ListResult");
+    for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+      if (!StartsWith(it->first, prefix)) {
+        break;
+      }
+      for (const StoredObject& version : it->second) {
+        XmlElement& object = root.AddChild("Object");
+        object.SetAttribute("name", it->first);
+        object.SetAttribute("size", StrCat(version.data.size()));
+        object.SetAttribute("modified", StrCat(version.modified_time));
+      }
+    }
+    return HttpResponse::Ok(ToBytes(root.Dump()), "application/xml");
+  }
+
+  if (request.path == "/v1/objects" && request.method == HttpMethod::kPut) {
+    const std::string name(request.Query("name"));
+    if (name.empty()) {
+      return HttpResponse::Error(400, "missing name", "application/xml");
+    }
+    if (Status stored = StoreObject(name, request.body); !stored.ok()) {
+      return HttpResponse::Error(
+          stored.code() == StatusCode::kResourceExhausted ? 507 : 500,
+          stored.message(), "application/xml");
+    }
+    XmlElement root("PutResult");
+    root.SetAttribute("name", name);
+    root.SetAttribute("size", StrCat(request.body.size()));
+    return HttpResponse::Ok(ToBytes(root.Dump()), "application/xml");
+  }
+
+  if (request.path == "/v1/object" && request.method == HttpMethod::kGet) {
+    const std::string name(request.Query("name"));
+    auto it = objects_.find(name);
+    if (it == objects_.end() || it->second.empty()) {
+      return NotFoundResponse(name);
+    }
+    return HttpResponse::Ok(it->second.back().data, "application/octet-stream");
+  }
+
+  if (request.path == "/v1/objects" && request.method == HttpMethod::kDelete) {
+    const std::string name(request.Query("name"));
+    auto it = objects_.find(name);
+    if (it != objects_.end()) {
+      for (const StoredObject& version : it->second) {
+        used_bytes_ -= version.data.size();
+      }
+      objects_.erase(it);
+    }
+    XmlElement root("Deleted");
+    return HttpResponse::Ok(ToBytes(root.Dump()), "application/xml");
+  }
+
+  return HttpResponse::Error(404, StrCat("no route ", request.path), "application/xml");
+}
+
+}  // namespace cyrus

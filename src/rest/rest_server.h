@@ -1,0 +1,98 @@
+// Simulated vendor REST endpoints.
+//
+// Each RestVendorServer is one provider's HTTP API surface, in one of two
+// dialects mirroring Table 2's split:
+//   kJson - OAuth 2.0 bearer tokens, JSON bodies (Dropbox/Drive/Box style);
+//   kXml  - API-key header, XML bodies (S3/SugarSync/Rackspace style).
+// Both sit on the same versioned object store semantics as SimulatedCsp
+// (name-keyed overwrite vs id-keyed duplication) so the heterogeneity the
+// paper designs around shows up at the HTTP layer too. Handle() is the
+// wire boundary: the connector builds an HttpRequest, the server returns
+// an HttpResponse - nothing else crosses.
+//
+// JSON routes:
+//   POST /oauth2/token               (form body: authorization_code/refresh)
+//   GET  /files/list?prefix=
+//   POST /files/upload?name=         (raw body)
+//   GET  /files/download?name=
+//   POST /files/delete?name=
+// XML routes:
+//   GET    /v1/objects?prefix=
+//   PUT    /v1/objects?name=         (raw body)
+//   GET    /v1/object?name=
+//   DELETE /v1/objects?name=
+#ifndef SRC_REST_REST_SERVER_H_
+#define SRC_REST_REST_SERVER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/cloud/simulated_csp.h"  // NamingPolicy
+#include "src/rest/http.h"
+#include "src/rest/oauth.h"
+
+namespace cyrus {
+
+enum class ApiDialect { kJson, kXml };
+
+struct RestVendorOptions {
+  std::string id;
+  ApiDialect dialect = ApiDialect::kJson;
+  NamingPolicy naming = NamingPolicy::kNameKeyed;
+  // OAuth app registration (JSON dialect).
+  std::string client_id = "cyrus-app";
+  std::string client_secret = "secret";
+  std::string authorization_code = "granted";
+  double token_lifetime_seconds = 3600.0;
+  // API key (XML dialect).
+  std::string api_key = "api-key";
+  uint64_t quota_bytes = 0;  // 0 = unlimited
+};
+
+class RestVendorServer {
+ public:
+  explicit RestVendorServer(RestVendorOptions options);
+
+  // The wire boundary. Thread-safe.
+  HttpResponse Handle(const HttpRequest& request);
+
+  const RestVendorOptions& options() const { return options_; }
+
+  // Simulation controls.
+  void set_time(double now);
+  void set_available(bool available);
+  // Expires all outstanding bearer tokens (forces connectors to refresh).
+  void ExpireTokens();
+
+  uint64_t used_bytes() const;
+  uint64_t object_count() const;
+  uint64_t requests_served() const;
+
+ private:
+  struct StoredObject {
+    Bytes data;
+    double modified_time = 0.0;
+  };
+
+  HttpResponse HandleJson(const HttpRequest& request);
+  HttpResponse HandleXml(const HttpRequest& request);
+  HttpResponse HandleToken(const HttpRequest& request);
+
+  // Store primitives (mutex held by caller).
+  Status StoreObject(std::string_view name, ByteSpan data);
+  HttpResponse NotFoundResponse(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  RestVendorOptions options_;
+  OAuthService oauth_;
+  bool available_ = true;
+  double now_ = 0.0;
+  uint64_t used_bytes_ = 0;
+  uint64_t requests_ = 0;
+  std::map<std::string, std::vector<StoredObject>, std::less<>> objects_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_REST_REST_SERVER_H_

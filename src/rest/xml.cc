@@ -1,0 +1,253 @@
+#include "src/rest/xml.h"
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+std::string XmlUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '&') {
+      out.push_back(text[i]);
+      continue;
+    }
+    const std::string_view rest = text.substr(i);
+    if (StartsWith(rest, "&amp;")) {
+      out.push_back('&');
+      i += 4;
+    } else if (StartsWith(rest, "&lt;")) {
+      out.push_back('<');
+      i += 3;
+    } else if (StartsWith(rest, "&gt;")) {
+      out.push_back('>');
+      i += 3;
+    } else if (StartsWith(rest, "&quot;")) {
+      out.push_back('"');
+      i += 5;
+    } else if (StartsWith(rest, "&apos;")) {
+      out.push_back('\'');
+      i += 5;
+    } else {
+      out.push_back('&');
+    }
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XmlElement> ParseDocument() {
+    SkipWhitespace();
+    // Optional <?xml ... ?> prologue.
+    if (text_.substr(pos_, 2) == "<?") {
+      const size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) {
+        return InvalidArgumentError("unterminated XML prologue");
+      }
+      pos_ = end + 2;
+      SkipWhitespace();
+    }
+    CYRUS_ASSIGN_OR_RETURN(XmlElement root, ParseElement());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters after XML root");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '-' || c == '_' || c == ':' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return InvalidArgumentError("expected XML name");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<XmlElement> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return InvalidArgumentError("expected '<'");
+    }
+    ++pos_;
+    CYRUS_ASSIGN_OR_RETURN(std::string name, ParseName());
+    XmlElement element(std::move(name));
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("unterminated element start tag");
+      }
+      if (text_[pos_] == '/' || text_[pos_] == '>') {
+        break;
+      }
+      CYRUS_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return InvalidArgumentError("expected '=' in attribute");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return InvalidArgumentError("expected quoted attribute value");
+      }
+      const char quote = text_[pos_++];
+      const size_t value_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("unterminated attribute value");
+      }
+      element.SetAttribute(std::move(key),
+                           XmlUnescape(text_.substr(value_start, pos_ - value_start)));
+      ++pos_;  // closing quote
+    }
+
+    // Self-closing?
+    if (text_[pos_] == '/') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] != '>') {
+        return InvalidArgumentError("malformed self-closing tag");
+      }
+      ++pos_;
+      return element;
+    }
+    ++pos_;  // '>'
+
+    // Content: interleaved text and child elements until the close tag.
+    std::string text_content;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError(StrCat("unterminated element <", element.name(), ">"));
+      }
+      if (text_[pos_] == '<') {
+        if (text_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          CYRUS_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+          if (close_name != element.name()) {
+            return InvalidArgumentError(
+                StrCat("mismatched close tag </", close_name, "> for <", element.name(), ">"));
+          }
+          SkipWhitespace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return InvalidArgumentError("malformed close tag");
+          }
+          ++pos_;
+          element.set_text(XmlUnescape(text_content));
+          return element;
+        }
+        CYRUS_ASSIGN_OR_RETURN(XmlElement child, ParseElement());
+        element.AddChild("") = std::move(child);
+      } else {
+        text_content.push_back(text_[pos_++]);
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string_view XmlElement::Attribute(std::string_view key) const {
+  auto it = attributes_.find(std::string(key));
+  return it == attributes_.end() ? std::string_view() : std::string_view(it->second);
+}
+
+XmlElement& XmlElement::AddChild(std::string name) {
+  children_.emplace_back(std::move(name));
+  return children_.back();
+}
+
+const XmlElement* XmlElement::Child(std::string_view name) const {
+  for (const XmlElement& child : children_) {
+    if (child.name() == name) {
+      return &child;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::Children(std::string_view name) const {
+  std::vector<const XmlElement*> out;
+  for (const XmlElement& child : children_) {
+    if (child.name() == name) {
+      out.push_back(&child);
+    }
+  }
+  return out;
+}
+
+std::string XmlElement::Dump() const {
+  std::string out = "<" + name_;
+  for (const auto& [key, value] : attributes_) {
+    out += " " + key + "=\"" + XmlEscape(value) + "\"";
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    return out;
+  }
+  out += ">";
+  out += XmlEscape(text_);
+  for (const XmlElement& child : children_) {
+    out += child.Dump();
+  }
+  out += "</" + name_ + ">";
+  return out;
+}
+
+Result<XmlElement> XmlElement::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace cyrus

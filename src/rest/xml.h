@@ -1,0 +1,61 @@
+// A small XML element model, parser, and serializer.
+//
+// Several Table 2 providers (Amazon S3, SugarSync, 4Shared...) speak XML;
+// the XML-flavoured simulated endpoint uses this module. Supports nested
+// elements, attributes, text content, and entity escaping - enough for
+// storage-API payloads; no namespaces, comments, or processing
+// instructions beyond skipping an <?xml ...?> prologue.
+#ifndef SRC_REST_XML_H_
+#define SRC_REST_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace cyrus {
+
+class XmlElement {
+ public:
+  XmlElement() = default;
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::map<std::string, std::string>& attributes() const { return attributes_; }
+  void SetAttribute(std::string key, std::string value) {
+    attributes_[std::move(key)] = std::move(value);
+  }
+  std::string_view Attribute(std::string_view key) const;
+
+  const std::vector<XmlElement>& children() const { return children_; }
+  XmlElement& AddChild(std::string name);
+  // First child with the given name, or nullptr.
+  const XmlElement* Child(std::string_view name) const;
+  // All children with the given name.
+  std::vector<const XmlElement*> Children(std::string_view name) const;
+
+  // Serializes "<name attr="v">text<child/>...</name>".
+  std::string Dump() const;
+
+  // Parses a document with one root element (an <?xml?> prologue is
+  // skipped if present).
+  static Result<XmlElement> Parse(std::string_view text);
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attributes_;
+  std::vector<XmlElement> children_;
+};
+
+// &<>"' escaping helpers.
+std::string XmlEscape(std::string_view raw);
+
+}  // namespace cyrus
+
+#endif  // SRC_REST_XML_H_

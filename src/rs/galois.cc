@@ -1,0 +1,103 @@
+#include "src/rs/galois.h"
+
+#include <cassert>
+
+namespace cyrus {
+namespace {
+
+struct Tables {
+  std::array<uint8_t, 510> exp{};
+  std::array<uint16_t, 256> log{};
+
+  Tables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      exp[i + 255] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= Galois::kPolynomial;
+      }
+    }
+    log[0] = 0;  // never used: Mul/Div guard against zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+const std::array<uint8_t, 510>& Galois::exp_table() { return tables().exp; }
+const std::array<uint16_t, 256>& Galois::log_table() { return tables().log; }
+
+uint8_t Galois::Div(uint8_t a, uint8_t b) {
+  assert(b != 0);
+  if (a == 0) {
+    return 0;
+  }
+  const int diff = static_cast<int>(log_table()[a]) - static_cast<int>(log_table()[b]);
+  return exp_table()[diff < 0 ? diff + 255 : diff];
+}
+
+uint8_t Galois::Inverse(uint8_t a) {
+  assert(a != 0);
+  return exp_table()[255 - log_table()[a]];
+}
+
+uint8_t Galois::Pow(uint8_t a, unsigned power) {
+  if (power == 0) {
+    return 1;
+  }
+  if (a == 0) {
+    return 0;
+  }
+  const unsigned log_result = (static_cast<unsigned>(log_table()[a]) * power) % 255;
+  return exp_table()[log_result];
+}
+
+void Galois::MulAddRow(uint8_t c, ByteSpan src, MutableByteSpan dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    return;
+  }
+  if (c == 1) {
+    for (size_t i = 0; i < src.size(); ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const uint16_t log_c = log_table()[c];
+  const auto& exp = exp_table();
+  const auto& log = log_table();
+  for (size_t i = 0; i < src.size(); ++i) {
+    const uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= exp[log_c + log[s]];
+    }
+  }
+}
+
+void Galois::MulRow(uint8_t c, ByteSpan src, MutableByteSpan dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), 0);
+    return;
+  }
+  if (c == 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  const uint16_t log_c = log_table()[c];
+  const auto& exp = exp_table();
+  const auto& log = log_table();
+  for (size_t i = 0; i < src.size(); ++i) {
+    const uint8_t s = src[i];
+    dst[i] = (s == 0) ? 0 : exp[log_c + log[s]];
+  }
+}
+
+}  // namespace cyrus

@@ -1,0 +1,57 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) (0x11d, the polynomial
+// used by most storage RS codes). Multiplication and division go through
+// log/exp tables built once at static-initialization time.
+#ifndef SRC_RS_GALOIS_H_
+#define SRC_RS_GALOIS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cyrus {
+
+class Galois {
+ public:
+  static constexpr int kFieldSize = 256;
+  static constexpr uint16_t kPolynomial = 0x11d;
+  static constexpr uint8_t kGenerator = 2;  // primitive element
+
+  // a + b and a - b coincide in characteristic 2.
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+  static uint8_t Mul(uint8_t a, uint8_t b) {
+    if (a == 0 || b == 0) {
+      return 0;
+    }
+    return exp_table()[log_table()[a] + log_table()[b]];
+  }
+
+  // a / b; b must be nonzero.
+  static uint8_t Div(uint8_t a, uint8_t b);
+
+  // Multiplicative inverse; a must be nonzero.
+  static uint8_t Inverse(uint8_t a);
+
+  // a^power for power >= 0 (0^0 == 1 by convention).
+  static uint8_t Pow(uint8_t a, unsigned power);
+
+  // dst[i] ^= c * src[i] for all i: the inner loop of RS encoding. Spans
+  // must be the same size.
+  static void MulAddRow(uint8_t c, ByteSpan src, MutableByteSpan dst);
+
+  // dst[i] = c * src[i].
+  static void MulRow(uint8_t c, ByteSpan src, MutableByteSpan dst);
+
+ private:
+  // exp table is doubled (510 entries) so Mul can skip the mod-255 reduction.
+  static const std::array<uint8_t, 510>& exp_table();
+  static const std::array<uint16_t, 256>& log_table();
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_RS_GALOIS_H_

@@ -1,0 +1,128 @@
+#include "src/rs/matrix.h"
+
+#include <cassert>
+
+#include "src/rs/galois.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+GfMatrix GfMatrix::Identity(size_t n) {
+  GfMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m.Set(i, i, 1);
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::Vandermonde(const std::vector<uint8_t>& points, size_t cols) {
+  GfMatrix m(points.size(), cols);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m.Set(i, j, Galois::Pow(points[i], static_cast<unsigned>(j)));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::Multiply(const GfMatrix& other) const {
+  assert(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const uint8_t a = At(i, k);
+      if (a == 0) {
+        continue;
+      }
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.Set(i, j, Galois::Add(out.At(i, j), Galois::Mul(a, other.At(k, j))));
+      }
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  GfMatrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    assert(row_indices[i] < rows_);
+    std::copy(Row(row_indices[i]), Row(row_indices[i]) + cols_, out.Row(i));
+  }
+  return out;
+}
+
+void GfMatrix::ScaleColumn(size_t c, uint8_t factor) {
+  assert(factor != 0);
+  for (size_t r = 0; r < rows_; ++r) {
+    Set(r, c, Galois::Mul(At(r, c), factor));
+  }
+}
+
+Result<GfMatrix> GfMatrix::Inverted() const {
+  if (rows_ != cols_) {
+    return InvalidArgumentError("cannot invert a non-square matrix");
+  }
+  const size_t n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = Identity(n);
+
+  for (size_t col = 0; col < n; ++col) {
+    // Find a pivot in this column.
+    size_t pivot = col;
+    while (pivot < n && work.At(pivot, col) == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return InvalidArgumentError("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(work.Row(col)[j], work.Row(pivot)[j]);
+        std::swap(inv.Row(col)[j], inv.Row(pivot)[j]);
+      }
+    }
+    // Normalize the pivot row.
+    const uint8_t inv_pivot = Galois::Inverse(work.At(col, col));
+    Galois::MulRow(inv_pivot, ByteSpan(work.Row(col), n), MutableByteSpan(work.Row(col), n));
+    Galois::MulRow(inv_pivot, ByteSpan(inv.Row(col), n), MutableByteSpan(inv.Row(col), n));
+    // Eliminate the column from all other rows.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const uint8_t factor = work.At(r, col);
+      if (factor != 0) {
+        Galois::MulAddRow(factor, ByteSpan(work.Row(col), n), MutableByteSpan(work.Row(r), n));
+        Galois::MulAddRow(factor, ByteSpan(inv.Row(col), n), MutableByteSpan(inv.Row(r), n));
+      }
+    }
+  }
+  return inv;
+}
+
+bool GfMatrix::IsIdentity() const {
+  if (rows_ != cols_) {
+    return false;
+  }
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      if (At(i, j) != (i == j ? 1 : 0)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string GfMatrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out += StrCat(static_cast<int>(At(i, j)), j + 1 < cols_ ? " " : "");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,59 @@
+// Dense matrices over GF(2^8) for Reed-Solomon dispersal and decoding.
+#ifndef SRC_RS_MATRIX_H_
+#define SRC_RS_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace cyrus {
+
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static GfMatrix Identity(size_t n);
+
+  // Vandermonde matrix: entry (i, j) = points[i]^j, for j in [0, cols).
+  // Any `cols` rows with distinct points form an invertible submatrix.
+  static GfMatrix Vandermonde(const std::vector<uint8_t>& points, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  uint8_t At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  void Set(size_t r, size_t c, uint8_t v) { data_[r * cols_ + c] = v; }
+
+  // Pointer to the start of row r (cols() contiguous bytes).
+  const uint8_t* Row(size_t r) const { return data_.data() + r * cols_; }
+  uint8_t* Row(size_t r) { return data_.data() + r * cols_; }
+
+  GfMatrix Multiply(const GfMatrix& other) const;
+
+  // Returns the sub-matrix made of the given rows, in order.
+  GfMatrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  // Scales column c by a nonzero factor (keyed column mixing).
+  void ScaleColumn(size_t c, uint8_t factor);
+
+  // Gauss-Jordan inverse. Fails if the matrix is not square or is singular.
+  Result<GfMatrix> Inverted() const;
+
+  bool IsIdentity() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const GfMatrix& a, const GfMatrix& b) = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_RS_MATRIX_H_

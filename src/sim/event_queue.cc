@@ -1,0 +1,44 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cyrus {
+
+void EventQueue::ScheduleAt(double when, Callback fn) {
+  assert(when >= now_);
+  queue_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(double delay, Callback fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::RunNext() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Moving out of the priority queue requires a const_cast dance; copy the
+  // small fields and move the callback via a temporary.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntilIdle() {
+  while (RunNext()) {
+  }
+}
+
+void EventQueue::RunUntil(double deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    RunNext();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace cyrus

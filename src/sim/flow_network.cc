@@ -1,0 +1,179 @@
+#include "src/sim/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Rate assigned to flows that cross no finite-capacity link.
+constexpr double kUnlimitedRate = 1e15;
+constexpr double kTimeEps = 1e-12;
+
+struct ActiveFlow {
+  size_t index;            // into the input vector
+  double remaining_bytes;
+  double rate = 0.0;
+};
+
+// Max-min fair allocation by progressive filling: repeatedly saturate the
+// tightest link, freeze its flows at the fair share, remove them, repeat.
+void ComputeMaxMinRates(const std::vector<SimLink>& links,
+                        const std::vector<FlowSpec>& specs,
+                        std::vector<ActiveFlow>& active) {
+  const size_t L = links.size();
+  std::vector<double> residual(L);
+  std::vector<int> count(L, 0);
+  for (size_t l = 0; l < L; ++l) {
+    residual[l] = links[l].capacity > 0.0 ? links[l].capacity : kInf;
+  }
+  std::vector<bool> frozen(active.size(), false);
+  for (size_t f = 0; f < active.size(); ++f) {
+    for (int l : specs[active[f].index].links) {
+      ++count[l];
+    }
+  }
+
+  size_t remaining = active.size();
+  while (remaining > 0) {
+    // Tightest link among those still carrying unfrozen flows.
+    double best_fair = kInf;
+    int best_link = -1;
+    for (size_t l = 0; l < L; ++l) {
+      if (count[l] > 0 && residual[l] < kInf) {
+        const double fair = residual[l] / count[l];
+        if (fair < best_fair) {
+          best_fair = fair;
+          best_link = static_cast<int>(l);
+        }
+      }
+    }
+    if (best_link < 0) {
+      // Every remaining flow is unconstrained.
+      for (size_t f = 0; f < active.size(); ++f) {
+        if (!frozen[f]) {
+          active[f].rate = kUnlimitedRate;
+        }
+      }
+      return;
+    }
+    // Freeze all unfrozen flows crossing the bottleneck at the fair share.
+    for (size_t f = 0; f < active.size(); ++f) {
+      if (frozen[f]) {
+        continue;
+      }
+      const auto& flow_links = specs[active[f].index].links;
+      if (std::find(flow_links.begin(), flow_links.end(), best_link) ==
+          flow_links.end()) {
+        continue;
+      }
+      active[f].rate = best_fair;
+      frozen[f] = true;
+      --remaining;
+      for (int l : flow_links) {
+        residual[l] -= best_fair;
+        --count[l];
+      }
+    }
+    // Numerical guard: the bottleneck must now be drained.
+    residual[best_link] = std::max(residual[best_link], 0.0);
+  }
+}
+
+}  // namespace
+
+int FlowNetwork::AddLink(double capacity_bytes_per_sec, std::string name) {
+  links_.push_back(SimLink{capacity_bytes_per_sec, std::move(name)});
+  return static_cast<int>(links_.size()) - 1;
+}
+
+Result<std::vector<FlowResult>> FlowNetwork::Run(
+    const std::vector<FlowSpec>& flows) const {
+  for (size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].bytes < 0.0 || flows[i].start_time < 0.0) {
+      return InvalidArgumentError(StrCat("flow ", i, " has negative size or start"));
+    }
+    for (int l : flows[i].links) {
+      if (l < 0 || static_cast<size_t>(l) >= links_.size()) {
+        return InvalidArgumentError(StrCat("flow ", i, " references unknown link ", l));
+      }
+    }
+  }
+
+  std::vector<FlowResult> results(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    results[i].tag = flows[i].tag;
+    results[i].start_time = flows[i].start_time;
+    results[i].completion_time = flows[i].start_time;  // adjusted below
+  }
+
+  // Arrival order.
+  std::vector<size_t> pending(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    pending[i] = i;
+  }
+  std::stable_sort(pending.begin(), pending.end(), [&](size_t a, size_t b) {
+    return flows[a].start_time < flows[b].start_time;
+  });
+  size_t next_arrival = 0;
+
+  std::vector<ActiveFlow> active;
+  double now = 0.0;
+
+  while (next_arrival < pending.size() || !active.empty()) {
+    // Admit flows that have arrived.
+    while (next_arrival < pending.size() &&
+           flows[pending[next_arrival]].start_time <= now + kTimeEps) {
+      const size_t idx = pending[next_arrival++];
+      if (flows[idx].bytes <= 0.0) {
+        results[idx].completion_time = flows[idx].start_time;
+        continue;  // empty flows complete instantly
+      }
+      active.push_back(ActiveFlow{idx, flows[idx].bytes, 0.0});
+    }
+    if (active.empty()) {
+      if (next_arrival < pending.size()) {
+        now = flows[pending[next_arrival]].start_time;
+        continue;
+      }
+      break;
+    }
+
+    ComputeMaxMinRates(links_, flows, active);
+
+    // Earliest next event: a completion or the next arrival.
+    double next_event = kInf;
+    for (const ActiveFlow& f : active) {
+      assert(f.rate > 0.0);
+      next_event = std::min(next_event, now + f.remaining_bytes / f.rate);
+    }
+    if (next_arrival < pending.size()) {
+      next_event = std::min(next_event, flows[pending[next_arrival]].start_time);
+    }
+
+    // Advance and drain.
+    const double dt = next_event - now;
+    now = next_event;
+    for (auto it = active.begin(); it != active.end();) {
+      it->remaining_bytes -= it->rate * dt;
+      if (it->remaining_bytes <= it->rate * kTimeEps + 1e-6) {
+        results[it->index].completion_time = now;
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const double duration = results[i].completion_time - results[i].start_time;
+    results[i].mean_rate = duration > 0.0 ? flows[i].bytes / duration : 0.0;
+  }
+  return results;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,59 @@
+// Fluid-model network transfer simulation with max-min fair sharing.
+//
+// This is the offline stand-in for the paper's tc/netem testbed (§7.2):
+// parallel share transfers compete for capacity on shared resources (the
+// client's uplink or downlink, each CSP's ingress/egress rate cap). At any
+// instant, active flows get the max-min fair ("progressive filling") rate
+// allocation, the standard fluid approximation of competing TCP flows. The
+// simulator advances from flow event to flow event (arrival or completion),
+// recomputing rates in between - completion times are exact under the
+// fluid model, independent of wall-clock time.
+#ifndef SRC_SIM_FLOW_NETWORK_H_
+#define SRC_SIM_FLOW_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace cyrus {
+
+// A capacity-limited resource (client NIC direction or per-CSP rate cap).
+struct SimLink {
+  double capacity = 0.0;  // bytes/second; <= 0 means unlimited
+  std::string name;
+};
+
+struct FlowSpec {
+  double bytes = 0.0;       // payload to move
+  std::vector<int> links;   // resources this flow occupies
+  double start_time = 0.0;  // seconds (e.g. request issue time + RTT)
+  int64_t tag = 0;          // caller-defined id, echoed in the result
+};
+
+struct FlowResult {
+  int64_t tag = 0;
+  double start_time = 0.0;
+  double completion_time = 0.0;
+  double mean_rate = 0.0;  // bytes / (completion - start), 0 for empty flows
+};
+
+class FlowNetwork {
+ public:
+  // Returns the link id.
+  int AddLink(double capacity_bytes_per_sec, std::string name = "");
+
+  size_t num_links() const { return links_.size(); }
+  const SimLink& link(int id) const { return links_[id]; }
+
+  // Simulates all flows to completion; results are in input order.
+  // Fails on unknown link ids or negative sizes/times.
+  Result<std::vector<FlowResult>> Run(const std::vector<FlowSpec>& flows) const;
+
+ private:
+  std::vector<SimLink> links_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_SIM_FLOW_NETWORK_H_

@@ -1,0 +1,37 @@
+// Byte-buffer aliases and small helpers used across CYRUS.
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyrus {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+// Converts between text and bytes without copying surprises.
+inline Bytes ToBytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+inline std::string ToString(ByteSpan bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+inline ByteSpan AsByteSpan(std::string_view text) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+}
+
+// Constant-time byte comparison (used when comparing digests so that the
+// comparison itself does not leak positions; cheap insurance).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_BYTES_H_

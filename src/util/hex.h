@@ -1,0 +1,21 @@
+// Hex encoding/decoding for digests and share names.
+#ifndef SRC_UTIL_HEX_H_
+#define SRC_UTIL_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(ByteSpan bytes);
+
+// Decodes lowercase or uppercase hex; fails on odd length or non-hex chars.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_HEX_H_

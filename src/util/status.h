@@ -1,0 +1,98 @@
+// Status: lightweight error propagation for fallible operations.
+//
+// CYRUS avoids exceptions on its hot paths (encode/decode, transfer
+// scheduling); every fallible API returns Status or Result<T> (see
+// src/util/result.h). A Status is cheap to copy in the OK case (no
+// allocation) and carries a code plus a human-readable message otherwise.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cyrus {
+
+// Error taxonomy, loosely mirroring absl::StatusCode but trimmed to what a
+// client-side storage system needs.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // file / chunk / share / CSP missing
+  kAlreadyExists = 3,     // duplicate insert where uniqueness is required
+  kFailedPrecondition = 4,// operation illegal in current state
+  kUnavailable = 5,       // CSP down or unreachable; retryable
+  kDataLoss = 6,          // fewer than t shares recoverable / corrupt data
+  kPermissionDenied = 7,  // authentication failure at a CSP
+  kResourceExhausted = 8, // CSP quota exceeded
+  kInternal = 9,          // invariant violation; a bug
+  kConflict = 10,         // concurrent-update conflict detected
+  kUnimplemented = 11,
+};
+
+// Returns a stable lowercase name, e.g. "not_found".
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status copyable in O(1) and empty (8 bytes) when OK.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status ConflictError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Propagates a non-OK status from an expression to the caller.
+#define CYRUS_RETURN_IF_ERROR(expr)               \
+  do {                                            \
+    ::cyrus::Status cyrus_status_ = (expr);       \
+    if (!cyrus_status_.ok()) return cyrus_status_;\
+  } while (0)
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_STATUS_H_

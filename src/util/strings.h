@@ -1,0 +1,39 @@
+// Small string helpers (formatting, splitting, joining).
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyrus {
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on every occurrence of `sep`; adjacent separators yield empty
+// pieces. Splitting the empty string yields one empty piece.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Concatenates streamable arguments, e.g. StrCat("chunk ", 3, " missing").
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Formats a byte count as a human-readable quantity ("1.5 MB").
+std::string HumanBytes(uint64_t bytes);
+
+// Formats a duration in seconds with millisecond precision ("12.345 s").
+std::string HumanSeconds(double seconds);
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_STRINGS_H_

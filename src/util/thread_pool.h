@@ -1,0 +1,61 @@
+// A fixed-size thread pool for parallel share transfers.
+//
+// The paper's prototype runs uploads/downloads on dedicated threads with an
+// asynchronous event receiver (§5.3, architecture component 3). CYRUS's
+// client uses this pool to issue the per-share connector calls of one
+// chunk concurrently; completion events flow back through the
+// TransferAggregator exactly as in the synchronous path.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cyrus {
+
+class ThreadPool {
+ public:
+  // num_threads must be >= 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs `count` tasks produced by `make_task(i)` and waits for all of
+  // them. Convenience for fork-join sections.
+  template <typename MakeTask>
+  void ParallelFor(size_t count, MakeTask make_task) {
+    for (size_t i = 0; i < count; ++i) {
+      Submit([i, &make_task] { make_task(i); });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

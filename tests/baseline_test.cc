@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/baseline/depsky_client.h"
+#include "src/baseline/schemes.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+namespace {
+
+std::vector<SchemeCsp> FourCsps() {
+  // Bandwidths loosely shaped like the four prototype providers.
+  return {
+      {137, 2.3e6 / 8, 2.3e6 / 8},
+      {71, 4.4e6 / 8, 4.4e6 / 8},
+      {142, 2.2e6 / 8, 2.2e6 / 8},
+      {149, 2.1e6 / 8, 2.1e6 / 8},
+  };
+}
+
+uint64_t TotalBytes(const SchemePlan& plan) {
+  uint64_t total = 0;
+  for (const SchemeTransfer& t : plan.transfers) {
+    total += t.bytes;
+  }
+  return total;
+}
+
+// --- Scheme planners ---
+
+TEST(SchemesTest, FullReplicationUploadsFileEverywhere) {
+  FullReplicationScheme scheme;
+  auto plan = scheme.PlanUpload(40e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->transfers.size(), 4u);
+  EXPECT_EQ(TotalBytes(*plan), 160000000u);
+  EXPECT_EQ(plan->quorum, 0u);
+}
+
+TEST(SchemesTest, FullReplicationDownloadsOneReplica) {
+  FullReplicationScheme scheme(2);
+  auto plan = scheme.PlanDownload(40e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->transfers.size(), 1u);
+  EXPECT_EQ(plan->transfers[0].csp, 2);
+  EXPECT_EQ(plan->transfers[0].bytes, 40000000u);
+}
+
+TEST(SchemesTest, FullStripingSplitsEvenly) {
+  FullStripingScheme scheme;
+  auto plan = scheme.PlanUpload(40e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->transfers.size(), 4u);
+  for (const SchemeTransfer& t : plan->transfers) {
+    EXPECT_EQ(t.bytes, 10000000u);
+  }
+  // Striping uploads the least data of all schemes (paper §7.3).
+  EXPECT_EQ(TotalBytes(*plan), 40000000u);
+}
+
+TEST(SchemesTest, StripingHandlesRemainder) {
+  FullStripingScheme scheme;
+  auto plan = scheme.PlanUpload(10, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(TotalBytes(*plan), 10u);
+}
+
+TEST(SchemesTest, DepSkyUploadsEverywhereWithQuorum) {
+  DepSkyScheme scheme(2, 3, /*seed=*/1);
+  auto plan = scheme.PlanUpload(40e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->transfers.size(), 4u);  // shares pushed to ALL CSPs
+  EXPECT_EQ(plan->quorum, 3u);            // done when n finish
+  EXPECT_GT(plan->pre_delay_seconds, 0.0);  // lock RTTs + backoff
+  for (const SchemeTransfer& t : plan->transfers) {
+    EXPECT_EQ(t.bytes, 20000000u);  // 40 MB / t
+  }
+}
+
+TEST(SchemesTest, DepSkyDownloadsGreedyFastest) {
+  DepSkyScheme scheme(2, 3, 1);
+  auto plan = scheme.PlanDownload(40e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->transfers.size(), 2u);
+  // CSP 1 is the fastest; it must be among the greedy picks.
+  std::set<int> picked;
+  for (const SchemeTransfer& t : plan->transfers) {
+    picked.insert(t.csp);
+  }
+  EXPECT_TRUE(picked.count(1));
+}
+
+TEST(SchemesTest, CyrusUploadsExactlyNShares) {
+  CyrusScheme scheme(2, 3, 1);
+  auto plan = scheme.PlanUpload(40e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->transfers.size(), 3u);
+  EXPECT_EQ(plan->quorum, 0u);
+  EXPECT_EQ(TotalBytes(*plan), 60000000u);  // (n/t) x file
+}
+
+TEST(SchemesTest, CyrusPlacementRotatesAcrossUploads) {
+  CyrusScheme scheme(2, 3, 1);
+  std::map<int, int> counts;
+  for (int upload = 0; upload < 40; ++upload) {
+    auto plan = scheme.PlanUpload(1e6, FourCsps());
+    ASSERT_TRUE(plan.ok());
+    for (const SchemeTransfer& t : plan->transfers) {
+      counts[t.csp]++;
+    }
+  }
+  // 40 uploads x 3 shares over 4 CSPs: 30 each, exactly balanced.
+  for (const auto& [csp, count] : counts) {
+    EXPECT_EQ(count, 30) << "csp " << csp;
+  }
+}
+
+TEST(SchemesTest, CyrusDownloadUsesStoredHolders) {
+  CyrusScheme scheme(2, 3, 1);
+  ASSERT_TRUE(scheme.PlanUpload(1e6, FourCsps()).ok());
+  auto plan = scheme.PlanDownload(1e6, FourCsps());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->transfers.size(), 2u);
+}
+
+TEST(SchemesTest, TooFewCspsRejected) {
+  DepSkyScheme depsky(2, 3, 1);
+  CyrusScheme cyrus(2, 3, 1);
+  std::vector<SchemeCsp> two = {FourCsps()[0], FourCsps()[1]};
+  EXPECT_FALSE(depsky.PlanUpload(1e6, two).ok());
+  EXPECT_FALSE(cyrus.PlanUpload(1e6, two).ok());
+}
+
+// --- Functional DepSky client ---
+
+struct DepSkyCloud {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::unique_ptr<DepSkyClient> client;
+};
+
+DepSkyCloud MakeDepSky(uint32_t t = 2, uint32_t n = 3) {
+  DepSkyCloud cloud;
+  cloud.client = std::make_unique<DepSkyClient>("depsky key", t, n, "client-1", 7,
+                                                /*mean_backoff_seconds=*/0.5);
+  for (int i = 0; i < 4; ++i) {
+    SimulatedCspOptions o;
+    o.id = "csp" + std::to_string(i);
+    auto csp = std::make_shared<SimulatedCsp>(o);
+    cloud.csps.push_back(csp);
+    CspProfile profile;
+    profile.rtt_ms = 100.0 + i;
+    profile.upload_bytes_per_sec = (i == 0) ? 1e6 : 10e6 + i * 1e6;
+    profile.download_bytes_per_sec = profile.upload_bytes_per_sec;
+    EXPECT_TRUE(cloud.client->AddCsp(csp, profile, Credentials{"token"}).ok());
+  }
+  return cloud;
+}
+
+TEST(DepSkyClientTest, WriteReadRoundTrip) {
+  DepSkyCloud cloud = MakeDepSky();
+  Rng rng(1);
+  Bytes content(50000);
+  for (auto& b : content) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  auto write = cloud.client->Write("file", content);
+  ASSERT_TRUE(write.ok()) << write.status();
+  EXPECT_EQ(write->share_csps.size(), 3u);
+  EXPECT_GT(write->protocol_delay_seconds, 0.0);
+
+  auto read = cloud.client->Read("file");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->content, content);
+  EXPECT_EQ(read->share_csps.size(), 2u);
+}
+
+TEST(DepSkyClientTest, CancelsSlowestUpload) {
+  // CSP 0 is the slowest uploader; with n = 3 of 4 it gets cancelled, so
+  // it never stores a data share (Figure 18's skew mechanism).
+  DepSkyCloud cloud = MakeDepSky();
+  Bytes content(10000, 0x5A);
+  auto write = cloud.client->Write("file", content);
+  ASSERT_TRUE(write.ok());
+  for (int csp : write->share_csps) {
+    EXPECT_NE(csp, 0);
+  }
+}
+
+TEST(DepSkyClientTest, GreedyReadsPreferFastest) {
+  DepSkyCloud cloud = MakeDepSky();
+  Bytes content(10000, 0x11);
+  ASSERT_TRUE(cloud.client->Write("file", content).ok());
+  auto read = cloud.client->Read("file");
+  ASSERT_TRUE(read.ok());
+  // The two fastest holders are CSPs 3 and 2.
+  EXPECT_EQ((std::set<int>{read->share_csps.begin(), read->share_csps.end()}),
+            (std::set<int>{2, 3}));
+}
+
+TEST(DepSkyClientTest, ReadMissingFileFails) {
+  DepSkyCloud cloud = MakeDepSky();
+  EXPECT_EQ(cloud.client->Read("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DepSkyClientTest, RivalLockCausesConflict) {
+  DepSkyCloud cloud = MakeDepSky();
+  // A rival's lock object sits on one CSP.
+  ASSERT_TRUE(cloud.csps[1]->Upload("depsky-lock-file-rival", ToBytes("rival")).ok());
+  Bytes content(1000, 0x22);
+  auto write = cloud.client->Write("file", content);
+  EXPECT_EQ(write.status().code(), StatusCode::kConflict);
+  // Our own lock must have been released on every CSP.
+  for (const auto& csp : cloud.csps) {
+    auto listing = csp->List("depsky-lock-file-client-1");
+    ASSERT_TRUE(listing.ok());
+    EXPECT_TRUE(listing->empty());
+  }
+}
+
+TEST(DepSkyClientTest, LocksReleasedAfterWrite) {
+  DepSkyCloud cloud = MakeDepSky();
+  Bytes content(1000, 0x33);
+  ASSERT_TRUE(cloud.client->Write("file", content).ok());
+  for (const auto& csp : cloud.csps) {
+    auto listing = csp->List("depsky-lock-");
+    ASSERT_TRUE(listing.ok());
+    EXPECT_TRUE(listing->empty());
+  }
+}
+
+TEST(DepSkyClientTest, NeedsNCsps) {
+  DepSkyClient client("k", 2, 5, "c", 1);
+  auto csp = std::make_shared<SimulatedCsp>(SimulatedCspOptions{"solo"});
+  ASSERT_TRUE(client.AddCsp(csp, CspProfile{}, Credentials{"token"}).ok());
+  EXPECT_EQ(client.Write("f", Bytes(10, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DepSkyClientTest, ReadSurvivesOneCspOutage) {
+  DepSkyCloud cloud = MakeDepSky(2, 3);
+  Bytes content(20000, 0x44);
+  auto write = cloud.client->Write("file", content);
+  ASSERT_TRUE(write.ok());
+  // Take down one CSP that holds a share; n - t = 1 outage is survivable.
+  ASSERT_FALSE(write->share_csps.empty());
+  cloud.csps[write->share_csps.front()]->set_available(false);
+  auto read = cloud.client->Read("file");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->content, content);
+}
+
+TEST(DepSkyClientTest, OverwriteReplacesContent) {
+  DepSkyCloud cloud = MakeDepSky();
+  ASSERT_TRUE(cloud.client->Write("doc", Bytes(500, 0x01)).ok());
+  const Bytes v2(700, 0x02);
+  ASSERT_TRUE(cloud.client->Write("doc", v2).ok());
+  auto read = cloud.client->Read("doc");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->content, v2);
+}
+
+}  // namespace
+}  // namespace cyrus

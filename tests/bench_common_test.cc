@@ -1,0 +1,154 @@
+// Tests for the experiment-harness plumbing in bench/common.h: the Table 4
+// dataset generator, TransferReport/SchemePlan -> completion-time
+// conversion, and the statistics helpers. The benchmarks' credibility rests
+// on this layer, so it gets the same scrutiny as the library.
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+
+namespace cyrus {
+namespace bench {
+namespace {
+
+TEST(DatasetTest, MatchesTable4CountsAndScaledBytes) {
+  const double scale = 0.125;
+  const auto files = GenerateTable4Dataset(scale, 1);
+  size_t total_files = 0;
+  uint64_t total_bytes = 0;
+  for (const DatasetSpec& spec : Table4Spec()) {
+    size_t count = 0;
+    uint64_t bytes = 0;
+    for (const DatasetFile& file : files) {
+      if (file.extension == spec.extension) {
+        ++count;
+        bytes += file.content.size();
+      }
+    }
+    EXPECT_EQ(count, spec.num_files) << spec.extension;
+    EXPECT_NEAR(static_cast<double>(bytes), scale * spec.total_bytes,
+                spec.num_files + 1.0)
+        << spec.extension;
+    total_files += count;
+    total_bytes += bytes;
+  }
+  EXPECT_EQ(total_files, 172u);
+  EXPECT_NEAR(static_cast<double>(total_bytes), scale * 638433479.0, 200.0);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  const auto a = GenerateTable4Dataset(0.01, 7);
+  const auto b = GenerateTable4Dataset(0.01, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].content, b[i].content);
+  }
+}
+
+TEST(DatasetTest, FileSizesVary) {
+  const auto files = GenerateTable4Dataset(0.05, 3);
+  std::set<size_t> pdf_sizes;
+  for (const DatasetFile& file : files) {
+    if (file.extension == "pdf") {
+      pdf_sizes.insert(file.content.size());
+    }
+  }
+  EXPECT_GT(pdf_sizes.size(), 50u);  // log-normal jitter, not constant sizes
+}
+
+TEST(TimingTest, SingleUploadMatchesHandComputation) {
+  TransferReport report;
+  report.records.push_back({TransferKind::kPut, 0, "s", 30000000, true});
+  const std::vector<double> up = {15e6, 2e6};
+  const std::vector<double> down = up;
+  // 30 MB at 15 MB/s = 2 s.
+  EXPECT_NEAR(TransferCompletionSeconds(report, up, down), 2.0, 1e-6);
+}
+
+TEST(TimingTest, FailedRecordsDoNotMove) {
+  TransferReport report;
+  report.records.push_back({TransferKind::kPut, 0, "s", 30000000, false});
+  EXPECT_NEAR(TransferCompletionSeconds(report, {15e6}, {15e6}), 0.0, 1e-9);
+}
+
+TEST(TimingTest, ClientUplinkCapBinds) {
+  TransferReport report;
+  for (int c = 0; c < 3; ++c) {
+    report.records.push_back({TransferKind::kPut, c, "s", 10000000, true});
+  }
+  TimingOptions options;
+  options.client_uplink = 5e6;
+  // 30 MB through a 5 MB/s shared uplink = 6 s even with fast CSPs.
+  EXPECT_NEAR(TransferCompletionSeconds(report, {15e6, 15e6, 15e6},
+                                        {15e6, 15e6, 15e6}, options),
+              6.0, 1e-6);
+}
+
+TEST(TimingTest, UploadsAndDownloadsUseSeparateDirections) {
+  TransferReport report;
+  report.records.push_back({TransferKind::kPut, 0, "up", 10000000, true});
+  report.records.push_back({TransferKind::kGet, 0, "down", 10000000, true});
+  // Up at 1 MB/s (10 s) and down at 10 MB/s (1 s) run on separate links.
+  EXPECT_NEAR(TransferCompletionSeconds(report, {1e6}, {10e6}), 10.0, 1e-6);
+}
+
+TEST(TimingTest, SchemeQuorumStopsEarly) {
+  SchemePlan plan;
+  for (int c = 0; c < 4; ++c) {
+    plan.transfers.push_back(SchemeTransfer{c, 10000000});
+  }
+  plan.quorum = 3;
+  const std::vector<SchemeCsp> csps = {
+      {100, 10e6, 10e6}, {100, 5e6, 5e6}, {100, 2e6, 2e6}, {100, 0.5e6, 0.5e6}};
+  // Completions: 1, 2, 5, 20 s -> the 3rd finishes at 5 s.
+  EXPECT_NEAR(SchemeCompletionSeconds(plan, false, csps), 5.0, 1e-6);
+  plan.quorum = 0;  // wait for all
+  EXPECT_NEAR(SchemeCompletionSeconds(plan, false, csps), 20.0, 1e-6);
+}
+
+TEST(TimingTest, SchemePreDelayShiftsCompletion) {
+  SchemePlan plan;
+  plan.transfers.push_back(SchemeTransfer{0, 10000000});
+  plan.pre_delay_seconds = 3.0;
+  const std::vector<SchemeCsp> csps = {{100, 10e6, 10e6}};
+  EXPECT_NEAR(SchemeCompletionSeconds(plan, true, csps), 4.0, 1e-6);
+}
+
+TEST(StatsTest, BoxStatsOnKnownSamples) {
+  const BoxStats stats = ComputeBoxStats({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(stats.min, 1);
+  EXPECT_DOUBLE_EQ(stats.median, 3);
+  EXPECT_DOUBLE_EQ(stats.max, 5);
+  EXPECT_DOUBLE_EQ(stats.q1, 2);
+  EXPECT_DOUBLE_EQ(stats.q3, 4);
+  EXPECT_DOUBLE_EQ(stats.mean, 3);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 100), 4.0);
+}
+
+TEST(StatsTest, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(ComputeBoxStats({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(TestbedTest, BuildsSevenCloudsWithPinnedN) {
+  Testbed bed = MakeTestbed(2, 4);
+  EXPECT_EQ(bed.csps.size(), 7u);
+  EXPECT_EQ(bed.download_bytes_per_sec[0], kFastCloudBytesPerSec);
+  EXPECT_EQ(bed.download_bytes_per_sec[6], kSlowCloudBytesPerSec);
+  auto n = bed.client->CurrentN();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  Testbed bed34 = MakeTestbed(3, 4);
+  auto n34 = bed34.client->CurrentN();
+  ASSERT_TRUE(n34.ok());
+  EXPECT_EQ(*n34, 4u);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cyrus

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/chunker/chunker.h"
+#include "src/chunker/rabin.h"
+#include "src/crypto/sha1.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+namespace {
+
+Bytes RandomData(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+// --- Rabin fingerprint ---
+
+TEST(RabinTest, DeterministicForSameContent) {
+  const Bytes data = RandomData(1000, 1);
+  EXPECT_EQ(RabinFingerprint::Of(data), RabinFingerprint::Of(data));
+}
+
+TEST(RabinTest, DifferentContentDiffers) {
+  Bytes a = RandomData(1000, 1);
+  Bytes b = a;
+  b[999] ^= 1;
+  EXPECT_NE(RabinFingerprint::Of(a), RabinFingerprint::Of(b));
+}
+
+TEST(RabinTest, WindowProperty) {
+  // The fingerprint depends only on the last `window` bytes: two streams
+  // with different prefixes but identical suffixes of window length agree.
+  const size_t window = 16;
+  Bytes suffix = RandomData(window, 7);
+
+  RabinFingerprint a(window);
+  RabinFingerprint b(window);
+  for (uint8_t byte : RandomData(500, 2)) {
+    a.Roll(byte);
+  }
+  for (uint8_t byte : RandomData(300, 3)) {
+    b.Roll(byte);
+  }
+  uint64_t fa = 0, fb = 0;
+  for (uint8_t byte : suffix) {
+    fa = a.Roll(byte);
+    fb = b.Roll(byte);
+  }
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(RabinTest, ResetRestoresInitialState) {
+  RabinFingerprint rf(8);
+  const Bytes data = RandomData(100, 4);
+  std::vector<uint64_t> first;
+  for (uint8_t b : data) {
+    first.push_back(rf.Roll(b));
+  }
+  rf.Reset();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(rf.Roll(data[i]), first[i]);
+  }
+}
+
+TEST(RabinTest, ZeroPrefixDoesNotChangeFingerprint) {
+  // The window starts as zeros, so leading zero bytes keep fp == 0.
+  RabinFingerprint rf(8);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rf.Roll(0), 0u);
+  }
+}
+
+// --- Chunker ---
+
+TEST(ChunkerTest, RejectsBadOptions) {
+  ChunkerOptions o = ChunkerOptions::ForTesting();
+  o.modulus = 0;
+  EXPECT_FALSE(Chunker::Create(o).ok());
+
+  o = ChunkerOptions::ForTesting();
+  o.residue = o.modulus;
+  EXPECT_FALSE(Chunker::Create(o).ok());
+
+  o = ChunkerOptions::ForTesting();
+  o.window_size = o.min_chunk_size + 1;
+  EXPECT_FALSE(Chunker::Create(o).ok());
+
+  o = ChunkerOptions::ForTesting();
+  o.min_chunk_size = o.max_chunk_size + 1;
+  EXPECT_FALSE(Chunker::Create(o).ok());
+}
+
+TEST(ChunkerTest, EmptyInputYieldsNoChunks) {
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  EXPECT_TRUE(chunker->Split({}).empty());
+}
+
+TEST(ChunkerTest, ChunksTileTheInput) {
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  const Bytes data = RandomData(100 * 1024, 5);
+  const auto chunks = chunker->Split(data);
+  ASSERT_FALSE(chunks.empty());
+  size_t expected_offset = 0;
+  for (const ChunkSpan& c : chunks) {
+    EXPECT_EQ(c.offset, expected_offset);
+    EXPECT_GT(c.size, 0u);
+    expected_offset += c.size;
+  }
+  EXPECT_EQ(expected_offset, data.size());
+}
+
+TEST(ChunkerTest, RespectsMinAndMaxSizes) {
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  const Bytes data = RandomData(200 * 1024, 6);
+  const auto chunks = chunker->Split(data);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_LE(chunks[i].size, chunker->options().max_chunk_size);
+    if (i + 1 < chunks.size()) {  // the final chunk may be short
+      EXPECT_GE(chunks[i].size, chunker->options().min_chunk_size);
+    }
+  }
+}
+
+TEST(ChunkerTest, AverageChunkSizeNearModulus) {
+  ChunkerOptions o;
+  o.modulus = 4096;
+  o.min_chunk_size = 256;
+  o.max_chunk_size = 64 * 1024;
+  o.window_size = 48;
+  auto chunker = Chunker::Create(o);
+  ASSERT_TRUE(chunker.ok());
+  const Bytes data = RandomData(2 * 1024 * 1024, 7);
+  const auto chunks = chunker->Split(data);
+  const double avg = static_cast<double>(data.size()) / chunks.size();
+  // Content-defined chunking gives roughly exponential spacing with mean
+  // ~modulus (plus the min-size offset); accept a generous band.
+  EXPECT_GT(avg, o.modulus * 0.5);
+  EXPECT_LT(avg, o.modulus * 2.5);
+}
+
+TEST(ChunkerTest, DeterministicSplit) {
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  const Bytes data = RandomData(64 * 1024, 8);
+  const auto a = chunker->Split(data);
+  const auto b = chunker->Split(data);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST(ChunkerTest, LocalEditOnlyChangesNearbyChunks) {
+  // The deduplication property (paper §5.1): flipping one byte must leave
+  // chunk ids away from the edit untouched.
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  Bytes data = RandomData(256 * 1024, 9);
+
+  auto ids = [&](const Bytes& d) {
+    std::vector<Sha1Digest> out;
+    for (const ChunkSpan& c : chunker->Split(d)) {
+      out.push_back(Sha1::Hash(ByteSpan(d.data() + c.offset, c.size)));
+    }
+    return out;
+  };
+
+  const auto before = ids(data);
+  data[data.size() / 2] ^= 0xFF;
+  const auto after = ids(data);
+
+  std::map<std::string, int> counts;
+  for (const auto& id : before) {
+    counts[id.ToHex()]++;
+  }
+  size_t shared = 0;
+  for (const auto& id : after) {
+    auto it = counts.find(id.ToHex());
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  // Almost all chunks survive the edit.
+  EXPECT_GE(shared + 3, after.size());
+  EXPECT_GT(shared, after.size() / 2);
+}
+
+TEST(ChunkerTest, InsertionPreservesTrailingChunks) {
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  Bytes data = RandomData(128 * 1024, 10);
+
+  Bytes edited = data;
+  const Bytes insertion = RandomData(1000, 11);
+  edited.insert(edited.begin() + 1024, insertion.begin(), insertion.end());
+
+  auto hash_chunks = [&](const Bytes& d) {
+    std::vector<std::string> out;
+    for (const ChunkSpan& c : chunker->Split(d)) {
+      out.push_back(Sha1::Hash(ByteSpan(d.data() + c.offset, c.size)).ToHex());
+    }
+    return out;
+  };
+  const auto before = hash_chunks(data);
+  const auto after = hash_chunks(edited);
+
+  // The suffix far beyond the insertion point re-synchronizes: the last
+  // chunks of both versions coincide.
+  ASSERT_GE(before.size(), 2u);
+  ASSERT_GE(after.size(), 2u);
+  EXPECT_EQ(before.back(), after.back());
+}
+
+TEST(ChunkerTest, MaxSizeForcedBoundaryOnConstantData) {
+  // Constant data never triggers a content boundary (fp stays fixed), so
+  // every chunk must be exactly max_chunk_size except the tail.
+  ChunkerOptions o = ChunkerOptions::ForTesting();
+  auto chunker = Chunker::Create(o);
+  ASSERT_TRUE(chunker.ok());
+  const Bytes data(3 * o.max_chunk_size + 17, 0xAB);
+  const auto chunks = chunker->Split(data);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(chunks[i].size, o.max_chunk_size);
+  }
+  EXPECT_EQ(chunks.back().size, 17u);
+}
+
+TEST(ChunkerTest, SingleByteInput) {
+  auto chunker = Chunker::Create(ChunkerOptions::ForTesting());
+  ASSERT_TRUE(chunker.ok());
+  const Bytes data = {0x01};
+  const auto chunks = chunker->Split(data);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[0].size, 1u);
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,689 @@
+// End-to-end tests of CyrusClient against simulated heterogeneous CSPs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/meta/metadata.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr int kNumCsps = 5;
+
+struct TestCloud {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::unique_ptr<CyrusClient> client;
+};
+
+CyrusConfig SmallConfig(std::string client_id = "device-1") {
+  CyrusConfig config;
+  config.client_id = std::move(client_id);
+  config.key_string = "test key material";
+  config.t = 2;
+  config.epsilon = 1e-4;
+  config.default_failure_prob = 0.01;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  return config;
+}
+
+// Builds a fresh client over existing CSPs (or new ones if none given).
+TestCloud MakeCloud(CyrusConfig config = SmallConfig(),
+                    std::vector<std::shared_ptr<SimulatedCsp>> csps = {}) {
+  TestCloud cloud;
+  if (csps.empty()) {
+    for (int i = 0; i < kNumCsps; ++i) {
+      SimulatedCspOptions o;
+      o.id = "csp" + std::to_string(i);
+      o.naming = (i % 2 == 0) ? NamingPolicy::kNameKeyed : NamingPolicy::kIdKeyed;
+      cloud.csps.push_back(std::make_shared<SimulatedCsp>(o));
+    }
+  } else {
+    cloud.csps = std::move(csps);
+  }
+  auto client = CyrusClient::Create(std::move(config));
+  EXPECT_TRUE(client.ok()) << client.status();
+  cloud.client = std::move(client).value();
+  for (size_t i = 0; i < cloud.csps.size(); ++i) {
+    CspProfile profile;
+    profile.rtt_ms = 100 + 10.0 * i;
+    profile.download_bytes_per_sec = (i < 2) ? 15e6 : 2e6;
+    profile.upload_bytes_per_sec = profile.download_bytes_per_sec / 2;
+    auto added = cloud.client->AddCsp(cloud.csps[i], profile, Credentials{"token"});
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return cloud;
+}
+
+Bytes RandomContent(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+TEST(ClientTest, CreateRejectsBadConfig) {
+  CyrusConfig bad = SmallConfig();
+  bad.t = 0;
+  EXPECT_FALSE(CyrusClient::Create(bad).ok());
+  bad = SmallConfig();
+  bad.epsilon = 2.0;
+  EXPECT_FALSE(CyrusClient::Create(bad).ok());
+  bad = SmallConfig();
+  bad.key_string.clear();
+  EXPECT_FALSE(CyrusClient::Create(bad).ok());
+}
+
+TEST(ClientTest, AddCspRejectsBadToken) {
+  TestCloud cloud = MakeCloud();
+  auto extra = std::make_shared<SimulatedCsp>(SimulatedCspOptions{"extra"});
+  auto added = cloud.client->AddCsp(extra, CspProfile{}, Credentials{"wrong"});
+  EXPECT_EQ(added.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(ClientTest, PutGetRoundTrip) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(20 * 1024, 1);
+  auto put = cloud.client->Put("report.pdf", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+  EXPECT_GT(put->total_chunks, 0u);
+  EXPECT_EQ(put->new_chunks, put->total_chunks);
+  EXPECT_EQ(put->version_id, ComputeVersionId(Sha1::Hash(content), Sha1Digest{}, "report.pdf"));
+
+  auto get = cloud.client->Get("report.pdf");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+  EXPECT_FALSE(get->had_conflicts);
+}
+
+TEST(ClientTest, GetMissingFileFails) {
+  TestCloud cloud = MakeCloud();
+  EXPECT_EQ(cloud.client->Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClientTest, EmptyFileRoundTrips) {
+  TestCloud cloud = MakeCloud();
+  ASSERT_TRUE(cloud.client->Put("empty", Bytes{}).ok());
+  auto get = cloud.client->Get("empty");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_TRUE(get->content.empty());
+}
+
+TEST(ClientTest, UnchangedPutIsNoop) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(4096, 2);
+  ASSERT_TRUE(cloud.client->Put("f", content).ok());
+  auto again = cloud.client->Put("f", content);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->unchanged);
+  EXPECT_EQ(again->transfer.records.size(), 0u);
+}
+
+TEST(ClientTest, NoSingleCspCanReconstruct) {
+  // The privacy core: with t = 2, no single CSP's objects contain enough
+  // to recover any chunk, and none of the stored bytes appear verbatim.
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(8 * 1024, 3);
+  ASSERT_TRUE(cloud.client->Put("secret", content).ok());
+  for (const auto& csp : cloud.csps) {
+    auto listing = csp->List("");
+    ASSERT_TRUE(listing.ok());
+    for (const ObjectInfo& object : *listing) {
+      auto data = csp->Download(object.name);
+      ASSERT_TRUE(data.ok());
+      if (data->size() < 16) {
+        continue;
+      }
+      // No 16-byte window of any stored object appears in the plaintext.
+      const Bytes window(data->begin(), data->begin() + 16);
+      auto it = std::search(content.begin(), content.end(), window.begin(), window.end());
+      EXPECT_EQ(it, content.end()) << "plaintext leaked to " << csp->id();
+    }
+  }
+}
+
+TEST(ClientTest, SharesSpreadAcrossAtLeastNCsps) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(16 * 1024, 4);
+  auto put = cloud.client->Put("f", content);
+  ASSERT_TRUE(put.ok());
+  size_t csps_holding_data = 0;
+  for (const auto& csp : cloud.csps) {
+    if (csp->used_bytes() > 0) {
+      ++csps_holding_data;
+    }
+  }
+  EXPECT_GE(csps_holding_data, put->n);
+}
+
+TEST(ClientTest, DeduplicationSkipsStoredChunks) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(32 * 1024, 5);
+  ASSERT_TRUE(cloud.client->Put("original", content).ok());
+  uint64_t bytes_after_first = 0;
+  for (const auto& csp : cloud.csps) {
+    bytes_after_first += csp->used_bytes();
+  }
+  // The same bytes under a different name: all chunks dedup.
+  auto put = cloud.client->Put("copy", content);
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put->new_chunks, 0u);
+  EXPECT_EQ(put->dedup_chunks, put->total_chunks);
+  uint64_t bytes_after_second = 0;
+  for (const auto& csp : cloud.csps) {
+    bytes_after_second += csp->used_bytes();
+  }
+  // Only metadata was added - far less than re-scattering the shares
+  // (which would have stored ~2x the content again under (t=2, n=4)).
+  EXPECT_LT(bytes_after_second - bytes_after_first, content.size() / 2);
+  EXPECT_EQ(put->uploaded_share_bytes, 0u);
+  // And the copy still reads back correctly.
+  auto get = cloud.client->Get("copy");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, PartialEditOnlyUploadsChangedChunks) {
+  TestCloud cloud = MakeCloud();
+  Bytes content = RandomContent(64 * 1024, 6);
+  ASSERT_TRUE(cloud.client->Put("doc", content).ok());
+  content[content.size() / 2] ^= 0xFF;  // one-byte edit
+  auto put = cloud.client->Put("doc", content);
+  ASSERT_TRUE(put.ok());
+  EXPECT_GT(put->dedup_chunks, 0u);
+  EXPECT_LE(put->new_chunks, 3u);
+  auto get = cloud.client->Get("doc");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, VersioningAndRestore) {
+  TestCloud cloud = MakeCloud();
+  const Bytes v1 = RandomContent(4096, 7);
+  const Bytes v2 = RandomContent(5000, 8);
+  cloud.client->set_time(1.0);
+  ASSERT_TRUE(cloud.client->Put("doc", v1).ok());
+  cloud.client->set_time(2.0);
+  ASSERT_TRUE(cloud.client->Put("doc", v2).ok());
+
+  auto versions = cloud.client->Versions("doc");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 2u);
+  EXPECT_EQ((*versions)[0]->content_id, Sha1::Hash(v2));
+  EXPECT_EQ((*versions)[1]->content_id, Sha1::Hash(v1));
+
+  // Current head is v2; the old version remains retrievable.
+  auto current = cloud.client->Get("doc");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->content, v2);
+  auto old_version = cloud.client->GetVersion("doc", (*versions)[1]->id);
+  ASSERT_TRUE(old_version.ok());
+  EXPECT_EQ(old_version->content, v1);
+}
+
+TEST(ClientTest, DeleteHidesButPreservesHistory) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(4096, 9);
+  cloud.client->set_time(1.0);
+  ASSERT_TRUE(cloud.client->Put("doc", content).ok());
+  cloud.client->set_time(2.0);
+  ASSERT_TRUE(cloud.client->Delete("doc").ok());
+
+  EXPECT_EQ(cloud.client->Get("doc").status().code(), StatusCode::kNotFound);
+  auto listing = cloud.client->List("");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_TRUE(listing->empty());
+
+  // Undelete: the history survives and the old content is retrievable.
+  auto versions = cloud.client->Versions("doc");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 2u);
+  auto restored = cloud.client->GetVersion("doc", (*versions)[1]->id);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->content, content);
+}
+
+TEST(ClientTest, DeleteMissingFileFails) {
+  TestCloud cloud = MakeCloud();
+  EXPECT_EQ(cloud.client->Delete("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(ClientTest, ListFiltersAndDescribes) {
+  TestCloud cloud = MakeCloud();
+  cloud.client->set_time(5.0);
+  ASSERT_TRUE(cloud.client->Put("docs/a.txt", RandomContent(1000, 10)).ok());
+  ASSERT_TRUE(cloud.client->Put("docs/b.txt", RandomContent(2000, 11)).ok());
+  ASSERT_TRUE(cloud.client->Put("pics/c.jpg", RandomContent(3000, 12)).ok());
+
+  auto docs = cloud.client->List("docs/");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 2u);
+  EXPECT_EQ((*docs)[0].name, "docs/a.txt");
+  EXPECT_EQ((*docs)[0].size, 1000u);
+  EXPECT_DOUBLE_EQ((*docs)[0].modified_time, 5.0);
+  EXPECT_FALSE((*docs)[0].conflicted);
+
+  auto all = cloud.client->List("");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST(ClientTest, SecondClientSeesFirstClientsFiles) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(12 * 1024, 13);
+  ASSERT_TRUE(cloud.client->Put("shared.doc", content).ok());
+
+  // A second device with the same key string over the same CSP accounts.
+  TestCloud device2 = MakeCloud(SmallConfig("device-2"), cloud.csps);
+  auto get = device2.client->Get("shared.doc");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, WrongKeyCannotReadData) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(8 * 1024, 14);
+  ASSERT_TRUE(cloud.client->Put("private", content).ok());
+
+  CyrusConfig config = SmallConfig("intruder");
+  config.key_string = "some other key";
+  TestCloud intruder = MakeCloud(std::move(config), cloud.csps);
+  // With a different key the metadata shares do not even decode into valid
+  // metadata, so the file is invisible (and certainly unreadable).
+  auto get = intruder.client->Get("private");
+  EXPECT_FALSE(get.ok());
+}
+
+TEST(ClientTest, RecoverRebuildsStateFromClouds) {
+  TestCloud cloud = MakeCloud();
+  const Bytes a = RandomContent(10 * 1024, 15);
+  const Bytes b = RandomContent(6 * 1024, 16);
+  ASSERT_TRUE(cloud.client->Put("a", a).ok());
+  ASSERT_TRUE(cloud.client->Put("b", b).ok());
+
+  // Fresh device: empty local state, then recover(s).
+  TestCloud fresh = MakeCloud(SmallConfig("fresh-device"), cloud.csps);
+  ASSERT_TRUE(fresh.client->Recover().ok());
+  EXPECT_EQ(fresh.client->tree().size(), cloud.client->tree().size());
+  EXPECT_EQ(fresh.client->chunk_table().size(), cloud.client->chunk_table().size());
+  auto get = fresh.client->Get("a");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, a);
+}
+
+TEST(ClientTest, RecoverWorksWithDifferentCspRegistrationOrder) {
+  // Registry indices are client-local; metadata carries stable connector
+  // names. A fresh device registering the same accounts in a different
+  // order must still resolve every share location.
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(12 * 1024, 70);
+  ASSERT_TRUE(cloud.client->Put("portable", content).ok());
+
+  std::vector<std::shared_ptr<SimulatedCsp>> reversed(cloud.csps.rbegin(),
+                                                      cloud.csps.rend());
+  TestCloud fresh = MakeCloud(SmallConfig("reordered-device"), reversed);
+  ASSERT_TRUE(fresh.client->Recover().ok());
+  auto get = fresh.client->Get("portable");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, FreshDeviceRecoversAfterMigration) {
+  // After a CSP removal and lazy migration, the re-published metadata must
+  // be readable by a brand-new device (no stale share objects may survive
+  // to poison the decode).
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(10 * 1024, 71);
+  ASSERT_TRUE(cloud.client->Put("survivor", content).ok());
+  ASSERT_TRUE(cloud.client->RemoveCsp(0).ok());
+  auto migrated = cloud.client->Get("survivor");
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+
+  std::vector<std::shared_ptr<SimulatedCsp>> remaining(cloud.csps.begin() + 1,
+                                                       cloud.csps.end());
+  TestCloud fresh = MakeCloud(SmallConfig("post-migration-device"), remaining);
+  ASSERT_TRUE(fresh.client->Recover().ok());
+  auto get = fresh.client->Get("survivor");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, ConcurrentEditsConflictDetectedAndResolved) {
+  // Two devices sync, then both edit the same file: Figure 8's diverged-
+  // versions conflict must surface on the next download.
+  TestCloud cloud = MakeCloud();
+  const Bytes base = RandomContent(8 * 1024, 17);
+  cloud.client->set_time(1.0);
+  ASSERT_TRUE(cloud.client->Put("shared", base).ok());
+
+  TestCloud device2 = MakeCloud(SmallConfig("device-2"), cloud.csps);
+  ASSERT_TRUE(device2.client->SyncMetadata().ok());
+
+  const Bytes edit1 = RandomContent(8 * 1024, 18);
+  const Bytes edit2 = RandomContent(8 * 1024, 19);
+  cloud.client->set_time(2.0);
+  device2.client->set_time(2.5);
+  ASSERT_TRUE(cloud.client->Put("shared", edit1).ok());
+  auto put2 = device2.client->Put("shared", edit2);
+  ASSERT_TRUE(put2.ok());
+
+  // Device 1 downloads: it sees both heads, flags the conflict, and serves
+  // the newest edit.
+  auto get = cloud.client->Get("shared");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_TRUE(get->had_conflicts);
+  ASSERT_EQ(get->conflicts.size(), 1u);
+  EXPECT_EQ(get->conflicts[0].type, ConflictType::kDivergedVersions);
+  EXPECT_EQ(get->content, edit2);  // newest by mtime
+
+  // Resolve: keep edit2; edit1 is renamed, not lost.
+  ASSERT_TRUE(cloud.client->ResolveConflict("shared", put2->version_id).ok());
+  auto after = cloud.client->Get("shared");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->had_conflicts);
+  EXPECT_EQ(after->content, edit2);
+
+  auto listing = cloud.client->List("");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 2u);  // "shared" + the renamed conflict copy
+  bool found_rename = false;
+  for (const FileListing& f : *listing) {
+    if (f.name != "shared") {
+      found_rename = true;
+      auto rescued = cloud.client->Get(f.name);
+      ASSERT_TRUE(rescued.ok());
+      EXPECT_EQ(rescued->content, edit1);
+    }
+  }
+  EXPECT_TRUE(found_rename);
+}
+
+TEST(ClientTest, SameNameCreationConflict) {
+  // Figure 8 left: both devices create the same name before ever syncing.
+  TestCloud cloud = MakeCloud();
+  TestCloud device2 = MakeCloud(SmallConfig("device-2"), cloud.csps);
+  cloud.client->set_time(1.0);
+  device2.client->set_time(1.5);
+  ASSERT_TRUE(cloud.client->Put("new.txt", RandomContent(2048, 20)).ok());
+  ASSERT_TRUE(device2.client->Put("new.txt", RandomContent(2048, 21)).ok());
+
+  auto get = cloud.client->Get("new.txt");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_TRUE(get->had_conflicts);
+  ASSERT_EQ(get->conflicts.size(), 1u);
+  EXPECT_EQ(get->conflicts[0].type, ConflictType::kSameName);
+}
+
+TEST(ClientTest, DownloadSurvivesFewerThanNMinusTFailures) {
+  // With (t=2, n>=3), one CSP outage must not block reads.
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(16 * 1024, 22);
+  auto put = cloud.client->Put("resilient", content);
+  ASSERT_TRUE(put.ok());
+  ASSERT_GE(put->n, 3u);
+
+  cloud.csps[0]->set_available(false);
+  auto get = cloud.client->Get("resilient");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, LazyMigrationAfterCspRemoval) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(16 * 1024, 23);
+  ASSERT_TRUE(cloud.client->Put("doc", content).ok());
+
+  // Remove a CSP that holds shares; the next Get migrates them.
+  int victim = -1;
+  for (size_t i = 0; i < cloud.csps.size(); ++i) {
+    if (cloud.csps[i]->used_bytes() > 0) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(cloud.client->RemoveCsp(victim).ok());
+
+  auto get = cloud.client->Get("doc");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+  EXPECT_GT(get->migrated_shares, 0u);
+
+  // After migration no chunk lists the removed CSP any more, and a second
+  // download performs no further migrations.
+  EXPECT_TRUE(cloud.client->chunk_table().ChunksOnCsp(victim).empty());
+  auto second = cloud.client->Get("doc");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->migrated_shares, 0u);
+}
+
+TEST(ClientTest, FailedCspRecoversAndServesAgain) {
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(8 * 1024, 24);
+  ASSERT_TRUE(cloud.client->Put("doc", content).ok());
+  ASSERT_TRUE(cloud.client->MarkCspFailed(1).ok());
+  ASSERT_TRUE(cloud.client->Get("doc").ok());
+  ASSERT_TRUE(cloud.client->MarkCspRecovered(1).ok());
+  ASSERT_TRUE(cloud.client->registry().state(1).ok());
+  EXPECT_EQ(*cloud.client->registry().state(1), CspState::kActive);
+  auto get = cloud.client->Get("doc");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(ClientTest, CurrentNRespondsToEpsilon) {
+  CyrusConfig strict = SmallConfig();
+  strict.epsilon = 1e-7;  // with p = 0.01 and 5 CSPs this forces n = 5
+  TestCloud strict_cloud = MakeCloud(std::move(strict));
+  CyrusConfig loose = SmallConfig();
+  loose.epsilon = 1e-2;
+  TestCloud loose_cloud = MakeCloud(std::move(loose));
+  auto n_strict = strict_cloud.client->CurrentN();
+  auto n_loose = loose_cloud.client->CurrentN();
+  ASSERT_TRUE(n_strict.ok()) << n_strict.status();
+  ASSERT_TRUE(n_loose.ok());
+  EXPECT_GT(*n_strict, *n_loose);
+}
+
+TEST(ClientTest, ClusterAwarePlacementRespectsClusters) {
+  CyrusConfig config = SmallConfig();
+  config.cluster_aware = true;
+  TestCloud cloud = MakeCloud(std::move(config));
+  // CSPs 0 and 1 share platform 0; 2, 3, 4 are platforms 1, 2, 3.
+  ASSERT_TRUE(cloud.client->AssignClusters({0, 0, 1, 2, 3}).ok());
+  const Bytes content = RandomContent(16 * 1024, 25);
+  auto put = cloud.client->Put("doc", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+
+  // No chunk may have shares on both CSP 0 and CSP 1.
+  for (const FileVersion* v : cloud.client->tree().AllVersions()) {
+    for (const ChunkRecord& chunk : v->chunks) {
+      bool on0 = false, on1 = false;
+      for (const ShareLocation& loc : v->SharesOfChunk(chunk.id)) {
+        on0 |= loc.csp == 0;
+        on1 |= loc.csp == 1;
+      }
+      EXPECT_FALSE(on0 && on1) << "chunk on both CSPs of platform 0";
+    }
+  }
+}
+
+TEST(ClientTest, TransferAggregatorReportsFileComplete) {
+  TestCloud cloud = MakeCloud();
+  std::vector<std::string> completed;
+  cloud.client->aggregator().set_on_file_complete(
+      [&](const std::string& f) { completed.push_back(f); });
+  ASSERT_TRUE(cloud.client->Put("tracked", RandomContent(8 * 1024, 26)).ok());
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0], "tracked");
+}
+
+TEST(ClientTest, UploadFailureFallsBackToAnotherCsp) {
+  TestCloud cloud = MakeCloud();
+  // Take one CSP down *before* the upload; Put must still succeed by
+  // routing its shares elsewhere, and the CSP gets marked failed.
+  cloud.csps[2]->set_available(false);
+  const Bytes content = RandomContent(16 * 1024, 27);
+  auto put = cloud.client->Put("doc", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+  auto get = cloud.client->Get("doc");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+  EXPECT_EQ(cloud.csps[2]->used_bytes(), 0u);
+}
+
+TEST(ClientTest, QuotaFullCspSkippedButNotFailed) {
+  // A provider at quota refuses new shares but is not an outage: the
+  // client must route the share elsewhere and keep the CSP active (its
+  // existing shares are still readable).
+  TestCloud cloud = MakeCloud();
+  // Fill csp3 almost completely.
+  SimulatedCspOptions tiny;
+  tiny.id = "tiny";
+  tiny.quota_bytes = 100;
+  auto small_csp = std::make_shared<SimulatedCsp>(tiny);
+  CspProfile profile;
+  profile.download_bytes_per_sec = 2e6;
+  profile.upload_bytes_per_sec = 1e6;
+  auto added = cloud.client->AddCsp(small_csp, profile, Credentials{"token"});
+  ASSERT_TRUE(added.ok());
+
+  const Bytes content = RandomContent(32 * 1024, 60);
+  auto put = cloud.client->Put("big", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+  auto get = cloud.client->Get("big");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+  // The tiny CSP stays active despite refusing shares.
+  EXPECT_EQ(*cloud.client->registry().state(*added), CspState::kActive);
+}
+
+TEST(ClientTest, NoChunkStoresTwoSharesOnOneCsp) {
+  // Even with failovers in play, a chunk must never have two shares on the
+  // same provider (that would halve the effective privacy threshold).
+  TestCloud cloud = MakeCloud();
+  cloud.csps[1]->set_available(false);  // force failover paths
+  const Bytes content = RandomContent(48 * 1024, 61);
+  auto put = cloud.client->Put("doc", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+  for (const FileVersion* v : cloud.client->tree().AllVersions()) {
+    for (const ChunkRecord& chunk : v->chunks) {
+      std::set<int> csps;
+      for (const ShareLocation& loc : v->SharesOfChunk(chunk.id)) {
+        EXPECT_TRUE(csps.insert(loc.csp).second)
+            << "chunk " << chunk.id.ToHex() << " has two shares on CSP " << loc.csp;
+      }
+    }
+  }
+}
+
+TEST(ClientTest, CorruptedShareDetectedCorrectedAndRepaired) {
+  // A provider silently corrupts a stored share (bit rot / tampering). The
+  // download detects the bad decode via the chunk hash, recovers through
+  // the error-correcting decode, and rewrites the corrupted share in place.
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(8 * 1024, 62);
+  auto put = cloud.client->Put("fragile", content);
+  ASSERT_TRUE(put.ok());
+  ASSERT_GE(put->n, 4u);  // e_max >= 1 for t = 2
+
+  // Corrupt every data-share object on one CSP that holds shares.
+  int corrupted_csp = -1;
+  for (size_t i = 0; i < cloud.csps.size() && corrupted_csp < 0; ++i) {
+    auto listing = cloud.csps[i]->List("");
+    ASSERT_TRUE(listing.ok());
+    for (const ObjectInfo& object : *listing) {
+      if (!StartsWith(object.name, "meta-")) {
+        ASSERT_TRUE(cloud.csps[i]->CorruptObject(object.name).ok());
+        corrupted_csp = static_cast<int>(i);
+      }
+    }
+  }
+  ASSERT_GE(corrupted_csp, 0);
+
+  auto get = cloud.client->Get("fragile");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+
+  // The corrupted shares were repaired in place: a second read decodes
+  // cleanly even if forced through the previously corrupted CSP.
+  auto again = cloud.client->Get("fragile");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->content, content);
+}
+
+TEST(ClientTest, ImportForeignObjectPullsPlaintextIntoCyrus) {
+  // The trial's most-requested feature (§7.5): a file the user already
+  // keeps in plaintext on one provider becomes a CYRUS file; the plaintext
+  // original is deleted only after the CYRUS copy is durable.
+  TestCloud cloud = MakeCloud();
+  const Bytes legacy = RandomContent(20 * 1024, 63);
+  ASSERT_TRUE(cloud.csps[0]->Upload("vacation.jpg", legacy).ok());
+
+  auto imported = cloud.client->ImportForeignObject(0, "vacation.jpg",
+                                                    "photos/vacation.jpg",
+                                                    /*delete_original=*/true);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_GT(imported->new_chunks, 0u);
+  // The plaintext original is gone; the CYRUS copy reads back bit-exact.
+  EXPECT_EQ(cloud.csps[0]->Download("vacation.jpg").status().code(),
+            StatusCode::kNotFound);
+  auto get = cloud.client->Get("photos/vacation.jpg");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->content, legacy);
+}
+
+TEST(ClientTest, ImportMissingObjectFails) {
+  TestCloud cloud = MakeCloud();
+  EXPECT_EQ(cloud.client->ImportForeignObject(0, "ghost", "g").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ClientTest, RebalanceMetadataCoversNewCsp) {
+  // A CSP added after some uploads holds no metadata shares until the user
+  // opts into rebalancing (paper §5.5); afterwards a device using only the
+  // *newest* t CSPs plus one old one can still recover.
+  TestCloud cloud = MakeCloud();
+  const Bytes content = RandomContent(8 * 1024, 64);
+  ASSERT_TRUE(cloud.client->Put("doc", content).ok());
+
+  auto newcomer = std::make_shared<SimulatedCsp>(SimulatedCspOptions{"newcomer"});
+  CspProfile profile;
+  profile.download_bytes_per_sec = 2e6;
+  profile.upload_bytes_per_sec = 1e6;
+  ASSERT_TRUE(cloud.client->AddCsp(newcomer, profile, Credentials{"token"}).ok());
+  EXPECT_EQ(newcomer->used_bytes(), 0u);  // nothing there yet
+
+  ASSERT_TRUE(cloud.client->RebalanceMetadata().ok());
+  EXPECT_GT(newcomer->used_bytes(), 0u);  // now holds metadata shares
+  auto listing = newcomer->List("meta-");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_FALSE(listing->empty());
+}
+
+TEST(ClientTest, MetadataIsSecretSharedNotPlaintext) {
+  TestCloud cloud = MakeCloud();
+  ASSERT_TRUE(cloud.client->Put("visible-name.txt", RandomContent(2048, 28)).ok());
+  // No CSP object may contain the file name in cleartext.
+  for (const auto& csp : cloud.csps) {
+    auto listing = csp->List("");
+    ASSERT_TRUE(listing.ok());
+    for (const ObjectInfo& object : *listing) {
+      EXPECT_EQ(object.name.find("visible-name"), std::string::npos);
+      auto data = csp->Download(object.name);
+      ASSERT_TRUE(data.ok());
+      const std::string text = ToString(*data);
+      EXPECT_EQ(text.find("visible-name"), std::string::npos)
+          << "file name leaked into " << object.name << " on " << csp->id();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

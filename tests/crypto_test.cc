@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/crypto/naming.h"
+#include "src/crypto/sha1.h"
+#include "src/util/bytes.h"
+
+namespace cyrus {
+namespace {
+
+// --- SHA-1 known-answer tests (FIPS 180-4 / RFC 3174 vectors) ---
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(Sha1::Hash(std::string_view("")).ToHex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(Sha1::Hash(std::string_view("abc")).ToHex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha1::Hash(std::string_view(
+                           "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+                .ToHex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  const std::string block(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(block);
+  }
+  EXPECT_EQ(h.Finish().ToHex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(Sha1::Hash(std::string_view("The quick brown fox jumps over the lazy dog"))
+                .ToHex(),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string text = "CYRUS scatters files into smaller pieces across CSPs";
+  for (size_t split = 0; split <= text.size(); ++split) {
+    Sha1 h;
+    h.Update(std::string_view(text).substr(0, split));
+    h.Update(std::string_view(text).substr(split));
+    EXPECT_EQ(h.Finish(), Sha1::Hash(std::string_view(text))) << "split=" << split;
+  }
+}
+
+// Exercises every padding boundary around the 64-byte block size.
+TEST(Sha1Test, AllLengthsNearBlockBoundaryAreConsistent) {
+  for (size_t len = 50; len <= 70; ++len) {
+    const std::string msg(len, 'x');
+    Sha1 a;
+    a.Update(msg);
+    // Byte-at-a-time must agree with one-shot.
+    Sha1 b;
+    for (char ch : msg) {
+      b.Update(std::string_view(&ch, 1));
+    }
+    EXPECT_EQ(a.Finish(), b.Finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha1Test, Prefix64IsBigEndianPrefix) {
+  Sha1Digest d;
+  for (int i = 0; i < 20; ++i) {
+    d.bytes[i] = static_cast<uint8_t>(i + 1);
+  }
+  EXPECT_EQ(d.Prefix64(), 0x0102030405060708ULL);
+}
+
+TEST(Sha1Test, DigestOrderingIsLexicographic) {
+  Sha1Digest a, b;
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  EXPECT_LT(a, b);
+}
+
+// --- Share naming ---
+
+TEST(NamingTest, ShareNamesAreDeterministic) {
+  const Sha1Digest chunk = Sha1::Hash(std::string_view("chunk content"));
+  EXPECT_EQ(ShareName(chunk, 0, 2), ShareName(chunk, 0, 2));
+}
+
+TEST(NamingTest, ShareNamesDifferByIndex) {
+  const Sha1Digest chunk = Sha1::Hash(std::string_view("chunk content"));
+  std::set<std::string> names;
+  for (uint32_t idx = 0; idx < 16; ++idx) {
+    names.insert(ShareName(chunk, idx, 2));
+  }
+  EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(NamingTest, ShareNamesDifferByT) {
+  const Sha1Digest chunk = Sha1::Hash(std::string_view("chunk content"));
+  EXPECT_NE(ShareName(chunk, 0, 2), ShareName(chunk, 0, 3));
+}
+
+TEST(NamingTest, ShareNamesDifferByContent) {
+  EXPECT_NE(ShareName(Sha1::Hash(std::string_view("a")), 0, 2),
+            ShareName(Sha1::Hash(std::string_view("b")), 0, 2));
+}
+
+TEST(NamingTest, ShareNameDoesNotLeakIndexTrivially) {
+  // The name must not simply embed the index: names for consecutive indices
+  // share no long common prefix.
+  const Sha1Digest chunk = Sha1::Hash(std::string_view("secret"));
+  const std::string n0 = ShareName(chunk, 0, 2);
+  const std::string n1 = ShareName(chunk, 1, 2);
+  size_t common = 0;
+  while (common < n0.size() && n0[common] == n1[common]) {
+    ++common;
+  }
+  EXPECT_LT(common, 8u);
+}
+
+TEST(NamingTest, MetadataNameHasPrefix) {
+  const std::string name = MetadataName(Sha1::Hash(std::string_view("v1")));
+  EXPECT_EQ(name.substr(0, 5), "meta-");
+}
+
+// --- Key derivation ---
+
+TEST(NamingTest, DispersalVectorDeterministicAndDistinct) {
+  const auto v1 = DeriveDispersalVector("my key", 8);
+  const auto v2 = DeriveDispersalVector("my key", 8);
+  EXPECT_EQ(v1, v2);
+  std::set<uint8_t> uniq(v1.begin(), v1.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  EXPECT_EQ(uniq.count(0), 0u);
+}
+
+TEST(NamingTest, DispersalVectorKeyDependence) {
+  EXPECT_NE(DeriveDispersalVector("key a", 4), DeriveDispersalVector("key b", 4));
+}
+
+TEST(NamingTest, EvaluationPointsMaxCount) {
+  const auto points = DeriveEvaluationPoints("key", 255);
+  std::set<uint8_t> uniq(points.begin(), points.end());
+  EXPECT_EQ(uniq.size(), 255u);
+  EXPECT_EQ(uniq.count(0), 0u);
+}
+
+TEST(NamingTest, EvaluationPointsDisjointDomainsFromDispersal) {
+  // Same key, different domains: the streams must not coincide.
+  EXPECT_NE(DeriveEvaluationPoints("key", 8), DeriveDispersalVector("key", 8));
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "src/opt/download_selector.h"
+
+namespace cyrus {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+DownloadProblem TwoFastOneSlow() {
+  DownloadProblem p;
+  p.csp_bandwidth = {15e6, 15e6, 2e6};  // bytes/sec
+  p.t = 2;
+  DownloadChunk chunk;
+  chunk.share_bytes = 10e6;
+  chunk.stored_at = {0, 1, 2};
+  p.chunks = {chunk};
+  return p;
+}
+
+void ExpectValidAssignment(const DownloadProblem& p, const DownloadAssignment& a) {
+  ASSERT_EQ(a.selected.size(), p.chunks.size());
+  for (size_t r = 0; r < p.chunks.size(); ++r) {
+    EXPECT_EQ(a.selected[r].size(), p.t) << "chunk " << r;
+    std::set<int> uniq(a.selected[r].begin(), a.selected[r].end());
+    EXPECT_EQ(uniq.size(), p.t) << "chunk " << r << " has duplicate CSPs";
+    for (int c : a.selected[r]) {
+      const auto& stored = p.chunks[r].stored_at;
+      EXPECT_NE(std::find(stored.begin(), stored.end(), c), stored.end())
+          << "chunk " << r << " downloaded from CSP " << c << " without a share";
+    }
+  }
+}
+
+TEST(OptimalSelectorTest, PrefersFastClouds) {
+  DownloadProblem p = TwoFastOneSlow();
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+  EXPECT_EQ((std::set<int>{a->selected[0].begin(), a->selected[0].end()}),
+            (std::set<int>{0, 1}));
+  EXPECT_NEAR(a->predicted_seconds, 10e6 / 15e6, kTol);
+}
+
+TEST(OptimalSelectorTest, SpreadsLoadAcrossEqualClouds) {
+  // 4 equal clouds, 4 chunks, t=2: each cloud should carry 2 shares, not
+  // have all chunks pile onto the first two.
+  DownloadProblem p;
+  p.csp_bandwidth = {1e6, 1e6, 1e6, 1e6};
+  p.t = 2;
+  for (int r = 0; r < 4; ++r) {
+    DownloadChunk c;
+    c.share_bytes = 1e6;
+    c.stored_at = {0, 1, 2, 3};
+    p.chunks.push_back(c);
+  }
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+  std::vector<int> per_csp(4, 0);
+  for (const auto& sel : a->selected) {
+    for (int c : sel) {
+      per_csp[c]++;
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(per_csp[c], 2) << "csp " << c;
+  }
+  EXPECT_NEAR(a->predicted_seconds, 2.0, kTol);
+}
+
+TEST(OptimalSelectorTest, UsesSlowCloudWhenBeneficial) {
+  // 1 fast (10 MB/s) + 1 slow (5 MB/s) + 1 very slow (1 MB/s); 3 chunks of
+  // 10 MB shares, t=2, stored everywhere. All-on-fastest-two gives
+  // max(30/10, 30/5) = 6 s. Offloading one share to the very slow cloud
+  // gives max(30/10, 20/5, 10/1) = 10 s - worse. So optimal keeps the two
+  // fastest but balances: expected 6 s.
+  DownloadProblem p;
+  p.csp_bandwidth = {10e6, 5e6, 1e6};
+  p.t = 2;
+  for (int r = 0; r < 3; ++r) {
+    DownloadChunk c;
+    c.share_bytes = 10e6;
+    c.stored_at = {0, 1, 2};
+    p.chunks.push_back(c);
+  }
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+  EXPECT_NEAR(a->predicted_seconds, 6.0, 0.01);
+}
+
+TEST(OptimalSelectorTest, RespectsClientBandwidthCap) {
+  DownloadProblem p = TwoFastOneSlow();
+  p.client_bandwidth = 4e6;  // total cap below the 30 MB/s CSP capacity
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  // 2 shares x 10 MB over a 4 MB/s pipe: 5 seconds.
+  EXPECT_NEAR(a->predicted_seconds, 20e6 / 4e6, kTol);
+}
+
+TEST(OptimalSelectorTest, HonorsStorageFeasibility) {
+  // The fastest CSP holds no share of chunk 0; the selector must not use it.
+  DownloadProblem p;
+  p.csp_bandwidth = {100e6, 1e6, 1e6};
+  p.t = 2;
+  DownloadChunk c;
+  c.share_bytes = 1e6;
+  c.stored_at = {1, 2};
+  p.chunks = {c};
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+}
+
+TEST(OptimalSelectorTest, FailsWhenTooFewReplicas) {
+  DownloadProblem p = TwoFastOneSlow();
+  p.chunks[0].stored_at = {0};  // only one share location but t = 2
+  OptimalDownloadSelector selector;
+  EXPECT_EQ(selector.Select(p).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OptimalSelectorTest, RejectsZeroBandwidth) {
+  DownloadProblem p = TwoFastOneSlow();
+  p.csp_bandwidth[1] = 0.0;
+  OptimalDownloadSelector selector;
+  EXPECT_EQ(selector.Select(p).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptimalSelectorTest, EmptyProblem) {
+  DownloadProblem p;
+  p.csp_bandwidth = {1e6};
+  p.t = 1;
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->predicted_seconds, 0.0);
+}
+
+TEST(OptimalSelectorTest, TEqualsStoredCount) {
+  // t equals the number of holders: forced selection.
+  DownloadProblem p;
+  p.csp_bandwidth = {1e6, 2e6, 3e6};
+  p.t = 3;
+  DownloadChunk c;
+  c.share_bytes = 3e6;
+  c.stored_at = {0, 1, 2};
+  p.chunks = {c};
+  OptimalDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+  EXPECT_NEAR(a->predicted_seconds, 3.0, kTol);  // slowest CSP dominates
+}
+
+TEST(OptimalSelectorTest, NeverWorseThanGreedy) {
+  // Property: on a batch of heterogeneous problems, the optimizer's
+  // predicted time is <= the greedy-fastest baseline's.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    DownloadProblem p;
+    const size_t C = 3 + rng.NextBelow(4);
+    for (size_t c = 0; c < C; ++c) {
+      p.csp_bandwidth.push_back(rng.NextDouble(1e6, 20e6));
+    }
+    p.t = 2;
+    const size_t R = 1 + rng.NextBelow(6);
+    for (size_t r = 0; r < R; ++r) {
+      DownloadChunk chunk;
+      chunk.share_bytes = rng.NextDouble(0.5e6, 8e6);
+      for (size_t c = 0; c < C; ++c) {
+        chunk.stored_at.push_back(static_cast<int>(c));
+      }
+      p.chunks.push_back(chunk);
+    }
+    OptimalDownloadSelector cyrus_sel;
+    GreedyFastestDownloadSelector greedy_sel;
+    auto a = cyrus_sel.Select(p);
+    auto g = greedy_sel.Select(p);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(g.ok());
+    EXPECT_LE(a->predicted_seconds, g->predicted_seconds + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(RandomSelectorTest, ProducesValidAssignments) {
+  DownloadProblem p = TwoFastOneSlow();
+  RandomDownloadSelector selector(42);
+  for (int i = 0; i < 10; ++i) {
+    auto a = selector.Select(p);
+    ASSERT_TRUE(a.ok());
+    ExpectValidAssignment(p, *a);
+  }
+}
+
+TEST(RandomSelectorTest, EventuallyPicksSlowCloud) {
+  DownloadProblem p = TwoFastOneSlow();
+  RandomDownloadSelector selector(1);
+  bool used_slow = false;
+  for (int i = 0; i < 50 && !used_slow; ++i) {
+    auto a = selector.Select(p);
+    ASSERT_TRUE(a.ok());
+    for (int c : a->selected[0]) {
+      used_slow |= (c == 2);
+    }
+  }
+  EXPECT_TRUE(used_slow);  // uniform choice can't always dodge the slow CSP
+}
+
+TEST(RoundRobinSelectorTest, CyclesThroughCsps) {
+  DownloadProblem p;
+  p.csp_bandwidth = {1e6, 1e6, 1e6, 1e6};
+  p.t = 1;
+  for (int r = 0; r < 4; ++r) {
+    DownloadChunk c;
+    c.share_bytes = 1e6;
+    c.stored_at = {0, 1, 2, 3};
+    p.chunks.push_back(c);
+  }
+  RoundRobinDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+  std::set<int> used;
+  for (const auto& sel : a->selected) {
+    used.insert(sel[0]);
+  }
+  EXPECT_EQ(used.size(), 4u);  // each chunk landed on a different CSP
+}
+
+TEST(GreedyFastestSelectorTest, AlwaysPicksTopBandwidth) {
+  DownloadProblem p = TwoFastOneSlow();
+  p.csp_bandwidth = {2e6, 15e6, 9e6};
+  GreedyFastestDownloadSelector selector;
+  auto a = selector.Select(p);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((std::set<int>{a->selected[0].begin(), a->selected[0].end()}),
+            (std::set<int>{1, 2}));
+}
+
+TEST(FinalizeAssignmentTest, BandwidthAllocationConsistent) {
+  DownloadProblem p = TwoFastOneSlow();
+  auto a = FinalizeAssignment(p, {{0, 1}});
+  ASSERT_GT(a.predicted_seconds, 0.0);
+  // allocated bandwidth * time == load on each used CSP
+  EXPECT_NEAR(a.allocated_bandwidth[0] * a.predicted_seconds, 10e6, 1.0);
+  EXPECT_NEAR(a.allocated_bandwidth[1] * a.predicted_seconds, 10e6, 1.0);
+  EXPECT_EQ(a.allocated_bandwidth[2], 0.0);
+}
+
+
+// --- Exact MILP selector and cross-selector optimality properties ---
+
+// Brute force over all C(stored, t)^R assignments for tiny instances.
+double BruteForceOptimum(const DownloadProblem& p) {
+  std::vector<std::vector<std::vector<int>>> per_chunk_choices(p.chunks.size());
+  for (size_t r = 0; r < p.chunks.size(); ++r) {
+    const auto& stored = p.chunks[r].stored_at;
+    const size_t count = stored.size();
+    for (uint32_t mask = 0; mask < (1u << count); ++mask) {
+      if (static_cast<uint32_t>(__builtin_popcount(mask)) != p.t) {
+        continue;
+      }
+      std::vector<int> choice;
+      for (size_t k = 0; k < count; ++k) {
+        if (mask & (1u << k)) {
+          choice.push_back(stored[k]);
+        }
+      }
+      per_chunk_choices[r].push_back(std::move(choice));
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<size_t> cursor(p.chunks.size(), 0);
+  for (;;) {
+    std::vector<std::vector<int>> assignment;
+    for (size_t r = 0; r < p.chunks.size(); ++r) {
+      assignment.push_back(per_chunk_choices[r][cursor[r]]);
+    }
+    best = std::min(best, FinalizeAssignment(p, std::move(assignment)).predicted_seconds);
+    size_t r = 0;
+    while (r < cursor.size() && ++cursor[r] == per_chunk_choices[r].size()) {
+      cursor[r++] = 0;
+    }
+    if (r == cursor.size()) {
+      break;
+    }
+  }
+  return best;
+}
+
+TEST(ExactMilpSelectorTest, MatchesBruteForceOnSmallInstances) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed);
+    DownloadProblem p;
+    const size_t C = 4;
+    for (size_t c = 0; c < C; ++c) {
+      p.csp_bandwidth.push_back(rng.NextDouble(1e6, 10e6));
+    }
+    p.t = 2;
+    const size_t R = 1 + rng.NextBelow(3);
+    for (size_t r = 0; r < R; ++r) {
+      DownloadChunk chunk;
+      chunk.share_bytes = rng.NextDouble(1e6, 5e6);
+      chunk.stored_at = {0, 1, 2, 3};
+      p.chunks.push_back(chunk);
+    }
+    ExactMilpDownloadSelector exact;
+    auto solution = exact.Select(p);
+    ASSERT_TRUE(solution.ok()) << "seed " << seed;
+    EXPECT_NEAR(solution->predicted_seconds, BruteForceOptimum(p), 1e-5)
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactMilpSelectorTest, LowerBoundsEveryOtherSelector) {
+  for (uint64_t seed = 30; seed <= 45; ++seed) {
+    Rng rng(seed);
+    DownloadProblem p;
+    for (size_t c = 0; c < 5; ++c) {
+      p.csp_bandwidth.push_back(rng.NextDouble(1e6, 15e6));
+    }
+    p.t = 2;
+    for (size_t r = 0; r < 4; ++r) {
+      DownloadChunk chunk;
+      chunk.share_bytes = rng.NextDouble(0.5e6, 4e6);
+      chunk.stored_at = {0, 1, 2, 3, 4};
+      p.chunks.push_back(chunk);
+    }
+    ExactMilpDownloadSelector exact;
+    OptimalDownloadSelector cyrus_sel;
+    GreedyFastestDownloadSelector greedy;
+    RoundRobinDownloadSelector rr;
+    auto exact_result = exact.Select(p);
+    ASSERT_TRUE(exact_result.ok());
+    for (DownloadSelector* s :
+         std::initializer_list<DownloadSelector*>{&cyrus_sel, &greedy, &rr}) {
+      auto result = s->Select(p);
+      ASSERT_TRUE(result.ok()) << s->name();
+      EXPECT_GE(result->predicted_seconds, exact_result->predicted_seconds - 1e-6)
+          << s->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(OptimalSelectorTest, NearOptimalOnRandomInstances) {
+  // Algorithm 1's per-chunk fixing should stay within a few percent of the
+  // exact optimum on heterogeneous instances.
+  double worst_ratio = 1.0;
+  for (uint64_t seed = 50; seed <= 65; ++seed) {
+    Rng rng(seed);
+    DownloadProblem p;
+    for (size_t c = 0; c < 6; ++c) {
+      p.csp_bandwidth.push_back(rng.NextDouble(1e6, 20e6));
+    }
+    p.t = 2;
+    for (size_t r = 0; r < 5; ++r) {
+      DownloadChunk chunk;
+      chunk.share_bytes = rng.NextDouble(0.5e6, 6e6);
+      chunk.stored_at = {0, 1, 2, 3, 4, 5};
+      p.chunks.push_back(chunk);
+    }
+    ExactMilpDownloadSelector exact;
+    OptimalDownloadSelector cyrus_sel;
+    auto exact_result = exact.Select(p);
+    auto cyrus_result = cyrus_sel.Select(p);
+    ASSERT_TRUE(exact_result.ok());
+    ASSERT_TRUE(cyrus_result.ok());
+    if (exact_result->predicted_seconds > 0) {
+      worst_ratio = std::max(
+          worst_ratio, cyrus_result->predicted_seconds / exact_result->predicted_seconds);
+    }
+  }
+  EXPECT_LT(worst_ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace cyrus
+

@@ -1,0 +1,169 @@
+// Tests for the directory-backed connector and a full end-to-end CYRUS
+// round trip over real files on disk.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/cloud/file_csp.h"
+#include "src/core/client.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileCspTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            StrCat("cyrus-filecsp-", ::testing::UnitTest::GetInstance()
+                                         ->current_test_info()
+                                         ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(FileCspTest, EscapingRoundTrips) {
+  const std::string names[] = {"simple", "meta-abc.0", "dir/slash", "sp ace",
+                               "pct%sign", "..", "uni\xc3\xa9"};
+  for (const std::string& name : names) {
+    const std::string escaped = EscapeObjectName(name);
+    EXPECT_EQ(escaped.find('/'), std::string::npos) << name;
+    auto back = UnescapeObjectName(escaped);
+    ASSERT_TRUE(back.ok()) << name;
+    EXPECT_EQ(*back, name);
+  }
+}
+
+TEST_F(FileCspTest, UnescapeRejectsBadEscapes) {
+  EXPECT_FALSE(UnescapeObjectName("abc%2").ok());
+  EXPECT_FALSE(UnescapeObjectName("abc%zz").ok());
+}
+
+TEST_F(FileCspTest, OpenCreatesDirectory) {
+  auto csp = FileCsp::Open("disk", root_ / "nested" / "store");
+  ASSERT_TRUE(csp.ok()) << csp.status();
+  EXPECT_TRUE(fs::is_directory((*csp)->root()));
+}
+
+TEST_F(FileCspTest, OpenRejectsFileAtPath) {
+  fs::create_directories(root_);
+  const fs::path blocker = root_ / "blocker";
+  { std::ofstream(blocker) << "x"; }
+  EXPECT_FALSE(FileCsp::Open("disk", blocker).ok());
+}
+
+TEST_F(FileCspTest, UploadDownloadDeleteRoundTrip) {
+  auto csp = std::move(FileCsp::Open("disk", root_)).value();
+  ASSERT_TRUE(csp->Authenticate(Credentials{}).ok());
+  const Bytes data = ToBytes("persisted bytes");
+  ASSERT_TRUE(csp->Upload("share/with/slashes", data).ok());
+  auto back = csp->Download("share/with/slashes");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  ASSERT_TRUE(csp->Delete("share/with/slashes").ok());
+  EXPECT_EQ(csp->Download("share/with/slashes").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(csp->Delete("share/with/slashes").ok());  // idempotent
+}
+
+TEST_F(FileCspTest, OverwriteReplacesContent) {
+  auto csp = std::move(FileCsp::Open("disk", root_)).value();
+  ASSERT_TRUE(csp->Upload("obj", ToBytes("v1")).ok());
+  ASSERT_TRUE(csp->Upload("obj", ToBytes("version two")).ok());
+  EXPECT_EQ(ToString(*csp->Download("obj")), "version two");
+}
+
+TEST_F(FileCspTest, ListByPrefix) {
+  auto csp = std::move(FileCsp::Open("disk", root_)).value();
+  ASSERT_TRUE(csp->Upload("meta-1.0", ToBytes("m")).ok());
+  ASSERT_TRUE(csp->Upload("meta-2.1", ToBytes("m")).ok());
+  ASSERT_TRUE(csp->Upload("data-xyz", ToBytes("d")).ok());
+  auto listing = csp->List("meta-");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 2u);
+  auto everything = csp->List("");
+  ASSERT_TRUE(everything.ok());
+  EXPECT_EQ(everything->size(), 3u);
+}
+
+TEST_F(FileCspTest, BinaryContentSurvives) {
+  auto csp = std::move(FileCsp::Open("disk", root_)).value();
+  Rng rng(9);
+  Bytes data(4096);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(csp->Upload("blob", data).ok());
+  auto back = csp->Download("blob");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(FileCspTest, EndToEndCyrusOverRealDirectories) {
+  // Full-stack round trip: a CYRUS client storing to three directories on
+  // disk, then a second "device" recovering from them.
+  CyrusConfig config;
+  config.key_string = "file csp e2e";
+  config.client_id = "writer";
+  config.t = 2;
+  config.epsilon = 1e-2;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  auto writer = std::move(CyrusClient::Create(config)).value();
+  for (int i = 0; i < 3; ++i) {
+    auto csp = FileCsp::Open(StrCat("disk", i), root_ / StrCat("csp", i));
+    ASSERT_TRUE(csp.ok());
+    ASSERT_TRUE(writer
+                    ->AddCsp(std::shared_ptr<CloudConnector>(std::move(csp).value()),
+                             CspProfile{}, Credentials{})
+                    .ok());
+  }
+  Rng rng(10);
+  Bytes content(24 * 1024);
+  for (auto& b : content) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  auto put = writer->Put("disk-backed.bin", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+
+  config.client_id = "reader";
+  auto reader = std::move(CyrusClient::Create(config)).value();
+  for (int i = 0; i < 3; ++i) {
+    auto csp = FileCsp::Open(StrCat("disk", i), root_ / StrCat("csp", i));
+    ASSERT_TRUE(csp.ok());
+    ASSERT_TRUE(reader
+                    ->AddCsp(std::shared_ptr<CloudConnector>(std::move(csp).value()),
+                             CspProfile{}, Credentials{})
+                    .ok());
+  }
+  ASSERT_TRUE(reader->Recover().ok());
+  auto get = reader->Get("disk-backed.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+
+  // Privacy on disk: no single directory contains a 16-byte window of the
+  // plaintext.
+  for (int i = 0; i < 3; ++i) {
+    for (const auto& entry : fs::directory_iterator(root_ / StrCat("csp", i))) {
+      std::ifstream file(entry.path(), std::ios::binary);
+      Bytes stored((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+      if (stored.size() < 16) {
+        continue;
+      }
+      const Bytes window(stored.begin(), stored.begin() + 16);
+      EXPECT_EQ(std::search(content.begin(), content.end(), window.begin(),
+                            window.end()),
+                content.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

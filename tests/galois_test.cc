@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/rs/galois.h"
+
+namespace cyrus {
+namespace {
+
+TEST(GaloisTest, AddIsXor) {
+  EXPECT_EQ(Galois::Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Galois::Add(7, 7), 0);
+}
+
+TEST(GaloisTest, MulByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Galois::Mul(static_cast<uint8_t>(a), 0), 0);
+    EXPECT_EQ(Galois::Mul(0, static_cast<uint8_t>(a)), 0);
+    EXPECT_EQ(Galois::Mul(static_cast<uint8_t>(a), 1), a);
+  }
+}
+
+// Reference carry-less multiply-and-reduce, independent of the tables.
+uint8_t SlowMul(uint8_t a, uint8_t b) {
+  uint16_t product = 0;
+  uint16_t shifted = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & (1 << bit)) {
+      product ^= shifted << bit;
+    }
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (product & (1 << bit)) {
+      product ^= Galois::kPolynomial << (bit - 8);
+    }
+  }
+  return static_cast<uint8_t>(product);
+}
+
+TEST(GaloisTest, MulMatchesSlowReference) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(Galois::Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                SlowMul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(GaloisTest, MulIsCommutativeAndAssociative) {
+  const uint8_t vals[] = {1, 2, 3, 0x1d, 0x80, 0xff};
+  for (uint8_t a : vals) {
+    for (uint8_t b : vals) {
+      EXPECT_EQ(Galois::Mul(a, b), Galois::Mul(b, a));
+      for (uint8_t c : vals) {
+        EXPECT_EQ(Galois::Mul(Galois::Mul(a, b), c), Galois::Mul(a, Galois::Mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisTest, DistributesOverAdd) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      for (int c = 0; c < 256; c += 13) {
+        const uint8_t lhs = Galois::Mul(static_cast<uint8_t>(a),
+                                        Galois::Add(static_cast<uint8_t>(b),
+                                                    static_cast<uint8_t>(c)));
+        const uint8_t rhs =
+            Galois::Add(Galois::Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                        Galois::Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(c)));
+        EXPECT_EQ(lhs, rhs);
+      }
+    }
+  }
+}
+
+TEST(GaloisTest, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t inv = Galois::Inverse(static_cast<uint8_t>(a));
+    EXPECT_EQ(Galois::Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(GaloisTest, DivIsMulByInverse) {
+  for (int a = 0; a < 256; a += 9) {
+    for (int b = 1; b < 256; b += 17) {
+      EXPECT_EQ(Galois::Div(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                Galois::Mul(static_cast<uint8_t>(a),
+                            Galois::Inverse(static_cast<uint8_t>(b))));
+    }
+  }
+}
+
+TEST(GaloisTest, DivRoundTrips) {
+  for (int a = 0; a < 256; a += 4) {
+    for (int b = 1; b < 256; b += 7) {
+      const uint8_t q = Galois::Div(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+      EXPECT_EQ(Galois::Mul(q, static_cast<uint8_t>(b)), a);
+    }
+  }
+}
+
+TEST(GaloisTest, PowBasics) {
+  EXPECT_EQ(Galois::Pow(0, 0), 1);  // convention
+  EXPECT_EQ(Galois::Pow(0, 5), 0);
+  EXPECT_EQ(Galois::Pow(7, 0), 1);
+  EXPECT_EQ(Galois::Pow(7, 1), 7);
+  EXPECT_EQ(Galois::Pow(2, 2), 4);
+}
+
+TEST(GaloisTest, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 31) {
+    uint8_t acc = 1;
+    for (unsigned p = 0; p < 300; ++p) {
+      EXPECT_EQ(Galois::Pow(static_cast<uint8_t>(a), p), acc) << "a=" << a << " p=" << p;
+      acc = Galois::Mul(acc, static_cast<uint8_t>(a));
+    }
+  }
+}
+
+TEST(GaloisTest, GeneratorHasFullOrder) {
+  // 2 is primitive: its powers hit every nonzero element exactly once.
+  std::array<bool, 256> seen{};
+  uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+    x = Galois::Mul(x, Galois::kGenerator);
+  }
+  EXPECT_EQ(x, 1);  // order divides 255 and is exactly 255
+}
+
+TEST(GaloisTest, MulAddRowAccumulates) {
+  Bytes src = {1, 2, 3, 0, 255};
+  Bytes dst = {9, 9, 9, 9, 9};
+  Bytes expected = dst;
+  for (size_t i = 0; i < src.size(); ++i) {
+    expected[i] = Galois::Add(expected[i], Galois::Mul(0x1d, src[i]));
+  }
+  Galois::MulAddRow(0x1d, src, dst);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(GaloisTest, MulAddRowCoefficientZeroIsNoop) {
+  Bytes src = {4, 5, 6};
+  Bytes dst = {7, 8, 9};
+  Galois::MulAddRow(0, src, dst);
+  EXPECT_EQ(dst, (Bytes{7, 8, 9}));
+}
+
+TEST(GaloisTest, MulAddRowCoefficientOneIsXor) {
+  Bytes src = {4, 5, 6};
+  Bytes dst = {7, 8, 9};
+  Galois::MulAddRow(1, src, dst);
+  EXPECT_EQ(dst, (Bytes{4 ^ 7, 5 ^ 8, 6 ^ 9}));
+}
+
+TEST(GaloisTest, MulRowScales) {
+  Bytes src = {0, 1, 2, 128};
+  Bytes dst(4, 0xAA);
+  Galois::MulRow(3, src, dst);
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], Galois::Mul(3, src[i]));
+  }
+  Galois::MulRow(0, src, dst);
+  EXPECT_EQ(dst, (Bytes{0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace cyrus

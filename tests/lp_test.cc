@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "src/opt/lp.h"
+#include "src/opt/milp.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(LpTest, SimpleMaximizationAsMinimization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  min -(x + y).
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-1.0, -1.0};
+  p.AddLessEqual({1.0, 2.0}, 4.0);
+  p.AddLessEqual({3.0, 1.0}, 6.0);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  // Optimum at intersection: x = 1.6, y = 1.2, value -2.8.
+  EXPECT_NEAR(s->x[0], 1.6, kTol);
+  EXPECT_NEAR(s->x[1], 1.2, kTol);
+  EXPECT_NEAR(s->objective, -2.8, kTol);
+}
+
+TEST(LpTest, EqualityConstraint) {
+  // min x + y s.t. x + y = 3, x <= 2 -> objective 3 everywhere feasible.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.AddEqual({1.0, 1.0}, 3.0);
+  p.AddUpperBound(0, 2.0);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 3.0, kTol);
+  EXPECT_NEAR(s->x[0] + s->x[1], 3.0, kTol);
+  EXPECT_LE(s->x[0], 2.0 + kTol);
+}
+
+TEST(LpTest, GreaterEqualConstraint) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 0, y >= 0 -> x = 4, y = 0.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {2.0, 3.0};
+  p.AddGreaterEqual({1.0, 1.0}, 4.0);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 8.0, kTol);
+  EXPECT_NEAR(s->x[0], 4.0, kTol);
+}
+
+TEST(LpTest, DetectsInfeasible) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.AddLessEqual({1.0}, 1.0);
+  p.AddGreaterEqual({1.0}, 2.0);
+  auto s = SolveLp(p);
+  EXPECT_EQ(s.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LpTest, DetectsUnbounded) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1.0};  // min -x with only x >= 0: unbounded
+  p.AddGreaterEqual({1.0}, 0.0);
+  auto s = SolveLp(p);
+  EXPECT_EQ(s.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LpTest, NegativeRhsNormalization) {
+  // x - y <= -1 with min x: forces y >= x + 1; optimum x = 0.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 0.0};
+  p.AddLessEqual({1.0, -1.0}, -1.0);
+  p.AddUpperBound(1, 5.0);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->x[0], 0.0, kTol);
+  EXPECT_GE(s->x[1], 1.0 - kTol);
+}
+
+TEST(LpTest, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {-0.75, 150.0, -0.02};
+  p.AddLessEqual({0.25, -60.0, -0.04}, 0.0);
+  p.AddLessEqual({0.5, -90.0, -0.02}, 0.0);
+  p.AddUpperBound(2, 1.0);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());  // Bland's rule must avoid cycling
+}
+
+TEST(LpTest, RejectsDimensionMismatch) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0};  // wrong size
+  auto s = SolveLp(p);
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LpTest, ZeroVariablesProblem) {
+  LpProblem p;
+  p.num_vars = 0;
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->objective, 0.0);
+}
+
+TEST(LpTest, MinMaxSchedulingShape) {
+  // The selector's LP shape: min y s.t. load_c <= y * beta_c.
+  // Two CSPs with bandwidth 10 and 5; jobs of size 30 split freely.
+  // Optimal: put 20 on the fast CSP, 10 on the slow -> y = 2.
+  LpProblem p;
+  p.num_vars = 3;  // y, d0, d1 (fraction of the 30 units on each CSP)
+  p.objective = {1.0, 0.0, 0.0};
+  p.AddLessEqual({-10.0, 30.0, 0.0}, 0.0);  // 30 d0 <= 10 y
+  p.AddLessEqual({-5.0, 0.0, 30.0}, 0.0);   // 30 d1 <= 5 y
+  p.AddEqual({0.0, 1.0, 1.0}, 1.0);         // all units placed
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 2.0, kTol);
+  EXPECT_NEAR(s->x[1], 2.0 / 3.0, kTol);
+}
+
+// --- MILP ---
+
+TEST(MilpTest, KnapsackStyleBinaryChoice) {
+  // max 5a + 4b + 3c s.t. 2a + 3b + c <= 4, binaries -> a=1, c=1, value 8.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {-5.0, -4.0, -3.0};
+  p.AddLessEqual({2.0, 3.0, 1.0}, 4.0);
+  auto s = SolveBinaryMilp(p, {0, 1, 2});
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, -8.0, kTol);
+  EXPECT_NEAR(s->x[0], 1.0, kTol);
+  EXPECT_NEAR(s->x[1], 0.0, kTol);
+  EXPECT_NEAR(s->x[2], 1.0, kTol);
+}
+
+TEST(MilpTest, FractionalLpIntegerGap) {
+  // LP relaxation would take half of item b; MILP must not.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-10.0, -6.0};
+  p.AddLessEqual({5.0, 4.0}, 7.0);
+  auto s = SolveBinaryMilp(p, {0, 1});
+  ASSERT_TRUE(s.ok());
+  // Either a alone (-10) or b alone (-6); optimum -10.
+  EXPECT_NEAR(s->objective, -10.0, kTol);
+}
+
+TEST(MilpTest, InfeasibleIntegerProblem) {
+  // a + b = 1.5 has fractional solutions only.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.AddEqual({1.0, 1.0}, 1.5);
+  auto s = SolveBinaryMilp(p, {0, 1});
+  EXPECT_EQ(s.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MilpTest, MixedContinuousAndBinary) {
+  // min y s.t. y >= 3a, y >= 2(1-a), a binary: a=0 -> y=2; a=1 -> y=3.
+  LpProblem p;
+  p.num_vars = 2;  // y, a
+  p.objective = {1.0, 0.0};
+  p.AddGreaterEqual({1.0, -3.0}, 0.0);  // y - 3a >= 0
+  p.AddGreaterEqual({1.0, 2.0}, 2.0);   // y + 2a >= 2
+  auto s = SolveBinaryMilp(p, {1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 2.0, kTol);
+  EXPECT_NEAR(s->x[1], 0.0, kTol);
+}
+
+TEST(MilpTest, ChooseExactlyTFromC) {
+  // The download-selector pattern: pick exactly 2 of 4 binaries minimizing
+  // a weighted sum.
+  LpProblem p;
+  p.num_vars = 4;
+  p.objective = {5.0, 1.0, 3.0, 2.0};
+  p.AddEqual({1.0, 1.0, 1.0, 1.0}, 2.0);
+  auto s = SolveBinaryMilp(p, {0, 1, 2, 3});
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 3.0, kTol);  // vars 1 and 3
+  EXPECT_NEAR(s->x[1], 1.0, kTol);
+  EXPECT_NEAR(s->x[3], 1.0, kTol);
+}
+
+TEST(MilpTest, RejectsBadBinaryIndex) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  auto s = SolveBinaryMilp(p, {5});
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LpTest, RandomizedSolutionsSatisfyConstraints) {
+  // Property: on random feasible LPs, the returned point satisfies every
+  // constraint (within tolerance) and is nonnegative.
+  Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    LpProblem p;
+    p.num_vars = 3 + rng.NextBelow(4);
+    p.objective.resize(p.num_vars);
+    for (double& c : p.objective) {
+      c = rng.NextDouble(-2.0, 2.0);
+    }
+    // Box constraints guarantee boundedness; random <= rows shape it.
+    for (size_t v = 0; v < p.num_vars; ++v) {
+      p.AddUpperBound(v, rng.NextDouble(1.0, 10.0));
+    }
+    const size_t rows = 1 + rng.NextBelow(4);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<double> coeffs(p.num_vars);
+      for (double& a : coeffs) {
+        a = rng.NextDouble(0.0, 3.0);
+      }
+      p.AddLessEqual(std::move(coeffs), rng.NextDouble(2.0, 20.0));
+    }
+    auto s = SolveLp(p);
+    ASSERT_TRUE(s.ok()) << "trial " << trial;  // origin is always feasible
+    for (size_t v = 0; v < p.num_vars; ++v) {
+      EXPECT_GE(s->x[v], -1e-7) << "trial " << trial;
+    }
+    for (const LpConstraint& c : p.constraints) {
+      double lhs = 0.0;
+      for (size_t v = 0; v < p.num_vars; ++v) {
+        lhs += c.coeffs[v] * s->x[v];
+      }
+      EXPECT_LE(lhs, c.rhs + 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/rs/galois.h"
+#include "src/rs/matrix.h"
+
+namespace cyrus {
+namespace {
+
+TEST(GfMatrixTest, IdentityProperties) {
+  const GfMatrix id = GfMatrix::Identity(4);
+  EXPECT_TRUE(id.IsIdentity());
+  EXPECT_EQ(id.rows(), 4u);
+  EXPECT_EQ(id.cols(), 4u);
+}
+
+TEST(GfMatrixTest, MultiplyByIdentity) {
+  GfMatrix m(3, 3);
+  uint8_t v = 1;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      m.Set(i, j, v++);
+    }
+  }
+  EXPECT_EQ(m.Multiply(GfMatrix::Identity(3)), m);
+  EXPECT_EQ(GfMatrix::Identity(3).Multiply(m), m);
+}
+
+TEST(GfMatrixTest, VandermondeEntries) {
+  const GfMatrix v = GfMatrix::Vandermonde({1, 2, 3}, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(v.At(i, 0), 1);  // x^0
+  }
+  EXPECT_EQ(v.At(1, 1), 2);
+  EXPECT_EQ(v.At(1, 2), 4);
+  EXPECT_EQ(v.At(2, 1), 3);
+  EXPECT_EQ(v.At(2, 2), Galois::Mul(3, 3));
+}
+
+TEST(GfMatrixTest, VandermondeWithDistinctPointsIsInvertible) {
+  const GfMatrix v = GfMatrix::Vandermonde({5, 9, 17, 33, 86}, 5);
+  auto inv = v.Inverted();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(v.Multiply(*inv).IsIdentity());
+  EXPECT_TRUE(inv->Multiply(v).IsIdentity());
+}
+
+TEST(GfMatrixTest, EveryTRowSubsetOfTallVandermondeInvertible) {
+  // The secret-sharing guarantee: any t of n rows decode.
+  const std::vector<uint8_t> points = {1, 2, 3, 4, 5, 6};
+  const GfMatrix v = GfMatrix::Vandermonde(points, 3);
+  for (size_t a = 0; a < 6; ++a) {
+    for (size_t b = a + 1; b < 6; ++b) {
+      for (size_t c = b + 1; c < 6; ++c) {
+        auto inv = v.SelectRows({a, b, c}).Inverted();
+        EXPECT_TRUE(inv.ok()) << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(GfMatrixTest, SingularMatrixRejected) {
+  GfMatrix m(2, 2);
+  m.Set(0, 0, 3);
+  m.Set(0, 1, 5);
+  m.Set(1, 0, 3);
+  m.Set(1, 1, 5);  // duplicate row
+  EXPECT_FALSE(m.Inverted().ok());
+}
+
+TEST(GfMatrixTest, NonSquareInvertRejected) {
+  EXPECT_FALSE(GfMatrix(2, 3).Inverted().ok());
+}
+
+TEST(GfMatrixTest, ZeroMatrixSingular) {
+  EXPECT_FALSE(GfMatrix(3, 3).Inverted().ok());
+}
+
+TEST(GfMatrixTest, SelectRowsPreservesOrder) {
+  GfMatrix m(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    m.Set(i, 0, static_cast<uint8_t>(i + 1));
+  }
+  const GfMatrix sel = m.SelectRows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_EQ(sel.At(0, 0), 3);
+  EXPECT_EQ(sel.At(1, 0), 1);
+}
+
+TEST(GfMatrixTest, ScaleColumnPreservesInvertibility) {
+  GfMatrix v = GfMatrix::Vandermonde({7, 11, 13}, 3);
+  v.ScaleColumn(0, 0x55);
+  v.ScaleColumn(1, 0xAA);
+  v.ScaleColumn(2, 0x03);
+  auto inv = v.Inverted();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(v.Multiply(*inv).IsIdentity());
+}
+
+TEST(GfMatrixTest, InverseRoundTripRandomized) {
+  // Random invertible matrices: start from identity and apply row ops.
+  uint32_t seed = 12345;
+  auto next = [&seed]() {
+    seed = seed * 1664525u + 1013904223u;
+    return static_cast<uint8_t>(seed >> 24);
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 4;
+    GfMatrix m = GfMatrix::Identity(n);
+    for (int op = 0; op < 30; ++op) {
+      const size_t r1 = next() % n;
+      const size_t r2 = (r1 + 1 + next() % (n - 1)) % n;
+      uint8_t factor = next();
+      if (factor == 0) {
+        factor = 1;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        m.Set(r1, j, Galois::Add(m.At(r1, j), Galois::Mul(factor, m.At(r2, j))));
+      }
+    }
+    auto inv = m.Inverted();
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE(m.Multiply(*inv).IsIdentity());
+  }
+}
+
+TEST(GfMatrixTest, MultiplyDimensions) {
+  GfMatrix a(2, 3);
+  GfMatrix b(3, 4);
+  const GfMatrix c = a.Multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+TEST(GfMatrixTest, ToStringFormat) {
+  GfMatrix m(1, 2);
+  m.Set(0, 0, 10);
+  m.Set(0, 1, 20);
+  EXPECT_EQ(m.ToString(), "10 20\n");
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "src/meta/chunk_table.h"
+#include "src/meta/metadata.h"
+#include "src/meta/serialize.h"
+#include "src/meta/version_tree.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+namespace {
+
+Sha1Digest Id(std::string_view tag) { return Sha1::Hash(tag); }
+
+FileVersion MakeVersion(std::string_view name, std::string_view content_tag,
+                        const Sha1Digest& prev = Sha1Digest{}) {
+  FileVersion v;
+  v.id = Id(content_tag);
+  v.prev_id = prev;
+  v.client_id = "tester";
+  v.file_name = std::string(name);
+  v.modified_time = 1.0;
+  v.size = 100;
+  ChunkRecord chunk;
+  chunk.id = Id(std::string(content_tag) + "-chunk");
+  chunk.offset = 0;
+  chunk.size = 100;
+  chunk.t = 2;
+  chunk.n = 3;
+  v.chunks.push_back(chunk);
+  for (uint32_t i = 0; i < 3; ++i) {
+    v.shares.push_back(ShareLocation{chunk.id, i, static_cast<int32_t>(i)});
+  }
+  return v;
+}
+
+// --- BinaryWriter / BinaryReader ---
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI32(-42);
+  w.WriteDouble(3.14159);
+  w.WriteString("cyrus");
+  w.WriteBytes(Bytes{1, 2, 3});
+  w.WriteDigest(Id("x"));
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.ReadI32(), -42);
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
+  EXPECT_EQ(*r.ReadString(), "cyrus");
+  EXPECT_EQ(*r.ReadBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(*r.ReadDigest(), Id("x"));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedReadFails) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(ByteSpan(w.data().data(), 2));
+  EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, StringLengthBeyondBufferFails) {
+  BinaryWriter w;
+  w.WriteU32(1000);  // claims 1000 bytes follow
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kDataLoss);
+}
+
+// --- FileVersion ---
+
+TEST(FileVersionTest, SerializeRoundTrip) {
+  const FileVersion v = MakeVersion("docs/paper.pdf", "v1");
+  auto back = FileVersion::Deserialize(v.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, v.id);
+  EXPECT_EQ(back->file_name, v.file_name);
+  EXPECT_EQ(back->client_id, v.client_id);
+  EXPECT_EQ(back->size, v.size);
+  ASSERT_EQ(back->chunks.size(), 1u);
+  EXPECT_EQ(back->chunks[0].id, v.chunks[0].id);
+  EXPECT_EQ(back->chunks[0].t, 2u);
+  ASSERT_EQ(back->shares.size(), 3u);
+  EXPECT_EQ(back->shares[2].csp, 2);
+}
+
+TEST(FileVersionTest, DeserializeRejectsGarbage) {
+  Bytes garbage = {1, 2, 3, 4, 5};
+  EXPECT_EQ(FileVersion::Deserialize(garbage).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FileVersionTest, DeserializeRejectsTrailingBytes) {
+  FileVersion v = MakeVersion("f", "v1");
+  Bytes data = v.Serialize();
+  data.push_back(0);
+  EXPECT_EQ(FileVersion::Deserialize(data).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FileVersionTest, SharesOfChunkSortedByIndex) {
+  FileVersion v = MakeVersion("f", "v1");
+  std::swap(v.shares[0], v.shares[2]);
+  const auto shares = v.SharesOfChunk(v.chunks[0].id);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].share_index, 0u);
+  EXPECT_EQ(shares[2].share_index, 2u);
+}
+
+TEST(FileVersionTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(MakeVersion("f", "v1").Validate().ok());
+}
+
+TEST(FileVersionTest, ValidateRejectsBadTn) {
+  FileVersion v = MakeVersion("f", "v1");
+  v.chunks[0].t = 4;  // t > n
+  EXPECT_FALSE(v.Validate().ok());
+}
+
+TEST(FileVersionTest, ValidateRejectsGappedOffsets) {
+  FileVersion v = MakeVersion("f", "v1");
+  v.chunks[0].offset = 10;
+  EXPECT_FALSE(v.Validate().ok());
+}
+
+TEST(FileVersionTest, ValidateRejectsMissingShares) {
+  FileVersion v = MakeVersion("f", "v1");
+  v.shares.resize(1);  // fewer than t = 2 locations
+  EXPECT_FALSE(v.Validate().ok());
+}
+
+TEST(FileVersionTest, ValidateRejectsSizeMismatch) {
+  FileVersion v = MakeVersion("f", "v1");
+  v.size = 999;
+  EXPECT_FALSE(v.Validate().ok());
+}
+
+// --- VersionTree ---
+
+TEST(VersionTreeTest, InsertAndFind) {
+  VersionTree tree;
+  const FileVersion v = MakeVersion("a.txt", "v1");
+  ASSERT_TRUE(tree.Insert(v).ok());
+  EXPECT_TRUE(tree.Contains(v.id));
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_NE(tree.Find(v.id), nullptr);
+  EXPECT_EQ(tree.Find(v.id)->file_name, "a.txt");
+}
+
+TEST(VersionTreeTest, DuplicateInsertIsIdempotent) {
+  VersionTree tree;
+  const FileVersion v = MakeVersion("a.txt", "v1");
+  ASSERT_TRUE(tree.Insert(v).ok());
+  EXPECT_TRUE(tree.Insert(v).ok());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(VersionTreeTest, MismatchedDuplicateRejected) {
+  VersionTree tree;
+  FileVersion v = MakeVersion("a.txt", "v1");
+  ASSERT_TRUE(tree.Insert(v).ok());
+  v.client_id = "someone-else";
+  EXPECT_EQ(tree.Insert(v).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(VersionTreeTest, LatestFollowsEditChain) {
+  VersionTree tree;
+  const FileVersion v1 = MakeVersion("a.txt", "v1");
+  const FileVersion v2 = MakeVersion("a.txt", "v2", v1.id);
+  ASSERT_TRUE(tree.Insert(v1).ok());
+  ASSERT_TRUE(tree.Insert(v2).ok());
+  auto latest = tree.Latest("a.txt");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)->id, v2.id);
+}
+
+TEST(VersionTreeTest, HistoryWalksBack) {
+  VersionTree tree;
+  const FileVersion v1 = MakeVersion("a.txt", "v1");
+  const FileVersion v2 = MakeVersion("a.txt", "v2", v1.id);
+  const FileVersion v3 = MakeVersion("a.txt", "v3", v2.id);
+  for (const auto& v : {v1, v2, v3}) {
+    ASSERT_TRUE(tree.Insert(v).ok());
+  }
+  auto history = tree.History(v3.id);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 3u);
+  EXPECT_EQ((*history)[0]->id, v3.id);
+  EXPECT_EQ((*history)[2]->id, v1.id);
+}
+
+TEST(VersionTreeTest, SameNameConflictDetected) {
+  // Figure 8 left: two clients create "a.txt" independently.
+  VersionTree tree;
+  ASSERT_TRUE(tree.Insert(MakeVersion("a.txt", "client1-content")).ok());
+  ASSERT_TRUE(tree.Insert(MakeVersion("a.txt", "client2-content")).ok());
+  const auto conflicts = tree.DetectConflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].type, ConflictType::kSameName);
+  EXPECT_EQ(conflicts[0].file_name, "a.txt");
+  EXPECT_EQ(conflicts[0].versions.size(), 2u);
+  EXPECT_EQ(tree.Latest("a.txt").status().code(), StatusCode::kConflict);
+}
+
+TEST(VersionTreeTest, DivergedVersionsConflictDetected) {
+  // Figure 8 right: two clients edit the same parent.
+  VersionTree tree;
+  const FileVersion base = MakeVersion("a.txt", "base");
+  const FileVersion edit1 = MakeVersion("a.txt", "edit1", base.id);
+  const FileVersion edit2 = MakeVersion("a.txt", "edit2", base.id);
+  for (const auto& v : {base, edit1, edit2}) {
+    ASSERT_TRUE(tree.Insert(v).ok());
+  }
+  const auto conflicts = tree.DetectConflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].type, ConflictType::kDivergedVersions);
+}
+
+TEST(VersionTreeTest, DetectConflictsForWalksUpward) {
+  VersionTree tree;
+  const FileVersion base = MakeVersion("a.txt", "base");
+  const FileVersion edit1 = MakeVersion("a.txt", "edit1", base.id);
+  const FileVersion edit2 = MakeVersion("a.txt", "edit2", base.id);
+  const FileVersion edit3 = MakeVersion("a.txt", "edit3", edit2.id);
+  for (const auto& v : {base, edit1, edit2, edit3}) {
+    ASSERT_TRUE(tree.Insert(v).ok());
+  }
+  // From the grandchild, the upward walk still finds the divergence at base.
+  const auto conflicts = tree.DetectConflictsFor(edit3.id);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].type, ConflictType::kDivergedVersions);
+}
+
+TEST(VersionTreeTest, NoConflictOnLinearHistory) {
+  VersionTree tree;
+  const FileVersion v1 = MakeVersion("a.txt", "v1");
+  const FileVersion v2 = MakeVersion("a.txt", "v2", v1.id);
+  ASSERT_TRUE(tree.Insert(v1).ok());
+  ASSERT_TRUE(tree.Insert(v2).ok());
+  EXPECT_TRUE(tree.DetectConflicts().empty());
+  EXPECT_TRUE(tree.DetectConflictsFor(v2.id).empty());
+}
+
+TEST(VersionTreeTest, DeletionMarkerHidesFile) {
+  VersionTree tree;
+  const FileVersion v1 = MakeVersion("a.txt", "v1");
+  FileVersion marker = MakeVersion("a.txt", "deleted", v1.id);
+  marker.deleted = true;
+  marker.chunks.clear();
+  marker.shares.clear();
+  marker.size = 0;
+  ASSERT_TRUE(tree.Insert(v1).ok());
+  ASSERT_TRUE(tree.Insert(marker).ok());
+  EXPECT_EQ(tree.Latest("a.txt").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree.FileNames().empty());
+  EXPECT_EQ(tree.FileNames(/*include_deleted=*/true).size(), 1u);
+  // Undelete path: history from the marker still reaches v1.
+  auto history = tree.History(marker.id);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ((*history)[1]->id, v1.id);
+}
+
+TEST(VersionTreeTest, UpdateShareLocations) {
+  VersionTree tree;
+  const FileVersion v = MakeVersion("a.txt", "v1");
+  ASSERT_TRUE(tree.Insert(v).ok());
+  std::vector<ShareLocation> moved = v.shares;
+  moved[0].csp = 9;
+  ASSERT_TRUE(tree.UpdateShareLocations(v.id, moved).ok());
+  EXPECT_EQ(tree.Find(v.id)->shares[0].csp, 9);
+  EXPECT_EQ(tree.UpdateShareLocations(Id("missing"), {}).code(), StatusCode::kNotFound);
+}
+
+TEST(VersionTreeTest, FileNamesSortedAndLive) {
+  VersionTree tree;
+  ASSERT_TRUE(tree.Insert(MakeVersion("b.txt", "b1")).ok());
+  ASSERT_TRUE(tree.Insert(MakeVersion("a.txt", "a1")).ok());
+  EXPECT_EQ(tree.FileNames(), (std::vector<std::string>{"a.txt", "b.txt"}));
+}
+
+// --- ChunkTable ---
+
+TEST(ChunkTableTest, InsertLookupRefcount) {
+  ChunkTable table;
+  const Sha1Digest id = Id("chunk1");
+  ChunkEntry entry;
+  entry.size = 1000;
+  entry.t = 2;
+  entry.n = 3;
+  entry.shares = {{0, 0}, {1, 1}, {2, 2}};
+  ASSERT_TRUE(table.Insert(id, entry).ok());
+  EXPECT_TRUE(table.Contains(id));
+  EXPECT_EQ(table.Find(id)->refcount, 1u);
+  ASSERT_TRUE(table.AddRef(id).ok());
+  EXPECT_EQ(table.Find(id)->refcount, 2u);
+  ASSERT_TRUE(table.Release(id).ok());
+  ASSERT_TRUE(table.Release(id).ok());
+  EXPECT_EQ(table.Find(id)->refcount, 0u);
+  EXPECT_EQ(table.Release(id).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChunkTableTest, DuplicateInsertRejected) {
+  ChunkTable table;
+  ASSERT_TRUE(table.Insert(Id("c"), ChunkEntry{}).ok());
+  EXPECT_EQ(table.Insert(Id("c"), ChunkEntry{}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ChunkTableTest, MoveShare) {
+  ChunkTable table;
+  ChunkEntry entry;
+  entry.shares = {{0, 5}, {1, 6}};
+  ASSERT_TRUE(table.Insert(Id("c"), entry).ok());
+  ASSERT_TRUE(table.MoveShare(Id("c"), 5, 0, 9, 7).ok());
+  EXPECT_EQ(table.Find(Id("c"))->shares[0].csp, 9);
+  EXPECT_EQ(table.Find(Id("c"))->shares[0].share_index, 7u);
+  EXPECT_EQ(table.MoveShare(Id("c"), 5, 0, 9, 7).code(), StatusCode::kNotFound);
+}
+
+TEST(ChunkTableTest, AddShareRejectsDuplicateIndex) {
+  ChunkTable table;
+  ChunkEntry entry;
+  entry.shares = {{0, 5}};
+  ASSERT_TRUE(table.Insert(Id("c"), entry).ok());
+  ASSERT_TRUE(table.AddShare(Id("c"), ChunkShare{1, 6}).ok());
+  EXPECT_EQ(table.AddShare(Id("c"), ChunkShare{1, 7}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ChunkTableTest, ChunksOnCsp) {
+  ChunkTable table;
+  ChunkEntry on_zero;
+  on_zero.shares = {{0, 0}, {1, 1}};
+  ChunkEntry off_zero;
+  off_zero.shares = {{0, 1}, {1, 2}};
+  ASSERT_TRUE(table.Insert(Id("a"), on_zero).ok());
+  ASSERT_TRUE(table.Insert(Id("b"), off_zero).ok());
+  EXPECT_EQ(table.ChunksOnCsp(0).size(), 1u);
+  EXPECT_EQ(table.ChunksOnCsp(1).size(), 2u);
+  EXPECT_TRUE(table.ChunksOnCsp(7).empty());
+}
+
+TEST(ChunkTableTest, SerializeRoundTrip) {
+  ChunkTable table;
+  ChunkEntry entry;
+  entry.size = 4096;
+  entry.t = 3;
+  entry.n = 5;
+  entry.shares = {{0, 1}, {2, 3}};
+  ASSERT_TRUE(table.Insert(Id("c1"), entry).ok());
+  ASSERT_TRUE(table.AddRef(Id("c1")).ok());
+  ASSERT_TRUE(table.Insert(Id("c2"), ChunkEntry{}).ok());
+
+  auto back = ChunkTable::Deserialize(table.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  const ChunkEntry* e = back->Find(Id("c1"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->size, 4096u);
+  EXPECT_EQ(e->refcount, 2u);
+  ASSERT_EQ(e->shares.size(), 2u);
+  EXPECT_EQ(e->shares[1].csp, 3);
+}
+
+TEST(ChunkTableTest, TotalUniqueBytes) {
+  ChunkTable table;
+  ChunkEntry a;
+  a.size = 100;
+  ChunkEntry b;
+  b.size = 250;
+  ASSERT_TRUE(table.Insert(Id("a"), a).ok());
+  ASSERT_TRUE(table.Insert(Id("b"), b).ok());
+  EXPECT_EQ(table.TotalUniqueBytes(), 350u);
+}
+
+TEST(VersionTreeTest, RandomizedForestInvariants) {
+  // Random insertion of creation roots and edits (in shuffled arrival
+  // order, as metadata sync delivers them) must preserve: every inserted
+  // version findable; heads have no children; history terminates; and the
+  // number of live names matches a reference model.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(7000 + seed);
+    std::vector<FileVersion> versions;
+    std::map<std::string, std::vector<size_t>> chains;  // name -> version idx
+    for (int op = 0; op < 60; ++op) {
+      const std::string name = "f" + std::to_string(rng.NextBelow(6));
+      auto& chain = chains[name];
+      FileVersion v = MakeVersion(
+          name, "content-" + std::to_string(seed) + "-" + std::to_string(op),
+          chain.empty() ? Sha1Digest{}
+                        : versions[chain[rng.NextBelow(chain.size())]].id);
+      v.modified_time = op;
+      chain.push_back(versions.size());
+      versions.push_back(v);
+    }
+    // Shuffled arrival.
+    std::vector<size_t> order(versions.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBelow(i)]);
+    }
+    VersionTree tree;
+    for (size_t idx : order) {
+      ASSERT_TRUE(tree.Insert(versions[idx]).ok());
+    }
+    EXPECT_EQ(tree.size(), versions.size());
+    for (const FileVersion& v : versions) {
+      ASSERT_NE(tree.Find(v.id), nullptr);
+      auto history = tree.History(v.id);
+      ASSERT_TRUE(history.ok());
+      EXPECT_TRUE(IsNullDigest(history->back()->prev_id));
+    }
+    for (const auto& [name, chain] : chains) {
+      for (const FileVersion* head : tree.Heads(name)) {
+        EXPECT_TRUE(tree.Children(head->id).empty());
+      }
+      EXPECT_FALSE(tree.Heads(name).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,219 @@
+// Model-based randomized integration test.
+//
+// Drives two CYRUS clients over shared simulated providers with a random
+// interleaving of operations (put, edit, get, delete, sync, CSP outage and
+// recovery), checking the system against a simple reference model of what
+// each file should contain. Conflicts are avoided by construction here
+// (each client owns a name prefix); the dedicated conflict tests cover
+// divergence. This test's job is to catch state-machine corruption across
+// long operation sequences - dedup refcounts, metadata staleness, failover
+// paths, migration - that unit tests with short scripts miss.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+struct Fixture {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::vector<std::unique_ptr<CyrusClient>> clients;
+
+  explicit Fixture(uint64_t seed, int num_csps = 5, int num_clients = 2) {
+    for (int i = 0; i < num_csps; ++i) {
+      SimulatedCspOptions o;
+      o.id = StrCat("csp", i);
+      o.naming = (i % 2 == 0) ? NamingPolicy::kNameKeyed : NamingPolicy::kIdKeyed;
+      csps.push_back(std::make_shared<SimulatedCsp>(o));
+    }
+    for (int c = 0; c < num_clients; ++c) {
+      CyrusConfig config;
+      config.key_string = StrCat("fuzz key ", seed);
+      config.client_id = StrCat("client", c);
+      config.t = 2;
+      config.epsilon = 1e-3;
+      config.chunker = ChunkerOptions::ForTesting();
+      config.cluster_aware = false;
+      auto client = CyrusClient::Create(config);
+      EXPECT_TRUE(client.ok());
+      clients.push_back(std::move(client).value());
+      for (auto& csp : csps) {
+        CspProfile profile;
+        profile.download_bytes_per_sec = 2e6;
+        profile.upload_bytes_per_sec = 1e6;
+        EXPECT_TRUE(clients[c]->AddCsp(csp, profile, Credentials{"token"}).ok());
+      }
+    }
+  }
+};
+
+class ModelFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelFuzz, LongRandomOperationSequenceStaysConsistent) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Fixture fx(seed);
+
+  // Reference model: the content each *file name* should hold. A name is
+  // owned by one client (prefix) so cross-client conflicts cannot arise;
+  // reads may go through either client after a sync.
+  std::map<std::string, Bytes> model;
+  double now = 0.0;
+  int down_csp = -1;
+
+  auto random_content = [&rng](size_t max_kb) {
+    Bytes content(1 + rng.NextBelow(max_kb * 1024));
+    for (auto& b : content) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    return content;
+  };
+
+  const int kSteps = 120;
+  for (int step = 0; step < kSteps; ++step) {
+    now += 1.0 + rng.NextDouble() * 10.0;
+    const size_t actor = rng.NextBelow(fx.clients.size());
+    CyrusClient& client = *fx.clients[actor];
+    client.set_time(now);
+
+    const uint64_t action = rng.NextBelow(100);
+    if (action < 30) {
+      // Put a new or edited file under the actor's prefix.
+      const std::string name =
+          StrCat("c", actor, "/file", rng.NextBelow(8), ".bin");
+      Bytes content = random_content(24);
+      if (rng.NextBool(0.3) && model.count(name) > 0) {
+        // Local edit: mutate a few bytes of the current content instead.
+        content = model[name];
+        for (int k = 0; k < 5 && !content.empty(); ++k) {
+          content[rng.NextBelow(content.size())] ^= 0xA5;
+        }
+      }
+      auto put = client.Put(name, content);
+      ASSERT_TRUE(put.ok()) << "step " << step << ": " << put.status();
+      model[name] = std::move(content);
+    } else if (action < 55) {
+      // Read a random model file through a random client.
+      if (model.empty()) {
+        continue;
+      }
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      auto get = client.Get(it->first);
+      ASSERT_TRUE(get.ok()) << "step " << step << " get " << it->first << ": "
+                            << get.status();
+      EXPECT_EQ(get->content, it->second) << "step " << step;
+    } else if (action < 65) {
+      // Delete a file owned by the actor.
+      std::vector<std::string> owned;
+      for (const auto& [name, content] : model) {
+        if (StartsWith(name, StrCat("c", actor, "/"))) {
+          owned.push_back(name);
+        }
+      }
+      if (owned.empty()) {
+        continue;
+      }
+      const std::string victim = owned[rng.NextBelow(owned.size())];
+      // The owner may not have synced a deletion marker's parent yet if the
+      // *other* client deleted... names are owned, so Delete always sees
+      // its own chain after a sync.
+      ASSERT_TRUE(client.SyncMetadata().ok());
+      Status deleted = client.Delete(victim);
+      ASSERT_TRUE(deleted.ok()) << "step " << step << ": " << deleted;
+      model.erase(victim);
+    } else if (action < 80) {
+      // Explicit metadata sync on a random client.
+      auto sync = client.SyncMetadata();
+      ASSERT_TRUE(sync.ok()) << "step " << step << ": " << sync.status();
+      EXPECT_TRUE(sync->empty()) << "unexpected conflict at step " << step;
+    } else if (action < 90) {
+      // Toggle an outage (at most one CSP down at a time; with n >= 3 and
+      // t = 2 a single outage must never lose data).
+      if (down_csp < 0) {
+        down_csp = static_cast<int>(rng.NextBelow(fx.csps.size()));
+        fx.csps[down_csp]->set_available(false);
+      } else {
+        fx.csps[down_csp]->set_available(true);
+        for (auto& cl : fx.clients) {
+          ASSERT_TRUE(cl->MarkCspRecovered(down_csp).ok());
+        }
+        down_csp = -1;
+      }
+    } else {
+      // List through a random client and cross-check live names.
+      ASSERT_TRUE(client.SyncMetadata().ok());
+      auto listing = client.List("");
+      ASSERT_TRUE(listing.ok());
+      std::set<std::string> listed;
+      for (const FileListing& f : *listing) {
+        listed.insert(f.name);
+      }
+      for (const auto& [name, content] : model) {
+        // The lister may not have seen a file yet if it was uploaded while
+        // a CSP it relies on was down; only check when all CSPs are up.
+        if (down_csp < 0) {
+          EXPECT_TRUE(listed.count(name)) << "step " << step << " missing " << name;
+        }
+      }
+    }
+  }
+
+  // Settle: bring everything up, sync both clients, verify every file.
+  if (down_csp >= 0) {
+    fx.csps[down_csp]->set_available(true);
+    for (auto& cl : fx.clients) {
+      ASSERT_TRUE(cl->MarkCspRecovered(down_csp).ok());
+    }
+  }
+  for (auto& cl : fx.clients) {
+    ASSERT_TRUE(cl->SyncMetadata().ok());
+  }
+  for (const auto& [name, content] : model) {
+    for (auto& cl : fx.clients) {
+      auto get = cl->Get(name);
+      ASSERT_TRUE(get.ok()) << "final get " << name << ": " << get.status();
+      EXPECT_EQ(get->content, content) << name;
+    }
+  }
+
+  // A brand-new device must reconstruct the identical state.
+  CyrusConfig config;
+  config.key_string = StrCat("fuzz key ", seed);
+  config.client_id = "late-joiner";
+  config.t = 2;
+  config.epsilon = 1e-3;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  auto fresh = std::move(CyrusClient::Create(config)).value();
+  for (auto& csp : fx.csps) {
+    CspProfile profile;
+    profile.download_bytes_per_sec = 2e6;
+    profile.upload_bytes_per_sec = 1e6;
+    ASSERT_TRUE(fresh->AddCsp(csp, profile, Credentials{"token"}).ok());
+  }
+  ASSERT_TRUE(fresh->Recover().ok());
+  auto listing = fresh->List("");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), model.size());
+  for (const auto& [name, content] : model) {
+    auto get = fresh->Get(name);
+    ASSERT_TRUE(get.ok()) << "recovered get " << name << ": " << get.status();
+    EXPECT_EQ(get->content, content) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cyrus

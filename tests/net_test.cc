@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/net/clustering.h"
+#include "src/net/providers.h"
+#include "src/net/tcp_model.h"
+#include "src/net/topology.h"
+#include "src/net/union_find.h"
+
+namespace cyrus {
+namespace {
+
+// --- TCP model: must reproduce Table 2's throughput column from its RTTs ---
+
+TEST(TcpModelTest, ReproducesTable2Rows) {
+  // Spot-check the four prototype CSPs plus the extremes.
+  EXPECT_NEAR(TcpThroughputMbps(137), 2.314, 0.01);  // Dropbox
+  EXPECT_NEAR(TcpThroughputMbps(71), 4.465, 0.01);   // Google Drive
+  EXPECT_NEAR(TcpThroughputMbps(142), 2.233, 0.01);  // OneDrive
+  EXPECT_NEAR(TcpThroughputMbps(149), 2.128, 0.01);  // Box
+  EXPECT_NEAR(TcpThroughputMbps(235), 1.349, 0.01);  // Amazon S3
+  EXPECT_NEAR(TcpThroughputMbps(295), 1.075, 0.01);  // Safe Creative
+}
+
+TEST(TcpModelTest, EveryTable2RowWithinPrintPrecision) {
+  for (const ProviderInfo& p : PaperProviders()) {
+    const double expected[] = {1.349, 2.128, 2.314, 2.233, 4.465, 2.171, 1.474,
+                               1.704, 1.651, 1.474, 1.704, 1.461, 2.281, 2.072,
+                               1.651, 1.509, 1.546, 1.075, 1.569, 1.082};
+    const size_t row = static_cast<size_t>(&p - PaperProviders().data());
+    EXPECT_NEAR(TcpThroughputMbps(p.rtt_ms), expected[row], 0.01) << p.name;
+  }
+}
+
+TEST(TcpModelTest, WindowLimitBindsAtLowRtt) {
+  // At 10 ms, the loss limit (~32 Mbps) exceeds the window limit
+  // (65535*8/0.01 = 52.4 Mbps)? Compute both regimes explicitly.
+  TcpModelParams params;
+  const double window_limit = params.window_bytes * 8.0 / 0.005;
+  const double got = TcpThroughputBps(5.0, params);
+  EXPECT_LE(got, window_limit + 1.0);
+}
+
+TEST(TcpModelTest, ThroughputDecreasesWithRtt) {
+  double prev = 1e18;
+  for (double rtt = 10; rtt <= 500; rtt += 10) {
+    const double bps = TcpThroughputBps(rtt);
+    EXPECT_LT(bps, prev);
+    prev = bps;
+  }
+}
+
+TEST(TcpModelTest, InverseModelRoundTrips) {
+  for (double mbps : {1.0, 2.0, 4.0}) {
+    const double rtt = RttForThroughputMbps(mbps);
+    EXPECT_NEAR(TcpThroughputMbps(rtt), mbps, 0.01);
+  }
+}
+
+TEST(TcpModelTest, LowerLossMeansMoreThroughput) {
+  TcpModelParams lossy;
+  lossy.loss_rate = 0.01;
+  TcpModelParams clean;
+  clean.loss_rate = 0.0001;
+  // Use a large RTT so the window cap binds in neither case.
+  EXPECT_GT(TcpThroughputBps(300, clean), TcpThroughputBps(300, lossy));
+}
+
+// --- Providers catalog ---
+
+TEST(ProvidersTest, TwentyRowsFiveOnAmazon) {
+  EXPECT_EQ(PaperProviders().size(), 20u);
+  size_t amazon = 0;
+  for (const ProviderInfo& p : PaperProviders()) {
+    amazon += p.on_amazon ? 1 : 0;
+  }
+  EXPECT_EQ(amazon, 5u);  // the asterisked rows of Table 2
+}
+
+TEST(ProvidersTest, PrototypeUsesFourCsps) {
+  EXPECT_EQ(PrototypeProviders().size(), 4u);
+  std::set<std::string_view> names;
+  for (const ProviderInfo& p : PrototypeProviders()) {
+    names.insert(p.name);
+  }
+  EXPECT_TRUE(names.count("Dropbox"));
+  EXPECT_TRUE(names.count("Google Drive"));
+  EXPECT_TRUE(names.count("OneDrive"));
+  EXPECT_TRUE(names.count("Box"));
+}
+
+// --- UnionFind ---
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already joined
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveClosureOnChain) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) {
+    uf.Union(i, i + 1);
+  }
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 99));
+}
+
+// --- Topology ---
+
+TEST(TopologyTest, ShortestPathPrefersLowLatency) {
+  Topology topo;
+  const int a = topo.AddNode(NodeKind::kClient, "a");
+  const int b = topo.AddNode(NodeKind::kRouter, "b");
+  const int c = topo.AddNode(NodeKind::kRouter, "c");
+  const int d = topo.AddNode(NodeKind::kCspEndpoint, "d");
+  topo.AddLink(a, b, 1.0);
+  topo.AddLink(b, d, 1.0);
+  topo.AddLink(a, c, 0.5);
+  topo.AddLink(c, d, 10.0);
+  auto path = topo.ShortestPath(a, d);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<int>{a, b, d}));
+}
+
+TEST(TopologyTest, DisconnectedNodesFail) {
+  Topology topo;
+  const int a = topo.AddNode(NodeKind::kClient, "a");
+  const int b = topo.AddNode(NodeKind::kRouter, "b");
+  EXPECT_EQ(topo.ShortestPath(a, b).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopologyTest, TracerouteCumulativeRtts) {
+  Topology topo;
+  const int a = topo.AddNode(NodeKind::kClient, "a");
+  const int b = topo.AddNode(NodeKind::kRouter, "b");
+  const int c = topo.AddNode(NodeKind::kCspEndpoint, "c");
+  topo.AddLink(a, b, 5.0);
+  topo.AddLink(b, c, 20.0);
+  auto hops = topo.Traceroute(a, c);
+  ASSERT_TRUE(hops.ok());
+  ASSERT_EQ(hops->size(), 3u);
+  EXPECT_DOUBLE_EQ((*hops)[0].rtt_ms, 0.0);
+  EXPECT_DOUBLE_EQ((*hops)[1].rtt_ms, 10.0);   // 2 x 5
+  EXPECT_DOUBLE_EQ((*hops)[2].rtt_ms, 50.0);   // 2 x 25
+}
+
+TEST(TopologyTest, OutOfRangeNodeRejected) {
+  Topology topo;
+  topo.AddNode(NodeKind::kClient, "a");
+  EXPECT_EQ(topo.ShortestPath(0, 7).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, ProviderTopologyShape) {
+  PlatformSpec amazon{"amazon", {"s3", "bitcasa"}, 30.0, 1.0};
+  PlatformSpec solo{"gcp", {"gdrive"}, 20.0, 1.0};
+  ProviderTopology pt = BuildProviderTopology({amazon, solo});
+  EXPECT_EQ(pt.csp_nodes.size(), 3u);
+  EXPECT_EQ(pt.csp_names, (std::vector<std::string>{"s3", "bitcasa", "gdrive"}));
+  // Every CSP is reachable from the client.
+  for (int csp : pt.csp_nodes) {
+    EXPECT_TRUE(pt.topology.ShortestPath(pt.client, csp).ok());
+  }
+}
+
+// --- Clustering (Figure 3) ---
+
+TEST(ClusteringTest, SharedGatewayCspsCluster) {
+  PlatformSpec amazon{"amazon", {"s3", "bitcasa", "cloudapp"}, 30.0, 1.0};
+  PlatformSpec gcp{"gcp", {"gdrive"}, 20.0, 1.0};
+  PlatformSpec ms{"ms", {"onedrive"}, 25.0, 1.0};
+  ProviderTopology pt = BuildProviderTopology({amazon, gcp, ms});
+
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  ASSERT_TRUE(tree.ok());
+  auto clusters = ClusterByPlatform(*tree, pt.csp_nodes);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 5u);
+  // s3, bitcasa, cloudapp share a cluster; gdrive and onedrive are alone.
+  EXPECT_EQ((*clusters)[0], (*clusters)[1]);
+  EXPECT_EQ((*clusters)[1], (*clusters)[2]);
+  EXPECT_NE((*clusters)[0], (*clusters)[3]);
+  EXPECT_NE((*clusters)[0], (*clusters)[4]);
+  EXPECT_NE((*clusters)[3], (*clusters)[4]);
+}
+
+TEST(ClusteringTest, CutAtRootMergesEverything) {
+  PlatformSpec a{"a", {"x"}, 30.0, 1.0};
+  PlatformSpec b{"b", {"y"}, 20.0, 1.0};
+  ProviderTopology pt = BuildProviderTopology({a, b});
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  ASSERT_TRUE(tree.ok());
+  auto clusters = ClusterByLevel(*tree, pt.csp_nodes, 0);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ((*clusters)[0], (*clusters)[1]);
+}
+
+TEST(ClusteringTest, CutAtLeavesSeparatesEverything) {
+  PlatformSpec amazon{"amazon", {"s3", "bitcasa"}, 30.0, 1.0};
+  ProviderTopology pt = BuildProviderTopology({amazon});
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  ASSERT_TRUE(tree.ok());
+  auto clusters = ClusterByLevel(*tree, pt.csp_nodes, tree->Height());
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_NE((*clusters)[0], (*clusters)[1]);
+}
+
+TEST(ClusteringTest, PaperTopologyFindsAmazonCluster) {
+  // The Figure 3 scenario: the five asterisked providers land in one
+  // cluster; the other fifteen do not share it.
+  ProviderTopology pt = MakePaperTopology();
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  ASSERT_TRUE(tree.ok());
+  auto clusters = ClusterByPlatform(*tree, pt.csp_nodes);
+  ASSERT_TRUE(clusters.ok());
+
+  std::map<std::string, int> cluster_of;
+  for (size_t i = 0; i < pt.csp_names.size(); ++i) {
+    cluster_of[pt.csp_names[i]] = (*clusters)[i];
+  }
+  const int amazon_cluster = cluster_of["Amazon S3"];
+  std::set<std::string> amazon_members;
+  for (const ProviderInfo& p : PaperProviders()) {
+    if (cluster_of[std::string(p.name)] == amazon_cluster) {
+      amazon_members.insert(std::string(p.name));
+    }
+    if (p.on_amazon) {
+      EXPECT_EQ(cluster_of[std::string(p.name)], amazon_cluster) << p.name;
+    }
+  }
+  EXPECT_EQ(amazon_members.size(), 5u);
+}
+
+TEST(ClusteringTest, UnknownCspNodeRejected) {
+  PlatformSpec a{"a", {"x"}, 30.0, 1.0};
+  ProviderTopology pt = BuildProviderTopology({a});
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  ASSERT_TRUE(tree.ok());
+  auto clusters = ClusterByLevel(*tree, {9999}, 1);
+  EXPECT_EQ(clusters.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClusteringTest, RenderShowsHierarchy) {
+  PlatformSpec amazon{"amazon", {"s3"}, 30.0, 1.0};
+  ProviderTopology pt = BuildProviderTopology({amazon});
+  auto tree = BuildRoutingTree(pt.topology, pt.client, pt.csp_nodes);
+  ASSERT_TRUE(tree.ok());
+  const std::string render = tree->Render(pt.topology);
+  EXPECT_NE(render.find("client"), std::string::npos);
+  EXPECT_NE(render.find("gw-amazon"), std::string::npos);
+  EXPECT_NE(render.find("s3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/rs/secret_sharing.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+namespace {
+
+Bytes RandomChunk(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+TEST(SecretSharingTest, RejectsBadParameters) {
+  EXPECT_FALSE(SecretSharingCodec::Create("k", 0, 3).ok());
+  EXPECT_FALSE(SecretSharingCodec::Create("k", 4, 3).ok());
+  EXPECT_FALSE(SecretSharingCodec::Create("k", 2, 256).ok());
+}
+
+TEST(SecretSharingTest, ShareSizeIsCeilOfChunkOverT) {
+  EXPECT_EQ(ShareSize(100, 2), 50u);
+  EXPECT_EQ(ShareSize(101, 2), 51u);
+  EXPECT_EQ(ShareSize(0, 3), 0u);
+  EXPECT_EQ(ShareSize(1, 3), 1u);
+}
+
+TEST(SecretSharingTest, EncodeProducesNSharesOfExpectedSize) {
+  auto codec = SecretSharingCodec::Create("key", 2, 3);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(1001, 1);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares->size(), 3u);
+  for (const Share& s : *shares) {
+    EXPECT_EQ(s.data.size(), ShareSize(1001, 2));
+  }
+}
+
+TEST(SecretSharingTest, RoundTripWithFirstTShares) {
+  auto codec = SecretSharingCodec::Create("key", 2, 3);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(4096, 2);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  shares->resize(2);
+  auto decoded = codec->Decode(*shares, chunk.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, chunk);
+}
+
+// Property sweep: every (t, n) in the paper's operating range round-trips
+// from every t-subset of shares.
+struct TnParam {
+  uint32_t t;
+  uint32_t n;
+};
+
+class SecretSharingSweep : public ::testing::TestWithParam<TnParam> {};
+
+TEST_P(SecretSharingSweep, EveryTSubsetDecodes) {
+  const auto [t, n] = GetParam();
+  auto codec = SecretSharingCodec::Create("sweep key", t, n);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(577, 1000 + t * 31 + n);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+
+  // Iterate all C(n, t) subsets via bitmasks.
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<uint32_t>(__builtin_popcount(mask)) != t) {
+      continue;
+    }
+    std::vector<Share> subset;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        subset.push_back((*shares)[i]);
+      }
+    }
+    auto decoded = codec->Decode(subset, chunk.size());
+    ASSERT_TRUE(decoded.ok()) << "mask=" << mask;
+    EXPECT_EQ(*decoded, chunk) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, SecretSharingSweep,
+                         ::testing::Values(TnParam{1, 1}, TnParam{1, 3}, TnParam{2, 3},
+                                           TnParam{2, 4}, TnParam{3, 4}, TnParam{3, 5},
+                                           TnParam{4, 7}, TnParam{5, 8}, TnParam{10, 11}),
+                         [](const ::testing::TestParamInfo<TnParam>& info) {
+                           return "t" + std::to_string(info.param.t) + "n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(SecretSharingTest, FewerThanTSharesFailWithDataLoss) {
+  auto codec = SecretSharingCodec::Create("key", 3, 5);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(300, 3);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  shares->resize(2);
+  auto decoded = codec->Decode(*shares, chunk.size());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SecretSharingTest, DuplicateShareIndicesDoNotCount) {
+  auto codec = SecretSharingCodec::Create("key", 2, 3);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(128, 4);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  const std::vector<Share> dupes = {(*shares)[0], (*shares)[0]};
+  EXPECT_EQ(codec->Decode(dupes, chunk.size()).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SecretSharingTest, OutOfRangeIndexRejected) {
+  auto codec = SecretSharingCodec::Create("key", 2, 3);
+  ASSERT_TRUE(codec.ok());
+  Share bogus;
+  bogus.index = 7;
+  bogus.data = Bytes(10, 0);
+  EXPECT_EQ(codec->Decode({bogus, bogus}, 20).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SecretSharingTest, WrongShareSizeRejected) {
+  auto codec = SecretSharingCodec::Create("key", 2, 3);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(100, 5);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  (*shares)[0].data.pop_back();
+  shares->resize(2);
+  EXPECT_EQ(codec->Decode(*shares, chunk.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SecretSharingTest, EmptyChunkRoundTrips) {
+  auto codec = SecretSharingCodec::Create("key", 2, 4);
+  ASSERT_TRUE(codec.ok());
+  auto shares = codec->Encode(Bytes{});
+  ASSERT_TRUE(shares.ok());
+  EXPECT_EQ((*shares)[0].data.size(), 0u);
+  auto decoded = codec->Decode(*shares, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(SecretSharingTest, OneByteChunkRoundTrips) {
+  auto codec = SecretSharingCodec::Create("key", 3, 5);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = {0x42};
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  auto decoded = codec->Decode(*shares, 1);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, chunk);
+}
+
+TEST(SecretSharingTest, NonSystematic) {
+  // No share may contain the plaintext slice it "corresponds" to: with a
+  // non-systematic code every share differs from every contiguous slice.
+  auto codec = SecretSharingCodec::Create("key", 2, 3);
+  ASSERT_TRUE(codec.ok());
+  Bytes chunk(200);
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<uint8_t>(i * 7 + 13);
+  }
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  const size_t len = (*shares)[0].data.size();
+  for (const Share& s : *shares) {
+    for (size_t off = 0; off + len <= chunk.size(); off += len) {
+      EXPECT_NE(Bytes(chunk.begin() + off, chunk.begin() + off + len), s.data);
+    }
+  }
+}
+
+TEST(SecretSharingTest, WrongKeyFailsToDecode) {
+  // Decoding with a codec derived from a different key string must not
+  // produce the original chunk (paper §7.1: the dispersal matrix is keyed).
+  auto enc = SecretSharingCodec::Create("right key", 2, 3);
+  auto dec = SecretSharingCodec::Create("wrong key", 2, 3);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_TRUE(dec.ok());
+  const Bytes chunk = RandomChunk(256, 6);
+  auto shares = enc->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  shares->resize(2);
+  auto decoded = dec->Decode(*shares, chunk.size());
+  ASSERT_TRUE(decoded.ok());  // decodes *something*...
+  EXPECT_NE(*decoded, chunk);  // ...but not the plaintext
+}
+
+TEST(SecretSharingTest, DispersalMatrixDependsOnKey) {
+  auto a = SecretSharingCodec::Create("alpha", 3, 5);
+  auto b = SecretSharingCodec::Create("beta", 3, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->dispersal_matrix(), b->dispersal_matrix());
+}
+
+TEST(SecretSharingTest, StorageOverheadIsNOverT) {
+  // n shares of chunk/t bytes each: total stored = (n/t) * chunk (paper §8).
+  auto codec = SecretSharingCodec::Create("key", 2, 4);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(1000, 7);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  size_t total = 0;
+  for (const Share& s : *shares) {
+    total += s.data.size();
+  }
+  EXPECT_EQ(total, 4 * ShareSize(1000, 2));
+  EXPECT_EQ(total, 2000u);  // (n/t) == 2x the original bytes
+}
+
+TEST(SecretSharingTest, MoreThanTSharesStillDecode) {
+  auto codec = SecretSharingCodec::Create("key", 2, 5);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(333, 8);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  auto decoded = codec->Decode(*shares, chunk.size());  // all 5 given
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, chunk);
+}
+
+// --- Error-correcting decode (paper §5.1 footnote 9) ---
+
+TEST(ErrorCorrectionTest, RecoversFromOneCorruptedShare) {
+  // (t, n) = (2, 4): e_max = (4 - 2) / 2 = 1 corrupted share tolerated.
+  auto codec = SecretSharingCodec::Create("ec key", 2, 4);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(999, 40);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  (*shares)[1].data[5] ^= 0xFF;
+  (*shares)[1].data[123] ^= 0x01;
+
+  auto result = codec->DecodeWithErrorCorrection(*shares, chunk.size());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->chunk, chunk);
+  EXPECT_EQ(result->corrupted_indices, (std::vector<uint32_t>{1}));
+}
+
+TEST(ErrorCorrectionTest, RecoversFromTwoCorruptedSharesWithEnoughRedundancy) {
+  // (t, n) = (2, 6): e_max = 2.
+  auto codec = SecretSharingCodec::Create("ec key", 2, 6);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(512, 41);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  (*shares)[0].data[0] ^= 0xAA;
+  (*shares)[3].data[100] ^= 0x42;
+
+  auto result = codec->DecodeWithErrorCorrection(*shares, chunk.size());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->chunk, chunk);
+  EXPECT_EQ(result->corrupted_indices, (std::vector<uint32_t>{0, 3}));
+}
+
+TEST(ErrorCorrectionTest, TooManyCorruptionsFailClosed) {
+  // (t, n) = (2, 4): two corrupted shares exceed e_max = 1.
+  auto codec = SecretSharingCodec::Create("ec key", 2, 4);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(256, 42);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  (*shares)[0].data[0] ^= 0x11;
+  (*shares)[1].data[0] ^= 0x22;
+  auto result = codec->DecodeWithErrorCorrection(*shares, chunk.size());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ErrorCorrectionTest, CleanSharesDecodeWithNoCorruptionsReported) {
+  auto codec = SecretSharingCodec::Create("ec key", 3, 5);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(700, 43);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  auto result = codec->DecodeWithErrorCorrection(*shares, chunk.size());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->chunk, chunk);
+  EXPECT_TRUE(result->corrupted_indices.empty());
+}
+
+TEST(ErrorCorrectionTest, WrongSizedShareTreatedAsCorrupted) {
+  auto codec = SecretSharingCodec::Create("ec key", 2, 4);
+  ASSERT_TRUE(codec.ok());
+  const Bytes chunk = RandomChunk(300, 44);
+  auto shares = codec->Encode(chunk);
+  ASSERT_TRUE(shares.ok());
+  (*shares)[2].data.resize(3);  // truncated by a broken provider
+  auto result = codec->DecodeWithErrorCorrection(*shares, chunk.size());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->chunk, chunk);
+  EXPECT_EQ(result->corrupted_indices, (std::vector<uint32_t>{2}));
+}
+
+TEST(ErrorCorrectionTest, RandomizedSweep) {
+  // Property: for random (t, n) with n - t >= 2 and a random corrupted
+  // share, the decode recovers the chunk and names the culprit.
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(900 + seed);
+    const uint32_t t = 2 + static_cast<uint32_t>(rng.NextBelow(3));
+    const uint32_t n = t + 2 + static_cast<uint32_t>(rng.NextBelow(3));
+    auto codec = SecretSharingCodec::Create("sweep ec", t, n);
+    ASSERT_TRUE(codec.ok());
+    const Bytes chunk = RandomChunk(64 + rng.NextBelow(512), seed);
+    auto shares = codec->Encode(chunk);
+    ASSERT_TRUE(shares.ok());
+    const uint32_t victim = static_cast<uint32_t>(rng.NextBelow(n));
+    (*shares)[victim].data[rng.NextBelow((*shares)[victim].data.size())] ^= 0x77;
+    auto result = codec->DecodeWithErrorCorrection(*shares, chunk.size());
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status();
+    EXPECT_EQ(result->chunk, chunk) << "seed " << seed;
+    EXPECT_EQ(result->corrupted_indices, (std::vector<uint32_t>{victim}))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
+#include "src/sim/flow_network.h"
+
+namespace cyrus {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// --- EventQueue ---
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, [&] { ++fired; });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+}
+
+// --- FlowNetwork ---
+
+TEST(FlowNetworkTest, SingleFlowSingleLink) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0, "link");
+  auto results = net.Run({FlowSpec{100.0, {link}, 0.0, 1}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_NEAR((*results)[0].completion_time, 10.0, kTol);
+  EXPECT_NEAR((*results)[0].mean_rate, 10.0, kTol);
+  EXPECT_EQ((*results)[0].tag, 1);
+}
+
+TEST(FlowNetworkTest, TwoFlowsShareFairly) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{100.0, {link}, 0.0, 0}, FlowSpec{100.0, {link}, 0.0, 1}});
+  ASSERT_TRUE(results.ok());
+  // Each gets 5 B/s -> both finish at t = 20.
+  EXPECT_NEAR((*results)[0].completion_time, 20.0, kTol);
+  EXPECT_NEAR((*results)[1].completion_time, 20.0, kTol);
+}
+
+TEST(FlowNetworkTest, ShortFlowFinishesThenLongSpeedsUp) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{50.0, {link}, 0.0, 0}, FlowSpec{200.0, {link}, 0.0, 1}});
+  ASSERT_TRUE(results.ok());
+  // Phase 1: both at 5 B/s until t=10 (short done, long has 150 left).
+  // Phase 2: long at 10 B/s, finishes at 10 + 15 = 25.
+  EXPECT_NEAR((*results)[0].completion_time, 10.0, kTol);
+  EXPECT_NEAR((*results)[1].completion_time, 25.0, kTol);
+}
+
+TEST(FlowNetworkTest, BottleneckIsClientLink) {
+  // Two CSP links of 15 each, but the client downlink caps at 10: flows
+  // share the client link fairly.
+  FlowNetwork net;
+  const int client = net.AddLink(10.0, "client");
+  const int csp_a = net.AddLink(15.0, "a");
+  const int csp_b = net.AddLink(15.0, "b");
+  auto results = net.Run({FlowSpec{100.0, {client, csp_a}, 0.0, 0},
+                          FlowSpec{100.0, {client, csp_b}, 0.0, 1}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_NEAR((*results)[0].completion_time, 20.0, kTol);
+  EXPECT_NEAR((*results)[1].completion_time, 20.0, kTol);
+}
+
+TEST(FlowNetworkTest, MaxMinGivesSlowLinkItsShare) {
+  // One flow crosses a 2 B/s CSP, another a 15 B/s CSP; client link 10.
+  // Max-min: slow flow gets 2, fast flow gets min(15, 10-2) = 8.
+  FlowNetwork net;
+  const int client = net.AddLink(10.0);
+  const int slow = net.AddLink(2.0);
+  const int fast = net.AddLink(15.0);
+  auto results = net.Run({FlowSpec{20.0, {client, slow}, 0.0, 0},
+                          FlowSpec{80.0, {client, fast}, 0.0, 1}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_NEAR((*results)[0].completion_time, 10.0, kTol);  // 20 / 2
+  EXPECT_NEAR((*results)[1].completion_time, 10.0, kTol);  // 80 / 8
+}
+
+TEST(FlowNetworkTest, StaggeredArrivals) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{100.0, {link}, 0.0, 0}, FlowSpec{50.0, {link}, 5.0, 1}});
+  ASSERT_TRUE(results.ok());
+  // t in [0,5): flow 0 alone at 10 -> 50 left.
+  // t in [5,15): both at 5 -> flow 0 done at 15, flow 1 done at 15.
+  EXPECT_NEAR((*results)[0].completion_time, 15.0, kTol);
+  EXPECT_NEAR((*results)[1].completion_time, 15.0, kTol);
+}
+
+TEST(FlowNetworkTest, UnlimitedLinkFlowsFinishInstantly) {
+  FlowNetwork net;
+  const int link = net.AddLink(0.0);  // unlimited
+  auto results = net.Run({FlowSpec{1e9, {link}, 2.0, 0}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_NEAR((*results)[0].completion_time, 2.0, 1e-3);
+}
+
+TEST(FlowNetworkTest, EmptyFlowCompletesAtStart) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{0.0, {link}, 3.0, 0}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_DOUBLE_EQ((*results)[0].completion_time, 3.0);
+  EXPECT_EQ((*results)[0].mean_rate, 0.0);
+}
+
+TEST(FlowNetworkTest, RejectsUnknownLink) {
+  FlowNetwork net;
+  net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{10.0, {7}, 0.0, 0}});
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlowNetworkTest, RejectsNegativeBytes) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{-1.0, {link}, 0.0, 0}});
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlowNetworkTest, ResultsInInputOrder) {
+  FlowNetwork net;
+  const int link = net.AddLink(10.0);
+  auto results = net.Run({FlowSpec{10.0, {link}, 5.0, 42}, FlowSpec{10.0, {link}, 0.0, 7}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].tag, 42);
+  EXPECT_EQ((*results)[1].tag, 7);
+}
+
+TEST(FlowNetworkTest, TestbedScenario) {
+  // The paper's testbed shape: 4 fast clouds (15 MB/s) + 3 slow (2 MB/s),
+  // one share on each of two fast clouds: 20 MB shares finish in 20/15 s.
+  FlowNetwork net;
+  std::vector<int> cloud_links;
+  for (int i = 0; i < 4; ++i) {
+    cloud_links.push_back(net.AddLink(15e6));
+  }
+  for (int i = 0; i < 3; ++i) {
+    cloud_links.push_back(net.AddLink(2e6));
+  }
+  auto results = net.Run({FlowSpec{20e6, {cloud_links[0]}, 0.0, 0},
+                          FlowSpec{20e6, {cloud_links[1]}, 0.0, 1}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_NEAR((*results)[0].completion_time, 20.0 / 15.0, 1e-3);
+  EXPECT_NEAR((*results)[1].completion_time, 20.0 / 15.0, 1e-3);
+}
+
+TEST(FlowNetworkTest, ManyFlowsConservative) {
+  // Mass conservation: total bytes / client capacity lower-bounds the
+  // last completion.
+  FlowNetwork net;
+  const int client = net.AddLink(10.0);
+  std::vector<FlowSpec> flows;
+  double total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double bytes = 10.0 + i;
+    total += bytes;
+    flows.push_back(FlowSpec{bytes, {client}, 0.0, i});
+  }
+  auto results = net.Run(flows);
+  ASSERT_TRUE(results.ok());
+  double last = 0.0;
+  for (const FlowResult& r : *results) {
+    last = std::max(last, r.completion_time);
+  }
+  EXPECT_NEAR(last, total / 10.0, 1e-3);
+}
+
+TEST(FlowNetworkTest, RandomizedConservationProperties) {
+  // Properties over random instances:
+  //  - every completion >= its flow's start time;
+  //  - no flow beats its best-case solo time across its links;
+  //  - the last completion >= total bytes / shared-link capacity whenever
+  //    all flows cross one shared link (mass conservation).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    FlowNetwork net;
+    const int shared = net.AddLink(rng.NextDouble(5.0, 50.0), "shared");
+    std::vector<int> spokes;
+    for (int i = 0; i < 4; ++i) {
+      spokes.push_back(net.AddLink(rng.NextDouble(2.0, 30.0)));
+    }
+    std::vector<FlowSpec> flows;
+    double total_bytes = 0.0;
+    for (int f = 0; f < 12; ++f) {
+      FlowSpec flow;
+      flow.bytes = rng.NextDouble(10.0, 500.0);
+      flow.start_time = rng.NextDouble(0.0, 5.0);
+      flow.links = std::vector<int>{shared,
+                                    spokes[rng.NextBelow(spokes.size())]};
+      flow.tag = f;
+      total_bytes += flow.bytes;
+      flows.push_back(flow);
+    }
+    auto results = net.Run(flows);
+    ASSERT_TRUE(results.ok());
+    double last = 0.0;
+    double first_start = 1e18;
+    for (size_t f = 0; f < flows.size(); ++f) {
+      const FlowResult& r = (*results)[f];
+      EXPECT_GE(r.completion_time, flows[f].start_time - 1e-9);
+      // Best case: the flow alone at the min capacity of its links.
+      double best_rate = 1e18;
+      for (int l : flows[f].links) {
+        if (net.link(l).capacity > 0) {
+          best_rate = std::min(best_rate, net.link(l).capacity);
+        }
+      }
+      EXPECT_GE(r.completion_time + 1e-6,
+                flows[f].start_time + flows[f].bytes / best_rate)
+          << "seed " << seed << " flow " << f;
+      last = std::max(last, r.completion_time);
+      first_start = std::min(first_start, flows[f].start_time);
+    }
+    EXPECT_GE(last + 1e-6, first_start + total_bytes / net.link(shared).capacity)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

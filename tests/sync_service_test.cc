@@ -1,0 +1,258 @@
+// Tests for the synchronization service (§5.4): multi-device folder
+// convergence with no client-to-client communication.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cloud/simulated_csp.h"
+#include "src/core/sync_service.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+struct Device {
+  std::unique_ptr<CyrusClient> client;
+  LocalWorkspace workspace;
+  std::unique_ptr<SyncService> service;
+};
+
+struct SharedCloud {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+
+  SharedCloud() {
+    for (int i = 0; i < 4; ++i) {
+      csps.push_back(
+          std::make_shared<SimulatedCsp>(SimulatedCspOptions{StrCat("csp", i)}));
+    }
+  }
+
+  std::unique_ptr<Device> MakeDevice(const std::string& id,
+                                     SyncOptions options = SyncOptions{}) {
+    auto device = std::make_unique<Device>();
+    CyrusConfig config;
+    config.key_string = "sync test key";
+    config.client_id = id;
+    config.t = 2;
+    config.epsilon = 1e-4;
+    config.chunker = ChunkerOptions::ForTesting();
+    config.cluster_aware = false;
+    device->client = std::move(CyrusClient::Create(config)).value();
+    for (auto& csp : csps) {
+      CspProfile profile;
+      profile.download_bytes_per_sec = 2e6;
+      profile.upload_bytes_per_sec = 1e6;
+      EXPECT_TRUE(device->client->AddCsp(csp, profile, Credentials{"token"}).ok());
+    }
+    device->service =
+        std::make_unique<SyncService>(device->client.get(), &device->workspace, options);
+    return device;
+  }
+};
+
+// --- LocalWorkspace ---
+
+TEST(LocalWorkspaceTest, WriteReadDelete) {
+  LocalWorkspace ws;
+  ws.WriteFile("a.txt", ToBytes("hello"), 1.0);
+  EXPECT_TRUE(ws.Exists("a.txt"));
+  auto content = ws.ReadFile("a.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(ToString(*content), "hello");
+  EXPECT_EQ(ws.FileNames(), (std::vector<std::string>{"a.txt"}));
+
+  // Never-synced file: delete forgets it entirely.
+  ASSERT_TRUE(ws.DeleteFile("a.txt", 2.0).ok());
+  EXPECT_FALSE(ws.Exists("a.txt"));
+  EXPECT_EQ(ws.ReadFile("a.txt").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ws.DeleteFile("a.txt", 3.0).code(), StatusCode::kNotFound);
+}
+
+// --- SyncService basics ---
+
+TEST(SyncServiceTest, UploadsLocalFiles) {
+  SharedCloud cloud;
+  auto device = cloud.MakeDevice("d1");
+  device->workspace.WriteFile("doc.txt", ToBytes("local content"), 1.0);
+  auto stats = device->service->RunOnce();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->uploads, 1u);
+  // The cloud now has the file.
+  auto listing = device->client->List("");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].name, "doc.txt");
+}
+
+TEST(SyncServiceTest, IdempotentWhenNothingChanges) {
+  SharedCloud cloud;
+  auto device = cloud.MakeDevice("d1");
+  device->workspace.WriteFile("doc.txt", ToBytes("content"), 1.0);
+  ASSERT_TRUE(device->service->RunOnce().ok());
+  auto second = device->service->RunOnce();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->uploads, 0u);
+  EXPECT_EQ(second->downloads, 0u);
+}
+
+TEST(SyncServiceTest, PropagatesFilesBetweenDevices) {
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  auto d2 = cloud.MakeDevice("d2");
+  d1->workspace.WriteFile("shared.md", ToBytes("from device one"), 1.0);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+
+  auto stats = d2->service->RunOnce();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->downloads, 1u);
+  auto content = d2->workspace.ReadFile("shared.md");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(ToString(*content), "from device one");
+}
+
+TEST(SyncServiceTest, PropagatesEdits) {
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  auto d2 = cloud.MakeDevice("d2");
+  d1->client->set_time(1.0);
+  d1->workspace.WriteFile("doc", ToBytes("v1"), 1.0);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  ASSERT_TRUE(d2->service->RunOnce().ok());
+
+  d1->client->set_time(2.0);
+  d1->workspace.WriteFile("doc", ToBytes("v2 edited"), 2.0);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  auto stats = d2->service->RunOnce();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->downloads, 1u);
+  EXPECT_EQ(ToString(*d2->workspace.ReadFile("doc")), "v2 edited");
+}
+
+TEST(SyncServiceTest, PropagatesDeletions) {
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  auto d2 = cloud.MakeDevice("d2");
+  d1->workspace.WriteFile("temp.txt", ToBytes("short lived"), 1.0);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  ASSERT_TRUE(d2->service->RunOnce().ok());
+  ASSERT_TRUE(d2->workspace.Exists("temp.txt"));
+
+  ASSERT_TRUE(d1->workspace.DeleteFile("temp.txt", 2.0).ok());
+  auto push = d1->service->RunOnce();
+  ASSERT_TRUE(push.ok());
+  EXPECT_EQ(push->deletes_pushed, 1u);
+
+  auto pull = d2->service->RunOnce();
+  ASSERT_TRUE(pull.ok());
+  EXPECT_EQ(pull->deletes_pulled, 1u);
+  EXPECT_FALSE(d2->workspace.Exists("temp.txt"));
+}
+
+TEST(SyncServiceTest, ConcurrentEditsAutoResolveWithoutDataLoss) {
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  auto d2 = cloud.MakeDevice("d2");
+  d1->client->set_time(1.0);
+  d1->workspace.WriteFile("plan", ToBytes("base"), 1.0);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  ASSERT_TRUE(d2->service->RunOnce().ok());
+
+  // Both edit before either syncs.
+  d1->client->set_time(2.0);
+  d2->client->set_time(2.5);
+  d1->workspace.WriteFile("plan", ToBytes("edit from d1"), 2.0);
+  d2->workspace.WriteFile("plan", ToBytes("edit from d2"), 2.5);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  auto stats = d2->service->RunOnce();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->conflicts_detected, 1u);
+  EXPECT_GE(stats->conflicts_resolved, 1u);
+
+  // After both settle once more, the devices converge: "plan" holds the
+  // newest edit and the loser survives under a conflict name.
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  ASSERT_TRUE(d2->service->RunOnce().ok());
+  EXPECT_EQ(ToString(*d1->workspace.ReadFile("plan")), "edit from d2");
+  EXPECT_EQ(ToString(*d2->workspace.ReadFile("plan")), "edit from d2");
+  bool rescued = false;
+  for (const std::string& name : d1->workspace.FileNames()) {
+    if (name != "plan" && StartsWith(name, "plan.conflict-")) {
+      rescued = true;
+      EXPECT_EQ(ToString(*d1->workspace.ReadFile(name)), "edit from d1");
+    }
+  }
+  EXPECT_TRUE(rescued);
+}
+
+TEST(SyncServiceTest, ReportOnlyPolicyLeavesConflictAlone) {
+  SharedCloud cloud;
+  SyncOptions report_only;
+  report_only.conflict_policy = ConflictPolicy::kReportOnly;
+  auto d1 = cloud.MakeDevice("d1", report_only);
+  auto d2 = cloud.MakeDevice("d2", report_only);
+  d1->client->set_time(1.0);
+  d1->workspace.WriteFile("plan", ToBytes("base"), 1.0);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  ASSERT_TRUE(d2->service->RunOnce().ok());
+  d1->client->set_time(2.0);
+  d2->client->set_time(2.5);
+  d1->workspace.WriteFile("plan", ToBytes("edit1"), 2.0);
+  d2->workspace.WriteFile("plan", ToBytes("edit2"), 2.5);
+  ASSERT_TRUE(d1->service->RunOnce().ok());
+  auto stats = d2->service->RunOnce();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->conflicts_detected, 1u);
+  EXPECT_EQ(stats->conflicts_resolved, 0u);
+  // Both heads remain live.
+  std::vector<const FileVersion*> live;
+  for (const FileVersion* head : d2->client->tree().Heads("plan")) {
+    if (!head->deleted) {
+      live.push_back(head);
+    }
+  }
+  EXPECT_EQ(live.size(), 2u);
+}
+
+TEST(SyncServiceTest, PeriodicSyncUnderEventQueue) {
+  SharedCloud cloud;
+  SyncOptions options;
+  options.interval_seconds = 30.0;
+  auto d1 = cloud.MakeDevice("d1", options);
+  auto d2 = cloud.MakeDevice("d2", options);
+
+  EventQueue queue;
+  d1->service->Start(&queue);
+  d2->service->Start(&queue);
+
+  // A file written on d1 at t=10 appears on d2 after both have synced.
+  queue.ScheduleAt(10.0, [&] {
+    d1->workspace.WriteFile("auto.txt", ToBytes("periodic"), queue.now());
+  });
+  queue.RunUntil(100.0);
+  EXPECT_TRUE(d2->workspace.Exists("auto.txt"));
+  EXPECT_GE(d1->service->lifetime_stats().uploads, 1u);
+  EXPECT_GE(d2->service->lifetime_stats().downloads, 1u);
+
+  d1->service->Stop();
+  d2->service->Stop();
+  queue.RunUntil(200.0);  // drains the final scheduled callbacks
+  EXPECT_FALSE(d1->service->running());
+}
+
+TEST(SyncServiceTest, ToleratesCspOutageDuringSync) {
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  d1->workspace.WriteFile("doc", ToBytes("content"), 1.0);
+  cloud.csps[0]->set_available(false);
+  auto stats = d1->service->RunOnce();
+  ASSERT_TRUE(stats.ok()) << stats.status();  // n > t absorbs one outage
+  EXPECT_EQ(stats->uploads, 1u);
+  cloud.csps[0]->set_available(true);
+  auto d2 = cloud.MakeDevice("d2");
+  ASSERT_TRUE(d2->service->RunOnce().ok());
+  EXPECT_TRUE(d2->workspace.Exists("doc"));
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<int> hits(50, 0);
+  pool.ParallelFor(50, [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  pool.ParallelFor(8, [&](size_t) {
+    const int now = inside.fetch_add(1) + 1;
+    int expected = max_inside.load();
+    while (now > expected && !max_inside.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    inside.fetch_sub(1);
+  });
+  EXPECT_GT(max_inside.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.ParallelFor(20, [&](size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mu;
+  pool.ParallelFor(10, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/bytes.h"
+#include "src/util/hex.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+// --- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("file missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "file missing");
+  EXPECT_EQ(s.ToString(), "not_found: file missing");
+}
+
+TEST(StatusTest, CopyIsCheapAndEquivalent) {
+  Status a = UnavailableError("csp down");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(b.message(), "csp down");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(PermissionDeniedError("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+  EXPECT_EQ(ConflictError("").code(), StatusCode::kConflict);
+  EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() -> Status { return DataLossError("boom"); };
+  auto outer = [&]() -> Status {
+    CYRUS_RETURN_IF_ERROR(inner());
+    return OkStatus();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kDataLoss);
+}
+
+// --- Result ---
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) {
+      return std::string("hello");
+    }
+    return InternalError("bad");
+  };
+  auto use = [&](bool ok) -> Result<size_t> {
+    CYRUS_ASSIGN_OR_RETURN(std::string s, make(ok));
+    return s.size();
+  };
+  ASSERT_TRUE(use(true).ok());
+  EXPECT_EQ(*use(true), 5u);
+  EXPECT_EQ(use(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+// --- Hex ---
+
+TEST(HexTest, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  const std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abcdefff");
+  auto back = HexDecode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(HexTest, DecodesUppercase) {
+  auto r = HexDecode("DEADBEEF");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0xde);
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_EQ(HexDecode("abc").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HexTest, RejectsNonHex) {
+  EXPECT_EQ(HexDecode("zz").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(HexEncode({}), "");
+  auto r = HexDecode("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+// --- Bytes ---
+
+TEST(BytesTest, TextRoundTrip) {
+  Bytes b = ToBytes("cyrus");
+  EXPECT_EQ(ToString(b), "cyrus");
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, ByteSpan(a.data(), 2)));
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += rng.NextExponential(3.0);
+  }
+  EXPECT_NEAR(sum / kTrials, 3.0, 0.1);
+}
+
+TEST(RngTest, GaussianHasRequestedMoments) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// --- Strings ---
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("/a", '/'), (std::vector<std::string>{"", "a"}));
+}
+
+TEST(StringsTest, Affixes) {
+  EXPECT_TRUE(StartsWith("meta-abc", "meta-"));
+  EXPECT_FALSE(StartsWith("abc", "meta-"));
+  EXPECT_TRUE(EndsWith("photo.jpg", ".jpg"));
+  EXPECT_FALSE(EndsWith("photo.jpg", ".png"));
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("t=", 2, " n=", 3), "t=2 n=3");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(40 * 1024 * 1024), "40.00 MB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(1.5), "1.500 s");
+}
+
+}  // namespace
+}  // namespace cyrus
