@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_erasure.dir/bench_fig12_erasure.cc.o"
+  "CMakeFiles/bench_fig12_erasure.dir/bench_fig12_erasure.cc.o.d"
+  "bench_fig12_erasure"
+  "bench_fig12_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_reliability.dir/bench_fig13_reliability.cc.o"
+  "CMakeFiles/bench_fig13_reliability.dir/bench_fig13_reliability.cc.o.d"
+  "bench_fig13_reliability"
+  "bench_fig13_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

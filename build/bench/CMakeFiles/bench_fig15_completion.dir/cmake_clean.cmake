@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_completion.dir/bench_fig15_completion.cc.o"
+  "CMakeFiles/bench_fig15_completion.dir/bench_fig15_completion.cc.o.d"
+  "bench_fig15_completion"
+  "bench_fig15_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_hourly.dir/bench_fig17_hourly.cc.o"
+  "CMakeFiles/bench_fig17_hourly.dir/bench_fig17_hourly.cc.o.d"
+  "bench_fig17_hourly"
+  "bench_fig17_hourly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_trial.dir/bench_fig19_trial.cc.o"
+  "CMakeFiles/bench_fig19_trial.dir/bench_fig19_trial.cc.o.d"
+  "bench_fig19_trial"
+  "bench_fig19_trial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_benchlib.dir/common.cc.o"
+  "CMakeFiles/cyrus_benchlib.dir/common.cc.o.d"
+  "libcyrus_benchlib.a"
+  "libcyrus_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cyrus_cli.dir/cyrus_cli.cpp.o"
+  "CMakeFiles/example_cyrus_cli.dir/cyrus_cli.cpp.o.d"
+  "example_cyrus_cli"
+  "example_cyrus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cyrus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_vendor.dir/multi_vendor.cpp.o"
+  "CMakeFiles/example_multi_vendor.dir/multi_vendor.cpp.o.d"
+  "example_multi_vendor"
+  "example_multi_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_photo_backup.dir/photo_backup.cpp.o"
+  "CMakeFiles/example_photo_backup.dir/photo_backup.cpp.o.d"
+  "example_photo_backup"
+  "example_photo_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_photo_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_provider_outage.dir/provider_outage.cpp.o"
+  "CMakeFiles/example_provider_outage.dir/provider_outage.cpp.o.d"
+  "example_provider_outage"
+  "example_provider_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_provider_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

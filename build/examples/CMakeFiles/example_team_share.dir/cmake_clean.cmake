@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_team_share.dir/team_share.cpp.o"
+  "CMakeFiles/example_team_share.dir/team_share.cpp.o.d"
+  "example_team_share"
+  "example_team_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_team_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("rs")
+subdirs("chunker")
+subdirs("opt")
+subdirs("net")
+subdirs("sim")
+subdirs("cloud")
+subdirs("rest")
+subdirs("meta")
+subdirs("core")
+subdirs("baseline")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_baseline.dir/depsky_client.cc.o"
+  "CMakeFiles/cyrus_baseline.dir/depsky_client.cc.o.d"
+  "CMakeFiles/cyrus_baseline.dir/schemes.cc.o"
+  "CMakeFiles/cyrus_baseline.dir/schemes.cc.o.d"
+  "libcyrus_baseline.a"
+  "libcyrus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunker/chunker.cc" "src/chunker/CMakeFiles/cyrus_chunker.dir/chunker.cc.o" "gcc" "src/chunker/CMakeFiles/cyrus_chunker.dir/chunker.cc.o.d"
+  "/root/repo/src/chunker/rabin.cc" "src/chunker/CMakeFiles/cyrus_chunker.dir/rabin.cc.o" "gcc" "src/chunker/CMakeFiles/cyrus_chunker.dir/rabin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_chunker.dir/chunker.cc.o"
+  "CMakeFiles/cyrus_chunker.dir/chunker.cc.o.d"
+  "CMakeFiles/cyrus_chunker.dir/rabin.cc.o"
+  "CMakeFiles/cyrus_chunker.dir/rabin.cc.o.d"
+  "libcyrus_chunker.a"
+  "libcyrus_chunker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_chunker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

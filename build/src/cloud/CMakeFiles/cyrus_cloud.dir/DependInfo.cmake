@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/availability.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/availability.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/availability.cc.o.d"
+  "/root/repo/src/cloud/bandwidth.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o.d"
+  "/root/repo/src/cloud/file_csp.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/file_csp.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/file_csp.cc.o.d"
+  "/root/repo/src/cloud/registry.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/registry.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/registry.cc.o.d"
+  "/root/repo/src/cloud/simulated_csp.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/simulated_csp.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/simulated_csp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_cloud.dir/availability.cc.o"
+  "CMakeFiles/cyrus_cloud.dir/availability.cc.o.d"
+  "CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o"
+  "CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o.d"
+  "CMakeFiles/cyrus_cloud.dir/file_csp.cc.o"
+  "CMakeFiles/cyrus_cloud.dir/file_csp.cc.o.d"
+  "CMakeFiles/cyrus_cloud.dir/registry.cc.o"
+  "CMakeFiles/cyrus_cloud.dir/registry.cc.o.d"
+  "CMakeFiles/cyrus_cloud.dir/simulated_csp.cc.o"
+  "CMakeFiles/cyrus_cloud.dir/simulated_csp.cc.o.d"
+  "libcyrus_cloud.a"
+  "libcyrus_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

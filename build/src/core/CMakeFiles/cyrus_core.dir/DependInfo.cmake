@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/cyrus_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/cyrus_core.dir/client.cc.o.d"
+  "/root/repo/src/core/hash_ring.cc" "src/core/CMakeFiles/cyrus_core.dir/hash_ring.cc.o" "gcc" "src/core/CMakeFiles/cyrus_core.dir/hash_ring.cc.o.d"
+  "/root/repo/src/core/local_cache.cc" "src/core/CMakeFiles/cyrus_core.dir/local_cache.cc.o" "gcc" "src/core/CMakeFiles/cyrus_core.dir/local_cache.cc.o.d"
+  "/root/repo/src/core/reliability.cc" "src/core/CMakeFiles/cyrus_core.dir/reliability.cc.o" "gcc" "src/core/CMakeFiles/cyrus_core.dir/reliability.cc.o.d"
+  "/root/repo/src/core/sync_service.cc" "src/core/CMakeFiles/cyrus_core.dir/sync_service.cc.o" "gcc" "src/core/CMakeFiles/cyrus_core.dir/sync_service.cc.o.d"
+  "/root/repo/src/core/transfer.cc" "src/core/CMakeFiles/cyrus_core.dir/transfer.cc.o" "gcc" "src/core/CMakeFiles/cyrus_core.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cyrus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/cyrus_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunker/CMakeFiles/cyrus_chunker.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cyrus_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cyrus_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/cyrus_meta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_core.dir/client.cc.o"
+  "CMakeFiles/cyrus_core.dir/client.cc.o.d"
+  "CMakeFiles/cyrus_core.dir/hash_ring.cc.o"
+  "CMakeFiles/cyrus_core.dir/hash_ring.cc.o.d"
+  "CMakeFiles/cyrus_core.dir/local_cache.cc.o"
+  "CMakeFiles/cyrus_core.dir/local_cache.cc.o.d"
+  "CMakeFiles/cyrus_core.dir/reliability.cc.o"
+  "CMakeFiles/cyrus_core.dir/reliability.cc.o.d"
+  "CMakeFiles/cyrus_core.dir/sync_service.cc.o"
+  "CMakeFiles/cyrus_core.dir/sync_service.cc.o.d"
+  "CMakeFiles/cyrus_core.dir/transfer.cc.o"
+  "CMakeFiles/cyrus_core.dir/transfer.cc.o.d"
+  "libcyrus_core.a"
+  "libcyrus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_crypto.dir/naming.cc.o"
+  "CMakeFiles/cyrus_crypto.dir/naming.cc.o.d"
+  "CMakeFiles/cyrus_crypto.dir/sha1.cc.o"
+  "CMakeFiles/cyrus_crypto.dir/sha1.cc.o.d"
+  "libcyrus_crypto.a"
+  "libcyrus_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

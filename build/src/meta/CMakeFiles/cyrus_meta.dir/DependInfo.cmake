@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/chunk_table.cc" "src/meta/CMakeFiles/cyrus_meta.dir/chunk_table.cc.o" "gcc" "src/meta/CMakeFiles/cyrus_meta.dir/chunk_table.cc.o.d"
+  "/root/repo/src/meta/metadata.cc" "src/meta/CMakeFiles/cyrus_meta.dir/metadata.cc.o" "gcc" "src/meta/CMakeFiles/cyrus_meta.dir/metadata.cc.o.d"
+  "/root/repo/src/meta/serialize.cc" "src/meta/CMakeFiles/cyrus_meta.dir/serialize.cc.o" "gcc" "src/meta/CMakeFiles/cyrus_meta.dir/serialize.cc.o.d"
+  "/root/repo/src/meta/version_tree.cc" "src/meta/CMakeFiles/cyrus_meta.dir/version_tree.cc.o" "gcc" "src/meta/CMakeFiles/cyrus_meta.dir/version_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cyrus_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

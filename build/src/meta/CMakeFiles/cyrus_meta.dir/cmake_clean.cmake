@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_meta.dir/chunk_table.cc.o"
+  "CMakeFiles/cyrus_meta.dir/chunk_table.cc.o.d"
+  "CMakeFiles/cyrus_meta.dir/metadata.cc.o"
+  "CMakeFiles/cyrus_meta.dir/metadata.cc.o.d"
+  "CMakeFiles/cyrus_meta.dir/serialize.cc.o"
+  "CMakeFiles/cyrus_meta.dir/serialize.cc.o.d"
+  "CMakeFiles/cyrus_meta.dir/version_tree.cc.o"
+  "CMakeFiles/cyrus_meta.dir/version_tree.cc.o.d"
+  "libcyrus_meta.a"
+  "libcyrus_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_net.dir/clustering.cc.o"
+  "CMakeFiles/cyrus_net.dir/clustering.cc.o.d"
+  "CMakeFiles/cyrus_net.dir/providers.cc.o"
+  "CMakeFiles/cyrus_net.dir/providers.cc.o.d"
+  "CMakeFiles/cyrus_net.dir/tcp_model.cc.o"
+  "CMakeFiles/cyrus_net.dir/tcp_model.cc.o.d"
+  "CMakeFiles/cyrus_net.dir/topology.cc.o"
+  "CMakeFiles/cyrus_net.dir/topology.cc.o.d"
+  "libcyrus_net.a"
+  "libcyrus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_opt.dir/download_selector.cc.o"
+  "CMakeFiles/cyrus_opt.dir/download_selector.cc.o.d"
+  "CMakeFiles/cyrus_opt.dir/lp.cc.o"
+  "CMakeFiles/cyrus_opt.dir/lp.cc.o.d"
+  "CMakeFiles/cyrus_opt.dir/milp.cc.o"
+  "CMakeFiles/cyrus_opt.dir/milp.cc.o.d"
+  "libcyrus_opt.a"
+  "libcyrus_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rest/http.cc" "src/rest/CMakeFiles/cyrus_rest.dir/http.cc.o" "gcc" "src/rest/CMakeFiles/cyrus_rest.dir/http.cc.o.d"
+  "/root/repo/src/rest/json.cc" "src/rest/CMakeFiles/cyrus_rest.dir/json.cc.o" "gcc" "src/rest/CMakeFiles/cyrus_rest.dir/json.cc.o.d"
+  "/root/repo/src/rest/oauth.cc" "src/rest/CMakeFiles/cyrus_rest.dir/oauth.cc.o" "gcc" "src/rest/CMakeFiles/cyrus_rest.dir/oauth.cc.o.d"
+  "/root/repo/src/rest/rest_connector.cc" "src/rest/CMakeFiles/cyrus_rest.dir/rest_connector.cc.o" "gcc" "src/rest/CMakeFiles/cyrus_rest.dir/rest_connector.cc.o.d"
+  "/root/repo/src/rest/rest_server.cc" "src/rest/CMakeFiles/cyrus_rest.dir/rest_server.cc.o" "gcc" "src/rest/CMakeFiles/cyrus_rest.dir/rest_server.cc.o.d"
+  "/root/repo/src/rest/xml.cc" "src/rest/CMakeFiles/cyrus_rest.dir/xml.cc.o" "gcc" "src/rest/CMakeFiles/cyrus_rest.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cyrus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cyrus_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

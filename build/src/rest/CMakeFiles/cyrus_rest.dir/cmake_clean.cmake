@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_rest.dir/http.cc.o"
+  "CMakeFiles/cyrus_rest.dir/http.cc.o.d"
+  "CMakeFiles/cyrus_rest.dir/json.cc.o"
+  "CMakeFiles/cyrus_rest.dir/json.cc.o.d"
+  "CMakeFiles/cyrus_rest.dir/oauth.cc.o"
+  "CMakeFiles/cyrus_rest.dir/oauth.cc.o.d"
+  "CMakeFiles/cyrus_rest.dir/rest_connector.cc.o"
+  "CMakeFiles/cyrus_rest.dir/rest_connector.cc.o.d"
+  "CMakeFiles/cyrus_rest.dir/rest_server.cc.o"
+  "CMakeFiles/cyrus_rest.dir/rest_server.cc.o.d"
+  "CMakeFiles/cyrus_rest.dir/xml.cc.o"
+  "CMakeFiles/cyrus_rest.dir/xml.cc.o.d"
+  "libcyrus_rest.a"
+  "libcyrus_rest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_rest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

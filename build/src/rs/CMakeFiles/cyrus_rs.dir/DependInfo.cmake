@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs/galois.cc" "src/rs/CMakeFiles/cyrus_rs.dir/galois.cc.o" "gcc" "src/rs/CMakeFiles/cyrus_rs.dir/galois.cc.o.d"
+  "/root/repo/src/rs/matrix.cc" "src/rs/CMakeFiles/cyrus_rs.dir/matrix.cc.o" "gcc" "src/rs/CMakeFiles/cyrus_rs.dir/matrix.cc.o.d"
+  "/root/repo/src/rs/secret_sharing.cc" "src/rs/CMakeFiles/cyrus_rs.dir/secret_sharing.cc.o" "gcc" "src/rs/CMakeFiles/cyrus_rs.dir/secret_sharing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cyrus_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_rs.dir/galois.cc.o"
+  "CMakeFiles/cyrus_rs.dir/galois.cc.o.d"
+  "CMakeFiles/cyrus_rs.dir/matrix.cc.o"
+  "CMakeFiles/cyrus_rs.dir/matrix.cc.o.d"
+  "CMakeFiles/cyrus_rs.dir/secret_sharing.cc.o"
+  "CMakeFiles/cyrus_rs.dir/secret_sharing.cc.o.d"
+  "libcyrus_rs.a"
+  "libcyrus_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cyrus_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cyrus_sim.dir/flow_network.cc.o"
+  "CMakeFiles/cyrus_sim.dir/flow_network.cc.o.d"
+  "libcyrus_sim.a"
+  "libcyrus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_util.dir/bytes.cc.o"
+  "CMakeFiles/cyrus_util.dir/bytes.cc.o.d"
+  "CMakeFiles/cyrus_util.dir/hex.cc.o"
+  "CMakeFiles/cyrus_util.dir/hex.cc.o.d"
+  "CMakeFiles/cyrus_util.dir/rng.cc.o"
+  "CMakeFiles/cyrus_util.dir/rng.cc.o.d"
+  "CMakeFiles/cyrus_util.dir/status.cc.o"
+  "CMakeFiles/cyrus_util.dir/status.cc.o.d"
+  "CMakeFiles/cyrus_util.dir/strings.cc.o"
+  "CMakeFiles/cyrus_util.dir/strings.cc.o.d"
+  "CMakeFiles/cyrus_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cyrus_util.dir/thread_pool.cc.o.d"
+  "libcyrus_util.a"
+  "libcyrus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_selector_test.dir/download_selector_test.cc.o"
+  "CMakeFiles/download_selector_test.dir/download_selector_test.cc.o.d"
+  "download_selector_test"
+  "download_selector_test.pdb"
+  "download_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_csp_test.dir/file_csp_test.cc.o"
+  "CMakeFiles/file_csp_test.dir/file_csp_test.cc.o.d"
+  "file_csp_test"
+  "file_csp_test.pdb"
+  "file_csp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_csp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
