@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/cyrus_benchlib.dir/DependInfo.cmake"
   "/root/repo/build/src/baseline/CMakeFiles/cyrus_baseline.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/cyrus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/cyrus_repair.dir/DependInfo.cmake"
   "/root/repo/build/src/chunker/CMakeFiles/cyrus_chunker.dir/DependInfo.cmake"
   "/root/repo/build/src/opt/CMakeFiles/cyrus_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/meta/CMakeFiles/cyrus_meta.dir/DependInfo.cmake"

@@ -263,8 +263,9 @@ bench/CMakeFiles/bench_fig17_hourly.dir/bench_fig17_hourly.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/opt/download_selector.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/retry.h \
+ /root/repo/src/opt/download_selector.h \
+ /root/repo/src/repair/repair_engine.h /root/repo/src/util/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -243,8 +243,9 @@ bench/CMakeFiles/bench_fig19_trial.dir/bench_fig19_trial.cc.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/opt/download_selector.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/util/retry.h \
+ /root/repo/src/opt/download_selector.h \
+ /root/repo/src/repair/repair_engine.h /root/repo/src/util/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -239,8 +239,9 @@ examples/CMakeFiles/example_multi_vendor.dir/multi_vendor.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/opt/download_selector.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/retry.h \
+ /root/repo/src/opt/download_selector.h \
+ /root/repo/src/repair/repair_engine.h /root/repo/src/util/thread_pool.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \

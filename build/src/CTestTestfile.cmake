@@ -15,4 +15,5 @@ subdirs("cloud")
 subdirs("rest")
 subdirs("meta")
 subdirs("core")
+subdirs("repair")
 subdirs("baseline")

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cloud/availability.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/availability.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/availability.cc.o.d"
   "/root/repo/src/cloud/bandwidth.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o.d"
+  "/root/repo/src/cloud/fault_injection.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/fault_injection.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/fault_injection.cc.o.d"
   "/root/repo/src/cloud/file_csp.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/file_csp.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/file_csp.cc.o.d"
   "/root/repo/src/cloud/registry.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/registry.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/registry.cc.o.d"
   "/root/repo/src/cloud/simulated_csp.cc" "src/cloud/CMakeFiles/cyrus_cloud.dir/simulated_csp.cc.o" "gcc" "src/cloud/CMakeFiles/cyrus_cloud.dir/simulated_csp.cc.o.d"

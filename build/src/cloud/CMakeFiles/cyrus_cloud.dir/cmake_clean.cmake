@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cyrus_cloud.dir/availability.cc.o.d"
   "CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o"
   "CMakeFiles/cyrus_cloud.dir/bandwidth.cc.o.d"
+  "CMakeFiles/cyrus_cloud.dir/fault_injection.cc.o"
+  "CMakeFiles/cyrus_cloud.dir/fault_injection.cc.o.d"
   "CMakeFiles/cyrus_cloud.dir/file_csp.cc.o"
   "CMakeFiles/cyrus_cloud.dir/file_csp.cc.o.d"
   "CMakeFiles/cyrus_cloud.dir/registry.cc.o"

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/opt/CMakeFiles/cyrus_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/cloud/CMakeFiles/cyrus_cloud.dir/DependInfo.cmake"
   "/root/repo/build/src/meta/CMakeFiles/cyrus_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/cyrus_repair.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -137,12 +137,12 @@ src/core/CMakeFiles/cyrus_core.dir/transfer.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/crypto/sha1.h \
- /root/repo/src/util/bytes.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /root/repo/src/util/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/cloud/connector.h /root/repo/src/util/bytes.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /root/repo/src/util/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
@@ -215,4 +215,5 @@ src/core/CMakeFiles/cyrus_core.dir/transfer.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/crypto/sha1.h \
+ /root/repo/src/util/retry.h /root/repo/src/util/rng.h

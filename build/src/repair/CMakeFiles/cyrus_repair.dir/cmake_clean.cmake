@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyrus_repair.dir/repair_engine.cc.o"
+  "CMakeFiles/cyrus_repair.dir/repair_engine.cc.o.d"
+  "libcyrus_repair.a"
+  "libcyrus_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyrus_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

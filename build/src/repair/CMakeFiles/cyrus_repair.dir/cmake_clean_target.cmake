@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcyrus_repair.a"
+)

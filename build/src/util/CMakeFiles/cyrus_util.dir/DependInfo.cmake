@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/bytes.cc" "src/util/CMakeFiles/cyrus_util.dir/bytes.cc.o" "gcc" "src/util/CMakeFiles/cyrus_util.dir/bytes.cc.o.d"
   "/root/repo/src/util/hex.cc" "src/util/CMakeFiles/cyrus_util.dir/hex.cc.o" "gcc" "src/util/CMakeFiles/cyrus_util.dir/hex.cc.o.d"
+  "/root/repo/src/util/retry.cc" "src/util/CMakeFiles/cyrus_util.dir/retry.cc.o" "gcc" "src/util/CMakeFiles/cyrus_util.dir/retry.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/cyrus_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/cyrus_util.dir/rng.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/cyrus_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/cyrus_util.dir/status.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/cyrus_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/cyrus_util.dir/strings.cc.o.d"

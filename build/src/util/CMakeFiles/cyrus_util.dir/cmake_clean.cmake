@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cyrus_util.dir/bytes.cc.o.d"
   "CMakeFiles/cyrus_util.dir/hex.cc.o"
   "CMakeFiles/cyrus_util.dir/hex.cc.o.d"
+  "CMakeFiles/cyrus_util.dir/retry.cc.o"
+  "CMakeFiles/cyrus_util.dir/retry.cc.o.d"
   "CMakeFiles/cyrus_util.dir/rng.cc.o"
   "CMakeFiles/cyrus_util.dir/rng.cc.o.d"
   "CMakeFiles/cyrus_util.dir/status.cc.o"

@@ -297,7 +297,8 @@ tests/CMakeFiles/baseline_test.dir/baseline_test.cc.o: \
  /root/repo/src/util/bytes.h /usr/include/c++/12/span \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
  /root/repo/src/cloud/registry.h /root/repo/src/core/transfer.h \
- /root/repo/src/crypto/sha1.h /root/repo/src/util/rng.h \
- /root/repo/src/baseline/schemes.h /root/repo/src/cloud/simulated_csp.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h
+ /root/repo/src/crypto/sha1.h /root/repo/src/util/retry.h \
+ /root/repo/src/util/rng.h /root/repo/src/baseline/schemes.h \
+ /root/repo/src/cloud/simulated_csp.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -308,10 +308,12 @@ tests/CMakeFiles/bench_common_test.dir/bench_common_test.cc.o: \
  /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h /root/repo/src/meta/chunk_table.h \
  /root/repo/src/meta/version_tree.h /root/repo/src/meta/metadata.h \
- /root/repo/src/core/transfer.h /root/repo/src/opt/download_selector.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/core/transfer.h /root/repo/src/util/retry.h \
+ /root/repo/src/opt/download_selector.h \
+ /root/repo/src/repair/repair_engine.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -296,4 +296,6 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /root/repo/src/core/hash_ring.h /root/repo/src/crypto/sha1.h \
  /root/repo/src/util/bytes.h /usr/include/c++/12/span \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/core/reliability.h /root/repo/src/core/transfer.h
+ /root/repo/src/core/reliability.h /root/repo/src/core/transfer.h \
+ /root/repo/src/cloud/connector.h /root/repo/src/util/retry.h \
+ /root/repo/src/util/rng.h

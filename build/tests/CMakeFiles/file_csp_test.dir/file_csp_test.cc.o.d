@@ -310,7 +310,8 @@ tests/CMakeFiles/file_csp_test.dir/file_csp_test.cc.o: \
  /root/repo/src/crypto/sha1.h /root/repo/src/core/local_cache.h \
  /root/repo/src/meta/chunk_table.h /root/repo/src/meta/version_tree.h \
  /root/repo/src/meta/metadata.h /root/repo/src/core/transfer.h \
- /root/repo/src/opt/download_selector.h /root/repo/src/util/thread_pool.h \
+ /root/repo/src/util/retry.h /root/repo/src/opt/download_selector.h \
+ /root/repo/src/repair/repair_engine.h /root/repo/src/util/thread_pool.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

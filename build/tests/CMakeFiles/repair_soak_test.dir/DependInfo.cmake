@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repair_soak_test.cc" "tests/CMakeFiles/repair_soak_test.dir/repair_soak_test.cc.o" "gcc" "tests/CMakeFiles/repair_soak_test.dir/repair_soak_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyrus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cyrus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/cyrus_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunker/CMakeFiles/cyrus_chunker.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cyrus_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cyrus_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/cyrus_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cyrus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/cyrus_repair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_soak_test.dir/repair_soak_test.cc.o"
+  "CMakeFiles/repair_soak_test.dir/repair_soak_test.cc.o.d"
+  "repair_soak_test"
+  "repair_soak_test.pdb"
+  "repair_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -293,7 +293,10 @@ tests/CMakeFiles/util_test.dir/util_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/util/bytes.h /usr/include/c++/12/span \
  /root/repo/src/util/hex.h /root/repo/src/util/result.h \
- /root/repo/src/util/status.h /root/repo/src/util/rng.h \
- /root/repo/src/util/strings.h
+ /root/repo/src/util/status.h /root/repo/src/util/retry.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/strings.h

@@ -20,9 +20,11 @@ include("/root/repo/build/tests/matrix_test[1]_include.cmake")
 include("/root/repo/build/tests/meta_test[1]_include.cmake")
 include("/root/repo/build/tests/model_fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/repair_test[1]_include.cmake")
 include("/root/repo/build/tests/rest_test[1]_include.cmake")
 include("/root/repo/build/tests/secret_sharing_test[1]_include.cmake")
 include("/root/repo/build/tests/sync_service_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
 include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/repair_soak_test[1]_include.cmake")

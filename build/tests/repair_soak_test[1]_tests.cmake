@@ -1,0 +1,3 @@
+add_test([=[RepairSoakTest.NoDataLossUnderSeededFaultSchedule]=]  /root/repo/build/tests/repair_soak_test [==[--gtest_filter=RepairSoakTest.NoDataLossUnderSeededFaultSchedule]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[RepairSoakTest.NoDataLossUnderSeededFaultSchedule]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS soak)
+set(  repair_soak_test_TESTS RepairSoakTest.NoDataLossUnderSeededFaultSchedule)

@@ -1,0 +1,146 @@
+#include "src/cloud/fault_injection.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+
+FaultInjectingConnector::FaultInjectingConnector(
+    std::shared_ptr<CloudConnector> inner, FaultInjectionOptions options)
+    : inner_(std::move(inner)),
+      options_(options),
+      rng_(options.seed),
+      down_(options.permanently_down) {}
+
+Status FaultInjectingConnector::RollFaults(bool allow_transient) {
+  ++counters_.calls;
+  if (options_.latency_mean_ms > 0.0) {
+    counters_.injected_latency_ms += rng_.NextExponential(options_.latency_mean_ms);
+  }
+  if (down_) {
+    ++counters_.outage_errors;
+    return UnavailableError(StrCat(inner_->id(), ": injected permanent outage"));
+  }
+  if (allow_transient && options_.transient_error_prob > 0.0 &&
+      rng_.NextBool(options_.transient_error_prob)) {
+    ++counters_.transient_errors;
+    return UnavailableError(StrCat(inner_->id(), ": injected transient error"));
+  }
+  return OkStatus();
+}
+
+Status FaultInjectingConnector::Authenticate(const Credentials& credentials) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (down_) {
+      ++counters_.outage_errors;
+      return UnavailableError(StrCat(inner_->id(), ": injected permanent outage"));
+    }
+  }
+  return inner_->Authenticate(credentials);
+}
+
+Result<std::vector<ObjectInfo>> FaultInjectingConnector::List(
+    std::string_view prefix) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+  }
+  return inner_->List(prefix);
+}
+
+Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+    if (options_.upload_loss_prob > 0.0 && rng_.NextBool(options_.upload_loss_prob)) {
+      ++counters_.uploads_lost;
+      return OkStatus();  // the silent part of silent loss
+    }
+  }
+  return inner_->Upload(name, data);
+}
+
+Result<Bytes> FaultInjectingConnector::Download(std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+  }
+  return inner_->Download(name);
+}
+
+Status FaultInjectingConnector::Delete(std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+  }
+  return inner_->Delete(name);
+}
+
+void FaultInjectingConnector::set_permanently_down(bool down) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  down_ = down;
+}
+
+bool FaultInjectingConnector::permanently_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return down_;
+}
+
+Status FaultInjectingConnector::DestroyObject(std::string_view name) {
+  // Bypasses the fault dice: this models provider-side loss, not a client
+  // call, so it must succeed even during an outage.
+  auto listing = inner_->List(name);
+  CYRUS_RETURN_IF_ERROR(listing.status());
+  bool found = false;
+  for (const ObjectInfo& object : *listing) {
+    found |= object.name == name;
+  }
+  if (!found) {
+    return NotFoundError(StrCat(inner_->id(), ": no object ", name));
+  }
+  CYRUS_RETURN_IF_ERROR(inner_->Delete(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.objects_destroyed;
+  return OkStatus();
+}
+
+Result<size_t> FaultInjectingConnector::DestroyRandomObjects(double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return InvalidArgumentError(StrCat("loss fraction ", fraction, " not in [0, 1]"));
+  }
+  auto listing = inner_->List("");
+  CYRUS_RETURN_IF_ERROR(listing.status());
+  std::vector<std::string> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ObjectInfo& object : *listing) {
+      if (rng_.NextBool(fraction)) {
+        victims.push_back(object.name);
+      }
+    }
+  }
+  size_t destroyed = 0;
+  for (const std::string& name : victims) {
+    if (inner_->Delete(name).ok()) {
+      ++destroyed;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.objects_destroyed += destroyed;
+  return destroyed;
+}
+
+FaultInjectionCounters FaultInjectingConnector::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void FaultInjectingConnector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = FaultInjectionCounters{};
+}
+
+}  // namespace cyrus

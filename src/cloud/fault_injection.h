@@ -1,0 +1,106 @@
+// A fault-injecting decorator over any CloudConnector.
+//
+// Wraps a real or simulated provider and misbehaves on purpose, so the
+// repair engine, the lazy-migration path, and the retry logic can be
+// exercised under realistic CSP failure modes without touching the wrapped
+// store's implementation:
+//   - transient errors: individual calls fail with kUnavailable (the next
+//     attempt may succeed) with a configured probability;
+//   - permanent outage: every call fails with kUnavailable until revived;
+//   - latency: per-call exponentially distributed virtual latency is
+//     accumulated in a counter (CYRUS runs on a virtual clock; benches add
+//     it to the flow simulator's pre-delay rather than sleeping);
+//   - silent object loss: an Upload reports success but stores nothing, or
+//     already-stored objects vanish without any error ever being returned -
+//     the failure mode only a scrub pass can catch.
+//
+// All randomness flows through one seeded Rng (src/util/rng.h), so every
+// fault schedule is reproducible. Thread-safe: connectors are called from
+// the client's transfer pool.
+#ifndef SRC_CLOUD_FAULT_INJECTION_H_
+#define SRC_CLOUD_FAULT_INJECTION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cloud/connector.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+  // Probability that any one List/Upload/Download/Delete call fails with
+  // kUnavailable. Authenticate is exempt (session setup is interactive and
+  // retried by the user, not the transfer paths).
+  double transient_error_prob = 0.0;
+  // Probability that an Upload silently discards the object while still
+  // reporting success.
+  double upload_loss_prob = 0.0;
+  // Mean of the exponential per-call latency draw, in milliseconds; 0
+  // disables the draw. Accumulated, never slept.
+  double latency_mean_ms = 0.0;
+  // Start in the permanent-outage state.
+  bool permanently_down = false;
+};
+
+struct FaultInjectionCounters {
+  uint64_t calls = 0;               // forwarded or failed, excluding Authenticate
+  uint64_t transient_errors = 0;    // injected kUnavailable (transient)
+  uint64_t outage_errors = 0;       // injected kUnavailable (permanent outage)
+  uint64_t uploads_lost = 0;        // silently dropped uploads
+  uint64_t objects_destroyed = 0;   // stored objects silently removed
+  double injected_latency_ms = 0.0;
+};
+
+class FaultInjectingConnector : public CloudConnector {
+ public:
+  FaultInjectingConnector(std::shared_ptr<CloudConnector> inner,
+                          FaultInjectionOptions options);
+
+  // CloudConnector:
+  std::string_view id() const override { return inner_->id(); }
+  Status Authenticate(const Credentials& credentials) override;
+  Result<std::vector<ObjectInfo>> List(std::string_view prefix) override;
+  Status Upload(std::string_view name, ByteSpan data) override;
+  Result<Bytes> Download(std::string_view name) override;
+  Status Delete(std::string_view name) override;
+
+  // --- Fault controls (not part of the connector surface) ---
+
+  // Permanent outage: every call (including Authenticate) fails with
+  // kUnavailable until revived.
+  void set_permanently_down(bool down);
+  bool permanently_down() const;
+
+  // Silently removes the named object from the wrapped store (no error is
+  // ever surfaced to the owner). kNotFound if absent.
+  Status DestroyObject(std::string_view name);
+
+  // Silently removes a seeded-random `fraction` of the stored objects -
+  // what a provider-side data-loss incident looks like from the client.
+  // Returns how many objects were destroyed.
+  Result<size_t> DestroyRandomObjects(double fraction);
+
+  FaultInjectionCounters counters() const;
+  void ResetCounters();
+
+  CloudConnector& inner() { return *inner_; }
+
+ private:
+  // Rolls the outage/transient/latency dice for one call; returns the
+  // injected failure or OK to forward. Requires mutex_ held.
+  Status RollFaults(bool allow_transient);
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<CloudConnector> inner_;
+  FaultInjectionOptions options_;
+  Rng rng_;
+  bool down_;
+  FaultInjectionCounters counters_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CLOUD_FAULT_INJECTION_H_

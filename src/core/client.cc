@@ -92,6 +92,19 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   if (config_.transfer_concurrency > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.transfer_concurrency);
   }
+  RepairContext repair_context;
+  repair_context.key_string = &config_.key_string;
+  repair_context.registry = &registry_;
+  repair_context.ring = &ring_;
+  repair_context.chunk_table = &chunk_table_;
+  repair_context.monitor = &monitor_;
+  repair_context.pool = pool_.get();
+  repair_context.cluster_aware = config_.cluster_aware;
+  repair_context.t = config_.t;
+  repair_context.now = [this] { return now_; };
+  repair_context.mark_csp_failed = [this](int csp) { return MarkCspFailed(csp); };
+  repair_context.current_n = [this] { return CurrentN(); };
+  repair_ = std::make_unique<RepairEngine>(std::move(repair_context), config_.repair);
 }
 
 Result<std::unique_ptr<CyrusClient>> CyrusClient::Create(CyrusConfig config) {
@@ -174,7 +187,12 @@ Status CyrusClient::MarkCspRecovered(int csp) {
   CYRUS_RETURN_IF_ERROR(registry_.SetState(csp, CspState::kActive));
   CYRUS_ASSIGN_OR_RETURN(std::string name, registry_.name(csp));
   CYRUS_ASSIGN_OR_RETURN(CspProfile profile, registry_.profile(csp));
-  return ring_.AddCsp(csp, name, profile.cluster);
+  CYRUS_RETURN_IF_ERROR(ring_.AddCsp(csp, name, profile.cluster));
+  // ShareLocations naming this CSP predate the outage; the provider may
+  // have lost objects while down, so they must be re-verified by a scrub
+  // pass before the reliability accounting trusts them again.
+  repair_->FlagCspForReprobe(csp);
+  return OkStatus();
 }
 
 Status CyrusClient::AssignClusters(const std::vector<int>& cluster_per_csp) {
@@ -234,10 +252,21 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   // distinct, so the parallel requests never race on a provider decision;
   // connectors themselves are thread-safe.
   std::vector<Status> first_pass(n, InternalError("no upload attempted"));
+  std::vector<TransferReport> first_pass_reports(n);
   auto upload_share = [&](size_t i) {
     const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
     auto conn = registry_.connector(placement[i]);
-    first_pass[i] = conn.ok() ? (*conn)->Upload(object, shares[i].data) : conn.status();
+    if (!conn.ok()) {
+      first_pass[i] = conn.status();
+      first_pass_reports[i].records.push_back(TransferRecord{
+          TransferKind::kPut, placement[i], object, shares[i].data.size(), false});
+      return;
+    }
+    // Transient errors are retried in place before the failover path below
+    // re-places the share on a different CSP.
+    first_pass[i] =
+        UploadWithRetry(**conn, TransferKind::kPut, placement[i], object,
+                        shares[i].data, config_.transfer_retry, first_pass_reports[i]);
   };
   if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(n, upload_share);
@@ -263,8 +292,7 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
     int target = placement[i];
     Status upload = first_pass[i];
-    report.records.push_back(TransferRecord{TransferKind::kPut, target, object,
-                                            shares[i].data.size(), upload.ok()});
+    report.Append(first_pass_reports[i]);
     if (upload.ok()) {
       monitor_.RecordProbe(target, now_, true);
       used.push_back(target);
@@ -302,9 +330,8 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
         continue;
       }
       CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
-      upload = conn->Upload(object, shares[i].data);
-      report.records.push_back(TransferRecord{TransferKind::kPut, target, object,
-                                              shares[i].data.size(), upload.ok()});
+      upload = UploadWithRetry(*conn, TransferKind::kPut, target, object,
+                               shares[i].data, config_.transfer_retry, report);
       if (upload.ok()) {
         monitor_.RecordProbe(target, now_, true);
         used.push_back(target);
@@ -364,9 +391,15 @@ Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
                                          InternalError("not fetched"));
       pool_->ParallelFor(to_fetch.size(), [&](size_t k) {
         auto conn = registry_.connector(to_fetch[k]->csp);
-        results[k] = conn.ok() ? (*conn)->Download(ShareName(
-                                     chunk.id, to_fetch[k]->share_index, chunk.t))
-                               : Result<Bytes>(conn.status());
+        if (!conn.ok()) {
+          results[k] = conn.status();
+          return;
+        }
+        // Journaled once by try_download when the result is consumed.
+        results[k] = RetryWithBackoff(config_.transfer_retry, [&]() -> Result<Bytes> {
+          return (*conn)->Download(ShareName(chunk.id, to_fetch[k]->share_index,
+                                             chunk.t));
+        });
       });
       for (size_t k = 0; k < to_fetch.size(); ++k) {
         prefetched.emplace(to_fetch[k]->csp, std::move(results[k]));
@@ -386,16 +419,17 @@ Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
     if (auto hit = prefetched.find(loc.csp); hit != prefetched.end()) {
       data = std::move(hit->second);
       prefetched.erase(hit);
+      report.records.push_back(TransferRecord{
+          TransferKind::kGet, loc.csp, object,
+          data.ok() ? data->size() : uint64_t{0}, data.ok()});
     } else {
       auto conn = registry_.connector(loc.csp);
       if (!conn.ok()) {
         return false;
       }
-      data = (*conn)->Download(object);
+      data = DownloadWithRetry(**conn, TransferKind::kGet, loc.csp, object,
+                               config_.transfer_retry, report);
     }
-    report.records.push_back(TransferRecord{
-        TransferKind::kGet, loc.csp, object,
-        data.ok() ? data->size() : uint64_t{0}, data.ok()});
     if (!data.ok()) {
       // Only connectivity failures indict the CSP; a missing object is a
       // metadata staleness problem, not an outage.
@@ -468,9 +502,8 @@ Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
         auto conn = registry_.connector(loc.csp);
         if (fresh.ok() && conn.ok()) {
           const std::string object = ShareName(chunk.id, bad_index, chunk.t);
-          Status repaired = (*conn)->Upload(object, fresh->data);
-          report.records.push_back(TransferRecord{TransferKind::kPut, loc.csp, object,
-                                                  fresh->data.size(), repaired.ok()});
+          (void)UploadWithRetry(**conn, TransferKind::kPut, loc.csp, object,
+                                fresh->data, config_.transfer_retry, report);
         }
         break;
       }
@@ -504,9 +537,8 @@ Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
     const int target = replacement->front();
     CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
     const std::string object = ShareName(chunk.id, new_index, chunk.t);
-    Status upload = conn->Upload(object, fresh.data);
-    report.records.push_back(TransferRecord{TransferKind::kPut, target, object,
-                                            fresh.data.size(), upload.ok()});
+    Status upload = UploadWithRetry(*conn, TransferKind::kPut, target, object,
+                                    fresh.data, config_.transfer_retry, report);
     if (!upload.ok()) {
       (void)MarkCspFailed(target);
       continue;
@@ -556,9 +588,8 @@ Status CyrusClient::UploadMetadata(const FileVersion& version, TransferReport& r
       continue;
     }
     const std::string object = MetaShareName(base, shares[i].index, generation);
-    Status upload = (*conn)->Upload(object, shares[i].data);
-    report.records.push_back(TransferRecord{TransferKind::kPutMeta, csp, object,
-                                            shares[i].data.size(), upload.ok()});
+    Status upload = UploadWithRetry(**conn, TransferKind::kPutMeta, csp, object,
+                                    shares[i].data, config_.transfer_retry, report);
     if (!upload.ok()) {
       if (upload.code() == StatusCode::kUnavailable ||
           upload.code() == StatusCode::kPermissionDenied) {
@@ -572,7 +603,8 @@ Status CyrusClient::UploadMetadata(const FileVersion& version, TransferReport& r
     // share object from an earlier upload under a *different* index. A
     // reader mixing that stale share with fresh ones would decode garbage;
     // make each CSP hold exactly its assigned share.
-    auto existing = (*conn)->List(base);
+    auto existing = RetryWithBackoff(config_.transfer_retry,
+                                     [&] { return (*conn)->List(base); });
     if (existing.ok()) {
       for (const ObjectInfo& stale : *existing) {
         if (stale.name != object) {
@@ -600,7 +632,8 @@ Result<FileVersion> CyrusClient::FetchMetadata(const std::string& base,
     if (!conn.ok()) {
       continue;
     }
-    auto listing = (*conn)->List(base);
+    auto listing = RetryWithBackoff(config_.transfer_retry,
+                                    [&] { return (*conn)->List(base); });
     if (!listing.ok()) {
       (void)MarkCspFailed(csp);
       continue;
@@ -642,10 +675,8 @@ Result<FileVersion> CyrusClient::FetchMetadata(const std::string& base,
         continue;
       }
       const std::string object = MetaShareName(base, index, generation);
-      auto data = (*conn)->Download(object);
-      report.records.push_back(TransferRecord{TransferKind::kGetMeta, csp, object,
-                                              data.ok() ? data->size() : uint64_t{0},
-                                              data.ok()});
+      auto data = DownloadWithRetry(**conn, TransferKind::kGetMeta, csp, object,
+                                    config_.transfer_retry, report);
       if (!data.ok()) {
         (void)MarkCspFailed(csp);
         continue;
@@ -781,7 +812,8 @@ Result<std::vector<Conflict>> CyrusClient::SyncMetadata() {
     if (!conn.ok()) {
       continue;
     }
-    auto listing = (*conn)->List("meta-");
+    auto listing = RetryWithBackoff(config_.transfer_retry,
+                                    [&] { return (*conn)->List("meta-"); });
     if (!listing.ok()) {
       (void)MarkCspFailed(csp);
       continue;
@@ -1141,6 +1173,54 @@ Status CyrusClient::RebalanceMetadata() {
   }
   return OkStatus();
 }
+
+Result<ScrubReport> CyrusClient::ScrubOnce() {
+  CYRUS_ASSIGN_OR_RETURN(ScrubReport report, repair_->ScrubOnce());
+  if (report.repaired_chunks.empty()) {
+    return report;
+  }
+  // The engine rewrote the chunk table; fold each repaired chunk's new
+  // locations into every version referencing it and republish that
+  // version's metadata so other clients find the rebuilt shares (the same
+  // contract lazy migration honors in GetVersion).
+  const std::set<Sha1Digest> repaired(report.repaired_chunks.begin(),
+                                      report.repaired_chunks.end());
+  for (const FileVersion* version : tree_.AllVersions()) {
+    std::set<Sha1Digest> affected;
+    for (const ChunkRecord& chunk : version->chunks) {
+      if (repaired.count(chunk.id) > 0) {
+        affected.insert(chunk.id);
+      }
+    }
+    if (affected.empty()) {
+      continue;
+    }
+    std::vector<ShareLocation> merged;
+    for (const ShareLocation& loc : version->shares) {
+      if (affected.count(loc.chunk_id) == 0) {
+        merged.push_back(loc);
+      }
+    }
+    for (const Sha1Digest& chunk_id : affected) {
+      const ChunkEntry* entry = chunk_table_.Find(chunk_id);
+      if (entry == nullptr) {
+        continue;  // evicted between repair and republish; keep old rows out
+      }
+      for (const ChunkShare& share : entry->shares) {
+        merged.push_back(ShareLocation{chunk_id, share.share_index, share.csp});
+      }
+    }
+    const Sha1Digest version_id = version->id;
+    CYRUS_RETURN_IF_ERROR(tree_.UpdateShareLocations(version_id, std::move(merged)));
+    const FileVersion* refreshed = tree_.Find(version_id);
+    TransferReport meta_report;
+    CYRUS_RETURN_IF_ERROR(UploadMetadata(*refreshed, meta_report));
+    report.transfer.Append(meta_report);
+  }
+  return report;
+}
+
+std::vector<ChunkHealth> CyrusClient::ScrubScan() { return repair_->Scan(); }
 
 Status CyrusClient::Delete(std::string_view name) {
   const Sha1Digest parent = ParentFor(name);

@@ -34,7 +34,9 @@
 #include "src/meta/chunk_table.h"
 #include "src/meta/version_tree.h"
 #include "src/opt/download_selector.h"
+#include "src/repair/repair_engine.h"
 #include "src/util/result.h"
+#include "src/util/retry.h"
 #include "src/util/thread_pool.h"
 
 namespace cyrus {
@@ -74,6 +76,14 @@ struct CyrusConfig {
   // Concurrent connector calls per scatter/gather phase (the prototype's
   // dedicated transfer threads, paper §5.3). 1 = fully synchronous.
   uint32_t transfer_concurrency = 4;
+
+  // Transient-failure retry for share and metadata transfers (capped
+  // exponential backoff + jitter). max_attempts = 1 disables retries.
+  RetryOptions transfer_retry;
+
+  // Knobs for the proactive scrub & repair engine (bandwidth budget,
+  // per-pass repair cap).
+  RepairEngineOptions repair;
 };
 
 struct FileListing {
@@ -154,6 +164,27 @@ class CyrusClient {
   // metadata reliability immediately (paper §5.5: "shares of the file
   // metadata can be stored at the new CSP ... if the user wishes").
   Status RebalanceMetadata();
+
+  // --- Proactive scrub & repair (background complement to §5.5) ---
+
+  // One scrub pass: probes share health at every active CSP (one List
+  // each), repairs degraded chunks worst-first within the configured
+  // bandwidth budget, then folds the new share locations into every
+  // affected version's ShareMap and republishes its metadata so other
+  // clients find them. Run this periodically; lazy migration still covers
+  // whatever a pass defers.
+  Result<ScrubReport> ScrubOnce();
+
+  // Health of every tracked chunk, degraded first, without repairing.
+  std::vector<ChunkHealth> ScrubScan();
+
+  RepairEngine& repair_engine() { return *repair_; }
+  const RepairStats& repair_stats() const { return repair_->stats(); }
+
+  // CSPs whose shares await re-verification because they returned from an
+  // outage that may have lost objects (see MarkCspRecovered); cleared by
+  // the next ScrubOnce.
+  std::vector<int> csps_pending_reprobe() const { return repair_->pending_reprobe(); }
 
   // --- Multi-client synchronization ---
 
@@ -247,6 +278,8 @@ class CyrusClient {
   std::unique_ptr<DownloadSelector> selector_;
   // Transfer worker threads (null when transfer_concurrency == 1).
   std::unique_ptr<ThreadPool> pool_;
+  // Proactive scrub & repair over the chunk table (src/repair).
+  std::unique_ptr<RepairEngine> repair_;
   // Metadata object base names this client has already ingested.
   std::set<std::string> known_meta_bases_;
   double now_ = 0.0;

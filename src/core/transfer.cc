@@ -1,6 +1,41 @@
 #include "src/core/transfer.h"
 
+#include <functional>
+
 namespace cyrus {
+namespace {
+
+// Distinct jitter stream per object without threading extra state through.
+RetryOptions MixSeed(const RetryOptions& options, const std::string& object) {
+  RetryOptions mixed = options;
+  mixed.seed ^= std::hash<std::string>{}(object);
+  return mixed;
+}
+
+}  // namespace
+
+Status UploadWithRetry(CloudConnector& connector, TransferKind kind, int csp,
+                       const std::string& object, ByteSpan data,
+                       const RetryOptions& options, TransferReport& report) {
+  return RetryWithBackoff(MixSeed(options, object), [&] {
+    Status upload = connector.Upload(object, data);
+    report.records.push_back(
+        TransferRecord{kind, csp, object, data.size(), upload.ok()});
+    return upload;
+  });
+}
+
+Result<Bytes> DownloadWithRetry(CloudConnector& connector, TransferKind kind, int csp,
+                                const std::string& object, const RetryOptions& options,
+                                TransferReport& report) {
+  return RetryWithBackoff(MixSeed(options, object), [&]() -> Result<Bytes> {
+    Result<Bytes> data = connector.Download(object);
+    report.records.push_back(TransferRecord{kind, csp, object,
+                                            data.ok() ? data->size() : uint64_t{0},
+                                            data.ok()});
+    return data;
+  });
+}
 
 std::string_view TransferKindName(TransferKind kind) {
   switch (kind) {

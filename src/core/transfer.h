@@ -20,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "src/cloud/connector.h"
 #include "src/crypto/sha1.h"
 #include "src/util/result.h"
+#include "src/util/retry.h"
 
 namespace cyrus {
 
@@ -48,6 +50,19 @@ struct TransferReport {
   size_t CountOf(TransferKind kind) const;
   void Append(const TransferReport& other);
 };
+
+// Connector calls with transient-failure retry (capped exponential backoff
+// + jitter, src/util/retry.h) and per-attempt journaling: every attempt -
+// including the failed ones - is appended to `report`, so benches see the
+// true request pattern a retrying client generates. The retry seed is mixed
+// with the object name so concurrent transfers draw distinct jitter
+// streams. Backoff delays are virtual (counted, not slept).
+Status UploadWithRetry(CloudConnector& connector, TransferKind kind, int csp,
+                       const std::string& object, ByteSpan data,
+                       const RetryOptions& options, TransferReport& report);
+Result<Bytes> DownloadWithRetry(CloudConnector& connector, TransferKind kind, int csp,
+                                const std::string& object, const RetryOptions& options,
+                                TransferReport& report);
 
 // Aggregates share-level events into chunk- and file-level completion.
 class TransferAggregator {

@@ -83,6 +83,32 @@ Status ChunkTable::AddShare(const Sha1Digest& chunk_id, ChunkShare share) {
   return OkStatus();
 }
 
+Status ChunkTable::RemoveShare(const Sha1Digest& chunk_id, int32_t csp,
+                               uint32_t share_index) {
+  auto it = entries_.find(chunk_id);
+  if (it == entries_.end()) {
+    return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not tracked"));
+  }
+  std::vector<ChunkShare>& shares = it->second.shares;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].csp == csp && shares[i].share_index == share_index) {
+      shares.erase(shares.begin() + i);
+      return OkStatus();
+    }
+  }
+  return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " has no share ",
+                              share_index, " on CSP ", csp));
+}
+
+std::vector<Sha1Digest> ChunkTable::AllChunkIds() const {
+  std::vector<Sha1Digest> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
 std::vector<Sha1Digest> ChunkTable::ChunksOnCsp(int32_t csp) const {
   std::vector<Sha1Digest> out;
   for (const auto& [id, entry] : entries_) {

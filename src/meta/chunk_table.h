@@ -54,6 +54,14 @@ class ChunkTable {
   // Adds a share location (e.g. a regenerated share with a fresh index).
   Status AddShare(const Sha1Digest& chunk_id, ChunkShare share);
 
+  // Drops a share location without a replacement - scrub prunes locations
+  // on dead CSPs once the chunk is back at full redundancy. kNotFound if
+  // the (csp, index) pair is not recorded.
+  Status RemoveShare(const Sha1Digest& chunk_id, int32_t csp, uint32_t share_index);
+
+  // Chunk ids in table order (scrub scans the whole table).
+  std::vector<Sha1Digest> AllChunkIds() const;
+
   // Chunk ids that have a share on the given CSP.
   std::vector<Sha1Digest> ChunksOnCsp(int32_t csp) const;
 

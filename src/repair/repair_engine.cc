@@ -1,0 +1,487 @@
+#include "src/repair/repair_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/crypto/naming.h"
+#include "src/rs/secret_sharing.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+// Same decoder bound as the client: dispersal rows are a deterministic
+// prefix for fixed (key, t), so a codec built with the maximum n handles
+// shares produced under any stored n.
+constexpr uint32_t kMaxShares = 255;
+
+// Failover attempts per rebuilt share before giving up on this pass.
+constexpr int kPlacementAttempts = 3;
+
+}  // namespace
+
+RepairEngine::RepairEngine(RepairContext context, RepairEngineOptions options)
+    : context_(std::move(context)), options_(std::move(options)) {}
+
+void RepairEngine::Fold(const RepairStats& delta) {
+  stats_.scrub_passes += delta.scrub_passes;
+  stats_.chunks_scanned += delta.chunks_scanned;
+  stats_.chunks_degraded += delta.chunks_degraded;
+  stats_.chunks_repaired += delta.chunks_repaired;
+  stats_.chunks_unrepairable += delta.chunks_unrepairable;
+  stats_.chunks_deferred += delta.chunks_deferred;
+  stats_.shares_rebuilt += delta.shares_rebuilt;
+  stats_.shares_pruned += delta.shares_pruned;
+  stats_.bytes_moved += delta.bytes_moved;
+  stats_.probe_failures += delta.probe_failures;
+}
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+RepairEngine::ProbeSnapshot RepairEngine::ProbeInternal(RepairStats& delta) {
+  ProbeSnapshot snapshot;
+  if (context_.registry == nullptr) {
+    return snapshot;
+  }
+  const std::vector<int> active = context_.registry->ActiveIndices();
+  std::vector<Result<std::vector<ObjectInfo>>> listings(
+      active.size(), Result<std::vector<ObjectInfo>>(InternalError("not probed")));
+  auto probe_one = [&](size_t i) {
+    auto conn = context_.registry->connector(active[i]);
+    if (!conn.ok()) {
+      listings[i] = conn.status();
+      return;
+    }
+    listings[i] = RetryWithBackoff(options_.retry,
+                                   [&] { return (*conn)->List(""); });
+  };
+  if (context_.pool != nullptr && active.size() > 1) {
+    context_.pool->ParallelFor(active.size(), probe_one);
+  } else {
+    for (size_t i = 0; i < active.size(); ++i) {
+      probe_one(i);
+    }
+  }
+  // Bookkeeping is sequential: registry/ring/monitor mutation is not
+  // thread-safe and probe results must land before classification.
+  for (size_t i = 0; i < active.size(); ++i) {
+    const int csp = active[i];
+    if (!listings[i].ok()) {
+      ++delta.probe_failures;
+      snapshot.unreachable.push_back(csp);
+      if (context_.mark_csp_failed) {
+        (void)context_.mark_csp_failed(csp);
+      }
+      continue;
+    }
+    if (context_.monitor != nullptr && context_.now) {
+      context_.monitor->RecordProbe(csp, context_.now(), true);
+    }
+    auto& names = snapshot.objects_by_csp[csp];
+    for (const ObjectInfo& object : *listings[i]) {
+      names.insert(object.name);
+    }
+  }
+  return snapshot;
+}
+
+RepairEngine::ProbeSnapshot RepairEngine::Probe() {
+  RepairStats delta;
+  ProbeSnapshot snapshot = ProbeInternal(delta);
+  Fold(delta);
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+uint32_t RepairEngine::TargetN(const ChunkEntry& entry) const {
+  const size_t feasible = context_.cluster_aware
+                              ? context_.registry->NumActiveClusters()
+                              : context_.registry->ActiveIndices().size();
+  uint32_t target = 0;
+  if (context_.current_n) {
+    if (auto n = context_.current_n(); n.ok()) {
+      target = *n;
+    }
+  }
+  if (target == 0) {
+    target = static_cast<uint32_t>(feasible);  // Eq. (1) infeasible: degrade
+  }
+  target = std::max(target, entry.t);
+  target = std::min<uint32_t>(target, static_cast<uint32_t>(feasible));
+  return std::min(target, kMaxShares);
+}
+
+ChunkHealth RepairEngine::Classify(const Sha1Digest& chunk_id, const ChunkEntry& entry,
+                                   const ProbeSnapshot& snapshot,
+                                   std::vector<ChunkShare>& dead) const {
+  ChunkHealth health;
+  health.chunk_id = chunk_id;
+  health.size = entry.size;
+  health.t = entry.t;
+  health.n_target = TargetN(entry);
+  for (const ChunkShare& share : entry.shares) {
+    auto state = context_.registry->state(share.csp);
+    const bool active = state.ok() && *state == CspState::kActive;
+    bool live = active;
+    if (active) {
+      // Trust the location only when the probe saw the object; a listed
+      // CSP missing the object is silent loss, and an active CSP absent
+      // from the snapshot was unreachable when probed.
+      auto listed = snapshot.objects_by_csp.find(share.csp);
+      live = listed != snapshot.objects_by_csp.end() &&
+             listed->second.count(ShareName(chunk_id, share.share_index, entry.t)) > 0;
+    }
+    if (live) {
+      ++health.live_shares;
+    } else {
+      ++health.dead_locations;
+      dead.push_back(share);
+    }
+  }
+  return health;
+}
+
+std::vector<ChunkHealth> RepairEngine::ScanInternal(
+    const ProbeSnapshot& snapshot, RepairStats& delta,
+    std::map<Sha1Digest, std::vector<ChunkShare>>* dead_by_chunk) {
+  std::vector<ChunkHealth> health;
+  if (context_.chunk_table == nullptr) {
+    return health;
+  }
+  for (const Sha1Digest& chunk_id : context_.chunk_table->AllChunkIds()) {
+    const ChunkEntry* entry = context_.chunk_table->Find(chunk_id);
+    if (entry == nullptr) {
+      continue;
+    }
+    std::vector<ChunkShare> dead;
+    health.push_back(Classify(chunk_id, *entry, snapshot, dead));
+    ++delta.chunks_scanned;
+    if (health.back().degraded()) {
+      ++delta.chunks_degraded;
+      if (dead_by_chunk != nullptr) {
+        (*dead_by_chunk)[chunk_id] = std::move(dead);
+      }
+    }
+  }
+  // Worst first: smallest margin above t (data-loss proximity), then most
+  // missing redundancy, then largest chunk (more bytes at risk).
+  std::stable_sort(health.begin(), health.end(),
+                   [](const ChunkHealth& a, const ChunkHealth& b) {
+                     if (a.degraded() != b.degraded()) {
+                       return a.degraded();
+                     }
+                     if (a.margin() != b.margin()) {
+                       return a.margin() < b.margin();
+                     }
+                     if (a.missing() != b.missing()) {
+                       return a.missing() > b.missing();
+                     }
+                     return a.size > b.size;
+                   });
+  return health;
+}
+
+std::vector<ChunkHealth> RepairEngine::Scan() {
+  RepairStats delta;
+  ProbeSnapshot snapshot = ProbeInternal(delta);
+  std::vector<ChunkHealth> health = ScanInternal(snapshot, delta, nullptr);
+  Fold(delta);
+  return health;
+}
+
+// ---------------------------------------------------------------------------
+// Repair
+// ---------------------------------------------------------------------------
+
+Status RepairEngine::RepairChunk(const ChunkHealth& health,
+                                 const std::vector<ChunkShare>& dead,
+                                 uint64_t* budget_left, ScrubReport& report,
+                                 RepairStats& delta) {
+  const Sha1Digest& chunk_id = health.chunk_id;
+  const ChunkEntry* entry = context_.chunk_table->Find(chunk_id);
+  if (entry == nullptr) {
+    return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " vanished mid-scrub"));
+  }
+  const uint32_t t = entry->t;
+  const uint64_t share_bytes = ShareSize(entry->size, t);
+
+  // Live locations = table locations minus the scan's dead list.
+  auto is_dead = [&](const ChunkShare& share) {
+    for (const ChunkShare& d : dead) {
+      if (d.csp == share.csp && d.share_index == share.share_index) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<ChunkShare> live;
+  uint32_t max_index = 0;
+  for (const ChunkShare& share : entry->shares) {
+    max_index = std::max(max_index, share.share_index);
+    if (!is_dead(share)) {
+      live.push_back(share);
+    }
+  }
+  if (live.size() < t) {
+    return DataLossError(StrCat("chunk ", chunk_id.ToHex(), ": only ", live.size(),
+                                " of t=", t, " shares live"));
+  }
+  const uint32_t missing = health.missing();
+
+  // Pre-flight the budget on the expected traffic (t downloads + the new
+  // uploads); deduct actuals as transfers land.
+  if (budget_left != nullptr &&
+      *budget_left < share_bytes * (t + uint64_t{missing})) {
+    return ResourceExhaustedError(
+        StrCat("chunk ", chunk_id.ToHex(), " deferred: bandwidth budget spent"));
+  }
+  auto spend = [&](uint64_t bytes) {
+    delta.bytes_moved += bytes;
+    if (budget_left != nullptr) {
+      *budget_left -= std::min(*budget_left, bytes);
+    }
+  };
+
+  // Gather t surviving shares, first t live locations concurrently on the
+  // shared pool, stragglers sequentially if some of those fail under us.
+  const size_t first_wave = std::min<size_t>(live.size(), t);
+  std::vector<Result<Bytes>> fetched(first_wave,
+                                     Result<Bytes>(InternalError("not fetched")));
+  std::vector<TransferReport> wave_reports(first_wave);
+  auto fetch_one = [&](size_t i) {
+    auto conn = context_.registry->connector(live[i].csp);
+    if (!conn.ok()) {
+      fetched[i] = conn.status();
+      return;
+    }
+    fetched[i] = DownloadWithRetry(**conn, TransferKind::kGet, live[i].csp,
+                                   ShareName(chunk_id, live[i].share_index, t),
+                                   options_.retry, wave_reports[i]);
+  };
+  if (context_.pool != nullptr && first_wave > 1) {
+    context_.pool->ParallelFor(first_wave, fetch_one);
+  } else {
+    for (size_t i = 0; i < first_wave; ++i) {
+      fetch_one(i);
+    }
+  }
+  std::vector<Share> shares;
+  for (size_t i = 0; i < first_wave; ++i) {
+    report.transfer.Append(wave_reports[i]);
+    if (fetched[i].ok()) {
+      spend(fetched[i]->size());
+      shares.push_back(Share{live[i].share_index, *std::move(fetched[i])});
+    } else if (fetched[i].status().code() == StatusCode::kUnavailable &&
+               context_.mark_csp_failed) {
+      (void)context_.mark_csp_failed(live[i].csp);
+    }
+  }
+  for (size_t i = first_wave; i < live.size() && shares.size() < t; ++i) {
+    auto conn = context_.registry->connector(live[i].csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    auto data = DownloadWithRetry(**conn, TransferKind::kGet, live[i].csp,
+                                  ShareName(chunk_id, live[i].share_index, t),
+                                  options_.retry, report.transfer);
+    if (data.ok()) {
+      spend(data->size());
+      shares.push_back(Share{live[i].share_index, *std::move(data)});
+    } else if (data.status().code() == StatusCode::kUnavailable &&
+               context_.mark_csp_failed) {
+      (void)context_.mark_csp_failed(live[i].csp);
+    }
+  }
+  if (shares.size() < t) {
+    return DataLossError(StrCat("chunk ", chunk_id.ToHex(), ": only ", shares.size(),
+                                " of t=", t, " shares reachable"));
+  }
+
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec codec,
+      SecretSharingCodec::Create(*context_.key_string, t, kMaxShares));
+  CYRUS_ASSIGN_OR_RETURN(Bytes data, codec.Decode(shares, entry->size));
+  if (Sha1::Hash(data) != chunk_id) {
+    // Bit rot slipped past the probe (List sees names, not bytes). Pull
+    // every live share and run the error-correcting decode, then overwrite
+    // the corrupted shares in place.
+    for (size_t i = first_wave; i < live.size(); ++i) {
+      auto conn = context_.registry->connector(live[i].csp);
+      if (!conn.ok()) {
+        continue;
+      }
+      auto extra = DownloadWithRetry(**conn, TransferKind::kGet, live[i].csp,
+                                     ShareName(chunk_id, live[i].share_index, t),
+                                     options_.retry, report.transfer);
+      if (extra.ok()) {
+        spend(extra->size());
+        shares.push_back(Share{live[i].share_index, *std::move(extra)});
+      }
+    }
+    auto corrected = codec.DecodeWithErrorCorrection(shares, entry->size);
+    if (!corrected.ok() || Sha1::Hash(corrected->chunk) != chunk_id) {
+      return DataLossError(StrCat("chunk ", chunk_id.ToHex(),
+                                  " failed integrity check during scrub"));
+    }
+    data = std::move(corrected->chunk);
+    for (uint32_t bad_index : corrected->corrupted_indices) {
+      for (const ChunkShare& loc : live) {
+        if (loc.share_index != bad_index) {
+          continue;
+        }
+        auto fresh = codec.EncodeShare(data, bad_index);
+        auto conn = context_.registry->connector(loc.csp);
+        if (fresh.ok() && conn.ok()) {
+          const std::string object = ShareName(chunk_id, bad_index, t);
+          if (UploadWithRetry(**conn, TransferKind::kPut, loc.csp, object,
+                              fresh->data, options_.retry, report.transfer)
+                  .ok()) {
+            spend(fresh->data.size());
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Re-encode the missing redundancy at fresh indices and place it through
+  // the ring, never on a CSP already holding a live share.
+  std::vector<ChunkShare> dead_left = dead;
+  std::vector<int> exclude;
+  for (const ChunkShare& share : live) {
+    exclude.push_back(share.csp);
+  }
+  uint32_t rebuilt = 0;
+  for (uint32_t k = 0; k < missing; ++k) {
+    const uint32_t new_index = ++max_index;
+    if (new_index >= kMaxShares) {
+      break;
+    }
+    CYRUS_ASSIGN_OR_RETURN(Share fresh, codec.EncodeShare(data, new_index));
+    bool placed = false;
+    for (int attempt = 0; attempt < kPlacementAttempts && !placed; ++attempt) {
+      auto replacement = context_.ring->SelectCspsExcluding(chunk_id, 1, exclude);
+      if (!replacement.ok()) {
+        break;  // no CSP left to hold this share
+      }
+      const int target = replacement->front();
+      auto conn = context_.registry->connector(target);
+      if (!conn.ok()) {
+        exclude.push_back(target);
+        continue;
+      }
+      const std::string object = ShareName(chunk_id, new_index, t);
+      Status upload = UploadWithRetry(**conn, TransferKind::kPut, target, object,
+                                      fresh.data, options_.retry, report.transfer);
+      if (!upload.ok()) {
+        if (upload.code() == StatusCode::kUnavailable && context_.mark_csp_failed) {
+          (void)context_.mark_csp_failed(target);
+        }
+        exclude.push_back(target);
+        continue;
+      }
+      spend(fresh.data.size());
+      exclude.push_back(target);
+      if (context_.monitor != nullptr && context_.now) {
+        context_.monitor->RecordProbe(target, context_.now(), true);
+      }
+      // Each rebuilt share supersedes one dead location; extras beyond the
+      // dead list widen the scatter to the new target n.
+      if (!dead_left.empty()) {
+        const ChunkShare old = dead_left.back();
+        dead_left.pop_back();
+        CYRUS_RETURN_IF_ERROR(context_.chunk_table->MoveShare(
+            chunk_id, old.csp, old.share_index, target, new_index));
+      } else {
+        CYRUS_RETURN_IF_ERROR(context_.chunk_table->AddShare(
+            chunk_id, ChunkShare{new_index, target}));
+      }
+      ++rebuilt;
+      placed = true;
+    }
+    if (!placed) {
+      break;  // capacity exhausted; the rest stays degraded until CSPs return
+    }
+  }
+  delta.shares_rebuilt += rebuilt;
+
+  // Once the chunk is back at target, the leftover dead locations are
+  // stale bookkeeping (their CSPs are gone or their objects vanished);
+  // prune them so the next scan sees a clean entry.
+  const uint32_t live_now = static_cast<uint32_t>(live.size()) + rebuilt;
+  if (live_now >= health.n_target) {
+    for (const ChunkShare& old : dead_left) {
+      if (context_.chunk_table->RemoveShare(chunk_id, old.csp, old.share_index).ok()) {
+        ++delta.shares_pruned;
+      }
+    }
+    return OkStatus();
+  }
+  return FailedPreconditionError(
+      StrCat("chunk ", chunk_id.ToHex(), ": restored ", live_now, " of target ",
+             health.n_target, " shares; active CSP set too small"));
+}
+
+Result<ScrubReport> RepairEngine::ScrubOnce() {
+  if (context_.chunk_table == nullptr || context_.registry == nullptr ||
+      context_.ring == nullptr || context_.key_string == nullptr) {
+    return FailedPreconditionError("repair engine context is incomplete");
+  }
+  ScrubReport report;
+  RepairStats& delta = report.stats;
+  delta.scrub_passes = 1;
+
+  ProbeSnapshot snapshot = ProbeInternal(delta);
+  std::map<Sha1Digest, std::vector<ChunkShare>> dead_by_chunk;
+  std::vector<ChunkHealth> health = ScanInternal(snapshot, delta, &dead_by_chunk);
+
+  uint64_t budget = options_.bandwidth_budget_bytes;
+  uint64_t* budget_left = options_.bandwidth_budget_bytes > 0 ? &budget : nullptr;
+  uint32_t repairs = 0;
+  for (const ChunkHealth& chunk : health) {
+    if (!chunk.degraded()) {
+      break;  // sorted: every degraded chunk precedes the healthy ones
+    }
+    if (options_.max_repairs_per_pass > 0 && repairs >= options_.max_repairs_per_pass) {
+      ++delta.chunks_deferred;
+      report.unrepaired.push_back(chunk);
+      continue;
+    }
+    Status repaired =
+        RepairChunk(chunk, dead_by_chunk[chunk.chunk_id], budget_left, report, delta);
+    if (repaired.ok()) {
+      ++delta.chunks_repaired;
+      ++repairs;
+      report.repaired_chunks.push_back(chunk.chunk_id);
+      continue;
+    }
+    report.unrepaired.push_back(chunk);
+    switch (repaired.code()) {
+      case StatusCode::kResourceExhausted:
+        ++delta.chunks_deferred;
+        break;
+      case StatusCode::kDataLoss:
+        ++delta.chunks_unrepairable;
+        break;
+      default:
+        ++delta.chunks_deferred;  // capacity shortfall: retry when CSPs return
+        break;
+    }
+  }
+  pending_reprobe_.clear();
+  Fold(delta);
+  return report;
+}
+
+void RepairEngine::FlagCspForReprobe(int csp) { pending_reprobe_.insert(csp); }
+
+std::vector<int> RepairEngine::pending_reprobe() const {
+  return std::vector<int>(pending_reprobe_.begin(), pending_reprobe_.end());
+}
+
+}  // namespace cyrus

@@ -1,0 +1,191 @@
+// Proactive scrub & repair (the background complement to paper §5.5).
+//
+// CYRUS as published repairs shares only *lazily*: a chunk whose share sits
+// on a failed or removed CSP is re-scattered the next time someone happens
+// to Get it, so cold data silently decays below the reliability target n
+// chosen by Eq. (1). The RepairEngine closes that gap with a scrub pass a
+// client (or a background service) runs periodically:
+//
+//   1. Probe   - one List per active CSP builds a snapshot of which share
+//                objects actually exist where; unreachable CSPs are marked
+//                failed through the owning client.
+//   2. Scan    - every ChunkTable entry is classified against the snapshot.
+//                A share location is *dead* when its CSP is failed/removed
+//                or the object has silently vanished; a chunk is *degraded*
+//                when it has dead locations or fewer live shares than the
+//                current Eq.-1 target n.
+//   3. Repair  - degraded chunks are repaired worst-first (smallest margin
+//                above t, then most missing redundancy, then largest): t
+//                surviving shares are gathered, the chunk is decoded with
+//                the keyed RS codec, fresh shares at new indices are
+//                encoded and placed through the HashRing on CSPs not yet
+//                holding one, and the ChunkTable is updated. Transfers run
+//                on the shared ThreadPool; a per-pass bandwidth budget and
+//                repair cap bound the traffic a scrub may add.
+//
+// The engine mutates the chunk table but never file metadata; the owning
+// CyrusClient republishes metadata for versions whose chunks moved (see
+// CyrusClient::ScrubOnce).
+#ifndef SRC_REPAIR_REPAIR_ENGINE_H_
+#define SRC_REPAIR_REPAIR_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cloud/availability.h"
+#include "src/cloud/registry.h"
+#include "src/core/hash_ring.h"
+#include "src/core/transfer.h"
+#include "src/meta/chunk_table.h"
+#include "src/util/result.h"
+#include "src/util/retry.h"
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+
+struct RepairEngineOptions {
+  // Most chunks repaired per ScrubOnce pass; 0 = unlimited. The rest stay
+  // degraded and are picked up by the next pass (they remain sorted, so the
+  // worst chunks always go first).
+  uint32_t max_repairs_per_pass = 0;
+  // Share bytes (downloaded + uploaded) one pass may move; 0 = unlimited.
+  // Repair competes with foreground traffic for the same links, so
+  // production deployments cap it.
+  uint64_t bandwidth_budget_bytes = 0;
+  // Transient-failure retry for probe and repair transfers.
+  RetryOptions retry;
+};
+
+// Monotonic counters over the engine's lifetime.
+struct RepairStats {
+  uint64_t scrub_passes = 0;
+  uint64_t chunks_scanned = 0;
+  uint64_t chunks_degraded = 0;
+  uint64_t chunks_repaired = 0;     // back to the pass's target n
+  uint64_t chunks_unrepairable = 0; // fewer than t live shares reachable
+  uint64_t chunks_deferred = 0;     // budget or repair cap hit
+  uint64_t shares_rebuilt = 0;      // fresh shares encoded and uploaded
+  uint64_t shares_pruned = 0;       // stale dead locations dropped
+  uint64_t bytes_moved = 0;         // share bytes downloaded + uploaded
+  uint64_t probe_failures = 0;      // List calls that failed (after retry)
+};
+
+// One chunk's health as seen by a scan.
+struct ChunkHealth {
+  Sha1Digest chunk_id;
+  uint64_t size = 0;
+  uint32_t t = 0;
+  uint32_t n_target = 0;     // what this pass would restore the chunk to
+  uint32_t live_shares = 0;
+  uint32_t dead_locations = 0;
+
+  // Shares above the reconstruction threshold; <= 0 means one more loss
+  // destroys data.
+  int margin() const { return static_cast<int>(live_shares) - static_cast<int>(t); }
+  uint32_t missing() const {
+    return n_target > live_shares ? n_target - live_shares : 0;
+  }
+  bool degraded() const { return dead_locations > 0 || live_shares < n_target; }
+};
+
+struct ScrubReport {
+  RepairStats stats;         // this pass's deltas (not lifetime totals)
+  TransferReport transfer;   // every repair transfer, for the flow simulator
+  std::vector<Sha1Digest> repaired_chunks;
+  std::vector<ChunkHealth> unrepaired;  // still degraded after the pass
+};
+
+// Everything the engine borrows from the owning client. Raw pointers: the
+// client owns both the engine and the pointees, and the engine never
+// outlives it. `pool` may be null (transfers run synchronously). The
+// callbacks route state changes through the client so registry, ring, and
+// monitor stay consistent.
+struct RepairContext {
+  const std::string* key_string = nullptr;
+  CspRegistry* registry = nullptr;
+  HashRing* ring = nullptr;
+  ChunkTable* chunk_table = nullptr;
+  AvailabilityMonitor* monitor = nullptr;
+  ThreadPool* pool = nullptr;
+  bool cluster_aware = false;
+  uint32_t t = 0;                              // config threshold (metadata fallback)
+  std::function<double()> now;
+  std::function<Status(int)> mark_csp_failed;
+  std::function<Result<uint32_t>()> current_n;  // Eq. (1) for the active set
+};
+
+class RepairEngine {
+ public:
+  RepairEngine(RepairContext context, RepairEngineOptions options);
+
+  // Which share objects exist on which active CSP (one List per CSP).
+  struct ProbeSnapshot {
+    // Active CSP index -> names of every object it holds.
+    std::map<int, std::set<std::string, std::less<>>> objects_by_csp;
+    // Active CSPs whose List failed even after retries; they are marked
+    // failed before the scan classifies shares.
+    std::vector<int> unreachable;
+  };
+  ProbeSnapshot Probe();
+
+  // Probe + classify without repairing; degraded chunks first, worst
+  // first. Cheap enough to drive dashboards ("how far below n is my cold
+  // data?").
+  std::vector<ChunkHealth> Scan();
+
+  // One full scrub pass: probe, scan, repair in priority order until done
+  // or the pass budget is exhausted.
+  Result<ScrubReport> ScrubOnce();
+
+  // Flags a CSP whose shares must be re-verified before being trusted -
+  // the client calls this when a CSP returns from an outage, since objects
+  // may have been lost while it was down. Cleared by the next ScrubOnce.
+  void FlagCspForReprobe(int csp);
+  std::vector<int> pending_reprobe() const;
+
+  const RepairStats& stats() const { return stats_; }
+  const RepairEngineOptions& options() const { return options_; }
+  void set_options(RepairEngineOptions options) { options_ = options; }
+
+ private:
+  // The pass's restoration target for a chunk: Eq. (1)'s n clamped to what
+  // the active CSP set can actually hold (one share per CSP / cluster),
+  // never below the chunk's t when that many CSPs exist.
+  uint32_t TargetN(const ChunkEntry& entry) const;
+
+  // Probe/scan with stats accumulated into `delta` (public Probe/Scan wrap
+  // these and fold into the lifetime counters).
+  ProbeSnapshot ProbeInternal(RepairStats& delta);
+  std::vector<ChunkHealth> ScanInternal(
+      const ProbeSnapshot& snapshot, RepairStats& delta,
+      std::map<Sha1Digest, std::vector<ChunkShare>>* dead_by_chunk);
+
+  // Classifies one chunk against the snapshot; fills `dead` with the
+  // locations found dead.
+  ChunkHealth Classify(const Sha1Digest& chunk_id, const ChunkEntry& entry,
+                       const ProbeSnapshot& snapshot,
+                       std::vector<ChunkShare>& dead) const;
+
+  // Repairs one degraded chunk, journaling transfers into `report` and
+  // counters into `delta`; decrements `*budget_left` by the bytes moved
+  // (budget_left == nullptr means unlimited). Returns OK when the chunk is
+  // back at its target n, kResourceExhausted when the pass budget blocked
+  // it, kDataLoss when fewer than t live shares were reachable, and
+  // kFailedPrecondition when the active CSP set cannot hold the target.
+  Status RepairChunk(const ChunkHealth& health, const std::vector<ChunkShare>& dead,
+                     uint64_t* budget_left, ScrubReport& report, RepairStats& delta);
+
+  void Fold(const RepairStats& delta);
+
+  RepairContext context_;
+  RepairEngineOptions options_;
+  RepairStats stats_;
+  std::set<int> pending_reprobe_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_REPAIR_REPAIR_ENGINE_H_

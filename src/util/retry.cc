@@ -1,0 +1,31 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+
+namespace cyrus {
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+RetryBackoff::RetryBackoff(const RetryOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      next_base_ms_(options.initial_backoff_ms) {
+  options_.max_attempts = std::max<uint32_t>(options_.max_attempts, 1);
+  options_.multiplier = std::max(options_.multiplier, 1.0);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+}
+
+double RetryBackoff::NextDelayMs() {
+  ++attempts_;
+  const double base = std::min(next_base_ms_, options_.max_backoff_ms);
+  next_base_ms_ = std::min(next_base_ms_ * options_.multiplier,
+                           options_.max_backoff_ms);
+  if (options_.jitter <= 0.0) {
+    return base;
+  }
+  return base * rng_.NextDouble(1.0 - options_.jitter, 1.0 + options_.jitter);
+}
+
+}  // namespace cyrus

@@ -1,0 +1,92 @@
+// Capped exponential backoff with deterministic jitter for transient
+// connector failures.
+//
+// A single transient error from a CSP (a dropped connection, a 5xx) should
+// not fail a whole share transfer; production clients retry a bounded
+// number of times before escalating to the failover path. Backoff delays
+// grow exponentially up to a cap and are jittered by a seeded Rng
+// (src/util/rng.h) so retries from many clients decorrelate while every
+// test run stays reproducible. Delays are *reported*, not slept: CYRUS runs
+// on a virtual clock, so the caller decides whether a delay means a real
+// sleep, a simulated-time advance, or nothing at all.
+#ifndef SRC_UTIL_RETRY_H_
+#define SRC_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+struct RetryOptions {
+  // Total tries including the first; 1 disables retries entirely.
+  uint32_t max_attempts = 3;
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 1000.0;
+  double multiplier = 2.0;
+  // Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter).
+  double jitter = 0.5;
+  // Seeds the jitter stream; callers mix in a per-object value when they
+  // want distinct streams per transfer.
+  uint64_t seed = 0x52455452;  // "RETR"
+};
+
+// Only connectivity failures are worth retrying: the provider may answer
+// the next attempt. Quota, auth, and missing-object errors are stable until
+// something else changes, and retrying them just burns the budget.
+bool IsRetryableStatus(const Status& status);
+
+// The delay sequence of one retry session.
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(const RetryOptions& options);
+
+  // Whether another attempt is allowed (attempts so far < max_attempts).
+  bool ShouldRetry() const { return attempts_ < options_.max_attempts; }
+
+  // Jittered delay before the next attempt, in milliseconds; advances the
+  // attempt counter.
+  double NextDelayMs();
+
+  uint32_t attempts() const { return attempts_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  double next_base_ms_;
+  uint32_t attempts_ = 1;  // the first attempt has no preceding delay
+};
+
+// Status extraction for RetryWithBackoff (Status and Result<T> spell it
+// differently).
+inline const Status& GetRetryStatus(const Status& status) { return status; }
+template <typename T>
+const Status& GetRetryStatus(const Result<T>& result) {
+  return result.status();
+}
+
+// Runs `op` until it succeeds, returns a non-retryable error, or the
+// attempt budget is spent. `on_backoff(delay_ms)` fires between attempts
+// (pass {} to ignore delays). Works for ops returning Status or Result<T>.
+template <typename Op>
+auto RetryWithBackoff(const RetryOptions& options, Op&& op,
+                      const std::function<void(double)>& on_backoff = {})
+    -> decltype(op()) {
+  RetryBackoff backoff(options);
+  auto result = op();
+  while (!result.ok() && IsRetryableStatus(GetRetryStatus(result)) &&
+         backoff.ShouldRetry()) {
+    const double delay_ms = backoff.NextDelayMs();
+    if (on_backoff) {
+      on_backoff(delay_ms);
+    }
+    result = op();
+  }
+  return result;
+}
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_RETRY_H_

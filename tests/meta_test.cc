@@ -329,6 +329,31 @@ TEST(ChunkTableTest, AddShareRejectsDuplicateIndex) {
             StatusCode::kAlreadyExists);
 }
 
+TEST(ChunkTableTest, RemoveShare) {
+  ChunkTable table;
+  ChunkEntry entry;
+  entry.shares = {{0, 5}, {1, 6}};
+  ASSERT_TRUE(table.Insert(Id("c"), entry).ok());
+  ASSERT_TRUE(table.RemoveShare(Id("c"), 5, 0).ok());
+  ASSERT_EQ(table.Find(Id("c"))->shares.size(), 1u);
+  EXPECT_EQ(table.Find(Id("c"))->shares[0].csp, 6);
+  // Gone already; and the other share only matches on both csp and index.
+  EXPECT_EQ(table.RemoveShare(Id("c"), 5, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.RemoveShare(Id("c"), 6, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.RemoveShare(Id("missing"), 6, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(ChunkTableTest, AllChunkIds) {
+  ChunkTable table;
+  EXPECT_TRUE(table.AllChunkIds().empty());
+  ASSERT_TRUE(table.Insert(Id("a"), ChunkEntry{}).ok());
+  ASSERT_TRUE(table.Insert(Id("b"), ChunkEntry{}).ok());
+  std::vector<Sha1Digest> ids = table.AllChunkIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE((ids[0] == Id("a") && ids[1] == Id("b")) ||
+              (ids[0] == Id("b") && ids[1] == Id("a")));
+}
+
 TEST(ChunkTableTest, ChunksOnCsp) {
   ChunkTable table;
   ChunkEntry on_zero;

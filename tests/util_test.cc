@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/util/bytes.h"
 #include "src/util/hex.h"
 #include "src/util/result.h"
+#include "src/util/retry.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/strings.h"
@@ -257,6 +259,128 @@ TEST(StringsTest, HumanBytes) {
 
 TEST(StringsTest, HumanSeconds) {
   EXPECT_EQ(HumanSeconds(1.5), "1.500 s");
+}
+
+// --- Retry ---
+
+TEST(RetryTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryableStatus(UnavailableError("link dropped")));
+  EXPECT_FALSE(IsRetryableStatus(OkStatus()));
+  EXPECT_FALSE(IsRetryableStatus(NotFoundError("gone")));
+  EXPECT_FALSE(IsRetryableStatus(PermissionDeniedError("bad token")));
+  EXPECT_FALSE(IsRetryableStatus(ResourceExhaustedError("quota")));
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutBackoff) {
+  int calls = 0;
+  int delays = 0;
+  Status s = RetryWithBackoff(
+      RetryOptions{}, [&] { ++calls; return OkStatus(); },
+      [&](double) { ++delays; });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(delays, 0);
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  int calls = 0;
+  auto op = [&]() -> Status {
+    return ++calls < 3 ? UnavailableError("flaky") : OkStatus();
+  };
+  EXPECT_TRUE(RetryWithBackoff(RetryOptions{}, op).ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, StopsAtAttemptBudget) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  int calls = 0;
+  Status s = RetryWithBackoff(options, [&] {
+    ++calls;
+    return UnavailableError("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, SingleAttemptDisablesRetries) {
+  RetryOptions options;
+  options.max_attempts = 1;
+  int calls = 0;
+  Status s = RetryWithBackoff(options, [&] {
+    ++calls;
+    return UnavailableError("down");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  int calls = 0;
+  Status s = RetryWithBackoff(RetryOptions{}, [&] {
+    ++calls;
+    return PermissionDeniedError("bad token");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, WorksWithResultOps) {
+  int calls = 0;
+  auto op = [&]() -> Result<int> {
+    if (++calls < 2) {
+      return UnavailableError("flaky");
+    }
+    return 42;
+  };
+  Result<int> r = RetryWithBackoff(RetryOptions{}, op);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff_ms = 10.0;
+  options.max_backoff_ms = 1000.0;
+  options.multiplier = 2.0;
+  options.jitter = 0.5;
+  RetryBackoff backoff(options);
+  double base = options.initial_backoff_ms;
+  while (backoff.ShouldRetry()) {
+    const double delay = backoff.NextDelayMs();
+    EXPECT_GE(delay, base * 0.5);
+    EXPECT_LT(delay, base * 1.5);
+    base = std::min(base * options.multiplier, options.max_backoff_ms);
+  }
+  EXPECT_EQ(backoff.attempts(), options.max_attempts);
+}
+
+TEST(RetryTest, DelayCapRespected) {
+  RetryOptions options;
+  options.max_attempts = 20;
+  options.initial_backoff_ms = 100.0;
+  options.max_backoff_ms = 250.0;
+  options.jitter = 0.0;
+  RetryBackoff backoff(options);
+  double last = 0.0;
+  while (backoff.ShouldRetry()) {
+    last = backoff.NextDelayMs();
+    EXPECT_LE(last, 250.0);
+  }
+  EXPECT_DOUBLE_EQ(last, 250.0);
+}
+
+TEST(RetryTest, SameSeedSameDelays) {
+  RetryOptions options;
+  options.max_attempts = 8;
+  options.seed = 99;
+  RetryBackoff a(options);
+  RetryBackoff b(options);
+  while (a.ShouldRetry()) {
+    EXPECT_DOUBLE_EQ(a.NextDelayMs(), b.NextDelayMs());
+  }
 }
 
 }  // namespace
