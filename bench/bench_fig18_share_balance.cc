@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/baseline/depsky_client.h"
 #include "src/cloud/simulated_csp.h"
 #include "src/core/client.h"
@@ -97,5 +98,18 @@ int main() {
   std::printf(
       "\nPaper shape: CYRUS distributes shares evenly; DepSky concentrates them on\n"
       "the consistently faster CSPs (the slowest CSP stores none).\n");
+
+  bench::BenchReport bench_report("fig18_share_balance");
+  bench_report.SetParam("uploads", static_cast<uint64_t>(kUploads));
+  bench_report.SetParam("file_bytes", static_cast<uint64_t>(kFileBytes));
+  for (int i = 0; i < 4; ++i) {
+    JsonValue row{JsonValue::Object{}};
+    row.Set("csp", StrCat("csp", i));
+    row.Set("upload_bytes_per_sec", upload_rates[i]);
+    row.Set("cyrus_shares", static_cast<int64_t>(cyrus_shares[i]));
+    row.Set("depsky_shares", static_cast<int64_t>(depsky_shares[i]));
+    bench_report.AddRow(std::move(row));
+  }
+  std::printf("wrote %s\n", bench_report.Write().c_str());
   return 0;
 }

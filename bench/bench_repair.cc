@@ -24,6 +24,10 @@ int main() {
   constexpr double kDatasetScale = 0.05;
   const auto files = GenerateTable4Dataset(kDatasetScale, 99);
 
+  BenchReport bench_report("repair");
+  bench_report.SetParam("dataset_scale", kDatasetScale);
+  bench_report.SetParam("num_files", static_cast<uint64_t>(files.size()));
+
   struct Config {
     uint32_t t;
     uint32_t n;
@@ -84,12 +88,25 @@ int main() {
                   static_cast<unsigned long long>(report->stats.chunks_repaired),
                   static_cast<unsigned long long>(report->stats.shares_rebuilt),
                   mb_moved, repair_seconds, throughput, wall_ms);
-      (void)content_bytes;
+
+      JsonValue row{JsonValue::Object{}};
+      row.Set("t", static_cast<uint64_t>(config.t));
+      row.Set("n", static_cast<uint64_t>(config.n));
+      row.Set("k", static_cast<uint64_t>(k));
+      row.Set("content_bytes", content_bytes);
+      row.Set("chunks_repaired", report->stats.chunks_repaired);
+      row.Set("shares_rebuilt", report->stats.shares_rebuilt);
+      row.Set("bytes_moved", report->stats.bytes_moved);
+      row.Set("repair_seconds", repair_seconds);
+      row.Set("throughput_mb_per_s", throughput);
+      row.Set("wall_ms", wall_ms);
+      bench_report.AddRow(std::move(row));
     }
   }
   std::printf(
       "\nShape: repair traffic grows ~linearly with k (t reads + k rebuilt\n"
       "shares per degraded chunk); time-to-full-redundancy is bounded by the\n"
       "slowest surviving upload target, not by how fast the dead clouds were.\n");
+  std::printf("wrote %s\n", bench_report.Write().c_str());
   return 0;
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "src/core/reliability.h"
+#include "src/obs/export.h"
 #include "src/util/strings.h"
 
 namespace cyrus {
@@ -222,6 +225,41 @@ double Percentile(std::vector<double> samples, double pct) {
   const size_t hi = std::min(lo + 1, samples.size() - 1);
   const double frac = pos - lo;
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+// --- BenchReport -----------------------------------------------------------
+
+BenchReport::BenchReport(std::string name, std::string directory)
+    : name_(std::move(name)), directory_(std::move(directory)) {}
+
+void BenchReport::SetParam(const std::string& key, JsonValue value) {
+  params_[key] = std::move(value);
+}
+
+void BenchReport::AddRow(JsonValue row) { rows_.push_back(std::move(row)); }
+
+std::string BenchReport::Write() {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("bench", name_);
+  doc.Set("params", JsonValue(params_));
+  doc.Set("rows", JsonValue(rows_));
+  // Attach the registry snapshot so the perf file explains itself: op
+  // counts, retry totals, and latency percentiles behind the rows above.
+  auto metrics =
+      JsonValue::Parse(obs::RenderMetricsJson(obs::MetricsRegistry::Default()));
+  doc.Set("metrics", metrics.ok() ? std::move(*metrics) : JsonValue());
+
+  std::string path = StrCat("BENCH_", name_, ".json");
+  if (!directory_.empty()) {
+    path = StrCat(directory_, "/", path);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return path;
+  }
+  out << doc.Dump() << '\n';
+  return path;
 }
 
 }  // namespace bench

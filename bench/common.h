@@ -17,6 +17,8 @@
 #include "src/cloud/simulated_csp.h"
 #include "src/core/client.h"
 #include "src/core/transfer.h"
+#include "src/obs/metrics.h"
+#include "src/rest/json.h"
 #include "src/sim/flow_network.h"
 #include "src/util/rng.h"
 
@@ -99,6 +101,37 @@ BoxStats ComputeBoxStats(std::vector<double> samples);
 
 // Percentile (0..100) of a sample vector.
 double Percentile(std::vector<double> samples, double pct);
+
+// --- Machine-readable results ----------------------------------------------
+
+// Accumulates one bench run's result rows and writes BENCH_<name>.json:
+//   { "bench": ..., "params": {...}, "rows": [...], "metrics": {...} }
+// where "metrics" is the default registry's JSON snapshot at Write() time,
+// so every perf file carries the op counts and latency percentiles behind
+// its numbers. These files are the perf trajectory the repo accumulates
+// across PRs; the tables printed to stdout stay unchanged.
+class BenchReport {
+ public:
+  // Writes into `directory` ("" = current working directory).
+  explicit BenchReport(std::string name, std::string directory = "");
+
+  // Run-level parameters (t, n, scale, seed, ...).
+  void SetParam(const std::string& key, JsonValue value);
+  // One result row; `row` should be a JSON object.
+  void AddRow(JsonValue row);
+
+  // Serializes to BENCH_<name>.json; returns the path written. Failures
+  // print a warning to stderr rather than aborting a finished bench.
+  std::string Write();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::string directory_;
+  JsonValue::Object params_;
+  JsonValue::Array rows_;
+};
 
 }  // namespace bench
 }  // namespace cyrus

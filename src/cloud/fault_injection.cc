@@ -1,5 +1,6 @@
 #include "src/cloud/fault_injection.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -12,20 +13,41 @@ FaultInjectingConnector::FaultInjectingConnector(
     : inner_(std::move(inner)),
       options_(options),
       rng_(options.seed),
-      down_(options.permanently_down) {}
+      down_(options.permanently_down) {
+  obs::MetricsRegistry& registry =
+      options_.metrics != nullptr ? *options_.metrics : obs::MetricsRegistry::Default();
+  const obs::Labels csp = {{"csp", std::string(inner_->id())}};
+  calls_ = registry.GetCounter("cyrus_fault_calls_total", csp,
+                               "Connector calls seen by the fault injector");
+  transient_errors_ =
+      registry.GetCounter("cyrus_fault_errors_total",
+                          {{"csp", std::string(inner_->id())}, {"fault", "transient"}},
+                          "Errors injected, by fault class");
+  outage_errors_ =
+      registry.GetCounter("cyrus_fault_errors_total",
+                          {{"csp", std::string(inner_->id())}, {"fault", "outage"}},
+                          "Errors injected, by fault class");
+  uploads_lost_ = registry.GetCounter("cyrus_fault_uploads_lost_total", csp,
+                                      "Uploads silently discarded");
+  objects_destroyed_ = registry.GetCounter("cyrus_fault_objects_destroyed_total", csp,
+                                           "Stored objects silently removed");
+  injected_latency_ms_ = registry.GetGauge("cyrus_fault_injected_latency_ms_total", csp,
+                                           "Cumulative injected virtual latency");
+  baseline_ = RawCounters();
+}
 
 Status FaultInjectingConnector::RollFaults(bool allow_transient) {
-  ++counters_.calls;
+  calls_->Increment();
   if (options_.latency_mean_ms > 0.0) {
-    counters_.injected_latency_ms += rng_.NextExponential(options_.latency_mean_ms);
+    injected_latency_ms_->Add(rng_.NextExponential(options_.latency_mean_ms));
   }
   if (down_) {
-    ++counters_.outage_errors;
+    outage_errors_->Increment();
     return UnavailableError(StrCat(inner_->id(), ": injected permanent outage"));
   }
   if (allow_transient && options_.transient_error_prob > 0.0 &&
       rng_.NextBool(options_.transient_error_prob)) {
-    ++counters_.transient_errors;
+    transient_errors_->Increment();
     return UnavailableError(StrCat(inner_->id(), ": injected transient error"));
   }
   return OkStatus();
@@ -35,7 +57,7 @@ Status FaultInjectingConnector::Authenticate(const Credentials& credentials) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (down_) {
-      ++counters_.outage_errors;
+      outage_errors_->Increment();
       return UnavailableError(StrCat(inner_->id(), ": injected permanent outage"));
     }
   }
@@ -56,7 +78,7 @@ Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
     if (options_.upload_loss_prob > 0.0 && rng_.NextBool(options_.upload_loss_prob)) {
-      ++counters_.uploads_lost;
+      uploads_lost_->Increment();
       return OkStatus();  // the silent part of silent loss
     }
   }
@@ -102,8 +124,7 @@ Status FaultInjectingConnector::DestroyObject(std::string_view name) {
     return NotFoundError(StrCat(inner_->id(), ": no object ", name));
   }
   CYRUS_RETURN_IF_ERROR(inner_->Delete(name));
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.objects_destroyed;
+  objects_destroyed_->Increment();
   return OkStatus();
 }
 
@@ -128,19 +149,43 @@ Result<size_t> FaultInjectingConnector::DestroyRandomObjects(double fraction) {
       ++destroyed;
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.objects_destroyed += destroyed;
+  objects_destroyed_->Increment(destroyed);
   return destroyed;
 }
 
+FaultInjectionCounters FaultInjectingConnector::RawCounters() const {
+  FaultInjectionCounters raw;
+  raw.calls = calls_->value();
+  raw.transient_errors = transient_errors_->value();
+  raw.outage_errors = outage_errors_->value();
+  raw.uploads_lost = uploads_lost_->value();
+  raw.objects_destroyed = objects_destroyed_->value();
+  raw.injected_latency_ms = injected_latency_ms_->value();
+  return raw;
+}
+
 FaultInjectionCounters FaultInjectingConnector::counters() const {
+  // Saturating subtraction: a registry ResetForTest can pull the lifetime
+  // totals below this instance's baseline, and a negative count would be
+  // nonsense.
+  auto delta = [](uint64_t now, uint64_t base) { return now > base ? now - base : 0; };
+  const FaultInjectionCounters raw = RawCounters();
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  FaultInjectionCounters out;
+  out.calls = delta(raw.calls, baseline_.calls);
+  out.transient_errors = delta(raw.transient_errors, baseline_.transient_errors);
+  out.outage_errors = delta(raw.outage_errors, baseline_.outage_errors);
+  out.uploads_lost = delta(raw.uploads_lost, baseline_.uploads_lost);
+  out.objects_destroyed = delta(raw.objects_destroyed, baseline_.objects_destroyed);
+  out.injected_latency_ms =
+      std::max(0.0, raw.injected_latency_ms - baseline_.injected_latency_ms);
+  return out;
 }
 
 void FaultInjectingConnector::ResetCounters() {
+  const FaultInjectionCounters raw = RawCounters();
   std::lock_guard<std::mutex> lock(mutex_);
-  counters_ = FaultInjectionCounters{};
+  baseline_ = raw;
 }
 
 }  // namespace cyrus

@@ -25,12 +25,17 @@
 #include <string>
 
 #include "src/cloud/connector.h"
+#include "src/obs/metrics.h"
 #include "src/util/rng.h"
 
 namespace cyrus {
 
 struct FaultInjectionOptions {
   uint64_t seed = 1;
+  // Registry receiving the cyrus_fault_* series (labeled by csp id);
+  // nullptr means the process-wide default. Tests that assert on absolute
+  // fault counts hand in a private registry for isolation.
+  obs::MetricsRegistry* metrics = nullptr;
   // Probability that any one List/Upload/Download/Delete call fails with
   // kUnavailable. Authenticate is exempt (session setup is interactive and
   // retried by the user, not the transfer paths).
@@ -45,6 +50,10 @@ struct FaultInjectionOptions {
   bool permanently_down = false;
 };
 
+// Per-instance view of the injected-fault totals. The live counts are
+// registry instruments (cyrus_fault_* series labeled by csp id) so
+// dashboards and the /metrics route see them; this struct is what
+// counters() derives from those instruments for test assertions.
 struct FaultInjectionCounters {
   uint64_t calls = 0;               // forwarded or failed, excluding Authenticate
   uint64_t transient_errors = 0;    // injected kUnavailable (transient)
@@ -83,6 +92,10 @@ class FaultInjectingConnector : public CloudConnector {
   // Returns how many objects were destroyed.
   Result<size_t> DestroyRandomObjects(double fraction);
 
+  // Faults injected by this instance: current registry totals minus the
+  // baseline captured at construction (or the last ResetCounters()), so
+  // the numbers stay per-instance even though the underlying instruments
+  // are shared, process-lifetime series.
   FaultInjectionCounters counters() const;
   void ResetCounters();
 
@@ -93,12 +106,24 @@ class FaultInjectingConnector : public CloudConnector {
   // injected failure or OK to forward. Requires mutex_ held.
   Status RollFaults(bool allow_transient);
 
+  // Raw (lifetime) registry values, before baseline subtraction.
+  FaultInjectionCounters RawCounters() const;
+
   mutable std::mutex mutex_;
   std::shared_ptr<CloudConnector> inner_;
   FaultInjectionOptions options_;
   Rng rng_;
   bool down_;
-  FaultInjectionCounters counters_;
+
+  // Registry instruments, labeled {csp=<inner id>}. Registered once in the
+  // constructor; pointers stay valid for the registry's lifetime.
+  obs::Counter* calls_;
+  obs::Counter* transient_errors_;
+  obs::Counter* outage_errors_;
+  obs::Counter* uploads_lost_;
+  obs::Counter* objects_destroyed_;
+  obs::Gauge* injected_latency_ms_;
+  FaultInjectionCounters baseline_;
 };
 
 }  // namespace cyrus

@@ -1,0 +1,108 @@
+#include "src/cloud/metrics_connector.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace cyrus {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+}  // namespace
+
+MetricsConnector::MetricsConnector(std::shared_ptr<CloudConnector> inner,
+                                   obs::MetricsRegistry* registry)
+    : inner_(std::move(inner)),
+      registry_(registry != nullptr ? registry : &obs::MetricsRegistry::Default()),
+      auth_(MakeInstruments("authenticate")),
+      list_(MakeInstruments("list")),
+      upload_(MakeInstruments("upload")),
+      download_(MakeInstruments("download")),
+      delete_(MakeInstruments("delete")) {}
+
+MetricsConnector::OpInstruments MetricsConnector::MakeInstruments(
+    std::string_view op) const {
+  const std::string csp(inner_->id());
+  const std::string op_name(op);
+  OpInstruments instruments;
+  instruments.ok_calls = registry_->GetCounter(
+      "cyrus_csp_ops_total", {{"csp", csp}, {"op", op_name}, {"result", "ok"}},
+      "Connector operations by CSP, operation, and result");
+  instruments.error_calls = registry_->GetCounter(
+      "cyrus_csp_ops_total", {{"csp", csp}, {"op", op_name}, {"result", "error"}},
+      "Connector operations by CSP, operation, and result");
+  instruments.bytes =
+      registry_->GetCounter("cyrus_csp_bytes_total", {{"csp", csp}, {"op", op_name}},
+                            "Payload bytes moved on successful operations");
+  instruments.latency_ms = registry_->GetHistogram(
+      "cyrus_csp_op_latency_ms", {{"csp", csp}, {"op", op_name}}, {},
+      "Wall-clock connector call latency in milliseconds");
+  return instruments;
+}
+
+void MetricsConnector::RecordOutcome(const OpInstruments& instruments,
+                                     std::string_view op, const Status& status,
+                                     double latency_ms, uint64_t bytes) {
+  instruments.latency_ms->Observe(latency_ms);
+  if (status.ok()) {
+    instruments.ok_calls->Increment();
+    if (bytes > 0) {
+      instruments.bytes->Increment(bytes);
+    }
+    return;
+  }
+  instruments.error_calls->Increment();
+  // Error codes arrive only on the failure path, so lazy registration (a
+  // mutex hit) costs nothing where it matters.
+  registry_
+      ->GetCounter("cyrus_csp_errors_total",
+                   {{"csp", std::string(inner_->id())},
+                    {"op", std::string(op)},
+                    {"code", std::string(StatusCodeName(status.code()))}},
+                   "Connector failures by CSP, operation, and status code")
+      ->Increment();
+}
+
+Status MetricsConnector::Authenticate(const Credentials& credentials) {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = inner_->Authenticate(credentials);
+  RecordOutcome(auth_, "authenticate", status, ElapsedMs(start), 0);
+  return status;
+}
+
+Result<std::vector<ObjectInfo>> MetricsConnector::List(std::string_view prefix) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::vector<ObjectInfo>> result = inner_->List(prefix);
+  RecordOutcome(list_, "list", result.status(), ElapsedMs(start), 0);
+  return result;
+}
+
+Status MetricsConnector::Upload(std::string_view name, ByteSpan data) {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = inner_->Upload(name, data);
+  RecordOutcome(upload_, "upload", status, ElapsedMs(start), data.size());
+  return status;
+}
+
+Result<Bytes> MetricsConnector::Download(std::string_view name) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<Bytes> result = inner_->Download(name);
+  RecordOutcome(download_, "download", result.status(), ElapsedMs(start),
+                result.ok() ? result->size() : 0);
+  return result;
+}
+
+Status MetricsConnector::Delete(std::string_view name) {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = inner_->Delete(name);
+  RecordOutcome(delete_, "delete", status, ElapsedMs(start), 0);
+  return status;
+}
+
+}  // namespace cyrus

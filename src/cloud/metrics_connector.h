@@ -1,0 +1,74 @@
+// A metrics-recording decorator over any CloudConnector.
+//
+// Wraps a connector and records, per CSP and operation, into a
+// MetricsRegistry:
+//   - cyrus_csp_ops_total{csp,op,result}   call counts, result ok|error
+//   - cyrus_csp_bytes_total{csp,op}        payload bytes moved (upload =
+//                                          bytes sent, download = bytes
+//                                          received on success)
+//   - cyrus_csp_op_latency_ms{csp,op}      wall-clock latency histogram
+//   - cyrus_csp_errors_total{csp,op,code}  failures by status code
+//
+// Composes freely with other decorators. The intended stack for tests and
+// benches is MetricsConnector(FaultInjectingConnector(SimulatedCsp)): the
+// metrics layer sits outside the fault layer so every injected error is
+// observed exactly like a real provider error would be.
+//
+// Latency here is the wrapped connector's real compute time. For simulated
+// providers the virtual transfer time lives in the flow simulator and the
+// fault injector's latency gauge, not in these histograms.
+#ifndef SRC_CLOUD_METRICS_CONNECTOR_H_
+#define SRC_CLOUD_METRICS_CONNECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cloud/connector.h"
+#include "src/obs/metrics.h"
+
+namespace cyrus {
+
+class MetricsConnector : public CloudConnector {
+ public:
+  // `registry` == nullptr records into MetricsRegistry::Default().
+  MetricsConnector(std::shared_ptr<CloudConnector> inner,
+                   obs::MetricsRegistry* registry = nullptr);
+
+  // CloudConnector:
+  std::string_view id() const override { return inner_->id(); }
+  Status Authenticate(const Credentials& credentials) override;
+  Result<std::vector<ObjectInfo>> List(std::string_view prefix) override;
+  Status Upload(std::string_view name, ByteSpan data) override;
+  Result<Bytes> Download(std::string_view name) override;
+  Status Delete(std::string_view name) override;
+
+  CloudConnector& inner() { return *inner_; }
+
+ private:
+  // One operation's cached instruments: registered once in the
+  // constructor, recorded into lock-free afterwards.
+  struct OpInstruments {
+    obs::Counter* ok_calls;
+    obs::Counter* error_calls;
+    obs::Counter* bytes;
+    obs::Histogram* latency_ms;
+  };
+
+  OpInstruments MakeInstruments(std::string_view op) const;
+  // Wraps one forwarded call: times it, then files result/bytes/latency.
+  // `bytes` counts only on success.
+  void RecordOutcome(const OpInstruments& instruments, std::string_view op,
+                     const Status& status, double latency_ms, uint64_t bytes);
+
+  std::shared_ptr<CloudConnector> inner_;
+  obs::MetricsRegistry* registry_;
+  OpInstruments auth_;
+  OpInstruments list_;
+  OpInstruments upload_;
+  OpInstruments download_;
+  OpInstruments delete_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CLOUD_METRICS_CONNECTOR_H_

@@ -1,6 +1,7 @@
 #include "src/core/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 
@@ -58,6 +59,25 @@ std::string MetaGeneration(ByteSpan envelope) {
   return Sha1::Hash(envelope).ToHex().substr(0, 8);
 }
 
+// Observes the enclosing scope's wall time into a latency histogram on
+// every exit path, error returns included.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(obs::Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+  ~LatencyRecorder() {
+    histogram_->Observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 // Parses "<base>.<index>.<generation>"; returns false for other names.
 bool ParseMetaShareName(std::string_view object, std::string* base, uint32_t* index,
                         std::string* generation) {
@@ -104,7 +124,28 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   repair_context.now = [this] { return now_; };
   repair_context.mark_csp_failed = [this](int csp) { return MarkCspFailed(csp); };
   repair_context.current_n = [this] { return CurrentN(); };
+
+  metrics_ = config_.metrics != nullptr ? config_.metrics : &obs::MetricsRegistry::Default();
+  traces_ = config_.traces != nullptr ? config_.traces : &obs::TraceCollector::Default();
+  repair_context.metrics = metrics_;
   repair_ = std::make_unique<RepairEngine>(std::move(repair_context), config_.repair);
+
+  puts_total_ = metrics_->GetCounter("cyrus_client_puts_total", {},
+                                     "Put operations attempted");
+  gets_total_ = metrics_->GetCounter("cyrus_client_gets_total", {},
+                                     "Get/GetVersion operations attempted");
+  chunks_scattered_ = metrics_->GetCounter("cyrus_client_chunks_scattered_total", {},
+                                           "Chunks encoded and uploaded by Put");
+  chunks_deduped_ = metrics_->GetCounter("cyrus_client_chunks_deduped_total", {},
+                                         "Put chunks served from the chunk table");
+  chunks_gathered_ = metrics_->GetCounter("cyrus_client_chunks_gathered_total", {},
+                                          "Chunks downloaded and decoded by Get");
+  shares_migrated_ = metrics_->GetCounter("cyrus_client_shares_migrated_total", {},
+                                          "Share locations lazily migrated by Get");
+  put_latency_ms_ = metrics_->GetHistogram("cyrus_client_put_latency_ms", {}, {},
+                                           "End-to-end Put pipeline wall time");
+  get_latency_ms_ = metrics_->GetHistogram("cyrus_client_get_latency_ms", {}, {},
+                                           "End-to-end Get pipeline wall time");
 }
 
 Result<std::unique_ptr<CyrusClient>> CyrusClient::Create(CyrusConfig config) {
@@ -241,11 +282,31 @@ Result<std::vector<int>> CyrusClient::PlaceShares(const Sha1Digest& chunk_id,
 
 Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     const Sha1Digest& chunk_id, ByteSpan chunk, uint32_t n, const std::string& file,
-    TransferReport& report) {
+    TransferReport& report, obs::TraceBuilder* trace) {
+  obs::ScopedSpan encode_span;
+  if (trace != nullptr) {
+    encode_span = trace->Span("encode");
+    encode_span.AddBytes(chunk.size());
+  }
   CYRUS_ASSIGN_OR_RETURN(SecretSharingCodec codec,
                          SecretSharingCodec::Create(config_.key_string, config_.t, n));
   CYRUS_ASSIGN_OR_RETURN(std::vector<Share> shares, codec.Encode(chunk));
+  encode_span.End();
+
+  obs::ScopedSpan place_span;
+  if (trace != nullptr) {
+    place_span = trace->Span("place");
+  }
   CYRUS_ASSIGN_OR_RETURN(std::vector<int> placement, PlaceShares(chunk_id, n));
+  place_span.End();
+
+  obs::ScopedSpan upload_span;
+  if (trace != nullptr) {
+    upload_span = trace->Span("upload");
+    for (const Share& share : shares) {
+      upload_span.AddBytes(share.data.size());
+    }
+  }
 
   // Phase 1: issue all n uploads concurrently on the transfer pool (the
   // prototype's per-connector threads, §5.3). Placement targets are
@@ -900,6 +961,9 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   if (name.empty()) {
     return InvalidArgumentError("file name must not be empty");
   }
+  puts_total_->Increment();
+  LatencyRecorder latency(put_latency_ms_);
+  obs::TraceBuilder trace(traces_, "Put", std::string(name));
   // Algorithm 2 reads the head from the *local* tree (metadata sync runs as
   // its own service); a stale local tree is exactly what produces the
   // Figure 8 conflicts, which are detected on download instead of blocking
@@ -950,8 +1014,13 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   version.modified_time = now_;
   version.size = content.size();
 
+  obs::ScopedSpan chunking_span = trace.Span("chunking");
+  chunking_span.AddBytes(content.size());
+  const std::vector<ChunkSpan> chunk_spans = chunker_.Split(content);
+  chunking_span.End();
+
   std::set<Sha1Digest> shares_recorded;
-  for (const ChunkSpan& span : chunker_.Split(content)) {
+  for (const ChunkSpan& span : chunk_spans) {
     const ByteSpan chunk_bytes = content.subspan(span.offset, span.size);
     const Sha1Digest chunk_id = Sha1::Hash(chunk_bytes);
     ++result.total_chunks;
@@ -961,6 +1030,7 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk is
       // not stored" guard).
       ++result.dedup_chunks;
+      chunks_deduped_->Increment();
       version.chunks.push_back(
           ChunkRecord{chunk_id, span.offset, span.size, existing->t, existing->n});
       if (shares_recorded.insert(chunk_id).second) {
@@ -973,10 +1043,12 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
     }
 
     ++result.new_chunks;
+    chunks_scattered_->Increment();
     TransferReport scatter_report;
     CYRUS_ASSIGN_OR_RETURN(
         std::vector<ShareLocation> locations,
-        ScatterChunk(chunk_id, chunk_bytes, n, version.file_name, scatter_report));
+        ScatterChunk(chunk_id, chunk_bytes, n, version.file_name, scatter_report,
+                     &trace));
     result.transfer.Append(scatter_report);
     version.chunks.push_back(ChunkRecord{
         chunk_id, span.offset, span.size, config_.t,
@@ -1000,14 +1072,23 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
 
   // Metadata publishes only after every chunk's shares are stored
   // (Algorithm 2 line 10), so readers never see a half-uploaded file.
+  obs::ScopedSpan publish_span = trace.Span("publish_meta");
   TransferReport meta_report;
   CYRUS_RETURN_IF_ERROR(UploadMetadata(version, meta_report));
+  publish_span.End();
   result.transfer.Append(meta_report);
+  RecordTransferMetrics(result.transfer, metrics_);
   return result;
 }
 
 Result<GetResult> CyrusClient::Get(std::string_view name) {
-  CYRUS_RETURN_IF_ERROR(SyncMetadata().status());
+  gets_total_->Increment();
+  LatencyRecorder latency(get_latency_ms_);
+  obs::TraceBuilder trace(traces_, "Get", std::string(name));
+  {
+    obs::ScopedSpan sync_span = trace.Span("sync_meta");
+    CYRUS_RETURN_IF_ERROR(SyncMetadata().status());
+  }
 
   std::vector<const FileVersion*> live;
   for (const FileVersion* head : tree_.Heads(name)) {
@@ -1026,7 +1107,7 @@ Result<GetResult> CyrusClient::Get(std::string_view name) {
     }
   }
 
-  CYRUS_ASSIGN_OR_RETURN(GetResult result, GetVersion(name, newest->id));
+  CYRUS_ASSIGN_OR_RETURN(GetResult result, GetVersionTraced(name, newest->id, trace));
   if (live.size() > 1) {
     result.had_conflicts = true;
     bool all_roots = true;
@@ -1044,6 +1125,15 @@ Result<GetResult> CyrusClient::Get(std::string_view name) {
 
 Result<GetResult> CyrusClient::GetVersion(std::string_view name,
                                           const Sha1Digest& version_id) {
+  gets_total_->Increment();
+  LatencyRecorder latency(get_latency_ms_);
+  obs::TraceBuilder trace(traces_, "GetVersion", std::string(name));
+  return GetVersionTraced(name, version_id, trace);
+}
+
+Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
+                                                const Sha1Digest& version_id,
+                                                obs::TraceBuilder& trace) {
   const FileVersion* version = tree_.Find(version_id);
   if (version == nullptr || version->file_name != name) {
     return NotFoundError(StrCat("no version ", version_id.ToHex(), " of ", name));
@@ -1054,6 +1144,7 @@ Result<GetResult> CyrusClient::GetVersion(std::string_view name,
 
   // Build the download problem over *unique* chunks (duplicates within the
   // file reuse the decoded bytes).
+  obs::ScopedSpan select_span = trace.Span("select");
   std::vector<Sha1Digest> unique_ids;
   std::map<Sha1Digest, const ChunkRecord*> by_id;
   for (const ChunkRecord& chunk : version->chunks) {
@@ -1106,7 +1197,9 @@ Result<GetResult> CyrusClient::GetVersion(std::string_view name,
       selections = assignment->selected;
     }
   }
+  select_span.End();
 
+  obs::ScopedSpan gather_span = trace.Span("gather");
   std::map<Sha1Digest, Bytes> decoded;
   for (size_t i = 0; i < unique_ids.size(); ++i) {
     const ChunkRecord* chunk = by_id[unique_ids[i]];
@@ -1114,6 +1207,8 @@ Result<GetResult> CyrusClient::GetVersion(std::string_view name,
     CYRUS_ASSIGN_OR_RETURN(
         Bytes data, GatherChunk(*version, *chunk, selections[i], updated,
                                 result.migrated_shares, result.transfer));
+    chunks_gathered_->Increment();
+    gather_span.AddBytes(data.size());
     decoded.emplace(unique_ids[i], std::move(data));
 
     // Persist migrations into the version's ShareMap and republish its
@@ -1130,13 +1225,17 @@ Result<GetResult> CyrusClient::GetVersion(std::string_view name,
       version = tree_.Find(version_id);  // re-resolve after mutation
     }
   }
+  gather_span.End();
   if (result.migrated_shares > 0) {
+    shares_migrated_->Increment(result.migrated_shares);
+    obs::ScopedSpan republish_span = trace.Span("republish_meta");
     TransferReport meta_report;
     CYRUS_RETURN_IF_ERROR(UploadMetadata(*version, meta_report));
     result.transfer.Append(meta_report);
   }
 
   // Assemble and verify the whole file.
+  obs::ScopedSpan assemble_span = trace.Span("assemble");
   result.content.assign(version->size, 0);
   for (const ChunkRecord& chunk : version->chunks) {
     const Bytes& data = decoded.at(chunk.id);
@@ -1149,6 +1248,8 @@ Result<GetResult> CyrusClient::GetVersion(std::string_view name,
   if (Sha1::Hash(result.content) != version->content_id) {
     return DataLossError(StrCat(name, ": reassembled content fails integrity check"));
   }
+  assemble_span.End();
+  RecordTransferMetrics(result.transfer, metrics_);
   return result;
 }
 
@@ -1175,10 +1276,12 @@ Status CyrusClient::RebalanceMetadata() {
 }
 
 Result<ScrubReport> CyrusClient::ScrubOnce() {
-  CYRUS_ASSIGN_OR_RETURN(ScrubReport report, repair_->ScrubOnce());
+  obs::TraceBuilder trace(traces_, "ScrubOnce", "");
+  CYRUS_ASSIGN_OR_RETURN(ScrubReport report, repair_->ScrubOnce(&trace));
   if (report.repaired_chunks.empty()) {
     return report;
   }
+  obs::ScopedSpan republish_span = trace.Span("republish_meta");
   // The engine rewrote the chunk table; fold each repaired chunk's new
   // locations into every version referencing it and republish that
   // version's metadata so other clients find the rebuilt shares (the same

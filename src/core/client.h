@@ -33,6 +33,8 @@
 #include "src/core/transfer.h"
 #include "src/meta/chunk_table.h"
 #include "src/meta/version_tree.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/opt/download_selector.h"
 #include "src/repair/repair_engine.h"
 #include "src/util/result.h"
@@ -84,6 +86,13 @@ struct CyrusConfig {
   // Knobs for the proactive scrub & repair engine (bandwidth budget,
   // per-pass repair cap).
   RepairEngineOptions repair;
+
+  // Observability sinks. Pipeline counters/histograms go to `metrics`;
+  // each Put/Get/ScrubOnce also records a stage timeline (chunking ->
+  // encode -> place -> upload -> metadata publish) into `traces`. nullptr
+  // selects the process-wide defaults; both are cheap enough to leave on.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceCollector* traces = nullptr;
 };
 
 struct FileListing {
@@ -222,6 +231,11 @@ class CyrusClient {
   TransferAggregator& aggregator() { return aggregator_; }
   const CyrusConfig& config() const { return config_; }
 
+  // The sinks this client records into (resolved from the config's
+  // nullable pointers).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  obs::TraceCollector& traces() { return *traces_; }
+
   // Solves Eq. (1) for the current CSP set; the n a Put would use.
   Result<uint32_t> CurrentN() const;
 
@@ -239,10 +253,17 @@ class CyrusClient {
   Result<std::vector<int>> PlaceShares(const Sha1Digest& chunk_id, uint32_t n) const;
 
   // Scatters one chunk to n CSPs; fills table entry + report + share rows.
+  // `trace` (nullable) receives encode/place/upload spans.
   Result<std::vector<ShareLocation>> ScatterChunk(const Sha1Digest& chunk_id,
                                                   ByteSpan chunk, uint32_t n,
                                                   const std::string& file,
-                                                  TransferReport& report);
+                                                  TransferReport& report,
+                                                  obs::TraceBuilder* trace);
+
+  // Get()/GetVersion() body, recording into the given trace.
+  Result<GetResult> GetVersionTraced(std::string_view name,
+                                     const Sha1Digest& version_id,
+                                     obs::TraceBuilder& trace);
 
   // Downloads and reconstructs one chunk per its ChunkRecord; performs lazy
   // migration of shares on failed/removed CSPs.
@@ -283,6 +304,19 @@ class CyrusClient {
   // Metadata object base names this client has already ingested.
   std::set<std::string> known_meta_bases_;
   double now_ = 0.0;
+
+  // Observability sinks (never null after Create) plus cached pipeline
+  // counters so the hot paths skip registry lookups.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceCollector* traces_ = nullptr;
+  obs::Counter* puts_total_ = nullptr;
+  obs::Counter* gets_total_ = nullptr;
+  obs::Counter* chunks_scattered_ = nullptr;
+  obs::Counter* chunks_deduped_ = nullptr;
+  obs::Counter* chunks_gathered_ = nullptr;
+  obs::Counter* shares_migrated_ = nullptr;
+  obs::Histogram* put_latency_ms_ = nullptr;
+  obs::Histogram* get_latency_ms_ = nullptr;
 };
 
 }  // namespace cyrus

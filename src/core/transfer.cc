@@ -37,6 +37,54 @@ Result<Bytes> DownloadWithRetry(CloudConnector& connector, TransferKind kind, in
   });
 }
 
+void RecordTransferMetrics(const TransferReport& report,
+                           obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    registry = &obs::MetricsRegistry::Default();
+  }
+  static constexpr TransferKind kKinds[] = {TransferKind::kPut, TransferKind::kGet,
+                                            TransferKind::kPutMeta,
+                                            TransferKind::kGetMeta};
+  for (TransferKind kind : kKinds) {
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+    uint64_t bytes = 0;
+    for (const TransferRecord& r : report.records) {
+      if (r.kind != kind) {
+        continue;
+      }
+      if (r.success) {
+        ++ok;
+        bytes += r.bytes;
+      } else {
+        ++failed;
+      }
+    }
+    if (ok + failed == 0) {
+      continue;
+    }
+    const std::string kind_name(TransferKindName(kind));
+    if (ok > 0) {
+      registry
+          ->GetCounter("cyrus_transfer_requests_total",
+                       {{"kind", kind_name}, {"result", "ok"}},
+                       "Journaled transfer requests by kind and result")
+          ->Increment(ok);
+      registry
+          ->GetCounter("cyrus_transfer_bytes_total", {{"kind", kind_name}},
+                       "Bytes moved by successful transfer requests")
+          ->Increment(bytes);
+    }
+    if (failed > 0) {
+      registry
+          ->GetCounter("cyrus_transfer_requests_total",
+                       {{"kind", kind_name}, {"result", "error"}},
+                       "Journaled transfer requests by kind and result")
+          ->Increment(failed);
+    }
+  }
+}
+
 std::string_view TransferKindName(TransferKind kind) {
   switch (kind) {
     case TransferKind::kPut:

@@ -22,6 +22,7 @@
 
 #include "src/cloud/connector.h"
 #include "src/crypto/sha1.h"
+#include "src/obs/metrics.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
 
@@ -50,6 +51,13 @@ struct TransferReport {
   size_t CountOf(TransferKind kind) const;
   void Append(const TransferReport& other);
 };
+
+// Folds a completed report into `registry` as
+// cyrus_transfer_requests_total{kind,result} and
+// cyrus_transfer_bytes_total{kind}, giving the pipeline-level view that
+// complements MetricsConnector's per-CSP series (the report journals
+// logical requests, including ones that never reached a connector).
+void RecordTransferMetrics(const TransferReport& report, obs::MetricsRegistry* registry);
 
 // Connector calls with transient-failure retry (capped exponential backoff
 // + jitter, src/util/retry.h) and per-attempt journaling: every attempt -

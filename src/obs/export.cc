@@ -1,0 +1,235 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cyrus {
+namespace obs {
+namespace {
+
+// Shortest-round-trip double formatting; integers render without a
+// trailing ".0" to match how Prometheus clients usually print.
+std::string FormatNumber(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // %.17g always round-trips but is noisy; prefer the shortest precision
+  // that parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) {
+      return shorter;
+    }
+  }
+  return buf;
+}
+
+// Prometheus label values escape backslash, double quote, and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// JSON string escaping per RFC 8259.
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// `{k1="v1",k2="v2"}` or "" for an empty label set. `extra` appends one
+// more pair (used for histogram `le`).
+std::string PrometheusLabels(const Labels& labels, const std::string& extra_key = "",
+                             const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) {
+      out += ',';
+    }
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.name != last_family) {
+      last_family = m.name;
+      if (!m.help.empty()) {
+        out += "# HELP " + m.name + " " + m.help + "\n";
+      }
+      out += "# TYPE " + m.name + " ";
+      out += KindName(m.kind);
+      out += '\n';
+    }
+    if (m.kind == InstrumentKind::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < m.histogram.bounds.size(); ++i) {
+        cumulative += m.histogram.counts[i];
+        out += m.name + "_bucket" +
+               PrometheusLabels(m.labels, "le", FormatNumber(m.histogram.bounds[i])) +
+               " " + FormatNumber(static_cast<double>(cumulative)) + "\n";
+      }
+      cumulative += m.histogram.overflow;
+      out += m.name + "_bucket" + PrometheusLabels(m.labels, "le", "+Inf") + " " +
+             FormatNumber(static_cast<double>(cumulative)) + "\n";
+      out += m.name + "_sum" + PrometheusLabels(m.labels) + " " +
+             FormatNumber(m.histogram.sum) + "\n";
+      out += m.name + "_count" + PrometheusLabels(m.labels) + " " +
+             FormatNumber(static_cast<double>(m.histogram.count)) + "\n";
+    } else {
+      out += m.name + PrometheusLabels(m.labels) + " " + FormatNumber(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first_metric = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first_metric) {
+      out += ',';
+    }
+    first_metric = false;
+    out += "{\"name\":\"" + EscapeJson(m.name) + "\",\"type\":\"";
+    out += KindName(m.kind);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first_label) {
+        out += ',';
+      }
+      first_label = false;
+      out += "\"" + EscapeJson(k) + "\":\"" + EscapeJson(v) + "\"";
+    }
+    out += '}';
+    if (m.kind == InstrumentKind::kHistogram) {
+      out += ",\"count\":" + FormatNumber(static_cast<double>(m.histogram.count));
+      out += ",\"sum\":" + FormatNumber(m.histogram.sum);
+      out += ",\"p50\":" + FormatNumber(m.histogram.Percentile(50));
+      out += ",\"p95\":" + FormatNumber(m.histogram.Percentile(95));
+      out += ",\"p99\":" + FormatNumber(m.histogram.Percentile(99));
+      out += ",\"buckets\":[";
+      for (size_t i = 0; i < m.histogram.bounds.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += "{\"le\":" + FormatNumber(m.histogram.bounds[i]) +
+               ",\"count\":" + FormatNumber(static_cast<double>(m.histogram.counts[i])) +
+               "}";
+      }
+      if (!m.histogram.bounds.empty()) {
+        out += ',';
+      }
+      out += "{\"le\":\"+Inf\",\"count\":" +
+             FormatNumber(static_cast<double>(m.histogram.overflow)) + "}]";
+    } else {
+      out += ",\"value\":" + FormatNumber(m.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  return RenderPrometheusText(registry.Snapshot());
+}
+
+std::string RenderMetricsJson(const MetricsRegistry& registry) {
+  return RenderMetricsJson(registry.Snapshot());
+}
+
+std::string RenderTraceText(const Trace& trace) {
+  std::string out = trace.op;
+  if (!trace.detail.empty()) {
+    out += " " + trace.detail;
+  }
+  out += " (" + FormatNumber(trace.total_ms) + " ms)\n";
+  for (const TraceSpan& span : trace.spans) {
+    out.append(2 + 2 * static_cast<size_t>(span.depth), ' ');
+    out += span.name + ": " + FormatNumber(span.duration_ms) + " ms";
+    if (span.bytes > 0) {
+      out += " (" + FormatNumber(static_cast<double>(span.bytes)) + " B)";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cyrus

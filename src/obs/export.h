@@ -1,0 +1,39 @@
+// Exposition formats for a MetricsRegistry snapshot.
+//
+// Two surfaces, both pure functions over RegistrySnapshot so they can be
+// golden-tested without a registry:
+//   - RenderPrometheusText: the text format Prometheus scrapes
+//     (`# HELP` / `# TYPE` headers, `_bucket{le=...}` / `_sum` / `_count`
+//     series for histograms).
+//   - RenderMetricsJson: a JSON document with the same data plus computed
+//     p50/p95/p99 per histogram, for benches and programmatic consumers.
+//
+// cyrus_obs depends only on the standard library, so the JSON here is
+// rendered by hand (escaping per RFC 8259); src/rest's JsonValue parses it
+// back in tests.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace cyrus {
+namespace obs {
+
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot);
+std::string RenderMetricsJson(const RegistrySnapshot& snapshot);
+
+// Convenience: snapshot + render in one call.
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+std::string RenderMetricsJson(const MetricsRegistry& registry);
+
+// Human-readable timeline of one trace (indented by span depth), used by
+// benches and the README example.
+std::string RenderTraceText(const Trace& trace);
+
+}  // namespace obs
+}  // namespace cyrus
+
+#endif  // SRC_OBS_EXPORT_H_

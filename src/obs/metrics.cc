@@ -1,0 +1,264 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace cyrus {
+namespace obs {
+namespace {
+
+// Sorted-by-key copy; exposition and map keys both want a canonical order.
+Labels Canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Map key for one label set. '\x1f' cannot appear in sane label text, so
+// the encoding is injective enough for registry lookups.
+std::string LabelKey(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+// Detached instruments returned on kind mismatch: recording into them is
+// harmless and they are never exported.
+Counter* DummyCounter() {
+  static Counter counter;
+  return &counter;
+}
+Gauge* DummyGauge() {
+  static Gauge gauge;
+  return &gauge;
+}
+Histogram* DummyHistogram() {
+  static Histogram histogram(DefaultLatencyBucketsMs());
+  return &histogram;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  // Upper edges must be strictly ascending for bucket search + quantile
+  // interpolation; sorting (with dedup) repairs a careless caller.
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (counts_.size() != bounds_.size() + 1) {
+    counts_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(bounds_.size());
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    snapshot.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  snapshot.overflow = counts_[bounds_.size()].load(std::memory_order_relaxed);
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based), then walk the cumulative
+  // counts to the containing bucket.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      // Linear interpolation inside [lower_edge, bounds[i]].
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lower + (bounds[i] - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative = next;
+  }
+  // Target sits in the overflow bucket: report the last finite edge (the
+  // histogram cannot resolve beyond it).
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBounds = ExponentialBuckets(0.01, 4.0, 13);
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(std::string_view name,
+                                                    InstrumentKind kind,
+                                                    std::string_view help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  if (it->second.kind != kind) {
+    return nullptr;  // name reused across kinds: caller gets a dummy
+  }
+  if (it->second.help.empty() && !help.empty()) {
+    it->second.help = std::string(help);
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, Labels labels,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = GetFamily(name, InstrumentKind::kCounter, help);
+  if (family == nullptr) {
+    return DummyCounter();
+  }
+  Labels canonical = Canonical(std::move(labels));
+  const std::string key = LabelKey(canonical);
+  auto it = family->counters.find(key);
+  if (it == family->counters.end()) {
+    it = family->counters.emplace(key, std::make_unique<Counter>()).first;
+    family->label_sets.emplace(key, std::move(canonical));
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = GetFamily(name, InstrumentKind::kGauge, help);
+  if (family == nullptr) {
+    return DummyGauge();
+  }
+  Labels canonical = Canonical(std::move(labels));
+  const std::string key = LabelKey(canonical);
+  auto it = family->gauges.find(key);
+  if (it == family->gauges.end()) {
+    it = family->gauges.emplace(key, std::make_unique<Gauge>()).first;
+    family->label_sets.emplace(key, std::move(canonical));
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, Labels labels,
+                                         std::vector<double> bounds,
+                                         std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = GetFamily(name, InstrumentKind::kHistogram, help);
+  if (family == nullptr) {
+    return DummyHistogram();
+  }
+  Labels canonical = Canonical(std::move(labels));
+  const std::string key = LabelKey(canonical);
+  auto it = family->histograms.find(key);
+  if (it == family->histograms.end()) {
+    if (bounds.empty()) {
+      bounds = DefaultLatencyBucketsMs();
+    }
+    it = family->histograms.emplace(key, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+    family->label_sets.emplace(key, std::move(canonical));
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [name, family] : families_) {
+    auto base = [&](const std::string& key) {
+      MetricSnapshot m;
+      m.name = name;
+      m.help = family.help;
+      m.kind = family.kind;
+      auto labels = family.label_sets.find(key);
+      if (labels != family.label_sets.end()) {
+        m.labels = labels->second;
+      }
+      return m;
+    };
+    for (const auto& [key, counter] : family.counters) {
+      MetricSnapshot m = base(key);
+      m.value = static_cast<double>(counter->value());
+      snapshot.metrics.push_back(std::move(m));
+    }
+    for (const auto& [key, gauge] : family.gauges) {
+      MetricSnapshot m = base(key);
+      m.value = gauge->value();
+      snapshot.metrics.push_back(std::move(m));
+    }
+    for (const auto& [key, histogram] : family.histograms) {
+      MetricSnapshot m = base(key);
+      m.histogram = histogram->Snapshot();
+      snapshot.metrics.push_back(std::move(m));
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : families_) {
+    for (auto& [key, counter] : family.counters) {
+      counter->ResetForTest();
+    }
+    for (auto& [key, gauge] : family.gauges) {
+      gauge->ResetForTest();
+    }
+    for (auto& [key, histogram] : family.histograms) {
+      histogram->ResetForTest();
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace cyrus

@@ -1,0 +1,173 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The paper evaluates CYRUS almost entirely through measurement (per-CSP
+// latency distributions, completion-time CDFs, share balance); this module
+// gives the reproduction the same visibility into itself. Design rules:
+//
+//   - Recording is lock-free: counters and gauges are single atomics,
+//     histograms are an array of per-bucket atomics. Registration (name +
+//     label set -> instrument) takes a mutex but callers cache the returned
+//     pointer, so the hot path never touches the registry again.
+//   - Instruments are never destroyed once registered; returned pointers
+//     stay valid for the registry's lifetime (tests reset *values*, not
+//     identity).
+//   - cyrus_obs sits below src/util so every layer (retry, thread pool,
+//     connectors, client, repair, rest) can record without dependency
+//     cycles. It therefore depends on nothing but the standard library.
+//
+// Exposition (Prometheus text / JSON) lives in src/obs/export.h and works
+// on the value snapshot types declared here.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cyrus {
+namespace obs {
+
+// Label set attached to one instrument, e.g. {{"csp", "dropbox"}, {"op",
+// "upload"}}. Order-insensitive: the registry sorts by key internally.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous value that can move both ways (queue depth, accumulated
+// virtual milliseconds). Doubles so it can also carry fractional totals.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// One histogram's values at a point in time. `counts[i]` is the number of
+// observations <= bounds[i] and > bounds[i-1]; `overflow` is everything
+// above the last bound.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t overflow = 0;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // containing bucket; the overflow bucket reports the last finite bound.
+  // Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+  double Percentile(double pct) const { return Quantile(pct / 100.0); }
+};
+
+// Fixed-bucket histogram. Bucket bounds are upper edges in ascending
+// order; an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void ResetForTest();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 (overflow last)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// `count` upper bounds growing geometrically from `start` by `factor`.
+std::vector<double> ExponentialBuckets(double start, double factor, size_t count);
+
+// Default latency buckets in milliseconds: 16 buckets from 0.01 ms to
+// ~5 min, wide enough for in-process simulated calls and real WAN RTTs.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+// Value snapshot of one instrument (exposition input).
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  Labels labels;
+  double value = 0.0;            // counters and gauges
+  HistogramSnapshot histogram;   // histograms only
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;  // grouped by name, label-sorted
+};
+
+// Name -> labeled instruments. One registry is usually enough per process
+// (Default()); tests build private registries for isolation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The first call for a name fixes its kind and help
+  // text; later calls with the same name must use the same kind (a
+  // mismatch returns a detached dummy instrument so the caller never
+  // crashes, and the mistake shows up as a frozen metric).
+  Counter* GetCounter(std::string_view name, Labels labels = {},
+                      std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, Labels labels = {},
+                  std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, Labels labels = {},
+                          std::vector<double> bounds = {},
+                          std::string_view help = "");
+
+  RegistrySnapshot Snapshot() const;
+
+  // Zeroes every registered instrument, keeping identity (cached pointers
+  // stay valid). For tests that share the process-wide default registry.
+  void ResetForTest();
+
+  // The process-wide registry that instrumented components use unless
+  // handed a specific one.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Family {
+    InstrumentKind kind;
+    std::string help;
+    // Serialized sorted label set -> instrument (exactly one of the three
+    // pointers is set, matching `kind`).
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, Labels> label_sets;
+  };
+
+  Family* GetFamily(std::string_view name, InstrumentKind kind, std::string_view help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace obs
+}  // namespace cyrus
+
+#endif  // SRC_OBS_METRICS_H_

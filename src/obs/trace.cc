@@ -1,0 +1,163 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cyrus {
+namespace obs {
+
+const TraceSpan* Trace::FindSpan(std::string_view name) const {
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+// ---------------------------------------------------------------------------
+
+TraceCollector::TraceCollector(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+void TraceCollector::Record(Trace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_recorded_;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+}
+
+std::vector<Trace> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Trace>(ring_.begin(), ring_.end());
+}
+
+bool TraceCollector::Latest(std::string_view op, Trace* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->op == op) {
+      *out = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t TraceCollector::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  total_recorded_ = 0;
+}
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();  // never destroyed
+  return *collector;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+// ---------------------------------------------------------------------------
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    End();
+    builder_ = other.builder_;
+    index_ = other.index_;
+    other.builder_ = nullptr;
+  }
+  return *this;
+}
+
+void ScopedSpan::AddBytes(uint64_t bytes) {
+  if (builder_ != nullptr) {
+    builder_->AddSpanBytes(index_, bytes);
+  }
+}
+
+void ScopedSpan::End() {
+  if (builder_ != nullptr) {
+    builder_->CloseSpan(index_);
+    builder_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuilder
+// ---------------------------------------------------------------------------
+
+TraceBuilder::TraceBuilder(TraceCollector* collector, std::string op, std::string detail)
+    : collector_(collector), start_(std::chrono::steady_clock::now()) {
+  trace_.op = std::move(op);
+  trace_.detail = std::move(detail);
+}
+
+TraceBuilder::~TraceBuilder() {
+  if (collector_ == nullptr) {
+    return;
+  }
+  trace_.total_ms = ElapsedMs();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_.spans.reserve(spans_.size());
+    for (OpenSpan& open : spans_) {
+      if (open.open) {
+        // Leaked handle (early return): close at trace end.
+        open.span.duration_ms = trace_.total_ms - open.span.start_ms;
+      }
+      trace_.spans.push_back(std::move(open.span));
+    }
+  }
+  collector_->Record(std::move(trace_));
+}
+
+double TraceBuilder::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start_)
+      .count();
+}
+
+ScopedSpan TraceBuilder::Span(std::string name) {
+  if (collector_ == nullptr) {
+    return ScopedSpan();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpenSpan open;
+  open.span.name = std::move(name);
+  open.span.depth = open_count_;
+  open.span.start_ms = ElapsedMs();
+  open.open = true;
+  spans_.push_back(std::move(open));
+  ++open_count_;
+  return ScopedSpan(this, spans_.size() - 1);
+}
+
+void TraceBuilder::CloseSpan(size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= spans_.size() || !spans_[index].open) {
+    return;
+  }
+  OpenSpan& open = spans_[index];
+  open.span.duration_ms = ElapsedMs() - open.span.start_ms;
+  open.open = false;
+  if (open_count_ > 0) {
+    --open_count_;
+  }
+}
+
+void TraceBuilder::AddSpanBytes(size_t index, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < spans_.size()) {
+    spans_[index].span.bytes += bytes;
+  }
+}
+
+}  // namespace obs
+}  // namespace cyrus

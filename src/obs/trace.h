@@ -1,0 +1,130 @@
+// Lightweight scoped trace spans for pipeline operations.
+//
+// Each top-level API call (Put / Get / ScrubOnce) owns one TraceBuilder;
+// the stages it passes through (chunking -> encode -> place -> per-CSP
+// upload -> metadata publish) open scoped spans on it. Completed traces
+// land in a fixed-capacity ring (TraceCollector), cheap enough to leave on
+// in production and deep enough for a dashboard's "last N operations"
+// timeline. Durations are wall-clock milliseconds from a steady clock:
+// CYRUS's *transfer* timing is virtual (the flow simulator prices it), but
+// the pipeline's own compute stages are real work worth profiling.
+//
+// Span depth reflects how many spans were open when a span started, so a
+// sequentially nested timeline renders as an indented tree. Spans opened
+// concurrently from transfer-pool threads are recorded safely (the builder
+// locks) but share the depth of their common parent stage.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cyrus {
+namespace obs {
+
+struct TraceSpan {
+  std::string name;
+  uint32_t depth = 0;       // open spans when this one started
+  double start_ms = 0.0;    // offset from the trace's start
+  double duration_ms = 0.0;
+  uint64_t bytes = 0;       // optional payload size annotation
+};
+
+struct Trace {
+  std::string op;       // "Put", "Get", "ScrubOnce", ...
+  std::string detail;   // file name or target, free-form
+  double total_ms = 0.0;
+  std::vector<TraceSpan> spans;  // in span-open order
+
+  // First span with this name, or nullptr.
+  const TraceSpan* FindSpan(std::string_view name) const;
+};
+
+// Thread-safe ring of the most recent completed traces.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 64);
+
+  void Record(Trace trace);
+  std::vector<Trace> Snapshot() const;
+  // Most recent trace for `op`; false when none is buffered.
+  bool Latest(std::string_view op, Trace* out) const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const;
+  void Clear();
+
+  static TraceCollector& Default();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  uint64_t total_recorded_ = 0;
+  std::deque<Trace> ring_;
+};
+
+class TraceBuilder;
+
+// RAII span handle: closes its span on destruction. Movable, not copyable.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceBuilder* builder, size_t index) : builder_(builder), index_(index) {}
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { End(); }
+
+  // Attaches a byte count to the span (adds across calls).
+  void AddBytes(uint64_t bytes);
+  // Closes early (idempotent).
+  void End();
+
+ private:
+  TraceBuilder* builder_ = nullptr;
+  size_t index_ = 0;
+};
+
+// Builds one trace; records it into the collector on destruction. A null
+// collector makes every operation a cheap no-op, so call sites never
+// branch on "is tracing on".
+class TraceBuilder {
+ public:
+  TraceBuilder(TraceCollector* collector, std::string op, std::string detail);
+  TraceBuilder(const TraceBuilder&) = delete;
+  TraceBuilder& operator=(const TraceBuilder&) = delete;
+  ~TraceBuilder();
+
+  // Opens a span; it closes when the returned handle dies.
+  ScopedSpan Span(std::string name);
+
+  bool enabled() const { return collector_ != nullptr; }
+
+ private:
+  friend class ScopedSpan;
+
+  struct OpenSpan {
+    TraceSpan span;
+    bool open = false;
+  };
+
+  double ElapsedMs() const;
+  void CloseSpan(size_t index);
+  void AddSpanBytes(size_t index, uint64_t bytes);
+
+  TraceCollector* collector_;
+  std::chrono::steady_clock::time_point start_;
+  Trace trace_;
+  mutable std::mutex mutex_;
+  std::vector<OpenSpan> spans_;
+  uint32_t open_count_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cyrus
+
+#endif  // SRC_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "src/repair/repair_engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "src/crypto/naming.h"
@@ -21,7 +22,10 @@ constexpr int kPlacementAttempts = 3;
 }  // namespace
 
 RepairEngine::RepairEngine(RepairContext context, RepairEngineOptions options)
-    : context_(std::move(context)), options_(std::move(options)) {}
+    : context_(std::move(context)), options_(std::move(options)) {
+  metrics_ = context_.metrics != nullptr ? context_.metrics
+                                         : &obs::MetricsRegistry::Default();
+}
 
 void RepairEngine::Fold(const RepairStats& delta) {
   stats_.scrub_passes += delta.scrub_passes;
@@ -34,6 +38,65 @@ void RepairEngine::Fold(const RepairStats& delta) {
   stats_.shares_pruned += delta.shares_pruned;
   stats_.bytes_moved += delta.bytes_moved;
   stats_.probe_failures += delta.probe_failures;
+
+  // Mirror the same deltas into the registry so dashboards and /metrics see
+  // scrub health without holding a RepairEngine reference. Pointers are
+  // cached across calls: registration takes the registry mutex once.
+  struct ScrubCounters {
+    obs::Counter* passes;
+    obs::Counter* scanned;
+    obs::Counter* degraded;
+    obs::Counter* repaired;
+    obs::Counter* unrepairable;
+    obs::Counter* deferred;
+    obs::Counter* shares_rebuilt;
+    obs::Counter* shares_pruned;
+    obs::Counter* bytes_moved;
+    obs::Counter* probe_failures;
+  };
+  static std::map<obs::MetricsRegistry*, ScrubCounters> cache;
+  static std::mutex cache_mutex;
+  ScrubCounters counters;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    auto it = cache.find(metrics_);
+    if (it == cache.end()) {
+      ScrubCounters fresh;
+      fresh.passes = metrics_->GetCounter("cyrus_scrub_passes_total", {},
+                                          "Completed scrub passes");
+      fresh.scanned = metrics_->GetCounter("cyrus_scrub_chunks_scanned_total", {},
+                                           "Chunk-table entries classified by scans");
+      fresh.degraded = metrics_->GetCounter("cyrus_scrub_chunks_degraded_total", {},
+                                            "Chunks found below their target n");
+      fresh.repaired = metrics_->GetCounter("cyrus_scrub_chunks_repaired_total", {},
+                                            "Chunks restored to their target n");
+      fresh.unrepairable =
+          metrics_->GetCounter("cyrus_scrub_chunks_unrepairable_total", {},
+                               "Chunks with fewer than t reachable shares");
+      fresh.deferred = metrics_->GetCounter("cyrus_scrub_chunks_deferred_total", {},
+                                            "Repairs deferred by pass budgets");
+      fresh.shares_rebuilt = metrics_->GetCounter("cyrus_scrub_shares_rebuilt_total", {},
+                                                  "Fresh shares encoded and uploaded");
+      fresh.shares_pruned = metrics_->GetCounter("cyrus_scrub_shares_pruned_total", {},
+                                                 "Stale dead share locations dropped");
+      fresh.bytes_moved = metrics_->GetCounter("cyrus_scrub_bytes_moved_total", {},
+                                               "Share bytes moved by repairs");
+      fresh.probe_failures = metrics_->GetCounter("cyrus_scrub_probe_failures_total", {},
+                                                  "Probe List calls failed after retry");
+      it = cache.emplace(metrics_, fresh).first;
+    }
+    counters = it->second;
+  }
+  counters.passes->Increment(delta.scrub_passes);
+  counters.scanned->Increment(delta.chunks_scanned);
+  counters.degraded->Increment(delta.chunks_degraded);
+  counters.repaired->Increment(delta.chunks_repaired);
+  counters.unrepairable->Increment(delta.chunks_unrepairable);
+  counters.deferred->Increment(delta.chunks_deferred);
+  counters.shares_rebuilt->Increment(delta.shares_rebuilt);
+  counters.shares_pruned->Increment(delta.shares_pruned);
+  counters.bytes_moved->Increment(delta.bytes_moved);
+  counters.probe_failures->Increment(delta.probe_failures);
 }
 
 // ---------------------------------------------------------------------------
@@ -427,7 +490,7 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
              health.n_target, " shares; active CSP set too small"));
 }
 
-Result<ScrubReport> RepairEngine::ScrubOnce() {
+Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
   if (context_.chunk_table == nullptr || context_.registry == nullptr ||
       context_.ring == nullptr || context_.key_string == nullptr) {
     return FailedPreconditionError("repair engine context is incomplete");
@@ -436,10 +499,25 @@ Result<ScrubReport> RepairEngine::ScrubOnce() {
   RepairStats& delta = report.stats;
   delta.scrub_passes = 1;
 
+  obs::ScopedSpan probe_span;
+  if (trace != nullptr) {
+    probe_span = trace->Span("probe");
+  }
   ProbeSnapshot snapshot = ProbeInternal(delta);
+  probe_span.End();
+
+  obs::ScopedSpan scan_span;
+  if (trace != nullptr) {
+    scan_span = trace->Span("scan");
+  }
   std::map<Sha1Digest, std::vector<ChunkShare>> dead_by_chunk;
   std::vector<ChunkHealth> health = ScanInternal(snapshot, delta, &dead_by_chunk);
+  scan_span.End();
 
+  obs::ScopedSpan repair_span;
+  if (trace != nullptr) {
+    repair_span = trace->Span("repair");
+  }
   uint64_t budget = options_.bandwidth_budget_bytes;
   uint64_t* budget_left = options_.bandwidth_budget_bytes > 0 ? &budget : nullptr;
   uint32_t repairs = 0;
@@ -473,6 +551,7 @@ Result<ScrubReport> RepairEngine::ScrubOnce() {
         break;
     }
   }
+  repair_span.End();
   pending_reprobe_.clear();
   Fold(delta);
   return report;

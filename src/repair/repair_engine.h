@@ -40,6 +40,8 @@
 #include "src/core/hash_ring.h"
 #include "src/core/transfer.h"
 #include "src/meta/chunk_table.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
 #include "src/util/thread_pool.h"
@@ -115,6 +117,8 @@ struct RepairContext {
   std::function<double()> now;
   std::function<Status(int)> mark_csp_failed;
   std::function<Result<uint32_t>()> current_n;  // Eq. (1) for the active set
+  // Sink for cyrus_scrub_* counters; nullptr = process-wide default.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class RepairEngine {
@@ -137,8 +141,9 @@ class RepairEngine {
   std::vector<ChunkHealth> Scan();
 
   // One full scrub pass: probe, scan, repair in priority order until done
-  // or the pass budget is exhausted.
-  Result<ScrubReport> ScrubOnce();
+  // or the pass budget is exhausted. `trace` (nullable) receives
+  // probe/scan/repair stage spans.
+  Result<ScrubReport> ScrubOnce(obs::TraceBuilder* trace = nullptr);
 
   // Flags a CSP whose shares must be re-verified before being trusted -
   // the client calls this when a CSP returns from an outage, since objects
@@ -178,12 +183,15 @@ class RepairEngine {
   Status RepairChunk(const ChunkHealth& health, const std::vector<ChunkShare>& dead,
                      uint64_t* budget_left, ScrubReport& report, RepairStats& delta);
 
+  // Adds `delta` to the lifetime totals and mirrors it into the registry's
+  // cyrus_scrub_* counters.
   void Fold(const RepairStats& delta);
 
   RepairContext context_;
   RepairEngineOptions options_;
   RepairStats stats_;
   std::set<int> pending_reprobe_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace cyrus

@@ -1,6 +1,7 @@
 #include "src/rest/rest_server.h"
 
 #include "src/crypto/sha1.h"
+#include "src/obs/export.h"
 #include "src/rest/json.h"
 #include "src/rest/xml.h"
 #include "src/util/strings.h"
@@ -56,6 +57,11 @@ uint64_t RestVendorServer::requests_served() const {
 HttpResponse RestVendorServer::Handle(const HttpRequest& request) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++requests_;
+  // The scrape endpoint answers even while the vendor simulates an outage:
+  // an operator needs the health export most when the service is down.
+  if (request.path == "/metrics") {
+    return HandleMetrics(request);
+  }
   if (!available_) {
     return HttpResponse::Error(503, "service unavailable");
   }
@@ -66,6 +72,20 @@ HttpResponse RestVendorServer::Handle(const HttpRequest& request) {
   }
   return options_.dialect == ApiDialect::kJson ? HandleJson(request)
                                                : HandleXml(request);
+}
+
+HttpResponse RestVendorServer::HandleMetrics(const HttpRequest& request) {
+  if (request.method != HttpMethod::kGet) {
+    return HttpResponse::Error(405, "metrics endpoint is GET-only");
+  }
+  const obs::MetricsRegistry* registry =
+      options_.metrics != nullptr ? options_.metrics : &obs::MetricsRegistry::Default();
+  if (request.Query("format") == "json") {
+    return HttpResponse::Ok(ToBytes(obs::RenderMetricsJson(registry->Snapshot())),
+                            "application/json");
+  }
+  return HttpResponse::Ok(ToBytes(obs::RenderPrometheusText(registry->Snapshot())),
+                          "text/plain; version=0.0.4");
 }
 
 HttpResponse RestVendorServer::HandleToken(const HttpRequest& request) {

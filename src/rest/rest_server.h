@@ -29,6 +29,7 @@
 #include <string>
 
 #include "src/cloud/simulated_csp.h"  // NamingPolicy
+#include "src/obs/metrics.h"
 #include "src/rest/http.h"
 #include "src/rest/oauth.h"
 
@@ -48,6 +49,11 @@ struct RestVendorOptions {
   // API key (XML dialect).
   std::string api_key = "api-key";
   uint64_t quota_bytes = 0;  // 0 = unlimited
+  // Registry served by GET /metrics (Prometheus text; ?format=json for the
+  // JSON snapshot). nullptr serves the process-wide default registry. The
+  // route is unauthenticated and dialect-independent, like a real
+  // sidecar's scrape endpoint.
+  const obs::MetricsRegistry* metrics = nullptr;
 };
 
 class RestVendorServer {
@@ -78,6 +84,7 @@ class RestVendorServer {
   HttpResponse HandleJson(const HttpRequest& request);
   HttpResponse HandleXml(const HttpRequest& request);
   HttpResponse HandleToken(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
 
   // Store primitives (mutex held by caller).
   Status StoreObject(std::string_view name, ByteSpan data);

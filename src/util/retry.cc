@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace cyrus {
+
+void RecordRetryAttempt(double delay_ms) {
+  // Registration is find-or-create under a mutex; cache the pointers so
+  // the retry hot path is two relaxed atomic adds.
+  static obs::Counter* attempts = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_retry_attempts_total", {},
+      "Re-attempts issued by RetryWithBackoff across all callers");
+  static obs::Gauge* backoff_ms = obs::MetricsRegistry::Default().GetGauge(
+      "cyrus_retry_backoff_ms_total", {},
+      "Cumulative backoff delay reported to callers, in (virtual) ms");
+  attempts->Increment();
+  backoff_ms->Add(delay_ms);
+}
 
 bool IsRetryableStatus(const Status& status) {
   return status.code() == StatusCode::kUnavailable;

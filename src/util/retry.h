@@ -59,6 +59,13 @@ class RetryBackoff {
   uint32_t attempts_ = 1;  // the first attempt has no preceding delay
 };
 
+// Feeds the default metrics registry: increments
+// cyrus_retry_attempts_total and adds `delay_ms` to
+// cyrus_retry_backoff_ms_total. Called by RetryWithBackoff before each
+// re-attempt; defined out of line so the template does not pull metrics.h
+// into every includer.
+void RecordRetryAttempt(double delay_ms);
+
 // Status extraction for RetryWithBackoff (Status and Result<T> spell it
 // differently).
 inline const Status& GetRetryStatus(const Status& status) { return status; }
@@ -79,6 +86,7 @@ auto RetryWithBackoff(const RetryOptions& options, Op&& op,
   while (!result.ok() && IsRetryableStatus(GetRetryStatus(result)) &&
          backoff.ShouldRetry()) {
     const double delay_ms = backoff.NextDelayMs();
+    RecordRetryAttempt(delay_ms);
     if (on_backoff) {
       on_backoff(delay_ms);
     }

@@ -2,7 +2,33 @@
 
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace cyrus {
+namespace {
+
+// Process-wide aggregates across every pool instance: one transfer pool is
+// typical, but benches build several, and a per-pool label would leak an
+// unbounded series per constructed pool.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Default().GetGauge(
+      "cyrus_threadpool_queue_depth", {}, "Tasks waiting in thread-pool queues");
+  return gauge;
+}
+
+obs::Gauge* ActiveWorkersGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Default().GetGauge(
+      "cyrus_threadpool_active_workers", {}, "Worker threads currently running a task");
+  return gauge;
+}
+
+obs::Counter* TasksCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_threadpool_tasks_total", {}, "Tasks submitted to any thread pool");
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   assert(num_threads >= 1);
@@ -29,6 +55,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push(std::move(task));
     ++in_flight_;
   }
+  TasksCounter()->Increment();
+  QueueDepthGauge()->Add(1.0);
   work_available_.notify_one();
 }
 
@@ -49,7 +77,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    QueueDepthGauge()->Add(-1.0);
+    ActiveWorkersGauge()->Add(1.0);
     task();
+    ActiveWorkersGauge()->Add(-1.0);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) {

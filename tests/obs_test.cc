@@ -1,0 +1,447 @@
+// Tests for the observability subsystem: histogram bucket/percentile math,
+// registry semantics (find-or-create, label canonicalization, kind
+// mismatch), concurrent recording under the thread pool, trace span
+// nesting, exposition goldens (Prometheus text + JSON), and the
+// instrumented substrates (thread-pool gauges, retry counters, the
+// fault injector's registry-backed counters, MetricsConnector).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/fault_injection.h"
+#include "src/cloud/metrics_connector.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/rest/json.h"
+#include "src/util/bytes.h"
+#include "src/util/retry.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+namespace {
+
+// --- Histogram math ---
+
+TEST(HistogramTest, BucketAssignmentUsesUpperEdges) {
+  obs::Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);    // bucket 0
+  histogram.Observe(1.5);    // bucket 1
+  histogram.Observe(2.0);    // bucket 1 (upper edge inclusive)
+  histogram.Observe(3.0);    // bucket 2
+  histogram.Observe(100.0);  // overflow
+
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 3u);
+  EXPECT_EQ(snapshot.counts[0], 1u);
+  EXPECT_EQ(snapshot.counts[1], 2u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.overflow, 1u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 107.0);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduped) {
+  obs::Histogram histogram({4.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(histogram.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  obs::Histogram histogram({10.0});
+  histogram.Observe(4.0);
+  histogram.Observe(6.0);
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  // Two observations in (0, 10]: the median lands halfway up the bucket.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(50), snapshot.Quantile(0.5));
+}
+
+TEST(HistogramTest, QuantileEmptyAndOverflow) {
+  obs::Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.Snapshot().Quantile(0.5), 0.0);  // empty
+
+  histogram.Observe(50.0);  // overflow only
+  // The histogram cannot resolve beyond its last finite edge.
+  EXPECT_DOUBLE_EQ(histogram.Snapshot().Quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, ResetForTestZeroesValues) {
+  obs::Histogram histogram({1.0});
+  histogram.Observe(0.5);
+  histogram.Observe(7.0);
+  histogram.ResetForTest();
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.overflow, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.0);
+}
+
+TEST(HistogramTest, ExponentialBucketsGrowGeometrically) {
+  EXPECT_EQ(obs::ExponentialBuckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const std::vector<double>& defaults = obs::DefaultLatencyBucketsMs();
+  ASSERT_EQ(defaults.size(), 13u);
+  EXPECT_DOUBLE_EQ(defaults.front(), 0.01);
+  for (size_t i = 1; i < defaults.size(); ++i) {
+    EXPECT_GT(defaults[i], defaults[i - 1]);
+  }
+}
+
+// --- Registry semantics ---
+
+TEST(RegistryTest, FindOrCreateIsLabelOrderInsensitive) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("ops_total", {{"csp", "c0"}, {"op", "get"}});
+  obs::Counter* b = registry.GetCounter("ops_total", {{"op", "get"}, {"csp", "c0"}});
+  EXPECT_EQ(a, b);
+  obs::Counter* other = registry.GetCounter("ops_total", {{"op", "put"}, {"csp", "c0"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(RegistryTest, KindMismatchReturnsDetachedDummy) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("m", {}, "help")->Increment();
+  // Reusing the name as a gauge must not crash and must not disturb the
+  // registered counter; the dummy is never exported.
+  registry.GetGauge("m")->Set(42.0);
+  registry.GetHistogram("m")->Observe(1.0);
+
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 1u);
+  EXPECT_EQ(snapshot.metrics[0].kind, obs::InstrumentKind::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot.metrics[0].value, 1.0);
+}
+
+TEST(RegistryTest, SnapshotCarriesHelpAndSortedLabels) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("x_total", {{"op", "get"}, {"csp", "c0"}}, "X events")
+      ->Increment(2);
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 1u);
+  EXPECT_EQ(snapshot.metrics[0].help, "X events");
+  ASSERT_EQ(snapshot.metrics[0].labels.size(), 2u);
+  EXPECT_EQ(snapshot.metrics[0].labels[0].first, "csp");  // canonical order
+  EXPECT_EQ(snapshot.metrics[0].labels[1].first, "op");
+}
+
+TEST(RegistryTest, ResetForTestPreservesInstrumentIdentity) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c_total");
+  counter->Increment(5);
+  registry.ResetForTest();
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();  // cached pointer still live
+  EXPECT_EQ(registry.GetCounter("c_total")->value(), 1u);
+}
+
+TEST(RegistryTest, ConcurrentRecordingUnderThreadPool) {
+  obs::MetricsRegistry registry;
+  constexpr size_t kTasks = 64;
+  constexpr size_t kIncrementsPerTask = 1000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    // Re-resolving exercises the registration path racing with recording.
+    obs::Counter* counter = registry.GetCounter("concurrent_total");
+    obs::Histogram* histogram = registry.GetHistogram("concurrent_ms", {}, {1.0, 8.0});
+    for (size_t j = 0; j < kIncrementsPerTask; ++j) {
+      counter->Increment();
+      histogram->Observe(static_cast<double>(i % 16));
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("concurrent_total")->value(),
+            kTasks * kIncrementsPerTask);
+  EXPECT_EQ(registry.GetHistogram("concurrent_ms")->Snapshot().count,
+            kTasks * kIncrementsPerTask);
+}
+
+// --- Instrumented substrates (process-wide default registry) ---
+
+TEST(ThreadPoolMetricsTest, GaugesSettleAndTasksAccumulate) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter* tasks = registry.GetCounter("cyrus_threadpool_tasks_total");
+  obs::Gauge* depth = registry.GetGauge("cyrus_threadpool_queue_depth");
+  obs::Gauge* active = registry.GetGauge("cyrus_threadpool_active_workers");
+  const uint64_t tasks_before = tasks->value();
+  const double depth_before = depth->value();
+  const double active_before = active->value();
+
+  {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.ParallelFor(32, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 32);
+  }  // joined: every submit/run has been mirrored into the gauges
+
+  EXPECT_EQ(tasks->value(), tasks_before + 32);
+  EXPECT_DOUBLE_EQ(depth->value(), depth_before);
+  EXPECT_DOUBLE_EQ(active->value(), active_before);
+}
+
+TEST(RetryMetricsTest, RecordsAttemptsAndBackoff) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter* attempts = registry.GetCounter("cyrus_retry_attempts_total");
+  obs::Gauge* backoff = registry.GetGauge("cyrus_retry_backoff_ms_total");
+  const uint64_t attempts_before = attempts->value();
+  const double backoff_before = backoff->value();
+
+  RetryOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  Status status = RetryWithBackoff(options, [&]() -> Status {
+    return ++calls < 3 ? UnavailableError("flaky") : OkStatus();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts->value(), attempts_before + 2);  // one per re-attempt
+  EXPECT_GT(backoff->value(), backoff_before);
+}
+
+TEST(FaultInjectionMetricsTest, CountersFlowThroughRegistry) {
+  obs::MetricsRegistry registry;
+  auto store = std::make_shared<SimulatedCsp>(SimulatedCspOptions{"sim0"});
+  FaultInjectionOptions options;
+  options.metrics = &registry;
+  options.transient_error_prob = 1.0;
+  FaultInjectingConnector fault(store, options);
+
+  ASSERT_TRUE(fault.Authenticate(Credentials{"token"}).ok());  // exempt
+  EXPECT_EQ(fault.Upload("obj", ToBytes("x")).code(), StatusCode::kUnavailable);
+
+  EXPECT_EQ(fault.counters().calls, 1u);
+  EXPECT_EQ(fault.counters().transient_errors, 1u);
+  obs::Counter* series = registry.GetCounter(
+      "cyrus_fault_errors_total", {{"csp", "sim0"}, {"fault", "transient"}});
+  EXPECT_EQ(series->value(), 1u);
+
+  // ResetCounters rebases the per-instance view; the registry series keeps
+  // its process-lifetime total.
+  fault.ResetCounters();
+  EXPECT_EQ(fault.counters().transient_errors, 0u);
+  EXPECT_EQ(series->value(), 1u);
+}
+
+TEST(MetricsConnectorTest, RecordsPerOperationOutcomes) {
+  obs::MetricsRegistry registry;
+  auto store = std::make_shared<SimulatedCsp>(SimulatedCspOptions{"simA"});
+  MetricsConnector connector(store, &registry);
+
+  ASSERT_TRUE(connector.Authenticate(Credentials{"token"}).ok());
+  ASSERT_TRUE(connector.Upload("a", ToBytes("hello")).ok());
+  auto data = connector.Download("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(connector.Download("missing").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(connector.List("").ok());
+  ASSERT_TRUE(connector.Delete("a").ok());
+
+  auto count = [&](const char* op, const char* result) {
+    return registry
+        .GetCounter("cyrus_csp_ops_total",
+                    {{"csp", "simA"}, {"op", op}, {"result", result}})
+        ->value();
+  };
+  EXPECT_EQ(count("authenticate", "ok"), 1u);
+  EXPECT_EQ(count("upload", "ok"), 1u);
+  EXPECT_EQ(count("download", "ok"), 1u);
+  EXPECT_EQ(count("download", "error"), 1u);
+  EXPECT_EQ(count("list", "ok"), 1u);
+  EXPECT_EQ(count("delete", "ok"), 1u);
+
+  EXPECT_EQ(registry.GetCounter("cyrus_csp_bytes_total",
+                                {{"csp", "simA"}, {"op", "upload"}})
+                ->value(),
+            5u);
+  EXPECT_EQ(registry.GetCounter("cyrus_csp_bytes_total",
+                                {{"csp", "simA"}, {"op", "download"}})
+                ->value(),
+            5u);
+  EXPECT_EQ(registry
+                .GetCounter("cyrus_csp_errors_total", {{"csp", "simA"},
+                                                       {"op", "download"},
+                                                       {"code", "not_found"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetHistogram("cyrus_csp_op_latency_ms",
+                              {{"csp", "simA"}, {"op", "upload"}})
+                ->Snapshot()
+                .count,
+            1u);
+}
+
+// --- Trace spans ---
+
+TEST(TraceTest, SpanNestingDepthsAndBytes) {
+  obs::TraceCollector collector(8);
+  {
+    obs::TraceBuilder builder(&collector, "Put", "docs/a.txt");
+    EXPECT_TRUE(builder.enabled());
+    obs::ScopedSpan outer = builder.Span("outer");
+    {
+      obs::ScopedSpan inner = builder.Span("inner");
+      inner.AddBytes(7);
+      inner.AddBytes(3);
+    }
+    outer.End();
+    obs::ScopedSpan tail = builder.Span("tail");
+  }
+
+  obs::Trace trace;
+  ASSERT_TRUE(collector.Latest("Put", &trace));
+  EXPECT_EQ(trace.detail, "docs/a.txt");
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].name, "outer");
+  EXPECT_EQ(trace.spans[0].depth, 0u);
+  EXPECT_EQ(trace.spans[1].name, "inner");
+  EXPECT_EQ(trace.spans[1].depth, 1u);  // opened while "outer" was open
+  EXPECT_EQ(trace.spans[1].bytes, 10u);
+  EXPECT_EQ(trace.spans[2].name, "tail");
+  EXPECT_EQ(trace.spans[2].depth, 0u);  // "outer" had ended
+  EXPECT_GE(trace.spans[1].start_ms, trace.spans[0].start_ms);
+  EXPECT_GE(trace.total_ms, 0.0);
+
+  const obs::TraceSpan* found = trace.FindSpan("inner");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->bytes, 10u);
+  EXPECT_EQ(trace.FindSpan("absent"), nullptr);
+}
+
+TEST(TraceTest, LeakedOpenSpansCloseAtTraceEnd) {
+  obs::TraceCollector collector;
+  {
+    obs::TraceBuilder builder(&collector, "Get", "");
+    obs::ScopedSpan span = builder.Span("never_ended");
+    // Moved-from handles must not double-close.
+    obs::ScopedSpan moved = std::move(span);
+    (void)moved;
+  }
+  obs::Trace trace;
+  ASSERT_TRUE(collector.Latest("Get", &trace));
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_GE(trace.spans[0].duration_ms, 0.0);
+  EXPECT_LE(trace.spans[0].duration_ms, trace.total_ms + 1e-9);
+}
+
+TEST(TraceTest, NullCollectorIsNoOp) {
+  obs::TraceBuilder builder(nullptr, "Put", "x");
+  EXPECT_FALSE(builder.enabled());
+  obs::ScopedSpan span = builder.Span("stage");
+  span.AddBytes(5);
+  span.End();  // must not crash
+}
+
+TEST(TraceTest, RingEvictsOldestAndLatestFindsNewest) {
+  obs::TraceCollector collector(2);
+  for (int i = 0; i < 3; ++i) {
+    obs::Trace trace;
+    trace.op = "Put";
+    trace.detail = "file-" + std::to_string(i);
+    collector.Record(std::move(trace));
+  }
+  EXPECT_EQ(collector.total_recorded(), 3u);
+  const std::vector<obs::Trace> snapshot = collector.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);  // capacity bound; oldest evicted
+  EXPECT_EQ(snapshot.front().detail, "file-1");
+
+  obs::Trace latest;
+  ASSERT_TRUE(collector.Latest("Put", &latest));
+  EXPECT_EQ(latest.detail, "file-2");
+  EXPECT_FALSE(collector.Latest("ScrubOnce", &latest));
+
+  collector.Clear();
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+TEST(TraceTest, RenderTraceTextIndentsByDepth) {
+  obs::Trace trace;
+  trace.op = "Put";
+  trace.detail = "a.bin";
+  trace.total_ms = 12.0;
+  trace.spans.push_back({"chunking", 0, 0.0, 4.0, 0});
+  trace.spans.push_back({"encode", 1, 1.0, 2.0, 4096});
+  const std::string text = obs::RenderTraceText(trace);
+  EXPECT_NE(text.find("Put a.bin (12 ms)"), std::string::npos);
+  EXPECT_NE(text.find("\n  chunking: 4 ms"), std::string::npos);
+  EXPECT_NE(text.find("\n    encode: 2 ms (4096 B)"), std::string::npos);
+}
+
+// --- Exposition goldens ---
+
+// A small deterministic registry shared by both golden tests.
+void FillGoldenRegistry(obs::MetricsRegistry& registry) {
+  registry.GetCounter("requests_total", {{"op", "get"}}, "Total requests.")
+      ->Increment(3);
+  registry.GetGauge("queue_depth", {}, "Tasks waiting.")->Set(2.5);
+  obs::Histogram* histogram =
+      registry.GetHistogram("latency_ms", {}, {1.0, 2.0, 4.0}, "Observed latency.");
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(3.0);
+  histogram->Observe(9.0);
+}
+
+TEST(ExportTest, PrometheusTextGolden) {
+  obs::MetricsRegistry registry;
+  FillGoldenRegistry(registry);
+  EXPECT_EQ(obs::RenderPrometheusText(registry),
+            "# HELP latency_ms Observed latency.\n"
+            "# TYPE latency_ms histogram\n"
+            "latency_ms_bucket{le=\"1\"} 1\n"
+            "latency_ms_bucket{le=\"2\"} 2\n"
+            "latency_ms_bucket{le=\"4\"} 3\n"
+            "latency_ms_bucket{le=\"+Inf\"} 4\n"
+            "latency_ms_sum 14\n"
+            "latency_ms_count 4\n"
+            "# HELP queue_depth Tasks waiting.\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 2.5\n"
+            "# HELP requests_total Total requests.\n"
+            "# TYPE requests_total counter\n"
+            "requests_total{op=\"get\"} 3\n");
+}
+
+TEST(ExportTest, JsonGoldenAndParsesBack) {
+  obs::MetricsRegistry registry;
+  FillGoldenRegistry(registry);
+  const std::string json = obs::RenderMetricsJson(registry);
+  EXPECT_EQ(json,
+            "{\"metrics\":["
+            "{\"name\":\"latency_ms\",\"type\":\"histogram\",\"labels\":{},"
+            "\"count\":4,\"sum\":14,\"p50\":2,\"p95\":4,\"p99\":4,\"buckets\":["
+            "{\"le\":1,\"count\":1},{\"le\":2,\"count\":1},{\"le\":4,\"count\":1},"
+            "{\"le\":\"+Inf\",\"count\":1}]},"
+            "{\"name\":\"queue_depth\",\"type\":\"gauge\",\"labels\":{},\"value\":2.5},"
+            "{\"name\":\"requests_total\",\"type\":\"counter\","
+            "\"labels\":{\"op\":\"get\"},\"value\":3}]}");
+
+  // The rest layer's parser must accept the hand-rendered document.
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& metrics = (*parsed)["metrics"].AsArray();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0]["name"].AsString(), "latency_ms");
+  EXPECT_DOUBLE_EQ(metrics[0]["p50"].AsNumber(), 2.0);
+  EXPECT_EQ(metrics[0]["buckets"].AsArray().size(), 4u);
+  EXPECT_EQ(metrics[2]["labels"]["op"].AsString(), "get");
+}
+
+TEST(ExportTest, EscapesAwkwardLabelValues) {
+  obs::MetricsRegistry registry;
+  const std::string awkward = "he said \"hi\"\\\n";
+  registry.GetCounter("events_total", {{"msg", awkward}})->Increment();
+
+  const std::string text = obs::RenderPrometheusText(registry);
+  EXPECT_NE(text.find("msg=\"he said \\\"hi\\\"\\\\\\n\""), std::string::npos);
+
+  auto parsed = JsonValue::Parse(obs::RenderMetricsJson(registry));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)["metrics"].AsArray()[0]["labels"]["msg"].AsString(), awkward);
+}
+
+}  // namespace
+}  // namespace cyrus

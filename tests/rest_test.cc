@@ -8,6 +8,7 @@
 
 #include "src/core/client.h"
 #include "src/core/sync_service.h"
+#include "src/obs/metrics.h"
 #include "src/rest/http.h"
 #include "src/rest/json.h"
 #include "src/rest/oauth.h"
@@ -300,6 +301,42 @@ TEST(RestConnectorTest, QuotaSurfacesAsResourceExhausted) {
   ASSERT_TRUE(connector.Authenticate(Credentials{"granted"}).ok());
   EXPECT_EQ(connector.Upload("big", ToBytes("way too large")).code(),
             StatusCode::kResourceExhausted);
+}
+
+TEST(RestVendorServerTest, ServesMetricsScrape) {
+  // The vendor exposes GET /metrics like a real sidecar scrape endpoint:
+  // Prometheus text by default, JSON on ?format=json, reachable even while
+  // the vendor simulates an outage.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("cyrus_test_events_total", {{"csp", "v0"}}, "Test events")
+      ->Increment(7);
+
+  RestVendorOptions options;
+  options.id = "metrics-vendor";
+  options.metrics = &registry;
+  RestVendorServer server(options);
+
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.path = "/metrics";
+  HttpResponse text = server.Handle(request);
+  EXPECT_EQ(text.status, 200);
+  EXPECT_EQ(text.headers.at("content-type"), "text/plain; version=0.0.4");
+  EXPECT_NE(ToString(text.body).find("cyrus_test_events_total{csp=\"v0\"} 7"),
+            std::string::npos);
+
+  request.query["format"] = "json";
+  HttpResponse json = server.Handle(request);
+  EXPECT_EQ(json.status, 200);
+  auto parsed = JsonValue::Parse(ToString(json.body));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ((*parsed)["metrics"].AsArray().size(), 1u);
+  EXPECT_DOUBLE_EQ((*parsed)["metrics"].AsArray()[0]["value"].AsNumber(), 7.0);
+
+  server.set_available(false);
+  EXPECT_EQ(server.Handle(request).status, 200);  // scrape survives outages
+  request.method = HttpMethod::kPost;
+  EXPECT_EQ(server.Handle(request).status, 405);  // GET-only
 }
 
 TEST(RestVendorServerTest, IdKeyedListsDuplicates) {
