@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Repo check driver.
+#
+#   scripts/check.sh                 # build + fast tier-1 tests (no labels)
+#   scripts/check.sh --stress        # + pipelined-engine stress battery
+#   scripts/check.sh --soak         # + fault-injection repair soak
+#   scripts/check.sh --metrics      # + observability exposition tests
+#   scripts/check.sh --all          # every labeled suite
+#   scripts/check.sh --bench        # + bench_pipeline (asserts pipelined
+#                                   #   Put is never slower than sequential)
+#   scripts/check.sh --tsan         # ThreadSanitizer build of the stress
+#                                   #   battery in build-tsan/
+#
+# Flags compose: `scripts/check.sh --stress --bench`. The fast tier always
+# runs first; labeled suites are opt-in so the default stays quick enough
+# for a pre-commit hook.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_STRESS=0
+RUN_SOAK=0
+RUN_METRICS=0
+RUN_BENCH=0
+RUN_TSAN=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --stress)  RUN_STRESS=1 ;;
+    --soak)    RUN_SOAK=1 ;;
+    --metrics) RUN_METRICS=1 ;;
+    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1 ;;
+    --bench)   RUN_BENCH=1 ;;
+    --tsan)    RUN_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+echo "== build =="
+cmake -B build -S . "${GENERATOR[@]}" >/dev/null
+cmake --build build --parallel
+
+echo "== tier-1 tests (fast, unlabeled) =="
+ctest --test-dir build -LE 'stress|soak|metrics' --output-on-failure
+
+if [[ "$RUN_STRESS" == 1 ]]; then
+  echo "== stress: pipelined transfer engine =="
+  ctest --test-dir build -L stress --output-on-failure
+fi
+
+if [[ "$RUN_SOAK" == 1 ]]; then
+  echo "== soak: repair engine fault schedules =="
+  ctest --test-dir build -L soak --output-on-failure
+fi
+
+if [[ "$RUN_METRICS" == 1 ]]; then
+  echo "== metrics: observability exposition =="
+  ctest --test-dir build -L metrics --output-on-failure
+fi
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "== bench: pipelined vs sequential Put/Get =="
+  # Exits non-zero if any pipelined window is slower than the sequential
+  # baseline, or the headline one-slow-CSP speedup misses the 1.5x bar.
+  (cd build && ./bench/bench_pipeline)
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tsan: stress battery under ThreadSanitizer =="
+  cmake -B build-tsan -S . "${GENERATOR[@]}" -DENABLE_TSAN=ON >/dev/null
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test
+  (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test)
+fi
+
+echo "OK"

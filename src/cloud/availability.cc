@@ -9,6 +9,7 @@ AvailabilityMonitor::AvailabilityMonitor(double failure_threshold_seconds)
     : threshold_(failure_threshold_seconds) {}
 
 void AvailabilityMonitor::RecordProbe(int csp, double time, bool reachable) {
+  std::lock_guard<std::mutex> lock(mutex_);
   History& h = history_[csp];
   if (!h.any_probe) {
     h.any_probe = true;
@@ -36,6 +37,11 @@ void AvailabilityMonitor::RecordProbe(int csp, double time, bool reachable) {
 }
 
 double AvailabilityMonitor::EstimateFailureProbability(int csp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EstimateLocked(csp);
+}
+
+double AvailabilityMonitor::EstimateLocked(int csp) const {
   auto it = history_.find(csp);
   if (it == history_.end() || !it->second.any_probe) {
     return 0.0;
@@ -54,14 +60,16 @@ double AvailabilityMonitor::EstimateFailureProbability(int csp) const {
 }
 
 double AvailabilityMonitor::MaxFailureProbability() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double p = 0.0;
   for (const auto& [csp, h] : history_) {
-    p = std::max(p, EstimateFailureProbability(csp));
+    p = std::max(p, EstimateLocked(csp));
   }
   return p;
 }
 
 bool AvailabilityMonitor::IsFailed(int csp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = history_.find(csp);
   if (it == history_.end()) {
     return false;

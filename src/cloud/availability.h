@@ -9,10 +9,13 @@
 // OutageSchedule generates the alternating up/down process used by the
 // Figure 13 reliability simulation, parameterized by annual downtime (the
 // paper cites 1.37-18.53 hours/year for four commercial CSPs).
+// AvailabilityMonitor is thread-safe: the pipelined transfer engine records
+// probes from pool threads while Eq. (1) sizing reads estimates.
 #ifndef SRC_CLOUD_AVAILABILITY_H_
 #define SRC_CLOUD_AVAILABILITY_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/util/result.h"
@@ -49,6 +52,10 @@ class AvailabilityMonitor {
     bool any_probe = false;
   };
 
+  // Requires mutex_ held.
+  double EstimateLocked(int csp) const;
+
+  mutable std::mutex mutex_;
   double threshold_;
   std::map<int, History> history_;
 };

@@ -5,6 +5,10 @@
 // download, delete. All provider heterogeneity (name-keyed vs id-keyed
 // object stores, overwrite semantics, quotas, outages) lives behind this
 // interface; everything above it is provider-agnostic.
+//
+// Implementations must be thread-safe: the pipelined transfer engine
+// issues List/Upload/Download/Delete from pool threads concurrently
+// (Authenticate runs before any transfers start).
 #ifndef SRC_CLOUD_CONNECTOR_H_
 #define SRC_CLOUD_CONNECTOR_H_
 

@@ -1,12 +1,24 @@
 #include "src/cloud/fault_injection.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/util/strings.h"
 
 namespace cyrus {
+namespace {
+
+void SleepMs(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+  }
+}
+
+}  // namespace
 
 FaultInjectingConnector::FaultInjectingConnector(
     std::shared_ptr<CloudConnector> inner, FaultInjectionOptions options)
@@ -53,6 +65,13 @@ Status FaultInjectingConnector::RollFaults(bool allow_transient) {
   return OkStatus();
 }
 
+double FaultInjectingConnector::DrawRealSleepMsLocked() {
+  if (options_.real_sleep_max_ms <= 0.0) {
+    return 0.0;
+  }
+  return rng_.NextDouble() * options_.real_sleep_max_ms;
+}
+
 Status FaultInjectingConnector::Authenticate(const Credentials& credentials) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -66,14 +85,18 @@ Status FaultInjectingConnector::Authenticate(const Credentials& credentials) {
 
 Result<std::vector<ObjectInfo>> FaultInjectingConnector::List(
     std::string_view prefix) {
+  double sleep_ms = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+    sleep_ms = DrawRealSleepMsLocked();
   }
+  SleepMs(sleep_ms);
   return inner_->List(prefix);
 }
 
 Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
+  double sleep_ms = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
@@ -81,23 +104,31 @@ Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
       uploads_lost_->Increment();
       return OkStatus();  // the silent part of silent loss
     }
+    sleep_ms = DrawRealSleepMsLocked();
   }
+  SleepMs(sleep_ms);
   return inner_->Upload(name, data);
 }
 
 Result<Bytes> FaultInjectingConnector::Download(std::string_view name) {
+  double sleep_ms = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+    sleep_ms = DrawRealSleepMsLocked();
   }
+  SleepMs(sleep_ms);
   return inner_->Download(name);
 }
 
 Status FaultInjectingConnector::Delete(std::string_view name) {
+  double sleep_ms = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+    sleep_ms = DrawRealSleepMsLocked();
   }
+  SleepMs(sleep_ms);
   return inner_->Delete(name);
 }
 

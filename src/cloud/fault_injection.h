@@ -46,6 +46,12 @@ struct FaultInjectionOptions {
   // Mean of the exponential per-call latency draw, in milliseconds; 0
   // disables the draw. Accumulated, never slept.
   double latency_mean_ms = 0.0;
+  // Upper bound of a uniform per-call *real* sleep, in milliseconds; 0
+  // disables it. Slept outside the injector's lock, so concurrent calls
+  // overlap and their completion order is genuinely scrambled - the knob
+  // the pipelined-engine stress tests use to force out-of-submission-order
+  // completions on real threads.
+  double real_sleep_max_ms = 0.0;
   // Start in the permanent-outage state.
   bool permanently_down = false;
 };
@@ -105,6 +111,10 @@ class FaultInjectingConnector : public CloudConnector {
   // Rolls the outage/transient/latency dice for one call; returns the
   // injected failure or OK to forward. Requires mutex_ held.
   Status RollFaults(bool allow_transient);
+
+  // Draws this call's real-sleep duration (0 when disabled). Requires
+  // mutex_ held; the caller sleeps after releasing the lock.
+  double DrawRealSleepMsLocked();
 
   // Raw (lifetime) registry values, before baseline subtraction.
   FaultInjectionCounters RawCounters() const;

@@ -6,10 +6,16 @@
 // active / failed / removed states: failures are detected by upload errors
 // and probed periodically; removal triggers lazy share migration in the
 // core client.
+//
+// Thread-safe: the pipelined transfer engine reads states and connectors
+// from pool threads while the failover path flips states concurrently.
+// Each call is atomic; read-modify-write sequences (e.g. "if active then
+// fail") are serialized by the client's topology mutex, not here.
 #ifndef SRC_CLOUD_REGISTRY_H_
 #define SRC_CLOUD_REGISTRY_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,7 +44,7 @@ class CspRegistry {
   // Adds a CSP account; returns its stable index.
   int Add(std::shared_ptr<CloudConnector> connector, CspProfile profile);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
   Result<CloudConnector*> connector(int index) const;
   Result<CspProfile> profile(int index) const;
@@ -68,8 +74,10 @@ class CspRegistry {
     CspState state = CspState::kActive;
   };
 
+  // Requires mutex_ held.
   Status CheckIndex(int index) const;
 
+  mutable std::mutex mutex_;
   std::vector<Entry> entries_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <list>
 #include <map>
 #include <set>
 
@@ -142,6 +143,9 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
                                           "Chunks downloaded and decoded by Get");
   shares_migrated_ = metrics_->GetCounter("cyrus_client_shares_migrated_total", {},
                                           "Share locations lazily migrated by Get");
+  codec_creates_ = metrics_->GetCounter("cyrus_client_codec_creates_total", {},
+                                        "Secret-sharing codecs constructed for "
+                                        "chunk scatter (one per Put, not per chunk)");
   put_latency_ms_ = metrics_->GetHistogram("cyrus_client_put_latency_ms", {}, {},
                                            "End-to-end Put pipeline wall time");
   get_latency_ms_ = metrics_->GetHistogram("cyrus_client_get_latency_ms", {}, {},
@@ -161,6 +165,9 @@ Result<std::unique_ptr<CyrusClient>> CyrusClient::Create(CyrusConfig config) {
   if (config.key_string.empty()) {
     return InvalidArgumentError("key string must not be empty");
   }
+  if (config.pipeline_window_chunks < 1) {
+    return InvalidArgumentError("pipeline_window_chunks must be >= 1");
+  }
   CYRUS_ASSIGN_OR_RETURN(Chunker chunker, Chunker::Create(config.chunker));
   return std::unique_ptr<CyrusClient>(
       new CyrusClient(std::move(config), std::move(chunker)));
@@ -177,6 +184,9 @@ Result<int> CyrusClient::AddCsp(std::shared_ptr<CloudConnector> connector,
   }
   CYRUS_RETURN_IF_ERROR(connector->Authenticate(credentials));
   const std::string name(connector->id());
+  // Authenticate ran outside the lock (it is a connector call); the
+  // registry+ring registration below is the atomic part.
+  std::lock_guard<std::mutex> topology(topology_mutex_);
   const int index = registry_.Add(std::move(connector), profile);
   Status ring_status = ring_.AddCsp(index, name, profile.cluster);
   if (!ring_status.ok()) {
@@ -189,16 +199,20 @@ Result<int> CyrusClient::AddCsp(std::shared_ptr<CloudConnector> connector,
 }
 
 Status CyrusClient::RemoveCsp(int csp) {
-  CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
-  if (state == CspState::kRemoved) {
-    return OkStatus();
-  }
-  CYRUS_RETURN_IF_ERROR(registry_.SetState(csp, CspState::kRemoved));
-  if (ring_.Contains(csp)) {
-    CYRUS_RETURN_IF_ERROR(ring_.RemoveCsp(csp));
+  {
+    std::lock_guard<std::mutex> topology(topology_mutex_);
+    CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
+    if (state == CspState::kRemoved) {
+      return OkStatus();
+    }
+    CYRUS_RETURN_IF_ERROR(registry_.SetState(csp, CspState::kRemoved));
+    if (ring_.Contains(csp)) {
+      CYRUS_RETURN_IF_ERROR(ring_.RemoveCsp(csp));
+    }
   }
   // Metadata is small: re-scatter every version to the remaining CSPs now.
   // Chunk shares migrate lazily on subsequent downloads (paper §5.5).
+  // Outside the topology lock: UploadMetadata may itself MarkCspFailed.
   TransferReport report;
   for (const FileVersion* version : tree_.AllVersions()) {
     CYRUS_RETURN_IF_ERROR(UploadMetadata(*version, report));
@@ -207,6 +221,10 @@ Status CyrusClient::RemoveCsp(int csp) {
 }
 
 Status CyrusClient::MarkCspFailed(int csp) {
+  // Pipeline workers race here when several transfers to one CSP fail at
+  // once; the topology lock makes check-then-remove atomic, so exactly one
+  // caller performs the downgrade and the rest see the new state.
+  std::lock_guard<std::mutex> topology(topology_mutex_);
   CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
   monitor_.RecordProbe(csp, now_, false);
   if (state != CspState::kActive) {
@@ -220,6 +238,7 @@ Status CyrusClient::MarkCspFailed(int csp) {
 }
 
 Status CyrusClient::MarkCspRecovered(int csp) {
+  std::lock_guard<std::mutex> topology(topology_mutex_);
   CYRUS_ASSIGN_OR_RETURN(CspState state, registry_.state(csp));
   monitor_.RecordProbe(csp, now_, true);
   if (state != CspState::kFailed) {
@@ -237,6 +256,7 @@ Status CyrusClient::MarkCspRecovered(int csp) {
 }
 
 Status CyrusClient::AssignClusters(const std::vector<int>& cluster_per_csp) {
+  std::lock_guard<std::mutex> topology(topology_mutex_);
   if (cluster_per_csp.size() != registry_.size()) {
     return InvalidArgumentError(StrCat("got ", cluster_per_csp.size(),
                                        " cluster ids for ", registry_.size(), " CSPs"));
@@ -281,15 +301,17 @@ Result<std::vector<int>> CyrusClient::PlaceShares(const Sha1Digest& chunk_id,
 }
 
 Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
-    const Sha1Digest& chunk_id, ByteSpan chunk, uint32_t n, const std::string& file,
-    TransferReport& report, obs::TraceBuilder* trace) {
+    const SecretSharingCodec& codec, const Sha1Digest& chunk_id, ByteSpan chunk,
+    const std::string& file, TransferReport& report, obs::TraceBuilder* trace) {
+  // The codec is built once per Put (the dispersal matrix depends only on
+  // (key, t, n), not on chunk content) and shared read-only by every
+  // pipelined scatter of that file.
+  const uint32_t n = codec.n();
   obs::ScopedSpan encode_span;
   if (trace != nullptr) {
     encode_span = trace->Span("encode");
     encode_span.AddBytes(chunk.size());
   }
-  CYRUS_ASSIGN_OR_RETURN(SecretSharingCodec codec,
-                         SecretSharingCodec::Create(config_.key_string, config_.t, n));
   CYRUS_ASSIGN_OR_RETURN(std::vector<Share> shares, codec.Encode(chunk));
   encode_span.End();
 
@@ -413,21 +435,29 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   return locations;
 }
 
-Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
+std::vector<ShareLocation> CyrusClient::ResolveChunkLocations(
+    const FileVersion& version, const Sha1Digest& chunk_id) const {
+  std::vector<ShareLocation> locations;
+  if (const ChunkEntry* entry = chunk_table_.Find(chunk_id); entry != nullptr) {
+    for (const ChunkShare& s : entry->shares) {
+      locations.push_back(ShareLocation{chunk_id, s.share_index, s.csp});
+    }
+  } else {
+    locations = version.SharesOfChunk(chunk_id);
+  }
+  return locations;
+}
+
+Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
                                        const ChunkRecord& chunk,
+                                       const std::vector<ShareLocation>& resolved,
                                        const std::vector<int>& selected_csps,
                                        std::vector<ShareLocation>& updated_shares,
                                        size_t& migrated, TransferReport& report) {
-  // Current locations: prefer the global chunk table (it sees migrations
-  // from other files) and fall back to this version's ShareMap.
-  std::vector<ShareLocation> locations;
-  if (const ChunkEntry* entry = chunk_table_.Find(chunk.id); entry != nullptr) {
-    for (const ChunkShare& s : entry->shares) {
-      locations.push_back(ShareLocation{chunk.id, s.share_index, s.csp});
-    }
-  } else {
-    locations = version.SharesOfChunk(chunk.id);
-  }
+  // The driver resolved `resolved` before submitting this gather, so no
+  // pool thread ever reads the mutable FileVersion (its ShareMap is being
+  // rewritten on the driver as earlier chunks migrate).
+  std::vector<ShareLocation> locations = resolved;
 
   auto location_state = [&](const ShareLocation& loc) {
     auto state = registry_.state(loc.csp);
@@ -501,11 +531,11 @@ Result<Bytes> CyrusClient::GatherChunk(const FileVersion& version,
     }
     monitor_.RecordProbe(loc.csp, now_, true);
     shares.push_back(Share{loc.share_index, *std::move(data)});
-    aggregator_.OnShareEvent(version.file_name, chunk.id, /*success=*/true);
+    aggregator_.OnShareEvent(file_name, chunk.id, /*success=*/true);
     return true;
   };
 
-  aggregator_.ExpectChunk(version.file_name, chunk.id, chunk.t);
+  aggregator_.ExpectChunk(file_name, chunk.id, chunk.t);
   for (int csp : selected_csps) {
     if (shares.size() >= chunk.t) {
       break;
@@ -1019,59 +1049,139 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   const std::vector<ChunkSpan> chunk_spans = chunker_.Split(content);
   chunking_span.End();
 
+  // One codec serves every chunk of this Put: the dispersal matrix depends
+  // only on (key, t, n), so constructing it per chunk was pure waste.
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec codec,
+      SecretSharingCodec::Create(config_.key_string, config_.t, n));
+  codec_creates_->Increment();
+
+  // Pipelined scatter (§5.3): chunk i+1 is encoded and uploading on the
+  // pool while chunk i's completion is book-kept. The OrderedPipeline
+  // delivers completions in file order on this thread, so every mutation
+  // of chunk_table_ / version below keeps the sequential path's
+  // invariants; the window bounds in-flight share buffers to O(window).
+  //
+  // Slots live in a std::list so in-flight workers hold stable addresses;
+  // declared before the pipeline so they outlive its destructor's join.
+  struct ScatterSlot {
+    Sha1Digest chunk_id;
+    ChunkSpan span{};
+    Result<std::vector<ShareLocation>> locations = InternalError("not scattered");
+    TransferReport report;
+    bool dedup = false;
+  };
+  std::list<ScatterSlot> slots;
+  OrderedPipeline::Options window;
+  window.max_in_flight = config_.pipeline_window_chunks;
+  window.max_in_flight_bytes = config_.pipeline_window_bytes;
+  OrderedPipeline pipeline(pool_.get(), window);
+
   std::set<Sha1Digest> shares_recorded;
+  // New chunks submitted but whose completion has not been delivered yet.
+  // A duplicate of an in-flight chunk rides the pipeline as a no-work
+  // task: ordered delivery guarantees the first occurrence's chunk-table
+  // insert lands before the duplicate's lookup.
+  std::set<Sha1Digest> inflight;
+  Status pipeline_status;
   for (const ChunkSpan& span : chunk_spans) {
     const ByteSpan chunk_bytes = content.subspan(span.offset, span.size);
     const Sha1Digest chunk_id = Sha1::Hash(chunk_bytes);
     ++result.total_chunks;
 
-    const ChunkEntry* existing = chunk_table_.Find(chunk_id);
-    if (existing != nullptr) {
-      // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk is
-      // not stored" guard).
-      ++result.dedup_chunks;
-      chunks_deduped_->Increment();
-      version.chunks.push_back(
-          ChunkRecord{chunk_id, span.offset, span.size, existing->t, existing->n});
-      if (shares_recorded.insert(chunk_id).second) {
-        for (const ChunkShare& s : existing->shares) {
-          version.shares.push_back(ShareLocation{chunk_id, s.share_index, s.csp});
-        }
-        CYRUS_RETURN_IF_ERROR(chunk_table_.AddRef(chunk_id));
-      }
-      continue;
-    }
+    slots.emplace_back();
+    ScatterSlot* slot = &slots.back();
+    slot->chunk_id = chunk_id;
+    slot->span = span;
+    slot->dedup =
+        chunk_table_.Find(chunk_id) != nullptr || inflight.count(chunk_id) > 0;
 
-    ++result.new_chunks;
-    chunks_scattered_->Increment();
-    TransferReport scatter_report;
-    CYRUS_ASSIGN_OR_RETURN(
-        std::vector<ShareLocation> locations,
-        ScatterChunk(chunk_id, chunk_bytes, n, version.file_name, scatter_report,
-                     &trace));
-    result.transfer.Append(scatter_report);
-    version.chunks.push_back(ChunkRecord{
-        chunk_id, span.offset, span.size, config_.t,
-        static_cast<uint32_t>(locations.size())});
-    ChunkEntry entry;
-    entry.size = span.size;
-    entry.t = config_.t;
-    entry.n = static_cast<uint32_t>(locations.size());
-    for (const ShareLocation& loc : locations) {
-      entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+    std::function<void()> work;
+    if (slot->dedup) {
+      work = [] {};
+    } else {
+      inflight.insert(chunk_id);
+      work = [this, slot, chunk_bytes, &codec, &version, &trace] {
+        slot->locations = ScatterChunk(codec, slot->chunk_id, chunk_bytes,
+                                       version.file_name, slot->report, &trace);
+      };
     }
-    CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(chunk_id, std::move(entry)));
-    if (shares_recorded.insert(chunk_id).second) {
-      version.shares.insert(version.shares.end(), locations.begin(), locations.end());
+    auto on_complete = [this, slot, &version, &result, &shares_recorded,
+                        &inflight]() -> Status {
+      if (slot->dedup) {
+        // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk
+        // is not stored" guard).
+        const ChunkEntry* existing = chunk_table_.Find(slot->chunk_id);
+        if (existing == nullptr) {
+          return InternalError(StrCat("dedup chunk ", slot->chunk_id.ToHex(),
+                                      " missing from chunk table"));
+        }
+        ++result.dedup_chunks;
+        chunks_deduped_->Increment();
+        version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
+                                             slot->span.size, existing->t,
+                                             existing->n});
+        if (shares_recorded.insert(slot->chunk_id).second) {
+          for (const ChunkShare& s : existing->shares) {
+            version.shares.push_back(
+                ShareLocation{slot->chunk_id, s.share_index, s.csp});
+          }
+          CYRUS_RETURN_IF_ERROR(chunk_table_.AddRef(slot->chunk_id));
+        }
+        return OkStatus();
+      }
+      inflight.erase(slot->chunk_id);
+      CYRUS_RETURN_IF_ERROR(slot->locations.status());
+      const std::vector<ShareLocation>& locations = *slot->locations;
+      ++result.new_chunks;
+      chunks_scattered_->Increment();
+      result.transfer.Append(slot->report);
+      version.chunks.push_back(ChunkRecord{
+          slot->chunk_id, slot->span.offset, slot->span.size, config_.t,
+          static_cast<uint32_t>(locations.size())});
+      ChunkEntry entry;
+      entry.size = slot->span.size;
+      entry.t = config_.t;
+      entry.n = static_cast<uint32_t>(locations.size());
+      for (const ShareLocation& loc : locations) {
+        entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+      }
+      CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(slot->chunk_id, std::move(entry)));
+      if (shares_recorded.insert(slot->chunk_id).second) {
+        version.shares.insert(version.shares.end(), locations.begin(),
+                              locations.end());
+      }
+      return OkStatus();
+    };
+    pipeline_status = pipeline.Submit(slot->dedup ? 0 : span.size,
+                                      std::move(work), std::move(on_complete));
+    if (!pipeline_status.ok()) {
+      break;  // an earlier chunk failed; stop feeding, join what's running
     }
   }
+  {
+    obs::ScopedSpan drain_span = trace.Span("pipeline_drain");
+    const Status drained = pipeline.Drain();
+    if (pipeline_status.ok()) {
+      pipeline_status = drained;
+    }
+  }
+  CYRUS_RETURN_IF_ERROR(pipeline_status);
   result.uploaded_share_bytes = result.transfer.TotalBytes(TransferKind::kPut);
 
   CYRUS_RETURN_IF_ERROR(version.Validate());
   CYRUS_RETURN_IF_ERROR(tree_.Insert(version));
 
   // Metadata publishes only after every chunk's shares are stored
-  // (Algorithm 2 line 10), so readers never see a half-uploaded file.
+  // (Algorithm 2 line 10), so readers never see a half-uploaded file. The
+  // gate is expressed over the aggregator's event stream: ScatterChunk fed
+  // a ShareComplete per stored share, and draining the pipeline joined
+  // them all, so the file-level completion event must have fired
+  // (dedup-only Puts move no shares and have nothing to wait for).
+  if (result.new_chunks > 0 && !aggregator_.FileComplete(version.file_name)) {
+    return InternalError(StrCat(version.file_name,
+                                ": pipeline drained but share uploads incomplete"));
+  }
   obs::ScopedSpan publish_span = trace.Span("publish_meta");
   TransferReport meta_report;
   CYRUS_RETURN_IF_ERROR(UploadMetadata(version, meta_report));
@@ -1169,14 +1279,7 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
     }
     DownloadChunk dc;
     dc.share_bytes = static_cast<double>(ShareSize(chunk->size, chunk->t));
-    std::vector<ShareLocation> locations;
-    if (const ChunkEntry* entry = chunk_table_.Find(id); entry != nullptr) {
-      for (const ChunkShare& s : entry->shares) {
-        locations.push_back(ShareLocation{id, s.share_index, s.csp});
-      }
-    } else {
-      locations = version->SharesOfChunk(id);
-    }
+    const std::vector<ShareLocation> locations = ResolveChunkLocations(*version, id);
     std::set<int> active_holders;
     for (const ShareLocation& loc : locations) {
       auto state = registry_.state(loc.csp);
@@ -1199,32 +1302,82 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
   }
   select_span.End();
 
+  // Pipelined gather, mirroring Put: chunk i+1 downloads and decodes on
+  // the pool while chunk i's result is book-kept in order on this thread.
+  // Each slot carries driver-resolved share locations so workers never
+  // read the mutable FileVersion; migration merges happen per-slot in
+  // on_complete, where the slot's own migrations are folded into the
+  // version's ShareMap before the next completion is delivered.
   obs::ScopedSpan gather_span = trace.Span("gather");
-  std::map<Sha1Digest, Bytes> decoded;
-  for (size_t i = 0; i < unique_ids.size(); ++i) {
-    const ChunkRecord* chunk = by_id[unique_ids[i]];
+  struct GatherSlot {
+    ChunkRecord chunk;
+    std::vector<ShareLocation> locations;
+    std::vector<int> selected;
+    Result<Bytes> data = InternalError("not gathered");
     std::vector<ShareLocation> updated;
-    CYRUS_ASSIGN_OR_RETURN(
-        Bytes data, GatherChunk(*version, *chunk, selections[i], updated,
-                                result.migrated_shares, result.transfer));
-    chunks_gathered_->Increment();
-    gather_span.AddBytes(data.size());
-    decoded.emplace(unique_ids[i], std::move(data));
+    size_t migrated = 0;
+    TransferReport report;
+  };
+  std::list<GatherSlot> slots;  // stable addresses; outlives the pipeline
+  const std::string file_name(version->file_name);
+  OrderedPipeline::Options window;
+  window.max_in_flight = config_.pipeline_window_chunks;
+  window.max_in_flight_bytes = config_.pipeline_window_bytes;
+  OrderedPipeline pipeline(pool_.get(), window);
 
-    // Persist migrations into the version's ShareMap and republish its
-    // metadata so other clients find the new locations.
-    if (result.migrated_shares > 0) {
-      std::vector<ShareLocation> merged;
-      for (const ShareLocation& loc : version->shares) {
-        if (loc.chunk_id != chunk->id) {
-          merged.push_back(loc);
+  std::map<Sha1Digest, Bytes> decoded;
+  Status pipeline_status;
+  for (size_t i = 0; i < unique_ids.size(); ++i) {
+    slots.emplace_back();
+    GatherSlot* slot = &slots.back();
+    slot->chunk = *by_id[unique_ids[i]];
+    slot->locations = ResolveChunkLocations(*version, unique_ids[i]);
+    slot->selected = selections[i];
+
+    auto work = [this, slot, &file_name] {
+      slot->data = GatherChunk(file_name, slot->chunk, slot->locations,
+                               slot->selected, slot->updated, slot->migrated,
+                               slot->report);
+    };
+    auto on_complete = [this, slot, &version, &version_id, &result, &decoded,
+                        &gather_span]() -> Status {
+      result.transfer.Append(slot->report);
+      CYRUS_RETURN_IF_ERROR(slot->data.status());
+      chunks_gathered_->Increment();
+      gather_span.AddBytes(slot->data->size());
+      decoded.emplace(slot->chunk.id, *std::move(slot->data));
+
+      // Persist this chunk's migrations into the version's ShareMap (the
+      // metadata republish happens once, after the drain).
+      if (slot->migrated > 0) {
+        result.migrated_shares += slot->migrated;
+        std::vector<ShareLocation> merged;
+        for (const ShareLocation& loc : version->shares) {
+          if (loc.chunk_id != slot->chunk.id) {
+            merged.push_back(loc);
+          }
         }
+        merged.insert(merged.end(), slot->updated.begin(), slot->updated.end());
+        CYRUS_RETURN_IF_ERROR(
+            tree_.UpdateShareLocations(version->id, std::move(merged)));
+        version = tree_.Find(version_id);  // re-resolve after mutation
       }
-      merged.insert(merged.end(), updated.begin(), updated.end());
-      CYRUS_RETURN_IF_ERROR(tree_.UpdateShareLocations(version->id, std::move(merged)));
-      version = tree_.Find(version_id);  // re-resolve after mutation
+      return OkStatus();
+    };
+    pipeline_status = pipeline.Submit(slot->chunk.size, std::move(work),
+                                      std::move(on_complete));
+    if (!pipeline_status.ok()) {
+      break;
     }
   }
+  {
+    obs::ScopedSpan drain_span = trace.Span("pipeline_drain");
+    const Status drained = pipeline.Drain();
+    if (pipeline_status.ok()) {
+      pipeline_status = drained;
+    }
+  }
+  CYRUS_RETURN_IF_ERROR(pipeline_status);
   gather_span.End();
   if (result.migrated_shares > 0) {
     shares_migrated_->Increment(result.migrated_shares);

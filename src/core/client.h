@@ -21,6 +21,7 @@
 #define SRC_CORE_CLIENT_H_
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "src/obs/trace.h"
 #include "src/opt/download_selector.h"
 #include "src/repair/repair_engine.h"
+#include "src/rs/secret_sharing.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
 #include "src/util/thread_pool.h"
@@ -78,6 +80,18 @@ struct CyrusConfig {
   // Concurrent connector calls per scatter/gather phase (the prototype's
   // dedicated transfer threads, paper §5.3). 1 = fully synchronous.
   uint32_t transfer_concurrency = 4;
+
+  // Pipelined transfer engine (§5.3, Figure 15): how many chunks may be in
+  // flight at once between the chunk/encode stage and share-transfer
+  // completion. Chunk i+1 is hashed, encoded, and uploading while chunk
+  // i's shares are still in transit, so one slow CSP no longer stalls the
+  // whole file. 1 degrades to strictly sequential chunk handling (the
+  // pre-pipeline behavior). Must be >= 1. Memory held by in-flight share
+  // buffers is O(window), not O(file).
+  uint32_t pipeline_window_chunks = 4;
+  // Cap on summed plaintext bytes of in-flight chunks; 0 = unbounded. A
+  // single chunk larger than the cap still passes through alone.
+  uint64_t pipeline_window_bytes = 0;
 
   // Transient-failure retry for share and metadata transfers (capped
   // exponential backoff + jitter). max_attempts = 1 disables retries.
@@ -252,10 +266,14 @@ class CyrusClient {
   // Placement candidates for new shares (cluster-aware if configured).
   Result<std::vector<int>> PlaceShares(const Sha1Digest& chunk_id, uint32_t n) const;
 
-  // Scatters one chunk to n CSPs; fills table entry + report + share rows.
-  // `trace` (nullable) receives encode/place/upload spans.
-  Result<std::vector<ShareLocation>> ScatterChunk(const Sha1Digest& chunk_id,
-                                                  ByteSpan chunk, uint32_t n,
+  // Scatters one chunk to codec.n() CSPs; returns the share rows. Runs on
+  // a pipeline worker: it touches only thread-safe components (registry,
+  // ring, monitor, aggregator) plus caller-owned out-params; all chunk
+  // table and version bookkeeping stays on the driver thread. `trace`
+  // (nullable) receives encode/place/upload spans.
+  Result<std::vector<ShareLocation>> ScatterChunk(const SecretSharingCodec& codec,
+                                                  const Sha1Digest& chunk_id,
+                                                  ByteSpan chunk,
                                                   const std::string& file,
                                                   TransferReport& report,
                                                   obs::TraceBuilder* trace);
@@ -266,11 +284,21 @@ class CyrusClient {
                                      obs::TraceBuilder& trace);
 
   // Downloads and reconstructs one chunk per its ChunkRecord; performs lazy
-  // migration of shares on failed/removed CSPs.
-  Result<Bytes> GatherChunk(const FileVersion& version, const ChunkRecord& chunk,
+  // migration of shares on failed/removed CSPs. Runs on a pipeline worker;
+  // the caller resolves `locations` (chunk table / ShareMap) on the driver
+  // thread and folds `updated_shares` back into the version there, so this
+  // function never reads the mutable FileVersion.
+  Result<Bytes> GatherChunk(const std::string& file_name, const ChunkRecord& chunk,
+                            const std::vector<ShareLocation>& locations,
                             const std::vector<int>& selected_csps,
                             std::vector<ShareLocation>& updated_shares,
                             size_t& migrated, TransferReport& report);
+
+  // Current share locations of a chunk: the global chunk table wins (it
+  // sees migrations from other files); falls back to the version's
+  // ShareMap. Driver-thread only.
+  std::vector<ShareLocation> ResolveChunkLocations(const FileVersion& version,
+                                                   const Sha1Digest& chunk_id) const;
 
   // Wire-form conversion: local registry indices <-> stable connector
   // names via the version's csp_directory.
@@ -296,6 +324,14 @@ class CyrusClient {
   ChunkTable chunk_table_;
   AvailabilityMonitor monitor_;
   TransferAggregator aggregator_;
+  // Serializes topology read-modify-write sequences (MarkCspFailed's
+  // state-check + SetState + ring removal, and its recovery twin) against
+  // each other. Individual registry/ring/monitor calls are already atomic;
+  // this lock makes the *sequences* atomic so two pipeline workers cannot
+  // both observe kActive and both try to remove the same ring node. Lock
+  // order: topology_mutex_ before any component-internal mutex; never held
+  // across a connector call.
+  std::mutex topology_mutex_;
   std::unique_ptr<DownloadSelector> selector_;
   // Transfer worker threads (null when transfer_concurrency == 1).
   std::unique_ptr<ThreadPool> pool_;
@@ -315,6 +351,7 @@ class CyrusClient {
   obs::Counter* chunks_deduped_ = nullptr;
   obs::Counter* chunks_gathered_ = nullptr;
   obs::Counter* shares_migrated_ = nullptr;
+  obs::Counter* codec_creates_ = nullptr;
   obs::Histogram* put_latency_ms_ = nullptr;
   obs::Histogram* get_latency_ms_ = nullptr;
 };

@@ -22,6 +22,7 @@ uint64_t RingPosition(std::string_view name, uint32_t replica) {
 }  // namespace
 
 Status HashRing::AddCsp(int csp_index, std::string_view name, int cluster) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (csps_.count(csp_index) > 0) {
     return AlreadyExistsError(StrCat("CSP ", csp_index, " already on the ring"));
   }
@@ -39,6 +40,7 @@ Status HashRing::AddCsp(int csp_index, std::string_view name, int cluster) {
 }
 
 Status HashRing::RemoveCsp(int csp_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = csps_.find(csp_index);
   if (it == csps_.end()) {
     return NotFoundError(StrCat("CSP ", csp_index, " not on the ring"));
@@ -53,7 +55,15 @@ Status HashRing::RemoveCsp(int csp_index) {
   return OkStatus();
 }
 
-bool HashRing::Contains(int csp_index) const { return csps_.count(csp_index) > 0; }
+bool HashRing::Contains(int csp_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return csps_.count(csp_index) > 0;
+}
+
+size_t HashRing::num_csps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return csps_.size();
+}
 
 template <typename Accept>
 Result<std::vector<int>> HashRing::Walk(const Sha1Digest& chunk_id, uint32_t n,
@@ -90,11 +100,13 @@ Result<std::vector<int>> HashRing::Walk(const Sha1Digest& chunk_id, uint32_t n,
 
 Result<std::vector<int>> HashRing::SelectCsps(const Sha1Digest& chunk_id,
                                               uint32_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return Walk(chunk_id, n, [](int, const CspInfo&) { return true; });
 }
 
 Result<std::vector<int>> HashRing::SelectCspsClusterAware(const Sha1Digest& chunk_id,
                                                           uint32_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::set<int> used_clusters;
   return Walk(chunk_id, n, [&used_clusters](int, const CspInfo& info) {
     if (info.cluster < 0) {
@@ -106,6 +118,7 @@ Result<std::vector<int>> HashRing::SelectCspsClusterAware(const Sha1Digest& chun
 
 Result<std::vector<int>> HashRing::SelectCspsExcluding(
     const Sha1Digest& chunk_id, uint32_t n, const std::vector<int>& excluded) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return Walk(chunk_id, n, [&excluded](int csp, const CspInfo&) {
     return std::find(excluded.begin(), excluded.end(), csp) == excluded.end();
   });

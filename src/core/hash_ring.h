@@ -8,11 +8,17 @@
 // cluster-aware walk instead takes the first n distinct *platform clusters*
 // so that no two shares of a chunk land on CSPs sharing infrastructure
 // (paper §4.1).
+//
+// Thread-safe: the pipelined failover path selects replacement CSPs from
+// pool threads while MarkCspFailed removes ring entries concurrently. Each
+// call is individually atomic; a selection can still be stale by the time
+// its upload runs, and the failover loop absorbs that by retrying.
 #ifndef SRC_CORE_HASH_RING_H_
 #define SRC_CORE_HASH_RING_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,7 +40,7 @@ class HashRing {
   Status RemoveCsp(int csp_index);
 
   bool Contains(int csp_index) const;
-  size_t num_csps() const { return csps_.size(); }
+  size_t num_csps() const;
 
   // First n distinct CSPs clockwise from the chunk's ring position.
   Result<std::vector<int>> SelectCsps(const Sha1Digest& chunk_id, uint32_t n) const;
@@ -55,10 +61,12 @@ class HashRing {
     int cluster = -1;
   };
 
+  // Requires mutex_ held.
   template <typename Accept>
   Result<std::vector<int>> Walk(const Sha1Digest& chunk_id, uint32_t n,
                                 Accept accept) const;
 
+  mutable std::mutex mutex_;
   uint32_t virtual_points_;
   std::map<uint64_t, int> ring_;  // ring position -> CSP index
   std::map<int, CspInfo> csps_;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,9 @@ Result<Bytes> DownloadWithRetry(CloudConnector& connector, TransferKind kind, in
                                 TransferReport& report);
 
 // Aggregates share-level events into chunk- and file-level completion.
+// Thread-safe: the pipelined engine feeds share events from pool threads.
+// Completion callbacks run on the thread that delivered the completing
+// event, outside the aggregator's lock.
 class TransferAggregator {
  public:
   using ChunkCallback = std::function<void(const Sha1Digest&)>;
@@ -89,6 +93,8 @@ class TransferAggregator {
   bool ChunkComplete(const Sha1Digest& chunk_id) const;
   bool FileComplete(const std::string& file) const;
 
+  // Install callbacks before transfers start; they are read without the
+  // lock while events are in flight.
   void set_on_chunk_complete(ChunkCallback cb) { on_chunk_complete_ = std::move(cb); }
   void set_on_file_complete(FileCallback cb) { on_file_complete_ = std::move(cb); }
 
@@ -103,6 +109,7 @@ class TransferAggregator {
     bool fired = false;
   };
 
+  mutable std::mutex mutex_;
   std::map<Sha1Digest, ChunkState> chunks_;
   std::map<Sha1Digest, std::string> chunk_file_;
   std::map<std::string, FileState> files_;

@@ -3,6 +3,14 @@
 // reference them. This is the deduplication index - before scattering a
 // chunk, the uploader consults the table; a hit means zero new bytes leave
 // the client (Algorithm 2, "if chunk is not stored").
+//
+// Threading discipline (deliberately no internal lock): structural
+// mutation - Insert, AddRef, Release - happens only on the client's driver
+// thread, inside ordered pipeline completions. Pipeline workers may call
+// MoveShare, which rewrites one entry's share list in place, but a Get
+// gathers each unique chunk exactly once, so concurrent MoveShare calls
+// always target *distinct* entries and never race with the driver's
+// lookups of other chunks.
 #ifndef SRC_META_CHUNK_TABLE_H_
 #define SRC_META_CHUNK_TABLE_H_
 

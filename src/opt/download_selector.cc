@@ -79,6 +79,43 @@ DownloadAssignment FinalizeAssignment(const DownloadProblem& problem,
 // CYRUS optimizer (Algorithm 1).
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Algorithm 1 solves R MILPs over O(R*C) dense variables: past a few dozen
+// chunks the simplex tableaus grow cubically and a single Get's selection
+// takes longer than the download it optimizes (a 2 MB file at test chunk
+// sizes spent minutes here). Above this cap we switch to the load-aware
+// greedy below: with many chunks the sizes are near-uniform and balancing
+// marginal load converges to the same fluid optimum the LP finds, at
+// O(R*C log C).
+constexpr size_t kMaxExactChunks = 64;
+
+// Picks the t feasible CSPs that minimize the resulting per-CSP bottleneck
+// (load + share)/bandwidth, charging the share to each pick. Chunks are
+// visited in decreasing size order, mirroring the LP path's fixing order.
+std::vector<std::vector<int>> GreedyBalancedAssign(const DownloadProblem& problem,
+                                                   const std::vector<size_t>& order) {
+  std::vector<double> loads(problem.csp_bandwidth.size(), 0.0);
+  std::vector<std::vector<int>> selected(problem.chunks.size());
+  for (size_t r : order) {
+    const double share = problem.chunks[r].share_bytes;
+    std::vector<int> pool = problem.chunks[r].stored_at;
+    for (uint32_t k = 0; k < problem.t; ++k) {
+      auto best = std::min_element(
+          pool.begin() + k, pool.end(), [&](int a, int b) {
+            return (loads[a] + share) / problem.csp_bandwidth[a] <
+                   (loads[b] + share) / problem.csp_bandwidth[b];
+          });
+      std::swap(pool[k], *best);
+      selected[r].push_back(pool[k]);
+      loads[pool[k]] += share;
+    }
+  }
+  return selected;
+}
+
+}  // namespace
+
 Result<DownloadAssignment> OptimalDownloadSelector::Select(
     const DownloadProblem& problem) {
   CYRUS_RETURN_IF_ERROR(Validate(problem));
@@ -102,6 +139,10 @@ Result<DownloadAssignment> OptimalDownloadSelector::Select(
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return problem.chunks[a].share_bytes > problem.chunks[b].share_bytes;
   });
+
+  if (R > kMaxExactChunks) {
+    return FinalizeAssignment(problem, GreedyBalancedAssign(problem, order));
+  }
 
   for (size_t step = 0; step < R; ++step) {
     const size_t eta = order[step];

@@ -69,6 +69,9 @@ class DownloadSelector {
 };
 
 // CYRUS's optimizer: LP relaxation + per-chunk branch-and-bound (Algorithm 1).
+// Beyond a chunk-count cap the exact phase is replaced by a load-aware
+// greedy pass (same fixing order, O(R*C log C)) so selection never
+// dominates the download it plans; see kMaxExactChunks in the .cc.
 class OptimalDownloadSelector : public DownloadSelector {
  public:
   std::string_view name() const override { return "cyrus"; }

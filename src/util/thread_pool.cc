@@ -1,6 +1,9 @@
 #include "src/util/thread_pool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <utility>
 
 #include "src/obs/metrics.h"
 
@@ -28,6 +31,38 @@ obs::Counter* TasksCounter() {
   return counter;
 }
 
+// Pipeline instruments follow the same process-wide pattern: the depth
+// gauge is what a dashboard watches to see whether the in-flight window is
+// actually being filled, and the stall series says how often (and for how
+// long) the driver blocked because the window was full.
+obs::Gauge* PipelineDepthGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Default().GetGauge(
+      "cyrus_pipeline_depth", {},
+      "Tasks in flight across all ordered pipelines (admitted, completion "
+      "not yet delivered)");
+  return gauge;
+}
+
+obs::Counter* PipelineTasksCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_pipeline_tasks_total", {}, "Tasks admitted to ordered pipelines");
+  return counter;
+}
+
+obs::Counter* PipelineStallsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_pipeline_stalls_total", {},
+      "Times a pipeline driver blocked on a full in-flight window");
+  return counter;
+}
+
+obs::Histogram* PipelineStallHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Default().GetHistogram(
+      "cyrus_pipeline_stall_ms", {}, {},
+      "Milliseconds a pipeline driver spent blocked per window stall");
+  return histogram;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -49,9 +84,12 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Enqueue(Task task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (task.group != nullptr) {
+      ++task.group->pending_;
+    }
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -60,34 +98,200 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(Task{std::move(task), nullptr});
+}
+
+void ThreadPool::Submit(TaskGroup& group, std::function<void()> task) {
+  Enqueue(Task{std::move(task), &group});
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // shutting down and drained
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    QueueDepthGauge()->Add(-1.0);
-    ActiveWorkersGauge()->Add(1.0);
-    task();
-    ActiveWorkersGauge()->Add(-1.0);
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) {
-        all_done_.notify_all();
-      }
+void ThreadPool::WaitGroup(TaskGroup& group) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (group.pending_ > 0) {
+    if (!queue_.empty()) {
+      // Help: run queued work (not necessarily this group's) instead of
+      // blocking, so fork-join sections nest without starving the pool.
+      RunOneTask(lock);
+    } else {
+      group.done_.wait(lock);
     }
   }
+}
+
+void ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  Task task = std::move(queue_.front());
+  queue_.pop();
+  lock.unlock();
+  QueueDepthGauge()->Add(-1.0);
+  ActiveWorkersGauge()->Add(1.0);
+  task.fn();
+  ActiveWorkersGauge()->Add(-1.0);
+  lock.lock();
+  if (task.group != nullptr && --task.group->pending_ == 0) {
+    task.group->done_.notify_all();
+  }
+  if (--in_flight_ == 0) {
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // shutting down and drained
+    }
+    RunOneTask(lock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OrderedPipeline
+// ---------------------------------------------------------------------------
+
+OrderedPipeline::OrderedPipeline(ThreadPool* pool, Options options)
+    : pool_(pool), options_(options) {
+  if (options_.max_in_flight < 1) {
+    options_.max_in_flight = 1;
+  }
+}
+
+OrderedPipeline::~OrderedPipeline() {
+  // Join outstanding work so pool tasks never outlive caller-owned state
+  // they capture; undelivered completions are intentionally dropped (the
+  // caller abandoned the pipeline, e.g. by early-returning on an error).
+  std::unique_lock<std::mutex> lock(mutex_);
+  head_done_.wait(lock, [this] {
+    for (const Entry& entry : window_) {
+      if (!entry.work_done) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (const Entry& entry : window_) {
+    PipelineDepthGauge()->Add(-1.0);
+    (void)entry;
+  }
+  window_.clear();
+}
+
+void OrderedPipeline::MarkWorkDone(size_t sequence) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Delivery only pops finished entries, so an in-flight task's slot is
+  // always still in the window.
+  window_[sequence - base_sequence_].work_done = true;
+  head_done_.notify_all();
+}
+
+void OrderedPipeline::DeliverReady(std::unique_lock<std::mutex>& lock) {
+  while (!window_.empty() && window_.front().work_done) {
+    Entry entry = std::move(window_.front());
+    window_.pop_front();
+    ++base_sequence_;
+    in_flight_bytes_ -= entry.cost_bytes;
+    PipelineDepthGauge()->Add(-1.0);
+    const bool run_callback = first_error_.ok();
+    lock.unlock();
+    if (run_callback) {
+      Status status = entry.on_complete();
+      lock.lock();
+      if (!status.ok() && first_error_.ok()) {
+        first_error_ = status;
+      }
+    } else {
+      lock.lock();
+    }
+  }
+}
+
+Status OrderedPipeline::Submit(uint64_t cost_bytes, std::function<void()> work,
+                               std::function<Status()> on_complete) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  DeliverReady(lock);
+
+  // Window admission: block until both the task and byte budgets have
+  // room. An empty window always admits, so one oversized task passes
+  // through instead of deadlocking.
+  const auto window_full = [this, cost_bytes] {
+    if (window_.empty()) {
+      return false;
+    }
+    if (window_.size() >= options_.max_in_flight) {
+      return true;
+    }
+    return options_.max_in_flight_bytes > 0 &&
+           in_flight_bytes_ + cost_bytes > options_.max_in_flight_bytes;
+  };
+  if (window_full()) {
+    PipelineStallsCounter()->Increment();
+    const auto stall_start = std::chrono::steady_clock::now();
+    while (window_full()) {
+      head_done_.wait(lock, [this] {
+        return !window_.empty() && window_.front().work_done;
+      });
+      DeliverReady(lock);
+    }
+    const double stalled =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  stall_start)
+            .count();
+    stall_ms_ += stalled;
+    PipelineStallHistogram()->Observe(stalled);
+  }
+  if (!first_error_.ok()) {
+    return first_error_;  // pipeline latched an error; admit nothing new
+  }
+
+  const size_t sequence = next_sequence_++;
+  window_.push_back(Entry{std::move(on_complete), cost_bytes, /*work_done=*/false});
+  in_flight_bytes_ += cost_bytes;
+  max_depth_seen_ = std::max(max_depth_seen_, window_.size());
+  PipelineDepthGauge()->Add(1.0);
+  PipelineTasksCounter()->Increment();
+
+  if (pool_ == nullptr) {
+    lock.unlock();
+    work();
+    lock.lock();
+    window_[sequence - base_sequence_].work_done = true;
+  } else {
+    lock.unlock();
+    pool_->Submit([this, sequence, work = std::move(work)] {
+      work();
+      MarkWorkDone(sequence);
+    });
+    lock.lock();
+  }
+  DeliverReady(lock);
+  return first_error_;
+}
+
+Status OrderedPipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!window_.empty()) {
+    head_done_.wait(lock,
+                    [this] { return window_.empty() || window_.front().work_done; });
+    DeliverReady(lock);
+  }
+  return first_error_;
+}
+
+double OrderedPipeline::stall_ms() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stall_ms_;
+}
+
+size_t OrderedPipeline::max_depth_seen() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return max_depth_seen_;
 }
 
 }  // namespace cyrus

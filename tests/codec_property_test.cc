@@ -1,0 +1,186 @@
+// Property tests for the secret-sharing codec and the full Put/Get path.
+//
+// Two layers of the same (t, n) threshold property:
+//   - codec level: for random keys, parameters, and payload sizes, EVERY
+//     t-subset of shares reconstructs the payload exactly, and every
+//     (t-1)-subset is rejected (the privacy floor of paper §5.1/§7.1);
+//   - client level: Put then Get is byte-identical across adversarial file
+//     sizes (empty, one byte, chunk-boundary +/- 1, multi-MB) and random
+//     (t, meta_t, key) configurations, with the pipelined engine underneath.
+// All randomness is seeded; a failure reproduces from the case number.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/rs/secret_sharing.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+Bytes RandomContent(Rng& rng, size_t size) {
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+// Every size-k subset of indices [0, n), applied to `visit`. n is small
+// (<= 8 here), so exhaustive enumeration is cheap.
+void ForEachSubset(uint32_t n, uint32_t k,
+                   const std::function<void(const std::vector<uint32_t>&)>& visit) {
+  std::vector<uint32_t> subset(k);
+  std::function<void(uint32_t, uint32_t)> rec = [&](uint32_t start, uint32_t depth) {
+    if (depth == k) {
+      visit(subset);
+      return;
+    }
+    for (uint32_t i = start; i + (k - depth) <= n; ++i) {
+      subset[depth] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+}
+
+TEST(CodecPropertyTest, EveryTSubsetDecodesAndEveryTMinusOneSubsetFails) {
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE(StrCat("trial ", trial));
+    Rng rng(0xFACE0000u + static_cast<uint64_t>(trial));
+    const uint32_t t = 1 + static_cast<uint32_t>(rng.NextBelow(4));  // 1..4
+    const uint32_t n = t + static_cast<uint32_t>(rng.NextBelow(8 - t + 1));
+    const std::string key = StrCat("property key ", rng.Next());
+    // Sizes stress the t-row padding logic: 0, 1, t-1, t, t+1, then random.
+    const size_t sizes[] = {0,     1,     static_cast<size_t>(t > 0 ? t - 1 : 0),
+                            t,     t + 1, 1 + rng.NextBelow(4096)};
+    auto codec = SecretSharingCodec::Create(key, t, n);
+    ASSERT_TRUE(codec.ok()) << codec.status();
+
+    for (const size_t size : sizes) {
+      SCOPED_TRACE(StrCat("size ", size));
+      const Bytes payload = RandomContent(rng, size);
+      auto shares = codec->Encode(payload);
+      ASSERT_TRUE(shares.ok()) << shares.status();
+      ASSERT_EQ(shares->size(), n);
+
+      ForEachSubset(n, t, [&](const std::vector<uint32_t>& pick) {
+        std::vector<Share> subset;
+        for (uint32_t i : pick) {
+          subset.push_back((*shares)[i]);
+        }
+        auto decoded = codec->Decode(subset, payload.size());
+        ASSERT_TRUE(decoded.ok()) << decoded.status();
+        EXPECT_EQ(*decoded, payload);
+      });
+      if (t >= 1) {
+        ForEachSubset(n, t - 1, [&](const std::vector<uint32_t>& pick) {
+          std::vector<Share> subset;
+          for (uint32_t i : pick) {
+            subset.push_back((*shares)[i]);
+          }
+          EXPECT_FALSE(codec->Decode(subset, payload.size()).ok());
+        });
+      }
+    }
+  }
+}
+
+TEST(CodecPropertyTest, DecodingWithTheWrongKeyYieldsGarbageNotPlaintext) {
+  Rng rng(0xBADC0DE);
+  const Bytes payload = RandomContent(rng, 1024);
+  auto codec = SecretSharingCodec::Create("right key", 2, 4);
+  ASSERT_TRUE(codec.ok());
+  auto shares = codec->Encode(payload);
+  ASSERT_TRUE(shares.ok());
+  auto wrong = SecretSharingCodec::Create("wrong key", 2, 4);
+  ASSERT_TRUE(wrong.ok());
+  std::vector<Share> two = {(*shares)[0], (*shares)[1]};
+  auto decoded = wrong->Decode(two, payload.size());
+  // The decode may "succeed" mechanically, but without the key the bytes
+  // must not be the plaintext (paper §7.1: t shares alone are not enough).
+  if (decoded.ok()) {
+    EXPECT_NE(*decoded, payload);
+  }
+}
+
+// --- Client-level round trips across adversarial sizes and parameters ---
+
+struct PropertyCloud {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::unique_ptr<CyrusClient> client;
+};
+
+PropertyCloud MakePropertyCloud(uint64_t seed, uint32_t t, uint32_t meta_t) {
+  PropertyCloud cloud;
+  CyrusConfig config;
+  config.client_id = "property-device";
+  config.key_string = StrCat("property key ", seed);
+  config.t = t;
+  config.meta_t = meta_t;
+  config.epsilon = 1e-4;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  config.transfer_concurrency = 4;
+  config.pipeline_window_chunks = 1 + static_cast<uint32_t>(seed % 5);
+  auto client = CyrusClient::Create(std::move(config));
+  EXPECT_TRUE(client.ok()) << client.status();
+  cloud.client = std::move(client).value();
+  for (int i = 0; i < 6; ++i) {
+    SimulatedCspOptions o;
+    o.id = StrCat("prop-csp", i);
+    o.naming = (i % 2 == 0) ? NamingPolicy::kNameKeyed : NamingPolicy::kIdKeyed;
+    cloud.csps.push_back(std::make_shared<SimulatedCsp>(o));
+    CspProfile profile;
+    profile.rtt_ms = 80 + 15.0 * i;
+    profile.download_bytes_per_sec = 8e6;
+    profile.upload_bytes_per_sec = 4e6;
+    auto added = cloud.client->AddCsp(cloud.csps.back(), profile, Credentials{"token"});
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return cloud;
+}
+
+TEST(CodecPropertyTest, PutGetRoundTripsAcrossAdversarialSizes) {
+  for (int trial = 0; trial < 8; ++trial) {
+    SCOPED_TRACE(StrCat("trial ", trial));
+    const uint64_t seed = 0xD00D0000u + static_cast<uint64_t>(trial);
+    Rng rng(seed);
+    const uint32_t t = 1 + static_cast<uint32_t>(rng.NextBelow(4));       // 1..4
+    const uint32_t meta_t = 1 + static_cast<uint32_t>(rng.NextBelow(3));  // 1..3
+    PropertyCloud cloud = MakePropertyCloud(seed, t, meta_t);
+
+    // ForTesting chunker caps chunks at 8 KiB: straddle that boundary by
+    // one byte each way, plus empty, single-byte, and a multi-MB file that
+    // needs hundreds of pipelined chunks.
+    const size_t max_chunk = cloud.client->config().chunker.max_chunk_size;
+    std::vector<size_t> sizes = {0, 1, max_chunk - 1, max_chunk, max_chunk + 1};
+    if (trial < 2) {
+      // Multi-MB (hundreds of pipelined chunks) on two trials; the rest
+      // stay small so the property sweep remains tier-1 fast.
+      sizes.push_back(2 * 1024 * 1024 + rng.NextBelow(1024));
+    } else {
+      sizes.push_back(64 * 1024 + rng.NextBelow(64 * 1024));
+    }
+    for (size_t k = 0; k < sizes.size(); ++k) {
+      SCOPED_TRACE(StrCat("size ", sizes[k]));
+      const Bytes content = RandomContent(rng, sizes[k]);
+      const std::string name = StrCat("prop-", trial, "-", k);
+      auto put = cloud.client->Put(name, content);
+      ASSERT_TRUE(put.ok()) << put.status();
+      auto get = cloud.client->Get(name);
+      ASSERT_TRUE(get.ok()) << get.status();
+      ASSERT_EQ(get->content.size(), content.size());
+      EXPECT_EQ(get->content, content);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -94,6 +95,40 @@ TEST(OptimalSelectorTest, UsesSlowCloudWhenBeneficial) {
   ASSERT_TRUE(a.ok());
   ExpectValidAssignment(p, *a);
   EXPECT_NEAR(a->predicted_seconds, 6.0, 0.01);
+}
+
+TEST(OptimalSelectorTest, LargeProblemsUseTheGreedyPathAndStayBalanced) {
+  // Past kMaxExactChunks the selector must not run the per-chunk MILP
+  // (which is cubic in chunk count and used to take minutes for a
+  // multi-MB file at small chunk sizes). The greedy path still has to
+  // produce a valid, near-balanced assignment: with uniform chunks and
+  // every share everywhere, the completion time should sit at the fluid
+  // optimum t*R*b / sum(bandwidth), not pile onto the fastest clouds.
+  DownloadProblem p;
+  p.csp_bandwidth = {15e6, 15e6, 12e6, 8e6, 2e6};
+  p.t = 2;
+  const size_t R = 500;
+  for (size_t r = 0; r < R; ++r) {
+    DownloadChunk c;
+    c.share_bytes = 1e5;
+    c.stored_at = {0, 1, 2, 3, 4};
+    p.chunks.push_back(c);
+  }
+  OptimalDownloadSelector selector;
+  const auto start = std::chrono::steady_clock::now();
+  auto a = selector.Select(p);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(a.ok());
+  ExpectValidAssignment(p, *a);
+  EXPECT_LT(elapsed_s, 2.0) << "large-R selection must not hit the MILP";
+  double total_bw = 0;
+  for (double bw : p.csp_bandwidth) {
+    total_bw += bw;
+  }
+  const double fluid_optimum = p.t * R * 1e5 / total_bw;
+  EXPECT_LT(a->predicted_seconds, 1.25 * fluid_optimum);
 }
 
 TEST(OptimalSelectorTest, RespectsClientBandwidthCap) {

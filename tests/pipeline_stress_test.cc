@@ -1,0 +1,189 @@
+// Concurrency stress battery for the pipelined Put/Get engine (ctest label
+// `stress`; run it under TSan via -DENABLE_TSAN=ON or scripts/check.sh
+// --tsan to certify the pipeline's locking discipline).
+//
+// Every iteration drives a fresh client whose CSPs sit behind
+// FaultInjectingConnector decorators: transient kUnavailable errors force
+// the in-place retry and failover re-placement paths to run concurrently
+// on pipeline workers, injected latency skews completion order away from
+// submission order, and mid-run permanent outages exercise MarkCspFailed
+// racing from several workers plus lazy migration on the Get side. All
+// randomness is seeded, so any failure reproduces from the iteration
+// number alone.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/fault_injection.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/obs/metrics.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr int kIterations = 100;
+constexpr int kNumCsps = 6;
+
+struct StressCloud {
+  std::vector<std::shared_ptr<FaultInjectingConnector>> faults;
+  std::unique_ptr<CyrusClient> client;
+  // Owns the instrument series the fault injectors write, keeping the
+  // process-wide default registry clean across 100 iterations.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+Bytes RandomContent(Rng& rng, size_t size) {
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+StressCloud MakeStressCloud(uint64_t seed, double transient_error_prob,
+                            uint32_t window_chunks = 4) {
+  StressCloud cloud;
+  cloud.metrics = std::make_unique<obs::MetricsRegistry>();
+
+  CyrusConfig config;
+  config.client_id = "stress-device";
+  config.key_string = StrCat("stress key ", seed);
+  config.t = 2;
+  config.epsilon = 1e-4;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  config.transfer_concurrency = 4;
+  config.pipeline_window_chunks = window_chunks;
+  config.transfer_retry.seed = seed;
+  config.transfer_retry.max_attempts = 6;  // ride out injected transients
+  config.metrics = cloud.metrics.get();
+
+  auto client = CyrusClient::Create(std::move(config));
+  EXPECT_TRUE(client.ok()) << client.status();
+  cloud.client = std::move(client).value();
+
+  for (int i = 0; i < kNumCsps; ++i) {
+    SimulatedCspOptions o;
+    o.id = StrCat("stress-csp", i);
+    o.naming = (i % 2 == 0) ? NamingPolicy::kNameKeyed : NamingPolicy::kIdKeyed;
+    FaultInjectionOptions faults;
+    faults.seed = seed * kNumCsps + static_cast<uint64_t>(i);
+    faults.metrics = cloud.metrics.get();
+    faults.transient_error_prob = transient_error_prob;
+    faults.latency_mean_ms = 5.0;        // virtual, for the metrics series
+    faults.real_sleep_max_ms = 2.0;      // really scrambles completion order
+    auto injector = std::make_shared<FaultInjectingConnector>(
+        std::make_shared<SimulatedCsp>(o), faults);
+    cloud.faults.push_back(injector);
+    CspProfile profile;
+    profile.rtt_ms = 50 + 20.0 * i;
+    profile.download_bytes_per_sec = (i % 3 == 0) ? 2e6 : 12e6;
+    profile.upload_bytes_per_sec = profile.download_bytes_per_sec / 2;
+    auto added = cloud.client->AddCsp(injector, profile, Credentials{"token"});
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return cloud;
+}
+
+void ReviveAll(StressCloud& cloud) {
+  for (size_t i = 0; i < cloud.faults.size(); ++i) {
+    cloud.faults[i]->set_permanently_down(false);
+    (void)cloud.client->MarkCspRecovered(static_cast<int>(i));
+  }
+}
+
+// A Put may legitimately fail when injected faults shrink the reachable
+// CSP set below t mid-flight; what the stress battery asserts is that it
+// fails *cleanly* and that every success is durable: the bytes come back
+// identical even after an outage forces failover and lazy migration.
+TEST(PipelineStressTest, SeededFaultScheduleNeverCorruptsData) {
+  int puts_succeeded = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SCOPED_TRACE(StrCat("iteration ", iter));
+    const uint64_t seed = 0xC0FFEE00u + static_cast<uint64_t>(iter);
+    Rng rng(seed);
+    // Sweep the fault intensity across iterations.
+    const double error_prob = 0.02 + 0.10 * rng.NextDouble();
+    StressCloud cloud = MakeStressCloud(seed, error_prob);
+
+    // Multi-chunk content (ForTesting chunker: ~1 KB average chunks) with
+    // a shared prefix between the two files so dedup rides the pipeline.
+    const size_t size_a = 4096 + rng.NextBelow(24 * 1024);
+    Bytes file_a = RandomContent(rng, size_a);
+    Bytes file_b = file_a;
+    Bytes tail = RandomContent(rng, 2048 + rng.NextBelow(8 * 1024));
+    file_b.insert(file_b.end(), tail.begin(), tail.end());
+
+    auto put_a = cloud.client->Put("stress-a", file_a);
+    if (!put_a.ok()) {
+      ReviveAll(cloud);
+      put_a = cloud.client->Put("stress-a", file_a);
+    }
+    ASSERT_TRUE(put_a.ok()) << put_a.status();
+    auto put_b = cloud.client->Put("stress-b", file_b);
+    if (!put_b.ok()) {
+      ReviveAll(cloud);
+      put_b = cloud.client->Put("stress-b", file_b);
+    }
+    ASSERT_TRUE(put_b.ok()) << put_b.status();
+    ++puts_succeeded;
+
+    // Knock out a random CSP between Put and Get: the gather pipeline must
+    // fail over to surviving share locations and lazily migrate the lost
+    // ones, with MarkCspFailed racing from concurrent workers.
+    const int down = static_cast<int>(rng.NextBelow(kNumCsps));
+    cloud.faults[static_cast<size_t>(down)]->set_permanently_down(true);
+
+    auto get_a = cloud.client->Get("stress-a");
+    if (!get_a.ok()) {
+      // Fault schedule ate too many shares' CSPs this round; with every
+      // provider back up the stored shares must still reconstruct.
+      ReviveAll(cloud);
+      get_a = cloud.client->Get("stress-a");
+    }
+    ASSERT_TRUE(get_a.ok()) << get_a.status();
+    EXPECT_EQ(get_a->content, file_a);
+
+    auto get_b = cloud.client->Get("stress-b");
+    if (!get_b.ok()) {
+      ReviveAll(cloud);
+      get_b = cloud.client->Get("stress-b");
+    }
+    ASSERT_TRUE(get_b.ok()) << get_b.status();
+    EXPECT_EQ(get_b->content, file_b);
+  }
+  EXPECT_EQ(puts_succeeded, kIterations);
+}
+
+// Narrow window + heavy latency skew: completions arrive far out of
+// submission order, so ordered delivery and the window bound do real work.
+TEST(PipelineStressTest, TinyWindowUnderLatencySkewStaysOrdered) {
+  for (int iter = 0; iter < 10; ++iter) {
+    SCOPED_TRACE(StrCat("iteration ", iter));
+    const uint64_t seed = 0xBEEF00u + static_cast<uint64_t>(iter);
+    Rng rng(seed);
+    StressCloud cloud = MakeStressCloud(seed, 0.05, /*window_chunks=*/2);
+    Bytes content = RandomContent(rng, 32 * 1024);
+    auto put = cloud.client->Put("skewed", content);
+    if (!put.ok()) {
+      ReviveAll(cloud);
+      put = cloud.client->Put("skewed", content);
+    }
+    ASSERT_TRUE(put.ok()) << put.status();
+    auto get = cloud.client->Get("skewed");
+    if (!get.ok()) {
+      ReviveAll(cloud);
+      get = cloud.client->Get("skewed");
+    }
+    ASSERT_TRUE(get.ok()) << get.status();
+    EXPECT_EQ(get->content, content);
+  }
+}
+
+}  // namespace
+}  // namespace cyrus

@@ -2,7 +2,9 @@
 // convergence with no client-to-client communication.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "src/cloud/simulated_csp.h"
 #include "src/core/sync_service.h"
@@ -238,6 +240,121 @@ TEST(SyncServiceTest, PeriodicSyncUnderEventQueue) {
   d2->service->Stop();
   queue.RunUntil(200.0);  // drains the final scheduled callbacks
   EXPECT_FALSE(d1->service->running());
+}
+
+TEST(SyncServiceTest, TrulyConcurrentWritersProduceSiblingHeads) {
+  // Two devices Put the same name at the same wall moment from two
+  // threads, each through its own pipelined engine against the *shared*
+  // simulated providers. Neither sees the other's metadata before
+  // publishing, so after a sync both version trees must hold two live
+  // sibling heads (paper Figure 8's same-name case) and no bytes of
+  // either write may be lost.
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  auto d2 = cloud.MakeDevice("d2");
+  d1->client->set_time(1.0);
+  d2->client->set_time(1.0);
+
+  const Bytes content1 = ToBytes(std::string(6000, 'a') + "written by d1");
+  const Bytes content2 = ToBytes(std::string(6000, 'b') + "written by d2");
+  Result<PutResult> put1 = InternalError("not run");
+  Result<PutResult> put2 = InternalError("not run");
+  {
+    // Synchronize the two Puts as closely as the scheduler allows.
+    std::atomic<int> ready{0};
+    auto racer = [&ready](CyrusClient* client, const Bytes& content,
+                          Result<PutResult>* out) {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }
+      *out = client->Put("raced.doc", content);
+    };
+    std::thread t1(racer, d1->client.get(), std::cref(content1), &put1);
+    std::thread t2(racer, d2->client.get(), std::cref(content2), &put2);
+    t1.join();
+    t2.join();
+  }
+  ASSERT_TRUE(put1.ok()) << put1.status();
+  ASSERT_TRUE(put2.ok()) << put2.status();
+
+  // Each device pulls the other's metadata; both writes are root versions
+  // of the same name, so the tree records them as sibling live heads.
+  auto conflicts1 = d1->client->SyncMetadata();
+  ASSERT_TRUE(conflicts1.ok()) << conflicts1.status();
+  ASSERT_EQ(conflicts1->size(), 1u);
+  EXPECT_EQ((*conflicts1)[0].type, ConflictType::kSameName);
+  std::vector<const FileVersion*> live;
+  for (const FileVersion* head : d1->client->tree().Heads("raced.doc")) {
+    if (!head->deleted) {
+      live.push_back(head);
+    }
+  }
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_TRUE(IsNullDigest(live[0]->prev_id));
+  EXPECT_TRUE(IsNullDigest(live[1]->prev_id));
+  EXPECT_NE(live[0]->id, live[1]->id);
+
+  // Both writes remain retrievable by version id: nothing was clobbered.
+  for (const FileVersion* head : live) {
+    auto get = d1->client->GetVersion("raced.doc", head->id);
+    ASSERT_TRUE(get.ok()) << get.status();
+    EXPECT_TRUE(get->content == content1 || get->content == content2);
+  }
+}
+
+TEST(SyncServiceTest, ConcurrentWritersAutoResolveKeepsBothContents) {
+  SharedCloud cloud;
+  auto d1 = cloud.MakeDevice("d1");
+  auto d2 = cloud.MakeDevice("d2");
+  d1->client->set_time(1.0);
+  d2->client->set_time(2.0);  // d2's write is newer; it must win the name
+
+  Result<PutResult> put1 = InternalError("not run");
+  Result<PutResult> put2 = InternalError("not run");
+  {
+    std::atomic<int> ready{0};
+    auto racer = [&ready](CyrusClient* client, const char* text,
+                          Result<PutResult>* out) {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }
+      *out = client->Put("notes.txt", ToBytes(text));
+    };
+    std::thread t1(racer, d1->client.get(), "older write", &put1);
+    std::thread t2(racer, d2->client.get(), "newer write", &put2);
+    t1.join();
+    t2.join();
+  }
+  ASSERT_TRUE(put1.ok()) << put1.status();
+  ASSERT_TRUE(put2.ok()) << put2.status();
+
+  // The sync service on d1 detects the sibling heads and auto-resolves:
+  // newest head keeps the name, the loser is renamed, nothing is lost.
+  auto stats = d1->service->RunOnce();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->conflicts_detected, 1u);
+  EXPECT_GE(stats->conflicts_resolved, 1u);
+  ASSERT_TRUE(d1->service->RunOnce().ok());  // settle the rename locally
+
+  EXPECT_EQ(ToString(*d1->workspace.ReadFile("notes.txt")), "newer write");
+  bool rescued = false;
+  for (const std::string& name : d1->workspace.FileNames()) {
+    if (StartsWith(name, "notes.txt.conflict-")) {
+      rescued = true;
+      EXPECT_EQ(ToString(*d1->workspace.ReadFile(name)), "older write");
+    }
+  }
+  EXPECT_TRUE(rescued);
+
+  // Under kReportOnly the same race is surfaced but left untouched
+  // (covered for sequential writers above; here we just confirm the raced
+  // heads are visible to a report-only reader too).
+  SyncOptions report_only;
+  report_only.conflict_policy = ConflictPolicy::kReportOnly;
+  auto d3 = cloud.MakeDevice("d3", report_only);
+  auto observer = d3->service->RunOnce();
+  ASSERT_TRUE(observer.ok()) << observer.status();
+  EXPECT_EQ(observer->conflicts_resolved, 0u);
 }
 
 TEST(SyncServiceTest, ToleratesCspOutageDuringSync) {
