@@ -5,6 +5,8 @@
 #   scripts/check.sh --stress        # + pipelined-engine stress battery
 #   scripts/check.sh --soak         # + fault-injection repair soak
 #   scripts/check.sh --metrics      # + observability exposition tests
+#   scripts/check.sh --chaos        # + degraded-mode chaos battery (outages,
+#                                   #   crash recovery, hedging, corruption)
 #   scripts/check.sh --all          # every labeled suite
 #   scripts/check.sh --bench        # + bench_pipeline (asserts pipelined
 #                                   #   Put is never slower than sequential)
@@ -21,6 +23,7 @@ cd "$(dirname "$0")/.."
 RUN_STRESS=0
 RUN_SOAK=0
 RUN_METRICS=0
+RUN_CHAOS=0
 RUN_BENCH=0
 RUN_TSAN=0
 
@@ -29,22 +32,31 @@ for arg in "$@"; do
     --stress)  RUN_STRESS=1 ;;
     --soak)    RUN_SOAK=1 ;;
     --metrics) RUN_METRICS=1 ;;
-    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1 ;;
+    --chaos)   RUN_CHAOS=1 ;;
+    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1 ;;
     --bench)   RUN_BENCH=1 ;;
     --tsan)    RUN_TSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-GENERATOR=()
-command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+# Prefer Ninja for fresh build trees, but never force a generator onto an
+# existing cache (cmake hard-errors on a generator mismatch).
+configure() {
+  local dir="$1"; shift
+  local gen=()
+  if [[ ! -f "$dir/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
+    gen=(-G Ninja)
+  fi
+  cmake -B "$dir" -S . "${gen[@]}" "$@" >/dev/null
+}
 
 echo "== build =="
-cmake -B build -S . "${GENERATOR[@]}" >/dev/null
+configure build
 cmake --build build --parallel
 
 echo "== tier-1 tests (fast, unlabeled) =="
-ctest --test-dir build -LE 'stress|soak|metrics' --output-on-failure
+ctest --test-dir build -LE 'stress|soak|metrics|chaos' --output-on-failure
 
 if [[ "$RUN_STRESS" == 1 ]]; then
   echo "== stress: pipelined transfer engine =="
@@ -61,6 +73,11 @@ if [[ "$RUN_METRICS" == 1 ]]; then
   ctest --test-dir build -L metrics --output-on-failure
 fi
 
+if [[ "$RUN_CHAOS" == 1 ]]; then
+  echo "== chaos: degraded-mode transfer engine =="
+  ctest --test-dir build -L chaos --output-on-failure
+fi
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== bench: pipelined vs sequential Put/Get =="
   # Exits non-zero if any pipelined window is slower than the sequential
@@ -70,9 +87,9 @@ fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress battery under ThreadSanitizer =="
-  cmake -B build-tsan -S . "${GENERATOR[@]}" -DENABLE_TSAN=ON >/dev/null
-  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test
-  (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test)
+  configure build-tsan -DENABLE_TSAN=ON
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test
+  (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test)
 fi
 
 echo "OK"

@@ -78,6 +78,30 @@ bool AvailabilityMonitor::IsFailed(int csp) const {
   return h.unreachable_since >= 0.0 && h.last_probe - h.unreachable_since >= threshold_;
 }
 
+void AvailabilityMonitor::RecordLatency(int csp, double latency_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  History& h = history_[csp];
+  if (!h.any_latency) {
+    h.any_latency = true;
+    h.latency_ewma_ms = latency_ms;
+    return;
+  }
+  // alpha = 0.25 follows the smoothing factor family used by TCP RTT
+  // estimation: responsive enough to track a CSP that turns slow, damped
+  // enough that one straggler does not blow up the hedge deadline.
+  constexpr double kAlpha = 0.25;
+  h.latency_ewma_ms += kAlpha * (latency_ms - h.latency_ewma_ms);
+}
+
+double AvailabilityMonitor::LatencyEstimateMs(int csp, double fallback_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = history_.find(csp);
+  if (it == history_.end() || !it->second.any_latency) {
+    return fallback_ms;
+  }
+  return it->second.latency_ewma_ms;
+}
+
 const std::vector<double>& PaperAnnualDowntimeHours() {
   // CloudHarmony-style annual downtime for the four commercial providers
   // (paper: "downtime varies from 1.37 to 18.53 hours per year"). The two

@@ -43,6 +43,14 @@ class AvailabilityMonitor {
   // Whether the CSP is currently in the failed state.
   bool IsFailed(int csp) const;
 
+  // Records an observed per-share transfer latency for `csp`, folded into
+  // an exponentially-weighted moving average. Feeds the hedged-Get
+  // deadline: "how long does this CSP usually take?".
+  void RecordLatency(int csp, double latency_ms);
+
+  // EWMA transfer latency for `csp`; `fallback_ms` when no samples yet.
+  double LatencyEstimateMs(int csp, double fallback_ms) const;
+
  private:
   struct History {
     double first_probe = 0.0;
@@ -50,6 +58,8 @@ class AvailabilityMonitor {
     double unreachable_since = -1.0;  // <0: currently reachable
     double failed_seconds = 0.0;
     bool any_probe = false;
+    double latency_ewma_ms = 0.0;
+    bool any_latency = false;
   };
 
   // Requires mutex_ held.

@@ -43,6 +43,9 @@ FaultInjectingConnector::FaultInjectingConnector(
                                       "Uploads silently discarded");
   objects_destroyed_ = registry.GetCounter("cyrus_fault_objects_destroyed_total", csp,
                                            "Stored objects silently removed");
+  downloads_corrupted_ =
+      registry.GetCounter("cyrus_fault_downloads_corrupted_total", csp,
+                          "Downloads returned with injected byte flips");
   injected_latency_ms_ = registry.GetGauge("cyrus_fault_injected_latency_ms_total", csp,
                                            "Cumulative injected virtual latency");
   baseline_ = RawCounters();
@@ -107,18 +110,47 @@ Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
     sleep_ms = DrawRealSleepMsLocked();
   }
   SleepMs(sleep_ms);
-  return inner_->Upload(name, data);
+  Status status = inner_->Upload(name, data);
+  if (status.ok() && options_.down_after_uploads > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++successful_uploads_ >= options_.down_after_uploads) {
+      down_ = true;  // the crash: everything after this call fails
+    }
+  }
+  return status;
 }
 
 Result<Bytes> FaultInjectingConnector::Download(std::string_view name) {
   double sleep_ms = 0.0;
+  bool corrupt = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
+    if (options_.download_corrupt_prob > 0.0 &&
+        rng_.NextBool(options_.download_corrupt_prob)) {
+      corrupt = true;
+    }
     sleep_ms = DrawRealSleepMsLocked();
   }
   SleepMs(sleep_ms);
-  return inner_->Download(name);
+  Result<Bytes> result = inner_->Download(name);
+  if (corrupt && result.ok() && !result->empty()) {
+    Bytes bytes = std::move(*result);
+    // One to three seeded flips: enough to break the codeword, few enough
+    // that error-correcting decode still pins the corrupted share.
+    size_t flips = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      flips = 1 + rng_.NextBelow(3);
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t pos = rng_.NextBelow(bytes.size());
+        bytes[pos] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      }
+    }
+    downloads_corrupted_->Increment();
+    return bytes;
+  }
+  return result;
 }
 
 Status FaultInjectingConnector::Delete(std::string_view name) {
@@ -135,6 +167,12 @@ Status FaultInjectingConnector::Delete(std::string_view name) {
 void FaultInjectingConnector::set_permanently_down(bool down) {
   std::lock_guard<std::mutex> lock(mutex_);
   down_ = down;
+  if (!down) {
+    // Reviving models the provider coming back for good: disarm the
+    // one-shot crash trigger so the next upload does not re-trip it.
+    options_.down_after_uploads = 0;
+    successful_uploads_ = 0;
+  }
 }
 
 bool FaultInjectingConnector::permanently_down() const {
@@ -191,6 +229,7 @@ FaultInjectionCounters FaultInjectingConnector::RawCounters() const {
   raw.outage_errors = outage_errors_->value();
   raw.uploads_lost = uploads_lost_->value();
   raw.objects_destroyed = objects_destroyed_->value();
+  raw.downloads_corrupted = downloads_corrupted_->value();
   raw.injected_latency_ms = injected_latency_ms_->value();
   return raw;
 }
@@ -208,6 +247,7 @@ FaultInjectionCounters FaultInjectingConnector::counters() const {
   out.outage_errors = delta(raw.outage_errors, baseline_.outage_errors);
   out.uploads_lost = delta(raw.uploads_lost, baseline_.uploads_lost);
   out.objects_destroyed = delta(raw.objects_destroyed, baseline_.objects_destroyed);
+  out.downloads_corrupted = delta(raw.downloads_corrupted, baseline_.downloads_corrupted);
   out.injected_latency_ms =
       std::max(0.0, raw.injected_latency_ms - baseline_.injected_latency_ms);
   return out;

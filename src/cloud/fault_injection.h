@@ -52,6 +52,17 @@ struct FaultInjectionOptions {
   // the pipelined-engine stress tests use to force out-of-submission-order
   // completions on real threads.
   double real_sleep_max_ms = 0.0;
+  // Probability that a Download returns the stored bytes with one or more
+  // seeded byte flips (bit rot / tampering in transit). The corruption is
+  // silent: the call reports success, so only the decode integrity path or
+  // a scrub catches it.
+  double download_corrupt_prob = 0.0;
+  // After this many successful (non-dropped) Uploads the connector enters
+  // the permanent-outage state, as if the process or provider died
+  // mid-Put. 0 disables. The crash-recovery tests use this to abandon a
+  // Put after exactly k shares have landed. set_permanently_down(false)
+  // disarms the trigger (one crash per configured schedule).
+  uint64_t down_after_uploads = 0;
   // Start in the permanent-outage state.
   bool permanently_down = false;
 };
@@ -66,6 +77,7 @@ struct FaultInjectionCounters {
   uint64_t outage_errors = 0;       // injected kUnavailable (permanent outage)
   uint64_t uploads_lost = 0;        // silently dropped uploads
   uint64_t objects_destroyed = 0;   // stored objects silently removed
+  uint64_t downloads_corrupted = 0; // downloads returned with flipped bytes
   double injected_latency_ms = 0.0;
 };
 
@@ -124,6 +136,7 @@ class FaultInjectingConnector : public CloudConnector {
   FaultInjectionOptions options_;
   Rng rng_;
   bool down_;
+  uint64_t successful_uploads_ = 0;
 
   // Registry instruments, labeled {csp=<inner id>}. Registered once in the
   // constructor; pointers stay valid for the registry's lifetime.
@@ -132,6 +145,7 @@ class FaultInjectingConnector : public CloudConnector {
   obs::Counter* outage_errors_;
   obs::Counter* uploads_lost_;
   obs::Counter* objects_destroyed_;
+  obs::Counter* downloads_corrupted_;
   obs::Gauge* injected_latency_ms_;
   FaultInjectionCounters baseline_;
 };

@@ -113,6 +113,25 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   if (config_.transfer_concurrency > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.transfer_concurrency);
   }
+  metrics_ = config_.metrics != nullptr ? config_.metrics : &obs::MetricsRegistry::Default();
+  if (config_.hedge.enabled) {
+    HedgeOptions hedge = config_.hedge;
+    if (hedge.metrics == nullptr) {
+      hedge.metrics = metrics_;
+    }
+    // Every in-flight GatherChunk blocks a transfer worker inside Fetch()
+    // while its t primaries (plus any backups) run here, so the pool must
+    // hold roughly concurrency * (t + hedges) downloads at once. Undersize
+    // it and primaries queue behind a slow CSP's transfers: the queue wait
+    // counts against hedge deadlines, and backups stack up behind the very
+    // stragglers they were launched to cover. Threads are cheap - they
+    // spend their lives blocked in connector I/O.
+    hedge_pool_ = std::make_unique<ThreadPool>(std::max<uint32_t>(
+        config_.transfer_concurrency *
+            (config_.t + static_cast<uint32_t>(hedge.max_hedges)),
+        2));
+    fetcher_ = std::make_unique<HedgedFetcher>(hedge, hedge_pool_.get(), &monitor_);
+  }
   RepairContext repair_context;
   repair_context.key_string = &config_.key_string;
   repair_context.registry = &registry_;
@@ -126,7 +145,6 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   repair_context.mark_csp_failed = [this](int csp) { return MarkCspFailed(csp); };
   repair_context.current_n = [this] { return CurrentN(); };
 
-  metrics_ = config_.metrics != nullptr ? config_.metrics : &obs::MetricsRegistry::Default();
   traces_ = config_.traces != nullptr ? config_.traces : &obs::TraceCollector::Default();
   repair_context.metrics = metrics_;
   repair_ = std::make_unique<RepairEngine>(std::move(repair_context), config_.repair);
@@ -168,9 +186,19 @@ Result<std::unique_ptr<CyrusClient>> CyrusClient::Create(CyrusConfig config) {
   if (config.pipeline_window_chunks < 1) {
     return InvalidArgumentError("pipeline_window_chunks must be >= 1");
   }
+  if (config.put_failure_budget >= 0 &&
+      static_cast<uint32_t>(config.put_failure_budget) > kMaxShares) {
+    return InvalidArgumentError("put_failure_budget exceeds the share-count bound");
+  }
+  std::unique_ptr<PutJournal> journal;
+  if (!config.journal_path.empty()) {
+    CYRUS_ASSIGN_OR_RETURN(journal, PutJournal::Open(config.journal_path));
+  }
   CYRUS_ASSIGN_OR_RETURN(Chunker chunker, Chunker::Create(config.chunker));
-  return std::unique_ptr<CyrusClient>(
+  std::unique_ptr<CyrusClient> client(
       new CyrusClient(std::move(config), std::move(chunker)));
+  client->journal_ = std::move(journal);
+  return client;
 }
 
 // ---------------------------------------------------------------------------
@@ -182,8 +210,22 @@ Result<int> CyrusClient::AddCsp(std::shared_ptr<CloudConnector> connector,
   if (connector == nullptr) {
     return InvalidArgumentError("connector must not be null");
   }
-  CYRUS_RETURN_IF_ERROR(connector->Authenticate(credentials));
   const std::string name(connector->id());
+  std::shared_ptr<CircuitBreaker> breaker;
+  if (config_.breaker.enabled) {
+    CircuitBreakerOptions opts = config_.breaker;
+    if (opts.metrics == nullptr) {
+      opts.metrics = metrics_;
+    }
+    // Per-CSP seed derivation keeps cooldown jitter decorrelated between
+    // breakers even when every breaker shares one configured seed.
+    opts.seed ^= std::hash<std::string>{}(name);
+    breaker = std::make_shared<CircuitBreaker>(name, opts,
+                                               [this] { return now_; });
+    connector = std::make_shared<CircuitBreakerConnector>(std::move(connector),
+                                                          breaker);
+  }
+  CYRUS_RETURN_IF_ERROR(connector->Authenticate(credentials));
   // Authenticate ran outside the lock (it is a connector call); the
   // registry+ring registration below is the atomic part.
   std::lock_guard<std::mutex> topology(topology_mutex_);
@@ -193,6 +235,19 @@ Result<int> CyrusClient::AddCsp(std::shared_ptr<CloudConnector> connector,
     // Roll the registry entry back to keep ring and registry consistent.
     (void)registry_.SetState(index, CspState::kRemoved);
     return ring_status;
+  }
+  if (breaker != nullptr) {
+    breakers_[index] = breaker;
+    // The breaker's verdicts drive registry/ring placement: a trip evicts
+    // the CSP exactly like the legacy indictment, a close re-admits it.
+    breaker->set_on_transition(
+        [this, index](CircuitBreaker::State /*from*/, CircuitBreaker::State to) {
+          if (to == CircuitBreaker::State::kOpen) {
+            (void)MarkCspFailed(index);
+          } else if (to == CircuitBreaker::State::kClosed) {
+            (void)MarkCspRecovered(index);
+          }
+        });
   }
   monitor_.RecordProbe(index, now_, true);
   return index;
@@ -248,11 +303,45 @@ Status CyrusClient::MarkCspRecovered(int csp) {
   CYRUS_ASSIGN_OR_RETURN(std::string name, registry_.name(csp));
   CYRUS_ASSIGN_OR_RETURN(CspProfile profile, registry_.profile(csp));
   CYRUS_RETURN_IF_ERROR(ring_.AddCsp(csp, name, profile.cluster));
+  if (auto it = breakers_.find(csp); it != breakers_.end()) {
+    // Callback-suppressed reset: we hold the topology mutex the transition
+    // callback would re-take, and the registry is already being fixed here.
+    it->second->ForceClose();
+  }
   // ShareLocations naming this CSP predate the outage; the provider may
   // have lost objects while down, so they must be re-verified by a scrub
   // pass before the reliability accounting trusts them again.
   repair_->FlagCspForReprobe(csp);
   return OkStatus();
+}
+
+Status CyrusClient::NoteTransferFailure(int csp, const Status& status) {
+  if (!IsCspHealthFailure(status)) {
+    return OkStatus();
+  }
+  if (config_.breaker.enabled) {
+    // The breaker decorator already saw the failure and decides when the
+    // CSP leaves placement; only the availability history needs the sample.
+    std::lock_guard<std::mutex> topology(topology_mutex_);
+    monitor_.RecordProbe(csp, now_, false);
+    return OkStatus();
+  }
+  return MarkCspFailed(csp);
+}
+
+uint32_t CyrusClient::PutQuorum(uint32_t n) const {
+  if (config_.put_failure_budget < 0) {
+    return config_.t;
+  }
+  const uint32_t budget =
+      std::min(n, static_cast<uint32_t>(config_.put_failure_budget));
+  return std::max(config_.t, n - budget);
+}
+
+std::shared_ptr<CircuitBreaker> CyrusClient::breaker_for(int csp) {
+  std::lock_guard<std::mutex> topology(topology_mutex_);
+  auto it = breakers_.find(csp);
+  return it != breakers_.end() ? it->second : nullptr;
 }
 
 Status CyrusClient::AssignClusters(const std::vector<int>& cluster_per_csp) {
@@ -302,7 +391,8 @@ Result<std::vector<int>> CyrusClient::PlaceShares(const Sha1Digest& chunk_id,
 
 Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     const SecretSharingCodec& codec, const Sha1Digest& chunk_id, ByteSpan chunk,
-    const std::string& file, TransferReport& report, obs::TraceBuilder* trace) {
+    const std::string& file, const std::string& journal_id,
+    TransferReport& report, obs::TraceBuilder* trace) {
   // The codec is built once per Put (the dispersal matrix depends only on
   // (key, t, n), not on chunk content) and shared read-only by every
   // pipelined scatter of that file.
@@ -319,8 +409,47 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   if (trace != nullptr) {
     place_span = trace->Span("place");
   }
-  CYRUS_ASSIGN_OR_RETURN(std::vector<int> placement, PlaceShares(chunk_id, n));
+  Result<std::vector<int>> placement_or = PlaceShares(chunk_id, n);
+  if (!placement_or.ok() &&
+      placement_or.status().code() == StatusCode::kFailedPrecondition) {
+    // Fewer eligible CSPs than the target n - a provider was indicted
+    // after this Put sized its codec. Scatter onto the widest feasible
+    // placement that still reaches the commit quorum; the unplaced shares
+    // become repair debt instead of failing the whole Put.
+    const uint32_t quorum = PutQuorum(n);
+    for (uint32_t m = n - 1; m >= quorum && m >= 1; --m) {
+      placement_or = PlaceShares(chunk_id, m);
+      if (placement_or.ok()) {
+        break;
+      }
+      if (placement_or.status().code() != StatusCode::kFailedPrecondition) {
+        break;
+      }
+    }
+  }
+  CYRUS_RETURN_IF_ERROR(placement_or.status());
+  const std::vector<int> placement = *std::move(placement_or);
+  // Shares beyond the feasible placement are simply not uploaded; the
+  // codec still encodes all n, and indices [placed, n) are the debt.
+  const uint32_t placed = static_cast<uint32_t>(placement.size());
   place_span.End();
+
+  // Write-ahead journaling: every (csp, object) pair this scatter might
+  // create is durably recorded *before* the upload is attempted, so a crash
+  // at any point leaves a journal superset of what actually landed. A
+  // record whose upload never happened rolls back as a harmless
+  // NotFound-on-delete.
+  auto journal_share = [&](int csp, const std::string& object) -> Status {
+    if (journal_ == nullptr || journal_id.empty()) {
+      return OkStatus();
+    }
+    CYRUS_ASSIGN_OR_RETURN(std::string csp_name, registry_.name(csp));
+    return journal_->AppendShare(journal_id, csp_name, object);
+  };
+  for (uint32_t i = 0; i < placed; ++i) {
+    CYRUS_RETURN_IF_ERROR(journal_share(
+        placement[i], ShareName(chunk_id, shares[i].index, config_.t)));
+  }
 
   obs::ScopedSpan upload_span;
   if (trace != nullptr) {
@@ -334,8 +463,8 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   // prototype's per-connector threads, §5.3). Placement targets are
   // distinct, so the parallel requests never race on a provider decision;
   // connectors themselves are thread-safe.
-  std::vector<Status> first_pass(n, InternalError("no upload attempted"));
-  std::vector<TransferReport> first_pass_reports(n);
+  std::vector<Status> first_pass(placed, InternalError("no upload attempted"));
+  std::vector<TransferReport> first_pass_reports(placed);
   auto upload_share = [&](size_t i) {
     const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
     auto conn = registry_.connector(placement[i]);
@@ -351,10 +480,10 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
         UploadWithRetry(**conn, TransferKind::kPut, placement[i], object,
                         shares[i].data, config_.transfer_retry, first_pass_reports[i]);
   };
-  if (pool_ != nullptr && n > 1) {
-    pool_->ParallelFor(n, upload_share);
+  if (pool_ != nullptr && placed > 1) {
+    pool_->ParallelFor(placed, upload_share);
   } else {
-    for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t i = 0; i < placed; ++i) {
       upload_share(i);
     }
   }
@@ -364,14 +493,14 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   // holds a share - including targets of *later* shares whose first-pass
   // upload succeeded but has not been book-kept yet.
   std::vector<int> reserved;
-  for (uint32_t j = 0; j < n; ++j) {
+  for (uint32_t j = 0; j < placed; ++j) {
     if (first_pass[j].ok()) {
       reserved.push_back(placement[j]);
     }
   }
   std::vector<ShareLocation> locations;
   std::vector<int> used;
-  for (uint32_t i = 0; i < n; ++i) {
+  for (uint32_t i = 0; i < placed; ++i) {
     const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
     int target = placement[i];
     Status upload = first_pass[i];
@@ -393,12 +522,15 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
       }
     }
     for (int attempt = 0; attempt < 3; ++attempt) {
-      if (upload.code() == StatusCode::kUnavailable ||
-          upload.code() == StatusCode::kPermissionDenied) {
-        CYRUS_RETURN_IF_ERROR(MarkCspFailed(target));
-      } else {
-        exhausted.push_back(target);
+      // Any provider-indicting status (kUnavailable, kDeadlineExceeded,
+      // kPermissionDenied) is failover-eligible; the CSP is also always
+      // excluded from re-selection for this share - a timed-out upload may
+      // have landed, and a second share index on the same provider would
+      // weaken the placement either way.
+      if (IsCspHealthFailure(upload)) {
+        CYRUS_RETURN_IF_ERROR(NoteTransferFailure(target, upload));
       }
+      exhausted.push_back(target);
       auto replacement = ring_.SelectCspsExcluding(chunk_id, 1, exhausted);
       if (!replacement.ok()) {
         break;  // no CSP left to try
@@ -412,6 +544,7 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
         upload = InternalError("placement collision");
         continue;
       }
+      CYRUS_RETURN_IF_ERROR(journal_share(target, object));
       CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
       upload = UploadWithRetry(*conn, TransferKind::kPut, target, object,
                                shares[i].data, config_.transfer_retry, report);
@@ -424,9 +557,15 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
       }
     }
   }
-  if (locations.size() < config_.t) {
+  // Quorum commit: the chunk is durable once `quorum` shares landed. With
+  // the default budget (-1) the quorum is the legacy bar t; a non-negative
+  // put_failure_budget lets that many of the n placements fail while the
+  // Put still succeeds *degraded* - the caller books the missing shares as
+  // repair debt for the scrub engine to complete in the background.
+  const uint32_t quorum = PutQuorum(n);
+  if (locations.size() < quorum) {
     return UnavailableError(StrCat("only ", locations.size(), " of ", n,
-                                   " shares uploaded; need at least t=", config_.t));
+                                   " shares uploaded; need at least ", quorum));
   }
   aggregator_.ExpectChunk(file, chunk_id, static_cast<uint32_t>(locations.size()));
   for (size_t i = 0; i < locations.size(); ++i) {
@@ -453,7 +592,8 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
                                        const std::vector<ShareLocation>& resolved,
                                        const std::vector<int>& selected_csps,
                                        std::vector<ShareLocation>& updated_shares,
-                                       size_t& migrated, TransferReport& report) {
+                                       size_t& migrated, size_t& hedged_downloads,
+                                       TransferReport& report) {
   // The driver resolved `resolved` before submitting this gather, so no
   // pool thread ever reads the mutable FileVersion (its ShareMap is being
   // rewritten on the driver as earlier chunks migrate).
@@ -467,7 +607,58 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
   // Prefetch the optimizer-selected shares concurrently on the transfer
   // pool (the synchronous fallback path below reuses these results).
   std::map<int, Result<Bytes>> prefetched;
-  {
+  if (fetcher_ != nullptr) {
+    // Hedged path: the selector's picks run as primaries against adaptive
+    // per-CSP deadlines; remaining active locations are spares the fetcher
+    // may launch as backups (stragglers) or replacements (failures). The
+    // outcomes feed the same `prefetched` map the sequential consumption
+    // below already understands, so journaling stays consumed-only and
+    // losers never surface as TransferRecords.
+    std::vector<HedgeCandidate> candidates;
+    std::vector<int> candidate_csps;
+    std::set<int> covered;
+    auto add_candidate = [&](const ShareLocation& loc) {
+      auto conn = registry_.connector(loc.csp);
+      if (!conn.ok()) {
+        return;
+      }
+      HedgeCandidate candidate;
+      candidate.csp = loc.csp;
+      candidate.share_index = loc.share_index;
+      CloudConnector* raw = *conn;
+      const std::string object = ShareName(chunk.id, loc.share_index, chunk.t);
+      const RetryOptions retry = config_.transfer_retry;
+      candidate.fetch = [raw, object, retry]() -> Result<Bytes> {
+        return RetryWithBackoff(retry,
+                                [&]() -> Result<Bytes> { return raw->Download(object); });
+      };
+      candidates.push_back(std::move(candidate));
+      candidate_csps.push_back(loc.csp);
+      covered.insert(loc.csp);
+    };
+    for (int csp : selected_csps) {
+      for (const ShareLocation& loc : locations) {
+        if (loc.csp == csp && location_state(loc) == CspState::kActive) {
+          add_candidate(loc);
+          break;
+        }
+      }
+    }
+    const size_t primaries = candidates.size();
+    for (const ShareLocation& loc : locations) {
+      if (covered.count(loc.csp) == 0 && location_state(loc) == CspState::kActive) {
+        add_candidate(loc);
+      }
+    }
+    std::vector<HedgeFetchResult> outcomes =
+        fetcher_->Fetch(std::move(candidates), primaries, chunk.t);
+    for (HedgeFetchResult& outcome : outcomes) {
+      if (outcome.hedged) {
+        ++hedged_downloads;
+      }
+      prefetched.emplace(candidate_csps[outcome.candidate], std::move(outcome.data));
+    }
+  } else {
     std::vector<const ShareLocation*> to_fetch;
     for (int csp : selected_csps) {
       for (const ShareLocation& loc : locations) {
@@ -522,10 +713,10 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
                                config_.transfer_retry, report);
     }
     if (!data.ok()) {
-      // Only connectivity failures indict the CSP; a missing object is a
-      // metadata staleness problem, not an outage.
-      if (data.status().code() == StatusCode::kUnavailable) {
-        (void)MarkCspFailed(loc.csp);
+      // Only provider-indicting failures count against the CSP; a missing
+      // object is a metadata staleness problem, not an outage.
+      if (IsCspHealthFailure(data.status())) {
+        (void)NoteTransferFailure(loc.csp, data.status());
       }
       return false;
     }
@@ -536,6 +727,25 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
   };
 
   aggregator_.ExpectChunk(file_name, chunk.id, chunk.t);
+  if (fetcher_ != nullptr) {
+    // Consume the fetcher's wins before walking selector order: a backup
+    // that beat a straggling primary lives under a *spare* CSP, and the
+    // straggler itself has no map entry (it is still in flight). Walking
+    // selector order first would re-download the slow share inline and
+    // hand back the exact tail the hedge already paid to cut. Failed
+    // entries stay in the map for the loops below, whose try_download
+    // consumes them and indicts the CSP.
+    for (const ShareLocation& loc : locations) {
+      if (shares.size() >= chunk.t) {
+        break;
+      }
+      auto hit = prefetched.find(loc.csp);
+      if (hit != prefetched.end() && hit->second.ok() &&
+          location_state(loc) == CspState::kActive) {
+        (void)try_download(loc);
+      }
+    }
+  }
   for (int csp : selected_csps) {
     if (shares.size() >= chunk.t) {
       break;
@@ -631,7 +841,7 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
     Status upload = UploadWithRetry(*conn, TransferKind::kPut, target, object,
                                     fresh.data, config_.transfer_retry, report);
     if (!upload.ok()) {
-      (void)MarkCspFailed(target);
+      (void)NoteTransferFailure(target, upload);
       continue;
     }
     const int32_t old_csp = loc.csp;
@@ -682,9 +892,8 @@ Status CyrusClient::UploadMetadata(const FileVersion& version, TransferReport& r
     Status upload = UploadWithRetry(**conn, TransferKind::kPutMeta, csp, object,
                                     shares[i].data, config_.transfer_retry, report);
     if (!upload.ok()) {
-      if (upload.code() == StatusCode::kUnavailable ||
-          upload.code() == StatusCode::kPermissionDenied) {
-        CYRUS_RETURN_IF_ERROR(MarkCspFailed(csp));
+      if (IsCspHealthFailure(upload)) {
+        CYRUS_RETURN_IF_ERROR(NoteTransferFailure(csp, upload));
       }
       continue;  // e.g. quota: the CSP is full, not down
     }
@@ -726,7 +935,7 @@ Result<FileVersion> CyrusClient::FetchMetadata(const std::string& base,
     auto listing = RetryWithBackoff(config_.transfer_retry,
                                     [&] { return (*conn)->List(base); });
     if (!listing.ok()) {
-      (void)MarkCspFailed(csp);
+      (void)NoteTransferFailure(csp, listing.status());
       continue;
     }
     for (const ObjectInfo& object : *listing) {
@@ -769,7 +978,7 @@ Result<FileVersion> CyrusClient::FetchMetadata(const std::string& base,
       auto data = DownloadWithRetry(**conn, TransferKind::kGetMeta, csp, object,
                                     config_.transfer_retry, report);
       if (!data.ok()) {
-        (void)MarkCspFailed(csp);
+        (void)NoteTransferFailure(csp, data.status());
         continue;
       }
       shares.push_back(Share{index, *std::move(data)});
@@ -906,7 +1115,7 @@ Result<std::vector<Conflict>> CyrusClient::SyncMetadata() {
     auto listing = RetryWithBackoff(config_.transfer_retry,
                                     [&] { return (*conn)->List("meta-"); });
     if (!listing.ok()) {
-      (void)MarkCspFailed(csp);
+      (void)NoteTransferFailure(csp, listing.status());
       continue;
     }
     monitor_.RecordProbe(csp, now_, true);
@@ -1018,6 +1227,17 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
     return result;
   }
 
+  // Crash safety: open a write intent before any share leaves this client.
+  // Every upload target is journaled ahead of its attempt, metadata is
+  // journaled once all shares are durable, and the intent commits only
+  // after the version metadata is published - so recovery can always
+  // either roll the Put forward or delete every orphan it may have left.
+  const std::string journal_id =
+      journal_ != nullptr ? result.version_id.ToHex() : std::string();
+  if (journal_ != nullptr) {
+    CYRUS_RETURN_IF_ERROR(journal_->BeginIntent(journal_id, std::string(name)));
+  }
+
   // Eq. (1) sizes n; if the failure budget is unreachable with the CSPs
   // currently active (e.g. some are marked failed), degrade to the widest
   // feasible scatter rather than refusing writes - the paper's "no shares
@@ -1101,12 +1321,13 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       work = [] {};
     } else {
       inflight.insert(chunk_id);
-      work = [this, slot, chunk_bytes, &codec, &version, &trace] {
-        slot->locations = ScatterChunk(codec, slot->chunk_id, chunk_bytes,
-                                       version.file_name, slot->report, &trace);
+      work = [this, slot, chunk_bytes, &codec, &version, &journal_id, &trace] {
+        slot->locations =
+            ScatterChunk(codec, slot->chunk_id, chunk_bytes, version.file_name,
+                         journal_id, slot->report, &trace);
       };
     }
-    auto on_complete = [this, slot, &version, &result, &shares_recorded,
+    auto on_complete = [this, slot, n, &version, &result, &shares_recorded,
                         &inflight]() -> Status {
       if (slot->dedup) {
         // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk
@@ -1136,13 +1357,16 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       ++result.new_chunks;
       chunks_scattered_->Increment();
       result.transfer.Append(slot->report);
-      version.chunks.push_back(ChunkRecord{
-          slot->chunk_id, slot->span.offset, slot->span.size, config_.t,
-          static_cast<uint32_t>(locations.size())});
+      // Record the *target* share count n, not the stored count: a quorum
+      // commit may have landed fewer, and the gap is repair debt the scrub
+      // engine completes against exactly this record.
+      const uint32_t stored = static_cast<uint32_t>(locations.size());
+      version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
+                                           slot->span.size, config_.t, n});
       ChunkEntry entry;
       entry.size = slot->span.size;
       entry.t = config_.t;
-      entry.n = static_cast<uint32_t>(locations.size());
+      entry.n = n;
       for (const ShareLocation& loc : locations) {
         entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
       }
@@ -1150,6 +1374,11 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       if (shares_recorded.insert(slot->chunk_id).second) {
         version.shares.insert(version.shares.end(), locations.begin(),
                               locations.end());
+      }
+      if (stored < n) {
+        ++result.degraded_chunks;
+        result.missing_shares += n - stored;
+        repair_->NoteDegradedWrite(slot->chunk_id, n - stored);
       }
       return OkStatus();
     };
@@ -1182,10 +1411,20 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
     return InternalError(StrCat(version.file_name,
                                 ": pipeline drained but share uploads incomplete"));
   }
+  // The metadata record marks the journal intent roll-forward-able: it is
+  // only written once every chunk's quorum is durable, so recovery can
+  // republish this version without touching share data.
+  if (journal_ != nullptr) {
+    CYRUS_RETURN_IF_ERROR(
+        journal_->RecordMetadata(journal_id, ToWireForm(version).Serialize()));
+  }
   obs::ScopedSpan publish_span = trace.Span("publish_meta");
   TransferReport meta_report;
   CYRUS_RETURN_IF_ERROR(UploadMetadata(version, meta_report));
   publish_span.End();
+  if (journal_ != nullptr) {
+    CYRUS_RETURN_IF_ERROR(journal_->Commit(journal_id));
+  }
   result.transfer.Append(meta_report);
   RecordTransferMetrics(result.transfer, metrics_);
   return result;
@@ -1316,6 +1555,7 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
     Result<Bytes> data = InternalError("not gathered");
     std::vector<ShareLocation> updated;
     size_t migrated = 0;
+    size_t hedged = 0;
     TransferReport report;
   };
   std::list<GatherSlot> slots;  // stable addresses; outlives the pipeline
@@ -1337,11 +1577,12 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
     auto work = [this, slot, &file_name] {
       slot->data = GatherChunk(file_name, slot->chunk, slot->locations,
                                slot->selected, slot->updated, slot->migrated,
-                               slot->report);
+                               slot->hedged, slot->report);
     };
     auto on_complete = [this, slot, &version, &version_id, &result, &decoded,
                         &gather_span]() -> Status {
       result.transfer.Append(slot->report);
+      result.hedged_downloads += slot->hedged;
       CYRUS_RETURN_IF_ERROR(slot->data.status());
       chunks_gathered_->Increment();
       gather_span.AddBytes(slot->data->size());
@@ -1430,6 +1671,10 @@ Status CyrusClient::RebalanceMetadata() {
 
 Result<ScrubReport> CyrusClient::ScrubOnce() {
   obs::TraceBuilder trace(traces_, "ScrubOnce", "");
+  // Give tripped breakers their half-open probe before scrubbing, so a CSP
+  // that recovered during the cooldown rejoins placement and this very
+  // scrub pass can complete degraded writes onto it.
+  CYRUS_RETURN_IF_ERROR(ProbeRecoveredCsps());
   CYRUS_ASSIGN_OR_RETURN(ScrubReport report, repair_->ScrubOnce(&trace));
   if (report.repaired_chunks.empty()) {
     return report;
@@ -1477,6 +1722,131 @@ Result<ScrubReport> CyrusClient::ScrubOnce() {
 }
 
 std::vector<ChunkHealth> CyrusClient::ScrubScan() { return repair_->Scan(); }
+
+Status CyrusClient::ProbeRecoveredCsps() {
+  if (!config_.breaker.enabled) {
+    return OkStatus();
+  }
+  const size_t csp_count = registry_.size();
+  for (size_t i = 0; i < csp_count; ++i) {
+    const int csp = static_cast<int>(i);
+    std::shared_ptr<CircuitBreaker> breaker;
+    {
+      std::lock_guard<std::mutex> topology(topology_mutex_);
+      auto state = registry_.state(csp);
+      if (!state.ok() || *state != CspState::kFailed) {
+        continue;
+      }
+      auto it = breakers_.find(csp);
+      if (it == breakers_.end()) {
+        continue;
+      }
+      breaker = it->second;
+    }
+    auto conn = registry_.connector(csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    // One cheap call through the breaker-wrapped connector: once the
+    // cooldown has elapsed the breaker admits it as the half-open probe,
+    // and a success closes the breaker, whose transition callback marks
+    // the CSP recovered in registry and ring.
+    auto listing = (*conn)->List("");
+    if (listing.ok() && breaker->state() == CircuitBreaker::State::kClosed) {
+      // Normally the transition callback already re-admitted the CSP; this
+      // covers a breaker that was closed while the registry stayed failed.
+      (void)MarkCspRecovered(csp);
+    }
+  }
+  return OkStatus();
+}
+
+Result<JournalRecoveryReport> CyrusClient::RecoverFromJournal() {
+  JournalRecoveryReport report;
+  if (journal_ == nullptr) {
+    return report;
+  }
+  const std::vector<JournalIntent> pending = journal_->PendingIntents();
+  if (pending.empty()) {
+    return report;
+  }
+  // Pull published metadata first: an interrupted Put may have been synced
+  // from another device already, and its shares may now be referenced by a
+  // committed chunk - roll-back must never delete those.
+  CYRUS_RETURN_IF_ERROR(SyncMetadata().status());
+
+  std::set<std::string> referenced;
+  for (const Sha1Digest& chunk_id : chunk_table_.AllChunkIds()) {
+    const ChunkEntry* entry = chunk_table_.Find(chunk_id);
+    if (entry == nullptr) {
+      continue;
+    }
+    for (const ChunkShare& share : entry->shares) {
+      referenced.insert(ShareName(chunk_id, share.share_index, entry->t));
+    }
+  }
+  std::set<std::string> known_ids;
+  for (const FileVersion* version : tree_.AllVersions()) {
+    known_ids.insert(version->id.ToHex());
+  }
+
+  for (const JournalIntent& intent : pending) {
+    ++report.intents_seen;
+    if (known_ids.count(intent.version_id) > 0) {
+      // The version reached the tree (the publish happened, or another
+      // device finished the Put): just retire the intent.
+      CYRUS_RETURN_IF_ERROR(journal_->Commit(intent.version_id));
+      continue;
+    }
+    if (intent.has_metadata) {
+      // Roll forward. The M record was written only after every chunk's
+      // quorum was durable, so republishing the metadata completes the Put
+      // without touching share data.
+      CYRUS_ASSIGN_OR_RETURN(FileVersion wire,
+                             FileVersion::Deserialize(intent.meta_wire));
+      FileVersion version = ToLocalForm(std::move(wire));
+      CYRUS_RETURN_IF_ERROR(version.Validate());
+      if (!tree_.Contains(version.id)) {
+        CYRUS_RETURN_IF_ERROR(tree_.Insert(version));
+        CYRUS_RETURN_IF_ERROR(RegisterVersionChunks(version));
+      }
+      TransferReport transfer;
+      CYRUS_RETURN_IF_ERROR(UploadMetadata(*tree_.Find(version.id), transfer));
+      CYRUS_RETURN_IF_ERROR(journal_->Commit(intent.version_id));
+      ++report.rolled_forward;
+      continue;
+    }
+    // Roll back: the Put died before all shares were durable, and no
+    // metadata references them. Delete every journaled orphan object.
+    bool all_cleaned = true;
+    for (const JournalShare& share : intent.shares) {
+      if (referenced.count(share.object_name) > 0) {
+        continue;  // a committed chunk owns this object now
+      }
+      auto index = registry_.IndexByName(share.csp_name);
+      if (!index.ok()) {
+        all_cleaned = false;  // no account at that provider this session
+        continue;
+      }
+      auto conn = registry_.connector(*index);
+      if (!conn.ok()) {
+        all_cleaned = false;
+        continue;
+      }
+      const Status deleted = (*conn)->Delete(share.object_name);
+      if (deleted.ok()) {
+        ++report.orphan_shares_deleted;
+      } else if (deleted.code() != StatusCode::kNotFound) {
+        all_cleaned = false;  // provider unreachable: retry next start
+      }
+    }
+    if (all_cleaned) {
+      CYRUS_RETURN_IF_ERROR(journal_->Commit(intent.version_id));
+      ++report.rolled_back;
+    }
+  }
+  return report;
+}
 
 Status CyrusClient::Delete(std::string_view name) {
   const Sha1Digest parent = ParentFor(name);

@@ -20,6 +20,7 @@
 #ifndef SRC_CORE_CLIENT_H_
 #define SRC_CORE_CLIENT_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -28,9 +29,12 @@
 
 #include "src/chunker/chunker.h"
 #include "src/cloud/availability.h"
+#include "src/cloud/circuit_breaker.h"
 #include "src/cloud/registry.h"
 #include "src/core/hash_ring.h"
+#include "src/core/hedged_fetch.h"
 #include "src/core/local_cache.h"
+#include "src/core/put_journal.h"
 #include "src/core/transfer.h"
 #include "src/meta/chunk_table.h"
 #include "src/meta/version_tree.h"
@@ -101,6 +105,28 @@ struct CyrusConfig {
   // per-pass repair cap).
   RepairEngineOptions repair;
 
+  // Quorum writes: a chunk commits once max(t, n - put_failure_budget)
+  // shares are durable. The shortfall is recorded as degraded-write debt
+  // (cyrus_degraded_* gauges) and completed by the next scrub pass. The
+  // default of -1 keeps the legacy bar - commit at >= t, maximum write
+  // availability - while still booking the debt.
+  int32_t put_failure_budget = -1;
+
+  // Hedged Get: adaptive per-CSP deadlines launch backup share downloads
+  // for straggling primaries (see src/core/hedged_fetch.h). Disabled by
+  // default; enabling allocates a dedicated hedge thread pool.
+  HedgeOptions hedge;
+
+  // Per-CSP circuit breakers (closed/open/half-open) replacing the ad-hoc
+  // first-error MarkCspFailed indictment when enabled. Breaker verdicts
+  // feed the hash ring and download selector through the same registry
+  // state transitions the legacy path used.
+  CircuitBreakerOptions breaker;
+
+  // Crash-safe Put: path of the local write-intent journal. Empty (the
+  // default) disables journaling; RecoverFromJournal() is then a no-op.
+  std::string journal_path;
+
   // Observability sinks. Pipeline counters/histograms go to `metrics`;
   // each Put/Get/ScrubOnce also records a stage timeline (chunking ->
   // encode -> place -> upload -> metadata publish) into `traces`. nullptr
@@ -126,6 +152,8 @@ struct PutResult {
   uint64_t content_bytes = 0;
   uint64_t uploaded_share_bytes = 0;
   bool unchanged = false;    // content identical to the current head
+  size_t degraded_chunks = 0;  // committed at quorum but short of target n
+  size_t missing_shares = 0;   // shares owed to the background repair queue
   TransferReport transfer;
 };
 
@@ -135,7 +163,16 @@ struct GetResult {
   bool had_conflicts = false;
   std::vector<Conflict> conflicts;
   size_t migrated_shares = 0;  // lazily repaired share locations (§5.5)
+  size_t hedged_downloads = 0;  // backup share downloads launched (tail latency)
   TransferReport transfer;
+};
+
+// What RecoverFromJournal() did with the write-intent journal.
+struct JournalRecoveryReport {
+  size_t intents_seen = 0;
+  size_t rolled_forward = 0;        // shares were durable: metadata republished
+  size_t rolled_back = 0;           // incomplete Put abandoned
+  size_t orphan_shares_deleted = 0; // unreferenced journaled objects removed
 };
 
 class CyrusClient {
@@ -209,6 +246,25 @@ class CyrusClient {
   // the next ScrubOnce.
   std::vector<int> csps_pending_reprobe() const { return repair_->pending_reprobe(); }
 
+  // --- Crash recovery (write-intent journal) ---
+
+  // Replays pending write intents from the journal (config.journal_path).
+  // Call after registering CSP accounts: an intent whose metadata record
+  // exists is rolled *forward* (its shares are already durable, so the
+  // version is re-inserted and its metadata republished); one without is
+  // rolled *back* (every journaled share object that no committed chunk
+  // references is deleted from its CSP). Safe to call when no journal is
+  // configured or nothing is pending.
+  Result<JournalRecoveryReport> RecoverFromJournal();
+
+  // With circuit breakers enabled, probes every failed CSP through its
+  // breaker (one List each): once the open cooldown has elapsed the
+  // breaker admits the probe half-open, and enough successes close it,
+  // which marks the CSP recovered. ScrubOnce runs this first, so periodic
+  // scrubbing doubles as the outage-recovery detector. No-op without
+  // breakers.
+  Status ProbeRecoveredCsps();
+
   // --- Multi-client synchronization ---
 
   // Pulls metadata objects this client has not seen and returns the
@@ -253,6 +309,16 @@ class CyrusClient {
   // Solves Eq. (1) for the current CSP set; the n a Put would use.
   Result<uint32_t> CurrentN() const;
 
+  // Shares a chunk must have durable before Put commits it: t when the
+  // failure budget is unset (-1), max(t, n - budget) otherwise.
+  uint32_t PutQuorum(uint32_t n) const;
+
+  // The write-intent journal (null unless config.journal_path is set).
+  const PutJournal* journal() const { return journal_.get(); }
+
+  // The circuit breaker guarding `csp`, or null when breakers are off.
+  std::shared_ptr<CircuitBreaker> breaker_for(int csp);
+
   // Replaces the downlink selector (benchmarks swap in random/round-robin).
   void set_download_selector(std::unique_ptr<DownloadSelector> selector);
 
@@ -271,10 +337,14 @@ class CyrusClient {
   // ring, monitor, aggregator) plus caller-owned out-params; all chunk
   // table and version bookkeeping stays on the driver thread. `trace`
   // (nullable) receives encode/place/upload spans.
+  // `journal_id` (empty = journaling off) write-ahead-logs every placement
+  // target before its upload, so a crash mid-scatter leaves a deletable
+  // record of every object that may exist.
   Result<std::vector<ShareLocation>> ScatterChunk(const SecretSharingCodec& codec,
                                                   const Sha1Digest& chunk_id,
                                                   ByteSpan chunk,
                                                   const std::string& file,
+                                                  const std::string& journal_id,
                                                   TransferReport& report,
                                                   obs::TraceBuilder* trace);
 
@@ -292,7 +362,15 @@ class CyrusClient {
                             const std::vector<ShareLocation>& locations,
                             const std::vector<int>& selected_csps,
                             std::vector<ShareLocation>& updated_shares,
-                            size_t& migrated, TransferReport& report);
+                            size_t& migrated, size_t& hedged_downloads,
+                            TransferReport& report);
+
+  // Routes a failed transfer into the health machinery: with breakers on,
+  // the connector decorator already counted the failure (the breaker trips
+  // the topology change through its callback), so only the availability
+  // monitor is fed; without them this is the legacy immediate
+  // MarkCspFailed. No-op for statuses that do not indict the provider.
+  Status NoteTransferFailure(int csp, const Status& status);
 
   // Current share locations of a chunk: the global chunk table wins (it
   // sees migrations from other files); falls back to the version's
@@ -335,8 +413,21 @@ class CyrusClient {
   std::unique_ptr<DownloadSelector> selector_;
   // Transfer worker threads (null when transfer_concurrency == 1).
   std::unique_ptr<ThreadPool> pool_;
+  // Dedicated pool for hedged share downloads (null unless hedging is
+  // enabled). Distinct from pool_: HedgedFetcher::Fetch blocks its caller
+  // - a pool_ worker during a pipelined Get - so running the downloads on
+  // pool_ could leave every worker waiting on work no thread is free to
+  // run. Declared after pool_ so it is destroyed first, joining abandoned
+  // loser downloads while the registry and monitor they use are alive.
+  std::unique_ptr<ThreadPool> hedge_pool_;
+  std::unique_ptr<HedgedFetcher> fetcher_;
   // Proactive scrub & repair over the chunk table (src/repair).
   std::unique_ptr<RepairEngine> repair_;
+  // Crash-safe Put write-intent journal (null when journal_path is empty).
+  std::unique_ptr<PutJournal> journal_;
+  // Per-CSP circuit breakers (populated only when config.breaker.enabled);
+  // guarded by topology_mutex_.
+  std::map<int, std::shared_ptr<CircuitBreaker>> breakers_;
   // Metadata object base names this client has already ingested.
   std::set<std::string> known_meta_bases_;
   double now_ = 0.0;

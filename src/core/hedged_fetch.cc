@@ -1,0 +1,207 @@
+#include "src/core/hedged_fetch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace cyrus {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+HedgedFetcher::HedgedFetcher(HedgeOptions options, ThreadPool* pool,
+                             AvailabilityMonitor* monitor)
+    : options_(options), pool_(pool), monitor_(monitor) {
+  obs::MetricsRegistry& registry =
+      options_.metrics != nullptr ? *options_.metrics : obs::MetricsRegistry::Default();
+  hedges_launched_ =
+      registry.GetCounter("cyrus_hedged_requests_total", {},
+                          "Backup downloads launched because a primary straggled");
+  hedge_wins_ = registry.GetCounter(
+      "cyrus_hedge_wins_total", {},
+      "Hedged downloads that delivered a share the Get was still waiting for");
+  replacements_launched_ =
+      registry.GetCounter("cyrus_hedge_replacements_total", {},
+                          "Spare downloads launched because a fetch failed");
+}
+
+std::vector<HedgeFetchResult> HedgedFetcher::Fetch(
+    std::vector<HedgeCandidate> candidates, size_t primaries, size_t needed) {
+  std::vector<HedgeFetchResult> out;
+  if (candidates.empty() || needed == 0) {
+    return out;
+  }
+  primaries = std::min(std::max<size_t>(primaries, 1), candidates.size());
+
+  struct Slot {
+    bool launched = false;
+    bool done = false;
+    bool hedged = false;
+    // A straggler that already triggered its hedge stops arming the timer
+    // (deadline pushed to infinity), so one slow CSP costs one hedge.
+    Clock::time_point deadline = Clock::time_point::max();
+    Result<Bytes> data = Result<Bytes>(InternalError("not fetched"));
+    double elapsed_ms = 0.0;
+  };
+  // Tasks share ownership: losers may finish after Fetch() returns, and
+  // they must still have candidates and slots to write into.
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<HedgeCandidate> candidates;
+    std::vector<Slot> slots;
+    size_t launched = 0;
+    size_t completed = 0;
+    size_t successes = 0;
+    size_t needed = 0;
+    bool abandoned = false;  // Fetch() returned; late wins do not count
+  };
+  auto state = std::make_shared<State>();
+  state->candidates = std::move(candidates);
+  state->slots.resize(state->candidates.size());
+  state->needed = needed;
+
+  // Tasks deferred when running without a pool; executed by the driver
+  // outside the state lock.
+  std::vector<std::function<void()>> inline_tasks;
+
+  // Requires state->mutex held.
+  auto launch = [&](size_t i, bool hedged) {
+    Slot& slot = state->slots[i];
+    slot.launched = true;
+    slot.hedged = hedged;
+    const double estimate =
+        monitor_ != nullptr
+            ? monitor_->LatencyEstimateMs(state->candidates[i].csp,
+                                          options_.default_deadline_ms)
+            : options_.default_deadline_ms;
+    const double deadline_ms =
+        std::max(options_.min_deadline_ms, options_.deadline_factor * estimate);
+    slot.deadline =
+        Clock::now() + std::chrono::microseconds(
+                           static_cast<int64_t>(deadline_ms * 1000.0));
+    ++state->launched;
+    obs::Counter* wins = hedge_wins_;
+    AvailabilityMonitor* monitor = monitor_;
+    auto task = [state, monitor, wins, i] {
+      const Clock::time_point start = Clock::now();
+      Result<Bytes> data = state->candidates[i].fetch();
+      const double elapsed = MsSince(start);
+      if (data.ok() && monitor != nullptr) {
+        monitor->RecordLatency(state->candidates[i].csp, elapsed);
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      Slot& slot = state->slots[i];
+      slot.done = true;
+      slot.elapsed_ms = elapsed;
+      slot.data = std::move(data);
+      ++state->completed;
+      if (slot.data.ok()) {
+        ++state->successes;
+        // The hedge "won" if the Get was still short of its quota when the
+        // backup landed - i.e. this success is one of the needed t.
+        if (slot.hedged && !state->abandoned && state->successes <= state->needed) {
+          wins->Increment();
+        }
+      }
+      state->cv.notify_all();
+    };
+    if (pool_ != nullptr) {
+      pool_->Submit(std::move(task));
+    } else {
+      inline_tasks.push_back(std::move(task));
+    }
+  };
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  size_t next_spare = primaries;
+  size_t hedges_used = 0;
+  size_t replacements_done = 0;
+  for (size_t i = 0; i < primaries; ++i) {
+    launch(i, /*hedged=*/false);
+  }
+  const bool hedging = options_.enabled;
+
+  while (true) {
+    // Without a pool the "concurrent" fetches degrade to sequential
+    // execution in deadline order; hedging is meaningless but the quota
+    // and replacement logic still hold.
+    while (!inline_tasks.empty()) {
+      auto task = std::move(inline_tasks.back());
+      inline_tasks.pop_back();
+      lock.unlock();
+      task();
+      lock.lock();
+    }
+    if (state->successes >= needed) {
+      break;
+    }
+    if (state->completed == state->launched &&
+        state->launched == state->slots.size()) {
+      break;  // everything ran; the caller gets what there is
+    }
+    // Correctness first: every failure is met with a replacement while
+    // spare candidates remain.
+    const size_t failures = state->completed - state->successes;
+    if (failures > replacements_done && next_spare < state->slots.size()) {
+      ++replacements_done;
+      replacements_launched_->Increment();
+      launch(next_spare++, /*hedged=*/false);
+      continue;
+    }
+    // Latency second: hedge the earliest-deadline straggler.
+    Clock::time_point next_deadline = Clock::time_point::max();
+    if (hedging && hedges_used < options_.max_hedges &&
+        next_spare < state->slots.size()) {
+      for (const Slot& slot : state->slots) {
+        if (slot.launched && !slot.done && slot.deadline < next_deadline) {
+          next_deadline = slot.deadline;
+        }
+      }
+    }
+    if (next_deadline != Clock::time_point::max() && Clock::now() >= next_deadline) {
+      for (Slot& slot : state->slots) {
+        if (slot.launched && !slot.done && slot.deadline <= next_deadline) {
+          slot.deadline = Clock::time_point::max();
+          break;
+        }
+      }
+      ++hedges_used;
+      hedges_launched_->Increment();
+      launch(next_spare++, /*hedged=*/true);
+      continue;
+    }
+    if (next_deadline == Clock::time_point::max()) {
+      state->cv.wait(lock);
+    } else {
+      state->cv.wait_until(lock, next_deadline);
+    }
+  }
+
+  state->abandoned = true;
+  out.reserve(state->completed);
+  for (size_t i = 0; i < state->slots.size(); ++i) {
+    Slot& slot = state->slots[i];
+    if (!slot.done) {
+      continue;
+    }
+    HedgeFetchResult result;
+    result.candidate = i;
+    result.data = std::move(slot.data);
+    result.elapsed_ms = slot.elapsed_ms;
+    result.hedged = slot.hedged;
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace cyrus

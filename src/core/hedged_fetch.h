@@ -1,0 +1,102 @@
+// Hedged share downloads: tail-latency mitigation for Get.
+//
+// A Get needs any t of a chunk's n shares, so a single slow CSP should
+// never put the whole download on its tail. The HedgedFetcher launches the
+// selector's t primary downloads, then watches each against an adaptive
+// per-CSP deadline seeded from the AvailabilityMonitor's latency EWMA
+// (factor * usual latency, floored). A primary that outlives its deadline
+// triggers a *hedge*: the next spare candidate is launched as a backup and
+// whichever copy lands first wins. Fetch() returns as soon as `needed`
+// downloads succeed; losers are not interrupted (connectors have no cancel
+// surface) - they finish on the dedicated hedge pool and their results are
+// discarded, with all shared state kept alive by the tasks themselves.
+//
+// Failures are handled separately from stragglers: a failed fetch always
+// launches a replacement (that is correctness, not latency) and does not
+// consume the hedge budget.
+//
+// The fetcher must be given a pool that is NOT the client's transfer pool:
+// Fetch() blocks its calling thread (a transfer-pool worker during
+// pipelined Get), and running the downloads on the same pool could leave
+// every worker waiting on downloads no thread is free to run.
+#ifndef SRC_CORE_HEDGED_FETCH_H_
+#define SRC_CORE_HEDGED_FETCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/cloud/availability.h"
+#include "src/obs/metrics.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+
+struct HedgeOptions {
+  // Master switch: when false the client keeps the sequential gather path
+  // and never constructs a fetcher.
+  bool enabled = false;
+  // A launched fetch older than deadline_factor * EWMA(csp latency) is a
+  // straggler; the multiplier leaves headroom for ordinary jitter so
+  // hedges fire on genuine tail events, not noise.
+  double deadline_factor = 3.0;
+  // Floor of any hedge deadline, so sub-millisecond EWMAs (in-memory test
+  // connectors) do not hedge on every request.
+  double min_deadline_ms = 5.0;
+  // Deadline for a CSP with no latency history yet.
+  double default_deadline_ms = 50.0;
+  // Most deadline-triggered backups one Fetch may launch. Failure
+  // replacements are exempt - those are needed for correctness.
+  size_t max_hedges = 2;
+  // Sink for cyrus_hedge_* metrics; nullptr = process-wide default.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// One download the fetcher may run: which CSP it hits (for deadlines and
+// latency feedback) and the blocking call that performs it. `fetch` must be
+// safe to invoke from a hedge-pool thread and may outlive Fetch().
+struct HedgeCandidate {
+  int csp = -1;
+  uint32_t share_index = 0;
+  std::function<Result<Bytes>()> fetch;
+};
+
+// Outcome of one candidate that finished before Fetch() returned.
+struct HedgeFetchResult {
+  size_t candidate = 0;  // index into the vector passed to Fetch()
+  Result<Bytes> data = Result<Bytes>(InternalError("not fetched"));
+  double elapsed_ms = 0.0;
+  bool hedged = false;  // launched as a deadline-triggered backup
+};
+
+class HedgedFetcher {
+ public:
+  // `pool` runs the downloads (nullptr degrades to sequential in-caller
+  // execution); `monitor` (nullable) supplies latency estimates and
+  // receives per-fetch latency samples.
+  HedgedFetcher(HedgeOptions options, ThreadPool* pool, AvailabilityMonitor* monitor);
+
+  // Launches the first `primaries` candidates immediately and returns once
+  // `needed` fetches succeeded, or every candidate has been launched and
+  // finished. Spare candidates (beyond the primaries) are launched either
+  // as hedges (a primary blew its deadline) or as replacements (a fetch
+  // failed). Results of fetches still in flight at return are discarded.
+  std::vector<HedgeFetchResult> Fetch(std::vector<HedgeCandidate> candidates,
+                                      size_t primaries, size_t needed);
+
+  const HedgeOptions& options() const { return options_; }
+
+ private:
+  HedgeOptions options_;
+  ThreadPool* pool_;
+  AvailabilityMonitor* monitor_;
+  obs::Counter* hedges_launched_;
+  obs::Counter* hedge_wins_;
+  obs::Counter* replacements_launched_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CORE_HEDGED_FETCH_H_

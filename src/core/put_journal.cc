@@ -1,0 +1,239 @@
+#include "src/core/put_journal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "src/util/hex.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+std::string HexOf(std::string_view text) {
+  return HexEncode(ByteSpan(reinterpret_cast<const uint8_t*>(text.data()),
+                            text.size()));
+}
+
+Result<std::string> UnhexToString(std::string_view hex) {
+  CYRUS_ASSIGN_OR_RETURN(Bytes bytes, HexDecode(hex));
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+PutJournal::PutJournal(std::string path) : path_(std::move(path)) {}
+
+PutJournal::~PutJournal() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<PutJournal>> PutJournal::Open(std::string path) {
+  if (path.empty()) {
+    return InvalidArgumentError("journal path must not be empty");
+  }
+  std::unique_ptr<PutJournal> journal(new PutJournal(std::move(path)));
+  CYRUS_RETURN_IF_ERROR(journal->LoadAndCompact());
+  return journal;
+}
+
+Status PutJournal::LoadAndCompact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::FILE* in = std::fopen(path_.c_str(), "r")) {
+    std::string line;
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+      if (c == '\n') {
+        if (!line.empty()) {
+          Status parsed = ApplyLine(line);
+          if (!parsed.ok()) {
+            std::fclose(in);
+            return parsed;
+          }
+        }
+        line.clear();
+      } else {
+        line.push_back(static_cast<char>(c));
+      }
+    }
+    std::fclose(in);
+    // A torn final line (crash mid-append) is expected, not corruption:
+    // drop it if it does not parse.
+    if (!line.empty()) {
+      (void)ApplyLine(line).ok();
+    }
+  }
+  return Rewrite();
+}
+
+Status PutJournal::ApplyLine(const std::string& line) {
+  const std::vector<std::string> fields = Split(line, ' ');
+  if (fields.size() < 2) {
+    return DataLossError(StrCat("journal: malformed record '", line, "'"));
+  }
+  const std::string& tag = fields[0];
+  const std::string& id = fields[1];
+  if (tag == "I") {
+    if (fields.size() != 3) {
+      return DataLossError("journal: malformed I record");
+    }
+    CYRUS_ASSIGN_OR_RETURN(std::string file_name, UnhexToString(fields[2]));
+    JournalIntent intent;
+    intent.version_id = id;
+    intent.file_name = std::move(file_name);
+    const uint64_t seq = next_seq_++;
+    pending_[seq] = std::move(intent);
+    by_id_[id] = seq;
+    return OkStatus();
+  }
+  auto seq_it = by_id_.find(id);
+  if (seq_it == by_id_.end()) {
+    // Record for an already-compacted (committed) intent; stale but
+    // harmless.
+    return OkStatus();
+  }
+  JournalIntent& intent = pending_[seq_it->second];
+  if (tag == "S") {
+    if (fields.size() != 4) {
+      return DataLossError("journal: malformed S record");
+    }
+    JournalShare share;
+    CYRUS_ASSIGN_OR_RETURN(share.csp_name, UnhexToString(fields[2]));
+    CYRUS_ASSIGN_OR_RETURN(share.object_name, UnhexToString(fields[3]));
+    intent.shares.push_back(std::move(share));
+    return OkStatus();
+  }
+  if (tag == "M") {
+    if (fields.size() != 3) {
+      return DataLossError("journal: malformed M record");
+    }
+    CYRUS_ASSIGN_OR_RETURN(intent.meta_wire, HexDecode(fields[2]));
+    intent.has_metadata = true;
+    return OkStatus();
+  }
+  if (tag == "C") {
+    pending_.erase(seq_it->second);
+    by_id_.erase(seq_it);
+    return OkStatus();
+  }
+  return DataLossError(StrCat("journal: unknown record tag '", tag, "'"));
+}
+
+Status PutJournal::Rewrite() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    return UnavailableError(StrCat("journal: cannot write ", tmp));
+  }
+  for (const auto& [seq, intent] : pending_) {
+    std::fprintf(out, "I %s %s\n", intent.version_id.c_str(),
+                 HexOf(intent.file_name).c_str());
+    for (const JournalShare& share : intent.shares) {
+      std::fprintf(out, "S %s %s %s\n", intent.version_id.c_str(),
+                   HexOf(share.csp_name).c_str(), HexOf(share.object_name).c_str());
+    }
+    if (intent.has_metadata) {
+      std::fprintf(out, "M %s %s\n", intent.version_id.c_str(),
+                   HexEncode(intent.meta_wire).c_str());
+    }
+  }
+  std::fflush(out);
+  fsync(fileno(out));
+  std::fclose(out);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return UnavailableError(StrCat("journal: cannot rename ", tmp, " to ", path_));
+  }
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr) {
+    return UnavailableError(StrCat("journal: cannot append to ", path_));
+  }
+  return OkStatus();
+}
+
+Status PutJournal::AppendLine(const std::string& line) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("journal: not open");
+  }
+  if (std::fputs(line.c_str(), file_) == EOF || std::fputc('\n', file_) == EOF) {
+    return UnavailableError(StrCat("journal: write failed on ", path_));
+  }
+  std::fflush(file_);
+  fsync(fileno(file_));
+  return OkStatus();
+}
+
+Status PutJournal::BeginIntent(const std::string& version_id,
+                               const std::string& file_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_id_.count(version_id) > 0) {
+    // Same content re-Put after an earlier in-flight attempt; keep the
+    // original intent (its share records are still valid).
+    return OkStatus();
+  }
+  CYRUS_RETURN_IF_ERROR(AppendLine(StrCat("I ", version_id, " ", HexOf(file_name))));
+  JournalIntent intent;
+  intent.version_id = version_id;
+  intent.file_name = file_name;
+  const uint64_t seq = next_seq_++;
+  pending_[seq] = std::move(intent);
+  by_id_[version_id] = seq;
+  return OkStatus();
+}
+
+Status PutJournal::AppendShare(const std::string& version_id,
+                               const std::string& csp_name,
+                               const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(version_id);
+  if (it == by_id_.end()) {
+    return FailedPreconditionError(StrCat("journal: no intent ", version_id));
+  }
+  CYRUS_RETURN_IF_ERROR(AppendLine(
+      StrCat("S ", version_id, " ", HexOf(csp_name), " ", HexOf(object_name))));
+  pending_[it->second].shares.push_back(JournalShare{csp_name, object_name});
+  return OkStatus();
+}
+
+Status PutJournal::RecordMetadata(const std::string& version_id, ByteSpan meta_wire) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(version_id);
+  if (it == by_id_.end()) {
+    return FailedPreconditionError(StrCat("journal: no intent ", version_id));
+  }
+  CYRUS_RETURN_IF_ERROR(AppendLine(StrCat("M ", version_id, " ", HexEncode(meta_wire))));
+  JournalIntent& intent = pending_[it->second];
+  intent.meta_wire.assign(meta_wire.begin(), meta_wire.end());
+  intent.has_metadata = true;
+  return OkStatus();
+}
+
+Status PutJournal::Commit(const std::string& version_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(version_id);
+  if (it == by_id_.end()) {
+    return OkStatus();  // idempotent: already committed and compacted
+  }
+  CYRUS_RETURN_IF_ERROR(AppendLine(StrCat("C ", version_id)));
+  pending_.erase(it->second);
+  by_id_.erase(it);
+  return OkStatus();
+}
+
+std::vector<JournalIntent> PutJournal::PendingIntents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JournalIntent> out;
+  out.reserve(pending_.size());
+  for (const auto& [seq, intent] : pending_) {
+    out.push_back(intent);
+  }
+  return out;
+}
+
+}  // namespace cyrus

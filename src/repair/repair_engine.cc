@@ -25,6 +25,44 @@ RepairEngine::RepairEngine(RepairContext context, RepairEngineOptions options)
     : context_(std::move(context)), options_(std::move(options)) {
   metrics_ = context_.metrics != nullptr ? context_.metrics
                                          : &obs::MetricsRegistry::Default();
+  degraded_shares_gauge_ =
+      metrics_->GetGauge("cyrus_degraded_shares", {},
+                         "Shares owed by degraded (quorum) writes, pending repair");
+  degraded_chunks_gauge_ =
+      metrics_->GetGauge("cyrus_degraded_chunks", {},
+                         "Chunks committed below their target n, pending repair");
+  degraded_writes_ =
+      metrics_->GetCounter("cyrus_degraded_writes_total", {},
+                           "Chunk commits that met quorum but missed target n");
+}
+
+void RepairEngine::RefreshDebtGaugesLocked() {
+  uint64_t shares = 0;
+  for (const auto& [chunk, missing] : degraded_debt_) {
+    shares += missing;
+  }
+  degraded_shares_gauge_->Set(static_cast<double>(shares));
+  degraded_chunks_gauge_->Set(static_cast<double>(degraded_debt_.size()));
+}
+
+void RepairEngine::NoteDegradedWrite(const Sha1Digest& chunk_id, uint32_t missing) {
+  std::lock_guard<std::mutex> lock(debt_mutex_);
+  if (missing == 0) {
+    degraded_debt_.erase(chunk_id);
+  } else {
+    degraded_writes_->Increment();
+    degraded_debt_[chunk_id] = missing;
+  }
+  RefreshDebtGaugesLocked();
+}
+
+uint64_t RepairEngine::OutstandingDegradedShares() const {
+  std::lock_guard<std::mutex> lock(debt_mutex_);
+  uint64_t shares = 0;
+  for (const auto& [chunk, missing] : degraded_debt_) {
+    shares += missing;
+  }
+  return shares;
 }
 
 void RepairEngine::Fold(const RepairStats& delta) {
@@ -554,6 +592,20 @@ Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
   repair_span.End();
   pending_reprobe_.clear();
   Fold(delta);
+
+  // Recompute the degraded-write ledger from this pass's ground truth:
+  // everything repaired (or found healthy) leaves it, everything still
+  // short of target n stays with its current shortfall.
+  {
+    std::lock_guard<std::mutex> lock(debt_mutex_);
+    degraded_debt_.clear();
+    for (const ChunkHealth& chunk : report.unrepaired) {
+      if (chunk.missing() > 0) {
+        degraded_debt_[chunk.chunk_id] = chunk.missing();
+      }
+    }
+    RefreshDebtGaugesLocked();
+  }
   return report;
 }
 

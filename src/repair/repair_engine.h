@@ -151,6 +151,16 @@ class RepairEngine {
   void FlagCspForReprobe(int csp);
   std::vector<int> pending_reprobe() const;
 
+  // Records that a quorum Put committed `chunk_id` with `missing` shares
+  // short of its target n. The debt sits in a ledger exported as the
+  // cyrus_degraded_shares / cyrus_degraded_chunks gauges and is recomputed
+  // from ground truth after every ScrubOnce pass (repaired chunks leave the
+  // ledger; still-degraded ones stay). `missing` == 0 settles the entry.
+  void NoteDegradedWrite(const Sha1Digest& chunk_id, uint32_t missing);
+
+  // Sum of missing shares across the degraded-write ledger.
+  uint64_t OutstandingDegradedShares() const;
+
   const RepairStats& stats() const { return stats_; }
   const RepairEngineOptions& options() const { return options_; }
   void set_options(RepairEngineOptions options) { options_ = options; }
@@ -187,11 +197,23 @@ class RepairEngine {
   // cyrus_scrub_* counters.
   void Fold(const RepairStats& delta);
 
+  // Requires debt_mutex_ held.
+  void RefreshDebtGaugesLocked();
+
   RepairContext context_;
   RepairEngineOptions options_;
   RepairStats stats_;
   std::set<int> pending_reprobe_;
   obs::MetricsRegistry* metrics_ = nullptr;
+
+  // Degraded-write ledger: chunk -> shares still owed to reach target n.
+  // Own mutex (not the scrub path's implicit driver-thread serialization)
+  // because Put completions note debt while a scrub may be recomputing it.
+  mutable std::mutex debt_mutex_;
+  std::map<Sha1Digest, uint32_t> degraded_debt_;
+  obs::Gauge* degraded_shares_gauge_ = nullptr;
+  obs::Gauge* degraded_chunks_gauge_ = nullptr;
+  obs::Counter* degraded_writes_ = nullptr;
 };
 
 }  // namespace cyrus

@@ -20,7 +20,10 @@ void RecordRetryAttempt(double delay_ms) {
 }
 
 bool IsRetryableStatus(const Status& status) {
-  return status.code() == StatusCode::kUnavailable;
+  // Deadline overruns are transient by definition: the CSP may answer the
+  // next attempt well inside the budget, so they retry like outages do.
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
 }
 
 RetryBackoff::RetryBackoff(const RetryOptions& options)

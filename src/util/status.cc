@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "conflict";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -79,6 +81,9 @@ Status ConflictError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace cyrus

@@ -30,6 +30,7 @@ enum class StatusCode : int {
   kInternal = 9,          // invariant violation; a bug
   kConflict = 10,         // concurrent-update conflict detected
   kUnimplemented = 11,
+  kDeadlineExceeded = 12, // operation exceeded its latency deadline; retryable
 };
 
 // Returns a stable lowercase name, e.g. "not_found".
@@ -85,6 +86,7 @@ Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status ConflictError(std::string message);
 Status UnimplementedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Propagates a non-OK status from an expression to the caller.
 #define CYRUS_RETURN_IF_ERROR(expr)               \

@@ -1,0 +1,383 @@
+// Fast unit tests for the degraded-mode building blocks: the per-CSP
+// circuit breaker (state machine + connector decorator), the hedged
+// fetcher, and the crash-safe Put write-intent journal. The end-to-end
+// chaos battery lives in tests/degraded_test.cc (ctest label `chaos`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/cloud/circuit_breaker.h"
+#include "src/cloud/fault_injection.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/core/hedged_fetch.h"
+#include "src/core/put_journal.h"
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+namespace {
+
+using State = CircuitBreaker::State;
+
+struct BreakerHarness {
+  double now = 0.0;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<CircuitBreaker> breaker;
+
+  explicit BreakerHarness(CircuitBreakerOptions options) {
+    options.metrics = &metrics;
+    breaker = std::make_unique<CircuitBreaker>("test-csp", options,
+                                               [this] { return now; });
+  }
+};
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  BreakerHarness h(options);
+
+  EXPECT_TRUE(h.breaker->AllowRequest());
+  h.breaker->RecordFailure();
+  h.breaker->RecordFailure();
+  EXPECT_EQ(h.breaker->state(), State::kClosed);
+  h.breaker->RecordFailure();
+  EXPECT_EQ(h.breaker->state(), State::kOpen);
+  EXPECT_FALSE(h.breaker->AllowRequest());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  BreakerHarness h(options);
+
+  h.breaker->RecordFailure();
+  h.breaker->RecordSuccess();  // streak broken
+  h.breaker->RecordFailure();
+  EXPECT_EQ(h.breaker->state(), State::kClosed);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsExactlyOneProbe) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_seconds = 30.0;
+  BreakerHarness h(options);
+
+  h.breaker->RecordFailure();
+  EXPECT_EQ(h.breaker->state(), State::kOpen);
+  h.now = 29.0;
+  EXPECT_FALSE(h.breaker->AllowRequest());  // cooling down
+
+  h.now = 31.0;
+  EXPECT_TRUE(h.breaker->AllowRequest());   // the probe slot
+  EXPECT_EQ(h.breaker->state(), State::kHalfOpen);
+  EXPECT_FALSE(h.breaker->AllowRequest());  // slot already taken
+
+  h.breaker->RecordSuccess();
+  EXPECT_EQ(h.breaker->state(), State::kClosed);
+  EXPECT_TRUE(h.breaker->AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensWithFreshCooldown) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_seconds = 10.0;
+  BreakerHarness h(options);
+
+  h.breaker->RecordFailure();
+  h.now = 11.0;
+  ASSERT_TRUE(h.breaker->AllowRequest());
+  h.breaker->RecordFailure();  // the probe failed
+  EXPECT_EQ(h.breaker->state(), State::kOpen);
+  EXPECT_FALSE(h.breaker->AllowRequest());  // fresh cooldown from t=11
+  h.now = 22.0;
+  EXPECT_TRUE(h.breaker->AllowRequest());
+}
+
+TEST(CircuitBreakerTest, RequiresConfiguredHalfOpenSuccesses) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_seconds = 1.0;
+  options.half_open_successes = 2;
+  BreakerHarness h(options);
+
+  h.breaker->RecordFailure();
+  h.now = 2.0;
+  ASSERT_TRUE(h.breaker->AllowRequest());
+  h.breaker->RecordSuccess();
+  EXPECT_EQ(h.breaker->state(), State::kHalfOpen);  // one down, one to go
+  ASSERT_TRUE(h.breaker->AllowRequest());
+  h.breaker->RecordSuccess();
+  EXPECT_EQ(h.breaker->state(), State::kClosed);
+}
+
+TEST(CircuitBreakerTest, TransitionCallbackSeesEveryEdgeButNotForceClose) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_seconds = 1.0;
+  BreakerHarness h(options);
+  std::vector<std::pair<State, State>> edges;
+  h.breaker->set_on_transition(
+      [&](State from, State to) { edges.emplace_back(from, to); });
+
+  h.breaker->RecordFailure();                    // closed -> open
+  h.now = 2.0;
+  ASSERT_TRUE(h.breaker->AllowRequest());        // open -> half-open
+  h.breaker->RecordSuccess();                    // half-open -> closed
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(State::kClosed, State::kOpen));
+  EXPECT_EQ(edges[1], std::make_pair(State::kOpen, State::kHalfOpen));
+  EXPECT_EQ(edges[2], std::make_pair(State::kHalfOpen, State::kClosed));
+
+  h.breaker->RecordFailure();  // closed -> open (edge #4)
+  ASSERT_EQ(edges.size(), 4u);
+  h.breaker->ForceClose();     // silent: registry is being fixed by caller
+  EXPECT_EQ(h.breaker->state(), State::kClosed);
+  EXPECT_EQ(edges.size(), 4u);
+}
+
+TEST(CircuitBreakerConnectorTest, OpenBreakerFastFailsWithoutTouchingInner) {
+  obs::MetricsRegistry metrics;
+  SimulatedCspOptions csp_options;
+  csp_options.id = "breaker-csp";
+  FaultInjectionOptions fault_options;
+  fault_options.metrics = &metrics;
+  auto fault = std::make_shared<FaultInjectingConnector>(
+      std::make_shared<SimulatedCsp>(csp_options), fault_options);
+  CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 1;
+  breaker_options.metrics = &metrics;
+  double now = 0.0;
+  auto breaker = std::make_shared<CircuitBreaker>("breaker-csp", breaker_options,
+                                                  [&now] { return now; });
+  CircuitBreakerConnector connector(fault, breaker);
+  ASSERT_TRUE(connector.Authenticate(Credentials{"token"}).ok());
+
+  const Bytes payload = {1, 2, 3};
+  ASSERT_TRUE(connector.Upload("obj", payload).ok());
+
+  // kNotFound is the provider answering: it must NOT trip the breaker.
+  EXPECT_EQ(connector.Download("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(breaker->state(), State::kClosed);
+
+  // A health failure trips the threshold-1 breaker...
+  fault->set_permanently_down(true);
+  EXPECT_EQ(connector.Download("obj").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(breaker->state(), State::kOpen);
+
+  // ...and subsequent calls fast-fail without reaching the injector.
+  const uint64_t calls_before = fault->counters().calls;
+  EXPECT_EQ(connector.Download("obj").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(connector.Upload("obj2", payload).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fault->counters().calls, calls_before);
+  EXPECT_GT(metrics
+                .GetCounter("cyrus_breaker_fast_failures_total",
+                            {{"csp", "breaker-csp"}}, "")
+                ->value(),
+            0u);
+}
+
+TEST(IsCspHealthFailureTest, ClassifiesProviderVsRequestFailures) {
+  EXPECT_TRUE(IsCspHealthFailure(UnavailableError("down")));
+  EXPECT_TRUE(IsCspHealthFailure(DeadlineExceededError("slow")));
+  EXPECT_TRUE(IsCspHealthFailure(PermissionDeniedError("expired token")));
+  EXPECT_FALSE(IsCspHealthFailure(OkStatus()));
+  EXPECT_FALSE(IsCspHealthFailure(NotFoundError("no object")));
+  EXPECT_FALSE(IsCspHealthFailure(InvalidArgumentError("bad name")));
+  EXPECT_FALSE(IsCspHealthFailure(DataLossError("bad digest")));
+}
+
+HedgeCandidate InstantCandidate(int csp, uint8_t marker) {
+  HedgeCandidate c;
+  c.csp = csp;
+  c.share_index = static_cast<uint32_t>(csp);
+  c.fetch = [marker]() -> Result<Bytes> { return Bytes{marker}; };
+  return c;
+}
+
+TEST(HedgedFetcherTest, SequentialModeStopsAtNeeded) {
+  obs::MetricsRegistry metrics;
+  HedgeOptions options;
+  options.metrics = &metrics;
+  HedgedFetcher fetcher(options, /*pool=*/nullptr, /*monitor=*/nullptr);
+
+  std::vector<HedgeCandidate> candidates;
+  for (int i = 0; i < 4; ++i) {
+    candidates.push_back(InstantCandidate(i, static_cast<uint8_t>(i)));
+  }
+  auto results = fetcher.Fetch(std::move(candidates), /*primaries=*/2, /*needed=*/2);
+  size_t successes = 0;
+  for (const auto& r : results) {
+    successes += r.data.ok() ? 1 : 0;
+    EXPECT_FALSE(r.hedged);
+  }
+  EXPECT_EQ(successes, 2u);  // spares never launched
+}
+
+TEST(HedgedFetcherTest, FailureLaunchesReplacementNotHedge) {
+  obs::MetricsRegistry metrics;
+  HedgeOptions options;
+  options.max_hedges = 0;  // replacements must work even with no hedge budget
+  options.metrics = &metrics;
+  HedgedFetcher fetcher(options, /*pool=*/nullptr, /*monitor=*/nullptr);
+
+  std::vector<HedgeCandidate> candidates;
+  HedgeCandidate bad;
+  bad.csp = 0;
+  bad.fetch = []() -> Result<Bytes> { return UnavailableError("csp down"); };
+  candidates.push_back(bad);
+  candidates.push_back(InstantCandidate(1, 0xB1));
+  candidates.push_back(InstantCandidate(2, 0xB2));
+
+  auto results = fetcher.Fetch(std::move(candidates), /*primaries=*/2, /*needed=*/2);
+  size_t successes = 0;
+  for (const auto& r : results) {
+    successes += r.data.ok() ? 1 : 0;
+  }
+  EXPECT_EQ(successes, 2u);  // the spare replaced the failed primary
+  EXPECT_GT(metrics.GetCounter("cyrus_hedge_replacements_total", {}, "")->value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("cyrus_hedged_requests_total", {}, "")->value(), 0u);
+}
+
+TEST(HedgedFetcherTest, StragglerTriggersHedgeAndBackupWins) {
+  obs::MetricsRegistry metrics;
+  HedgeOptions options;
+  options.enabled = true;  // constructed directly, so no client gating
+  options.default_deadline_ms = 3.0;
+  options.min_deadline_ms = 1.0;
+  options.metrics = &metrics;
+  ThreadPool pool(4);
+  HedgedFetcher fetcher(options, &pool, /*monitor=*/nullptr);
+
+  std::vector<HedgeCandidate> candidates;
+  HedgeCandidate slow;
+  slow.csp = 0;
+  slow.fetch = []() -> Result<Bytes> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return Bytes{0x51};
+  };
+  candidates.push_back(slow);
+  candidates.push_back(InstantCandidate(1, 0xF1));
+  candidates.push_back(InstantCandidate(2, 0xF2));  // the backup
+
+  auto results = fetcher.Fetch(std::move(candidates), /*primaries=*/2, /*needed=*/2);
+  size_t successes = 0;
+  bool saw_hedged_success = false;
+  for (const auto& r : results) {
+    if (r.data.ok()) {
+      ++successes;
+      saw_hedged_success |= r.hedged;
+    }
+  }
+  EXPECT_GE(successes, 2u);
+  EXPECT_TRUE(saw_hedged_success);
+  EXPECT_GT(metrics.GetCounter("cyrus_hedged_requests_total", {}, "")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("cyrus_hedge_wins_total", {}, "")->value(), 0u);
+}
+
+class PutJournalTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = StrCat(testing::TempDir(), "/cyrus-journal-unit-",
+                   testing::UnitTest::GetInstance()->current_test_info()->name(),
+                   ".log");
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(PutJournalTest, IntentLifecycleAndCompaction) {
+  auto journal = PutJournal::Open(path_);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+
+  ASSERT_TRUE((*journal)->BeginIntent("ab12", "docs/report.txt").ok());
+  ASSERT_TRUE((*journal)->AppendShare("ab12", "dropbox", "share-0").ok());
+  ASSERT_TRUE((*journal)->AppendShare("ab12", "gdrive", "share-1").ok());
+  const Bytes meta = {0x00, 0x20, 0xFF, 0x0A};  // binary-safe, has \n byte
+  ASSERT_TRUE((*journal)->RecordMetadata("ab12", meta).ok());
+
+  auto pending = (*journal)->PendingIntents();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].version_id, "ab12");
+  EXPECT_EQ(pending[0].file_name, "docs/report.txt");
+  ASSERT_EQ(pending[0].shares.size(), 2u);
+  EXPECT_EQ(pending[0].shares[0].csp_name, "dropbox");
+  EXPECT_EQ(pending[0].shares[0].object_name, "share-0");
+  EXPECT_EQ(pending[0].shares[1].csp_name, "gdrive");
+  EXPECT_TRUE(pending[0].has_metadata);
+  EXPECT_EQ(pending[0].meta_wire, meta);
+
+  ASSERT_TRUE((*journal)->Commit("ab12").ok());
+  EXPECT_TRUE((*journal)->PendingIntents().empty());
+
+  // Reopen: the committed intent was compacted away.
+  journal->reset();
+  auto reopened = PutJournal::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE((*reopened)->PendingIntents().empty());
+}
+
+TEST_F(PutJournalTest, PendingIntentsSurviveReopenOldestFirst) {
+  {
+    auto journal = PutJournal::Open(path_);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE((*journal)->BeginIntent("0a", "first file").ok());
+    ASSERT_TRUE((*journal)->AppendShare("0a", "box", "obj-a").ok());
+    ASSERT_TRUE((*journal)->BeginIntent("0b", "second file").ok());
+    ASSERT_TRUE((*journal)->AppendShare("0b", "box", "obj-b").ok());
+  }  // close without committing: the "crash"
+
+  auto journal = PutJournal::Open(path_);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto pending = (*journal)->PendingIntents();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].version_id, "0a");
+  EXPECT_EQ(pending[0].file_name, "first file");
+  EXPECT_FALSE(pending[0].has_metadata);
+  EXPECT_EQ(pending[1].version_id, "0b");
+}
+
+TEST_F(PutJournalTest, TornFinalLineIsDroppedNotFatal) {
+  {
+    auto journal = PutJournal::Open(path_);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE((*journal)->BeginIntent("c4", "victim").ok());
+    ASSERT_TRUE((*journal)->AppendShare("c4", "s3", "obj-1").ok());
+  }
+  {
+    // Crash mid-append: a record without its trailing newline.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "S c4 73";  // truncated share record
+    std::fwrite(torn, 1, sizeof(torn) - 1, f);
+    std::fclose(f);
+  }
+
+  auto journal = PutJournal::Open(path_);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto pending = (*journal)->PendingIntents();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].version_id, "c4");
+  ASSERT_EQ(pending[0].shares.size(), 1u);  // the torn record vanished
+}
+
+TEST_F(PutJournalTest, ShareForUnknownIntentIsRejected) {
+  auto journal = PutJournal::Open(path_);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_FALSE((*journal)->AppendShare("dead", "box", "obj").ok());
+  EXPECT_FALSE((*journal)->RecordMetadata("dead", Bytes{0x01}).ok());
+  // Commit is idempotent: a re-commit of an already-compacted intent is OK.
+  EXPECT_TRUE((*journal)->Commit("dead").ok());
+}
+
+}  // namespace
+}  // namespace cyrus
