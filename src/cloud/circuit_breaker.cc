@@ -70,75 +70,105 @@ void CircuitBreaker::TransitionLocked(State to) {
                    {{"csp", csp_name_}, {"to", std::string(StateName(to))}},
                    "Circuit breaker state transitions per CSP and target state")
       ->Increment();
-  // Invoke the callback outside mutex_ (it may take the client's topology
-  // mutex); callback_mutex_ keeps invocations ordered per breaker.
-  std::function<void(State, State)> cb = on_transition_;
-  if (cb) {
-    mutex_.unlock();
+  // Record only; the callback runs outside mutex_ (it may take the
+  // client's topology mutex). Queueing under mutex_ pins the delivery
+  // order to the transition order even when transitions race.
+  pending_transitions_.emplace_back(from, to);
+}
+
+void CircuitBreaker::DrainTransitions() {
+  // Holding callback_mutex_ across the whole drain keeps delivery in
+  // enqueue order when two threads transition back-to-back: whichever
+  // drains first delivers both, the other finds an empty queue.
+  std::lock_guard<std::mutex> cb_lock(callback_mutex_);
+  while (true) {
+    std::function<void(State, State)> cb;
+    std::pair<State, State> transition;
     {
-      std::lock_guard<std::mutex> cb_lock(callback_mutex_);
-      cb(from, to);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_transitions_.empty()) {
+        return;
+      }
+      transition = pending_transitions_.front();
+      pending_transitions_.pop_front();
+      cb = on_transition_;
     }
-    mutex_.lock();
+    if (cb) {
+      cb(transition.first, transition.second);
+    }
   }
 }
 
 bool CircuitBreaker::AllowRequest() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (state_ == State::kOpen && now_() >= open_until_) {
-    TransitionLocked(State::kHalfOpen);
-  }
-  switch (state_) {
-    case State::kClosed:
-      return true;
-    case State::kOpen:
-      fast_failures_->Increment();
-      return false;
-    case State::kHalfOpen:
-      if (half_open_probe_in_flight_) {
+  bool allow = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (state_ == State::kOpen && now_() >= open_until_) {
+      TransitionLocked(State::kHalfOpen);
+    }
+    switch (state_) {
+      case State::kClosed:
+        allow = true;
+        break;
+      case State::kOpen:
         fast_failures_->Increment();
-        return false;
-      }
-      half_open_probe_in_flight_ = true;
-      return true;
+        allow = false;
+        break;
+      case State::kHalfOpen:
+        if (half_open_probe_in_flight_) {
+          fast_failures_->Increment();
+          allow = false;
+        } else {
+          half_open_probe_in_flight_ = true;
+          allow = true;
+        }
+        break;
+    }
   }
-  return true;
+  DrainTransitions();
+  return allow;
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  switch (state_) {
-    case State::kClosed:
-      consecutive_failures_ = 0;
-      break;
-    case State::kHalfOpen: {
-      half_open_probe_in_flight_ = false;
-      if (++half_open_successes_seen_ >= options_.half_open_successes) {
-        TransitionLocked(State::kClosed);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        consecutive_failures_ = 0;
+        break;
+      case State::kHalfOpen: {
+        half_open_probe_in_flight_ = false;
+        if (++half_open_successes_seen_ >= options_.half_open_successes) {
+          TransitionLocked(State::kClosed);
+        }
+        break;
       }
-      break;
+      case State::kOpen:
+        // A straggler call issued before the trip finished late; ignore.
+        break;
     }
-    case State::kOpen:
-      // A straggler call issued before the trip finished late; ignore.
-      break;
   }
+  DrainTransitions();
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  switch (state_) {
-    case State::kClosed:
-      if (++consecutive_failures_ >= options_.failure_threshold) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        if (++consecutive_failures_ >= options_.failure_threshold) {
+          TransitionLocked(State::kOpen);
+        }
+        break;
+      case State::kHalfOpen:
+        half_open_probe_in_flight_ = false;
         TransitionLocked(State::kOpen);
-      }
-      break;
-    case State::kHalfOpen:
-      half_open_probe_in_flight_ = false;
-      TransitionLocked(State::kOpen);
-      break;
-    case State::kOpen:
-      break;
+        break;
+      case State::kOpen:
+        break;
+    }
   }
+  DrainTransitions();
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
@@ -147,10 +177,13 @@ CircuitBreaker::State CircuitBreaker::state() const {
 }
 
 void CircuitBreaker::ForceHalfOpen() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (state_ == State::kOpen) {
-    TransitionLocked(State::kHalfOpen);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (state_ == State::kOpen) {
+      TransitionLocked(State::kHalfOpen);
+    }
   }
+  DrainTransitions();
 }
 
 void CircuitBreaker::ForceClose() {
@@ -163,6 +196,10 @@ void CircuitBreaker::ForceClose() {
   half_open_probe_in_flight_ = false;
   half_open_successes_seen_ = 0;
   consecutive_failures_ = 0;
+  // Queued-but-undelivered transitions describe a state this reset just
+  // overrode; delivering them now would re-indict the CSP the caller is
+  // recovering.
+  pending_transitions_.clear();
   state_gauge_->Set(0.0);
   metrics_
       ->GetCounter("cyrus_breaker_transitions_total",

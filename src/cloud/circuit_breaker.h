@@ -26,10 +26,12 @@
 #define SRC_CLOUD_CIRCUIT_BREAKER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "src/cloud/connector.h"
 #include "src/obs/metrics.h"
@@ -82,7 +84,9 @@ class CircuitBreaker {
   const std::string& csp_name() const { return csp_name_; }
 
   // Invoked after every state change, outside the breaker lock, as
-  // (from, to). At most one callback runs at a time per breaker.
+  // (from, to). At most one callback runs at a time per breaker, and
+  // callbacks are delivered in transition order even when transitions
+  // race on different threads.
   void set_on_transition(std::function<void(State, State)> cb);
 
   // Forces the breaker into half-open immediately (scrub-driven reprobe:
@@ -98,9 +102,14 @@ class CircuitBreaker {
   static std::string_view StateName(State state);
 
  private:
-  // Requires lock held; returns the transition to report (from != to) or
-  // {from, from} if none.
+  // Requires lock held. Applies the state change and enqueues the
+  // (from, to) pair for DrainTransitions; never invokes the callback
+  // itself.
   void TransitionLocked(State to);
+  // Delivers queued transitions to on_transition_ in enqueue order.
+  // Must be called WITHOUT mutex_ held (callbacks typically take the
+  // client's topology mutex).
+  void DrainTransitions();
   double CooldownLocked();
 
   const std::string csp_name_;
@@ -115,6 +124,9 @@ class CircuitBreaker {
   double open_until_ = 0.0;
   Rng rng_;
   std::function<void(State, State)> on_transition_;
+  // Transitions recorded under mutex_ but not yet delivered to the
+  // callback; drained FIFO so delivery order matches transition order.
+  std::deque<std::pair<State, State>> pending_transitions_;
   // Serializes callback invocations without holding mutex_ across them.
   std::mutex callback_mutex_;
 

@@ -141,7 +141,7 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   repair_context.pool = pool_.get();
   repair_context.cluster_aware = config_.cluster_aware;
   repair_context.t = config_.t;
-  repair_context.now = [this] { return now_; };
+  repair_context.now = [this] { return now(); };
   repair_context.mark_csp_failed = [this](int csp) { return MarkCspFailed(csp); };
   repair_context.current_n = [this] { return CurrentN(); };
 
@@ -221,7 +221,7 @@ Result<int> CyrusClient::AddCsp(std::shared_ptr<CloudConnector> connector,
     // breakers even when every breaker shares one configured seed.
     opts.seed ^= std::hash<std::string>{}(name);
     breaker = std::make_shared<CircuitBreaker>(name, opts,
-                                               [this] { return now_; });
+                                               [this] { return now(); });
     connector = std::make_shared<CircuitBreakerConnector>(std::move(connector),
                                                           breaker);
   }
@@ -653,7 +653,10 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
     std::vector<HedgeFetchResult> outcomes =
         fetcher_->Fetch(std::move(candidates), primaries, chunk.t);
     for (HedgeFetchResult& outcome : outcomes) {
-      if (outcome.hedged) {
+      // Only hedges that delivered a share count here; launch totals
+      // (including failed backups and losers still in flight at return)
+      // live in the cyrus_hedged_requests_total counter.
+      if (outcome.hedged && outcome.data.ok()) {
         ++hedged_downloads;
       }
       prefetched.emplace(candidate_csps[outcome.candidate], std::move(outcome.data));

@@ -20,6 +20,7 @@
 #ifndef SRC_CORE_CLIENT_H_
 #define SRC_CORE_CLIENT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -163,7 +164,9 @@ struct GetResult {
   bool had_conflicts = false;
   std::vector<Conflict> conflicts;
   size_t migrated_shares = 0;  // lazily repaired share locations (§5.5)
-  size_t hedged_downloads = 0;  // backup share downloads launched (tail latency)
+  // Backup (hedged) share downloads that completed successfully before the
+  // gather returned; launch totals are in cyrus_hedged_requests_total.
+  size_t hedged_downloads = 0;
   TransferReport transfer;
 };
 
@@ -322,9 +325,11 @@ class CyrusClient {
   // Replaces the downlink selector (benchmarks swap in random/round-robin).
   void set_download_selector(std::unique_ptr<DownloadSelector> selector);
 
-  // Virtual clock for modified times and availability probes.
-  void set_time(double now) { now_ = now; }
-  double now() const { return now_; }
+  // Virtual clock for modified times and availability probes. Atomic:
+  // breaker and repair-engine `now` callbacks read it from pool and
+  // hedge-pool threads while tests advance it on the driver.
+  void set_time(double now) { now_.store(now, std::memory_order_relaxed); }
+  double now() const { return now_.load(std::memory_order_relaxed); }
 
  private:
   explicit CyrusClient(CyrusConfig config, Chunker chunker);
@@ -430,7 +435,7 @@ class CyrusClient {
   std::map<int, std::shared_ptr<CircuitBreaker>> breakers_;
   // Metadata object base names this client has already ingested.
   std::set<std::string> known_meta_bases_;
-  double now_ = 0.0;
+  std::atomic<double> now_{0.0};
 
   // Observability sinks (never null after Create) plus cached pipeline
   // counters so the hot paths skip registry lookups.

@@ -149,12 +149,20 @@ std::vector<HedgeFetchResult> HedgedFetcher::Fetch(
         state->launched == state->slots.size()) {
       break;  // everything ran; the caller gets what there is
     }
-    // Correctness first: every failure is met with a replacement while
-    // spare candidates remain.
-    const size_t failures = state->completed - state->successes;
-    if (failures > replacements_done && next_spare < state->slots.size()) {
-      ++replacements_done;
-      replacements_launched_->Increment();
+    // Correctness first: keep enough fetches in flight that the quota is
+    // still reachable. This both replaces failures and tops up a short
+    // primary list (the selector hands over fewer than `needed` primaries
+    // when it was infeasible, e.g. too few active holders); without the
+    // top-up the wait below could block forever with zero fetches in
+    // flight and no deadline armed.
+    const size_t in_flight = state->launched - state->completed;
+    if (state->successes + in_flight < needed &&
+        next_spare < state->slots.size()) {
+      const size_t failures = state->completed - state->successes;
+      if (failures > replacements_done) {
+        ++replacements_done;
+        replacements_launched_->Increment();
+      }
       launch(next_spare++, /*hedged=*/false);
       continue;
     }

@@ -11,9 +11,12 @@
 // surface) - they finish on the dedicated hedge pool and their results are
 // discarded, with all shared state kept alive by the tasks themselves.
 //
-// Failures are handled separately from stragglers: a failed fetch always
-// launches a replacement (that is correctness, not latency) and does not
-// consume the hedge budget.
+// Failures are handled separately from stragglers: whenever the successes
+// plus in-flight fetches no longer cover `needed`, the next spare is
+// launched as a replacement (that is correctness, not latency) without
+// consuming the hedge budget. The same rule tops up a primary list that
+// was shorter than `needed` to begin with, so Fetch() never waits with
+// nothing in flight.
 //
 // The fetcher must be given a pool that is NOT the client's transfer pool:
 // Fetch() blocks its calling thread (a transfer-pool worker during

@@ -1,5 +1,6 @@
 #include "src/core/put_journal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -10,6 +11,20 @@
 
 namespace cyrus {
 namespace {
+
+// Makes the directory entry for `path` durable: without this, a crash
+// after rename() can resurface the pre-compaction journal (or none at
+// all) even though the file data itself was fsynced.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
 
 std::string HexOf(std::string_view text) {
   return HexEncode(ByteSpan(reinterpret_cast<const uint8_t*>(text.data()),
@@ -150,6 +165,10 @@ Status PutJournal::Rewrite() {
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     return UnavailableError(StrCat("journal: cannot rename ", tmp, " to ", path_));
   }
+  // Every journal file is born via this rename (Open always compacts), so
+  // this one directory fsync also covers first creation; AppendLine's
+  // per-record fsyncs then hit an already-durable directory entry.
+  FsyncParentDir(path_);
   file_ = std::fopen(path_.c_str(), "a");
   if (file_ == nullptr) {
     return UnavailableError(StrCat("journal: cannot append to ", path_));

@@ -282,6 +282,34 @@ TEST(HedgedFetcherTest, StragglerTriggersHedgeAndBackupWins) {
   EXPECT_GT(metrics.GetCounter("cyrus_hedge_wins_total", {}, "")->value(), 0u);
 }
 
+// Regression: the selector can hand over fewer primaries than `needed`
+// (infeasible problem, e.g. too few active holders clamps primaries to 1).
+// If every primary succeeds there is no failure to trigger a replacement
+// and no straggler to hedge, so Fetch() used to wait forever with zero
+// fetches in flight; the quota top-up must launch spares instead.
+TEST(HedgedFetcherTest, ShortPrimaryListTopsUpToQuota) {
+  obs::MetricsRegistry metrics;
+  HedgeOptions options;
+  options.metrics = &metrics;  // hedging disabled: top-up alone must finish
+  ThreadPool pool(4);
+  HedgedFetcher fetcher(options, &pool, /*monitor=*/nullptr);
+
+  std::vector<HedgeCandidate> candidates;
+  for (int i = 0; i < 3; ++i) {
+    candidates.push_back(InstantCandidate(i, static_cast<uint8_t>(0xA0 + i)));
+  }
+  auto results = fetcher.Fetch(std::move(candidates), /*primaries=*/1, /*needed=*/2);
+  size_t successes = 0;
+  for (const auto& r : results) {
+    successes += r.data.ok() ? 1 : 0;
+    EXPECT_FALSE(r.hedged);
+  }
+  EXPECT_GE(successes, 2u);
+  // The top-up is quota maintenance, not a failure replacement or a hedge.
+  EXPECT_EQ(metrics.GetCounter("cyrus_hedge_replacements_total", {}, "")->value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("cyrus_hedged_requests_total", {}, "")->value(), 0u);
+}
+
 class PutJournalTest : public testing::Test {
  protected:
   void SetUp() override {
