@@ -1,0 +1,357 @@
+// 10k-client zipfian open-loop soak of the multi-tenant gateway.
+//
+// 10,000 tenants share a 4-shard gateway; arrivals are open-loop on the
+// simulator's event queue (virtual time - the soak is deterministic and
+// runs in seconds of wall-clock), with the issuing tenant drawn from
+// Zipf(0.9), the classic popularity skew. Each tenant carries a quota
+// contract sized ~1.05x its expected baseline rate, so the experiment
+// answers the multi-tenancy question directly:
+//
+//   phase 1 (baseline): offered load inside every contract. Measures the
+//     unloaded ops/s, p50/p99 modeled latency, and (near-zero) reject rate.
+//   phase 2 (overload): the zipf schedule doubles - the head tenants now
+//     offer 2x their quota. Admission control must shed the excess with
+//     *typed* rejects while a probe tenant that stays inside its quota
+//     keeps its p99 within 1.5x of the unloaded p99 (the acceptance bar).
+//
+// Every arrival executes a real Put/Get/List against the shard's
+// CyrusClient (chunk, encode, scatter to simulated CSPs), so the soak
+// exercises the full stack, not a mock. Emits BENCH_gateway.json; exits
+// non-zero if overload sheds nothing, anything fails untyped, or the
+// probe's p99 breaches the bar.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/gateway/admission.h"
+#include "src/gateway/gateway.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr int kTenants = 10000;
+constexpr double kZipfSkew = 0.9;
+constexpr int kShards = 4;
+constexpr int kCspsPerShard = 4;
+constexpr double kPhaseSeconds = 20.0;
+constexpr double kBaselineOpsPerSec = 800.0;
+constexpr double kProbeOpsPerSec = 20.0;
+constexpr uint64_t kSeed = 20260809;
+
+std::unique_ptr<CyrusClient> MakeShardClient(int shard) {
+  CyrusConfig config;
+  config.client_id = StrCat("bench-gw-shard-", shard);
+  config.key_string = "bench gateway key";
+  config.t = 2;
+  config.epsilon = 1e-4;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  config.transfer_concurrency = 1;
+  // Shard workers are the sole writers to their CSP pool: throttle the
+  // per-Get/List metadata discovery scan (otherwise O(total versions) per
+  // op, quadratic over the soak).
+  config.metadata_sync_interval_s = 1e9;
+  auto client = CyrusClient::Create(std::move(config));
+  if (!client.ok()) {
+    std::fprintf(stderr, "Create: %s\n", client.status().ToString().c_str());
+    std::abort();
+  }
+  for (int i = 0; i < kCspsPerShard; ++i) {
+    SimulatedCspOptions o;
+    o.id = StrCat("gw", shard, "-csp", i);
+    auto added = client.value()->AddCsp(std::make_shared<SimulatedCsp>(o),
+                                        CspProfile{}, Credentials{"token"});
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddCsp: %s\n", added.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::move(client).value();
+}
+
+struct PhaseResult {
+  std::string name;
+  uint64_t offered = 0;
+  uint64_t served = 0;       // admitted and executed OK (or clean NotFound)
+  uint64_t typed_rejects = 0;
+  uint64_t untyped_failures = 0;
+  std::map<std::string, uint64_t> rejects_by_reason;
+  std::vector<double> latencies_ms;        // all admitted ops
+  std::vector<double> probe_latencies_ms;  // the in-quota probe tenant
+  double virtual_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  double ServedPerSec() const {
+    return virtual_seconds > 0 ? served / virtual_seconds : 0.0;
+  }
+  double RejectRate() const {
+    return offered > 0 ? static_cast<double>(typed_rejects) / offered : 0.0;
+  }
+};
+
+double NowWallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One arrival: pick an op (30% put / 65% get / 5% list), run it through
+// the gateway, classify the outcome. Gets target paths the tenant has
+// written before (first touch of a path becomes a Put).
+void RunArrival(GatewayService* gateway, const std::string& tenant,
+                std::vector<std::vector<bool>>* written, int tenant_index,
+                Rng* rng, bool is_probe, PhaseResult* phase) {
+  const int path_index = static_cast<int>(rng->NextBelow(4));
+  const std::string path = StrCat("f", path_index, ".dat");
+  const double op_draw = rng->NextDouble();
+  std::vector<bool>& tenant_written = (*written)[tenant_index];
+
+  Status status;
+  if (op_draw < 0.05) {
+    status = gateway->List(tenant, "").status();
+  } else if (op_draw < 0.35 || !tenant_written[path_index]) {
+    const Bytes payload = ToBytes(StrCat("tenant ", tenant, " payload ",
+                                         rng->NextBelow(1u << 20)));
+    status = gateway->Put(tenant, path, payload).status();
+    if (status.ok()) {
+      tenant_written[path_index] = true;
+    }
+  } else {
+    status = gateway->Get(tenant, path).status();
+  }
+
+  ++phase->offered;
+  if (status.ok() || status.code() == StatusCode::kNotFound) {
+    ++phase->served;
+    const double latency_ms = gateway->last_virtual_latency_s() * 1e3;
+    phase->latencies_ms.push_back(latency_ms);
+    if (is_probe) {
+      phase->probe_latencies_ms.push_back(latency_ms);
+    }
+  } else if (IsGatewayReject(status)) {
+    ++phase->typed_rejects;
+    const auto reason = RejectReasonOf(status);
+    ++phase->rejects_by_reason[std::string(RejectReasonName(*reason))];
+  } else {
+    ++phase->untyped_failures;
+    if (phase->untyped_failures <= 3) {
+      std::fprintf(stderr, "untyped failure: %s\n", status.ToString().c_str());
+    }
+  }
+}
+
+JsonValue PhaseRow(const PhaseResult& phase) {
+  JsonValue row{JsonValue::Object{}};
+  row.Set("phase", phase.name);
+  row.Set("offered_ops", phase.offered);
+  row.Set("served_ops", phase.served);
+  row.Set("typed_rejects", phase.typed_rejects);
+  row.Set("untyped_failures", phase.untyped_failures);
+  row.Set("reject_rate", phase.RejectRate());
+  row.Set("served_ops_per_sec", phase.ServedPerSec());
+  row.Set("p50_latency_ms", bench::Percentile(phase.latencies_ms, 50));
+  row.Set("p99_latency_ms", bench::Percentile(phase.latencies_ms, 99));
+  row.Set("probe_p50_latency_ms",
+          bench::Percentile(phase.probe_latencies_ms, 50));
+  row.Set("probe_p99_latency_ms",
+          bench::Percentile(phase.probe_latencies_ms, 99));
+  row.Set("virtual_seconds", phase.virtual_seconds);
+  row.Set("wall_seconds", phase.wall_seconds);
+  JsonValue::Object reasons;
+  for (const auto& [reason, count] : phase.rejects_by_reason) {
+    reasons.emplace(reason, JsonValue(count));
+  }
+  row.Set("rejects_by_reason", JsonValue(std::move(reasons)));
+  return row;
+}
+
+}  // namespace
+}  // namespace cyrus
+
+int main() {
+  using namespace cyrus;
+  using bench::BenchReport;
+
+  std::printf("Multi-tenant gateway soak: %d tenants, zipf(%.1f), %d shards\n",
+              kTenants, kZipfSkew, kShards);
+  std::printf(
+      "open-loop on virtual time; phase 1 in-quota, phase 2 offers 2x.\n\n");
+
+  GatewayOptions options;
+  options.per_tenant_metrics = false;  // 10k tenants: keep cardinality flat
+  options.shard_op_overhead_s = 0.001;
+  std::vector<std::unique_ptr<CyrusClient>> clients;
+  for (int s = 0; s < kShards; ++s) {
+    clients.push_back(MakeShardClient(s));
+  }
+  auto created = GatewayService::Create(options, std::move(clients));
+  if (!created.ok()) {
+    std::fprintf(stderr, "Create: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  GatewayService* gateway = created.value().get();
+
+  // Quota contracts sized to the baseline schedule: each tenant's rate is
+  // ~1.05x its expected zipfian share, so phase 1 fits and phase 2's head
+  // tenants run hot. Tiny tail tenants keep a floor contract whose burst
+  // absorbs their sporadic ops.
+  ZipfGenerator zipf(kTenants, kZipfSkew);
+  std::vector<std::string> tenant_names;
+  tenant_names.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    tenant_names.push_back(StrCat("tenant-", t));
+    const double baseline_rate = kBaselineOpsPerSec * zipf.ProbabilityOf(t);
+    TenantQuotas quotas;
+    quotas.ops_per_sec = std::max(1.0, 1.05 * baseline_rate);
+    quotas.ops_burst = std::max(8.0, quotas.ops_per_sec);
+    auto registered = gateway->RegisterTenant(tenant_names.back(), quotas);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "RegisterTenant: %s\n",
+                   registered.ToString().c_str());
+      return 1;
+    }
+  }
+  TenantQuotas probe_quotas;
+  probe_quotas.ops_per_sec = 2.0 * kProbeOpsPerSec;  // stays in quota
+  if (!gateway->RegisterTenant("probe", probe_quotas).ok()) {
+    return 1;
+  }
+
+  std::vector<std::vector<bool>> written(kTenants + 1,
+                                         std::vector<bool>(4, false));
+  const int kProbeIndex = kTenants;  // written[] slot for the probe tenant
+
+  BenchReport report("gateway");
+  report.SetParam("tenants", uint64_t{kTenants});
+  report.SetParam("zipf_skew", kZipfSkew);
+  report.SetParam("shards", uint64_t{kShards});
+  report.SetParam("phase_seconds", kPhaseSeconds);
+  report.SetParam("baseline_ops_per_sec", kBaselineOpsPerSec);
+  report.SetParam("overload_factor", 2.0);
+  report.SetParam("probe_ops_per_sec", kProbeOpsPerSec);
+  report.SetParam("seed", kSeed);
+
+  Rng rng(kSeed);
+  std::vector<PhaseResult> phases;
+  double phase_start_virtual = 0.0;
+
+  for (const double overload : {1.0, 2.0}) {
+    PhaseResult phase;
+    phase.name = overload > 1.0 ? "overload-2x" : "baseline";
+    const double rate = kBaselineOpsPerSec * overload;
+    const uint64_t arrivals = static_cast<uint64_t>(rate * kPhaseSeconds);
+    EventQueue queue;
+
+    for (uint64_t i = 0; i < arrivals; ++i) {
+      const double when = phase_start_virtual + i / rate;
+      queue.ScheduleAt(when, [&, when] {
+        gateway->set_time(when);
+        const int tenant_index = static_cast<int>(zipf.Next(rng));
+        RunArrival(gateway, tenant_names[tenant_index], &written,
+                   tenant_index, &rng, /*is_probe=*/false, &phase);
+      });
+    }
+    // The probe holds its (in-quota) rate through both phases.
+    const uint64_t probe_arrivals =
+        static_cast<uint64_t>(kProbeOpsPerSec * kPhaseSeconds);
+    for (uint64_t i = 0; i < probe_arrivals; ++i) {
+      const double when = phase_start_virtual + i / kProbeOpsPerSec;
+      queue.ScheduleAt(when, [&, when] {
+        gateway->set_time(when);
+        RunArrival(gateway, "probe", &written, kProbeIndex, &rng,
+                   /*is_probe=*/true, &phase);
+      });
+    }
+
+    const double wall_start = NowWallSeconds();
+    queue.RunUntilIdle();
+    phase.wall_seconds = NowWallSeconds() - wall_start;
+    phase.virtual_seconds = kPhaseSeconds;
+    phase_start_virtual += kPhaseSeconds;
+    phases.push_back(std::move(phase));
+  }
+
+  std::printf("%-12s | %9s %9s %7s | %8s %8s | %9s %9s\n", "phase", "served",
+              "rejects", "rate", "p50_ms", "p99_ms", "probe_p50", "probe_p99");
+  for (const PhaseResult& phase : phases) {
+    std::printf("%-12s | %9llu %9llu %6.2f%% | %8.2f %8.2f | %9.2f %9.2f\n",
+                phase.name.c_str(),
+                static_cast<unsigned long long>(phase.served),
+                static_cast<unsigned long long>(phase.typed_rejects),
+                100.0 * phase.RejectRate(),
+                bench::Percentile(phase.latencies_ms, 50),
+                bench::Percentile(phase.latencies_ms, 99),
+                bench::Percentile(phase.probe_latencies_ms, 50),
+                bench::Percentile(phase.probe_latencies_ms, 99));
+    report.AddRow(PhaseRow(phase));
+  }
+
+  const PhaseResult& baseline = phases[0];
+  const PhaseResult& overload = phases[1];
+  const double probe_p99_baseline =
+      bench::Percentile(baseline.probe_latencies_ms, 99);
+  const double probe_p99_overload =
+      bench::Percentile(overload.probe_latencies_ms, 99);
+  const double probe_ratio =
+      probe_p99_baseline > 0 ? probe_p99_overload / probe_p99_baseline : 0.0;
+
+  const GatewayStats stats = gateway->Stats();
+  std::printf(
+      "\nSustained %.0f served ops/s virtual (%.0f ops/s wall) across %zu "
+      "tenants.\n",
+      overload.ServedPerSec(),
+      overload.wall_seconds > 0 ? overload.served / overload.wall_seconds : 0.0,
+      stats.num_tenants);
+  std::printf(
+      "Overload shed %.1f%% with typed rejects; probe p99 %.2f ms vs %.2f ms "
+      "unloaded (%.2fx, bar 1.5x).\n",
+      100.0 * overload.RejectRate(), probe_p99_overload, probe_p99_baseline,
+      probe_ratio);
+
+  JsonValue summary{JsonValue::Object{}};
+  summary.Set("phase", "summary");
+  summary.Set("probe_p99_ratio", probe_ratio);
+  summary.Set("total_ops", stats.ops_total);
+  summary.Set("total_rejects", stats.rejects_total);
+  report.AddRow(std::move(summary));
+  std::printf("wrote %s\n", report.Write().c_str());
+
+  // --- acceptance bars ---
+  bool failed = false;
+  if (baseline.untyped_failures + overload.untyped_failures > 0) {
+    std::fprintf(stderr, "FAIL: untyped failures leaked through the gateway\n");
+    failed = true;
+  }
+  if (overload.typed_rejects == 0) {
+    std::fprintf(stderr, "FAIL: 2x overload shed nothing\n");
+    failed = true;
+  }
+  if (overload.RejectRate() < 0.05) {
+    std::fprintf(stderr, "FAIL: overload reject rate %.2f%% implausibly low\n",
+                 100.0 * overload.RejectRate());
+    failed = true;
+  }
+  if (probe_ratio > 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: in-quota probe p99 degraded %.2fx under overload "
+                 "(bar 1.5x)\n",
+                 probe_ratio);
+    failed = true;
+  }
+  if (baseline.RejectRate() > 0.02) {
+    std::fprintf(stderr, "FAIL: baseline reject rate %.2f%% (should be ~0)\n",
+                 100.0 * baseline.RejectRate());
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json artifacts against the committed baselines.
+
+Usage:
+    scripts/bench_delta.py [--baselines DIR] BENCH_foo.json [BENCH_bar.json ...]
+
+Each bench binary emits BENCH_<name>.json (see bench/common.h); the blessed
+snapshots live in bench/baselines/. For every row shared between the current
+artifact and its baseline this prints the numeric fields side by side with
+the relative change, flagging anything that moved more than --flag-pct
+(default 10%). Rows are matched by their non-numeric fields (phase, skew,
+window, ...), so reordering or appending rows never misreports a delta.
+
+Exit status is always 0: the deltas are advisory (each bench binary enforces
+its own hard bars and exits non-zero itself). Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def row_key(row):
+    """Identity of a row: its non-numeric fields, order-independent."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            parts.append((k, json.dumps(v, sort_keys=True)))
+    return tuple(parts)
+
+
+def numeric_fields(row):
+    return {
+        k: float(v)
+        for k, v in row.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def describe_key(key):
+    return ", ".join(f"{k}={v}" for k, v in key) or "(single row)"
+
+
+def diff_artifact(current_path, baseline_path, flag_pct):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    base_rows = {}
+    for row in baseline.get("rows", []):
+        base_rows.setdefault(row_key(row), []).append(row)
+
+    name = current.get("bench", os.path.basename(current_path))
+    print(f"== bench delta: {name} ==")
+    flagged = 0
+    unmatched = 0
+    for row in current.get("rows", []):
+        key = row_key(row)
+        candidates = base_rows.get(key)
+        if not candidates:
+            unmatched += 1
+            continue
+        base = candidates.pop(0)
+        cur_nums = numeric_fields(row)
+        base_nums = numeric_fields(base)
+        lines = []
+        for field in sorted(cur_nums):
+            if field not in base_nums:
+                continue
+            b, c = base_nums[field], cur_nums[field]
+            if b == c:
+                continue
+            pct = 100.0 * (c - b) / b if b != 0 else float("inf")
+            mark = " <<" if abs(pct) >= flag_pct else ""
+            if mark:
+                flagged += 1
+            lines.append(f"    {field}: {b:g} -> {c:g} ({pct:+.1f}%){mark}")
+        if lines:
+            print(f"  {describe_key(key)}")
+            print("\n".join(lines))
+    if unmatched:
+        print(f"  ({unmatched} row(s) with no matching baseline row)")
+    if flagged:
+        print(f"  {flagged} field(s) moved >= {flag_pct:g}% (marked <<)")
+    else:
+        print(f"  all matched fields within {flag_pct:g}% of baseline")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__), "..", "bench", "baselines"),
+        help="directory of blessed BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--flag-pct",
+        type=float,
+        default=10.0,
+        help="relative change (percent) past which a field is flagged",
+    )
+    args = parser.parse_args()
+
+    for path in args.artifacts:
+        baseline = os.path.join(args.baselines, os.path.basename(path))
+        if not os.path.exists(baseline):
+            print(f"== bench delta: {os.path.basename(path)} ==")
+            print(f"  no baseline at {baseline}; skipping")
+            continue
+        diff_artifact(path, baseline, args.flag_pct)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

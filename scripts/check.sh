@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # Repo check driver.
 #
-#   scripts/check.sh                 # build + fast tier-1 tests (no labels)
+#   scripts/check.sh                 # build + fast tier-1 tests (no heavy
+#                                   #   labels; includes the gateway unit
+#                                   #   tests, `ctest -L gateway`)
 #   scripts/check.sh --stress        # + pipelined-engine stress battery
-#   scripts/check.sh --soak         # + fault-injection repair soak
+#   scripts/check.sh --soak         # + fault-injection repair soak and the
+#                                   #   scaled-down zipfian gateway soak
 #   scripts/check.sh --metrics      # + observability exposition tests
 #   scripts/check.sh --chaos        # + degraded-mode chaos battery (outages,
 #                                   #   crash recovery, hedging, corruption)
 #   scripts/check.sh --all          # every labeled suite
-#   scripts/check.sh --bench        # + bench_pipeline (asserts pipelined
-#                                   #   Put is never slower than sequential)
+#   scripts/check.sh --bench        # + bench binaries with hard bars
+#                                   #   (pipeline, degraded, repair, and the
+#                                   #   10k-client gateway soak), then a
+#                                   #   delta report vs bench/baselines/
 #   scripts/check.sh --tsan         # ThreadSanitizer build of the stress
-#                                   #   battery in build-tsan/
+#                                   #   battery + gateway concurrency tests
+#                                   #   in build-tsan/
 #
 # Flags compose: `scripts/check.sh --stress --bench`. The fast tier always
 # runs first; labeled suites are opt-in so the default stays quick enough
@@ -64,7 +70,7 @@ if [[ "$RUN_STRESS" == 1 ]]; then
 fi
 
 if [[ "$RUN_SOAK" == 1 ]]; then
-  echo "== soak: repair engine fault schedules =="
+  echo "== soak: repair fault schedules + gateway zipfian soak =="
   ctest --test-dir build -L soak --output-on-failure
 fi
 
@@ -79,17 +85,27 @@ if [[ "$RUN_CHAOS" == 1 ]]; then
 fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
-  echo "== bench: pipelined vs sequential Put/Get =="
-  # Exits non-zero if any pipelined window is slower than the sequential
-  # baseline, or the headline one-slow-CSP speedup misses the 1.5x bar.
-  (cd build && ./bench/bench_pipeline)
+  echo "== bench: pipeline / degraded / repair / gateway bars =="
+  # Each binary enforces its own hard bars and exits non-zero on a miss
+  # (e.g. pipelined Put slower than sequential, gateway probe p99 blowing
+  # the 1.5x isolation bar under 2x overload).
+  (cd build &&
+    ./bench/bench_pipeline &&
+    ./bench/bench_degraded &&
+    ./bench/bench_repair &&
+    ./bench/bench_gateway)
+  echo "== bench: delta vs bench/baselines =="
+  python3 scripts/bench_delta.py \
+    build/BENCH_pipeline.json build/BENCH_degraded.json \
+    build/BENCH_repair.json build/BENCH_gateway.json
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "== tsan: stress battery under ThreadSanitizer =="
+  echo "== tsan: stress battery + gateway concurrency under ThreadSanitizer =="
   configure build-tsan -DENABLE_TSAN=ON
-  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test
-  (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test)
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test
+  (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test &&
+    ./tests/gateway_test)
 fi
 
 echo "OK"

@@ -1108,6 +1108,15 @@ Status CyrusClient::RegisterVersionChunks(const FileVersion& version) {
 }
 
 Result<std::vector<Conflict>> CyrusClient::SyncMetadata() {
+  // Sole-writer throttle: skip the O(total versions) discovery scan when a
+  // pass ran within the configured virtual-time interval.
+  const double now = now_.load(std::memory_order_relaxed);
+  if (config_.metadata_sync_interval_s > 0 && last_meta_sync_s_ >= 0 &&
+      now - last_meta_sync_s_ < config_.metadata_sync_interval_s) {
+    return std::vector<Conflict>{};
+  }
+  last_meta_sync_s_ = now;
+
   // One listing pass over the active CSPs discovers every metadata base.
   std::set<std::string> bases;
   for (int csp : registry_.ActiveIndices()) {
@@ -1181,6 +1190,7 @@ Status CyrusClient::Recover() {
   tree_ = VersionTree();
   chunk_table_ = ChunkTable();
   known_meta_bases_.clear();
+  last_meta_sync_s_ = -1.0;  // force a full pass despite the throttle
   return SyncMetadata().status();
 }
 
@@ -1296,7 +1306,7 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   };
   std::list<ScatterSlot> slots;
   OrderedPipeline::Options window;
-  window.max_in_flight = config_.pipeline_window_chunks;
+  window.max_in_flight = pipeline_window();
   window.max_in_flight_bytes = config_.pipeline_window_bytes;
   OrderedPipeline pipeline(pool_.get(), window);
 
@@ -1564,7 +1574,7 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
   std::list<GatherSlot> slots;  // stable addresses; outlives the pipeline
   const std::string file_name(version->file_name);
   OrderedPipeline::Options window;
-  window.max_in_flight = config_.pipeline_window_chunks;
+  window.max_in_flight = pipeline_window();
   window.max_in_flight_bytes = config_.pipeline_window_bytes;
   OrderedPipeline pipeline(pool_.get(), window);
 

@@ -68,6 +68,15 @@ struct CyrusConfig {
   // CSPs (paper footnote 3).
   uint32_t meta_t = 2;
 
+  // Minimum virtual-time gap (seconds, per set_time) between full metadata
+  // sync passes. Every Get/List re-lists all metadata objects on every
+  // active CSP to pick up writes from other devices - O(total versions)
+  // per call. A sole-writer deployment (e.g. a gateway shard worker that
+  // owns its CSP pool) can throttle that discovery scan since no foreign
+  // writes can appear. 0 (the default) keeps the always-sync behavior;
+  // Recover() always forces a full pass regardless.
+  double metadata_sync_interval_s = 0.0;
+
   // Place at most one share of a chunk per platform cluster (§4.1).
   bool cluster_aware = true;
 
@@ -325,6 +334,21 @@ class CyrusClient {
   // Replaces the downlink selector (benchmarks swap in random/round-robin).
   void set_download_selector(std::unique_ptr<DownloadSelector> selector);
 
+  // Runtime override of config.pipeline_window_chunks, read at the start of
+  // each Put/Get. The gateway's backpressure controller shrinks a shard
+  // worker's window when its queue deepens and restores it as load drains.
+  // 0 restores the configured value; anything else is clamped to >= 1.
+  // Thread-safe (atomic); in-flight pipelines keep the window they started
+  // with.
+  void set_pipeline_window(uint32_t chunks) {
+    pipeline_window_override_.store(chunks, std::memory_order_relaxed);
+  }
+  // The window the next Put/Get will use.
+  uint32_t pipeline_window() const {
+    const uint32_t forced = pipeline_window_override_.load(std::memory_order_relaxed);
+    return forced > 0 ? forced : config_.pipeline_window_chunks;
+  }
+
   // Virtual clock for modified times and availability probes. Atomic:
   // breaker and repair-engine `now` callbacks read it from pool and
   // hedge-pool threads while tests advance it on the driver.
@@ -435,7 +459,12 @@ class CyrusClient {
   std::map<int, std::shared_ptr<CircuitBreaker>> breakers_;
   // Metadata object base names this client has already ingested.
   std::set<std::string> known_meta_bases_;
+  // Virtual time of the last full SyncMetadata discovery pass (-1 = never);
+  // compared against metadata_sync_interval_s.
+  double last_meta_sync_s_ = -1.0;
   std::atomic<double> now_{0.0};
+  // Gateway backpressure override of the pipeline window (0 = use config).
+  std::atomic<uint32_t> pipeline_window_override_{0};
 
   // Observability sinks (never null after Create) plus cached pipeline
   // counters so the hot paths skip registry lookups.

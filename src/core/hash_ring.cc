@@ -22,7 +22,20 @@ uint64_t RingPosition(std::string_view name, uint32_t replica) {
 }  // namespace
 
 Status HashRing::AddCsp(int csp_index, std::string_view name, int cluster) {
+  std::vector<uint64_t> points;
+  points.reserve(virtual_points_);
+  for (uint32_t r = 0; r < virtual_points_; ++r) {
+    points.push_back(RingPosition(name, r));
+  }
+  return AddCspAt(csp_index, name, cluster, std::move(points));
+}
+
+Status HashRing::AddCspAt(int csp_index, std::string_view name, int cluster,
+                          std::vector<uint64_t> points) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (points.empty()) {
+    return InvalidArgumentError("a ring member needs at least one point");
+  }
   if (csps_.count(csp_index) > 0) {
     return AlreadyExistsError(StrCat("CSP ", csp_index, " already on the ring"));
   }
@@ -31,11 +44,20 @@ Status HashRing::AddCsp(int csp_index, std::string_view name, int cluster) {
       return AlreadyExistsError(StrCat("CSP name '", name, "' already on the ring"));
     }
   }
-  csps_.emplace(csp_index, CspInfo{std::string(name), cluster});
-  for (uint32_t r = 0; r < virtual_points_; ++r) {
-    // Collisions across 64-bit positions are negligible; keep first owner.
-    ring_.emplace(RingPosition(name, r), csp_index);
+  CspInfo info{std::string(name), cluster, {}};
+  for (uint64_t point : points) {
+    // Collisions across 64-bit positions are negligible; keep first owner
+    // (derived points) and record only the points actually claimed so
+    // removal stays exact.
+    if (ring_.emplace(point, csp_index).second) {
+      info.points.push_back(point);
+    }
   }
+  if (info.points.empty()) {
+    return InvalidArgumentError("every requested ring point is already taken");
+  }
+  std::sort(info.points.begin(), info.points.end());
+  csps_.emplace(csp_index, std::move(info));
   return OkStatus();
 }
 
@@ -45,14 +67,40 @@ Status HashRing::RemoveCsp(int csp_index) {
   if (it == csps_.end()) {
     return NotFoundError(StrCat("CSP ", csp_index, " not on the ring"));
   }
-  for (uint32_t r = 0; r < virtual_points_; ++r) {
-    auto ring_it = ring_.find(RingPosition(it->second.name, r));
+  for (uint64_t point : it->second.points) {
+    auto ring_it = ring_.find(point);
     if (ring_it != ring_.end() && ring_it->second == csp_index) {
       ring_.erase(ring_it);
     }
   }
   csps_.erase(it);
   return OkStatus();
+}
+
+Result<int> HashRing::OwnerOf(uint64_t position) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) {
+    return FailedPreconditionError("hash ring has no members");
+  }
+  auto it = ring_.lower_bound(position);
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap
+  }
+  return it->second;
+}
+
+Result<std::vector<uint64_t>> HashRing::PointsOf(int csp_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = csps_.find(csp_index);
+  if (it == csps_.end()) {
+    return NotFoundError(StrCat("CSP ", csp_index, " not on the ring"));
+  }
+  return it->second.points;
+}
+
+std::vector<std::pair<uint64_t, int>> HashRing::AllPoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::pair<uint64_t, int>>(ring_.begin(), ring_.end());
 }
 
 bool HashRing::Contains(int csp_index) const {

@@ -37,10 +37,29 @@ class HashRing {
   // unclustered. kAlreadyExists on duplicate names.
   Status AddCsp(int csp_index, std::string_view name, int cluster);
 
+  // Adds a member whose virtual points are given explicitly instead of
+  // being derived from the name. The gateway's shard map splits a shard by
+  // placing a new member's points inside the victim's arcs, so only the
+  // victim's keyspace moves. kInvalidArgument on an empty or colliding
+  // point set.
+  Status AddCspAt(int csp_index, std::string_view name, int cluster,
+                  std::vector<uint64_t> points);
+
   Status RemoveCsp(int csp_index);
 
   bool Contains(int csp_index) const;
   size_t num_csps() const;
+
+  // The member owning a raw ring position: the first virtual point
+  // clockwise from `position` (wrapping). kFailedPrecondition when empty.
+  Result<int> OwnerOf(uint64_t position) const;
+
+  // Virtual points recorded for one member, ascending. kNotFound if absent.
+  Result<std::vector<uint64_t>> PointsOf(int csp_index) const;
+
+  // Every (position, member) pair on the ring, ascending by position. The
+  // shard map walks this to find a victim's arcs before a split.
+  std::vector<std::pair<uint64_t, int>> AllPoints() const;
 
   // First n distinct CSPs clockwise from the chunk's ring position.
   Result<std::vector<int>> SelectCsps(const Sha1Digest& chunk_id, uint32_t n) const;
@@ -59,6 +78,9 @@ class HashRing {
   struct CspInfo {
     std::string name;
     int cluster = -1;
+    // Ring positions this member occupies, recorded at add time so removal
+    // works for explicit (AddCspAt) point sets too.
+    std::vector<uint64_t> points;
   };
 
   // Requires mutex_ held.

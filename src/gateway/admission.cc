@@ -1,0 +1,100 @@
+#include "src/gateway/admission.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr std::string_view kRejectPrefix = "gateway-reject/";
+
+}  // namespace
+
+std::string_view RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kUnknownTenant:
+      return "unknown-tenant";
+    case RejectReason::kRateLimited:
+      return "rate-limited";
+    case RejectReason::kByteQuota:
+      return "byte-quota";
+    case RejectReason::kStorageQuota:
+      return "storage-quota";
+    case RejectReason::kShardOverloaded:
+      return "shard-overloaded";
+    case RejectReason::kWindowFull:
+      return "window-full";
+  }
+  return "unknown";
+}
+
+Status MakeRejectStatus(RejectReason reason, std::string_view detail) {
+  std::string message =
+      StrCat(kRejectPrefix, RejectReasonName(reason), ": ", detail);
+  if (reason == RejectReason::kUnknownTenant) {
+    return PermissionDeniedError(std::move(message));
+  }
+  return ResourceExhaustedError(std::move(message));
+}
+
+bool IsGatewayReject(const Status& status) {
+  return RejectReasonOf(status).has_value();
+}
+
+std::optional<RejectReason> RejectReasonOf(const Status& status) {
+  if (status.ok()) {
+    return std::nullopt;
+  }
+  std::string_view message = status.message();
+  if (message.substr(0, kRejectPrefix.size()) != kRejectPrefix) {
+    return std::nullopt;
+  }
+  message.remove_prefix(kRejectPrefix.size());
+  const size_t colon = message.find(':');
+  const std::string_view name = message.substr(0, colon);
+  for (RejectReason reason :
+       {RejectReason::kUnknownTenant, RejectReason::kRateLimited,
+        RejectReason::kByteQuota, RejectReason::kStorageQuota,
+        RejectReason::kShardOverloaded, RejectReason::kWindowFull}) {
+    if (name == RejectReasonName(reason)) {
+      return reason;
+    }
+  }
+  return std::nullopt;
+}
+
+TokenBucket::TokenBucket(double rate, double capacity)
+    : rate_(rate),
+      capacity_(capacity > 0 ? capacity : rate),
+      level_(capacity_) {}
+
+void TokenBucket::Refill(double now) {
+  if (now <= last_refill_) {
+    return;  // virtual time never runs backwards; be safe anyway
+  }
+  level_ = std::min(capacity_, level_ + (now - last_refill_) * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryTake(double now, double amount) {
+  if (rate_ <= 0.0) {
+    return true;  // unlimited
+  }
+  Refill(now);
+  if (level_ + 1e-9 < amount) {
+    return false;
+  }
+  level_ -= amount;
+  return true;
+}
+
+double TokenBucket::AvailableAt(double now) {
+  if (rate_ <= 0.0) {
+    return capacity_;
+  }
+  Refill(now);
+  return level_;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,84 @@
+// Admission control for the multi-tenant gateway.
+//
+// Every tenant carries a quota contract (ops/s, upload bytes/s, stored
+// bytes) enforced by token buckets refilled in *virtual* time, so the same
+// policy runs identically under the simulator's EventQueue and a wall
+// clock. A request that cannot be admitted fails fast with a *typed*
+// reject: a ResourceExhaustedError whose message carries a machine-parsable
+// "gateway-reject/<reason>" prefix. Callers (the REST frontend, benches,
+// tests) recover the RejectReason with RejectReasonOf() instead of string
+// matching ad hoc; anything the gateway did not reject itself (storage
+// errors, decode failures) stays untyped and is never misread as shed load.
+#ifndef SRC_GATEWAY_ADMISSION_H_
+#define SRC_GATEWAY_ADMISSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace cyrus {
+
+// Why the gateway refused to execute a request.
+enum class RejectReason : int {
+  kUnknownTenant = 0,   // tenant never registered
+  kRateLimited = 1,     // op token bucket empty
+  kByteQuota = 2,       // upload byte bucket empty
+  kStorageQuota = 3,    // stored-bytes ceiling reached
+  kShardOverloaded = 4, // shard queue past its reject depth
+  kWindowFull = 5,      // tenant's in-flight window exhausted (backpressure)
+};
+
+std::string_view RejectReasonName(RejectReason reason);
+
+// A typed reject: ResourceExhausted (PermissionDenied for kUnknownTenant)
+// with a "gateway-reject/<name>: <detail>" message.
+Status MakeRejectStatus(RejectReason reason, std::string_view detail);
+
+// True iff `status` was minted by MakeRejectStatus.
+bool IsGatewayReject(const Status& status);
+
+// The reason carried by a typed reject, or nullopt for ordinary errors.
+std::optional<RejectReason> RejectReasonOf(const Status& status);
+
+// Per-tenant quota contract. Zero means "unlimited" for every field.
+struct TenantQuotas {
+  double ops_per_sec = 0.0;           // sustained op rate
+  double ops_burst = 0.0;             // op bucket capacity (defaults to rate)
+  double upload_bytes_per_sec = 0.0;  // sustained ingest
+  double bytes_burst = 0.0;           // byte bucket capacity (defaults to rate)
+  uint64_t stored_bytes_limit = 0;    // namespace size ceiling
+};
+
+// Token bucket refilled linearly in virtual time. Not thread-safe; the
+// gateway serializes access under its tenant lock.
+class TokenBucket {
+ public:
+  // `rate` tokens/sec, `capacity` max accumulation. rate <= 0 disables the
+  // bucket (TryTake always succeeds).
+  TokenBucket(double rate, double capacity);
+
+  // Takes `amount` tokens if available at time `now` (seconds). Refills
+  // first; returns false (taking nothing) when short.
+  bool TryTake(double now, double amount);
+
+  // Tokens available at `now`, after refill.
+  double AvailableAt(double now);
+
+  double rate() const { return rate_; }
+  double capacity() const { return capacity_; }
+
+ private:
+  void Refill(double now);
+
+  double rate_;
+  double capacity_;
+  double level_;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_GATEWAY_ADMISSION_H_

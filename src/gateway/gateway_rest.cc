@@ -1,0 +1,222 @@
+#include "src/gateway/gateway_rest.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/obs/export.h"
+#include "src/rest/json.h"
+#include "src/rest/rest_server.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr std::string_view kGatewayPrefix = "/gateway/";
+
+HttpResponse JsonOk(const JsonValue& body) {
+  return HttpResponse::Ok(ToBytes(body.Dump()), "application/json");
+}
+
+HttpResponse GatewayErrorResponse(const Status& status) {
+  JsonValue body;
+  const std::optional<RejectReason> reason = RejectReasonOf(status);
+  body.Set("error", reason.has_value()
+                        ? std::string(RejectReasonName(*reason))
+                        : std::string(StatusCodeName(status.code())));
+  body.Set("message", std::string(status.message()));
+  HttpResponse response = JsonOk(body);
+  response.status = HttpStatusForGatewayError(status);
+  return response;
+}
+
+}  // namespace
+
+int HttpStatusForGatewayError(const Status& status) {
+  if (status.ok()) {
+    return 200;
+  }
+  const std::optional<RejectReason> reason = RejectReasonOf(status);
+  if (reason.has_value()) {
+    switch (*reason) {
+      case RejectReason::kUnknownTenant:
+        return 403;
+      case RejectReason::kStorageQuota:
+        return 507;  // Insufficient Storage
+      case RejectReason::kRateLimited:
+      case RejectReason::kByteQuota:
+      case RejectReason::kShardOverloaded:
+      case RejectReason::kWindowFull:
+        return 429;  // Too Many Requests
+    }
+  }
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kPermissionDenied:
+      return 403;
+    case StatusCode::kUnavailable:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+GatewayRestFrontend::GatewayRestFrontend(GatewayService* gateway,
+                                         const obs::MetricsRegistry* metrics)
+    : gateway_(gateway), metrics_(metrics) {}
+
+HttpResponse GatewayRestFrontend::Handle(const HttpRequest& request) {
+  // The scrape endpoint answers even while the frontend is "down": an
+  // operator diagnosing the outage needs the metrics most right then.
+  if (request.path == "/metrics") {
+    return ServeMetricsEndpoint(metrics_, request);
+  }
+  if (!available_.load()) {
+    return HttpResponse::Error(503, "gateway unavailable");
+  }
+  if (request.path == "/gateway/stats") {
+    if (request.method != HttpMethod::kGet) {
+      return HttpResponse::Error(405, "stats is GET-only");
+    }
+    return HandleStats();
+  }
+  if (request.path == "/gateway/metrics") {
+    if (request.method != HttpMethod::kGet) {
+      return HttpResponse::Error(405, "metrics is GET-only");
+    }
+    const obs::MetricsRegistry* registry =
+        metrics_ != nullptr ? metrics_ : &obs::MetricsRegistry::Default();
+    return HttpResponse::Ok(
+        ToBytes(obs::RenderMetricsJson(registry->Snapshot("cyrus_gateway_"))),
+        "application/json");
+  }
+  // /gateway/<tenant>/files/<action>
+  if (request.path.size() > kGatewayPrefix.size() &&
+      request.path.compare(0, kGatewayPrefix.size(), kGatewayPrefix) == 0) {
+    std::string_view rest =
+        std::string_view(request.path).substr(kGatewayPrefix.size());
+    const size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) {
+      const std::string_view tenant = rest.substr(0, slash);
+      std::string_view tail = rest.substr(slash + 1);
+      constexpr std::string_view kFiles = "files/";
+      if (!tenant.empty() &&
+          tail.compare(0, kFiles.size(), kFiles) == 0) {
+        return HandleTenantFiles(request, tenant, tail.substr(kFiles.size()));
+      }
+    }
+  }
+  return HttpResponse::Error(404, StrCat("no route for ", request.path));
+}
+
+HttpResponse GatewayRestFrontend::HandleStats() const {
+  const GatewayStats stats = gateway_->Stats();
+  JsonValue body;
+  body.Set("ops_total", stats.ops_total);
+  body.Set("ops_ok", stats.ops_ok);
+  body.Set("ops_failed", stats.ops_failed);
+  body.Set("rejects_total", stats.rejects_total);
+  JsonValue::Object reject_fields;
+  for (const auto& [reason, count] : stats.rejects_by_reason) {
+    reject_fields.emplace(reason, JsonValue(count));
+  }
+  body.Set("rejects_by_reason", JsonValue(std::move(reject_fields)));
+  JsonValue::Object depth_fields;
+  for (const auto& [shard, depth] : stats.shard_queue_depth) {
+    depth_fields.emplace(StrCat("shard-", shard),
+                         JsonValue(static_cast<uint64_t>(depth)));
+  }
+  body.Set("shard_queue_depth", JsonValue(std::move(depth_fields)));
+  JsonValue::Object window_fields;
+  for (const auto& [tenant, window] : stats.tenant_window) {
+    window_fields.emplace(tenant, JsonValue(static_cast<uint64_t>(window)));
+  }
+  body.Set("tenant_window", JsonValue(std::move(window_fields)));
+  body.Set("num_tenants", static_cast<uint64_t>(stats.num_tenants));
+  body.Set("num_shards", static_cast<uint64_t>(stats.num_shards));
+  return JsonOk(body);
+}
+
+HttpResponse GatewayRestFrontend::HandleTenantFiles(const HttpRequest& request,
+                                                    std::string_view tenant,
+                                                    std::string_view action) {
+  if (action == "upload") {
+    if (request.method != HttpMethod::kPost) {
+      return HttpResponse::Error(405, "upload is POST-only");
+    }
+    const std::string_view name = request.Query("name");
+    if (name.empty()) {
+      return HttpResponse::Error(400, "missing name parameter");
+    }
+    Result<PutResult> result = gateway_->Put(tenant, name, request.body);
+    if (!result.ok()) {
+      return GatewayErrorResponse(result.status());
+    }
+    JsonValue body;
+    body.Set("name", std::string(name));
+    body.Set("bytes", result.value().content_bytes);
+    body.Set("new_chunks", static_cast<uint64_t>(result.value().new_chunks));
+    body.Set("dedup_chunks",
+             static_cast<uint64_t>(result.value().dedup_chunks));
+    return JsonOk(body);
+  }
+  if (action == "download") {
+    if (request.method != HttpMethod::kGet) {
+      return HttpResponse::Error(405, "download is GET-only");
+    }
+    const std::string_view name = request.Query("name");
+    if (name.empty()) {
+      return HttpResponse::Error(400, "missing name parameter");
+    }
+    Result<GetResult> result = gateway_->Get(tenant, name);
+    if (!result.ok()) {
+      return GatewayErrorResponse(result.status());
+    }
+    return HttpResponse::Ok(std::move(result.value().content),
+                            "application/octet-stream");
+  }
+  if (action == "delete") {
+    if (request.method != HttpMethod::kPost) {
+      return HttpResponse::Error(405, "delete is POST-only");
+    }
+    const std::string_view name = request.Query("name");
+    if (name.empty()) {
+      return HttpResponse::Error(400, "missing name parameter");
+    }
+    const Status status = gateway_->Delete(tenant, name);
+    if (!status.ok()) {
+      return GatewayErrorResponse(status);
+    }
+    JsonValue body;
+    body.Set("deleted", std::string(name));
+    return JsonOk(body);
+  }
+  if (action == "list") {
+    if (request.method != HttpMethod::kGet) {
+      return HttpResponse::Error(405, "list is GET-only");
+    }
+    Result<std::vector<FileListing>> result =
+        gateway_->List(tenant, request.Query("prefix"));
+    if (!result.ok()) {
+      return GatewayErrorResponse(result.status());
+    }
+    JsonValue entries{JsonValue::Array{}};
+    for (const FileListing& listing : result.value()) {
+      JsonValue entry;
+      entry.Set("name", listing.name);
+      entry.Set("size", listing.size);
+      entry.Set("versions", static_cast<uint64_t>(listing.num_versions));
+      entry.Set("conflicted", listing.conflicted);
+      entries.Append(std::move(entry));
+    }
+    JsonValue body;
+    body.Set("entries", std::move(entries));
+    return JsonOk(body);
+  }
+  return HttpResponse::Error(404, StrCat("no file action '", action, "'"));
+}
+
+}  // namespace cyrus

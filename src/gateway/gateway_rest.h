@@ -1,0 +1,61 @@
+// HTTP surface of the multi-tenant gateway.
+//
+// Mounts GatewayService on the same in-process wire boundary as the
+// simulated vendor endpoints (src/rest): the caller builds an HttpRequest,
+// Handle() returns an HttpResponse, nothing else crosses. Routes:
+//
+//   GET  /metrics                          scrape (text; ?format=json)
+//   GET  /gateway/stats                    gateway aggregates as JSON
+//   GET  /gateway/metrics                  cyrus_gateway_* families only
+//   POST /gateway/<tenant>/files/upload?name=    (raw body)
+//   GET  /gateway/<tenant>/files/download?name=
+//   POST /gateway/<tenant>/files/delete?name=
+//   GET  /gateway/<tenant>/files/list?prefix=
+//
+// Typed admission rejects map onto transport codes a real multi-tenant
+// frontend would use: 429 for rate/window/overload shedding (with the
+// machine-readable reason in the JSON body), 507 for a full storage
+// quota, 403 for an unknown tenant. Unknown paths 404. set_available(false)
+// turns everything except /metrics into 503 - scrapes must survive the
+// outage being scraped.
+#ifndef SRC_GATEWAY_GATEWAY_REST_H_
+#define SRC_GATEWAY_GATEWAY_REST_H_
+
+#include <atomic>
+
+#include "src/gateway/gateway.h"
+#include "src/rest/http.h"
+
+namespace cyrus {
+
+class GatewayRestFrontend {
+ public:
+  // `gateway` must outlive the frontend. `metrics` is the registry served
+  // by /metrics and /gateway/metrics (nullptr = process default).
+  explicit GatewayRestFrontend(GatewayService* gateway,
+                               const obs::MetricsRegistry* metrics = nullptr);
+
+  // The wire boundary. Thread-safe.
+  HttpResponse Handle(const HttpRequest& request);
+
+  // Simulates frontend outage: non-/metrics routes return 503.
+  void set_available(bool available) { available_.store(available); }
+
+ private:
+  HttpResponse HandleStats() const;
+  HttpResponse HandleTenantFiles(const HttpRequest& request,
+                                 std::string_view tenant,
+                                 std::string_view action);
+
+  GatewayService* gateway_;
+  const obs::MetricsRegistry* metrics_;
+  std::atomic<bool> available_{true};
+};
+
+// The transport status a gateway error maps to (200 for ok). Exposed for
+// tests and benches that assert on shedding behavior.
+int HttpStatusForGatewayError(const Status& status);
+
+}  // namespace cyrus
+
+#endif  // SRC_GATEWAY_GATEWAY_REST_H_

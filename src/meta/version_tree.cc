@@ -18,6 +18,7 @@ Status VersionTree::Insert(const FileVersion& version) {
     return OkStatus();
   }
   nodes_.emplace(version.id, version);
+  by_name_.emplace(version.file_name, version.id);
   if (IsNullDigest(version.prev_id)) {
     roots_.emplace(version.file_name, version.id);
   } else {
@@ -43,14 +44,21 @@ std::vector<const FileVersion*> VersionTree::Children(const Sha1Digest& id) cons
 }
 
 std::vector<const FileVersion*> VersionTree::Heads(std::string_view file_name) const {
+  // Walk the name index, keeping only childless versions. Sorted by id to
+  // match the historical nodes_-scan order (callers render conflict lists
+  // from this).
+  std::vector<Sha1Digest> ids;
+  auto [begin, end] = by_name_.equal_range(file_name);
+  for (auto it = begin; it != end; ++it) {
+    if (children_.find(it->second) == children_.end()) {
+      ids.push_back(it->second);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
   std::vector<const FileVersion*> out;
-  for (const auto& [id, version] : nodes_) {
-    if (version.file_name != file_name) {
-      continue;
-    }
-    if (Children(id).empty()) {
-      out.push_back(&version);
-    }
+  out.reserve(ids.size());
+  for (const Sha1Digest& id : ids) {
+    out.push_back(Find(id));
   }
   return out;
 }
@@ -171,24 +179,20 @@ std::vector<Conflict> VersionTree::DetectConflictsFor(const Sha1Digest& id) cons
 }
 
 std::vector<std::string> VersionTree::FileNames(bool include_deleted) const {
-  std::set<std::string> names;
-  for (const auto& [id, version] : nodes_) {
-    names.insert(version.file_name);
-  }
+  // One pass over the name index (already name-ascending); a name is live
+  // if any childless version of it is non-deleted.
   std::vector<std::string> out;
-  for (const std::string& name : names) {
-    if (include_deleted) {
-      out.push_back(name);
-      continue;
-    }
-    // A name is live if any head is non-deleted.
-    bool live = false;
-    for (const FileVersion* head : Heads(name)) {
-      live |= !head->deleted;
+  for (auto it = by_name_.begin(); it != by_name_.end();) {
+    auto range_end = by_name_.upper_bound(it->first);
+    bool live = include_deleted;
+    for (auto jt = it; !live && jt != range_end; ++jt) {
+      live = children_.find(jt->second) == children_.end() &&
+             !Find(jt->second)->deleted;
     }
     if (live) {
-      out.push_back(name);
+      out.push_back(it->first);
     }
+    it = range_end;
   }
   return out;
 }

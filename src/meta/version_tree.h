@@ -82,6 +82,10 @@ class VersionTree {
   std::map<Sha1Digest, FileVersion> nodes_;
   std::multimap<Sha1Digest, Sha1Digest> children_;          // parent -> child
   std::multimap<std::string, Sha1Digest, std::less<>> roots_;  // name -> parentless
+  // name -> every version of that name. Heads()/FileNames() walk this index
+  // instead of scanning nodes_ (a shard serving many files pays O(file's
+  // versions), not O(tree)).
+  std::multimap<std::string, Sha1Digest, std::less<>> by_name_;
 };
 
 }  // namespace cyrus

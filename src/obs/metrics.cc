@@ -206,10 +206,15 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name, Labels labels,
   return it->second.get();
 }
 
-RegistrySnapshot MetricsRegistry::Snapshot() const {
+RegistrySnapshot MetricsRegistry::Snapshot() const { return Snapshot(""); }
+
+RegistrySnapshot MetricsRegistry::Snapshot(std::string_view prefix) const {
   std::lock_guard<std::mutex> lock(mutex_);
   RegistrySnapshot snapshot;
   for (const auto& [name, family] : families_) {
+    if (name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
     auto base = [&](const std::string& key) {
       MetricSnapshot m;
       m.name = name;

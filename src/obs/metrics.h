@@ -141,6 +141,11 @@ class MetricsRegistry {
 
   RegistrySnapshot Snapshot() const;
 
+  // Snapshot restricted to families whose name starts with `prefix` (the
+  // gateway's stats endpoint serves Snapshot("cyrus_gateway_") rather than
+  // the whole process registry).
+  RegistrySnapshot Snapshot(std::string_view prefix) const;
+
   // Zeroes every registered instrument, keeping identity (cached pointers
   // stay valid). For tests that share the process-wide default registry.
   void ResetForTest();

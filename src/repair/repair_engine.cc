@@ -34,6 +34,34 @@ RepairEngine::RepairEngine(RepairContext context, RepairEngineOptions options)
   degraded_writes_ =
       metrics_->GetCounter("cyrus_degraded_writes_total", {},
                            "Chunk commits that met quorum but missed target n");
+  scrub_counters_.passes = metrics_->GetCounter("cyrus_scrub_passes_total", {},
+                                                "Completed scrub passes");
+  scrub_counters_.scanned =
+      metrics_->GetCounter("cyrus_scrub_chunks_scanned_total", {},
+                           "Chunk-table entries classified by scans");
+  scrub_counters_.degraded =
+      metrics_->GetCounter("cyrus_scrub_chunks_degraded_total", {},
+                           "Chunks found below their target n");
+  scrub_counters_.repaired =
+      metrics_->GetCounter("cyrus_scrub_chunks_repaired_total", {},
+                           "Chunks restored to their target n");
+  scrub_counters_.unrepairable =
+      metrics_->GetCounter("cyrus_scrub_chunks_unrepairable_total", {},
+                           "Chunks with fewer than t reachable shares");
+  scrub_counters_.deferred =
+      metrics_->GetCounter("cyrus_scrub_chunks_deferred_total", {},
+                           "Repairs deferred by pass budgets");
+  scrub_counters_.shares_rebuilt =
+      metrics_->GetCounter("cyrus_scrub_shares_rebuilt_total", {},
+                           "Fresh shares encoded and uploaded");
+  scrub_counters_.shares_pruned =
+      metrics_->GetCounter("cyrus_scrub_shares_pruned_total", {},
+                           "Stale dead share locations dropped");
+  scrub_counters_.bytes_moved = metrics_->GetCounter(
+      "cyrus_scrub_bytes_moved_total", {}, "Share bytes moved by repairs");
+  scrub_counters_.probe_failures =
+      metrics_->GetCounter("cyrus_scrub_probe_failures_total", {},
+                           "Probe List calls failed after retry");
 }
 
 void RepairEngine::RefreshDebtGaugesLocked() {
@@ -78,63 +106,17 @@ void RepairEngine::Fold(const RepairStats& delta) {
   stats_.probe_failures += delta.probe_failures;
 
   // Mirror the same deltas into the registry so dashboards and /metrics see
-  // scrub health without holding a RepairEngine reference. Pointers are
-  // cached across calls: registration takes the registry mutex once.
-  struct ScrubCounters {
-    obs::Counter* passes;
-    obs::Counter* scanned;
-    obs::Counter* degraded;
-    obs::Counter* repaired;
-    obs::Counter* unrepairable;
-    obs::Counter* deferred;
-    obs::Counter* shares_rebuilt;
-    obs::Counter* shares_pruned;
-    obs::Counter* bytes_moved;
-    obs::Counter* probe_failures;
-  };
-  static std::map<obs::MetricsRegistry*, ScrubCounters> cache;
-  static std::mutex cache_mutex;
-  ScrubCounters counters;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex);
-    auto it = cache.find(metrics_);
-    if (it == cache.end()) {
-      ScrubCounters fresh;
-      fresh.passes = metrics_->GetCounter("cyrus_scrub_passes_total", {},
-                                          "Completed scrub passes");
-      fresh.scanned = metrics_->GetCounter("cyrus_scrub_chunks_scanned_total", {},
-                                           "Chunk-table entries classified by scans");
-      fresh.degraded = metrics_->GetCounter("cyrus_scrub_chunks_degraded_total", {},
-                                            "Chunks found below their target n");
-      fresh.repaired = metrics_->GetCounter("cyrus_scrub_chunks_repaired_total", {},
-                                            "Chunks restored to their target n");
-      fresh.unrepairable =
-          metrics_->GetCounter("cyrus_scrub_chunks_unrepairable_total", {},
-                               "Chunks with fewer than t reachable shares");
-      fresh.deferred = metrics_->GetCounter("cyrus_scrub_chunks_deferred_total", {},
-                                            "Repairs deferred by pass budgets");
-      fresh.shares_rebuilt = metrics_->GetCounter("cyrus_scrub_shares_rebuilt_total", {},
-                                                  "Fresh shares encoded and uploaded");
-      fresh.shares_pruned = metrics_->GetCounter("cyrus_scrub_shares_pruned_total", {},
-                                                 "Stale dead share locations dropped");
-      fresh.bytes_moved = metrics_->GetCounter("cyrus_scrub_bytes_moved_total", {},
-                                               "Share bytes moved by repairs");
-      fresh.probe_failures = metrics_->GetCounter("cyrus_scrub_probe_failures_total", {},
-                                                  "Probe List calls failed after retry");
-      it = cache.emplace(metrics_, fresh).first;
-    }
-    counters = it->second;
-  }
-  counters.passes->Increment(delta.scrub_passes);
-  counters.scanned->Increment(delta.chunks_scanned);
-  counters.degraded->Increment(delta.chunks_degraded);
-  counters.repaired->Increment(delta.chunks_repaired);
-  counters.unrepairable->Increment(delta.chunks_unrepairable);
-  counters.deferred->Increment(delta.chunks_deferred);
-  counters.shares_rebuilt->Increment(delta.shares_rebuilt);
-  counters.shares_pruned->Increment(delta.shares_pruned);
-  counters.bytes_moved->Increment(delta.bytes_moved);
-  counters.probe_failures->Increment(delta.probe_failures);
+  // scrub health without holding a RepairEngine reference.
+  scrub_counters_.passes->Increment(delta.scrub_passes);
+  scrub_counters_.scanned->Increment(delta.chunks_scanned);
+  scrub_counters_.degraded->Increment(delta.chunks_degraded);
+  scrub_counters_.repaired->Increment(delta.chunks_repaired);
+  scrub_counters_.unrepairable->Increment(delta.chunks_unrepairable);
+  scrub_counters_.deferred->Increment(delta.chunks_deferred);
+  scrub_counters_.shares_rebuilt->Increment(delta.shares_rebuilt);
+  scrub_counters_.shares_pruned->Increment(delta.shares_pruned);
+  scrub_counters_.bytes_moved->Increment(delta.bytes_moved);
+  scrub_counters_.probe_failures->Increment(delta.probe_failures);
 }
 
 // ---------------------------------------------------------------------------

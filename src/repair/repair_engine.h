@@ -206,6 +206,24 @@ class RepairEngine {
   std::set<int> pending_reprobe_;
   obs::MetricsRegistry* metrics_ = nullptr;
 
+  // Registry mirrors of the lifetime scrub stats, resolved once at
+  // construction. Per-engine members, not a process-global cache keyed by
+  // registry pointer: a destroyed registry's address can be reused by a new
+  // one, which would make such a cache hand back dangling counters.
+  struct ScrubCounters {
+    obs::Counter* passes = nullptr;
+    obs::Counter* scanned = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* repaired = nullptr;
+    obs::Counter* unrepairable = nullptr;
+    obs::Counter* deferred = nullptr;
+    obs::Counter* shares_rebuilt = nullptr;
+    obs::Counter* shares_pruned = nullptr;
+    obs::Counter* bytes_moved = nullptr;
+    obs::Counter* probe_failures = nullptr;
+  };
+  ScrubCounters scrub_counters_;
+
   // Degraded-write ledger: chunk -> shares still owed to reach target n.
   // Own mutex (not the scrub path's implicit driver-thread serialization)
   // because Put completions note debt while a scrub may be recomputing it.

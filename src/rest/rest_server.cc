@@ -13,6 +13,22 @@ constexpr std::string_view kBearerPrefix = "Bearer ";
 
 }  // namespace
 
+HttpResponse ServeMetricsEndpoint(const obs::MetricsRegistry* registry,
+                                  const HttpRequest& request) {
+  if (request.method != HttpMethod::kGet) {
+    return HttpResponse::Error(405, "metrics endpoint is GET-only");
+  }
+  if (registry == nullptr) {
+    registry = &obs::MetricsRegistry::Default();
+  }
+  if (request.Query("format") == "json") {
+    return HttpResponse::Ok(ToBytes(obs::RenderMetricsJson(registry->Snapshot())),
+                            "application/json");
+  }
+  return HttpResponse::Ok(ToBytes(obs::RenderPrometheusText(registry->Snapshot())),
+                          "text/plain; version=0.0.4");
+}
+
 RestVendorServer::RestVendorServer(RestVendorOptions options)
     : options_(std::move(options)),
       oauth_(options_.token_lifetime_seconds, /*seed=*/Sha1::Hash(options_.id).Prefix64()) {
@@ -75,17 +91,7 @@ HttpResponse RestVendorServer::Handle(const HttpRequest& request) {
 }
 
 HttpResponse RestVendorServer::HandleMetrics(const HttpRequest& request) {
-  if (request.method != HttpMethod::kGet) {
-    return HttpResponse::Error(405, "metrics endpoint is GET-only");
-  }
-  const obs::MetricsRegistry* registry =
-      options_.metrics != nullptr ? options_.metrics : &obs::MetricsRegistry::Default();
-  if (request.Query("format") == "json") {
-    return HttpResponse::Ok(ToBytes(obs::RenderMetricsJson(registry->Snapshot())),
-                            "application/json");
-  }
-  return HttpResponse::Ok(ToBytes(obs::RenderPrometheusText(registry->Snapshot())),
-                          "text/plain; version=0.0.4");
+  return ServeMetricsEndpoint(options_.metrics, request);
 }
 
 HttpResponse RestVendorServer::HandleToken(const HttpRequest& request) {

@@ -35,6 +35,14 @@
 
 namespace cyrus {
 
+// Serves a GET /metrics scrape from `registry` (nullptr = the process-wide
+// default): Prometheus text by default, the JSON snapshot on ?format=json,
+// 405 on any other method. Shared by every HTTP surface with a scrape
+// endpoint (the vendor simulators and the multi-tenant gateway), so the
+// exposition behaves identically wherever it is mounted.
+HttpResponse ServeMetricsEndpoint(const obs::MetricsRegistry* registry,
+                                  const HttpRequest& request);
+
 enum class ApiDialect { kJson, kXml };
 
 struct RestVendorOptions {

@@ -1,0 +1,40 @@
+#include "src/sim/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyrus {
+
+ZipfGenerator::ZipfGenerator(size_t num_ranks, double skew) {
+  if (num_ranks == 0) {
+    num_ranks = 1;
+  }
+  cdf_.resize(num_ranks);
+  double total = 0.0;
+  for (size_t k = 0; k < num_ranks; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+size_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::ProbabilityOf(size_t rank) const {
+  if (rank >= cdf_.size()) {
+    return 0.0;
+  }
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace cyrus

@@ -1,0 +1,39 @@
+// Zipfian rank sampling for skewed workload generators.
+//
+// Open-loop soak benchmarks draw "which client fires next" and "which file
+// does it touch" from a Zipf(s) distribution over N ranks: rank k is chosen
+// with probability proportional to 1/k^s, the classic popularity skew of
+// storage traces. The implementation precomputes the normalized CDF once
+// (O(N) memory, N up to a few hundred thousand is cheap) and samples by
+// binary search, so draws are O(log N), exact, and deterministic for a
+// given Rng stream.
+#ifndef SRC_SIM_ZIPF_H_
+#define SRC_SIM_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cyrus {
+
+class ZipfGenerator {
+ public:
+  // `num_ranks` >= 1; `skew` >= 0 (0 degenerates to uniform, ~0.99 matches
+  // YCSB's default popularity skew).
+  ZipfGenerator(size_t num_ranks, double skew);
+
+  // A rank in [0, num_ranks), rank 0 most popular.
+  size_t Next(Rng& rng) const;
+
+  size_t num_ranks() const { return cdf_.size(); }
+  // P(rank == k), for tests and load math.
+  double ProbabilityOf(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_SIM_ZIPF_H_

@@ -1,0 +1,133 @@
+// Scaled-down open-loop soak of the multi-tenant gateway on virtual time.
+//
+// The full 10k-client zipfian soak lives in bench/bench_gateway.cc; this
+// test runs the same shape at CI scale (hundreds of tenants, thousands of
+// arrivals) and asserts the *properties* rather than the numbers:
+//
+//   - the gateway survives a sustained zipfian arrival schedule;
+//   - overload is shed exclusively through typed rejects (every failure
+//     is either a gateway reject or a storage NotFound - nothing leaks);
+//   - admission control isolates tenants: a tenant that stays inside its
+//     quota is never rejected, no matter how hard the zipf head hammers
+//     the service.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/simulated_csp.h"
+#include "src/gateway/admission.h"
+#include "src/gateway/gateway.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/zipf.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+std::unique_ptr<CyrusClient> MakeShardClient(int shard) {
+  CyrusConfig config;
+  config.client_id = StrCat("soak-shard-", shard);
+  config.key_string = "gateway soak key";
+  config.t = 2;
+  config.epsilon = 1e-4;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  config.transfer_concurrency = 1;
+  auto client = CyrusClient::Create(std::move(config));
+  EXPECT_TRUE(client.ok()) << client.status();
+  for (int i = 0; i < 4; ++i) {
+    SimulatedCspOptions o;
+    o.id = StrCat("soak", shard, "-csp", i);
+    auto added = client.value()->AddCsp(std::make_shared<SimulatedCsp>(o),
+                                        CspProfile{}, Credentials{"token"});
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return std::move(client).value();
+}
+
+TEST(GatewaySoakTest, ZipfianOpenLoopShedsOnlyTypedRejects) {
+  constexpr int kTenants = 200;
+  constexpr int kArrivals = 4000;
+  constexpr double kArrivalRate = 400.0;  // arrivals/sec of virtual time
+
+  obs::MetricsRegistry metrics;
+  GatewayOptions options;
+  options.metrics = &metrics;
+  options.per_tenant_metrics = false;  // keep label cardinality flat
+  std::vector<std::unique_ptr<CyrusClient>> clients;
+  for (int s = 0; s < 2; ++s) {
+    clients.push_back(MakeShardClient(s));
+  }
+  auto created = GatewayService::Create(options, std::move(clients));
+  ASSERT_TRUE(created.ok()) << created.status();
+  GatewayService* gateway = created.value().get();
+
+  // Zipf head tenants receive far more traffic than their contract allows;
+  // the protected tenant's quota comfortably covers its share.
+  TenantQuotas contract;
+  contract.ops_per_sec = 20.0;
+  contract.ops_burst = 20.0;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(gateway->RegisterTenant(StrCat("tenant-", t), contract).ok());
+  }
+  TenantQuotas generous;
+  generous.ops_per_sec = 1000.0;
+  ASSERT_TRUE(gateway->RegisterTenant("protected", generous).ok());
+
+  EventQueue queue;
+  ZipfGenerator zipf(kTenants, 0.9);
+  Rng rng(20260809);
+
+  int ok_ops = 0;
+  int typed_rejects = 0;
+  int untyped_failures = 0;
+  int protected_rejects = 0;
+
+  for (int i = 0; i < kArrivals; ++i) {
+    const double when = i / kArrivalRate;
+    queue.ScheduleAt(when, [&, i] {
+      gateway->set_time(queue.now());
+      const bool is_protected = i % 40 == 0;  // ~10 ops/s, inside quota
+      const std::string tenant =
+          is_protected ? "protected" : StrCat("tenant-", zipf.Next(rng));
+      const std::string path = StrCat("f", rng.NextBelow(8), ".dat");
+      Status status;
+      if (rng.NextDouble() < 0.4) {
+        status = gateway->Put(tenant, path, ToBytes(StrCat("p", i))).status();
+      } else {
+        status = gateway->Get(tenant, path).status();
+      }
+      if (status.ok() || status.code() == StatusCode::kNotFound) {
+        ++ok_ops;
+      } else if (IsGatewayReject(status)) {
+        ++typed_rejects;
+        if (is_protected) {
+          ++protected_rejects;
+        }
+      } else {
+        ++untyped_failures;
+      }
+    });
+  }
+  queue.RunUntilIdle();
+
+  // Everything was either served or shed with a typed reject.
+  EXPECT_EQ(ok_ops + typed_rejects, kArrivals);
+  EXPECT_EQ(untyped_failures, 0);
+  // The zipf head runs ~6x its contract, so shedding must have happened...
+  EXPECT_GT(typed_rejects, 0);
+  // ...but never to the tenant that stayed inside its quota.
+  EXPECT_EQ(protected_rejects, 0);
+  // And most of the offered load was still served.
+  EXPECT_GT(ok_ops, kArrivals / 2);
+
+  const GatewayStats stats = gateway->Stats();
+  EXPECT_EQ(stats.rejects_total, static_cast<uint64_t>(typed_rejects));
+  EXPECT_EQ(stats.num_tenants, static_cast<size_t>(kTenants) + 1);
+}
+
+}  // namespace
+}  // namespace cyrus

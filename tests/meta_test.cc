@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "src/gateway/shard_map.h"
 #include "src/meta/chunk_table.h"
 #include "src/meta/metadata.h"
 #include "src/meta/serialize.h"
@@ -398,6 +401,192 @@ TEST(ChunkTableTest, TotalUniqueBytes) {
   ASSERT_TRUE(table.Insert(Id("a"), a).ok());
   ASSERT_TRUE(table.Insert(Id("b"), b).ok());
   EXPECT_EQ(table.TotalUniqueBytes(), 350u);
+}
+
+
+// --- shard split/merge bookkeeping (gateway metadata tier) ---------------
+
+TEST(ChunkTableTest, ExtractIfMovesDepartingEntries) {
+  ChunkTable table;
+  ChunkEntry small;
+  small.size = 100;
+  ChunkEntry large;
+  large.size = 9000;
+  ASSERT_TRUE(table.Insert(Id("keep-1"), small).ok());
+  ASSERT_TRUE(table.Insert(Id("keep-2"), small).ok());
+  ASSERT_TRUE(table.Insert(Id("depart"), large).ok());
+
+  ChunkTable departed = table.ExtractIf(
+      [](const Sha1Digest&, const ChunkEntry& entry) { return entry.size > 1000; });
+
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(departed.size(), 1u);
+  EXPECT_FALSE(table.Contains(Id("depart")));
+  EXPECT_TRUE(departed.Contains(Id("depart")));
+  // Entries moved wholesale: refcounts and shares survive the extraction.
+  EXPECT_EQ(departed.Find(Id("depart"))->size, 9000u);
+}
+
+TEST(ChunkTableTest, AbsorbMergesDisjointAndSharedEntries) {
+  ChunkTable a;
+  ChunkTable b;
+  ChunkEntry entry;
+  entry.size = 512;
+  entry.t = 2;
+  entry.n = 3;
+  entry.shares = {{0, 0}, {1, 1}};
+  ASSERT_TRUE(a.Insert(Id("only-a"), entry).ok());
+  ASSERT_TRUE(a.Insert(Id("both"), entry).ok());
+  ChunkEntry other = entry;
+  other.shares = {{1, 1}, {2, 2}};  // one duplicate, one new location
+  ASSERT_TRUE(b.Insert(Id("both"), other).ok());
+  ASSERT_TRUE(b.AddRef(Id("both")).ok());
+  ASSERT_TRUE(b.Insert(Id("only-b"), entry).ok());
+
+  ASSERT_TRUE(a.Absorb(std::move(b)).ok());
+  EXPECT_EQ(a.size(), 3u);
+  const ChunkEntry* both = a.Find(Id("both"));
+  ASSERT_NE(both, nullptr);
+  EXPECT_EQ(both->refcount, 3u);           // 1 + 2
+  EXPECT_EQ(both->shares.size(), 3u);      // union, duplicate dropped
+}
+
+TEST(ChunkTableTest, AbsorbRejectsDivergentEntries) {
+  ChunkTable a;
+  ChunkTable b;
+  ChunkEntry mine;
+  mine.size = 512;
+  ChunkEntry theirs;
+  theirs.size = 1024;  // same chunk id, different size: corruption
+  ASSERT_TRUE(a.Insert(Id("clash"), mine).ok());
+  ASSERT_TRUE(b.Insert(Id("clash"), theirs).ok());
+  EXPECT_EQ(a.Absorb(std::move(b)).code(), StatusCode::kDataLoss);
+  // The failed merge left the receiver untouched.
+  EXPECT_EQ(a.Find(Id("clash"))->size, 512u);
+}
+
+TEST(ShardMapTest, RoutesAreDeterministicAndCoverAllShards) {
+  ShardMap map;
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(map.AddShard().ok());
+  }
+  std::set<int> used;
+  for (int i = 0; i < 64; ++i) {
+    const std::string path = "t/alice/file-" + std::to_string(i);
+    auto first = map.ShardFor(path);
+    ASSERT_TRUE(first.ok());
+    auto second = map.ShardFor(path);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first.value(), second.value());
+    used.insert(first.value());
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardMapTest, SplitStealsOnlyFromVictim) {
+  ShardMap map;
+  ASSERT_TRUE(map.AddShard().ok());
+  ASSERT_TRUE(map.AddShard().ok());
+  std::map<std::string, int> before;
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = "p" + std::to_string(i);
+    before[path] = map.ShardFor(path).value();
+  }
+  auto split = map.SplitShard(1);
+  ASSERT_TRUE(split.ok()) << split.status();
+  const int new_shard = split.value();
+  int moved = 0;
+  for (const auto& [path, old_shard] : before) {
+    const int now = map.ShardFor(path).value();
+    if (old_shard == 0) {
+      EXPECT_EQ(now, 0) << path;  // bystander keyspace untouched
+    } else if (now != old_shard) {
+      EXPECT_EQ(now, new_shard) << path;  // moves only victim -> new
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ShardMapTest, MergeHandsKeyspaceToSuccessors) {
+  ShardMap map;
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(map.AddShard().ok());
+  }
+  std::map<std::string, int> before;
+  for (int i = 0; i < 120; ++i) {
+    const std::string path = "m" + std::to_string(i);
+    before[path] = map.ShardFor(path).value();
+  }
+  ASSERT_TRUE(map.MergeShard(1).ok());
+  EXPECT_EQ(map.num_shards(), 2u);
+  for (const auto& [path, old_shard] : before) {
+    const int now = map.ShardFor(path).value();
+    if (old_shard != 1) {
+      EXPECT_EQ(now, old_shard) << path;  // unaffected keyspace stays put
+    } else {
+      EXPECT_NE(now, 1) << path;
+    }
+  }
+  // The last shard is irremovable.
+  ASSERT_TRUE(map.MergeShard(0).ok());
+  EXPECT_EQ(map.MergeShard(2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardMapTest, RouteReportsLazyMigrationExactlyOnce) {
+  ShardMap map;
+  ASSERT_TRUE(map.AddShard().ok());
+  ASSERT_TRUE(map.AddShard().ok());
+  // Establish residency for a batch of paths.
+  std::vector<std::string> paths;
+  for (int i = 0; i < 100; ++i) {
+    paths.push_back("lazy-" + std::to_string(i));
+    ASSERT_TRUE(map.Route(paths.back()).ok());
+  }
+  auto split = map.SplitShard(0);
+  ASSERT_TRUE(split.ok()) << split.status();
+  int migrations = 0;
+  for (const std::string& path : paths) {
+    auto route = map.Route(path);
+    ASSERT_TRUE(route.ok());
+    if (route.value().migrated) {
+      EXPECT_EQ(route.value().moved_from, 0);
+      EXPECT_EQ(route.value().shard, split.value());
+      ++migrations;
+    }
+  }
+  EXPECT_GT(migrations, 0);
+  // Residency updated: a second pass reports nothing to move.
+  for (const std::string& path : paths) {
+    EXPECT_FALSE(map.Route(path).value().migrated);
+  }
+}
+
+TEST(ShardMapTest, SerializeRoundTripsTopologyAndResidency) {
+  ShardMap map(32);
+  ASSERT_TRUE(map.AddShard().ok());
+  ASSERT_TRUE(map.AddShard().ok());
+  ASSERT_TRUE(map.SplitShard(1).ok());
+  ASSERT_TRUE(map.Route("t/a/x").ok());
+  ASSERT_TRUE(map.Route("t/b/y").ok());
+
+  auto back = ShardMap::Deserialize(map.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_shards(), map.num_shards());
+  EXPECT_EQ(back->ShardIds(), map.ShardIds());
+  for (int i = 0; i < 100; ++i) {
+    const std::string path = "rt-" + std::to_string(i);
+    EXPECT_EQ(back->ShardFor(path).value(), map.ShardFor(path).value()) << path;
+  }
+  // Residency carried over: no spurious migrations after recovery.
+  EXPECT_FALSE(back->Route("t/a/x").value().migrated);
+
+  // Corrupt input fails loudly instead of half-loading.
+  Bytes bytes = map.Serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_EQ(ShardMap::Deserialize(bytes).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ShardMap::Deserialize(Bytes{1, 2, 3}).status().code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(VersionTreeTest, RandomizedForestInvariants) {

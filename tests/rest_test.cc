@@ -6,8 +6,11 @@
 
 #include <memory>
 
+#include "src/cloud/simulated_csp.h"
 #include "src/core/client.h"
 #include "src/core/sync_service.h"
+#include "src/gateway/gateway.h"
+#include "src/gateway/gateway_rest.h"
 #include "src/obs/metrics.h"
 #include "src/rest/http.h"
 #include "src/rest/json.h"
@@ -475,6 +478,125 @@ TEST(RestEndToEndTest, SyncServiceOverRestVendors) {
   // Both edits survive somewhere in each workspace.
   size_t alice_files = alice_ws.FileNames().size();
   EXPECT_GE(alice_files, 2u);
+}
+
+
+// --- gateway REST frontend (scrape + routing behavior) ---
+
+// A single-shard gateway over one simulated CSP pool, enough to exercise
+// the frontend's HTTP surface.
+std::unique_ptr<GatewayService> MakeTinyGateway(obs::MetricsRegistry* metrics) {
+  CyrusConfig config;
+  config.client_id = "rest-gw-shard-0";
+  config.key_string = "rest gateway key";
+  config.t = 2;
+  config.epsilon = 1e-4;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  config.transfer_concurrency = 1;
+  auto client = CyrusClient::Create(std::move(config));
+  EXPECT_TRUE(client.ok()) << client.status();
+  for (int i = 0; i < 3; ++i) {
+    SimulatedCspOptions o;
+    o.id = "gw-csp" + std::to_string(i);
+    EXPECT_TRUE(client.value()
+                    ->AddCsp(std::make_shared<SimulatedCsp>(o), CspProfile{},
+                             Credentials{"token"})
+                    .ok());
+  }
+  GatewayOptions options;
+  options.metrics = metrics;
+  std::vector<std::unique_ptr<CyrusClient>> clients;
+  clients.push_back(std::move(client).value());
+  auto gateway = GatewayService::Create(options, std::move(clients));
+  EXPECT_TRUE(gateway.ok()) << gateway.status();
+  return std::move(gateway).value();
+}
+
+TEST(GatewayFrontendTest, MetricsScrapeFormatsAndContentTypes) {
+  obs::MetricsRegistry registry;
+  auto gateway = MakeTinyGateway(&registry);
+  ASSERT_TRUE(gateway->RegisterTenant("acme").ok());
+  ASSERT_TRUE(gateway->Put("acme", "a.txt", ToBytes("hello")).ok());
+  GatewayRestFrontend frontend(gateway.get(), &registry);
+
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.path = "/metrics";
+  HttpResponse text = frontend.Handle(request);
+  EXPECT_EQ(text.status, 200);
+  EXPECT_EQ(text.headers.at("content-type"), "text/plain; version=0.0.4");
+  EXPECT_NE(ToString(text.body).find("cyrus_gateway_ops_total"),
+            std::string::npos);
+
+  request.query["format"] = "json";
+  HttpResponse json = frontend.Handle(request);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.headers.at("content-type"), "application/json");
+  auto parsed = JsonValue::Parse(ToString(json.body));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_GT((*parsed)["metrics"].AsArray().size(), 0u);
+
+  // The filtered endpoint serves only cyrus_gateway_* families.
+  HttpRequest filtered;
+  filtered.method = HttpMethod::kGet;
+  filtered.path = "/gateway/metrics";
+  HttpResponse gw = frontend.Handle(filtered);
+  EXPECT_EQ(gw.status, 200);
+  EXPECT_EQ(gw.headers.at("content-type"), "application/json");
+  auto gw_parsed = JsonValue::Parse(ToString(gw.body));
+  ASSERT_TRUE(gw_parsed.ok()) << gw_parsed.status();
+  for (const JsonValue& metric : (*gw_parsed)["metrics"].AsArray()) {
+    EXPECT_EQ(metric["name"].AsString().rfind("cyrus_gateway_", 0), 0u)
+        << metric["name"].AsString();
+  }
+
+  // POST /metrics is a method error, like the vendor scrape.
+  HttpRequest post = request;
+  post.method = HttpMethod::kPost;
+  EXPECT_EQ(frontend.Handle(post).status, 405);
+}
+
+TEST(GatewayFrontendTest, UnknownGatewayPathsAre404) {
+  obs::MetricsRegistry registry;
+  auto gateway = MakeTinyGateway(&registry);
+  GatewayRestFrontend frontend(gateway.get(), &registry);
+  for (const char* path :
+       {"/gateway", "/gateway/", "/gateway/stats/extra", "/gateway/t1/blobs/x",
+        "/gateway/t1/files/rename", "/nope"}) {
+    HttpRequest request;
+    request.method = HttpMethod::kGet;
+    request.path = path;
+    EXPECT_EQ(frontend.Handle(request).status, 404) << path;
+  }
+}
+
+TEST(GatewayFrontendTest, ScrapeSurvivesFrontendOutage) {
+  obs::MetricsRegistry registry;
+  auto gateway = MakeTinyGateway(&registry);
+  ASSERT_TRUE(gateway->RegisterTenant("acme").ok());
+  GatewayRestFrontend frontend(gateway.get(), &registry);
+  frontend.set_available(false);
+
+  // Every gateway route is down...
+  for (const char* path : {"/gateway/stats", "/gateway/metrics",
+                           "/gateway/acme/files/list"}) {
+    HttpRequest request;
+    request.method = HttpMethod::kGet;
+    request.path = path;
+    EXPECT_EQ(frontend.Handle(request).status, 503) << path;
+  }
+  // ...except the scrape an operator needs to diagnose the outage.
+  HttpRequest scrape;
+  scrape.method = HttpMethod::kGet;
+  scrape.path = "/metrics";
+  EXPECT_EQ(frontend.Handle(scrape).status, 200);
+
+  frontend.set_available(true);
+  HttpRequest stats;
+  stats.method = HttpMethod::kGet;
+  stats.path = "/gateway/stats";
+  EXPECT_EQ(frontend.Handle(stats).status, 200);
 }
 
 }  // namespace
