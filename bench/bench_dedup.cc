@@ -1,0 +1,451 @@
+// Cross-user convergent dedup economics (the tentpole experiment for
+// src/dedup; see DESIGN.md "Cross-user convergent dedup").
+//
+// Eight tenants share one CSP pool and one deployment-wide ShareIndex in
+// convergent mode. Each tenant stores the same 9 "shared" files (common
+// content: OS images, installers, the mail attachment everyone forwards)
+// plus 3 private files, so 75% of the offered files are duplicates.
+// Tenant 0 writes first and populates the index; tenants 1..7 then hit it
+// on every shared chunk and skip encode+upload entirely. The run answers
+// three questions, each with a hard bar:
+//
+//   1. storage: does the index's dedup ratio reach what the workload's
+//      duplicate structure makes possible? (bar: >= 0.9x theoretical)
+//   2. speed: is a duplicate-chunk Put actually cheap? Modeled transfer
+//      completion over the 4-fast/3-slow testbed, hit-class vs miss-class
+//      Put throughput. (bar: hits >= 3x misses)
+//   3. GC: after tenants 1..7 delete everything, do budgeted scrub passes
+//      drive physical bytes down to tenant 0's live footprint?
+//      (bar: CSP share bytes and index physical bytes within 5% of the
+//      shares tenant 0 uploaded)
+//
+// Emits BENCH_dedup.json; exits non-zero on any bar miss.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/core/reliability.h"
+#include "src/dedup/share_index.h"
+#include "src/rest/json.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr int kTenants = 8;
+constexpr int kSharedFiles = 9;   // identical content across all tenants
+constexpr int kUniqueFiles = 3;   // private per tenant
+constexpr size_t kFileSize = 128 * 1024;
+constexpr uint64_t kSeed = 20260809;
+constexpr uint32_t kT = 2;
+constexpr uint32_t kTargetN = 4;
+// Per-pass scrub budget: small enough that reclaiming 7 tenants' private
+// shares takes several passes (exercising the deferral path), large
+// enough that the loop converges quickly.
+constexpr uint64_t kScrubBudgetBytes = 1 * 1024 * 1024;
+constexpr int kMaxScrubPasses = 64;
+
+struct DedupBed {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::vector<std::unique_ptr<CyrusClient>> tenants;
+  std::vector<double> upload_bps;
+  std::vector<double> download_bps;
+};
+
+// One client per tenant, all registering the same connectors in the same
+// order (the ShareIndex contract) against the standard 4-fast/3-slow
+// testbed, in convergent mode against one shared index.
+DedupBed MakeBed(ShareIndex* index) {
+  DedupBed bed;
+  for (int i = 0; i < bench::kNumFastClouds + bench::kNumSlowClouds; ++i) {
+    const bool fast = i < bench::kNumFastClouds;
+    SimulatedCspOptions o;
+    o.id = StrCat(fast ? "fast" : "slow", i);
+    // Convergent shares are idempotent overwrites under a content-derived
+    // name; every pool member must be name-keyed.
+    o.naming = NamingPolicy::kNameKeyed;
+    bed.csps.push_back(std::make_shared<SimulatedCsp>(o));
+    const double rate =
+        fast ? bench::kFastCloudBytesPerSec : bench::kSlowCloudBytesPerSec;
+    bed.upload_bps.push_back(rate);
+    bed.download_bps.push_back(rate);
+  }
+
+  for (int t = 0; t < kTenants; ++t) {
+    CyrusConfig config;
+    config.client_id = StrCat("tenant-", t);
+    config.key_string = StrCat("user key ", t);
+    config.t = kT;
+    config.cluster_aware = false;
+    config.default_failure_prob = 0.01;
+    // Pin Eq. (1) to kTargetN shares per chunk.
+    const double loss_n = ChunkLossProbability(kT, kTargetN, 0.01);
+    const double loss_prev = ChunkLossProbability(kT, kTargetN - 1, 0.01);
+    config.epsilon = std::sqrt(loss_n * loss_prev);
+    // ~32 KB average chunks: a 128 KB file spans several chunks so the
+    // dedup decision is genuinely per-chunk, not per-file.
+    config.chunker.modulus = 32 * 1024;
+    config.chunker.min_chunk_size = 4 * 1024;
+    config.chunker.max_chunk_size = 128 * 1024;
+    config.dedup_mode = DedupMode::kConvergent;
+    config.dedup_salt = "bench deployment salt";
+    config.share_index = index;
+    config.repair.bandwidth_budget_bytes = kScrubBudgetBytes;
+
+    auto client = CyrusClient::Create(std::move(config));
+    if (!client.ok()) {
+      std::fprintf(stderr, "Create: %s\n", client.status().ToString().c_str());
+      std::abort();
+    }
+    for (size_t i = 0; i < bed.csps.size(); ++i) {
+      CspProfile profile;
+      profile.rtt_ms = 1.0;
+      profile.upload_bytes_per_sec = bed.upload_bps[i];
+      profile.download_bytes_per_sec = bed.download_bps[i];
+      auto added = client.value()->AddCsp(bed.csps[i], profile,
+                                          Credentials{"token"});
+      if (!added.ok()) {
+        std::fprintf(stderr, "AddCsp: %s\n",
+                     added.status().ToString().c_str());
+        std::abort();
+      }
+    }
+    bed.tenants.push_back(std::move(client).value());
+  }
+  return bed;
+}
+
+Bytes RandomContent(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+// Accumulates one Put class (index hits vs misses) for the throughput
+// contrast.
+struct PutClass {
+  uint64_t puts = 0;
+  uint64_t logical_bytes = 0;
+  uint64_t uploaded_share_bytes = 0;
+  double modeled_seconds = 0.0;
+
+  double ThroughputMBps() const {
+    return modeled_seconds > 0 ? logical_bytes / modeled_seconds / 1e6 : 0.0;
+  }
+};
+
+uint64_t CspShareBytes(const DedupBed& bed) {
+  uint64_t total = 0;
+  for (const auto& csp : bed.csps) {
+    auto listing = csp->List("");
+    if (!listing.ok()) {
+      continue;
+    }
+    for (const ObjectInfo& object : *listing) {
+      if (object.name.rfind("meta-", 0) == 0) {
+        continue;  // version metadata, not share payload
+      }
+      total += object.size;
+    }
+  }
+  return total;
+}
+
+double NowWallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+}  // namespace cyrus
+
+int main() {
+  using namespace cyrus;
+  using bench::BenchReport;
+
+  std::printf(
+      "Cross-user dedup economics: %d tenants x (%d shared + %d private) "
+      "files of %zu KB\n\n",
+      kTenants, kSharedFiles, kUniqueFiles, kFileSize / 1024);
+
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  if (!index_or.ok()) {
+    std::fprintf(stderr, "ShareIndex::Open: %s\n",
+                 index_or.status().ToString().c_str());
+    return 1;
+  }
+  ShareIndex* index = index_or->get();
+  DedupBed bed = MakeBed(index);
+
+  // Shared content is identical for every tenant; private content is
+  // seeded per (tenant, file).
+  std::vector<Bytes> shared_content;
+  for (int f = 0; f < kSharedFiles; ++f) {
+    shared_content.push_back(RandomContent(kFileSize, kSeed + f));
+  }
+
+  PutClass miss_class;
+  PutClass hit_class;
+  uint64_t mixed_puts = 0;
+  uint64_t total_logical = 0;
+  uint64_t tenant0_uploaded_share_bytes = 0;
+
+  bench::TimingOptions timing;
+  for (int t = 0; t < kTenants; ++t) {
+    CyrusClient* client = bed.tenants[t].get();
+    for (int f = 0; f < kSharedFiles + kUniqueFiles; ++f) {
+      const bool shared = f < kSharedFiles;
+      const Bytes content =
+          shared ? shared_content[f]
+                 : RandomContent(kFileSize, kSeed + 1000 + t * 100 + f);
+      const std::string path =
+          StrCat(shared ? "shared-" : "private-", f, ".bin");
+      auto put = client->Put(path, content);
+      if (!put.ok()) {
+        std::fprintf(stderr, "Put(%s, %s): %s\n", client->config().client_id.c_str(),
+                     path.c_str(), put.status().ToString().c_str());
+        return 1;
+      }
+      total_logical += put->content_bytes;
+      if (t == 0) {
+        tenant0_uploaded_share_bytes += put->uploaded_share_bytes;
+      }
+      const double seconds = bench::TransferCompletionSeconds(
+          put->transfer, bed.upload_bps, bed.download_bps, timing);
+      if (put->index_hit_chunks == put->total_chunks) {
+        ++hit_class.puts;
+        hit_class.logical_bytes += put->content_bytes;
+        hit_class.uploaded_share_bytes += put->uploaded_share_bytes;
+        hit_class.modeled_seconds += seconds;
+      } else if (put->new_chunks == put->total_chunks) {
+        ++miss_class.puts;
+        miss_class.logical_bytes += put->content_bytes;
+        miss_class.uploaded_share_bytes += put->uploaded_share_bytes;
+        miss_class.modeled_seconds += seconds;
+      } else {
+        ++mixed_puts;
+      }
+    }
+  }
+
+  const ShareIndexStats write_stats = index->Stats();
+  // What the duplicate structure makes possible: shared bytes stored once,
+  // private bytes per tenant.
+  const uint64_t shared_bytes =
+      static_cast<uint64_t>(kSharedFiles) * kFileSize;
+  const uint64_t theoretical_unique =
+      shared_bytes + static_cast<uint64_t>(kTenants) * kUniqueFiles * kFileSize;
+  const double theoretical_ratio =
+      static_cast<double>(total_logical) / theoretical_unique;
+  const double measured_ratio = write_stats.dedup_ratio();
+
+  std::printf("%-14s | %5s | %11s | %10s | %9s\n", "put class", "puts",
+              "logical_MB", "upload_MB", "MB/s");
+  for (const auto& [name, cls] :
+       {std::pair<const char*, const PutClass&>{"miss (unique)", miss_class},
+        std::pair<const char*, const PutClass&>{"hit (dup)", hit_class}}) {
+    std::printf("%-14s | %5llu | %11.2f | %10.2f | %9.2f\n", name,
+                static_cast<unsigned long long>(cls.puts),
+                cls.logical_bytes / 1e6, cls.uploaded_share_bytes / 1e6,
+                cls.ThroughputMBps());
+  }
+  std::printf(
+      "\ndedup ratio %.3fx (theoretical %.3fx), hit rate %.1f%%, "
+      "physical %.2f MB for %.2f MB logical\n",
+      measured_ratio, theoretical_ratio, 100.0 * write_stats.hit_rate(),
+      write_stats.physical_bytes / 1e6, write_stats.logical_bytes / 1e6);
+
+  // --- GC: tenants 1..7 delete everything; tenant 0 scrubs. -------------
+  for (int t = 1; t < kTenants; ++t) {
+    CyrusClient* client = bed.tenants[t].get();
+    for (int f = 0; f < kSharedFiles + kUniqueFiles; ++f) {
+      const std::string path =
+          StrCat(f < kSharedFiles ? "shared-" : "private-", f, ".bin");
+      const Status deleted = client->Delete(path);
+      if (!deleted.ok()) {
+        std::fprintf(stderr, "Delete(%s): %s\n", path.c_str(),
+                     deleted.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  const double gc_wall_start = NowWallSeconds();
+  uint64_t chunks_reclaimed = 0;
+  uint64_t shares_reclaimed = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t reclaims_deferred = 0;
+  int scrub_passes = 0;
+  while (!index->ZeroRefChunks().empty() && scrub_passes < kMaxScrubPasses) {
+    auto scrub = bed.tenants[0]->ScrubOnce();
+    if (!scrub.ok()) {
+      std::fprintf(stderr, "ScrubOnce: %s\n",
+                   scrub.status().ToString().c_str());
+      return 1;
+    }
+    ++scrub_passes;
+    chunks_reclaimed += scrub->stats.chunks_reclaimed;
+    shares_reclaimed += scrub->stats.shares_reclaimed;
+    bytes_reclaimed += scrub->stats.bytes_reclaimed;
+    reclaims_deferred += scrub->stats.reclaims_deferred;
+  }
+  const double gc_wall_seconds = NowWallSeconds() - gc_wall_start;
+
+  const ShareIndexStats gc_stats = index->Stats();
+  const uint64_t csp_share_bytes = CspShareBytes(bed);
+  // Everything live after the deletes is exactly the share set tenant 0
+  // uploaded (its misses covered the shared pool and its own private
+  // files).
+  const uint64_t expected_physical = tenant0_uploaded_share_bytes;
+  const double index_physical_error =
+      expected_physical > 0
+          ? std::fabs(static_cast<double>(gc_stats.physical_bytes) -
+                      static_cast<double>(expected_physical)) /
+                expected_physical
+          : 1.0;
+  const double csp_physical_error =
+      expected_physical > 0
+          ? std::fabs(static_cast<double>(csp_share_bytes) -
+                      static_cast<double>(expected_physical)) /
+                expected_physical
+          : 1.0;
+
+  std::printf(
+      "\nGC: %d scrub passes reclaimed %llu chunks / %llu shares "
+      "(%.2f MB, %llu deferred by the %.1f MB budget) in %.2fs wall\n",
+      scrub_passes, static_cast<unsigned long long>(chunks_reclaimed),
+      static_cast<unsigned long long>(shares_reclaimed), bytes_reclaimed / 1e6,
+      static_cast<unsigned long long>(reclaims_deferred),
+      kScrubBudgetBytes / 1e6, gc_wall_seconds);
+  std::printf(
+      "post-GC physical: index %.2f MB, CSPs %.2f MB vs %.2f MB live "
+      "(%.1f%% / %.1f%% off, bar 5%%)\n",
+      gc_stats.physical_bytes / 1e6, csp_share_bytes / 1e6,
+      expected_physical / 1e6, 100.0 * index_physical_error,
+      100.0 * csp_physical_error);
+
+  // Tenant 0 must still read everything it stored after the reclaim.
+  for (const char* path : {"shared-0.bin", "private-11.bin"}) {
+    auto got = bed.tenants[0]->Get(path);
+    if (!got.ok()) {
+      std::fprintf(stderr, "post-GC Get(%s): %s\n", path,
+                   got.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  BenchReport report("dedup");
+  report.SetParam("tenants", uint64_t{kTenants});
+  report.SetParam("shared_files", uint64_t{kSharedFiles});
+  report.SetParam("unique_files", uint64_t{kUniqueFiles});
+  report.SetParam("file_bytes", uint64_t{kFileSize});
+  report.SetParam("t", uint64_t{kT});
+  report.SetParam("n", uint64_t{kTargetN});
+  report.SetParam("scrub_budget_bytes", kScrubBudgetBytes);
+  report.SetParam("seed", kSeed);
+
+  for (const auto& [name, cls] :
+       {std::pair<const char*, const PutClass&>{"miss", miss_class},
+        std::pair<const char*, const PutClass&>{"hit", hit_class}}) {
+    JsonValue row{JsonValue::Object{}};
+    row.Set("phase", "put");
+    row.Set("put_class", name);
+    row.Set("puts", cls.puts);
+    row.Set("logical_bytes", cls.logical_bytes);
+    row.Set("uploaded_share_bytes", cls.uploaded_share_bytes);
+    row.Set("modeled_seconds", cls.modeled_seconds);
+    row.Set("throughput_mbps", cls.ThroughputMBps());
+    report.AddRow(std::move(row));
+  }
+  {
+    JsonValue row{JsonValue::Object{}};
+    row.Set("phase", "dedup");
+    row.Set("logical_bytes", write_stats.logical_bytes);
+    row.Set("unique_bytes", write_stats.unique_bytes);
+    row.Set("physical_bytes", write_stats.physical_bytes);
+    row.Set("dedup_ratio", measured_ratio);
+    row.Set("theoretical_ratio", theoretical_ratio);
+    row.Set("hit_rate", write_stats.hit_rate());
+    row.Set("mixed_puts", mixed_puts);
+    report.AddRow(std::move(row));
+  }
+  {
+    JsonValue row{JsonValue::Object{}};
+    row.Set("phase", "gc");
+    row.Set("scrub_passes", uint64_t{static_cast<uint64_t>(scrub_passes)});
+    row.Set("chunks_reclaimed", chunks_reclaimed);
+    row.Set("shares_reclaimed", shares_reclaimed);
+    row.Set("bytes_reclaimed", bytes_reclaimed);
+    row.Set("reclaims_deferred", reclaims_deferred);
+    row.Set("live_physical_bytes", expected_physical);
+    row.Set("index_physical_bytes", gc_stats.physical_bytes);
+    row.Set("csp_share_bytes", csp_share_bytes);
+    row.Set("index_physical_error", index_physical_error);
+    row.Set("csp_physical_error", csp_physical_error);
+    row.Set("reclaim_mbps",
+            gc_wall_seconds > 0 ? bytes_reclaimed / gc_wall_seconds / 1e6
+                                : 0.0);
+    report.AddRow(std::move(row));
+  }
+  {
+    JsonValue summary{JsonValue::Object{}};
+    summary.Set("phase", "summary");
+    summary.Set("dedup_ratio", measured_ratio);
+    summary.Set("theoretical_ratio", theoretical_ratio);
+    summary.Set("hit_over_miss_throughput",
+                miss_class.ThroughputMBps() > 0
+                    ? hit_class.ThroughputMBps() / miss_class.ThroughputMBps()
+                    : 0.0);
+    summary.Set("gc_physical_error",
+                std::max(index_physical_error, csp_physical_error));
+    report.AddRow(std::move(summary));
+  }
+  std::printf("wrote %s\n", report.Write().c_str());
+
+  // --- acceptance bars ---
+  bool failed = false;
+  if (measured_ratio < 0.9 * theoretical_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: dedup ratio %.3fx below 0.9x theoretical (%.3fx)\n",
+                 measured_ratio, 0.9 * theoretical_ratio);
+    failed = true;
+  }
+  if (hit_class.ThroughputMBps() < 3.0 * miss_class.ThroughputMBps()) {
+    std::fprintf(stderr,
+                 "FAIL: duplicate-chunk Put throughput %.2f MB/s below 3x "
+                 "unique (%.2f MB/s)\n",
+                 hit_class.ThroughputMBps(), miss_class.ThroughputMBps());
+    failed = true;
+  }
+  if (hit_class.puts == 0 || miss_class.puts == 0) {
+    std::fprintf(stderr, "FAIL: empty put class (hits %llu, misses %llu)\n",
+                 static_cast<unsigned long long>(hit_class.puts),
+                 static_cast<unsigned long long>(miss_class.puts));
+    failed = true;
+  }
+  if (index_physical_error > 0.05 || csp_physical_error > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: post-GC physical bytes off live logical footprint by "
+                 "%.1f%% (index) / %.1f%% (CSP), bar 5%%\n",
+                 100.0 * index_physical_error, 100.0 * csp_physical_error);
+    failed = true;
+  }
+  if (!index->ZeroRefChunks().empty()) {
+    std::fprintf(stderr, "FAIL: %zu zero-ref chunks left after %d passes\n",
+                 index->ZeroRefChunks().size(), scrub_passes);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

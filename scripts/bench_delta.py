@@ -106,12 +106,22 @@ def main():
     args = parser.parse_args()
 
     for path in args.artifacts:
+        # Deltas are advisory, so a missing or unreadable side is a warning,
+        # never a failure: a bench that didn't run (fresh checkout, filtered
+        # build) must not fail the whole --bench tier.
+        if not os.path.exists(path):
+            print(f"== bench delta: {os.path.basename(path)} ==")
+            print(f"  no artifact at {path}; skipping (bench not run?)")
+            continue
         baseline = os.path.join(args.baselines, os.path.basename(path))
         if not os.path.exists(baseline):
             print(f"== bench delta: {os.path.basename(path)} ==")
             print(f"  no baseline at {baseline}; skipping")
             continue
-        diff_artifact(path, baseline, args.flag_pct)
+        try:
+            diff_artifact(path, baseline, args.flag_pct)
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"  unreadable artifact or baseline ({err}); skipping")
     return 0
 
 

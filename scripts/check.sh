@@ -12,9 +12,11 @@
 #                                   #   crash recovery, hedging, corruption)
 #   scripts/check.sh --all          # every labeled suite
 #   scripts/check.sh --bench        # + bench binaries with hard bars
-#                                   #   (pipeline, degraded, repair, and the
-#                                   #   10k-client gateway soak), then a
-#                                   #   delta report vs bench/baselines/
+#                                   #   (pipeline, degraded, repair, the
+#                                   #   10k-client gateway soak, and the
+#                                   #   cross-user dedup economics run),
+#                                   #   then a delta report vs
+#                                   #   bench/baselines/
 #   scripts/check.sh --tsan         # ThreadSanitizer build of the stress
 #                                   #   battery + gateway concurrency tests
 #                                   #   in build-tsan/
@@ -85,7 +87,7 @@ if [[ "$RUN_CHAOS" == 1 ]]; then
 fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
-  echo "== bench: pipeline / degraded / repair / gateway bars =="
+  echo "== bench: pipeline / degraded / repair / gateway / dedup bars =="
   # Each binary enforces its own hard bars and exits non-zero on a miss
   # (e.g. pipelined Put slower than sequential, gateway probe p99 blowing
   # the 1.5x isolation bar under 2x overload).
@@ -93,19 +95,21 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     ./bench/bench_pipeline &&
     ./bench/bench_degraded &&
     ./bench/bench_repair &&
-    ./bench/bench_gateway)
+    ./bench/bench_gateway &&
+    ./bench/bench_dedup)
   echo "== bench: delta vs bench/baselines =="
   python3 scripts/bench_delta.py \
     build/BENCH_pipeline.json build/BENCH_degraded.json \
-    build/BENCH_repair.json build/BENCH_gateway.json
+    build/BENCH_repair.json build/BENCH_gateway.json \
+    build/BENCH_dedup.json
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress battery + gateway concurrency under ThreadSanitizer =="
   configure build-tsan -DENABLE_TSAN=ON
-  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test
   (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test &&
-    ./tests/gateway_test)
+    ./tests/gateway_test && ./tests/dedup_test)
 fi
 
 echo "OK"

@@ -107,6 +107,7 @@ bool ParseMetaShareName(std::string_view object, std::string* base, uint32_t* in
 
 CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
     : config_(std::move(config)),
+      deriver_(config_.dedup_salt, config_.key_string),
       chunker_(std::move(chunker)),
       ring_(config_.ring_virtual_points),
       selector_(std::make_unique<OptimalDownloadSelector>()) {
@@ -144,6 +145,18 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   repair_context.now = [this] { return now(); };
   repair_context.mark_csp_failed = [this](int csp) { return MarkCspFailed(csp); };
   repair_context.current_n = [this] { return CurrentN(); };
+  // Convergent chunks decode under their unwrapped content key; the repair
+  // engine resolves per-chunk keys through this callback so it can rebuild
+  // both kinds. The share index (nullable) additionally enables its
+  // orphan-reclaim GC pass.
+  repair_context.share_index = config_.share_index;
+  repair_context.chunk_key = [this](const Sha1Digest& chunk_id,
+                                    const ChunkEntry& entry) -> Result<std::string> {
+    if (!entry.dedup) {
+      return config_.key_string;
+    }
+    return deriver_.UnwrapForUser(entry.wrapped_key, chunk_id);
+  };
 
   traces_ = config_.traces != nullptr ? config_.traces : &obs::TraceCollector::Default();
   repair_context.metrics = metrics_;
@@ -189,6 +202,11 @@ Result<std::unique_ptr<CyrusClient>> CyrusClient::Create(CyrusConfig config) {
   if (config.put_failure_budget >= 0 &&
       static_cast<uint32_t>(config.put_failure_budget) > kMaxShares) {
     return InvalidArgumentError("put_failure_budget exceeds the share-count bound");
+  }
+  if (config.dedup_mode == DedupMode::kConvergent && config.dedup_salt.empty()) {
+    return InvalidArgumentError(
+        "convergent dedup requires a deployment salt (dedup_salt): unsalted "
+        "content keys are open to offline dictionary attacks");
   }
   std::unique_ptr<PutJournal> journal;
   if (!config.journal_path.empty()) {
@@ -775,9 +793,16 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
                                 " of t=", chunk.t, " shares reachable"));
   }
 
+  // Dedup chunks were dispersed under their content key; unwrap it with
+  // the user key (reads never touch the deployment salt or the index).
+  std::string decode_key = config_.key_string;
+  if (chunk.dedup) {
+    CYRUS_ASSIGN_OR_RETURN(decode_key,
+                           deriver_.UnwrapForUser(chunk.wrapped_key, chunk.id));
+  }
   CYRUS_ASSIGN_OR_RETURN(
       SecretSharingCodec decoder,
-      SecretSharingCodec::Create(config_.key_string, chunk.t, kMaxShares));
+      SecretSharingCodec::Create(decode_key, chunk.t, kMaxShares));
   CYRUS_ASSIGN_OR_RETURN(Bytes data, decoder.Decode(shares, chunk.size));
   if (Sha1::Hash(data) != chunk.id) {
     // A share is corrupted (bit rot or a tampering provider). Pull every
@@ -1097,8 +1122,14 @@ Status CyrusClient::RegisterVersionChunks(const FileVersion& version) {
     }
     ChunkEntry entry;
     entry.size = chunk.size;
+    entry.logical_size = chunk.size;
     entry.t = chunk.t;
     entry.n = chunk.n;
+    // Synced copies carry the dedup fields so Get can unwrap the content
+    // key, but take no *global* reference: the writing client counted the
+    // version at Put time, and this table is a mirror of the same versions.
+    entry.dedup = chunk.dedup;
+    entry.wrapped_key = chunk.wrapped_key;
     for (const ShareLocation& loc : version.SharesOfChunk(chunk.id)) {
       entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
     }
@@ -1302,7 +1333,10 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
     ChunkSpan span{};
     Result<std::vector<ShareLocation>> locations = InternalError("not scattered");
     TransferReport report;
-    bool dedup = false;
+    bool dedup = false;      // served by the local chunk table / in-flight set
+    bool index_hit = false;  // served by the cross-user ShareIndex (ref taken)
+    ShareIndexEntry index_entry;
+    Bytes wrapped_key;       // per-user wrap of the content key (convergent)
   };
   std::list<ScatterSlot> slots;
   OrderedPipeline::Options window;
@@ -1310,11 +1344,13 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   window.max_in_flight_bytes = config_.pipeline_window_bytes;
   OrderedPipeline pipeline(pool_.get(), window);
 
+  const bool convergent = convergent_writes();
   std::set<Sha1Digest> shares_recorded;
   // New chunks submitted but whose completion has not been delivered yet.
   // A duplicate of an in-flight chunk rides the pipeline as a no-work
   // task: ordered delivery guarantees the first occurrence's chunk-table
-  // insert lands before the duplicate's lookup.
+  // insert lands before the duplicate's lookup. Index hits ride the set
+  // too - their local chunk-table insert also lands in on_complete.
   std::set<Sha1Digest> inflight;
   Status pipeline_status;
   for (const ChunkSpan& span : chunk_spans) {
@@ -1328,10 +1364,48 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
     slot->span = span;
     slot->dedup =
         chunk_table_.Find(chunk_id) != nullptr || inflight.count(chunk_id) > 0;
+    if (!slot->dedup && convergent && config_.share_index != nullptr) {
+      // The cross-user lookup is batched into the pipelined submit loop:
+      // one sharded-map probe per chunk, and a hit takes its global
+      // reference here so a concurrent GC pass can never reclaim the
+      // chunk between this decision and the metadata publish.
+      if (auto hit = config_.share_index->LookupAndRef(chunk_id)) {
+        slot->index_hit = true;
+        slot->index_entry = *std::move(hit);
+      }
+    }
 
     std::function<void()> work;
     if (slot->dedup) {
       work = [] {};
+    } else if (slot->index_hit) {
+      inflight.insert(chunk_id);
+      // No encode, no upload - the only work a duplicate chunk costs is
+      // re-deriving its content key so this user's metadata can carry the
+      // wrap (the writer holds the salt, so derive beats re-reading it).
+      work = [this, slot] {
+        slot->wrapped_key = deriver_.WrapForUser(
+            deriver_.ContentKey(slot->chunk_id), slot->chunk_id);
+      };
+    } else if (convergent) {
+      inflight.insert(chunk_id);
+      // Convergent miss: this chunk's codec is keyed by its own content,
+      // so the per-Put user-key codec above cannot serve it. Codec
+      // construction is pure (key, t, n) -> matrices and runs on the
+      // worker beside the encode it feeds.
+      work = [this, slot, chunk_bytes, n, &version, &journal_id, &trace] {
+        const std::string content_key = deriver_.ContentKey(slot->chunk_id);
+        slot->wrapped_key = deriver_.WrapForUser(content_key, slot->chunk_id);
+        auto chunk_codec = SecretSharingCodec::Create(content_key, config_.t, n);
+        if (!chunk_codec.ok()) {
+          slot->locations = chunk_codec.status();
+          return;
+        }
+        codec_creates_->Increment();
+        slot->locations =
+            ScatterChunk(*chunk_codec, slot->chunk_id, chunk_bytes,
+                         version.file_name, journal_id, slot->report, &trace);
+      };
     } else {
       inflight.insert(chunk_id);
       work = [this, slot, chunk_bytes, &codec, &version, &journal_id, &trace] {
@@ -1340,8 +1414,8 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
                          journal_id, slot->report, &trace);
       };
     }
-    auto on_complete = [this, slot, n, &version, &result, &shares_recorded,
-                        &inflight]() -> Status {
+    auto on_complete = [this, slot, n, convergent, &version, &result,
+                        &shares_recorded, &inflight]() -> Status {
       if (slot->dedup) {
         // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk
         // is not stored" guard).
@@ -1354,13 +1428,60 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
         chunks_deduped_->Increment();
         version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
                                              slot->span.size, existing->t,
-                                             existing->n});
+                                             existing->n, existing->dedup,
+                                             existing->wrapped_key});
         if (shares_recorded.insert(slot->chunk_id).second) {
           for (const ChunkShare& s : existing->shares) {
             version.shares.push_back(
                 ShareLocation{slot->chunk_id, s.share_index, s.csp});
           }
           CYRUS_RETURN_IF_ERROR(chunk_table_.AddRef(slot->chunk_id));
+          if (existing->dedup && config_.share_index != nullptr) {
+            // Mirror the local reference in the deployment-wide index.
+            Status global = config_.share_index->AddRef(slot->chunk_id);
+            if (global.code() == StatusCode::kNotFound) {
+              // Reclaimed between this chunk's last release and its
+              // re-adoption here; its shares still exist (our local entry
+              // held them out of scrub's delete set), so republish.
+              ShareIndexEntry republished;
+              republished.logical_size = existing->logical_size;
+              republished.t = existing->t;
+              republished.n = existing->n;
+              republished.refcount = 1;
+              republished.shares = existing->shares;
+              global = config_.share_index->Publish(slot->chunk_id,
+                                                    std::move(republished));
+            }
+            CYRUS_RETURN_IF_ERROR(global);
+          }
+        }
+        return OkStatus();
+      }
+      if (slot->index_hit) {
+        // Cross-user dedup: the chunk exists under its convergent name at
+        // the CSPs already. The reference was taken at submit; all that
+        // lands here is this user's bookkeeping - no encode, no upload.
+        inflight.erase(slot->chunk_id);
+        ++result.dedup_chunks;
+        ++result.index_hit_chunks;
+        chunks_deduped_->Increment();
+        version.chunks.push_back(ChunkRecord{
+            slot->chunk_id, slot->span.offset, slot->span.size,
+            slot->index_entry.t, slot->index_entry.n, true, slot->wrapped_key});
+        ChunkEntry entry;
+        entry.size = slot->span.size;
+        entry.logical_size = slot->span.size;
+        entry.t = slot->index_entry.t;
+        entry.n = slot->index_entry.n;
+        entry.dedup = true;
+        entry.wrapped_key = slot->wrapped_key;
+        entry.shares = slot->index_entry.shares;
+        CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(slot->chunk_id, std::move(entry)));
+        if (shares_recorded.insert(slot->chunk_id).second) {
+          for (const ChunkShare& s : slot->index_entry.shares) {
+            version.shares.push_back(
+                ShareLocation{slot->chunk_id, s.share_index, s.csp});
+          }
         }
         return OkStatus();
       }
@@ -1375,13 +1496,29 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       // engine completes against exactly this record.
       const uint32_t stored = static_cast<uint32_t>(locations.size());
       version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
-                                           slot->span.size, config_.t, n});
+                                           slot->span.size, config_.t, n,
+                                           convergent, slot->wrapped_key});
       ChunkEntry entry;
       entry.size = slot->span.size;
+      entry.logical_size = slot->span.size;
       entry.t = config_.t;
       entry.n = n;
+      entry.dedup = convergent;
+      entry.wrapped_key = slot->wrapped_key;
       for (const ShareLocation& loc : locations) {
         entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+      }
+      if (convergent && config_.share_index != nullptr) {
+        // Publish the layout for every other writer. Racing publishers of
+        // the same chunk merge (uploads were byte-identical overwrites).
+        ShareIndexEntry published;
+        published.logical_size = slot->span.size;
+        published.t = config_.t;
+        published.n = n;
+        published.refcount = 1;
+        published.shares = entry.shares;
+        CYRUS_RETURN_IF_ERROR(
+            config_.share_index->Publish(slot->chunk_id, std::move(published)));
       }
       CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(slot->chunk_id, std::move(entry)));
       if (shares_recorded.insert(slot->chunk_id).second) {
@@ -1437,6 +1574,18 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   publish_span.End();
   if (journal_ != nullptr) {
     CYRUS_RETURN_IF_ERROR(journal_->Commit(journal_id));
+  }
+  // Overwrite decrements the superseded head's references (after the new
+  // version is durably published, so a crash can only leak refs, never
+  // free chunks the surviving metadata still needs). Old versions stay in
+  // the tree for history, but their zero-ref chunks become scrub-
+  // reclaimable. Only the convergent deployments pay this: the legacy
+  // path keeps its append-only refcounts, matching pre-dedup behaviour.
+  if (convergent && !IsNullDigest(parent)) {
+    const FileVersion* old_head = tree_.Find(parent);
+    if (old_head != nullptr && !old_head->deleted) {
+      ReleaseChunkRefs(old_head->chunks);
+    }
   }
   result.transfer.Append(meta_report);
   RecordTransferMetrics(result.transfer, metrics_);
@@ -1615,6 +1764,15 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
         CYRUS_RETURN_IF_ERROR(
             tree_.UpdateShareLocations(version->id, std::move(merged)));
         version = tree_.Find(version_id);  // re-resolve after mutation
+        if (slot->chunk.dedup && config_.share_index != nullptr) {
+          // Keep the cross-user layout current so the next writer's dedup
+          // hit points at the migrated shares, not the dead CSP. Best
+          // effort: a missed update self-heals on that writer's repair.
+          if (const ChunkEntry* moved = chunk_table_.Find(slot->chunk.id)) {
+            (void)config_.share_index->ReplaceShares(slot->chunk.id,
+                                                     moved->shares);
+          }
+        }
       }
       return OkStatus();
     };
@@ -1872,6 +2030,10 @@ Status CyrusClient::Delete(std::string_view name) {
   }
   // Deletion is a marker version: metadata stays (undelete support), chunk
   // shares stay (other files may reference them) - paper §5.4.
+  //
+  // Copy the head's chunk list before inserting the marker: tree_.Insert
+  // may rehash and the `head` pointer is not stable across it.
+  const std::vector<ChunkRecord> released_chunks = head->chunks;
   FileVersion marker;
   marker.content_id = Sha1::Hash(ByteSpan{});
   marker.id = ComputeVersionId(marker.content_id, parent, name);
@@ -1883,7 +2045,38 @@ Status CyrusClient::Delete(std::string_view name) {
   marker.size = 0;
   CYRUS_RETURN_IF_ERROR(tree_.Insert(marker));
   TransferReport report;
-  return UploadMetadata(marker, report);
+  CYRUS_RETURN_IF_ERROR(UploadMetadata(marker, report));
+  // Only after the marker is durable do the dead head's chunks lose their
+  // references; zero-ref dedup chunks become reclaimable by the next scrub.
+  if (convergent_writes()) {
+    ReleaseChunkRefs(released_chunks);
+  }
+  return OkStatus();
+}
+
+void CyrusClient::ReleaseChunkRefs(const std::vector<ChunkRecord>& chunks) {
+  // Mirror of RegisterVersionChunks: one reference per distinct chunk per
+  // version, released locally and (for dedup chunks) globally. Failures are
+  // swallowed - a release that cannot land leaks at worst one reference,
+  // which errs toward keeping data; the ShareIndex clamps at zero so a
+  // double release can never free a chunk another user still holds.
+  std::set<Sha1Digest> seen;
+  for (const ChunkRecord& chunk : chunks) {
+    if (!seen.insert(chunk.id).second) {
+      continue;
+    }
+    const ChunkEntry* entry = chunk_table_.Find(chunk.id);
+    if (entry == nullptr) {
+      continue;
+    }
+    const bool global = entry->dedup && config_.share_index != nullptr;
+    if (!chunk_table_.Release(chunk.id).ok()) {
+      continue;  // already at zero locally: the global ref went with it
+    }
+    if (global) {
+      (void)config_.share_index->Release(chunk.id);
+    }
+  }
 }
 
 Result<std::vector<FileListing>> CyrusClient::List(std::string_view directory_prefix) {

@@ -32,6 +32,8 @@
 #include "src/cloud/availability.h"
 #include "src/cloud/circuit_breaker.h"
 #include "src/cloud/registry.h"
+#include "src/crypto/convergent.h"
+#include "src/dedup/share_index.h"
 #include "src/core/hash_ring.h"
 #include "src/core/hedged_fetch.h"
 #include "src/core/local_cache.h"
@@ -49,6 +51,16 @@
 #include "src/util/thread_pool.h"
 
 namespace cyrus {
+
+// How Put keys the dispersal of new chunks.
+//   kOff        - the user key keys every chunk (the paper's behavior):
+//                 maximal privacy, zero cross-user dedup.
+//   kConvergent - chunks are keyed by their own content hash (salted; see
+//                 src/crypto/convergent.h), so identical chunks across
+//                 users yield identical shares, the shared ShareIndex
+//                 dedupes them at the CSPs, and Delete/overwrite drop
+//                 refcounts the scrub engine GCs.
+enum class DedupMode { kOff, kConvergent };
 
 struct CyrusConfig {
   // The user's secret: keys the RS dispersal matrix (privacy, §7.1).
@@ -137,6 +149,19 @@ struct CyrusConfig {
   // default) disables journaling; RecoverFromJournal() is then a no-op.
   std::string journal_path;
 
+  // Cross-user convergent dedup (src/dedup). kConvergent requires a
+  // non-empty dedup_salt (the deployment-wide dictionary-attack guard) and
+  // normally a share_index; without an index the client still encodes
+  // convergently (its own chunk table dedupes) but cannot share chunks
+  // with other clients. The index is borrowed, never owned: a gateway
+  // points every shard worker at one index, and all of them must register
+  // the same connectors in the same order (share locations are registry
+  // indices). Reads stay mode-independent - a chunk's metadata records how
+  // it was keyed - so flipping the mode never strands old data.
+  DedupMode dedup_mode = DedupMode::kOff;
+  std::string dedup_salt;
+  ShareIndex* share_index = nullptr;
+
   // Observability sinks. Pipeline counters/histograms go to `metrics`;
   // each Put/Get/ScrubOnce also records a stage timeline (chunking ->
   // encode -> place -> upload -> metadata publish) into `traces`. nullptr
@@ -158,7 +183,8 @@ struct PutResult {
   uint32_t n = 0;            // shares stored for each newly scattered chunk
   size_t total_chunks = 0;
   size_t new_chunks = 0;
-  size_t dedup_chunks = 0;   // chunks served from the global chunk table
+  size_t dedup_chunks = 0;   // chunks served without upload (local or index)
+  size_t index_hit_chunks = 0;  // of those, served by the cross-user ShareIndex
   uint64_t content_bytes = 0;
   uint64_t uploaded_share_bytes = 0;
   bool unchanged = false;    // content identical to the current head
@@ -423,7 +449,24 @@ class CyrusClient {
 
   Status RegisterVersionChunks(const FileVersion& version);
 
+  // Drops one reference per unique chunk, locally and (for convergent
+  // chunks) in the shared ShareIndex. Run after a version stops being a
+  // live head (Delete, or an overwrite superseding its parent). Unknown
+  // chunks and already-zero entries are skipped: the refs were never
+  // taken, or another device raced the release (clamped and counted by
+  // the index).
+  void ReleaseChunkRefs(const std::vector<ChunkRecord>& chunks);
+
+  // True when Put keys new chunks convergently.
+  bool convergent_writes() const {
+    return config_.dedup_mode == DedupMode::kConvergent;
+  }
+
   CyrusConfig config_;
+  // Two-stage convergent keying (content key from config_.dedup_salt, wrap
+  // under config_.key_string). Constructed unconditionally: reads of
+  // synced convergent chunks need the unwrap half even in kOff mode.
+  ConvergentKeyDeriver deriver_;
   Chunker chunker_;
   CspRegistry registry_;
   HashRing ring_;

@@ -1,0 +1,65 @@
+#include "src/crypto/convergent.h"
+
+#include <utility>
+
+#include "src/util/hex.h"
+
+namespace cyrus {
+namespace {
+
+// One keystream block: SHA-1 over a domain-separated (key, chunk_id,
+// counter) encoding. 20 bytes per block; callers concatenate blocks.
+Sha1Digest KeystreamBlock(std::string_view domain, std::string_view key,
+                          const Sha1Digest& chunk_id, uint32_t counter) {
+  Sha1 h;
+  h.Update(domain);
+  h.Update(key);
+  h.Update(ByteSpan(chunk_id.bytes.data(), chunk_id.bytes.size()));
+  const uint8_t ctr[4] = {static_cast<uint8_t>(counter >> 24),
+                          static_cast<uint8_t>(counter >> 16),
+                          static_cast<uint8_t>(counter >> 8),
+                          static_cast<uint8_t>(counter)};
+  h.Update(ByteSpan(ctr, 4));
+  return h.Finish();
+}
+
+}  // namespace
+
+ConvergentKeyDeriver::ConvergentKeyDeriver(std::string salt, std::string user_key)
+    : salt_(std::move(salt)), user_key_(std::move(user_key)) {}
+
+std::string ConvergentKeyDeriver::ContentKey(const Sha1Digest& chunk_id) const {
+  // Rendered as hex so the key string is printable (codec keys flow through
+  // string-typed plumbing) while keeping the full 160 derived bits.
+  const Sha1Digest derived =
+      KeystreamBlock("cyrus-convergent-content-v1", salt_, chunk_id, 0);
+  return HexEncode(ByteSpan(derived.bytes.data(), derived.bytes.size()));
+}
+
+Bytes ConvergentKeyDeriver::WrapForUser(const std::string& content_key,
+                                        const Sha1Digest& chunk_id) const {
+  Bytes out(content_key.begin(), content_key.end());
+  for (size_t i = 0; i < out.size(); i += 20) {
+    const Sha1Digest block = KeystreamBlock(
+        "cyrus-convergent-wrap-v1", user_key_, chunk_id,
+        static_cast<uint32_t>(i / 20));
+    for (size_t j = 0; j < 20 && i + j < out.size(); ++j) {
+      out[i + j] ^= block.bytes[j];
+    }
+  }
+  return out;
+}
+
+Result<std::string> ConvergentKeyDeriver::UnwrapForUser(
+    ByteSpan wrapped, const Sha1Digest& chunk_id) const {
+  if (wrapped.empty()) {
+    return InvalidArgumentError("convergent chunk record has no wrapped key");
+  }
+  // XOR is its own inverse; WrapForUser round-trips through the same
+  // keystream.
+  const Bytes rewrapped =
+      WrapForUser(std::string(wrapped.begin(), wrapped.end()), chunk_id);
+  return std::string(rewrapped.begin(), rewrapped.end());
+}
+
+}  // namespace cyrus

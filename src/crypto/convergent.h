@@ -1,0 +1,72 @@
+// Convergent dispersal keying (CDStore-style two-stage keying).
+//
+// CYRUS keys the non-systematic RS dispersal matrix with the user's secret,
+// so identical chunks stored by different users encode to unrelated shares
+// and can never dedupe at the CSPs. Convergent dispersal replaces the user
+// key with a *content key* derived from the chunk's own hash: every holder
+// of the same plaintext chunk derives the same dispersal vector, produces
+// byte-identical shares under the same content-addressed names (ShareName
+// depends only on (chunk_id, index, t)), and uploads become idempotent
+// overwrites a share index can refcount.
+//
+// Two-stage keying:
+//   stage 1  content key  = KDF(deployment salt, chunk_id)
+//   stage 2  wrapped key  = content key XOR keystream(user key, chunk_id)
+//
+// The salt is a deployment-wide secret shared by the cooperating clients
+// (e.g. one gateway's shard workers). It defends against the classic
+// convergent-encryption offline dictionary attack: an outside adversary who
+// can guess a chunk's plaintext cannot derive its content key - and thus
+// cannot confirm the guess against stored shares - without the salt.
+// Clients that hold only the *user* key (a second device restoring from
+// metadata) unwrap the per-chunk wrapped key from the ChunkMap row instead
+// of re-deriving it, so the salt never needs to leave the writing side.
+//
+// Threat model: a CSP (or any salt-less outsider) sees shares of a keyed
+// RS encoding under an unknown content key - the paper's §7.1 privacy
+// argument unchanged. A salt holder can mount dictionary attacks against
+// *predictable* chunks; that is the known, accepted convergent-encryption
+// trade-off and exactly why the salt is scoped to a deployment rather than
+// baked into the client. Per-user keys still gate reconstruction of any
+// chunk the user actually owns metadata for.
+#ifndef SRC_CRYPTO_CONVERGENT_H_
+#define SRC_CRYPTO_CONVERGENT_H_
+
+#include <string>
+
+#include "src/crypto/sha1.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace cyrus {
+
+class ConvergentKeyDeriver {
+ public:
+  // `salt` is the deployment-wide dictionary-attack guard (required for
+  // ContentKey); `user_key` keys the per-user wrap (required for Wrap /
+  // Unwrap). Either may be empty when only the other half is used.
+  ConvergentKeyDeriver(std::string salt, std::string user_key);
+
+  // Stage 1: the chunk's dispersal key string, derived from (salt,
+  // chunk_id). Feeding this to SecretSharingCodec::Create in place of the
+  // user key makes the dispersal matrix - and hence every share byte - a
+  // pure function of chunk content.
+  std::string ContentKey(const Sha1Digest& chunk_id) const;
+
+  // Stage 2: XOR-wraps `content_key` under a keystream derived from
+  // (user_key, chunk_id), for storage in this user's metadata. Unwrap
+  // inverts it; it needs only the user key, never the salt.
+  Bytes WrapForUser(const std::string& content_key, const Sha1Digest& chunk_id) const;
+  Result<std::string> UnwrapForUser(ByteSpan wrapped,
+                                    const Sha1Digest& chunk_id) const;
+
+  const std::string& salt() const { return salt_; }
+
+ private:
+  std::string salt_;
+  std::string user_key_;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_CRYPTO_CONVERGENT_H_

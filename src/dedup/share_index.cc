@@ -1,0 +1,658 @@
+#include "src/dedup/share_index.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "src/meta/serialize.h"
+#include "src/rs/secret_sharing.h"
+#include "src/util/hex.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr uint32_t kMagic = 0x43594449;  // "CYDI"
+constexpr uint32_t kFormatVersion = 1;
+
+// Same durability trick as put_journal: after rename(), the new directory
+// entry must itself be fsynced or a crash can resurface the old journal.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+// Journal payload for a P record: the entry without its digest (the digest
+// rides in the record key field).
+Bytes EncodeEntry(const ShareIndexEntry& entry) {
+  BinaryWriter w;
+  w.WriteU64(entry.logical_size);
+  w.WriteU32(entry.t);
+  w.WriteU32(entry.n);
+  w.WriteU64(entry.refcount);
+  w.WriteU32(static_cast<uint32_t>(entry.shares.size()));
+  for (const ChunkShare& share : entry.shares) {
+    w.WriteU32(share.share_index);
+    w.WriteI32(share.csp);
+  }
+  return w.TakeData();
+}
+
+Result<ShareIndexEntry> DecodeEntry(BinaryReader& r) {
+  ShareIndexEntry entry;
+  CYRUS_ASSIGN_OR_RETURN(entry.logical_size, r.ReadU64());
+  CYRUS_ASSIGN_OR_RETURN(entry.t, r.ReadU32());
+  CYRUS_ASSIGN_OR_RETURN(entry.n, r.ReadU32());
+  CYRUS_ASSIGN_OR_RETURN(entry.refcount, r.ReadU64());
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_shares, r.ReadU32());
+  entry.shares.reserve(num_shares);
+  for (uint32_t s = 0; s < num_shares; ++s) {
+    ChunkShare share;
+    CYRUS_ASSIGN_OR_RETURN(share.share_index, r.ReadU32());
+    CYRUS_ASSIGN_OR_RETURN(share.csp, r.ReadI32());
+    entry.shares.push_back(share);
+  }
+  return entry;
+}
+
+Result<Sha1Digest> DigestFromHex(std::string_view hex) {
+  CYRUS_ASSIGN_OR_RETURN(Bytes raw, HexDecode(hex));
+  if (raw.size() != 20) {
+    return DataLossError("share index journal: bad digest length");
+  }
+  Sha1Digest d;
+  std::copy(raw.begin(), raw.end(), d.bytes.begin());
+  return d;
+}
+
+}  // namespace
+
+uint64_t ShareIndexEntry::physical_bytes() const {
+  if (t == 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(shares.size()) * ShareSize(logical_size, t);
+}
+
+ShareIndex::ShareIndex(ShareIndexOptions options) : options_(std::move(options)) {
+  if (options_.num_shards < 1) {
+    options_.num_shards = 1;
+  }
+  shards_.reserve(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &obs::MetricsRegistry::Default();
+  hits_counter_ = metrics_->GetCounter("cyrus_dedup_hits_total", {},
+                                       "Put chunks served by the share index");
+  misses_counter_ = metrics_->GetCounter("cyrus_dedup_misses_total", {},
+                                         "Put chunks absent from the share index");
+  reclaimed_shares_counter_ =
+      metrics_->GetCounter("cyrus_dedup_reclaimed_shares_total", {},
+                           "Zero-ref share objects deleted from CSPs by scrub GC");
+  reclaimed_bytes_counter_ =
+      metrics_->GetCounter("cyrus_dedup_reclaimed_bytes_total", {},
+                           "Physical share bytes reclaimed by scrub GC");
+  over_release_counter_ = metrics_->GetCounter(
+      "cyrus_dedup_over_releases_total", {},
+      "Release calls on an entry already at zero references (clamped)");
+  entries_gauge_ = metrics_->GetGauge("cyrus_dedup_index_entries", {},
+                                      "Unique chunks tracked by the share index");
+  logical_gauge_ = metrics_->GetGauge(
+      "cyrus_dedup_logical_bytes", {},
+      "Logical bytes referenced across all users (refcount-weighted)");
+  unique_gauge_ = metrics_->GetGauge("cyrus_dedup_unique_bytes", {},
+                                     "Unique plaintext bytes stored once");
+  physical_gauge_ = metrics_->GetGauge("cyrus_dedup_physical_bytes", {},
+                                       "Share bytes actually held at CSPs");
+  ratio_gauge_ = metrics_->GetGauge("cyrus_dedup_ratio", {},
+                                    "logical_bytes / unique_bytes");
+}
+
+ShareIndex::~ShareIndex() {
+  if (journal_file_ != nullptr) {
+    std::fclose(journal_file_);
+  }
+}
+
+Result<std::unique_ptr<ShareIndex>> ShareIndex::Open(ShareIndexOptions options) {
+  std::unique_ptr<ShareIndex> index(new ShareIndex(std::move(options)));
+  if (!index->options_.journal_path.empty()) {
+    std::lock_guard<std::mutex> lock(index->journal_mutex_);
+    CYRUS_RETURN_IF_ERROR(index->LoadAndCompactLocked());
+  }
+  return index;
+}
+
+ShareIndex::Shard& ShareIndex::ShardFor(const Sha1Digest& chunk_id) const {
+  return *shards_[chunk_id.Prefix64() % shards_.size()];
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+Status ShareIndex::LoadAndCompactLocked() {
+  std::map<Sha1Digest, ShareIndexEntry> replay;
+  if (std::FILE* in = std::fopen(options_.journal_path.c_str(), "r")) {
+    std::string line;
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+      if (c == '\n') {
+        if (!line.empty()) {
+          Status parsed = ApplyLineLocked(line, replay);
+          if (!parsed.ok()) {
+            std::fclose(in);
+            return parsed;
+          }
+        }
+        line.clear();
+      } else {
+        line.push_back(static_cast<char>(c));
+      }
+    }
+    std::fclose(in);
+    // A torn final line (crash mid-append) is expected, not corruption.
+    if (!line.empty()) {
+      (void)ApplyLineLocked(line, replay).ok();
+    }
+  }
+  // Install the replayed state and rebuild the aggregates.
+  for (auto& [id, entry] : replay) {
+    Shard& shard = ShardFor(id);
+    Account(1, static_cast<int64_t>(entry.refcount * entry.logical_size),
+            static_cast<int64_t>(entry.logical_size),
+            static_cast<int64_t>(entry.physical_bytes()));
+    shard.entries.emplace(id, std::move(entry));
+  }
+  std::map<Sha1Digest, ShareIndexEntry> live;
+  for (const auto& shard : shards_) {
+    for (const auto& [id, entry] : shard->entries) {
+      live.emplace(id, entry);
+    }
+  }
+  return RewriteLocked(live);
+}
+
+Status ShareIndex::ApplyLineLocked(const std::string& line,
+                                   std::map<Sha1Digest, ShareIndexEntry>& replay) {
+  const std::vector<std::string> fields = Split(line, ' ');
+  if (fields.size() < 2) {
+    return DataLossError(StrCat("share index journal: malformed record '", line, "'"));
+  }
+  const std::string& tag = fields[0];
+  CYRUS_ASSIGN_OR_RETURN(Sha1Digest id, DigestFromHex(fields[1]));
+  if (tag == "P") {
+    if (fields.size() != 3) {
+      return DataLossError("share index journal: malformed P record");
+    }
+    CYRUS_ASSIGN_OR_RETURN(Bytes payload, HexDecode(fields[2]));
+    BinaryReader r(payload);
+    CYRUS_ASSIGN_OR_RETURN(ShareIndexEntry entry, DecodeEntry(r));
+    if (!r.AtEnd()) {
+      return DataLossError("share index journal: trailing bytes in P record");
+    }
+    replay[id] = std::move(entry);
+    return OkStatus();
+  }
+  if (tag == "R") {
+    if (fields.size() != 3) {
+      return DataLossError("share index journal: malformed R record");
+    }
+    auto it = replay.find(id);
+    if (it == replay.end()) {
+      return OkStatus();  // ref for an already-erased entry; stale but harmless
+    }
+    if (fields[2] == "+1") {
+      ++it->second.refcount;
+    } else if (fields[2] == "-1") {
+      if (it->second.refcount > 0) {
+        --it->second.refcount;
+      }
+    } else {
+      return DataLossError("share index journal: bad R delta");
+    }
+    return OkStatus();
+  }
+  if (tag == "E") {
+    replay.erase(id);
+    return OkStatus();
+  }
+  return DataLossError(StrCat("share index journal: unknown tag '", tag, "'"));
+}
+
+Status ShareIndex::RewriteLocked(const std::map<Sha1Digest, ShareIndexEntry>& live) {
+  if (journal_file_ != nullptr) {
+    std::fclose(journal_file_);
+    journal_file_ = nullptr;
+  }
+  const std::string tmp = options_.journal_path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    return UnavailableError(StrCat("share index journal: cannot write ", tmp));
+  }
+  for (const auto& [id, entry] : live) {
+    std::fprintf(out, "P %s %s\n", id.ToHex().c_str(),
+                 HexEncode(EncodeEntry(entry)).c_str());
+  }
+  std::fflush(out);
+  fsync(fileno(out));
+  std::fclose(out);
+  if (std::rename(tmp.c_str(), options_.journal_path.c_str()) != 0) {
+    return UnavailableError(StrCat("share index journal: cannot rename ", tmp));
+  }
+  FsyncParentDir(options_.journal_path);
+  journal_file_ = std::fopen(options_.journal_path.c_str(), "a");
+  if (journal_file_ == nullptr) {
+    return UnavailableError(
+        StrCat("share index journal: cannot append to ", options_.journal_path));
+  }
+  return OkStatus();
+}
+
+Status ShareIndex::AppendLineLocked(const std::string& line) {
+  if (journal_file_ == nullptr) {
+    return FailedPreconditionError("share index journal: not open");
+  }
+  if (std::fputs(line.c_str(), journal_file_) == EOF ||
+      std::fputc('\n', journal_file_) == EOF) {
+    return UnavailableError(
+        StrCat("share index journal: write failed on ", options_.journal_path));
+  }
+  std::fflush(journal_file_);
+  fsync(fileno(journal_file_));
+  return OkStatus();
+}
+
+Status ShareIndex::JournalPublish(const Sha1Digest& chunk_id,
+                                  const ShareIndexEntry& entry) {
+  if (options_.journal_path.empty()) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return AppendLineLocked(
+      StrCat("P ", chunk_id.ToHex(), " ", HexEncode(EncodeEntry(entry))));
+}
+
+Status ShareIndex::JournalRef(const Sha1Digest& chunk_id, int64_t delta) {
+  if (options_.journal_path.empty()) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return AppendLineLocked(
+      StrCat("R ", chunk_id.ToHex(), " ", delta > 0 ? "+1" : "-1"));
+}
+
+Status ShareIndex::JournalErase(const Sha1Digest& chunk_id) {
+  if (options_.journal_path.empty()) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return AppendLineLocked(StrCat("E ", chunk_id.ToHex()));
+}
+
+// ---------------------------------------------------------------------------
+// Entry operations
+// ---------------------------------------------------------------------------
+
+void ShareIndex::Account(int64_t entries_delta, int64_t logical_delta,
+                         int64_t unique_delta, int64_t physical_delta) {
+  // uint64 atomics + two's-complement deltas: adds and subtracts both land
+  // as one fetch_add.
+  const uint64_t entries =
+      total_entries_.fetch_add(static_cast<uint64_t>(entries_delta),
+                               std::memory_order_relaxed) +
+      static_cast<uint64_t>(entries_delta);
+  const uint64_t logical =
+      logical_bytes_.fetch_add(static_cast<uint64_t>(logical_delta),
+                               std::memory_order_relaxed) +
+      static_cast<uint64_t>(logical_delta);
+  const uint64_t unique =
+      unique_bytes_.fetch_add(static_cast<uint64_t>(unique_delta),
+                              std::memory_order_relaxed) +
+      static_cast<uint64_t>(unique_delta);
+  const uint64_t physical =
+      physical_bytes_.fetch_add(static_cast<uint64_t>(physical_delta),
+                                std::memory_order_relaxed) +
+      static_cast<uint64_t>(physical_delta);
+  entries_gauge_->Set(static_cast<double>(entries));
+  logical_gauge_->Set(static_cast<double>(logical));
+  unique_gauge_->Set(static_cast<double>(unique));
+  physical_gauge_->Set(static_cast<double>(physical));
+  ratio_gauge_->Set(unique == 0 ? 1.0
+                                : static_cast<double>(logical) /
+                                      static_cast<double>(unique));
+}
+
+std::optional<ShareIndexEntry> ShareIndex::Lookup(const Sha1Digest& chunk_id) const {
+  Shard& shard = ShardFor(chunk_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(chunk_id);
+  if (it == shard.entries.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<ShareIndexEntry> ShareIndex::LookupAndRef(const Sha1Digest& chunk_id) {
+  Shard& shard = ShardFor(chunk_id);
+  std::optional<ShareIndexEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(chunk_id);
+    if (it != shard.entries.end()) {
+      ++it->second.refcount;
+      out = it->second;
+    }
+  }
+  if (!out.has_value()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_counter_->Increment();
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_counter_->Increment();
+  Account(0, static_cast<int64_t>(out->logical_size), 0, 0);
+  // Journal after the in-memory commit: a crash between the two loses at
+  // worst one increment, which errs toward keeping data alive (the miss
+  // path's Publish journals atomically with its refcount).
+  (void)JournalRef(chunk_id, +1);
+  return out;
+}
+
+Status ShareIndex::Publish(const Sha1Digest& chunk_id, ShareIndexEntry entry) {
+  if (entry.t == 0) {
+    return InvalidArgumentError("share index entry must have t >= 1");
+  }
+  Shard& shard = ShardFor(chunk_id);
+  ShareIndexEntry journaled;
+  int64_t logical_delta = 0;
+  int64_t physical_delta = 0;
+  int64_t unique_delta = 0;
+  int64_t entries_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(chunk_id);
+    if (it == shard.entries.end()) {
+      entries_delta = 1;
+      unique_delta = static_cast<int64_t>(entry.logical_size);
+      logical_delta = static_cast<int64_t>(entry.refcount * entry.logical_size);
+      physical_delta = static_cast<int64_t>(entry.physical_bytes());
+      journaled = entry;
+      shard.entries.emplace(chunk_id, std::move(entry));
+    } else {
+      ShareIndexEntry& mine = it->second;
+      if (mine.logical_size != entry.logical_size || mine.t != entry.t) {
+        return DataLossError(
+            StrCat("chunk ", chunk_id.ToHex(),
+                   " published with divergent parameters: convergent encoding "
+                   "should make identical content identical shares"));
+      }
+      const uint64_t old_physical = mine.physical_bytes();
+      mine.refcount += entry.refcount;
+      for (const ChunkShare& share : entry.shares) {
+        bool known = false;
+        for (const ChunkShare& existing : mine.shares) {
+          if (existing.share_index == share.share_index &&
+              existing.csp == share.csp) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          mine.shares.push_back(share);
+        }
+      }
+      logical_delta = static_cast<int64_t>(entry.refcount * entry.logical_size);
+      physical_delta = static_cast<int64_t>(mine.physical_bytes() - old_physical);
+      journaled = mine;
+    }
+  }
+  Account(entries_delta, logical_delta, unique_delta, physical_delta);
+  return JournalPublish(chunk_id, journaled);
+}
+
+Status ShareIndex::AddRef(const Sha1Digest& chunk_id) {
+  Shard& shard = ShardFor(chunk_id);
+  uint64_t logical = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(chunk_id);
+    if (it == shard.entries.end()) {
+      return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not indexed"));
+    }
+    ++it->second.refcount;
+    logical = it->second.logical_size;
+  }
+  Account(0, static_cast<int64_t>(logical), 0, 0);
+  return JournalRef(chunk_id, +1);
+}
+
+Status ShareIndex::Release(const Sha1Digest& chunk_id) {
+  Shard& shard = ShardFor(chunk_id);
+  uint64_t logical = 0;
+  bool clamped = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(chunk_id);
+    if (it == shard.entries.end()) {
+      return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not indexed"));
+    }
+    if (it->second.refcount == 0) {
+      clamped = true;
+    } else {
+      --it->second.refcount;
+      logical = it->second.logical_size;
+    }
+  }
+  if (clamped) {
+    over_releases_.fetch_add(1, std::memory_order_relaxed);
+    over_release_counter_->Increment();
+    return FailedPreconditionError(
+        StrCat("chunk ", chunk_id.ToHex(), " released below zero references"));
+  }
+  Account(0, -static_cast<int64_t>(logical), 0, 0);
+  return JournalRef(chunk_id, -1);
+}
+
+Status ShareIndex::ReplaceShares(const Sha1Digest& chunk_id,
+                                 std::vector<ChunkShare> shares) {
+  Shard& shard = ShardFor(chunk_id);
+  ShareIndexEntry journaled;
+  int64_t physical_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(chunk_id);
+    if (it == shard.entries.end()) {
+      return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not indexed"));
+    }
+    const uint64_t old_physical = it->second.physical_bytes();
+    it->second.shares = std::move(shares);
+    physical_delta = static_cast<int64_t>(it->second.physical_bytes() - old_physical);
+    journaled = it->second;
+  }
+  Account(0, 0, 0, physical_delta);
+  return JournalPublish(chunk_id, journaled);
+}
+
+Status ShareIndex::Erase(const Sha1Digest& chunk_id) {
+  Shard& shard = ShardFor(chunk_id);
+  int64_t unique_delta = 0;
+  int64_t physical_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(chunk_id);
+    if (it == shard.entries.end()) {
+      return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not indexed"));
+    }
+    if (it->second.refcount > 0) {
+      return FailedPreconditionError(
+          StrCat("chunk ", chunk_id.ToHex(), " still has ", it->second.refcount,
+                 " references"));
+    }
+    unique_delta = -static_cast<int64_t>(it->second.logical_size);
+    physical_delta = -static_cast<int64_t>(it->second.physical_bytes());
+    shard.entries.erase(it);
+  }
+  Account(-1, 0, unique_delta, physical_delta);
+  return JournalErase(chunk_id);
+}
+
+std::vector<Sha1Digest> ShareIndex::ZeroRefChunks() const {
+  std::vector<Sha1Digest> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, entry] : shard->entries) {
+      if (entry.refcount == 0) {
+        out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ShareIndex::NoteReclaimed(uint64_t shares, uint64_t bytes) {
+  reclaimed_shares_.fetch_add(shares, std::memory_order_relaxed);
+  reclaimed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  reclaimed_shares_counter_->Increment(shares);
+  reclaimed_bytes_counter_->Increment(bytes);
+}
+
+ShareIndexStats ShareIndex::Stats() const {
+  ShareIndexStats stats;
+  stats.entries = total_entries_.load(std::memory_order_relaxed);
+  stats.logical_bytes = logical_bytes_.load(std::memory_order_relaxed);
+  stats.unique_bytes = unique_bytes_.load(std::memory_order_relaxed);
+  stats.physical_bytes = physical_bytes_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.reclaimed_shares = reclaimed_shares_.load(std::memory_order_relaxed);
+  stats.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, entry] : shard->entries) {
+      if (entry.refcount == 0) {
+        ++stats.zero_ref_entries;
+      }
+    }
+  }
+  return stats;
+}
+
+size_t ShareIndex::size() const {
+  return total_entries_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+// ---------------------------------------------------------------------------
+
+Bytes ShareIndex::Serialize(const std::vector<std::string>& csp_directory) const {
+  BinaryWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(csp_directory.size()));
+  for (const std::string& name : csp_directory) {
+    w.WriteString(name);
+  }
+  std::map<Sha1Digest, ShareIndexEntry> all;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, entry] : shard->entries) {
+      all.emplace(id, entry);
+    }
+  }
+  w.WriteU32(static_cast<uint32_t>(all.size()));
+  for (const auto& [id, entry] : all) {
+    w.WriteDigest(id);
+    w.WriteBytes(EncodeEntry(entry));
+  }
+  return w.TakeData();
+}
+
+Status ShareIndex::Load(ByteSpan data, const std::vector<std::string>& csp_directory) {
+  BinaryReader r(data);
+  CYRUS_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return DataLossError("share index magic mismatch");
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return DataLossError(StrCat("unsupported share index version ", version));
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t num_names, r.ReadU32());
+  std::vector<std::string> wire_directory;
+  wire_directory.reserve(num_names);
+  for (uint32_t i = 0; i < num_names; ++i) {
+    CYRUS_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    wire_directory.push_back(std::move(name));
+  }
+  // Remap serialized csp indices (positions in wire_directory) to the
+  // caller's local indices (positions in csp_directory); -1 for providers
+  // this deployment no longer registers.
+  std::vector<int32_t> remap(wire_directory.size(), -1);
+  for (size_t i = 0; i < wire_directory.size(); ++i) {
+    for (size_t j = 0; j < csp_directory.size(); ++j) {
+      if (wire_directory[i] == csp_directory[j]) {
+        remap[i] = static_cast<int32_t>(j);
+        break;
+      }
+    }
+  }
+  CYRUS_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  std::map<Sha1Digest, ShareIndexEntry> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    CYRUS_ASSIGN_OR_RETURN(Sha1Digest id, r.ReadDigest());
+    CYRUS_ASSIGN_OR_RETURN(Bytes payload, r.ReadBytes());
+    BinaryReader er(payload);
+    CYRUS_ASSIGN_OR_RETURN(ShareIndexEntry entry, DecodeEntry(er));
+    if (!er.AtEnd()) {
+      return DataLossError("trailing bytes in share index entry");
+    }
+    for (ChunkShare& share : entry.shares) {
+      if (share.csp >= 0 && static_cast<size_t>(share.csp) < remap.size()) {
+        share.csp = remap[share.csp];
+      } else {
+        share.csp = -1;
+      }
+    }
+    loaded.emplace(id, std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes after share index");
+  }
+  // Replace contents wholesale; rebuild aggregates from scratch.
+  Account(-static_cast<int64_t>(total_entries_.load(std::memory_order_relaxed)),
+          -static_cast<int64_t>(logical_bytes_.load(std::memory_order_relaxed)),
+          -static_cast<int64_t>(unique_bytes_.load(std::memory_order_relaxed)),
+          -static_cast<int64_t>(physical_bytes_.load(std::memory_order_relaxed)));
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+  }
+  for (const auto& [id, entry] : loaded) {
+    Shard& shard = ShardFor(id);
+    Account(1, static_cast<int64_t>(entry.refcount * entry.logical_size),
+            static_cast<int64_t>(entry.logical_size),
+            static_cast<int64_t>(entry.physical_bytes()));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.emplace(id, entry);  // keep `loaded` intact for the rewrite
+  }
+  if (!options_.journal_path.empty()) {
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    CYRUS_RETURN_IF_ERROR(RewriteLocked(loaded));
+  }
+  return OkStatus();
+}
+
+}  // namespace cyrus

@@ -486,6 +486,21 @@ GatewayStats GatewayService::Stats() const {
   }
   stats.num_tenants = tenants_.size();
   stats.num_shards = shards_.size();
+  // All shard workers point at the same deployment-wide index (that is the
+  // whole point of cross-user dedup), so the first shard's view is the
+  // gateway's view.
+  if (!shards_.empty()) {
+    const ShareIndex* index = shards_.begin()->second->client->config().share_index;
+    if (index != nullptr) {
+      const ShareIndexStats dedup = index->Stats();
+      stats.dedup_enabled = true;
+      stats.dedup_logical_bytes = dedup.logical_bytes;
+      stats.dedup_unique_bytes = dedup.unique_bytes;
+      stats.dedup_physical_bytes = dedup.physical_bytes;
+      stats.dedup_ratio = dedup.dedup_ratio();
+      stats.dedup_hit_rate = dedup.hit_rate();
+    }
+  }
   return stats;
 }
 

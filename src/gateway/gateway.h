@@ -99,6 +99,16 @@ struct GatewayStats {
   std::map<std::string, uint64_t> tenant_stored_bytes;
   size_t num_tenants = 0;
   size_t num_shards = 0;
+  // Cross-user dedup economics (zeros when the shard clients run without a
+  // ShareIndex). Tenants are billed `tenant_stored_bytes` - *logical*
+  // bytes - while the deployment pays `dedup_physical_bytes`; the gap is
+  // the operator's dedup margin.
+  bool dedup_enabled = false;
+  uint64_t dedup_logical_bytes = 0;
+  uint64_t dedup_unique_bytes = 0;
+  uint64_t dedup_physical_bytes = 0;
+  double dedup_ratio = 1.0;
+  double dedup_hit_rate = 0.0;
 };
 
 class GatewayService {

@@ -7,7 +7,9 @@ namespace cyrus {
 namespace {
 
 constexpr uint32_t kMagic = 0x43595254;  // "CYRT"
-constexpr uint32_t kFormatVersion = 1;
+// v2 adds logical_size + the convergent-dedup fields per entry; v1 streams
+// are still readable (logical_size defaults to size, dedup to off).
+constexpr uint32_t kFormatVersion = 2;
 
 }  // namespace
 
@@ -25,7 +27,23 @@ Status ChunkTable::Insert(const Sha1Digest& chunk_id, ChunkEntry entry) {
     return AlreadyExistsError(StrCat("chunk ", chunk_id.ToHex(), " already tracked"));
   }
   entry.refcount = 1;
+  if (entry.logical_size == 0) {
+    entry.logical_size = entry.size;
+  }
   entries_.emplace(chunk_id, std::move(entry));
+  return OkStatus();
+}
+
+Status ChunkTable::Evict(const Sha1Digest& chunk_id) {
+  auto it = entries_.find(chunk_id);
+  if (it == entries_.end()) {
+    return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not tracked"));
+  }
+  if (it->second.refcount > 0) {
+    return FailedPreconditionError(StrCat("chunk ", chunk_id.ToHex(), " still has ",
+                                          it->second.refcount, " references"));
+  }
+  entries_.erase(it);
   return OkStatus();
 }
 
@@ -180,6 +198,9 @@ Bytes ChunkTable::Serialize() const {
     w.WriteU32(entry.t);
     w.WriteU32(entry.n);
     w.WriteU32(entry.refcount);
+    w.WriteU64(entry.logical_size);
+    w.WriteU8(entry.dedup ? 1 : 0);
+    w.WriteBytes(entry.wrapped_key);
     w.WriteU32(static_cast<uint32_t>(entry.shares.size()));
     for (const ChunkShare& share : entry.shares) {
       w.WriteU32(share.share_index);
@@ -196,7 +217,7 @@ Result<ChunkTable> ChunkTable::Deserialize(ByteSpan data) {
     return DataLossError("chunk table magic mismatch");
   }
   CYRUS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     return DataLossError(StrCat("unsupported chunk table version ", version));
   }
   ChunkTable table;
@@ -208,6 +229,14 @@ Result<ChunkTable> ChunkTable::Deserialize(ByteSpan data) {
     CYRUS_ASSIGN_OR_RETURN(entry.t, r.ReadU32());
     CYRUS_ASSIGN_OR_RETURN(entry.n, r.ReadU32());
     CYRUS_ASSIGN_OR_RETURN(entry.refcount, r.ReadU32());
+    if (version >= 2) {
+      CYRUS_ASSIGN_OR_RETURN(entry.logical_size, r.ReadU64());
+      CYRUS_ASSIGN_OR_RETURN(uint8_t dedup, r.ReadU8());
+      entry.dedup = dedup != 0;
+      CYRUS_ASSIGN_OR_RETURN(entry.wrapped_key, r.ReadBytes());
+    } else {
+      entry.logical_size = entry.size;  // v1 predates the distinction
+    }
     CYRUS_ASSIGN_OR_RETURN(uint32_t num_shares, r.ReadU32());
     for (uint32_t s = 0; s < num_shares; ++s) {
       ChunkShare share;

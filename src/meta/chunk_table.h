@@ -31,9 +31,19 @@ struct ChunkShare {
 
 struct ChunkEntry {
   uint64_t size = 0;
+  // Plaintext bytes this chunk contributes to quota accounting. Equal to
+  // `size` for chunks this client stored; kept separate so logical charge
+  // and stored-share bookkeeping can diverge (dedup charges every
+  // referencing tenant the logical bytes while the shares exist once).
+  uint64_t logical_size = 0;
   uint32_t t = 0;
   uint32_t n = 0;
   uint32_t refcount = 0;  // number of referencing file versions
+  // Convergent-dedup chunks: encoded under a content key rather than the
+  // user key. `wrapped_key` is the per-user XOR-wrap of that content key
+  // (src/crypto/convergent.h); empty for non-dedup chunks.
+  bool dedup = false;
+  Bytes wrapped_key;
   std::vector<ChunkShare> shares;
 };
 
@@ -51,6 +61,12 @@ class ChunkTable {
   // paper §5.4 "shares of the file's component chunks are left alone").
   Status AddRef(const Sha1Digest& chunk_id);
   Status Release(const Sha1Digest& chunk_id);
+
+  // Removes a zero-reference entry outright. The scrub engine's orphan
+  // reclaim evicts a chunk here once its shares are deleted from the CSPs
+  // (or were reclaimed by another shard), so later scans stop trying to
+  // repair it. kFailedPrecondition while references remain.
+  Status Evict(const Sha1Digest& chunk_id);
 
   // Replaces the share (old_csp, old_index) with a regenerated share
   // (new_csp, new_index) - lazy migration after CSP removal (paper §5.5 /

@@ -8,7 +8,9 @@
 namespace cyrus {
 namespace {
 
-constexpr uint32_t kFormatVersion = 1;
+// v2 adds the convergent-dedup (flag, wrapped key) pair per ChunkMap row;
+// v1 objects written by older clients still parse (no dedup fields).
+constexpr uint32_t kFormatVersion = 2;
 constexpr uint32_t kMagic = 0x43595253;  // "CYRS"
 
 }  // namespace
@@ -34,6 +36,8 @@ Bytes FileVersion::Serialize() const {
     w.WriteU64(c.size);
     w.WriteU32(c.t);
     w.WriteU32(c.n);
+    w.WriteU8(c.dedup ? 1 : 0);
+    w.WriteBytes(c.wrapped_key);
   }
   // ShareMap.
   w.WriteU32(static_cast<uint32_t>(shares.size()));
@@ -57,7 +61,7 @@ Result<FileVersion> FileVersion::Deserialize(ByteSpan data) {
     return DataLossError("metadata magic mismatch");
   }
   CYRUS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     return DataLossError(StrCat("unsupported metadata format version ", version));
   }
   FileVersion v;
@@ -80,6 +84,11 @@ Result<FileVersion> FileVersion::Deserialize(ByteSpan data) {
     CYRUS_ASSIGN_OR_RETURN(c.size, r.ReadU64());
     CYRUS_ASSIGN_OR_RETURN(c.t, r.ReadU32());
     CYRUS_ASSIGN_OR_RETURN(c.n, r.ReadU32());
+    if (version >= 2) {
+      CYRUS_ASSIGN_OR_RETURN(uint8_t dedup, r.ReadU8());
+      c.dedup = dedup != 0;
+      CYRUS_ASSIGN_OR_RETURN(c.wrapped_key, r.ReadBytes());
+    }
     v.chunks.push_back(c);
   }
   CYRUS_ASSIGN_OR_RETURN(uint32_t num_shares, r.ReadU32());

@@ -39,6 +39,13 @@ struct ChunkRecord {
   uint64_t size = 0;   // chunk byte count
   uint32_t t = 0;      // shares needed to reconstruct
   uint32_t n = 0;      // shares stored
+  // Convergent dedup (src/crypto/convergent.h): when set, the chunk was
+  // encoded under a content-derived key and `wrapped_key` carries that key
+  // XOR-wrapped under this user's key, so any of the user's devices can
+  // decode without knowing the deployment salt. Empty/false for chunks
+  // encoded under the user key directly (wire format v1 compatible).
+  bool dedup = false;
+  Bytes wrapped_key;
 };
 
 // ShareMap row.

@@ -62,6 +62,15 @@ RepairEngine::RepairEngine(RepairContext context, RepairEngineOptions options)
   scrub_counters_.probe_failures =
       metrics_->GetCounter("cyrus_scrub_probe_failures_total", {},
                            "Probe List calls failed after retry");
+  scrub_counters_.chunks_reclaimed =
+      metrics_->GetCounter("cyrus_scrub_chunks_reclaimed_total", {},
+                           "Zero-ref dedup chunks garbage-collected");
+  scrub_counters_.shares_reclaimed =
+      metrics_->GetCounter("cyrus_scrub_shares_reclaimed_total", {},
+                           "Share objects deleted by orphan reclaim");
+  scrub_counters_.bytes_reclaimed =
+      metrics_->GetCounter("cyrus_scrub_bytes_reclaimed_total", {},
+                           "Physical share bytes freed by orphan reclaim");
 }
 
 void RepairEngine::RefreshDebtGaugesLocked() {
@@ -104,6 +113,10 @@ void RepairEngine::Fold(const RepairStats& delta) {
   stats_.shares_pruned += delta.shares_pruned;
   stats_.bytes_moved += delta.bytes_moved;
   stats_.probe_failures += delta.probe_failures;
+  stats_.chunks_reclaimed += delta.chunks_reclaimed;
+  stats_.shares_reclaimed += delta.shares_reclaimed;
+  stats_.bytes_reclaimed += delta.bytes_reclaimed;
+  stats_.reclaims_deferred += delta.reclaims_deferred;
 
   // Mirror the same deltas into the registry so dashboards and /metrics see
   // scrub health without holding a RepairEngine reference.
@@ -117,6 +130,9 @@ void RepairEngine::Fold(const RepairStats& delta) {
   scrub_counters_.shares_pruned->Increment(delta.shares_pruned);
   scrub_counters_.bytes_moved->Increment(delta.bytes_moved);
   scrub_counters_.probe_failures->Increment(delta.probe_failures);
+  scrub_counters_.chunks_reclaimed->Increment(delta.chunks_reclaimed);
+  scrub_counters_.shares_reclaimed->Increment(delta.shares_reclaimed);
+  scrub_counters_.bytes_reclaimed->Increment(delta.bytes_reclaimed);
 }
 
 // ---------------------------------------------------------------------------
@@ -239,6 +255,14 @@ std::vector<ChunkHealth> RepairEngine::ScanInternal(
   for (const Sha1Digest& chunk_id : context_.chunk_table->AllChunkIds()) {
     const ChunkEntry* entry = context_.chunk_table->Find(chunk_id);
     if (entry == nullptr) {
+      continue;
+    }
+    if (entry->dedup && entry->refcount == 0) {
+      // Condemned: no version of this client references the chunk. It is
+      // either awaiting this pass's orphan reclaim or was already reclaimed
+      // by another shard's scrub (its objects are gone, which would read as
+      // "degraded" here and waste repair bandwidth resurrecting garbage).
+      // Clients that still reference it scan it through their own tables.
       continue;
     }
     std::vector<ChunkShare> dead;
@@ -385,9 +409,14 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
                                 " of t=", t, " shares reachable"));
   }
 
-  CYRUS_ASSIGN_OR_RETURN(
-      SecretSharingCodec codec,
-      SecretSharingCodec::Create(*context_.key_string, t, kMaxShares));
+  // Convergent chunks decode under their content key, resolved through the
+  // owning client (which can unwrap it with the user key alone).
+  std::string codec_key = *context_.key_string;
+  if (context_.chunk_key) {
+    CYRUS_ASSIGN_OR_RETURN(codec_key, context_.chunk_key(chunk_id, *entry));
+  }
+  CYRUS_ASSIGN_OR_RETURN(SecretSharingCodec codec,
+                         SecretSharingCodec::Create(codec_key, t, kMaxShares));
   CYRUS_ASSIGN_OR_RETURN(Bytes data, codec.Decode(shares, entry->size));
   if (Sha1::Hash(data) != chunk_id) {
     // Bit rot slipped past the probe (List sees names, not bytes). Pull
@@ -510,6 +539,84 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
              health.n_target, " shares; active CSP set too small"));
 }
 
+void RepairEngine::ReclaimOrphans(uint64_t* budget_left, RepairStats& delta) {
+  if (context_.share_index == nullptr) {
+    return;
+  }
+  // Refcounted GC (the Delete half of CDStore-style dedup). The entry is
+  // erased from the index *before* its objects are deleted: once gone, a
+  // concurrent writer misses and re-publishes from scratch rather than
+  // taking a reference to shares mid-deletion. The residual window - a
+  // writer re-uploading the same convergent names while this pass deletes
+  // them - is excluded by the deployment model: reclaim runs in the same
+  // process that owns metadata writes (the gateway), in scrub windows, not
+  // concurrently with Puts against the same index.
+  for (const Sha1Digest& chunk_id : context_.share_index->ZeroRefChunks()) {
+    std::optional<ShareIndexEntry> entry = context_.share_index->Lookup(chunk_id);
+    if (!entry.has_value()) {
+      continue;  // re-adopted or reclaimed since the snapshot
+    }
+    const ChunkEntry* local = context_.chunk_table->Find(chunk_id);
+    if (local != nullptr && local->refcount > 0) {
+      // A local version still uses it (e.g. references synced outside the
+      // index's accounting). Never delete what this table can still reach.
+      continue;
+    }
+    const uint64_t share_bytes = ShareSize(entry->logical_size, entry->t);
+    const uint64_t total_bytes = share_bytes * entry->shares.size();
+    // Deletes move no share payload, but each one costs a provider round
+    // trip; charging their object bytes against the pass budget keeps
+    // scrub's total CSP pressure bounded by one knob.
+    if (budget_left != nullptr && *budget_left < total_bytes) {
+      ++delta.reclaims_deferred;
+      continue;
+    }
+    if (!context_.share_index->Erase(chunk_id).ok()) {
+      continue;  // a writer re-referenced it between snapshot and now
+    }
+    uint64_t freed = 0;
+    uint64_t freed_shares = 0;
+    for (const ChunkShare& share : entry->shares) {
+      auto conn = context_.registry->connector(share.csp);
+      if (!conn.ok()) {
+        continue;  // no account at that provider; its object leaks until
+                   // a client that has one scrubs
+      }
+      const std::string object = ShareName(chunk_id, share.share_index, entry->t);
+      const Status deleted = RetryWithBackoff(
+          options_.retry, [&] { return (*conn)->Delete(object); });
+      if (deleted.ok()) {
+        freed += share_bytes;
+        ++freed_shares;
+        if (budget_left != nullptr) {
+          *budget_left -= std::min(*budget_left, share_bytes);
+        }
+      } else if (deleted.code() == StatusCode::kNotFound) {
+        ++freed_shares;  // already gone (e.g. a crashed Put's rollback)
+      }
+    }
+    if (local != nullptr) {
+      (void)context_.chunk_table->Evict(chunk_id);
+    }
+    ++delta.chunks_reclaimed;
+    delta.shares_reclaimed += freed_shares;
+    delta.bytes_reclaimed += freed;
+    context_.share_index->NoteReclaimed(freed_shares, freed);
+  }
+  // Cross-shard sweep: evict local zero-ref dedup entries whose global
+  // entry is already gone (another shard's scrub deleted the objects), so
+  // the table stops carrying tombstones for data that no longer exists.
+  for (const Sha1Digest& chunk_id : context_.chunk_table->AllChunkIds()) {
+    const ChunkEntry* entry = context_.chunk_table->Find(chunk_id);
+    if (entry == nullptr || !entry->dedup || entry->refcount > 0) {
+      continue;
+    }
+    if (!context_.share_index->Lookup(chunk_id).has_value()) {
+      (void)context_.chunk_table->Evict(chunk_id);
+    }
+  }
+}
+
 Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
   if (context_.chunk_table == nullptr || context_.registry == nullptr ||
       context_.ring == nullptr || context_.key_string == nullptr) {
@@ -556,6 +663,14 @@ Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
       ++delta.chunks_repaired;
       ++repairs;
       report.repaired_chunks.push_back(chunk.chunk_id);
+      if (context_.share_index != nullptr) {
+        // Keep the cross-user index pointing at the rebuilt layout so the
+        // next writer's dedup hit references shares that exist.
+        const ChunkEntry* moved = context_.chunk_table->Find(chunk.chunk_id);
+        if (moved != nullptr && moved->dedup) {
+          (void)context_.share_index->ReplaceShares(chunk.chunk_id, moved->shares);
+        }
+      }
       continue;
     }
     report.unrepaired.push_back(chunk);
@@ -572,6 +687,14 @@ Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
     }
   }
   repair_span.End();
+
+  obs::ScopedSpan reclaim_span;
+  if (trace != nullptr) {
+    reclaim_span = trace->Span("reclaim");
+  }
+  ReclaimOrphans(budget_left, delta);
+  reclaim_span.End();
+
   pending_reprobe_.clear();
   Fold(delta);
 

@@ -39,6 +39,7 @@
 #include "src/cloud/registry.h"
 #include "src/core/hash_ring.h"
 #include "src/core/transfer.h"
+#include "src/dedup/share_index.h"
 #include "src/meta/chunk_table.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -73,6 +74,11 @@ struct RepairStats {
   uint64_t shares_pruned = 0;       // stale dead locations dropped
   uint64_t bytes_moved = 0;         // share bytes downloaded + uploaded
   uint64_t probe_failures = 0;      // List calls that failed (after retry)
+  // Orphan-reclaim pass (zero-ref dedup chunks GC'd off the CSPs).
+  uint64_t chunks_reclaimed = 0;
+  uint64_t shares_reclaimed = 0;    // share objects deleted
+  uint64_t bytes_reclaimed = 0;     // physical share bytes freed
+  uint64_t reclaims_deferred = 0;   // budget blocked the delete this pass
 };
 
 // One chunk's health as seen by a scan.
@@ -117,6 +123,14 @@ struct RepairContext {
   std::function<double()> now;
   std::function<Status(int)> mark_csp_failed;
   std::function<Result<uint32_t>()> current_n;  // Eq. (1) for the active set
+  // Cross-user dedup hooks (both optional; null = pre-dedup behaviour).
+  // With `share_index` set, ScrubOnce appends an orphan-reclaim pass that
+  // deletes the share objects of zero-ref entries under the same bandwidth
+  // budget, and Scan skips condemned chunks instead of "repairing" garbage.
+  // `chunk_key` resolves the RS key for one chunk (convergent chunks decode
+  // under their unwrapped content key); unset falls back to `key_string`.
+  ShareIndex* share_index = nullptr;
+  std::function<Result<std::string>(const Sha1Digest&, const ChunkEntry&)> chunk_key;
   // Sink for cyrus_scrub_* counters; nullptr = process-wide default.
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -193,6 +207,13 @@ class RepairEngine {
   Status RepairChunk(const ChunkHealth& health, const std::vector<ChunkShare>& dead,
                      uint64_t* budget_left, ScrubReport& report, RepairStats& delta);
 
+  // Orphan-reclaim pass: deletes the share objects of zero-ref ShareIndex
+  // entries (skipping any this client's table still references), erases the
+  // entries, and evicts matching zero-ref local entries. Budgeted like
+  // repair; deferred entries wait for the next pass. No-op without a
+  // share_index.
+  void ReclaimOrphans(uint64_t* budget_left, RepairStats& delta);
+
   // Adds `delta` to the lifetime totals and mirrors it into the registry's
   // cyrus_scrub_* counters.
   void Fold(const RepairStats& delta);
@@ -221,6 +242,9 @@ class RepairEngine {
     obs::Counter* shares_pruned = nullptr;
     obs::Counter* bytes_moved = nullptr;
     obs::Counter* probe_failures = nullptr;
+    obs::Counter* chunks_reclaimed = nullptr;
+    obs::Counter* shares_reclaimed = nullptr;
+    obs::Counter* bytes_reclaimed = nullptr;
   };
   ScrubCounters scrub_counters_;
 

@@ -1,0 +1,476 @@
+// Cross-user convergent dedup: key derivation, the ShareIndex (refcounts,
+// WAL recovery, concurrency), and the end-to-end write/read/GC paths.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/crypto/convergent.h"
+#include "src/dedup/share_index.h"
+#include "src/gateway/gateway.h"
+#include "src/rs/secret_sharing.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace cyrus {
+namespace {
+
+constexpr int kNumCsps = 4;
+constexpr char kSalt[] = "deployment-salt-for-tests";
+
+Sha1Digest Id(std::string_view tag) { return Sha1::Hash(tag); }
+
+Bytes RandomContent(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+ShareIndexEntry MakeEntry(uint64_t logical_size, uint64_t refcount) {
+  ShareIndexEntry entry;
+  entry.logical_size = logical_size;
+  entry.t = 2;
+  entry.n = 3;
+  entry.refcount = refcount;
+  entry.shares = {{0, 0}, {1, 1}, {2, 2}};
+  return entry;
+}
+
+// --- ConvergentKeyDeriver ---
+
+TEST(ConvergentTest, ContentKeyIsDeterministicPerChunk) {
+  ConvergentKeyDeriver a(kSalt, "user-key-a");
+  ConvergentKeyDeriver b(kSalt, "user-key-b");
+  const Sha1Digest chunk = Id("chunk-1");
+  // Same salt -> same content key regardless of user: that is what makes
+  // two users' shares byte-identical.
+  EXPECT_EQ(a.ContentKey(chunk), b.ContentKey(chunk));
+  EXPECT_NE(a.ContentKey(chunk), a.ContentKey(Id("chunk-2")));
+  // A different deployment salt derives unrelated keys (no cross-
+  // deployment dictionary attacks).
+  ConvergentKeyDeriver other("other-salt", "user-key-a");
+  EXPECT_NE(a.ContentKey(chunk), other.ContentKey(chunk));
+}
+
+TEST(ConvergentTest, WrapUnwrapRoundTripsWithOnlyUserKey) {
+  ConvergentKeyDeriver writer(kSalt, "user-key");
+  const Sha1Digest chunk = Id("chunk-x");
+  const std::string content_key = writer.ContentKey(chunk);
+  const Bytes wrapped = writer.WrapForUser(content_key, chunk);
+  // A second device of the same user has the user key but NOT the salt.
+  ConvergentKeyDeriver reader("", "user-key");
+  auto unwrapped = reader.UnwrapForUser(wrapped, chunk);
+  ASSERT_TRUE(unwrapped.ok()) << unwrapped.status();
+  EXPECT_EQ(*unwrapped, content_key);
+  // A different user cannot recover the content key from the wrap.
+  ConvergentKeyDeriver stranger("", "other-user-key");
+  auto stolen = stranger.UnwrapForUser(wrapped, chunk);
+  ASSERT_TRUE(stolen.ok());
+  EXPECT_NE(*stolen, content_key);
+  // Empty wraps are a metadata bug, not a silent empty key.
+  EXPECT_FALSE(reader.UnwrapForUser(Bytes{}, chunk).ok());
+}
+
+// --- ShareIndex (in-memory semantics) ---
+
+TEST(ShareIndexTest, PublishLookupRefReleaseErase) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok()) << index_or.status();
+  ShareIndex& index = **index_or;
+
+  const Sha1Digest chunk = Id("c1");
+  EXPECT_FALSE(index.Lookup(chunk).has_value());
+  EXPECT_FALSE(index.LookupAndRef(chunk).has_value());  // miss counted
+
+  ASSERT_TRUE(index.Publish(chunk, MakeEntry(4096, 1)).ok());
+  auto hit = index.LookupAndRef(chunk);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->refcount, 2u);
+  EXPECT_EQ(hit->shares.size(), 3u);
+
+  // Erase refuses while referenced; releases make it eligible.
+  EXPECT_EQ(index.Erase(chunk).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(index.Release(chunk).ok());
+  ASSERT_TRUE(index.Release(chunk).ok());
+  ASSERT_EQ(index.ZeroRefChunks().size(), 1u);
+  // Over-release clamps at zero (reported, never negative): the entry and
+  // its shares survive so no other user's data can be freed by a double
+  // release.
+  EXPECT_EQ(index.Release(chunk).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(index.Lookup(chunk)->refcount, 0u);
+  ASSERT_TRUE(index.Erase(chunk).ok());
+  EXPECT_FALSE(index.Lookup(chunk).has_value());
+  EXPECT_EQ(index.Erase(chunk).code(), StatusCode::kNotFound);
+
+  const ShareIndexStats stats = index.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ShareIndexTest, PublishMergesRacingDuplicates) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  const Sha1Digest chunk = Id("c-race");
+  ASSERT_TRUE(index.Publish(chunk, MakeEntry(1000, 1)).ok());
+  // The racing loser published the same convergent bytes to a superset of
+  // CSPs: refcounts add, layouts union.
+  ShareIndexEntry rival = MakeEntry(1000, 1);
+  rival.shares.push_back(ChunkShare{3, 3});
+  ASSERT_TRUE(index.Publish(chunk, rival).ok());
+  auto merged = index.Lookup(chunk);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->refcount, 2u);
+  EXPECT_EQ(merged->shares.size(), 4u);
+  // A (size, t) mismatch is corruption, not a race.
+  ShareIndexEntry corrupt = MakeEntry(999, 1);
+  EXPECT_EQ(index.Publish(chunk, corrupt).code(), StatusCode::kDataLoss);
+}
+
+TEST(ShareIndexTest, StatsTrackLogicalUniquePhysical) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  ASSERT_TRUE(index.Publish(Id("a"), MakeEntry(1000, 3)).ok());
+  ASSERT_TRUE(index.Publish(Id("b"), MakeEntry(500, 1)).ok());
+  const ShareIndexStats stats = index.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.logical_bytes, 3 * 1000u + 500u);
+  EXPECT_EQ(stats.unique_bytes, 1500u);
+  // 3 shares of ceil(size/t) bytes each, t = 2.
+  EXPECT_EQ(stats.physical_bytes, 3 * ShareSize(1000, 2) + 3 * ShareSize(500, 2));
+  EXPECT_NEAR(stats.dedup_ratio(), 3500.0 / 1500.0, 1e-9);
+}
+
+TEST(ShareIndexTest, SerializeRoundTripRemapsCspDirectory) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  ASSERT_TRUE(index.Publish(Id("a"), MakeEntry(1000, 2)).ok());
+  const std::vector<std::string> writer_dir = {"csp-x", "csp-y", "csp-z"};
+  const Bytes snapshot = index.Serialize(writer_dir);
+
+  // The loading process registered the same providers in another order.
+  auto other_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(other_or.ok());
+  ShareIndex& other = **other_or;
+  const std::vector<std::string> reader_dir = {"csp-z", "csp-x", "csp-y"};
+  ASSERT_TRUE(other.Load(snapshot, reader_dir).ok());
+  auto entry = other.Lookup(Id("a"));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->refcount, 2u);
+  ASSERT_EQ(entry->shares.size(), 3u);
+  // Writer csp 0 = "csp-x" = reader csp 1, and so on.
+  EXPECT_EQ(entry->shares[0].csp, 1);
+  EXPECT_EQ(entry->shares[1].csp, 2);
+  EXPECT_EQ(entry->shares[2].csp, 0);
+  EXPECT_EQ(other.Stats().unique_bytes, 1000u);
+}
+
+TEST(ShareIndexTest, ConcurrentRefUnrefStaysExact) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  constexpr int kChunks = 8;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 200;
+  for (int c = 0; c < kChunks; ++c) {
+    ASSERT_TRUE(
+        index.Publish(Id(StrCat("cc", c)), MakeEntry(100 * (c + 1), 1)).ok());
+  }
+  // Every thread adds then releases one ref per chunk per round: the net
+  // must be exactly the published refcount of 1, under real contention.
+  ThreadPool pool(kThreads);
+  ThreadPool::TaskGroup group;
+  for (int w = 0; w < kThreads; ++w) {
+    pool.Submit(group, [&index, w] {
+      for (int r = 0; r < kRoundsPerThread; ++r) {
+        for (int c = 0; c < kChunks; ++c) {
+          const Sha1Digest chunk = Id(StrCat("cc", c));
+          if ((w + r + c) % 2 == 0) {
+            EXPECT_TRUE(index.AddRef(chunk).ok());
+            EXPECT_TRUE(index.Release(chunk).ok());
+          } else {
+            auto hit = index.LookupAndRef(chunk);
+            EXPECT_TRUE(hit.has_value());
+            EXPECT_TRUE(index.Release(chunk).ok());
+          }
+        }
+      }
+    });
+  }
+  pool.WaitGroup(group);
+  for (int c = 0; c < kChunks; ++c) {
+    auto entry = index.Lookup(Id(StrCat("cc", c)));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->refcount, 1u) << "chunk " << c;
+  }
+  EXPECT_TRUE(index.ZeroRefChunks().empty());
+}
+
+TEST(ShareIndexTest, JournalRecoversAcrossReopen) {
+  const std::string journal =
+      StrCat(testing::TempDir(), "/cyrus-dedup-wal-", ::getpid(), ".log");
+  std::remove(journal.c_str());
+  ShareIndexOptions options;
+  options.journal_path = journal;
+  {
+    auto index_or = ShareIndex::Open(options);
+    ASSERT_TRUE(index_or.ok()) << index_or.status();
+    ShareIndex& index = **index_or;
+    ASSERT_TRUE(index.Publish(Id("keep"), MakeEntry(1000, 1)).ok());
+    ASSERT_TRUE(index.Publish(Id("gone"), MakeEntry(2000, 1)).ok());
+    ASSERT_TRUE(index.AddRef(Id("keep")).ok());
+    ASSERT_TRUE(index.Release(Id("gone")).ok());
+    ASSERT_TRUE(index.Erase(Id("gone")).ok());
+    // No clean shutdown path: the destructor closes the FILE*, but every
+    // record was already fsynced when appended.
+  }
+  // Simulate a torn final record from a crash mid-append.
+  {
+    std::FILE* f = std::fopen(journal.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("P deadbeef", f);  // no newline, truncated payload
+    std::fclose(f);
+  }
+  auto reopened_or = ShareIndex::Open(options);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+  ShareIndex& reopened = **reopened_or;
+  EXPECT_EQ(reopened.size(), 1u);
+  auto kept = reopened.Lookup(Id("keep"));
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->refcount, 2u);
+  EXPECT_EQ(kept->logical_size, 1000u);
+  EXPECT_EQ(kept->shares.size(), 3u);
+  EXPECT_FALSE(reopened.Lookup(Id("gone")).has_value());
+  std::remove(journal.c_str());
+}
+
+// --- End-to-end through CyrusClient ---
+
+struct TestCloud {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  std::unique_ptr<CyrusClient> client;
+};
+
+CyrusConfig ConvergentConfig(std::string client_id, ShareIndex* index) {
+  CyrusConfig config;
+  config.client_id = std::move(client_id);
+  config.key_string = "deployment key material";
+  config.t = 2;
+  config.epsilon = 1e-4;
+  config.default_failure_prob = 0.01;
+  config.chunker = ChunkerOptions::ForTesting();
+  config.cluster_aware = false;
+  config.dedup_mode = DedupMode::kConvergent;
+  config.dedup_salt = kSalt;
+  config.share_index = index;
+  return config;
+}
+
+// All CSPs name-keyed: convergent shares are idempotent overwrites.
+std::vector<std::shared_ptr<SimulatedCsp>> MakeCsps() {
+  std::vector<std::shared_ptr<SimulatedCsp>> csps;
+  for (int i = 0; i < kNumCsps; ++i) {
+    SimulatedCspOptions o;
+    o.id = "csp" + std::to_string(i);
+    o.naming = NamingPolicy::kNameKeyed;
+    csps.push_back(std::make_shared<SimulatedCsp>(o));
+  }
+  return csps;
+}
+
+TestCloud MakeCloud(CyrusConfig config,
+                    std::vector<std::shared_ptr<SimulatedCsp>> csps = {}) {
+  TestCloud cloud;
+  cloud.csps = csps.empty() ? MakeCsps() : std::move(csps);
+  auto client = CyrusClient::Create(std::move(config));
+  EXPECT_TRUE(client.ok()) << client.status();
+  cloud.client = std::move(client).value();
+  for (size_t i = 0; i < cloud.csps.size(); ++i) {
+    CspProfile profile;
+    profile.rtt_ms = 50;
+    profile.download_bytes_per_sec = 10e6;
+    profile.upload_bytes_per_sec = 5e6;
+    auto added = cloud.client->AddCsp(cloud.csps[i], profile, Credentials{"token"});
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return cloud;
+}
+
+// Share objects at a CSP (everything that is not a metadata object).
+size_t ShareObjectCount(SimulatedCsp& csp) {
+  auto listing = csp.List("");
+  EXPECT_TRUE(listing.ok());
+  size_t count = 0;
+  for (const ObjectInfo& object : *listing) {
+    if (object.name.rfind("meta-", 0) != 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t TotalShareObjects(const std::vector<std::shared_ptr<SimulatedCsp>>& csps) {
+  size_t total = 0;
+  for (const auto& csp : csps) {
+    total += ShareObjectCount(*csp);
+  }
+  return total;
+}
+
+TEST(DedupE2ETest, CreateRequiresSaltInConvergentMode) {
+  CyrusConfig config = ConvergentConfig("d1", nullptr);
+  config.dedup_salt.clear();
+  EXPECT_EQ(CyrusClient::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DedupE2ETest, SecondUserSkipsUploadEntirely) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+
+  auto csps = MakeCsps();
+  TestCloud alice = MakeCloud(ConvergentConfig("alice", &index), csps);
+  TestCloud bob = MakeCloud(ConvergentConfig("bob", &index), csps);
+
+  const Bytes content = RandomContent(32 * 1024, 7);
+  auto first = alice.client->Put("t/alice/report.bin", content);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->new_chunks, first->total_chunks);
+  EXPECT_EQ(first->index_hit_chunks, 0u);
+  const size_t objects_after_first = TotalShareObjects(csps);
+  ASSERT_GT(objects_after_first, 0u);
+
+  auto second = bob.client->Put("t/bob/copy-of-report.bin", content);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->new_chunks, 0u);
+  EXPECT_EQ(second->index_hit_chunks, second->total_chunks);
+  EXPECT_EQ(second->uploaded_share_bytes, 0u);
+  // No new share object appeared anywhere: bob stored by reference.
+  EXPECT_EQ(TotalShareObjects(csps), objects_after_first);
+
+  // Both users read their own file back through the wrapped content key.
+  auto got_alice = alice.client->Get("t/alice/report.bin");
+  ASSERT_TRUE(got_alice.ok()) << got_alice.status();
+  EXPECT_EQ(got_alice->content, content);
+  auto got_bob = bob.client->Get("t/bob/copy-of-report.bin");
+  ASSERT_TRUE(got_bob.ok()) << got_bob.status();
+  EXPECT_EQ(got_bob->content, content);
+
+  const ShareIndexStats stats = index.Stats();
+  EXPECT_NEAR(stats.dedup_ratio(), 2.0, 0.01);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+TEST(DedupE2ETest, ConvergentRoundTripWithoutIndexStillWorks) {
+  // dedup_mode on, no shared index: chunks are convergent-encoded and
+  // readable, there is just no cross-user table to consult.
+  TestCloud cloud = MakeCloud(ConvergentConfig("solo", nullptr));
+  const Bytes content = RandomContent(20 * 1024, 11);
+  auto put = cloud.client->Put("file.bin", content);
+  ASSERT_TRUE(put.ok()) << put.status();
+  EXPECT_EQ(put->index_hit_chunks, 0u);
+  auto get = cloud.client->Get("file.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(DedupE2ETest, DeleteThenScrubReclaimsPhysicalShares) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  TestCloud cloud = MakeCloud(ConvergentConfig("gc", &index));
+
+  const Bytes keep = RandomContent(16 * 1024, 21);
+  const Bytes drop = RandomContent(16 * 1024, 22);
+  ASSERT_TRUE(cloud.client->Put("keep.bin", keep).ok());
+  ASSERT_TRUE(cloud.client->Put("drop.bin", drop).ok());
+  const size_t objects_before = TotalShareObjects(cloud.csps);
+  const uint64_t unique_before = index.Stats().unique_bytes;
+
+  ASSERT_TRUE(cloud.client->Delete("drop.bin").ok());
+  ASSERT_GT(index.ZeroRefChunks().size(), 0u);
+
+  auto scrub = cloud.client->ScrubOnce();
+  ASSERT_TRUE(scrub.ok()) << scrub.status();
+  EXPECT_GT(scrub->stats.chunks_reclaimed, 0u);
+  EXPECT_GT(scrub->stats.shares_reclaimed, 0u);
+
+  // Physical objects for drop.bin are gone; keep.bin still reads back.
+  EXPECT_LT(TotalShareObjects(cloud.csps), objects_before);
+  EXPECT_LT(index.Stats().unique_bytes, unique_before);
+  EXPECT_TRUE(index.ZeroRefChunks().empty());
+  auto get = cloud.client->Get("keep.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, keep);
+}
+
+TEST(DedupE2ETest, OverwriteReleasesSupersededChunks) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  TestCloud cloud = MakeCloud(ConvergentConfig("ow", &index));
+
+  const Bytes v1 = RandomContent(16 * 1024, 31);
+  const Bytes v2 = RandomContent(16 * 1024, 32);
+  ASSERT_TRUE(cloud.client->Put("doc.bin", v1).ok());
+  ASSERT_TRUE(cloud.client->Put("doc.bin", v2).ok());
+  // v1's chunks lost their only reference; scrub reclaims them while v2
+  // stays live and readable.
+  ASSERT_GT(index.ZeroRefChunks().size(), 0u);
+  auto scrub = cloud.client->ScrubOnce();
+  ASSERT_TRUE(scrub.ok()) << scrub.status();
+  EXPECT_GT(scrub->stats.chunks_reclaimed, 0u);
+  auto get = cloud.client->Get("doc.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, v2);
+}
+
+TEST(DedupE2ETest, GatewayChargesLogicalBytesAndReportsDedup) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+
+  auto csps = MakeCsps();
+  std::vector<std::unique_ptr<CyrusClient>> shard_clients;
+  for (int s = 0; s < 2; ++s) {
+    TestCloud shard = MakeCloud(
+        ConvergentConfig(StrCat("shard-", s), &index), csps);
+    shard_clients.push_back(std::move(shard.client));
+  }
+  GatewayOptions options;
+  auto gateway_or = GatewayService::Create(options, std::move(shard_clients));
+  ASSERT_TRUE(gateway_or.ok()) << gateway_or.status();
+  GatewayService& gateway = **gateway_or;
+  ASSERT_TRUE(gateway.RegisterTenant("acme").ok());
+  ASSERT_TRUE(gateway.RegisterTenant("globex").ok());
+
+  const Bytes shared_doc = RandomContent(24 * 1024, 41);
+  ASSERT_TRUE(gateway.Put("acme", "handbook.pdf", shared_doc).ok());
+  ASSERT_TRUE(gateway.Put("globex", "handbook.pdf", shared_doc).ok());
+
+  const GatewayStats stats = gateway.Stats();
+  ASSERT_TRUE(stats.dedup_enabled);
+  // Each tenant is billed the full logical size...
+  EXPECT_EQ(stats.tenant_stored_bytes.at("acme"), shared_doc.size());
+  EXPECT_EQ(stats.tenant_stored_bytes.at("globex"), shared_doc.size());
+  // ...while the deployment stores the bytes once.
+  EXPECT_EQ(stats.dedup_unique_bytes, stats.dedup_logical_bytes / 2);
+  EXPECT_NEAR(stats.dedup_ratio, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace cyrus

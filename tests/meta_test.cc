@@ -392,6 +392,48 @@ TEST(ChunkTableTest, SerializeRoundTrip) {
   EXPECT_EQ(e->shares[1].csp, 3);
 }
 
+TEST(ChunkTableTest, DedupFieldsRoundTrip) {
+  ChunkTable table;
+  ChunkEntry entry;
+  entry.size = 4096;
+  entry.logical_size = 8192;  // compressed-at-rest style divergence
+  entry.t = 3;
+  entry.n = 5;
+  entry.dedup = true;
+  entry.wrapped_key = Bytes{0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(table.Insert(Id("cd"), entry).ok());
+  // logical_size defaults to size when the writer leaves it unset.
+  ChunkEntry plain;
+  plain.size = 512;
+  plain.t = 2;
+  plain.n = 3;
+  ASSERT_TRUE(table.Insert(Id("cp"), plain).ok());
+
+  auto back = ChunkTable::Deserialize(table.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  const ChunkEntry* d = back->Find(Id("cd"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->logical_size, 8192u);
+  EXPECT_TRUE(d->dedup);
+  EXPECT_EQ(d->wrapped_key, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  const ChunkEntry* p = back->Find(Id("cp"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->logical_size, 512u);
+  EXPECT_FALSE(p->dedup);
+  EXPECT_TRUE(p->wrapped_key.empty());
+}
+
+TEST(FileVersionTest, DedupChunkRecordRoundTrip) {
+  FileVersion v = MakeVersion("dedup.bin", "dedup-content");
+  v.chunks[0].dedup = true;
+  v.chunks[0].wrapped_key = Bytes{1, 2, 3, 4, 5};
+  auto back = FileVersion::Deserialize(v.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->chunks.size(), 1u);
+  EXPECT_TRUE(back->chunks[0].dedup);
+  EXPECT_EQ(back->chunks[0].wrapped_key, (Bytes{1, 2, 3, 4, 5}));
+}
+
 TEST(ChunkTableTest, TotalUniqueBytes) {
   ChunkTable table;
   ChunkEntry a;
