@@ -1240,6 +1240,57 @@ Sha1Digest CyrusClient::ParentFor(std::string_view name) const {
   return newest != nullptr ? newest->id : Sha1Digest{};
 }
 
+Status CyrusClient::RescatterDedupChunk(const Sha1Digest& chunk_id, ByteSpan chunk,
+                                        uint32_t n, const std::string& file,
+                                        const std::string& journal_id,
+                                        TransferReport& report,
+                                        obs::TraceBuilder* trace,
+                                        PutResult& result) {
+  if (config_.dedup_salt.empty()) {
+    // Without the deployment salt the content key this client would derive
+    // is not the one other users derive; publishing shares encoded under it
+    // would hand future adopters undecodable bytes. Fail the Put loudly
+    // rather than republish a layout whose objects may be gone.
+    return FailedPreconditionError(
+        StrCat("chunk ", chunk_id.ToHex(),
+               " lost its share-index entry and cannot be re-encoded without "
+               "the deployment dedup salt"));
+  }
+  const std::string content_key = deriver_.ContentKey(chunk_id);
+  Bytes wrapped_key = deriver_.WrapForUser(content_key, chunk_id);
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec codec,
+      SecretSharingCodec::Create(content_key, config_.t, n));
+  codec_creates_->Increment();
+  CYRUS_ASSIGN_OR_RETURN(
+      std::vector<ShareLocation> locations,
+      ScatterChunk(codec, chunk_id, chunk, file, journal_id, report, trace));
+  std::vector<ChunkShare> shares;
+  shares.reserve(locations.size());
+  for (const ShareLocation& loc : locations) {
+    shares.push_back(ChunkShare{loc.share_index, loc.csp});
+  }
+  if (config_.share_index != nullptr) {
+    ShareIndexEntry published;
+    published.logical_size = chunk.size();
+    published.t = config_.t;
+    published.n = n;
+    published.refcount = 1;
+    published.shares = shares;
+    CYRUS_RETURN_IF_ERROR(
+        config_.share_index->Publish(chunk_id, std::move(published)));
+  }
+  CYRUS_RETURN_IF_ERROR(chunk_table_.ResetShares(
+      chunk_id, config_.t, n, std::move(wrapped_key), std::move(shares)));
+  const uint32_t stored = static_cast<uint32_t>(locations.size());
+  if (stored < n) {
+    ++result.degraded_chunks;
+    result.missing_shares += n - stored;
+    repair_->NoteDegradedWrite(chunk_id, n - stored);
+  }
+  return OkStatus();
+}
+
 Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   if (name.empty()) {
     return InvalidArgumentError("file name must not be empty");
@@ -1414,8 +1465,9 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
                          journal_id, slot->report, &trace);
       };
     }
-    auto on_complete = [this, slot, n, convergent, &version, &result,
-                        &shares_recorded, &inflight]() -> Status {
+    auto on_complete = [this, slot, n, convergent, chunk_bytes, &version,
+                        &result, &shares_recorded, &inflight, &journal_id,
+                        &trace]() -> Status {
       if (slot->dedup) {
         // Deduplicated: reuse the stored shares (Algorithm 2's "if chunk
         // is not stored" guard).
@@ -1426,35 +1478,39 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
         }
         ++result.dedup_chunks;
         chunks_deduped_->Increment();
-        version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
-                                             slot->span.size, existing->t,
-                                             existing->n, existing->dedup,
-                                             existing->wrapped_key});
         if (shares_recorded.insert(slot->chunk_id).second) {
-          for (const ChunkShare& s : existing->shares) {
-            version.shares.push_back(
-                ShareLocation{slot->chunk_id, s.share_index, s.csp});
-          }
           CYRUS_RETURN_IF_ERROR(chunk_table_.AddRef(slot->chunk_id));
           if (existing->dedup && config_.share_index != nullptr) {
             // Mirror the local reference in the deployment-wide index.
             Status global = config_.share_index->AddRef(slot->chunk_id);
             if (global.code() == StatusCode::kNotFound) {
               // Reclaimed between this chunk's last release and its
-              // re-adoption here; its shares still exist (our local entry
-              // held them out of scrub's delete set), so republish.
-              ShareIndexEntry republished;
-              republished.logical_size = existing->logical_size;
-              republished.t = existing->t;
-              republished.n = existing->n;
-              republished.refcount = 1;
-              republished.shares = existing->shares;
-              global = config_.share_index->Publish(slot->chunk_id,
-                                                    std::move(republished));
+              // re-adoption here. Another shard's scrub only consults its
+              // own chunk table, so our local entry did NOT keep the
+              // objects out of its delete set - the cached layout may
+              // point at nothing. Re-upload rather than republish a
+              // layout nobody verified.
+              global = RescatterDedupChunk(slot->chunk_id, chunk_bytes, n,
+                                           version.file_name, journal_id,
+                                           slot->report, &trace, result);
+              if (global.ok()) {
+                result.transfer.Append(slot->report);
+                existing = chunk_table_.Find(slot->chunk_id);
+              }
             }
             CYRUS_RETURN_IF_ERROR(global);
           }
+          // Recorded after the index round-trip: a re-scatter replaces the
+          // layout, and the metadata must reference the objects that exist.
+          for (const ChunkShare& s : existing->shares) {
+            version.shares.push_back(
+                ShareLocation{slot->chunk_id, s.share_index, s.csp});
+          }
         }
+        version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
+                                             slot->span.size, existing->t,
+                                             existing->n, existing->dedup,
+                                             existing->wrapped_key});
         return OkStatus();
       }
       if (slot->index_hit) {
@@ -1954,6 +2010,21 @@ Result<JournalRecoveryReport> CyrusClient::RecoverFromJournal() {
     }
     for (const ChunkShare& share : entry->shares) {
       referenced.insert(ShareName(chunk_id, share.share_index, entry->t));
+    }
+  }
+  // Under convergent dedup, share names are content-addressed and shared
+  // across users: the object this client's crashed Put journaled may be the
+  // very object another tenant's committed metadata (and the deployment-wide
+  // ShareIndex) reference. This client's chunk table knows nothing about
+  // those references, so protect every object any live index entry records
+  // - including zero-ref entries (adoptable until scrub reclaims them
+  // through its own erase-then-delete path) and pending-delete tombstones
+  // (scrub owns those deletions, not rollback).
+  if (config_.share_index != nullptr) {
+    for (const auto& [chunk_id, entry] : config_.share_index->Snapshot()) {
+      for (const ChunkShare& share : entry.shares) {
+        referenced.insert(ShareName(chunk_id, share.share_index, entry.t));
+      }
     }
   }
   std::set<std::string> known_ids;

@@ -403,6 +403,20 @@ class CyrusClient {
                                                   TransferReport& report,
                                                   obs::TraceBuilder* trace);
 
+  // A dedup chunk's entry vanished from the global ShareIndex (another
+  // shard's scrub reclaimed the chunk after its last release, and that
+  // scrub only consults its own chunk table - the objects may be gone).
+  // The cached local layout cannot be trusted, so re-encode and re-upload
+  // the chunk as a fresh convergent scatter (uploads are idempotent
+  // overwrites under content-addressed names), replace the stale layout in
+  // the chunk table, and publish the fresh one globally with refcount 1.
+  // Driver-thread only (runs inside an ordered pipeline completion).
+  Status RescatterDedupChunk(const Sha1Digest& chunk_id, ByteSpan chunk,
+                             uint32_t n, const std::string& file,
+                             const std::string& journal_id,
+                             TransferReport& report, obs::TraceBuilder* trace,
+                             PutResult& result);
+
   // Get()/GetVersion() body, recording into the given trace.
   Result<GetResult> GetVersionTraced(std::string_view name,
                                      const Sha1Digest& version_id,

@@ -15,7 +15,7 @@ namespace cyrus {
 namespace {
 
 constexpr uint32_t kMagic = 0x43594449;  // "CYDI"
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;   // v2 added the pending_delete flag
 
 // Same durability trick as put_journal: after rename(), the new directory
 // entry must itself be fsynced or a crash can resurface the old journal.
@@ -38,6 +38,7 @@ Bytes EncodeEntry(const ShareIndexEntry& entry) {
   w.WriteU32(entry.t);
   w.WriteU32(entry.n);
   w.WriteU64(entry.refcount);
+  w.WriteU32(entry.pending_delete ? 1 : 0);
   w.WriteU32(static_cast<uint32_t>(entry.shares.size()));
   for (const ChunkShare& share : entry.shares) {
     w.WriteU32(share.share_index);
@@ -52,6 +53,8 @@ Result<ShareIndexEntry> DecodeEntry(BinaryReader& r) {
   CYRUS_ASSIGN_OR_RETURN(entry.t, r.ReadU32());
   CYRUS_ASSIGN_OR_RETURN(entry.n, r.ReadU32());
   CYRUS_ASSIGN_OR_RETURN(entry.refcount, r.ReadU64());
+  CYRUS_ASSIGN_OR_RETURN(uint32_t pending, r.ReadU32());
+  entry.pending_delete = pending != 0;
   CYRUS_ASSIGN_OR_RETURN(uint32_t num_shares, r.ReadU32());
   entry.shares.reserve(num_shares);
   for (uint32_t s = 0; s < num_shares; ++s) {
@@ -349,9 +352,19 @@ std::optional<ShareIndexEntry> ShareIndex::LookupAndRef(const Sha1Digest& chunk_
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.entries.find(chunk_id);
-    if (it != shard.entries.end()) {
+    if (it != shard.entries.end() && !it->second.pending_delete) {
       ++it->second.refcount;
-      out = it->second;
+      // Journaled under the shard lock so no concurrent P snapshot of this
+      // chunk can land in the log on the wrong side of this +1. A failed
+      // append undoes the increment and misses into the upload path: a +1
+      // the log never saw would make replay undercount, and an undercounted
+      // entry is exactly what lets GC reclaim shares live metadata still
+      // references.
+      if (JournalRef(chunk_id, +1).ok()) {
+        out = it->second;
+      } else {
+        --it->second.refcount;
+      }
     }
   }
   if (!out.has_value()) {
@@ -362,10 +375,6 @@ std::optional<ShareIndexEntry> ShareIndex::LookupAndRef(const Sha1Digest& chunk_
   hits_.fetch_add(1, std::memory_order_relaxed);
   hits_counter_->Increment();
   Account(0, static_cast<int64_t>(out->logical_size), 0, 0);
-  // Journal after the in-memory commit: a crash between the two loses at
-  // worst one increment, which errs toward keeping data alive (the miss
-  // path's Publish journals atomically with its refcount).
-  (void)JournalRef(chunk_id, +1);
   return out;
 }
 
@@ -374,7 +383,6 @@ Status ShareIndex::Publish(const Sha1Digest& chunk_id, ShareIndexEntry entry) {
     return InvalidArgumentError("share index entry must have t >= 1");
   }
   Shard& shard = ShardFor(chunk_id);
-  ShareIndexEntry journaled;
   int64_t logical_delta = 0;
   int64_t physical_delta = 0;
   int64_t unique_delta = 0;
@@ -387,8 +395,12 @@ Status ShareIndex::Publish(const Sha1Digest& chunk_id, ShareIndexEntry entry) {
       unique_delta = static_cast<int64_t>(entry.logical_size);
       logical_delta = static_cast<int64_t>(entry.refcount * entry.logical_size);
       physical_delta = static_cast<int64_t>(entry.physical_bytes());
-      journaled = entry;
-      shard.entries.emplace(chunk_id, std::move(entry));
+      it = shard.entries.emplace(chunk_id, std::move(entry)).first;
+      const Status journaled = JournalPublish(chunk_id, it->second);
+      if (!journaled.ok()) {
+        shard.entries.erase(it);
+        return journaled;
+      }
     } else {
       ShareIndexEntry& mine = it->second;
       if (mine.logical_size != entry.logical_size || mine.t != entry.t) {
@@ -398,7 +410,13 @@ Status ShareIndex::Publish(const Sha1Digest& chunk_id, ShareIndexEntry entry) {
                    "should make identical content identical shares"));
       }
       const uint64_t old_physical = mine.physical_bytes();
+      const uint64_t old_refcount = mine.refcount;
+      const size_t old_share_count = mine.shares.size();
+      const bool old_pending = mine.pending_delete;
       mine.refcount += entry.refcount;
+      // A live publish (a writer just uploaded the full convergent layout)
+      // revives a GC tombstone; merging two tombstones keeps the flag.
+      mine.pending_delete = mine.pending_delete && entry.pending_delete;
       for (const ChunkShare& share : entry.shares) {
         bool known = false;
         for (const ChunkShare& existing : mine.shares) {
@@ -414,11 +432,17 @@ Status ShareIndex::Publish(const Sha1Digest& chunk_id, ShareIndexEntry entry) {
       }
       logical_delta = static_cast<int64_t>(entry.refcount * entry.logical_size);
       physical_delta = static_cast<int64_t>(mine.physical_bytes() - old_physical);
-      journaled = mine;
+      const Status journaled = JournalPublish(chunk_id, mine);
+      if (!journaled.ok()) {
+        mine.refcount = old_refcount;
+        mine.shares.resize(old_share_count);
+        mine.pending_delete = old_pending;
+        return journaled;
+      }
     }
   }
   Account(entries_delta, logical_delta, unique_delta, physical_delta);
-  return JournalPublish(chunk_id, journaled);
+  return OkStatus();
 }
 
 Status ShareIndex::AddRef(const Sha1Digest& chunk_id) {
@@ -427,14 +451,21 @@ Status ShareIndex::AddRef(const Sha1Digest& chunk_id) {
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.entries.find(chunk_id);
-    if (it == shard.entries.end()) {
+    if (it == shard.entries.end() || it->second.pending_delete) {
+      // Tombstones read as absent: their layout may be partially deleted,
+      // so a would-be adopter must re-upload instead of taking a ref.
       return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not indexed"));
     }
     ++it->second.refcount;
+    const Status journaled = JournalRef(chunk_id, +1);
+    if (!journaled.ok()) {
+      --it->second.refcount;
+      return journaled;
+    }
     logical = it->second.logical_size;
   }
   Account(0, static_cast<int64_t>(logical), 0, 0);
-  return JournalRef(chunk_id, +1);
+  return OkStatus();
 }
 
 Status ShareIndex::Release(const Sha1Digest& chunk_id) {
@@ -451,6 +482,14 @@ Status ShareIndex::Release(const Sha1Digest& chunk_id) {
       clamped = true;
     } else {
       --it->second.refcount;
+      // An unjournaled -1 would only make replay overcount (shares linger
+      // until a later pass), but undoing keeps memory and log identical so
+      // callers can retry the release.
+      const Status journaled = JournalRef(chunk_id, -1);
+      if (!journaled.ok()) {
+        ++it->second.refcount;
+        return journaled;
+      }
       logical = it->second.logical_size;
     }
   }
@@ -461,13 +500,12 @@ Status ShareIndex::Release(const Sha1Digest& chunk_id) {
         StrCat("chunk ", chunk_id.ToHex(), " released below zero references"));
   }
   Account(0, -static_cast<int64_t>(logical), 0, 0);
-  return JournalRef(chunk_id, -1);
+  return OkStatus();
 }
 
 Status ShareIndex::ReplaceShares(const Sha1Digest& chunk_id,
                                  std::vector<ChunkShare> shares) {
   Shard& shard = ShardFor(chunk_id);
-  ShareIndexEntry journaled;
   int64_t physical_delta = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -476,12 +514,17 @@ Status ShareIndex::ReplaceShares(const Sha1Digest& chunk_id,
       return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not indexed"));
     }
     const uint64_t old_physical = it->second.physical_bytes();
+    std::vector<ChunkShare> previous = std::move(it->second.shares);
     it->second.shares = std::move(shares);
     physical_delta = static_cast<int64_t>(it->second.physical_bytes() - old_physical);
-    journaled = it->second;
+    const Status journaled = JournalPublish(chunk_id, it->second);
+    if (!journaled.ok()) {
+      it->second.shares = std::move(previous);
+      return journaled;
+    }
   }
   Account(0, 0, 0, physical_delta);
-  return JournalPublish(chunk_id, journaled);
+  return OkStatus();
 }
 
 Status ShareIndex::Erase(const Sha1Digest& chunk_id) {
@@ -501,10 +544,16 @@ Status ShareIndex::Erase(const Sha1Digest& chunk_id) {
     }
     unique_delta = -static_cast<int64_t>(it->second.logical_size);
     physical_delta = -static_cast<int64_t>(it->second.physical_bytes());
+    ShareIndexEntry removed = std::move(it->second);
     shard.entries.erase(it);
+    const Status journaled = JournalErase(chunk_id);
+    if (!journaled.ok()) {
+      shard.entries.emplace(chunk_id, std::move(removed));
+      return journaled;
+    }
   }
   Account(-1, 0, unique_delta, physical_delta);
-  return JournalErase(chunk_id);
+  return OkStatus();
 }
 
 std::vector<Sha1Digest> ShareIndex::ZeroRefChunks() const {
@@ -518,6 +567,19 @@ std::vector<Sha1Digest> ShareIndex::ZeroRefChunks() const {
     }
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<Sha1Digest, ShareIndexEntry>> ShareIndex::Snapshot() const {
+  std::vector<std::pair<Sha1Digest, ShareIndexEntry>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, entry] : shard->entries) {
+      out.emplace_back(id, entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

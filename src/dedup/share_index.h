@@ -24,9 +24,14 @@
 // Crash safety: refcounts are money (an orphaned decrement deletes live
 // data; a lost increment leaks shares), so every mutation is write-ahead
 // journaled with the same fsync-per-record, load-and-compact WAL pattern
-// as src/core/put_journal. Opening an index replays the journal, compacts
-// it to one P record per live entry, and continues appending. An empty
-// journal path disables durability (tests and single-run benches).
+// as src/core/put_journal. Records are appended while the mutated shard's
+// mutex is still held (lock order: shard mutex, then journal mutex), so
+// replay sees P snapshots and R deltas for a chunk in exactly the order
+// memory applied them; a journal append that fails undoes the in-memory
+// mutation and surfaces the error instead of letting durable state drift
+// from the log. Opening an index replays the journal, compacts it to one
+// P record per live entry, and continues appending. An empty journal path
+// disables durability (tests and single-run benches).
 //
 // CSP identity: `ChunkShare.csp` values are *registry indices*, which are
 // client-local. Every client sharing an index must register the same
@@ -59,6 +64,11 @@ struct ShareIndexEntry {
   uint32_t t = 0;
   uint32_t n = 0;             // target share count at publish time
   uint64_t refcount = 0;      // live (version, chunk) references, all users
+  // GC tombstone: scrub failed to delete some of this entry's objects and
+  // re-published the leftovers so a later pass retries. The layout may be
+  // partially deleted, so lookups treat the entry as absent (a writer must
+  // re-upload rather than adopt it); only ZeroRefChunks surfaces it.
+  bool pending_delete = false;
   std::vector<ChunkShare> shares;  // where the shares actually live
 
   // Stored share bytes for this entry (RS shares are ceil(size/t) each).
@@ -108,9 +118,13 @@ class ShareIndex {
   // Read-only lookup (no ref, no hit/miss accounting).
   std::optional<ShareIndexEntry> Lookup(const Sha1Digest& chunk_id) const;
 
-  // The Put fast path: if the chunk is indexed, atomically takes one
-  // reference and returns the entry (post-increment); otherwise counts a
-  // miss and returns nullopt. Journaled.
+  // The Put fast path: if the chunk is indexed (and not a pending-delete
+  // tombstone), atomically takes one reference and returns the entry
+  // (post-increment); otherwise counts a miss and returns nullopt. The +1
+  // is journaled before the hit is returned; if the journal append fails
+  // the increment is undone and the chunk misses into the upload path, so
+  // a replayed index can never undercount a reference some durable
+  // metadata took.
   std::optional<ShareIndexEntry> LookupAndRef(const Sha1Digest& chunk_id);
 
   // Registers a freshly uploaded chunk with refcount = entry.refcount
@@ -135,8 +149,15 @@ class ShareIndex {
   // remain; kNotFound if absent. Journaled.
   Status Erase(const Sha1Digest& chunk_id);
 
-  // Chunks eligible for GC (refcount == 0), in digest order.
+  // Chunks eligible for GC (refcount == 0, tombstones included), in
+  // digest order.
   std::vector<Sha1Digest> ZeroRefChunks() const;
+
+  // Every entry, in digest order (tombstones included). Crash recovery
+  // consults this before deleting journaled objects: a rolled-back Put
+  // must never delete a content-addressed object the deployment-wide
+  // index still references.
+  std::vector<std::pair<Sha1Digest, ShareIndexEntry>> Snapshot() const;
 
   // GC bookkeeping for the cyrus_dedup_reclaimed_* counters.
   void NoteReclaimed(uint64_t shares, uint64_t bytes);
@@ -166,7 +187,9 @@ class ShareIndex {
                          std::map<Sha1Digest, ShareIndexEntry>& replay);
   Status RewriteLocked(const std::map<Sha1Digest, ShareIndexEntry>& live);
   Status AppendLineLocked(const std::string& line);
-  // Journals one record; no-op without a journal.
+  // Journals one record; no-op without a journal. Each takes journal_mutex_
+  // itself and is called with the mutated shard's mutex held, so the log
+  // order of P/R/E records for a chunk matches the in-memory history.
   Status JournalPublish(const Sha1Digest& chunk_id, const ShareIndexEntry& entry);
   Status JournalRef(const Sha1Digest& chunk_id, int64_t delta);
   Status JournalErase(const Sha1Digest& chunk_id);

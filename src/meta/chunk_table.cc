@@ -86,6 +86,19 @@ Status ChunkTable::MoveShare(const Sha1Digest& chunk_id, int32_t old_csp,
                               " on CSP ", old_csp));
 }
 
+Status ChunkTable::ResetShares(const Sha1Digest& chunk_id, uint32_t t, uint32_t n,
+                               Bytes wrapped_key, std::vector<ChunkShare> shares) {
+  auto it = entries_.find(chunk_id);
+  if (it == entries_.end()) {
+    return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not tracked"));
+  }
+  it->second.t = t;
+  it->second.n = n;
+  it->second.wrapped_key = std::move(wrapped_key);
+  it->second.shares = std::move(shares);
+  return OkStatus();
+}
+
 Status ChunkTable::AddShare(const Sha1Digest& chunk_id, ChunkShare share) {
   auto it = entries_.find(chunk_id);
   if (it == entries_.end()) {

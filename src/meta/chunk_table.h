@@ -78,6 +78,13 @@ class ChunkTable {
   // Adds a share location (e.g. a regenerated share with a fresh index).
   Status AddShare(const Sha1Digest& chunk_id, ChunkShare share);
 
+  // Replaces the entry's coding parameters, per-user key wrap, and share
+  // layout wholesale. Used when a dedup chunk is re-encoded from scratch
+  // because its previous objects were reclaimed by another shard's scrub -
+  // the cached layout is void, not repairable share by share.
+  Status ResetShares(const Sha1Digest& chunk_id, uint32_t t, uint32_t n,
+                     Bytes wrapped_key, std::vector<ChunkShare> shares);
+
   // Drops a share location without a replacement - scrub prunes locations
   // on dead CSPs once the chunk is back at full redundancy. kNotFound if
   // the (csp, index) pair is not recorded.

@@ -576,11 +576,15 @@ void RepairEngine::ReclaimOrphans(uint64_t* budget_left, RepairStats& delta) {
     }
     uint64_t freed = 0;
     uint64_t freed_shares = 0;
+    std::vector<ChunkShare> undeleted;
     for (const ChunkShare& share : entry->shares) {
       auto conn = context_.registry->connector(share.csp);
       if (!conn.ok()) {
-        continue;  // no account at that provider; its object leaks until
-                   // a client that has one scrubs
+        // No account at that provider this session. Keep the location in
+        // the tombstone so a later pass (or a client that does hold an
+        // account) still has a record to retry from.
+        undeleted.push_back(share);
+        continue;
       }
       const std::string object = ShareName(chunk_id, share.share_index, entry->t);
       const Status deleted = RetryWithBackoff(
@@ -593,12 +597,32 @@ void RepairEngine::ReclaimOrphans(uint64_t* budget_left, RepairStats& delta) {
         }
       } else if (deleted.code() == StatusCode::kNotFound) {
         ++freed_shares;  // already gone (e.g. a crashed Put's rollback)
+      } else {
+        undeleted.push_back(share);  // provider unreachable after retries
       }
     }
-    if (local != nullptr) {
-      (void)context_.chunk_table->Evict(chunk_id);
+    if (!undeleted.empty()) {
+      // Erasing now would permanently orphan the surviving objects - no
+      // index record would be left to drive a retry, and the paid storage
+      // leaks forever. Re-publish a zero-ref tombstone holding exactly the
+      // undeleted locations: pending_delete keeps it invisible to
+      // LookupAndRef/AddRef (no writer may adopt a partially deleted
+      // layout) while ZeroRefChunks re-surfaces it to the next pass.
+      ShareIndexEntry tombstone;
+      tombstone.logical_size = entry->logical_size;
+      tombstone.t = entry->t;
+      tombstone.n = entry->n;
+      tombstone.refcount = 0;
+      tombstone.pending_delete = true;
+      tombstone.shares = std::move(undeleted);
+      (void)context_.share_index->Publish(chunk_id, std::move(tombstone));
+      ++delta.reclaims_deferred;
+    } else {
+      if (local != nullptr) {
+        (void)context_.chunk_table->Evict(chunk_id);
+      }
+      ++delta.chunks_reclaimed;
     }
-    ++delta.chunks_reclaimed;
     delta.shares_reclaimed += freed_shares;
     delta.bytes_reclaimed += freed;
     context_.share_index->NoteReclaimed(freed_shares, freed);

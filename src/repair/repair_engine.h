@@ -78,7 +78,9 @@ struct RepairStats {
   uint64_t chunks_reclaimed = 0;
   uint64_t shares_reclaimed = 0;    // share objects deleted
   uint64_t bytes_reclaimed = 0;     // physical share bytes freed
-  uint64_t reclaims_deferred = 0;   // budget blocked the delete this pass
+  // The budget blocked the deletes, or some failed and the entry was kept
+  // as a pending-delete tombstone; either way the next pass retries.
+  uint64_t reclaims_deferred = 0;
 };
 
 // One chunk's health as seen by a scan.
@@ -210,8 +212,10 @@ class RepairEngine {
   // Orphan-reclaim pass: deletes the share objects of zero-ref ShareIndex
   // entries (skipping any this client's table still references), erases the
   // entries, and evicts matching zero-ref local entries. Budgeted like
-  // repair; deferred entries wait for the next pass. No-op without a
-  // share_index.
+  // repair; deferred entries wait for the next pass. A delete that still
+  // fails after retries leaves a pending-delete tombstone in the index
+  // holding the surviving locations, so the objects are never silently
+  // orphaned. No-op without a share_index.
   void ReclaimOrphans(uint64_t* budget_left, RepairStats& delta);
 
   // Adds `delta` to the lifetime totals and mirrors it into the registry's

@@ -7,11 +7,15 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/cloud/fault_injection.h"
 #include "src/cloud/simulated_csp.h"
 #include "src/core/client.h"
+#include "src/core/put_journal.h"
 #include "src/crypto/convergent.h"
+#include "src/crypto/naming.h"
 #include "src/dedup/share_index.h"
 #include "src/gateway/gateway.h"
 #include "src/rs/secret_sharing.h"
@@ -257,6 +261,107 @@ TEST(ShareIndexTest, JournalRecoversAcrossReopen) {
   std::remove(journal.c_str());
 }
 
+TEST(ShareIndexTest, PendingDeleteTombstoneInvisibleUntilRevived) {
+  const std::string journal =
+      StrCat(testing::TempDir(), "/cyrus-dedup-tomb-", ::getpid(), ".log");
+  std::remove(journal.c_str());
+  ShareIndexOptions options;
+  options.journal_path = journal;
+  {
+    auto index_or = ShareIndex::Open(options);
+    ASSERT_TRUE(index_or.ok()) << index_or.status();
+    ShareIndex& index = **index_or;
+
+    // What a partially failed GC pass leaves behind: zero references,
+    // pending_delete set, only the undeleted locations recorded.
+    ShareIndexEntry tombstone = MakeEntry(4096, 0);
+    tombstone.pending_delete = true;
+    tombstone.shares = {{2, 2}};
+    ASSERT_TRUE(index.Publish(Id("tomb"), tombstone).ok());
+    ASSERT_TRUE(index.Publish(Id("tomb2"), tombstone).ok());
+
+    // Invisible to writers: nobody may adopt a partially deleted layout.
+    EXPECT_FALSE(index.LookupAndRef(Id("tomb")).has_value());
+    EXPECT_EQ(index.AddRef(Id("tomb")).code(), StatusCode::kNotFound);
+    // ...but scrub still surfaces it for retry.
+    EXPECT_EQ(index.ZeroRefChunks().size(), 2u);
+    auto raw = index.Lookup(Id("tomb"));
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_TRUE(raw->pending_delete);
+    EXPECT_EQ(raw->refcount, 0u);
+
+    // A writer that re-uploaded the full convergent layout revives the
+    // entry: the merge clears pending_delete and the chunk is adoptable.
+    ASSERT_TRUE(index.Publish(Id("tomb"), MakeEntry(4096, 1)).ok());
+    auto revived = index.LookupAndRef(Id("tomb"));
+    ASSERT_TRUE(revived.has_value());
+    EXPECT_FALSE(revived->pending_delete);
+    EXPECT_EQ(revived->refcount, 2u);
+    EXPECT_EQ(revived->shares.size(), 3u);
+  }
+  // The flag is a durable property of the entry (WAL record v2): a restart
+  // must not resurrect a tombstone as adoptable.
+  auto reopened_or = ShareIndex::Open(options);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+  ShareIndex& reopened = **reopened_or;
+  EXPECT_FALSE(reopened.LookupAndRef(Id("tomb2")).has_value());
+  auto still_tomb = reopened.Lookup(Id("tomb2"));
+  ASSERT_TRUE(still_tomb.has_value());
+  EXPECT_TRUE(still_tomb->pending_delete);
+  auto still_live = reopened.Lookup(Id("tomb"));
+  ASSERT_TRUE(still_live.has_value());
+  EXPECT_FALSE(still_live->pending_delete);
+  EXPECT_EQ(still_live->refcount, 2u);
+  std::remove(journal.c_str());
+}
+
+TEST(ShareIndexTest, JournaledSnapshotsAndDeltasReplayExactly) {
+  const std::string journal =
+      StrCat(testing::TempDir(), "/cyrus-dedup-race-", ::getpid(), ".log");
+  std::remove(journal.c_str());
+  ShareIndexOptions options;
+  options.journal_path = journal;
+  const Sha1Digest chunk = Id("contended");
+  {
+    auto index_or = ShareIndex::Open(options);
+    ASSERT_TRUE(index_or.ok()) << index_or.status();
+    ShareIndex& index = **index_or;
+    ASSERT_TRUE(index.Publish(chunk, MakeEntry(4096, 1)).ok());
+
+    // Refcount deltas race against full-entry snapshots (ReplaceShares
+    // journals a P record). Snapshots are appended under the same shard
+    // lock as the mutation, so replay sees them in memory order - a
+    // snapshot can never swallow a delta that preceded it.
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 4; ++w) {
+      threads.emplace_back([&index, &chunk] {
+        for (int i = 0; i < 100; ++i) {
+          EXPECT_TRUE(index.AddRef(chunk).ok());
+          EXPECT_TRUE(index.Release(chunk).ok());
+        }
+      });
+    }
+    threads.emplace_back([&index, &chunk] {
+      for (int i = 0; i < 50; ++i) {
+        std::vector<ChunkShare> shares =
+            (i % 2 == 0) ? std::vector<ChunkShare>{{0, 0}, {1, 1}, {2, 2}}
+                         : std::vector<ChunkShare>{{0, 1}, {1, 2}, {2, 3}};
+        EXPECT_TRUE(index.ReplaceShares(chunk, std::move(shares)).ok());
+      }
+    });
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    ASSERT_EQ(index.Lookup(chunk)->refcount, 1u);
+  }
+  auto reopened_or = ShareIndex::Open(options);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+  auto recovered = (*reopened_or)->Lookup(chunk);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->refcount, 1u);
+  std::remove(journal.c_str());
+}
+
 // --- End-to-end through CyrusClient ---
 
 struct TestCloud {
@@ -437,6 +542,172 @@ TEST(DedupE2ETest, OverwriteReleasesSupersededChunks) {
   auto get = cloud.client->Get("doc.bin");
   ASSERT_TRUE(get.ok()) << get.status();
   EXPECT_EQ(get->content, v2);
+}
+
+TEST(DedupE2ETest, ReAdoptionAfterRemoteReclaimRescatters) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  TestCloud cloud = MakeCloud(ConvergentConfig("resc", &index));
+
+  const Bytes content = RandomContent(24 * 1024, 53);
+  ASSERT_TRUE(cloud.client->Put("orig.bin", content).ok());
+  ASSERT_TRUE(cloud.client->Delete("orig.bin").ok());
+
+  // Another shard's scrub reclaims the zero-ref chunks: index entries go,
+  // then the share objects go. This client's chunk table still caches the
+  // now-void layout.
+  for (const Sha1Digest& chunk : index.ZeroRefChunks()) {
+    ASSERT_TRUE(index.Erase(chunk).ok());
+  }
+  for (const auto& csp : cloud.csps) {
+    auto listing = csp->List("");
+    ASSERT_TRUE(listing.ok());
+    for (const ObjectInfo& object : *listing) {
+      if (object.name.rfind("meta-", 0) != 0) {
+        ASSERT_TRUE(csp->Delete(object.name).ok());
+      }
+    }
+  }
+  ASSERT_EQ(TotalShareObjects(cloud.csps), 0u);
+
+  // Re-putting the same content must re-encode and re-upload, not
+  // republish the cached layout - those objects no longer exist anywhere.
+  auto again = cloud.client->Put("again.bin", content);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_GT(again->uploaded_share_bytes, 0u);
+  EXPECT_GT(TotalShareObjects(cloud.csps), 0u);
+  EXPECT_GT(index.Stats().entries, 0u);
+  auto get = cloud.client->Get("again.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+}
+
+TEST(DedupE2ETest, FailedReclaimLeavesTombstoneAndRetriesNextPass) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+
+  auto csps = MakeCsps();
+  auto client_or = CyrusClient::Create(ConvergentConfig("tomb", &index));
+  ASSERT_TRUE(client_or.ok()) << client_or.status();
+  std::unique_ptr<CyrusClient> client = std::move(client_or).value();
+  std::vector<std::shared_ptr<FaultInjectingConnector>> faulty;
+  for (const auto& csp : csps) {
+    auto wrapper =
+        std::make_shared<FaultInjectingConnector>(csp, FaultInjectionOptions{});
+    CspProfile profile;
+    profile.rtt_ms = 50;
+    profile.download_bytes_per_sec = 10e6;
+    profile.upload_bytes_per_sec = 5e6;
+    ASSERT_TRUE(client->AddCsp(wrapper, profile, Credentials{"token"}).ok());
+    faulty.push_back(std::move(wrapper));
+  }
+
+  const Bytes drop = RandomContent(16 * 1024, 61);
+  ASSERT_TRUE(client->Put("drop.bin", drop).ok());
+  ASSERT_TRUE(client->Delete("drop.bin").ok());
+
+  // One provider goes dark before scrub can delete its share objects.
+  int down = -1;
+  for (int i = 0; i < kNumCsps; ++i) {
+    if (ShareObjectCount(*csps[i]) > 0) {
+      down = i;
+      break;
+    }
+  }
+  ASSERT_GE(down, 0);
+  faulty[down]->set_permanently_down(true);
+
+  auto first = client->ScrubOnce();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_GE(first->stats.reclaims_deferred, 1u);
+  // The failed deletes left pending-delete tombstones, not silently erased
+  // index entries: the surviving objects keep a record that drives a
+  // retry, while writers cannot adopt the partially deleted layout.
+  std::vector<Sha1Digest> pending = index.ZeroRefChunks();
+  ASSERT_FALSE(pending.empty());
+  for (const Sha1Digest& chunk : pending) {
+    auto entry = index.Lookup(chunk);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_TRUE(entry->pending_delete) << chunk.ToHex();
+    EXPECT_FALSE(index.LookupAndRef(chunk).has_value());
+  }
+
+  // The provider comes back; the next pass finishes the deletes.
+  faulty[down]->set_permanently_down(false);
+  ASSERT_TRUE(client->MarkCspRecovered(down).ok());
+  auto second = client->ScrubOnce();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_GE(second->stats.chunks_reclaimed, 1u);
+  EXPECT_TRUE(index.ZeroRefChunks().empty());
+  EXPECT_EQ(TotalShareObjects(csps), 0u);
+}
+
+TEST(DedupE2ETest, JournalRollbackSparesObjectsOtherTenantsReference) {
+  auto index_or = ShareIndex::Open(ShareIndexOptions{});
+  ASSERT_TRUE(index_or.ok());
+  ShareIndex& index = **index_or;
+  auto csps = MakeCsps();
+
+  // A tenant on another metadata shard owns this chunk: its convergent
+  // share objects and index entry exist, but no file metadata this client
+  // could sync references them.
+  const Sha1Digest shared_chunk = Id("foreign-tenant-chunk");
+  const uint32_t t = 2;
+  std::vector<std::string> shared_objects;
+  for (const auto& csp : csps) {
+    ASSERT_TRUE(csp->Authenticate(Credentials{"token"}).ok());
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    const std::string name = ShareName(shared_chunk, i, t);
+    ASSERT_TRUE(csps[i]->Upload(name, RandomContent(512, 70 + i)).ok());
+    shared_objects.push_back(name);
+  }
+  ShareIndexEntry entry;
+  entry.logical_size = 512;
+  entry.t = t;
+  entry.n = 3;
+  entry.refcount = 1;
+  entry.shares = {{0, 0}, {1, 1}, {2, 2}};
+  ASSERT_TRUE(index.Publish(shared_chunk, entry).ok());
+
+  // This client crashed mid-Put after journaling uploads of the very same
+  // content-addressed objects, plus one object nothing else references.
+  const std::string orphan = ShareName(Id("mine-alone"), 0, t);
+  ASSERT_TRUE(csps[3]->Upload(orphan, RandomContent(512, 80)).ok());
+  const std::string journal_path =
+      StrCat(testing::TempDir(), "/cyrus-dedup-putwal-", ::getpid(), ".log");
+  std::remove(journal_path.c_str());
+  {
+    auto journal_or = PutJournal::Open(journal_path);
+    ASSERT_TRUE(journal_or.ok()) << journal_or.status();
+    PutJournal& journal = **journal_or;
+    const std::string version_id = Id("crashed-put-version").ToHex();
+    ASSERT_TRUE(journal.BeginIntent(version_id, "t/crash/file.bin").ok());
+    for (uint32_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(journal
+                      .AppendShare(version_id, "csp" + std::to_string(i),
+                                   shared_objects[i])
+                      .ok());
+    }
+    ASSERT_TRUE(journal.AppendShare(version_id, "csp3", orphan).ok());
+  }
+
+  CyrusConfig config = ConvergentConfig("crash", &index);
+  config.journal_path = journal_path;
+  TestCloud cloud = MakeCloud(std::move(config), csps);
+  auto report = cloud.client->RecoverFromJournal();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rolled_back, 1u);
+  // Rollback deleted only the truly unreferenced object; the three the
+  // shared index records survive for the tenant that reads through them.
+  EXPECT_EQ(report->orphan_shares_deleted, 1u);
+  EXPECT_FALSE(csps[3]->Download(orphan).ok());
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(csps[i]->Download(shared_objects[i]).ok()) << shared_objects[i];
+  }
+  std::remove(journal_path.c_str());
 }
 
 TEST(DedupE2ETest, GatewayChargesLogicalBytesAndReportsDedup) {
