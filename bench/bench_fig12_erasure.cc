@@ -1,23 +1,54 @@
-// Reproduces Figure 12: empirical overhead of 100 MB chunk encoding and
-// decoding while changing t and n.
+// Reproduces Figure 12 - empirical throughput of 100 MB chunk encoding and
+// decoding while changing t and n - and doubles as the codec perf gate for
+// the SIMD galois kernels (src/rs/galois_kernels.h).
 //
-// The paper sweeps the secret-sharing parameters over a 100 MB chunk with
-// zfec and reports throughput; decoding slows with t (more rows in the
-// decode matrix-vector product) and encoding with n (more output shares).
-// This is a google-benchmark binary over our from-scratch GF(2^8) codec;
-// the Throughput counter is chunk-MB per second.
-#include <benchmark/benchmark.h>
+// Every (t, n) point is measured twice: once forced onto the scalar
+// reference kernel and once on the kernel CPUID dispatch picked for this
+// host (AVX2 -> SSSE3 -> scalar). Results go to stdout as a table and to
+// BENCH_codec.json (scripts/bench_delta.py compares runs against
+// bench/baselines/BENCH_codec.json).
+//
+// Hard bar: when the AVX2 kernel is active, the encode kernels
+// (mul_add_row and the fused encode_block) must beat scalar by at least
+// 10x on cache-resident rows; the binary exits non-zero on a miss. The
+// bar is measured at the kernel level deliberately: the 100 MB end-to-end
+// points stream ~n/t bytes of share output per chunk byte through DRAM,
+// so past a few GB/s they measure the memory bus, not the GF(2^8) math
+// (the SIMD advantage there is reported, but bounded by bandwidth). On
+// hosts without AVX2 the bar is reported but not enforced (narrower
+// vectors cannot promise 10x).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench/common.h"
+#include "src/rs/galois_kernels.h"
 #include "src/rs/secret_sharing.h"
+#include "src/util/buffer_pool.h"
 #include "src/util/rng.h"
 
 namespace {
 
-constexpr size_t kChunkBytes = 100 * 1024 * 1024;
+using cyrus::Bytes;
+using cyrus::GaloisKernelKind;
+using cyrus::GaloisKernels;
+using cyrus::JsonValue;
+using cyrus::SecretSharingCodec;
+using cyrus::Share;
 
-cyrus::Bytes MakeChunk() {
+constexpr size_t kChunkBytes = 100 * 1024 * 1024;
+constexpr size_t kKernelRowBytes = 16 * 1024;  // L1-resident kernel rows
+constexpr size_t kKernelFanout = 8;            // encode_block output rows
+constexpr double kMinSeconds = 0.3;  // per measurement
+constexpr int kMaxIterations = 4;
+constexpr double kEncodeBar = 10.0;  // SIMD-vs-scalar, enforced under AVX2
+
+Bytes MakeChunk() {
   cyrus::Rng rng(42);
-  cyrus::Bytes chunk(kChunkBytes);
+  Bytes chunk(kChunkBytes);
   for (size_t i = 0; i < chunk.size(); i += 8) {
     const uint64_t v = rng.Next();
     for (size_t j = 0; j < 8 && i + j < chunk.size(); ++j) {
@@ -27,84 +58,190 @@ cyrus::Bytes MakeChunk() {
   return chunk;
 }
 
-const cyrus::Bytes& Chunk() {
-  static const cyrus::Bytes chunk = MakeChunk();
-  return chunk;
+// Runs `op` until kMinSeconds or max_iterations, returns MB/s where each
+// call to `op` processes bytes_per_op bytes.
+template <typename Op>
+double MeasureMBps(const Op& op, size_t bytes_per_op,
+                   int max_iterations = kMaxIterations) {
+  int iterations = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while (iterations < max_iterations && elapsed < kMinSeconds) {
+    op();
+    ++iterations;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  }
+  return static_cast<double>(iterations) * bytes_per_op / (1024.0 * 1024.0) /
+         elapsed;
 }
 
-// Encoding: t fixed at 2 (the paper's default privacy level), n sweeps.
-void BM_Encode(benchmark::State& state) {
-  const uint32_t t = static_cast<uint32_t>(state.range(0));
-  const uint32_t n = static_cast<uint32_t>(state.range(1));
-  auto codec = cyrus::SecretSharingCodec::Create("fig12 key", t, n);
-  if (!codec.ok()) {
-    state.SkipWithError("codec creation failed");
-    return;
+// End-to-end encode into reusable pooled share buffers (the CyrusClient
+// Put path): measures the codec, not the allocator.
+double MeasureEncodeMBps(const SecretSharingCodec& codec, const Bytes& chunk,
+                         cyrus::BufferPool& pool) {
+  const size_t share_len = cyrus::ShareSize(chunk.size(), codec.t());
+  std::vector<cyrus::PooledBuffer> buffers;
+  std::vector<cyrus::MutableByteSpan> dsts(codec.n());
+  for (uint32_t i = 0; i < codec.n(); ++i) {
+    buffers.push_back(pool.Acquire(share_len));
+    dsts[i] = buffers[i].span(share_len);
   }
-  for (auto _ : state) {
-    auto shares = codec->Encode(Chunk());
-    benchmark::DoNotOptimize(shares);
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kChunkBytes);
-  state.counters["chunk_MBps"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * kChunkBytes / (1024.0 * 1024.0),
-      benchmark::Counter::kIsRate);
+  return MeasureMBps(
+      [&] {
+        if (!codec.EncodeInto(chunk, dsts).ok()) {
+          std::fprintf(stderr, "encode failed\n");
+          std::exit(1);
+        }
+      },
+      kChunkBytes);
 }
 
-// Decoding from exactly t shares.
-void BM_Decode(benchmark::State& state) {
-  const uint32_t t = static_cast<uint32_t>(state.range(0));
-  const uint32_t n = static_cast<uint32_t>(state.range(1));
-  auto codec = cyrus::SecretSharingCodec::Create("fig12 key", t, n);
-  if (!codec.ok()) {
-    state.SkipWithError("codec creation failed");
-    return;
-  }
-  auto shares = codec->Encode(Chunk());
+double MeasureDecodeMBps(const SecretSharingCodec& codec, const Bytes& chunk,
+                         uint32_t t) {
+  auto shares = codec.Encode(chunk);
   if (!shares.ok()) {
-    state.SkipWithError("encode failed");
-    return;
+    std::fprintf(stderr, "encode failed\n");
+    std::exit(1);
   }
-  shares->resize(t);
-  for (auto _ : state) {
-    auto chunk = codec->Decode(*shares, kChunkBytes);
-    benchmark::DoNotOptimize(chunk);
+  shares->resize(t);  // decode from exactly t shares, like the paper
+  Bytes out(kChunkBytes);
+  return MeasureMBps(
+      [&] {
+        if (!codec.DecodeInto(*shares, cyrus::MutableByteSpan(out)).ok()) {
+          std::fprintf(stderr, "decode failed\n");
+          std::exit(1);
+        }
+      },
+      kChunkBytes);
+}
+
+// Cache-resident kernel measurement: repeatedly applies `kernels` to
+// L1-sized rows so the GF(2^8) math - not DRAM - is what's timed. This is
+// where the >=10x AVX2 bar is enforced.
+double MeasureKernelMBps(const GaloisKernels& kernels, bool fused,
+                         cyrus::BufferPool& pool) {
+  cyrus::PooledBuffer src_buf = pool.Acquire(kKernelRowBytes);
+  cyrus::PooledBuffer dst_buf = pool.Acquire(kKernelRowBytes * kKernelFanout);
+  cyrus::Rng rng(7);
+  for (uint8_t& b : src_buf.span(kKernelRowBytes)) {
+    b = static_cast<uint8_t>(rng.Next());
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kChunkBytes);
-  state.counters["chunk_MBps"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * kChunkBytes / (1024.0 * 1024.0),
-      benchmark::Counter::kIsRate);
+  const uint8_t* src = src_buf.data();
+  uint8_t coeffs[kKernelFanout];
+  uint8_t* dsts[kKernelFanout];
+  for (size_t r = 0; r < kKernelFanout; ++r) {
+    coeffs[r] = static_cast<uint8_t>(0x1d + 31 * r);
+    dsts[r] = dst_buf.data() + r * kKernelRowBytes;
+  }
+  const size_t bytes_per_op = kKernelRowBytes * kKernelFanout;
+  const auto op = [&] {
+    if (fused) {
+      kernels.encode_block(coeffs, kKernelFanout, src, kKernelRowBytes, dsts);
+    } else {
+      for (size_t r = 0; r < kKernelFanout; ++r) {
+        kernels.mul_add_row(coeffs[r], src, dsts[r], kKernelRowBytes);
+      }
+    }
+  };
+  // Warm the caches, then time many iterations (rows are tiny).
+  op();
+  return MeasureMBps(op, bytes_per_op, /*max_iterations=*/200000);
 }
 
 }  // namespace
 
-// Encoding throughput depends mostly on n (paper: minimum ~100 MB/s at
-// n=11): sweep n with t=2.
-BENCHMARK(BM_Encode)
-    ->Args({2, 3})
-    ->Args({2, 4})
-    ->Args({2, 5})
-    ->Args({2, 7})
-    ->Args({2, 9})
-    ->Args({2, 11})
-    ->Unit(benchmark::kMillisecond);
+int main() {
+  const Bytes chunk = MakeChunk();
+  const GaloisKernels& scalar = cyrus::ScalarGaloisKernels();
+  const GaloisKernels& simd = cyrus::SelectGaloisKernels("");
+  const bool avx2 = simd.kind == GaloisKernelKind::kAvx2;
+  cyrus::BufferPool pool;
 
-// Paper's operating points.
-BENCHMARK(BM_Encode)->Args({3, 4})->Args({3, 5})->Unit(benchmark::kMillisecond);
+  cyrus::bench::BenchReport report("codec");
+  report.SetParam("chunk_bytes", uint64_t{kChunkBytes});
+  report.SetParam("kernel_row_bytes", uint64_t{kKernelRowBytes});
+  report.SetParam("simd_kernel", std::string(simd.name));
+  report.SetParam("encode_bar_x", kEncodeBar);
+  report.SetParam("bar_enforced", avx2);
 
-// Decoding throughput depends mostly on t (paper: minimum ~100 MB/s at
-// t=10): sweep t with n=11.
-BENCHMARK(BM_Decode)
-    ->Args({2, 11})
-    ->Args({3, 11})
-    ->Args({4, 11})
-    ->Args({6, 11})
-    ->Args({8, 11})
-    ->Args({10, 11})
-    ->Unit(benchmark::kMillisecond);
+  bool bar_missed = false;
+  auto add_row = [&](const char* op, uint32_t t, uint32_t n,
+                     double scalar_mbps, double simd_mbps) {
+    const double speedup = simd_mbps / scalar_mbps;
+    std::printf("%-16s %-3u %-3u | %11.1f %10.1f | %7.2fx\n", op, t, n,
+                scalar_mbps, simd_mbps, speedup);
+    JsonValue row{JsonValue::Object{}};
+    row.Set("op", std::string(op));
+    row.Set("t", uint64_t{t});
+    row.Set("n", uint64_t{n});
+    row.Set("scalar_MBps", scalar_mbps);
+    row.Set("simd_MBps", simd_mbps);
+    row.Set("speedup", speedup);
+    report.AddRow(std::move(row));
+    return speedup;
+  };
 
-// Paper's operating points.
-BENCHMARK(BM_Decode)->Args({2, 3})->Args({2, 4})->Args({3, 4})->Args({3, 5})
-    ->Unit(benchmark::kMillisecond);
+  // --- Kernel bar: cache-resident GF(2^8) row math, scalar vs SIMD. ---
+  std::printf("Codec kernels: %u KB rows x%u, %s vs scalar\n",
+              unsigned{kKernelRowBytes / 1024}, unsigned{kKernelFanout},
+              simd.name);
+  std::printf("%-16s %-3s %-3s | %11s %10s | %8s\n", "op", "t", "n",
+              "scalar_MBps", "simd_MBps", "speedup");
+  for (const bool fused : {false, true}) {
+    const char* op = fused ? "kern_enc_block" : "kern_mul_add";
+    const double scalar_mbps = MeasureKernelMBps(scalar, fused, pool);
+    const double simd_mbps = MeasureKernelMBps(simd, fused, pool);
+    const double speedup = add_row(op, 0, 0, scalar_mbps, simd_mbps);
+    if (avx2 && speedup < kEncodeBar) {
+      std::fprintf(stderr, "BAR MISS: %s speedup %.2fx < %.1fx\n", op,
+                   speedup, kEncodeBar);
+      bar_missed = true;
+    }
+  }
 
-BENCHMARK_MAIN();
+  // --- Figure 12: end-to-end 100 MB chunk codec throughput. These points
+  // stream every share through DRAM, so speedups here are advisory (the
+  // bus, not the math, is the asymptote). ---
+  std::printf("Figure 12: 100 MB chunk codec throughput, %s vs scalar\n",
+              simd.name);
+  auto run_point = [&](const char* op, uint32_t t, uint32_t n) {
+    auto codec = SecretSharingCodec::Create("fig12 key", t, n);
+    if (!codec.ok()) {
+      std::fprintf(stderr, "codec creation failed\n");
+      std::exit(1);
+    }
+    const bool encode = std::string_view(op) == "encode";
+    cyrus::SetActiveGaloisKernelsForTest(&scalar);
+    const double scalar_mbps = encode ? MeasureEncodeMBps(*codec, chunk, pool)
+                                      : MeasureDecodeMBps(*codec, chunk, t);
+    cyrus::SetActiveGaloisKernelsForTest(&simd);
+    const double simd_mbps = encode ? MeasureEncodeMBps(*codec, chunk, pool)
+                                    : MeasureDecodeMBps(*codec, chunk, t);
+    cyrus::SetActiveGaloisKernelsForTest(nullptr);
+    add_row(op, t, n, scalar_mbps, simd_mbps);
+  };
+
+  // Encoding throughput depends mostly on n (paper: minimum ~100 MB/s at
+  // n=11): sweep n with t=2, plus the (3, 5) operating point.
+  for (const auto& [t, n] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {2, 3}, {2, 5}, {2, 7}, {2, 11}, {3, 5}}) {
+    run_point("encode", t, n);
+  }
+  // Decoding throughput depends mostly on t (paper: minimum ~100 MB/s at
+  // t=10): sweep t with n=11, plus the (2, 4) operating point.
+  for (const auto& [t, n] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {2, 11}, {4, 11}, {10, 11}, {2, 4}}) {
+    run_point("decode", t, n);
+  }
+
+  report.Write();
+  if (bar_missed) {
+    std::fprintf(stderr, "bench_fig12_erasure: kernel encode bar missed\n");
+    return 1;
+  }
+  std::printf("kernel encode bar (>=%.0fx under AVX2): %s\n", kEncodeBar,
+              avx2 ? "PASS" : "not enforced (no AVX2)");
+  return 0;
+}

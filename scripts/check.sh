@@ -10,16 +10,23 @@
 #   scripts/check.sh --metrics      # + observability exposition tests
 #   scripts/check.sh --chaos        # + degraded-mode chaos battery (outages,
 #                                   #   crash recovery, hedging, corruption)
+#   scripts/check.sh --codec        # + codec battery (`ctest -L codec`:
+#                                   #   SIMD-vs-scalar differential tests,
+#                                   #   kernel dispatch, buffer pool) run
+#                                   #   under the dispatched kernel and
+#                                   #   again forced to ssse3 and scalar
 #   scripts/check.sh --all          # every labeled suite
 #   scripts/check.sh --bench        # + bench binaries with hard bars
 #                                   #   (pipeline, degraded, repair, the
-#                                   #   10k-client gateway soak, and the
-#                                   #   cross-user dedup economics run),
-#                                   #   then a delta report vs
-#                                   #   bench/baselines/
+#                                   #   10k-client gateway soak, the
+#                                   #   cross-user dedup economics run, and
+#                                   #   the fig12 codec gate with its >=10x
+#                                   #   AVX2 kernel bar), then a delta
+#                                   #   report vs bench/baselines/
 #   scripts/check.sh --tsan         # ThreadSanitizer build of the stress
 #                                   #   battery + gateway concurrency tests
-#                                   #   in build-tsan/
+#                                   #   + buffer-pool checkout + codec
+#                                   #   stress loop in build-tsan/
 #
 # Flags compose: `scripts/check.sh --stress --bench`. The fast tier always
 # runs first; labeled suites are opt-in so the default stays quick enough
@@ -32,6 +39,7 @@ RUN_STRESS=0
 RUN_SOAK=0
 RUN_METRICS=0
 RUN_CHAOS=0
+RUN_CODEC=0
 RUN_BENCH=0
 RUN_TSAN=0
 
@@ -41,7 +49,8 @@ for arg in "$@"; do
     --soak)    RUN_SOAK=1 ;;
     --metrics) RUN_METRICS=1 ;;
     --chaos)   RUN_CHAOS=1 ;;
-    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1 ;;
+    --codec)   RUN_CODEC=1 ;;
+    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1; RUN_CODEC=1 ;;
     --bench)   RUN_BENCH=1 ;;
     --tsan)    RUN_TSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -86,6 +95,16 @@ if [[ "$RUN_CHAOS" == 1 ]]; then
   ctest --test-dir build -L chaos --output-on-failure
 fi
 
+if [[ "$RUN_CODEC" == 1 ]]; then
+  echo "== codec: differential battery on every kernel the host supports =="
+  # Once under the CPUID-dispatched kernel, then forced down the ladder:
+  # each kernel must agree with the scalar oracle byte for byte (the
+  # forced runs fall back cleanly on hosts lacking the ISA).
+  ctest --test-dir build -L codec --output-on-failure
+  CYRUS_CODEC_KERNEL=ssse3 ctest --test-dir build -L codec --output-on-failure
+  CYRUS_CODEC_KERNEL=scalar ctest --test-dir build -L codec --output-on-failure
+fi
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== bench: pipeline / degraded / repair / gateway / dedup bars =="
   # Each binary enforces its own hard bars and exits non-zero on a miss
@@ -96,20 +115,22 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     ./bench/bench_degraded &&
     ./bench/bench_repair &&
     ./bench/bench_gateway &&
-    ./bench/bench_dedup)
+    ./bench/bench_dedup &&
+    ./bench/bench_fig12_erasure)
   echo "== bench: delta vs bench/baselines =="
   python3 scripts/bench_delta.py \
     build/BENCH_pipeline.json build/BENCH_degraded.json \
     build/BENCH_repair.json build/BENCH_gateway.json \
-    build/BENCH_dedup.json
+    build/BENCH_dedup.json build/BENCH_codec.json
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress battery + gateway concurrency under ThreadSanitizer =="
   configure build-tsan -DENABLE_TSAN=ON
-  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test buffer_pool_test codec_stress_test
   (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test &&
-    ./tests/gateway_test && ./tests/dedup_test)
+    ./tests/gateway_test && ./tests/dedup_test &&
+    ./tests/buffer_pool_test && ./tests/codec_stress_test)
 fi
 
 echo "OK"

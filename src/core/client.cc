@@ -140,6 +140,7 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   repair_context.chunk_table = &chunk_table_;
   repair_context.monitor = &monitor_;
   repair_context.pool = pool_.get();
+  repair_context.buffers = config_.use_buffer_pool ? &codec_buffers_ : nullptr;
   repair_context.cluster_aware = config_.cluster_aware;
   repair_context.t = config_.t;
   repair_context.now = [this] { return now(); };
@@ -420,7 +421,29 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     encode_span = trace->Span("encode");
     encode_span.AddBytes(chunk.size());
   }
-  CYRUS_ASSIGN_OR_RETURN(std::vector<Share> shares, codec.Encode(chunk));
+  // Encode share i straight into a pooled, 32B-aligned upload buffer
+  // (share index i is row i of the dispersal matrix). The handles live to
+  // the end of the scatter - connectors read the spans during upload - and
+  // recycle through codec_buffers_ on return. With the pool disabled the
+  // legacy allocate-per-chunk Encode() path is used; both paths produce
+  // byte-identical shares (asserted by buffer_pool_test).
+  const size_t share_len = ShareSize(chunk.size(), codec.t());
+  std::vector<PooledBuffer> share_buffers;
+  std::vector<Share> shares;
+  std::vector<MutableByteSpan> share_spans(n);
+  if (config_.use_buffer_pool) {
+    share_buffers.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      share_buffers.push_back(codec_buffers_.Acquire(std::max<size_t>(share_len, 1)));
+      share_spans[i] = share_buffers[i].span(share_len);
+    }
+    CYRUS_RETURN_IF_ERROR(codec.EncodeInto(chunk, share_spans));
+  } else {
+    CYRUS_ASSIGN_OR_RETURN(shares, codec.Encode(chunk));
+    for (uint32_t i = 0; i < n; ++i) {
+      share_spans[i] = MutableByteSpan(shares[i].data);
+    }
+  }
   encode_span.End();
 
   obs::ScopedSpan place_span;
@@ -465,15 +488,15 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     return journal_->AppendShare(journal_id, csp_name, object);
   };
   for (uint32_t i = 0; i < placed; ++i) {
-    CYRUS_RETURN_IF_ERROR(journal_share(
-        placement[i], ShareName(chunk_id, shares[i].index, config_.t)));
+    CYRUS_RETURN_IF_ERROR(
+        journal_share(placement[i], ShareName(chunk_id, i, config_.t)));
   }
 
   obs::ScopedSpan upload_span;
   if (trace != nullptr) {
     upload_span = trace->Span("upload");
-    for (const Share& share : shares) {
-      upload_span.AddBytes(share.data.size());
+    for (const MutableByteSpan& span : share_spans) {
+      upload_span.AddBytes(span.size());
     }
   }
 
@@ -484,19 +507,20 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   std::vector<Status> first_pass(placed, InternalError("no upload attempted"));
   std::vector<TransferReport> first_pass_reports(placed);
   auto upload_share = [&](size_t i) {
-    const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
+    const std::string object =
+        ShareName(chunk_id, static_cast<uint32_t>(i), config_.t);
     auto conn = registry_.connector(placement[i]);
     if (!conn.ok()) {
       first_pass[i] = conn.status();
       first_pass_reports[i].records.push_back(TransferRecord{
-          TransferKind::kPut, placement[i], object, shares[i].data.size(), false});
+          TransferKind::kPut, placement[i], object, share_spans[i].size(), false});
       return;
     }
     // Transient errors are retried in place before the failover path below
     // re-places the share on a different CSP.
     first_pass[i] =
         UploadWithRetry(**conn, TransferKind::kPut, placement[i], object,
-                        shares[i].data, config_.transfer_retry, first_pass_reports[i]);
+                        share_spans[i], config_.transfer_retry, first_pass_reports[i]);
   };
   if (pool_ != nullptr && placed > 1) {
     pool_->ParallelFor(placed, upload_share);
@@ -519,14 +543,14 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
   std::vector<ShareLocation> locations;
   std::vector<int> used;
   for (uint32_t i = 0; i < placed; ++i) {
-    const std::string object = ShareName(chunk_id, shares[i].index, config_.t);
+    const std::string object = ShareName(chunk_id, i, config_.t);
     int target = placement[i];
     Status upload = first_pass[i];
     report.Append(first_pass_reports[i]);
     if (upload.ok()) {
       monitor_.RecordProbe(target, now_, true);
       used.push_back(target);
-      locations.push_back(ShareLocation{chunk_id, shares[i].index, target});
+      locations.push_back(ShareLocation{chunk_id, i, target});
       continue;
     }
     // Retry on replacements from the ring, excluding CSPs already holding
@@ -565,12 +589,12 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
       CYRUS_RETURN_IF_ERROR(journal_share(target, object));
       CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
       upload = UploadWithRetry(*conn, TransferKind::kPut, target, object,
-                               shares[i].data, config_.transfer_retry, report);
+                               share_spans[i], config_.transfer_retry, report);
       if (upload.ok()) {
         monitor_.RecordProbe(target, now_, true);
         used.push_back(target);
         reserved.push_back(target);
-        locations.push_back(ShareLocation{chunk_id, shares[i].index, target});
+        locations.push_back(ShareLocation{chunk_id, i, target});
         break;
       }
     }
@@ -605,13 +629,16 @@ std::vector<ShareLocation> CyrusClient::ResolveChunkLocations(
   return locations;
 }
 
-Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
-                                       const ChunkRecord& chunk,
-                                       const std::vector<ShareLocation>& resolved,
-                                       const std::vector<int>& selected_csps,
-                                       std::vector<ShareLocation>& updated_shares,
-                                       size_t& migrated, size_t& hedged_downloads,
-                                       TransferReport& report) {
+Status CyrusClient::GatherChunk(const std::string& file_name,
+                                const ChunkRecord& chunk, MutableByteSpan dst,
+                                const std::vector<ShareLocation>& resolved,
+                                const std::vector<int>& selected_csps,
+                                std::vector<ShareLocation>& updated_shares,
+                                size_t& migrated, size_t& hedged_downloads,
+                                TransferReport& report) {
+  if (dst.size() != chunk.size) {
+    return InvalidArgumentError("gather destination size mismatch");
+  }
   // The driver resolved `resolved` before submitting this gather, so no
   // pool thread ever reads the mutable FileVersion (its ShareMap is being
   // rewritten on the driver as earlier chunks migrate).
@@ -803,8 +830,20 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
   CYRUS_ASSIGN_OR_RETURN(
       SecretSharingCodec decoder,
       SecretSharingCodec::Create(decode_key, chunk.t, kMaxShares));
-  CYRUS_ASSIGN_OR_RETURN(Bytes data, decoder.Decode(shares, chunk.size));
-  if (Sha1::Hash(data) != chunk.id) {
+  // Re-encoded shares (corruption repair, lazy migration) go through the
+  // same pooled buffers the scatter path uploads from.
+  const size_t share_len = ShareSize(chunk.size, chunk.t);
+  Bytes scratch_heap;
+  auto acquire_share_buf = [&](PooledBuffer& handle) -> MutableByteSpan {
+    if (config_.use_buffer_pool) {
+      handle = codec_buffers_.Acquire(std::max<size_t>(share_len, 1));
+      return handle.span(share_len);
+    }
+    scratch_heap.assign(share_len, 0);
+    return MutableByteSpan(scratch_heap);
+  };
+  CYRUS_RETURN_IF_ERROR(decoder.DecodeInto(shares, dst));
+  if (Sha1::Hash(dst) != chunk.id) {
     // A share is corrupted (bit rot or a tampering provider). Pull every
     // reachable share and run the error-correcting decode (§5.1 footnote
     // 9); the redundancy beyond t is exactly what pays for this.
@@ -818,7 +857,7 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
       return DataLossError(StrCat("chunk ", chunk.id.ToHex(),
                                   " failed integrity check after decode"));
     }
-    data = std::move(corrected->chunk);
+    std::copy(corrected->chunk.begin(), corrected->chunk.end(), dst.begin());
     // Repair: overwrite each corrupted share with freshly encoded bytes at
     // its existing location.
     for (uint32_t bad_index : corrected->corrupted_indices) {
@@ -827,12 +866,14 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
             location_state(loc) != CspState::kActive) {
           continue;
         }
-        auto fresh = decoder.EncodeShare(data, bad_index);
+        PooledBuffer fresh_buf;
+        MutableByteSpan fresh = acquire_share_buf(fresh_buf);
+        auto encoded = decoder.EncodeShareInto(dst, bad_index, fresh);
         auto conn = registry_.connector(loc.csp);
-        if (fresh.ok() && conn.ok()) {
+        if (encoded.ok() && conn.ok()) {
           const std::string object = ShareName(chunk.id, bad_index, chunk.t);
           (void)UploadWithRetry(**conn, TransferKind::kPut, loc.csp, object,
-                                fresh->data, config_.transfer_retry, report);
+                                fresh, config_.transfer_retry, report);
         }
         break;
       }
@@ -862,12 +903,14 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
     if (new_index >= kMaxShares) {
       continue;
     }
-    CYRUS_ASSIGN_OR_RETURN(Share fresh, decoder.EncodeShare(data, new_index));
+    PooledBuffer fresh_buf;
+    MutableByteSpan fresh = acquire_share_buf(fresh_buf);
+    CYRUS_RETURN_IF_ERROR(decoder.EncodeShareInto(dst, new_index, fresh));
     const int target = replacement->front();
     CYRUS_ASSIGN_OR_RETURN(CloudConnector * conn, registry_.connector(target));
     const std::string object = ShareName(chunk.id, new_index, chunk.t);
     Status upload = UploadWithRetry(*conn, TransferKind::kPut, target, object,
-                                    fresh.data, config_.transfer_retry, report);
+                                    fresh, config_.transfer_retry, report);
     if (!upload.ok()) {
       (void)NoteTransferFailure(target, upload);
       continue;
@@ -880,7 +923,7 @@ Result<Bytes> CyrusClient::GatherChunk(const std::string& file_name,
     ++migrated;
   }
   updated_shares = std::move(repaired);
-  return data;
+  return OkStatus();
 }
 
 // ---------------------------------------------------------------------------
@@ -1710,13 +1753,23 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
   result.version_id = version_id;
 
   // Build the download problem over *unique* chunks (duplicates within the
-  // file reuse the decoded bytes).
+  // file are copied from the first occurrence's slice after the drain).
+  // The whole file is allocated up front and every unique chunk decodes
+  // directly into its slice (GatherChunk -> DecodeInto), so Get skips the
+  // per-chunk temporaries and the assemble copy. Geometry is validated
+  // before any slice is handed to a worker.
   obs::ScopedSpan select_span = trace.Span("select");
   std::vector<Sha1Digest> unique_ids;
   std::map<Sha1Digest, const ChunkRecord*> by_id;
+  std::map<Sha1Digest, uint64_t> first_offset;
+  result.content.assign(version->size, 0);
   for (const ChunkRecord& chunk : version->chunks) {
+    if (chunk.offset + chunk.size > result.content.size()) {
+      return DataLossError(StrCat(name, ": chunk geometry mismatch"));
+    }
     if (by_id.emplace(chunk.id, &chunk).second) {
       unique_ids.push_back(chunk.id);
+      first_offset.emplace(chunk.id, chunk.offset);
     }
   }
 
@@ -1768,9 +1821,10 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
   obs::ScopedSpan gather_span = trace.Span("gather");
   struct GatherSlot {
     ChunkRecord chunk;
+    MutableByteSpan dst;  // the chunk's slice of result.content
     std::vector<ShareLocation> locations;
     std::vector<int> selected;
-    Result<Bytes> data = InternalError("not gathered");
+    Status status = InternalError("not gathered");
     std::vector<ShareLocation> updated;
     size_t migrated = 0;
     size_t hedged = 0;
@@ -1783,28 +1837,28 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
   window.max_in_flight_bytes = config_.pipeline_window_bytes;
   OrderedPipeline pipeline(pool_.get(), window);
 
-  std::map<Sha1Digest, Bytes> decoded;
   Status pipeline_status;
   for (size_t i = 0; i < unique_ids.size(); ++i) {
     slots.emplace_back();
     GatherSlot* slot = &slots.back();
     slot->chunk = *by_id[unique_ids[i]];
+    slot->dst = MutableByteSpan(result.content.data() + slot->chunk.offset,
+                                slot->chunk.size);
     slot->locations = ResolveChunkLocations(*version, unique_ids[i]);
     slot->selected = selections[i];
 
     auto work = [this, slot, &file_name] {
-      slot->data = GatherChunk(file_name, slot->chunk, slot->locations,
-                               slot->selected, slot->updated, slot->migrated,
-                               slot->hedged, slot->report);
+      slot->status = GatherChunk(file_name, slot->chunk, slot->dst,
+                                 slot->locations, slot->selected, slot->updated,
+                                 slot->migrated, slot->hedged, slot->report);
     };
-    auto on_complete = [this, slot, &version, &version_id, &result, &decoded,
+    auto on_complete = [this, slot, &version, &version_id, &result,
                         &gather_span]() -> Status {
       result.transfer.Append(slot->report);
       result.hedged_downloads += slot->hedged;
-      CYRUS_RETURN_IF_ERROR(slot->data.status());
+      CYRUS_RETURN_IF_ERROR(slot->status);
       chunks_gathered_->Increment();
-      gather_span.AddBytes(slot->data->size());
-      decoded.emplace(slot->chunk.id, *std::move(slot->data));
+      gather_span.AddBytes(slot->chunk.size);
 
       // Persist this chunk's migrations into the version's ShareMap (the
       // metadata republish happens once, after the drain).
@@ -1855,16 +1909,15 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
     result.transfer.Append(meta_report);
   }
 
-  // Assemble and verify the whole file.
+  // Unique chunks already decoded in place; fill duplicate occurrences from
+  // their first slice, then verify the whole file.
   obs::ScopedSpan assemble_span = trace.Span("assemble");
-  result.content.assign(version->size, 0);
   for (const ChunkRecord& chunk : version->chunks) {
-    const Bytes& data = decoded.at(chunk.id);
-    if (chunk.offset + chunk.size > result.content.size() ||
-        data.size() != chunk.size) {
-      return DataLossError(StrCat(name, ": chunk geometry mismatch"));
+    const uint64_t src = first_offset.at(chunk.id);
+    if (chunk.offset != src) {
+      std::copy_n(result.content.begin() + src, chunk.size,
+                  result.content.begin() + chunk.offset);
     }
-    std::copy(data.begin(), data.end(), result.content.begin() + chunk.offset);
   }
   if (Sha1::Hash(result.content) != version->content_id) {
     return DataLossError(StrCat(name, ": reassembled content fails integrity check"));

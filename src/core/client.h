@@ -46,6 +46,7 @@
 #include "src/opt/download_selector.h"
 #include "src/repair/repair_engine.h"
 #include "src/rs/secret_sharing.h"
+#include "src/util/buffer_pool.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
 #include "src/util/thread_pool.h"
@@ -122,6 +123,12 @@ struct CyrusConfig {
   // Transient-failure retry for share and metadata transfers (capped
   // exponential backoff + jitter). max_attempts = 1 disables retries.
   RetryOptions transfer_retry;
+
+  // Recycle encode/upload buffers through a shared BufferPool
+  // (src/util/buffer_pool.h) instead of allocating fresh share vectors per
+  // chunk. Off restores the pre-pool allocation pattern (kept as an A/B
+  // lever for the identical-bytes regression test and for debugging).
+  bool use_buffer_pool = true;
 
   // Knobs for the proactive scrub & repair engine (bandwidth budget,
   // per-pass repair cap).
@@ -422,17 +429,21 @@ class CyrusClient {
                                      const Sha1Digest& version_id,
                                      obs::TraceBuilder& trace);
 
-  // Downloads and reconstructs one chunk per its ChunkRecord; performs lazy
-  // migration of shares on failed/removed CSPs. Runs on a pipeline worker;
-  // the caller resolves `locations` (chunk table / ShareMap) on the driver
-  // thread and folds `updated_shares` back into the version there, so this
-  // function never reads the mutable FileVersion.
-  Result<Bytes> GatherChunk(const std::string& file_name, const ChunkRecord& chunk,
-                            const std::vector<ShareLocation>& locations,
-                            const std::vector<int>& selected_csps,
-                            std::vector<ShareLocation>& updated_shares,
-                            size_t& migrated, size_t& hedged_downloads,
-                            TransferReport& report);
+  // Downloads and reconstructs one chunk per its ChunkRecord, decoding
+  // straight into `dst` - the chunk's slice of the assembled file (exactly
+  // chunk.size bytes) - so Get never materializes per-chunk temporaries.
+  // Performs lazy migration of shares on failed/removed CSPs. Runs on a
+  // pipeline worker; the caller resolves `locations` (chunk table /
+  // ShareMap) on the driver thread and folds `updated_shares` back into
+  // the version there, so this function never reads the mutable
+  // FileVersion. Workers write disjoint dst slices, never the vector.
+  Status GatherChunk(const std::string& file_name, const ChunkRecord& chunk,
+                     MutableByteSpan dst,
+                     const std::vector<ShareLocation>& locations,
+                     const std::vector<int>& selected_csps,
+                     std::vector<ShareLocation>& updated_shares,
+                     size_t& migrated, size_t& hedged_downloads,
+                     TransferReport& report);
 
   // Routes a failed transfer into the health machinery: with breakers on,
   // the connector decorator already counted the failure (the breaker trips
@@ -496,6 +507,10 @@ class CyrusClient {
   // order: topology_mutex_ before any component-internal mutex; never held
   // across a connector call.
   std::mutex topology_mutex_;
+  // Reusable aligned share/upload buffers for the codec paths. Declared
+  // before pool_/hedge_pool_ so the worker threads (whose ScatterChunk /
+  // repair frames hold PooledBuffer handles) join before the pool dies.
+  BufferPool codec_buffers_;
   std::unique_ptr<DownloadSelector> selector_;
   // Transfer worker threads (null when transfer_concurrency == 1).
   std::unique_ptr<ThreadPool> pool_;

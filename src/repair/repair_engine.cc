@@ -417,6 +417,18 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
   }
   CYRUS_ASSIGN_OR_RETURN(SecretSharingCodec codec,
                          SecretSharingCodec::Create(codec_key, t, kMaxShares));
+  // Rebuilt shares are encoded into pooled upload buffers when the owning
+  // client shared its pool; each handle lives only for its upload.
+  const size_t share_len = ShareSize(entry->size, t);
+  Bytes scratch_heap;
+  auto acquire_share_buf = [&](PooledBuffer& handle) -> MutableByteSpan {
+    if (context_.buffers != nullptr) {
+      handle = context_.buffers->Acquire(std::max<size_t>(share_len, 1));
+      return handle.span(share_len);
+    }
+    scratch_heap.assign(share_len, 0);
+    return MutableByteSpan(scratch_heap);
+  };
   CYRUS_ASSIGN_OR_RETURN(Bytes data, codec.Decode(shares, entry->size));
   if (Sha1::Hash(data) != chunk_id) {
     // Bit rot slipped past the probe (List sees names, not bytes). Pull
@@ -446,14 +458,16 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
         if (loc.share_index != bad_index) {
           continue;
         }
-        auto fresh = codec.EncodeShare(data, bad_index);
+        PooledBuffer fresh_buf;
+        MutableByteSpan fresh = acquire_share_buf(fresh_buf);
+        auto encoded = codec.EncodeShareInto(data, bad_index, fresh);
         auto conn = context_.registry->connector(loc.csp);
-        if (fresh.ok() && conn.ok()) {
+        if (encoded.ok() && conn.ok()) {
           const std::string object = ShareName(chunk_id, bad_index, t);
           if (UploadWithRetry(**conn, TransferKind::kPut, loc.csp, object,
-                              fresh->data, options_.retry, report.transfer)
+                              fresh, options_.retry, report.transfer)
                   .ok()) {
-            spend(fresh->data.size());
+            spend(fresh.size());
           }
         }
         break;
@@ -474,7 +488,9 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
     if (new_index >= kMaxShares) {
       break;
     }
-    CYRUS_ASSIGN_OR_RETURN(Share fresh, codec.EncodeShare(data, new_index));
+    PooledBuffer fresh_buf;
+    MutableByteSpan fresh = acquire_share_buf(fresh_buf);
+    CYRUS_RETURN_IF_ERROR(codec.EncodeShareInto(data, new_index, fresh));
     bool placed = false;
     for (int attempt = 0; attempt < kPlacementAttempts && !placed; ++attempt) {
       auto replacement = context_.ring->SelectCspsExcluding(chunk_id, 1, exclude);
@@ -489,7 +505,7 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
       }
       const std::string object = ShareName(chunk_id, new_index, t);
       Status upload = UploadWithRetry(**conn, TransferKind::kPut, target, object,
-                                      fresh.data, options_.retry, report.transfer);
+                                      fresh, options_.retry, report.transfer);
       if (!upload.ok()) {
         if (upload.code() == StatusCode::kUnavailable && context_.mark_csp_failed) {
           (void)context_.mark_csp_failed(target);
@@ -497,7 +513,7 @@ Status RepairEngine::RepairChunk(const ChunkHealth& health,
         exclude.push_back(target);
         continue;
       }
-      spend(fresh.data.size());
+      spend(fresh.size());
       exclude.push_back(target);
       if (context_.monitor != nullptr && context_.now) {
         context_.monitor->RecordProbe(target, context_.now(), true);

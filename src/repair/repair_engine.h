@@ -43,6 +43,7 @@
 #include "src/meta/chunk_table.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/buffer_pool.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
 #include "src/util/thread_pool.h"
@@ -135,6 +136,9 @@ struct RepairContext {
   std::function<Result<std::string>(const Sha1Digest&, const ChunkEntry&)> chunk_key;
   // Sink for cyrus_scrub_* counters; nullptr = process-wide default.
   obs::MetricsRegistry* metrics = nullptr;
+  // Pool for re-encoded share upload buffers (borrowed from the owning
+  // client, like everything else here); nullptr = plain heap allocation.
+  BufferPool* buffers = nullptr;
 };
 
 class RepairEngine {

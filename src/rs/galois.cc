@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/rs/galois_kernels.h"
+
 namespace cyrus {
 namespace {
 
@@ -20,7 +22,9 @@ struct Tables {
         x ^= Galois::kPolynomial;
       }
     }
-    log[0] = 0;  // never used: Mul/Div guard against zero operands
+    // log(0) does not exist; poison the entry so any unguarded use
+    // indexes exp out of bounds (see Galois::kLogZeroSentinel).
+    log[0] = Galois::kLogZeroSentinel;
   }
 };
 
@@ -61,43 +65,12 @@ uint8_t Galois::Pow(uint8_t a, unsigned power) {
 
 void Galois::MulAddRow(uint8_t c, ByteSpan src, MutableByteSpan dst) {
   assert(src.size() == dst.size());
-  if (c == 0) {
-    return;
-  }
-  if (c == 1) {
-    for (size_t i = 0; i < src.size(); ++i) {
-      dst[i] ^= src[i];
-    }
-    return;
-  }
-  const uint16_t log_c = log_table()[c];
-  const auto& exp = exp_table();
-  const auto& log = log_table();
-  for (size_t i = 0; i < src.size(); ++i) {
-    const uint8_t s = src[i];
-    if (s != 0) {
-      dst[i] ^= exp[log_c + log[s]];
-    }
-  }
+  ActiveGaloisKernels().mul_add_row(c, src.data(), dst.data(), src.size());
 }
 
 void Galois::MulRow(uint8_t c, ByteSpan src, MutableByteSpan dst) {
   assert(src.size() == dst.size());
-  if (c == 0) {
-    std::fill(dst.begin(), dst.end(), 0);
-    return;
-  }
-  if (c == 1) {
-    std::copy(src.begin(), src.end(), dst.begin());
-    return;
-  }
-  const uint16_t log_c = log_table()[c];
-  const auto& exp = exp_table();
-  const auto& log = log_table();
-  for (size_t i = 0; i < src.size(); ++i) {
-    const uint8_t s = src[i];
-    dst[i] = (s == 0) ? 0 : exp[log_c + log[s]];
-  }
+  ActiveGaloisKernels().mul_row(c, src.data(), dst.data(), src.size());
 }
 
 }  // namespace cyrus

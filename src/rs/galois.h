@@ -40,14 +40,25 @@ class Galois {
   static uint8_t Pow(uint8_t a, unsigned power);
 
   // dst[i] ^= c * src[i] for all i: the inner loop of RS encoding. Spans
-  // must be the same size.
+  // must be the same size. Runs on the runtime-dispatched SIMD kernel
+  // (src/rs/galois_kernels.h); the scalar fallback is always available.
   static void MulAddRow(uint8_t c, ByteSpan src, MutableByteSpan dst);
 
   // dst[i] = c * src[i].
   static void MulRow(uint8_t c, ByteSpan src, MutableByteSpan dst);
 
- private:
-  // exp table is doubled (510 entries) so Mul can skip the mod-255 reduction.
+  // log_table()[0] holds this out-of-range sentinel, NOT a field element:
+  // log(0) does not exist, and every user of the table guards zero operands
+  // before indexing (Mul, Div, Pow, the row kernels). The sentinel is large
+  // enough that exp_table()[log_table()[0] + log_table()[b]] is an
+  // out-of-bounds read for every b - so code that forgets the zero guard
+  // (or copies the raw table into SIMD constants; build split tables from
+  // Mul products instead, as galois_kernels.cc does) fails loudly under
+  // ASan/debug instead of silently corrupting byte lanes.
+  static constexpr uint16_t kLogZeroSentinel = 0x1FF;
+
+  // The raw tables, exposed for the kernel layer and its tests. exp is
+  // doubled (510 entries) so Mul can skip the mod-255 reduction.
   static const std::array<uint8_t, 510>& exp_table();
   static const std::array<uint16_t, 256>& log_table();
 };

@@ -1,0 +1,408 @@
+#include "src/rs/galois_kernels.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/rs/galois.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CYRUS_GALOIS_X86 1
+#include <immintrin.h>
+#else
+#define CYRUS_GALOIS_X86 0
+#endif
+
+namespace cyrus {
+namespace {
+
+// --- Split multiplication tables -------------------------------------------
+//
+// For each multiplier c: lo[c][v] = c * v and hi[c][v] = c * (v << 4) for
+// v in [0, 16). A byte b = (h << 4) | l then satisfies
+// c * b = lo[c][l] ^ hi[c][h] by distributivity, which is exactly what one
+// pshufb per nibble computes 16/32 lanes at a time. 8 KB total, built once.
+struct SplitTables {
+  alignas(64) uint8_t lo[256][16];
+  alignas(64) uint8_t hi[256][16];
+
+  SplitTables() {
+    // Products are built through Galois::Mul, whose zero guard never reads
+    // log_table()[0]. That entry is a poisoned sentinel
+    // (Galois::kLogZeroSentinel) precisely so a kernel author who tries to
+    // derive these constants from the raw log/exp tables trips an
+    // out-of-bounds read instead of silently baking garbage into row 0.
+    assert(Galois::log_table()[0] == Galois::kLogZeroSentinel);
+    for (int c = 0; c < 256; ++c) {
+      for (int v = 0; v < 16; ++v) {
+        lo[c][v] = Galois::Mul(static_cast<uint8_t>(c), static_cast<uint8_t>(v));
+        hi[c][v] =
+            Galois::Mul(static_cast<uint8_t>(c), static_cast<uint8_t>(v << 4));
+      }
+    }
+  }
+};
+
+const SplitTables& split_tables() {
+  static const SplitTables tables;
+  return tables;
+}
+
+// --- Scalar kernel (reference oracle) --------------------------------------
+
+void MulAddRowScalar(uint8_t c, const uint8_t* src, uint8_t* dst, size_t len) {
+  if (c == 0 || len == 0) {
+    return;
+  }
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const auto& exp = Galois::exp_table();
+  const auto& log = Galois::log_table();
+  const uint16_t log_c = log[c];
+  for (size_t i = 0; i < len; ++i) {
+    const uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= exp[log_c + log[s]];
+    }
+  }
+}
+
+void MulRowScalar(uint8_t c, const uint8_t* src, uint8_t* dst, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, len);
+    return;
+  }
+  const auto& exp = Galois::exp_table();
+  const auto& log = Galois::log_table();
+  const uint16_t log_c = log[c];
+  for (size_t i = 0; i < len; ++i) {
+    const uint8_t s = src[i];
+    dst[i] = (s == 0) ? 0 : exp[log_c + log[s]];
+  }
+}
+
+// Fused multi-row encode shared by every kernel: strip the source so one
+// L1-resident load feeds all `rows` accumulations, delegating the byte work
+// to the kernel's own mul_add_row.
+constexpr size_t kEncodeStripBytes = 4096;
+
+template <void (*MulAdd)(uint8_t, const uint8_t*, uint8_t*, size_t)>
+void EncodeBlockWith(const uint8_t* coeffs, size_t rows, const uint8_t* src,
+                     size_t len, uint8_t* const* dsts) {
+  for (size_t off = 0; off < len; off += kEncodeStripBytes) {
+    const size_t strip = len - off < kEncodeStripBytes ? len - off : kEncodeStripBytes;
+    for (size_t r = 0; r < rows; ++r) {
+      MulAdd(coeffs[r], src + off, dsts[r] + off, strip);
+    }
+  }
+}
+
+#if CYRUS_GALOIS_X86
+
+// --- SSSE3 kernel -----------------------------------------------------------
+
+__attribute__((target("ssse3"))) void MulAddRowSsse3(uint8_t c, const uint8_t* src,
+                                                     uint8_t* dst, size_t len) {
+  if (c == 0 || len == 0) {
+    return;
+  }
+  size_t i = 0;
+  if (c == 1) {
+    for (; i + 16 <= len; i += 16) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, v));
+    }
+    for (; i < len; ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const SplitTables& tables = split_tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.lo[c]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.hi[c]));
+  const __m128i nibble = _mm_set1_epi8(0x0f);
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_and_si128(v, nibble);
+    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), nibble);
+    const __m128i product =
+        _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, product));
+  }
+  if (i < len) {
+    MulAddRowScalar(c, src + i, dst + i, len - i);
+  }
+}
+
+__attribute__((target("ssse3"))) void MulRowSsse3(uint8_t c, const uint8_t* src,
+                                                  uint8_t* dst, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, len);
+    return;
+  }
+  const SplitTables& tables = split_tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.lo[c]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.hi[c]));
+  const __m128i nibble = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_and_si128(v, nibble);
+    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), nibble);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h)));
+  }
+  if (i < len) {
+    MulRowScalar(c, src + i, dst + i, len - i);
+  }
+}
+
+// --- AVX2 kernel ------------------------------------------------------------
+
+__attribute__((target("avx2"))) void MulAddRowAvx2(uint8_t c, const uint8_t* src,
+                                                   uint8_t* dst, size_t len) {
+  if (c == 0 || len == 0) {
+    return;
+  }
+  size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= len; i += 32) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, v));
+    }
+    for (; i < len; ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const SplitTables& tables = split_tables();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.lo[c])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.hi[c])));
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  // 2x unrolled: the two shuffle chains are independent, hiding pshufb
+  // latency behind the loads on wide cores.
+  for (; i + 64 <= len; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i p0 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v0, nibble)),
+        _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(v0, 4), nibble)));
+    const __m256i p1 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v1, nibble)),
+        _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(v1, 4), nibble)));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d0, p0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, p1));
+  }
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i product = _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v, nibble)),
+        _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(v, 4), nibble)));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, product));
+  }
+  if (i < len) {
+    MulAddRowSsse3(c, src + i, dst + i, len - i);
+  }
+}
+
+__attribute__((target("avx2"))) void MulRowAvx2(uint8_t c, const uint8_t* src,
+                                                uint8_t* dst, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, len);
+    return;
+  }
+  const SplitTables& tables = split_tables();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.lo[c])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tables.hi[c])));
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(_mm256_shuffle_epi8(tlo, _mm256_and_si256(v, nibble)),
+                         _mm256_shuffle_epi8(
+                             thi, _mm256_and_si256(_mm256_srli_epi64(v, 4), nibble))));
+  }
+  if (i < len) {
+    MulRowSsse3(c, src + i, dst + i, len - i);
+  }
+}
+
+#endif  // CYRUS_GALOIS_X86
+
+// --- Kernel tables and dispatch ---------------------------------------------
+
+const GaloisKernels kScalarKernels = {
+    GaloisKernelKind::kScalar, "scalar", MulAddRowScalar, MulRowScalar,
+    EncodeBlockWith<MulAddRowScalar>,
+};
+
+#if CYRUS_GALOIS_X86
+const GaloisKernels kSsse3Kernels = {
+    GaloisKernelKind::kSsse3, "ssse3", MulAddRowSsse3, MulRowSsse3,
+    EncodeBlockWith<MulAddRowSsse3>,
+};
+const GaloisKernels kAvx2Kernels = {
+    GaloisKernelKind::kAvx2, "avx2", MulAddRowAvx2, MulRowAvx2,
+    EncodeBlockWith<MulAddRowAvx2>,
+};
+#endif
+
+std::atomic<const GaloisKernels*> g_active{nullptr};
+
+// One gauge per kernel, 1 on the active one - so a scrape always shows
+// which code path the codec is running.
+void PublishKernelGauge(const GaloisKernels& active) {
+  static const char* const kNames[] = {"scalar", "ssse3", "avx2"};
+  for (const char* name : kNames) {
+    obs::MetricsRegistry::Default()
+        .GetGauge("cyrus_codec_kernel_active", {{"kernel", name}},
+                  "1 on the GF(2^8) kernel selected at dispatch, 0 otherwise")
+        ->Set(name == std::string_view(active.name) ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+
+bool GaloisKernelSupported(GaloisKernelKind kind) {
+  switch (kind) {
+    case GaloisKernelKind::kScalar:
+      return true;
+    case GaloisKernelKind::kSsse3:
+#if CYRUS_GALOIS_X86
+      __builtin_cpu_init();
+      return __builtin_cpu_supports("ssse3");
+#else
+      return false;
+#endif
+    case GaloisKernelKind::kAvx2:
+#if CYRUS_GALOIS_X86
+      __builtin_cpu_init();
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const GaloisKernels& ScalarGaloisKernels() { return kScalarKernels; }
+
+const GaloisKernels* GetGaloisKernels(GaloisKernelKind kind) {
+  if (!GaloisKernelSupported(kind)) {
+    return nullptr;
+  }
+  switch (kind) {
+    case GaloisKernelKind::kScalar:
+      return &kScalarKernels;
+#if CYRUS_GALOIS_X86
+    case GaloisKernelKind::kSsse3:
+      return &kSsse3Kernels;
+    case GaloisKernelKind::kAvx2:
+      return &kAvx2Kernels;
+#else
+    default:
+      break;
+#endif
+  }
+  return nullptr;
+}
+
+const GaloisKernels& SelectGaloisKernels(std::string_view name) {
+  if (name == "scalar") {
+    return kScalarKernels;
+  }
+  if (name == "ssse3") {
+    if (const GaloisKernels* k = GetGaloisKernels(GaloisKernelKind::kSsse3)) {
+      return *k;
+    }
+    return kScalarKernels;
+  }
+  // "avx2", empty, and unknown names all resolve to the widest supported
+  // kernel (for "avx2" that ladder is exactly the clean fallback).
+  if (const GaloisKernels* k = GetGaloisKernels(GaloisKernelKind::kAvx2)) {
+    return *k;
+  }
+  if (const GaloisKernels* k = GetGaloisKernels(GaloisKernelKind::kSsse3)) {
+    return *k;
+  }
+  return kScalarKernels;
+}
+
+const GaloisKernels& ActiveGaloisKernels() {
+  const GaloisKernels* active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) {
+    return *active;
+  }
+  const char* env = std::getenv("CYRUS_CODEC_KERNEL");
+  const GaloisKernels& picked = SelectGaloisKernels(env != nullptr ? env : "");
+  const GaloisKernels* expected = nullptr;
+  if (g_active.compare_exchange_strong(expected, &picked,
+                                       std::memory_order_acq_rel)) {
+    PublishKernelGauge(picked);
+    return picked;
+  }
+  return *expected;  // another thread won the race
+}
+
+void SetActiveGaloisKernelsForTest(const GaloisKernels* kernels) {
+  g_active.store(kernels, std::memory_order_release);
+  if (kernels != nullptr) {
+    PublishKernelGauge(*kernels);
+  }
+}
+
+}  // namespace cyrus

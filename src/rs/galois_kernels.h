@@ -1,0 +1,74 @@
+// Runtime-dispatched GF(2^8) row kernels: the inner loops of RS coding.
+//
+// The scalar log/exp-table loop in galois.cc moves ~200 MB/s; the SSSE3 and
+// AVX2 kernels here use the split-table method (Plank et al., "Screaming
+// Fast Galois Field Arithmetic Using Intel SIMD Instructions", FAST'13; the
+// same technique ISA-L ships): for a fixed multiplier c, precompute the 16
+// products c*v for each low nibble v and each high nibble v<<4, then one
+// pshufb per nibble turns 16 (SSSE3) or 32 (AVX2) byte multiplies into two
+// table shuffles and a XOR - multiple GB/s on one core.
+//
+// Dispatch happens once per process: CPUID picks the widest supported
+// kernel, overridable with CYRUS_CODEC_KERNEL=scalar|ssse3|avx2 (an
+// unsupported or unknown request falls back to the best the CPU has). The
+// scalar kernel is always available and is the correctness oracle: every
+// SIMD path is cross-checked byte-for-byte against it in
+// codec_property_test's differential battery.
+#ifndef SRC_RS_GALOIS_KERNELS_H_
+#define SRC_RS_GALOIS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cyrus {
+
+enum class GaloisKernelKind { kScalar, kSsse3, kAvx2 };
+
+// One kernel implementation. All functions accept len == 0 and arbitrary
+// (mis)alignment of src/dst; spans must not overlap.
+struct GaloisKernels {
+  GaloisKernelKind kind;
+  const char* name;  // "scalar" | "ssse3" | "avx2"
+
+  // dst[i] ^= c * src[i] for i in [0, len): the RS encode/decode inner loop.
+  void (*mul_add_row)(uint8_t c, const uint8_t* src, uint8_t* dst, size_t len);
+
+  // dst[i] = c * src[i].
+  void (*mul_row)(uint8_t c, const uint8_t* src, uint8_t* dst, size_t len);
+
+  // Fused multi-row encode: dsts[r][i] ^= coeffs[r] * src[i] for every
+  // r in [0, rows). Walks src in L1-sized strips so one load of the source
+  // feeds all output rows (the cache-blocking the matrix loop relies on).
+  void (*encode_block)(const uint8_t* coeffs, size_t rows, const uint8_t* src,
+                       size_t len, uint8_t* const* dsts);
+};
+
+// Whether this CPU can run `kind` (kScalar is always true).
+bool GaloisKernelSupported(GaloisKernelKind kind);
+
+// The always-available scalar reference kernel.
+const GaloisKernels& ScalarGaloisKernels();
+
+// The kernel table for `kind`, or nullptr if the CPU lacks the ISA.
+const GaloisKernels* GetGaloisKernels(GaloisKernelKind kind);
+
+// Resolves a kernel request by name. "scalar" always honors the request;
+// "ssse3"/"avx2" fall back down the ladder (avx2 -> ssse3 -> scalar) when
+// unsupported; empty or unknown names pick the widest supported kernel.
+const GaloisKernels& SelectGaloisKernels(std::string_view name);
+
+// The process-wide active kernel, selected on first use from the
+// CYRUS_CODEC_KERNEL environment variable and CPUID. Lock-free to read;
+// also publishes the cyrus_codec_kernel_active{kernel=...} gauge.
+const GaloisKernels& ActiveGaloisKernels();
+
+// Test hook: forces the active kernel (nullptr re-runs startup selection on
+// the next ActiveGaloisKernels() call). Not for production use - swapping
+// kernels mid-encode is safe for correctness (all kernels agree bytewise)
+// but makes throughput numbers meaningless.
+void SetActiveGaloisKernelsForTest(const GaloisKernels* kernels);
+
+}  // namespace cyrus
+
+#endif  // SRC_RS_GALOIS_KERNELS_H_

@@ -4,10 +4,35 @@
 #include <cassert>
 
 #include "src/crypto/naming.h"
+#include "src/obs/metrics.h"
 #include "src/rs/galois.h"
+#include "src/rs/galois_kernels.h"
 #include "src/util/strings.h"
 
 namespace cyrus {
+namespace {
+
+// Cache block for the matrix application: the encode walks the chunk in
+// strips of this many share bytes, producing every output row for a strip
+// before moving on, so the strip (plus one output strip per row) lives in
+// L1/L2 across the whole column pass instead of being re-fetched t times.
+constexpr size_t kCodecBlockBytes = 32 * 1024;
+
+obs::Counter* EncodeBytesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_codec_encode_bytes_total", {},
+      "Chunk bytes pushed through the RS encoder");
+  return counter;
+}
+
+obs::Counter* DecodeBytesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_codec_decode_bytes_total", {},
+      "Chunk bytes reconstructed by the RS decoder");
+  return counter;
+}
+
+}  // namespace
 
 size_t ShareSize(size_t chunk_size, uint32_t t) {
   assert(t > 0);
@@ -35,55 +60,129 @@ Result<SecretSharingCodec> SecretSharingCodec::Create(std::string_view key_strin
 
 Result<std::vector<Share>> SecretSharingCodec::Encode(ByteSpan chunk) const {
   const size_t share_len = ShareSize(chunk.size(), t_);
-
   std::vector<Share> shares(n_);
+  std::vector<MutableByteSpan> dsts(n_);
   for (uint32_t i = 0; i < n_; ++i) {
     shares[i].index = i;
-    shares[i].data.assign(share_len, 0);
+    shares[i].data.resize(share_len);
+    dsts[i] = MutableByteSpan(shares[i].data.data(), share_len);
   }
-  if (share_len == 0) {
-    return shares;
-  }
-
-  // Data row j is the contiguous slice chunk[j*L, (j+1)*L), zero-padded.
-  // share_i += M[i][j] * row_j for each j.
-  for (uint32_t j = 0; j < t_; ++j) {
-    const size_t begin = static_cast<size_t>(j) * share_len;
-    if (begin >= chunk.size()) {
-      break;  // fully padded rows contribute nothing
-    }
-    const size_t len = std::min(share_len, chunk.size() - begin);
-    const ByteSpan row = chunk.subspan(begin, len);
-    for (uint32_t i = 0; i < n_; ++i) {
-      Galois::MulAddRow(matrix_.At(i, j), row,
-                        MutableByteSpan(shares[i].data.data(), len));
-    }
-  }
+  CYRUS_RETURN_IF_ERROR(EncodeInto(chunk, dsts));
   return shares;
 }
 
+Status SecretSharingCodec::EncodeInto(ByteSpan chunk,
+                                      std::span<const MutableByteSpan> dsts) const {
+  const size_t share_len = ShareSize(chunk.size(), t_);
+  if (dsts.size() != n_) {
+    return InvalidArgumentError(
+        StrCat("EncodeInto needs ", n_, " destinations, got ", dsts.size()));
+  }
+  for (const MutableByteSpan& dst : dsts) {
+    if (dst.size() != share_len) {
+      return InvalidArgumentError(StrCat("destination size ", dst.size(),
+                                         " does not match share size ", share_len));
+    }
+  }
+  if (share_len == 0) {
+    return OkStatus();
+  }
+  EncodeBytesCounter()->Increment(chunk.size());
+
+  const GaloisKernels& kernels = ActiveGaloisKernels();
+  // Column-major copy of the dispersal matrix: the fused kernel consumes
+  // one column (all n coefficients of source row j) contiguously.
+  std::vector<uint8_t> columns(static_cast<size_t>(t_) * n_);
+  for (uint32_t j = 0; j < t_; ++j) {
+    for (uint32_t i = 0; i < n_; ++i) {
+      columns[static_cast<size_t>(j) * n_ + i] = matrix_.At(i, j);
+    }
+  }
+
+  // Data row j is the contiguous slice chunk[j*L, (j+1)*L), zero-padded;
+  // share_i += M[i][j] * row_j. Blocked: for each strip of the share, every
+  // present source row is applied to all n outputs before the strip
+  // advances (row lengths are non-increasing, so a row that ends before
+  // this strip ends them all). Row 0 always spans the full share (L =
+  // ceil(size/t) <= size), so it *initializes* each output strip with
+  // mul_row instead of accumulating into a memset: the shares make exactly
+  // one write pass through memory, and rows j >= 1 hit strips that are
+  // still cache-hot from that first pass. Padded tails past a short row's
+  // end would only ever receive zero contributions, so skipping them leaves
+  // the row-0 product in place - exactly the right bytes.
+  std::vector<uint8_t*> dst_ptrs(n_);
+  for (size_t block = 0; block < share_len; block += kCodecBlockBytes) {
+    const size_t strip = std::min(kCodecBlockBytes, share_len - block);
+    for (uint32_t i = 0; i < n_; ++i) {
+      dst_ptrs[i] = dsts[i].data() + block;
+      kernels.mul_row(columns[i], chunk.data() + block, dst_ptrs[i], strip);
+    }
+    for (uint32_t j = 1; j < t_; ++j) {
+      const size_t begin = static_cast<size_t>(j) * share_len;
+      if (begin >= chunk.size()) {
+        break;  // fully padded rows contribute nothing
+      }
+      const size_t row_len = std::min(share_len, chunk.size() - begin);
+      if (block >= row_len) {
+        break;
+      }
+      const size_t len = std::min(kCodecBlockBytes, row_len - block);
+      kernels.encode_block(&columns[static_cast<size_t>(j) * n_], n_,
+                           chunk.data() + begin + block, len, dst_ptrs.data());
+    }
+  }
+  return OkStatus();
+}
+
 Result<Share> SecretSharingCodec::EncodeShare(ByteSpan chunk, uint32_t index) const {
+  Share share;
+  share.index = index;
+  share.data.resize(ShareSize(chunk.size(), t_));
+  CYRUS_RETURN_IF_ERROR(EncodeShareInto(
+      chunk, index, MutableByteSpan(share.data.data(), share.data.size())));
+  return share;
+}
+
+Status SecretSharingCodec::EncodeShareInto(ByteSpan chunk, uint32_t index,
+                                           MutableByteSpan dst) const {
   if (index >= n_) {
     return InvalidArgumentError(StrCat("share index ", index, " out of range for n=", n_));
   }
   const size_t share_len = ShareSize(chunk.size(), t_);
-  Share share;
-  share.index = index;
-  share.data.assign(share_len, 0);
-  for (uint32_t j = 0; j < t_; ++j) {
+  if (dst.size() != share_len) {
+    return InvalidArgumentError(StrCat("destination size ", dst.size(),
+                                       " does not match share size ", share_len));
+  }
+  if (share_len == 0) {
+    return OkStatus();
+  }
+  // Row 0 always spans the full share, so it seeds the destination with
+  // MulRow (no memset pass); later, shorter rows accumulate on top and
+  // their padded tails correctly keep the earlier products.
+  Galois::MulRow(matrix_.At(index, 0), chunk.subspan(0, share_len),
+                 MutableByteSpan(dst.data(), share_len));
+  for (uint32_t j = 1; j < t_; ++j) {
     const size_t begin = static_cast<size_t>(j) * share_len;
     if (begin >= chunk.size()) {
       break;
     }
     const size_t len = std::min(share_len, chunk.size() - begin);
     Galois::MulAddRow(matrix_.At(index, j), chunk.subspan(begin, len),
-                      MutableByteSpan(share.data.data(), len));
+                      MutableByteSpan(dst.data(), len));
   }
-  return share;
+  return OkStatus();
 }
 
 Result<Bytes> SecretSharingCodec::Decode(const std::vector<Share>& shares,
                                          size_t chunk_size) const {
+  Bytes chunk(chunk_size, 0);
+  CYRUS_RETURN_IF_ERROR(DecodeInto(shares, MutableByteSpan(chunk)));
+  return chunk;
+}
+
+Status SecretSharingCodec::DecodeInto(const std::vector<Share>& shares,
+                                      MutableByteSpan chunk) const {
+  const size_t chunk_size = chunk.size();
   // Collect the first t distinct, in-range share indices.
   std::vector<size_t> row_indices;
   std::vector<const Bytes*> inputs;
@@ -115,27 +214,40 @@ Result<Bytes> SecretSharingCodec::Decode(const std::vector<Share>& shares,
     }
   }
 
-  Bytes chunk(chunk_size, 0);
   if (chunk_size == 0) {
-    return chunk;
+    return OkStatus();
   }
+  DecodeBytesCounter()->Increment(chunk_size);
 
   CYRUS_ASSIGN_OR_RETURN(GfMatrix decode, matrix_.SelectRows(row_indices).Inverted());
 
   // Row j of the original data = sum_k decode[j][k] * share_k; write it
-  // directly into its slice of the output, trimming the padded tail.
-  for (uint32_t j = 0; j < t_; ++j) {
-    const size_t begin = static_cast<size_t>(j) * share_len;
-    if (begin >= chunk_size) {
-      break;
-    }
-    const size_t len = std::min(share_len, chunk_size - begin);
-    MutableByteSpan out(chunk.data() + begin, len);
-    for (uint32_t k = 0; k < t_; ++k) {
-      Galois::MulAddRow(decode.At(j, k), ByteSpan(inputs[k]->data(), len), out);
+  // directly into its slice of the output, trimming the padded tail. The
+  // strip loop keeps the t input strips hot in cache across every output
+  // row instead of streaming each full share t times (row lengths are
+  // non-increasing, so a row ending before this strip ends them all). The
+  // k = 0 term seeds each output strip with mul_row, so the chunk is
+  // written in a single pass with no memset prepass.
+  const GaloisKernels& kernels = ActiveGaloisKernels();
+  for (size_t block = 0; block < share_len; block += kCodecBlockBytes) {
+    for (uint32_t j = 0; j < t_; ++j) {
+      const size_t begin = static_cast<size_t>(j) * share_len;
+      if (begin >= chunk_size) {
+        break;
+      }
+      const size_t row_len = std::min(share_len, chunk_size - begin);
+      if (block >= row_len) {
+        break;
+      }
+      const size_t len = std::min(kCodecBlockBytes, row_len - block);
+      uint8_t* out = chunk.data() + begin + block;
+      kernels.mul_row(decode.At(j, 0), inputs[0]->data() + block, out, len);
+      for (uint32_t k = 1; k < t_; ++k) {
+        kernels.mul_add_row(decode.At(j, k), inputs[k]->data() + block, out, len);
+      }
     }
   }
-  return chunk;
+  return OkStatus();
 }
 
 Result<SecretSharingCodec::ErrorDecodeResult>

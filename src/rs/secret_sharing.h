@@ -14,6 +14,7 @@
 #define SRC_RS_SECRET_SHARING_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,20 @@ class SecretSharingCodec {
   // The chunk may be empty (shares are then empty too).
   Result<std::vector<Share>> Encode(ByteSpan chunk) const;
 
+  // Encodes into caller-provided destinations - one span per share index,
+  // each exactly ShareSize(chunk.size(), t) bytes. This is the zero-copy
+  // entry the transfer path uses: shares are produced directly inside the
+  // pooled buffers the connectors upload (src/util/buffer_pool.h), and the
+  // matrix application is cache-blocked so the chunk streams through L1
+  // once per block instead of once per (row, share) pair. Destinations are
+  // zeroed first and must not alias the chunk or each other.
+  Status EncodeInto(ByteSpan chunk, std::span<const MutableByteSpan> dsts) const;
+
+  // Single-share variant of EncodeInto (index < n, dst exactly
+  // ShareSize(chunk.size(), t) bytes) - the repair engine re-encodes lost
+  // shares straight into pooled upload buffers with this.
+  Status EncodeShareInto(ByteSpan chunk, uint32_t index, MutableByteSpan dst) const;
+
   // Regenerates the single share with the given index (< n) without
   // materializing the others - used for lazy share migration (paper §5.5):
   // after a CSP disappears, the client rebuilds just the lost share from
@@ -59,6 +74,12 @@ class SecretSharingCodec {
   // Fails with kDataLoss if fewer than t distinct shares are given, and
   // with kInvalidArgument on inconsistent share sizes or bad indices.
   Result<Bytes> Decode(const std::vector<Share>& shares, size_t chunk_size) const;
+
+  // Decode variant writing the reconstructed chunk into a caller-provided
+  // buffer of exactly the original chunk size (Get decodes every chunk
+  // straight into its slice of the assembled file, skipping the per-chunk
+  // allocation and the assemble copy).
+  Status DecodeInto(const std::vector<Share>& shares, MutableByteSpan chunk) const;
 
   // Error-correcting decode (paper §5.1 footnote 9: "R-S coding ... can
   // recover a chunk's data even if there are errors in the t shares").

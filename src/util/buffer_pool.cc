@@ -1,0 +1,150 @@
+#include "src/util/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+#include "src/obs/metrics.h"
+
+namespace cyrus {
+namespace {
+
+// Process-wide pool counters (find-or-create, so every pool in the process
+// aggregates into one series; the pool hit rate the codec dashboards chart
+// is hits / (hits + misses)).
+obs::Counter* HitsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_bufpool_hits_total", {}, "Buffer checkouts served from the free list");
+  return counter;
+}
+
+obs::Counter* MissesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "cyrus_bufpool_misses_total", {}, "Buffer checkouts that allocated fresh memory");
+  return counter;
+}
+
+obs::Gauge* FreeBytesGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Default().GetGauge(
+      "cyrus_bufpool_free_bytes", {}, "Bytes parked in buffer-pool free lists");
+  return gauge;
+}
+
+}  // namespace
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : pool_(other.pool_), data_(other.data_), capacity_(other.capacity_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+  other.capacity_ = 0;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() { Release(); }
+
+MutableByteSpan PooledBuffer::span(size_t len) const {
+  assert(len <= capacity_);
+  return MutableByteSpan(data_, len);
+}
+
+void PooledBuffer::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Release(data_, capacity_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  capacity_ = 0;
+}
+
+BufferPool::BufferPool() : BufferPool(Options{}) {}
+
+BufferPool::BufferPool(Options options) : options_(options) {
+  assert(options_.alignment != 0 &&
+         (options_.alignment & (options_.alignment - 1)) == 0);
+}
+
+BufferPool::~BufferPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(outstanding_ == 0 && "PooledBuffer outlived its BufferPool");
+  uint64_t freed = 0;
+  for (const FreeBuffer& buffer : free_) {
+    freed += buffer.capacity;
+    ::operator delete[](buffer.data, std::align_val_t(options_.alignment));
+  }
+  FreeBytesGauge()->Add(-static_cast<double>(freed));
+  free_.clear();
+}
+
+PooledBuffer BufferPool::Acquire(size_t min_bytes) {
+  const size_t granularity = std::max<size_t>(1, options_.capacity_granularity);
+  const size_t want =
+      ((std::max<size_t>(min_bytes, 1) + granularity - 1) / granularity) * granularity;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // free_ is capacity-sorted: the first fit is the tightest fit, so big
+    // buffers stay parked for the requests that actually need them.
+    auto it = std::find_if(free_.begin(), free_.end(), [&](const FreeBuffer& b) {
+      return b.capacity >= want;
+    });
+    if (it != free_.end()) {
+      const FreeBuffer buffer = *it;
+      free_.erase(it);
+      ++hits_;
+      ++outstanding_;
+      HitsCounter()->Increment();
+      FreeBytesGauge()->Add(-static_cast<double>(buffer.capacity));
+      return PooledBuffer(this, buffer.data, buffer.capacity);
+    }
+    ++misses_;
+    ++outstanding_;
+  }
+  MissesCounter()->Increment();
+  uint8_t* data = static_cast<uint8_t*>(
+      ::operator new[](want, std::align_val_t(options_.alignment)));
+  return PooledBuffer(this, data, want);
+}
+
+void BufferPool::Release(uint8_t* data, size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(outstanding_ > 0);
+    --outstanding_;
+    if (free_.size() < options_.max_free_buffers) {
+      const auto pos =
+          std::lower_bound(free_.begin(), free_.end(), capacity,
+                           [](const FreeBuffer& b, size_t cap) { return b.capacity < cap; });
+      free_.insert(pos, FreeBuffer{data, capacity});
+      FreeBytesGauge()->Add(static_cast<double>(capacity));
+      return;
+    }
+  }
+  ::operator delete[](data, std::align_val_t(options_.alignment));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.outstanding = outstanding_;
+  stats.free_buffers = free_.size();
+  for (const FreeBuffer& buffer : free_) {
+    stats.free_bytes += buffer.capacity;
+  }
+  return stats;
+}
+
+}  // namespace cyrus

@@ -1,0 +1,116 @@
+// A thread-safe pool of aligned, reusable byte buffers.
+//
+// The pipelined transfer engine encodes every chunk into n share buffers,
+// uploads them, and throws them away - at window w that is n*w allocations
+// plus faults per chunk, all of identical sizes. The pool recycles those
+// buffers: Acquire() hands back a released buffer when one is big enough
+// (a "hit"), or mints a fresh one (a "miss"). Buffers are aligned to
+// Options::alignment (32 bytes by default, one AVX2 vector) so the SIMD
+// codec's stores land on aligned lanes, and capacities are rounded up to
+// page multiples so buffers recycle across slightly different share sizes.
+//
+// Ownership rules (see DESIGN.md "buffer-pool ownership"): a PooledBuffer
+// is a unique handle - it returns its storage on destruction, must not
+// outlive its pool, and the bytes it exposes are only valid while the
+// handle lives. The transfer path therefore keeps the handle in the same
+// scope as the upload that reads from it; nothing downstream of a
+// connector call may retain the span.
+#ifndef SRC_UTIL_BUFFER_POOL_H_
+#define SRC_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace cyrus {
+
+class BufferPool;
+
+// Movable RAII handle over one pooled allocation. Default-constructed
+// handles are empty (data() == nullptr, capacity() == 0).
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PooledBuffer&& other) noexcept;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer();
+
+  uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+  // The first `len` bytes (len <= capacity()).
+  MutableByteSpan span(size_t len) const;
+
+  // Returns the storage to the pool now (also happens on destruction).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, uint8_t* data, size_t capacity)
+      : pool_(pool), data_(data), capacity_(capacity) {}
+
+  BufferPool* pool_ = nullptr;
+  uint8_t* data_ = nullptr;
+  size_t capacity_ = 0;
+};
+
+class BufferPool {
+ public:
+  struct Options {
+    // Buffer alignment in bytes; power of two. 32 = one AVX2 lane.
+    size_t alignment = 32;
+    // Capacities are rounded up to a multiple of this, so requests of
+    // slightly different sizes recycle the same buffers.
+    size_t capacity_granularity = 4096;
+    // Released buffers retained for reuse; beyond this they are freed.
+    // Bounds idle memory to roughly max_free_buffers * largest share size.
+    size_t max_free_buffers = 64;
+  };
+
+  BufferPool();
+  explicit BufferPool(Options options);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // A buffer with capacity >= min_bytes (the smallest retained buffer that
+  // fits, else a fresh allocation). Thread-safe. The handle must be
+  // released (or destroyed) before the pool is destroyed.
+  PooledBuffer Acquire(size_t min_bytes);
+
+  struct Stats {
+    uint64_t hits = 0;          // Acquire served from the free list
+    uint64_t misses = 0;        // Acquire had to allocate
+    uint64_t outstanding = 0;   // handles currently live
+    uint64_t free_buffers = 0;  // buffers parked in the free list
+    uint64_t free_bytes = 0;    // their summed capacity
+  };
+  Stats stats() const;
+
+ private:
+  friend class PooledBuffer;
+  void Release(uint8_t* data, size_t capacity);
+
+  struct FreeBuffer {
+    uint8_t* data;
+    size_t capacity;
+  };
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::vector<FreeBuffer> free_;  // kept sorted by capacity (ascending)
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t outstanding_ = 0;
+};
+
+}  // namespace cyrus
+
+#endif  // SRC_UTIL_BUFFER_POOL_H_

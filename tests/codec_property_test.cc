@@ -13,16 +13,41 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cloud/simulated_csp.h"
 #include "src/core/client.h"
+#include "src/rs/galois.h"
+#include "src/rs/galois_kernels.h"
 #include "src/rs/secret_sharing.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
 
 namespace cyrus {
 namespace {
+
+// Forces one kernel for a scope and restores runtime dispatch on exit, so
+// a failing assertion cannot leak a forced kernel into later tests.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(const GaloisKernels* kernels) {
+    SetActiveGaloisKernelsForTest(kernels);
+  }
+  ~ScopedKernel() { SetActiveGaloisKernelsForTest(nullptr); }
+};
+
+// The SIMD kernels this host can run (empty on non-x86 or pre-SSSE3 CPUs).
+std::vector<const GaloisKernels*> SimdKernels() {
+  std::vector<const GaloisKernels*> kernels;
+  for (GaloisKernelKind kind :
+       {GaloisKernelKind::kSsse3, GaloisKernelKind::kAvx2}) {
+    if (const GaloisKernels* k = GetGaloisKernels(kind)) {
+      kernels.push_back(k);
+    }
+  }
+  return kernels;
+}
 
 Bytes RandomContent(Rng& rng, size_t size) {
   Bytes data(size);
@@ -107,6 +132,156 @@ TEST(CodecPropertyTest, DecodingWithTheWrongKeyYieldsGarbageNotPlaintext) {
   // must not be the plaintext (paper §7.1: t shares alone are not enough).
   if (decoded.ok()) {
     EXPECT_NE(*decoded, payload);
+  }
+}
+
+// --- Differential battery: every SIMD kernel against the scalar oracle ---
+//
+// The scalar kernel is the reference implementation (DESIGN.md
+// "scalar-as-oracle"): whatever bytes it produces define correctness, and
+// the vectorized kernels must match them bit for bit on every size and
+// every pointer alignment - including the sizes that exercise only the
+// scalar tail (< one vector), exactly one vector, and vector +/- 1.
+
+constexpr size_t kAdversarialSizes[] = {0, 1, 31, 32, 33, 4095, 4096, 4097};
+
+TEST(CodecDifferentialTest, EveryKernelRoundTripsWithSharesIdenticalToScalar) {
+  const std::vector<const GaloisKernels*> simd = SimdKernels();
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD galois kernel on this host";
+  }
+  const std::pair<uint32_t, uint32_t> params[] = {
+      {1, 1}, {1, 4}, {2, 3}, {2, 6}, {3, 5}, {4, 7}, {5, 8}};
+  Rng rng(0x51DD1FF0);
+  for (const auto& [t, n] : params) {
+    SCOPED_TRACE(StrCat("t=", t, " n=", n));
+    auto codec = SecretSharingCodec::Create(StrCat("diff key ", t, n), t, n);
+    ASSERT_TRUE(codec.ok()) << codec.status();
+    for (const size_t size : kAdversarialSizes) {
+      SCOPED_TRACE(StrCat("size ", size));
+      const Bytes payload = RandomContent(rng, size);
+
+      std::vector<Share> oracle;
+      {
+        ScopedKernel forced(&ScalarGaloisKernels());
+        auto shares = codec->Encode(payload);
+        ASSERT_TRUE(shares.ok()) << shares.status();
+        oracle = *std::move(shares);
+      }
+      for (const GaloisKernels* kernels : simd) {
+        SCOPED_TRACE(kernels->name);
+        ScopedKernel forced(kernels);
+        auto shares = codec->Encode(payload);
+        ASSERT_TRUE(shares.ok()) << shares.status();
+        ASSERT_EQ(shares->size(), oracle.size());
+        for (size_t i = 0; i < oracle.size(); ++i) {
+          ASSERT_EQ((*shares)[i].data, oracle[i].data) << "share " << i;
+        }
+        // And the round trip closes under the SIMD kernel itself.
+        std::vector<Share> subset(shares->begin(), shares->begin() + t);
+        auto decoded = codec->Decode(subset, payload.size());
+        ASSERT_TRUE(decoded.ok()) << decoded.status();
+        EXPECT_EQ(*decoded, payload);
+      }
+    }
+  }
+}
+
+TEST(CodecDifferentialTest, RowKernelsMatchScalarAtEveryMisalignment) {
+  const std::vector<const GaloisKernels*> simd = SimdKernels();
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD galois kernel on this host";
+  }
+  Rng rng(0xA11C4ED);
+  // A 257-byte row crosses several vectors plus a ragged tail; sweeping
+  // both offsets over a full 32-byte (AVX2 vector) period covers every
+  // relative alignment of src and dst the loadu/storeu paths can see.
+  constexpr size_t kRow = 257;
+  const Bytes src_base = RandomContent(rng, kRow + 64);
+  const uint8_t coeffs[] = {0, 1, 2, 0x8e, 0xff};
+  for (const GaloisKernels* kernels : simd) {
+    SCOPED_TRACE(kernels->name);
+    for (size_t src_off = 0; src_off < 32; ++src_off) {
+      for (size_t dst_off = 0; dst_off < 32; ++dst_off) {
+        for (const uint8_t c : coeffs) {
+          Bytes dst_init = RandomContent(rng, kRow + 64);
+          Bytes expect = dst_init;
+          Bytes actual = dst_init;
+          ScalarGaloisKernels().mul_add_row(c, src_base.data() + src_off,
+                                            expect.data() + dst_off, kRow);
+          kernels->mul_add_row(c, src_base.data() + src_off,
+                               actual.data() + dst_off, kRow);
+          ASSERT_EQ(actual, expect)
+              << "mul_add_row c=" << int{c} << " src+" << src_off << " dst+"
+              << dst_off;
+          expect = dst_init;
+          actual = dst_init;
+          ScalarGaloisKernels().mul_row(c, src_base.data() + src_off,
+                                        expect.data() + dst_off, kRow);
+          kernels->mul_row(c, src_base.data() + src_off,
+                           actual.data() + dst_off, kRow);
+          ASSERT_EQ(actual, expect)
+              << "mul_row c=" << int{c} << " src+" << src_off << " dst+"
+              << dst_off;
+        }
+      }
+    }
+    // Adversarial lengths at a handful of representative offsets.
+    for (const size_t len : kAdversarialSizes) {
+      const Bytes src = RandomContent(rng, len + 32);
+      for (const size_t off : {size_t{0}, size_t{1}, size_t{15}, size_t{31}}) {
+        Bytes expect = RandomContent(rng, len);
+        Bytes actual = expect;
+        ScalarGaloisKernels().mul_add_row(0x53, src.data() + off, expect.data(),
+                                          len);
+        kernels->mul_add_row(0x53, src.data() + off, actual.data(), len);
+        ASSERT_EQ(actual, expect) << "len=" << len << " src+" << off;
+      }
+    }
+  }
+}
+
+// Seeded randomized stress loop (ctest label `stress`): the fused
+// EncodeBlock of every kernel - including scalar's own - against a
+// row-by-row reference built from scalar MulAddRow.
+TEST(CodecStress, EncodeBlockMatchesRowByRowScalarMulAddRow) {
+  std::vector<const GaloisKernels*> kernels = SimdKernels();
+  kernels.push_back(&ScalarGaloisKernels());
+  Rng rng(0x57E55ED);
+  for (int iter = 0; iter < 150; ++iter) {
+    SCOPED_TRACE(StrCat("iter ", iter));
+    const size_t rows = 1 + rng.NextBelow(8);
+    const size_t len = rng.NextBelow(20000);  // spans several 4 KB strips
+    const size_t src_off = rng.NextBelow(32);
+    std::vector<uint8_t> coeffs(rows);
+    for (auto& c : coeffs) {
+      c = static_cast<uint8_t>(rng.Next());
+    }
+    const Bytes src = RandomContent(rng, len + src_off);
+
+    // Reference: plain scalar MulAddRow per row, no fused path involved.
+    std::vector<Bytes> expect(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      expect[r] = RandomContent(rng, len + 32);
+    }
+    std::vector<Bytes> actual_init = expect;
+    for (size_t r = 0; r < rows; ++r) {
+      ScalarGaloisKernels().mul_add_row(coeffs[r], src.data() + src_off,
+                                        expect[r].data() + (r % 32), len);
+    }
+    for (const GaloisKernels* k : kernels) {
+      SCOPED_TRACE(k->name);
+      std::vector<Bytes> actual = actual_init;
+      std::vector<uint8_t*> dsts(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        dsts[r] = actual[r].data() + (r % 32);  // per-row misalignment
+      }
+      k->encode_block(coeffs.data(), rows, src.data() + src_off, len,
+                      dsts.data());
+      for (size_t r = 0; r < rows; ++r) {
+        ASSERT_EQ(actual[r], expect[r]) << "row " << r;
+      }
+    }
   }
 }
 

@@ -165,5 +165,25 @@ TEST(GaloisTest, MulRowScales) {
   EXPECT_EQ(dst, (Bytes{0, 0, 0, 0}));
 }
 
+// log(0) does not exist in GF(2^8); the table entry is deliberately
+// poisoned with an out-of-range sentinel rather than a plausible-looking 0.
+// This is a contract for kernel authors: any table-building code that
+// copies log_table()[0] into SIMD constants without the zero guard indexes
+// exp_table() out of bounds (510 entries, sentinel 0x1FF = 511) and trips
+// ASan / a debug assert, instead of silently baking garbage into the
+// multiply tables for every row-0 product.
+TEST(GaloisTest, LogTableZeroEntryIsPoisonedSentinel) {
+  EXPECT_EQ(Galois::log_table()[0], Galois::kLogZeroSentinel);
+  // The sentinel must stay out of range of the doubled exp table even when
+  // added to the largest legal logarithm (254): guard-free use is loud.
+  EXPECT_GE(static_cast<size_t>(Galois::kLogZeroSentinel),
+            Galois::exp_table().size());
+  // Every *real* entry stays a valid logarithm.
+  for (int b = 1; b < 256; ++b) {
+    ASSERT_LT(Galois::log_table()[b], 255) << "log[" << b << "]";
+    EXPECT_EQ(Galois::exp_table()[Galois::log_table()[b]], b);
+  }
+}
+
 }  // namespace
 }  // namespace cyrus
