@@ -15,6 +15,13 @@
 #                                   #   kernel dispatch, buffer pool) run
 #                                   #   under the dispatched kernel and
 #                                   #   again forced to ssse3 and scalar
+#   scripts/check.sh --stream       # + streaming tier: ARC chunk cache +
+#                                   #   range-read suites (`ctest -L
+#                                   #   stream`, also in the fast tier) and
+#                                   #   the bench_streaming bars (range
+#                                   #   byte accounting, warm TTFB,
+#                                   #   readahead rebuffers, whole-file
+#                                   #   A/B parity)
 #   scripts/check.sh --all          # every labeled suite
 #   scripts/check.sh --bench        # + bench binaries with hard bars
 #                                   #   (pipeline, degraded, repair, the
@@ -40,6 +47,7 @@ RUN_SOAK=0
 RUN_METRICS=0
 RUN_CHAOS=0
 RUN_CODEC=0
+RUN_STREAM=0
 RUN_BENCH=0
 RUN_TSAN=0
 
@@ -50,7 +58,8 @@ for arg in "$@"; do
     --metrics) RUN_METRICS=1 ;;
     --chaos)   RUN_CHAOS=1 ;;
     --codec)   RUN_CODEC=1 ;;
-    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1; RUN_CODEC=1 ;;
+    --stream)  RUN_STREAM=1 ;;
+    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1; RUN_CODEC=1; RUN_STREAM=1 ;;
     --bench)   RUN_BENCH=1 ;;
     --tsan)    RUN_TSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -105,6 +114,12 @@ if [[ "$RUN_CODEC" == 1 ]]; then
   CYRUS_CODEC_KERNEL=scalar ctest --test-dir build -L codec --output-on-failure
 fi
 
+if [[ "$RUN_STREAM" == 1 ]]; then
+  echo "== stream: chunk cache + range reads + streaming bars =="
+  ctest --test-dir build -L stream --output-on-failure
+  (cd build && ./bench/bench_streaming)
+fi
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== bench: pipeline / degraded / repair / gateway / dedup bars =="
   # Each binary enforces its own hard bars and exits non-zero on a miss
@@ -116,21 +131,23 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     ./bench/bench_repair &&
     ./bench/bench_gateway &&
     ./bench/bench_dedup &&
+    ./bench/bench_streaming &&
     ./bench/bench_fig12_erasure)
   echo "== bench: delta vs bench/baselines =="
   python3 scripts/bench_delta.py \
     build/BENCH_pipeline.json build/BENCH_degraded.json \
     build/BENCH_repair.json build/BENCH_gateway.json \
-    build/BENCH_dedup.json build/BENCH_codec.json
+    build/BENCH_dedup.json build/BENCH_streaming.json build/BENCH_codec.json
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress battery + gateway concurrency under ThreadSanitizer =="
   configure build-tsan -DENABLE_TSAN=ON
-  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test buffer_pool_test codec_stress_test
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test buffer_pool_test chunk_cache_test codec_stress_test
   (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test &&
     ./tests/gateway_test && ./tests/dedup_test &&
-    ./tests/buffer_pool_test && ./tests/codec_stress_test)
+    ./tests/buffer_pool_test && ./tests/chunk_cache_test &&
+    ./tests/codec_stress_test)
 fi
 
 echo "OK"

@@ -103,6 +103,48 @@ bool ParseMetaShareName(std::string_view object, std::string* base, uint32_t* in
   return true;
 }
 
+// Live (undeleted) heads of `name`, newest-winner first in *winner; fails
+// with NotFound when none exist. Shared by Get and GetRange.
+Result<const FileVersion*> NewestLiveHead(const VersionTree& tree,
+                                          std::string_view name,
+                                          std::vector<const FileVersion*>* live) {
+  live->clear();
+  for (const FileVersion* head : tree.Heads(name)) {
+    if (!head->deleted) {
+      live->push_back(head);
+    }
+  }
+  if (live->empty()) {
+    return NotFoundError(StrCat("no live version of ", name));
+  }
+  const FileVersion* newest = live->front();
+  for (const FileVersion* head : *live) {
+    if (head->modified_time > newest->modified_time ||
+        (head->modified_time == newest->modified_time && head->id > newest->id)) {
+      newest = head;
+    }
+  }
+  return newest;
+}
+
+// Marks a multi-head name's result as conflicted (paper §5.4).
+void AnnotateConflicts(const std::vector<const FileVersion*>& live,
+                       std::string_view name, GetResult& result) {
+  if (live.size() < 2) {
+    return;
+  }
+  result.had_conflicts = true;
+  bool all_roots = true;
+  std::vector<Sha1Digest> ids;
+  for (const FileVersion* head : live) {
+    all_roots &= IsNullDigest(head->prev_id);
+    ids.push_back(head->id);
+  }
+  result.conflicts.push_back(Conflict{
+      all_roots ? ConflictType::kSameName : ConflictType::kDivergedVersions,
+      std::string(name), std::move(ids)});
+}
+
 }  // namespace
 
 CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
@@ -110,6 +152,9 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
       deriver_(config_.dedup_salt, config_.key_string),
       chunker_(std::move(chunker)),
       ring_(config_.ring_virtual_points),
+      chunk_cache_(ChunkCacheOptions{config_.chunk_cache_bytes,
+                                     config_.chunk_cache_shards,
+                                     config_.metrics}),
       selector_(std::make_unique<OptimalDownloadSelector>()) {
   if (config_.transfer_concurrency > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.transfer_concurrency);
@@ -178,6 +223,17 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
   codec_creates_ = metrics_->GetCounter("cyrus_client_codec_creates_total", {},
                                         "Secret-sharing codecs constructed for "
                                         "chunk scatter (one per Put, not per chunk)");
+  range_gets_total_ = metrics_->GetCounter("cyrus_client_range_gets_total", {},
+                                           "GetRange operations attempted");
+  readahead_issued_ = metrics_->GetCounter("cyrus_readahead_issued_total", {},
+                                           "Chunk prefetches handed to the pool");
+  readahead_completed_ = metrics_->GetCounter(
+      "cyrus_readahead_completed_total", {},
+      "Prefetched chunks decoded, verified, and cached");
+  readahead_cancelled_ = metrics_->GetCounter(
+      "cyrus_readahead_cancelled_total", {},
+      "Prefetches credited back because the reader seeked (or the fetch "
+      "failed) before they ran");
   put_latency_ms_ = metrics_->GetHistogram("cyrus_client_put_latency_ms", {}, {},
                                            "End-to-end Put pipeline wall time");
   get_latency_ms_ = metrics_->GetHistogram("cyrus_client_get_latency_ms", {}, {},
@@ -1680,10 +1736,16 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
   // the tree for history, but their zero-ref chunks become scrub-
   // reclaimable. Only the convergent deployments pay this: the legacy
   // path keeps its append-only refcounts, matching pre-dedup behaviour.
-  if (convergent && !IsNullDigest(parent)) {
+  if (!IsNullDigest(parent)) {
     const FileVersion* old_head = tree_.Find(parent);
     if (old_head != nullptr && !old_head->deleted) {
-      ReleaseChunkRefs(old_head->chunks);
+      // Superseded chunks leave the decoded-chunk cache in every dedup
+      // mode; chunks the new version still references stay warm (content
+      // addressing makes them byte-identical).
+      InvalidateCachedChunks(old_head->chunks, &version.chunks);
+      if (convergent) {
+        ReleaseChunkRefs(old_head->chunks);
+      }
     }
   }
   result.transfer.Append(meta_report);
@@ -1701,35 +1763,15 @@ Result<GetResult> CyrusClient::Get(std::string_view name) {
   }
 
   std::vector<const FileVersion*> live;
-  for (const FileVersion* head : tree_.Heads(name)) {
-    if (!head->deleted) {
-      live.push_back(head);
-    }
-  }
-  if (live.empty()) {
-    return NotFoundError(StrCat("no live version of ", name));
-  }
-  const FileVersion* newest = live.front();
-  for (const FileVersion* head : live) {
-    if (head->modified_time > newest->modified_time ||
-        (head->modified_time == newest->modified_time && head->id > newest->id)) {
-      newest = head;
-    }
-  }
+  CYRUS_ASSIGN_OR_RETURN(const FileVersion* newest,
+                         NewestLiveHead(tree_, name, &live));
 
-  CYRUS_ASSIGN_OR_RETURN(GetResult result, GetVersionTraced(name, newest->id, trace));
-  if (live.size() > 1) {
-    result.had_conflicts = true;
-    bool all_roots = true;
-    std::vector<Sha1Digest> ids;
-    for (const FileVersion* head : live) {
-      all_roots &= IsNullDigest(head->prev_id);
-      ids.push_back(head->id);
-    }
-    result.conflicts.push_back(Conflict{
-        all_roots ? ConflictType::kSameName : ConflictType::kDivergedVersions,
-        std::string(name), std::move(ids)});
-  }
+  Result<GetResult> body =
+      config_.get_via_range_path
+          ? GetRangeTraced(name, newest->id, 0, 0, /*whole_file=*/true, trace)
+          : GetFullFileLegacy(name, newest->id, trace);
+  CYRUS_ASSIGN_OR_RETURN(GetResult result, std::move(body));
+  AnnotateConflicts(live, name, result);
   return result;
 }
 
@@ -1738,12 +1780,41 @@ Result<GetResult> CyrusClient::GetVersion(std::string_view name,
   gets_total_->Increment();
   LatencyRecorder latency(get_latency_ms_);
   obs::TraceBuilder trace(traces_, "GetVersion", std::string(name));
-  return GetVersionTraced(name, version_id, trace);
+  if (config_.get_via_range_path) {
+    return GetRangeTraced(name, version_id, 0, 0, /*whole_file=*/true, trace);
+  }
+  return GetFullFileLegacy(name, version_id, trace);
 }
 
-Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
-                                                const Sha1Digest& version_id,
-                                                obs::TraceBuilder& trace) {
+Result<GetResult> CyrusClient::GetRange(std::string_view name, uint64_t offset,
+                                        uint64_t len) {
+  gets_total_->Increment();
+  range_gets_total_->Increment();
+  LatencyRecorder latency(get_latency_ms_);
+  obs::TraceBuilder trace(traces_, "GetRange", std::string(name));
+  {
+    obs::ScopedSpan sync_span = trace.Span("sync_meta");
+    CYRUS_RETURN_IF_ERROR(SyncMetadata().status());
+  }
+  std::vector<const FileVersion*> live;
+  CYRUS_ASSIGN_OR_RETURN(const FileVersion* newest,
+                         NewestLiveHead(tree_, name, &live));
+  CYRUS_ASSIGN_OR_RETURN(
+      GetResult result,
+      GetRangeTraced(name, newest->id, offset, len, /*whole_file=*/false, trace));
+  AnnotateConflicts(live, name, result);
+  // Readahead fires only after the foreground bytes are assembled, so the
+  // detector sees the range the caller actually consumed.
+  if (const FileVersion* version = tree_.Find(result.version_id)) {
+    MaybeScheduleReadahead(std::string(name), *version, result.range_offset,
+                           result.content.size());
+  }
+  return result;
+}
+
+Result<GetResult> CyrusClient::GetFullFileLegacy(std::string_view name,
+                                                 const Sha1Digest& version_id,
+                                                 obs::TraceBuilder& trace) {
   const FileVersion* version = tree_.Find(version_id);
   if (version == nullptr || version->file_name != name) {
     return NotFoundError(StrCat("no version ", version_id.ToHex(), " of ", name));
@@ -1751,6 +1822,7 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
 
   GetResult result;
   result.version_id = version_id;
+  result.file_size = version->size;
 
   // Build the download problem over *unique* chunks (duplicates within the
   // file are copied from the first occurrence's slice after the drain).
@@ -1858,6 +1930,7 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
       result.hedged_downloads += slot->hedged;
       CYRUS_RETURN_IF_ERROR(slot->status);
       chunks_gathered_->Increment();
+      ++result.chunks_decoded;
       gather_span.AddBytes(slot->chunk.size);
 
       // Persist this chunk's migrations into the version's ShareMap (the
@@ -1925,6 +1998,467 @@ Result<GetResult> CyrusClient::GetVersionTraced(std::string_view name,
   assemble_span.End();
   RecordTransferMetrics(result.transfer, metrics_);
   return result;
+}
+
+Result<GetResult> CyrusClient::GetRangeTraced(std::string_view name,
+                                              const Sha1Digest& version_id,
+                                              uint64_t offset, uint64_t len,
+                                              bool whole_file,
+                                              obs::TraceBuilder& trace) {
+  const FileVersion* version = tree_.Find(version_id);
+  if (version == nullptr || version->file_name != name) {
+    return NotFoundError(StrCat("no version ", version_id.ToHex(), " of ", name));
+  }
+  if (whole_file) {
+    offset = 0;
+    len = version->size;
+  }
+  if (offset > version->size) {
+    // The REST layer maps this to 416 Range Not Satisfiable.
+    return InvalidArgumentError(StrCat(name, ": range start ", offset,
+                                       " past end of ", version->size,
+                                       "-byte file"));
+  }
+  len = std::min(len, version->size - offset);
+  const uint64_t range_end = offset + len;
+
+  GetResult result;
+  result.version_id = version_id;
+  result.file_size = version->size;
+  result.range_offset = offset;
+  result.content.assign(len, 0);
+
+  // Covering chunks, in file order. A record covers the range iff it
+  // overlaps [offset, range_end); everything else is never downloaded,
+  // decoded, or allocated - the whole point of the range path. Geometry is
+  // validated for every record so a corrupt chunk table fails loudly even
+  // when the bad record is outside the range.
+  obs::ScopedSpan select_span = trace.Span("select");
+  std::vector<const ChunkRecord*> covering;
+  std::map<Sha1Digest, const ChunkRecord*> by_id;  // first covering record
+  std::vector<Sha1Digest> unique_ids;
+  std::set<Sha1Digest> dup_ids;  // ids with >1 covering occurrence
+  for (const ChunkRecord& chunk : version->chunks) {
+    if (chunk.offset + chunk.size > version->size) {
+      return DataLossError(StrCat(name, ": chunk geometry mismatch"));
+    }
+    if (chunk.offset >= range_end || chunk.offset + chunk.size <= offset) {
+      continue;
+    }
+    covering.push_back(&chunk);
+    if (by_id.emplace(chunk.id, &chunk).second) {
+      unique_ids.push_back(chunk.id);
+    } else {
+      dup_ids.insert(chunk.id);
+    }
+  }
+
+  // Copies a decoded chunk's overlap with the range into the result span.
+  auto copy_overlap = [&](const ChunkRecord& chunk, const Bytes& data) {
+    const uint64_t begin = std::max<uint64_t>(chunk.offset, offset);
+    const uint64_t end =
+        std::min<uint64_t>(chunk.offset + chunk.size, range_end);
+    std::copy_n(data.begin() + static_cast<ptrdiff_t>(begin - chunk.offset),
+                end - begin,
+                result.content.begin() + static_cast<ptrdiff_t>(begin - offset));
+  };
+
+  // Buffers pinned for the post-drain duplicate fill: cache hits and
+  // gathered chunks whose id recurs in the covering set. Pinning (rather
+  // than re-Get from the cache) keeps the fill correct even if the ARC
+  // evicts the entry mid-operation.
+  std::map<Sha1Digest, std::shared_ptr<const Bytes>> resident;
+
+  // Cache pass, on the driver thread: hits are copied out immediately and
+  // drop out of the download problem entirely.
+  std::vector<Sha1Digest> to_gather;
+  for (const Sha1Digest& id : unique_ids) {
+    std::shared_ptr<const Bytes> cached = chunk_cache_.Get(id);
+    if (cached == nullptr) {
+      to_gather.push_back(id);
+      continue;
+    }
+    ++result.chunks_from_cache;
+    copy_overlap(*by_id.at(id), *cached);
+    if (dup_ids.count(id) > 0) {
+      resident.emplace(id, std::move(cached));
+    }
+  }
+
+  // Optimized downlink selection over the chunks that actually need the
+  // network (Algorithm 1), exactly as in the whole-file path.
+  DownloadProblem problem;
+  problem.t = config_.t;
+  problem.client_bandwidth = config_.client_downlink_bytes_per_sec;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    auto profile = registry_.profile(static_cast<int>(i));
+    problem.csp_bandwidth.push_back(profile.ok() ? profile->download_bytes_per_sec
+                                                 : 1.0);
+  }
+  bool optimizable = true;
+  for (const Sha1Digest& id : to_gather) {
+    const ChunkRecord* chunk = by_id.at(id);
+    if (chunk->t != config_.t) {
+      optimizable = false;
+    }
+    DownloadChunk dc;
+    dc.share_bytes = static_cast<double>(ShareSize(chunk->size, chunk->t));
+    const std::vector<ShareLocation> locations = ResolveChunkLocations(*version, id);
+    std::set<int> active_holders;
+    for (const ShareLocation& loc : locations) {
+      auto state = registry_.state(loc.csp);
+      if (state.ok() && *state == CspState::kActive) {
+        active_holders.insert(loc.csp);
+      }
+    }
+    dc.stored_at.assign(active_holders.begin(), active_holders.end());
+    problem.chunks.push_back(std::move(dc));
+  }
+  std::vector<std::vector<int>> selections(to_gather.size());
+  if (optimizable) {
+    auto assignment = selector_->Select(problem);
+    if (assignment.ok()) {
+      selections = assignment->selected;
+    }
+  }
+  select_span.End();
+
+  // Pipelined gather of the misses. The range path decodes each chunk into
+  // a fresh cache-owned buffer (inserted on completion, overlap copied to
+  // the result); the whole-file path keeps the zero-copy decode straight
+  // into the result slice and does NOT populate the cache - one large
+  // download must not flush a streaming working set. Fragment scheduling:
+  // a range Get caps the window at max_resident_chunks decoded buffers so
+  // memory stays bounded regardless of span length.
+  obs::ScopedSpan gather_span = trace.Span("gather");
+  struct GatherSlot {
+    ChunkRecord chunk;
+    std::shared_ptr<Bytes> buffer;  // range path only
+    MutableByteSpan dst;
+    std::vector<ShareLocation> locations;
+    std::vector<int> selected;
+    Status status = InternalError("not gathered");
+    std::vector<ShareLocation> updated;
+    size_t migrated = 0;
+    size_t hedged = 0;
+    TransferReport report;
+  };
+  std::list<GatherSlot> slots;  // stable addresses; outlives the pipeline
+  const std::string file_name(version->file_name);
+  OrderedPipeline::Options window;
+  window.max_in_flight = pipeline_window();
+  if (!whole_file && config_.max_resident_chunks > 0) {
+    window.max_in_flight = std::min<size_t>(window.max_in_flight,
+                                            config_.max_resident_chunks);
+  }
+  window.max_in_flight_bytes = config_.pipeline_window_bytes;
+  OrderedPipeline pipeline(pool_.get(), window);
+
+  Status pipeline_status;
+  for (size_t i = 0; i < to_gather.size(); ++i) {
+    slots.emplace_back();
+    GatherSlot* slot = &slots.back();
+    slot->chunk = *by_id.at(to_gather[i]);
+    if (whole_file) {
+      slot->dst = MutableByteSpan(result.content.data() + slot->chunk.offset,
+                                  slot->chunk.size);
+    } else {
+      slot->buffer = std::make_shared<Bytes>(slot->chunk.size);
+      slot->dst = MutableByteSpan(*slot->buffer);
+    }
+    slot->locations = ResolveChunkLocations(*version, slot->chunk.id);
+    slot->selected = selections[i];
+
+    auto work = [this, slot, &file_name] {
+      slot->status = GatherChunk(file_name, slot->chunk, slot->dst,
+                                 slot->locations, slot->selected, slot->updated,
+                                 slot->migrated, slot->hedged, slot->report);
+    };
+    auto on_complete = [this, slot, &version, &version_id, &result, &gather_span,
+                        &resident, &dup_ids, &copy_overlap,
+                        whole_file]() -> Status {
+      result.transfer.Append(slot->report);
+      result.hedged_downloads += slot->hedged;
+      CYRUS_RETURN_IF_ERROR(slot->status);
+      chunks_gathered_->Increment();
+      ++result.chunks_decoded;
+      gather_span.AddBytes(slot->chunk.size);
+
+      // Persist this chunk's migrations into the version's ShareMap (the
+      // metadata republish happens once, after the drain).
+      if (slot->migrated > 0) {
+        result.migrated_shares += slot->migrated;
+        std::vector<ShareLocation> merged;
+        for (const ShareLocation& loc : version->shares) {
+          if (loc.chunk_id != slot->chunk.id) {
+            merged.push_back(loc);
+          }
+        }
+        merged.insert(merged.end(), slot->updated.begin(), slot->updated.end());
+        CYRUS_RETURN_IF_ERROR(
+            tree_.UpdateShareLocations(version->id, std::move(merged)));
+        version = tree_.Find(version_id);  // re-resolve after mutation
+        if (slot->chunk.dedup && config_.share_index != nullptr) {
+          if (const ChunkEntry* moved = chunk_table_.Find(slot->chunk.id)) {
+            (void)config_.share_index->ReplaceShares(slot->chunk.id,
+                                                     moved->shares);
+          }
+        }
+      }
+
+      if (!whole_file) {
+        copy_overlap(slot->chunk, *slot->buffer);
+        std::shared_ptr<const Bytes> decoded = std::move(slot->buffer);
+        if (dup_ids.count(slot->chunk.id) > 0) {
+          resident.emplace(slot->chunk.id, decoded);
+        }
+        chunk_cache_.Put(slot->chunk.id, std::move(decoded));
+      }
+      return OkStatus();
+    };
+    pipeline_status = pipeline.Submit(slot->chunk.size, std::move(work),
+                                      std::move(on_complete));
+    if (!pipeline_status.ok()) {
+      break;
+    }
+  }
+  {
+    obs::ScopedSpan drain_span = trace.Span("pipeline_drain");
+    const Status drained = pipeline.Drain();
+    if (pipeline_status.ok()) {
+      pipeline_status = drained;
+    }
+  }
+  CYRUS_RETURN_IF_ERROR(pipeline_status);
+  gather_span.End();
+  if (result.migrated_shares > 0) {
+    shares_migrated_->Increment(result.migrated_shares);
+    obs::ScopedSpan republish_span = trace.Span("republish_meta");
+    TransferReport meta_report;
+    CYRUS_RETURN_IF_ERROR(UploadMetadata(*version, meta_report));
+    result.transfer.Append(meta_report);
+  }
+
+  // Duplicate fill: every covering record after the first for its id. The
+  // bytes come from the pinned buffer (range path, or a whole-file cache
+  // hit) so a cache-resident duplicate is never recopied through the
+  // content vector; the whole-file gathered case - where the chunk decoded
+  // straight into its first slice and no buffer exists - copies from that
+  // slice, which there always holds the complete chunk.
+  obs::ScopedSpan assemble_span = trace.Span("assemble");
+  for (const ChunkRecord* chunk : covering) {
+    const ChunkRecord* first = by_id.at(chunk->id);
+    if (chunk == first) {
+      continue;
+    }
+    auto pinned = resident.find(chunk->id);
+    if (pinned != resident.end()) {
+      copy_overlap(*chunk, *pinned->second);
+      continue;
+    }
+    if (!whole_file) {
+      // Unreachable: the range path pins every duplicate id above.
+      return InternalError(StrCat(name, ": duplicate chunk ",
+                                  chunk->id.ToHex(), " has no pinned buffer"));
+    }
+    std::copy_n(result.content.begin() + static_cast<ptrdiff_t>(first->offset),
+                chunk->size,
+                result.content.begin() + static_cast<ptrdiff_t>(chunk->offset));
+  }
+  if (whole_file && Sha1::Hash(result.content) != version->content_id) {
+    return DataLossError(StrCat(name, ": reassembled content fails integrity check"));
+  }
+  assemble_span.End();
+  RecordTransferMetrics(result.transfer, metrics_);
+  return result;
+}
+
+Status CyrusClient::FetchChunkForCache(const ChunkRecord& chunk,
+                                       const std::vector<ShareLocation>& locations,
+                                       Bytes* out) {
+  // Fastest links first: a prefetch that waits on the slowest CSP arrives
+  // after the reader does, which defeats the point of readahead. (The
+  // foreground gather gets the full optimizing selector; this lean path
+  // just sorts by the profiled downlink.)
+  std::vector<ShareLocation> ordered(locations);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [this](const ShareLocation& a, const ShareLocation& b) {
+                     auto pa = registry_.profile(a.csp);
+                     auto pb = registry_.profile(b.csp);
+                     const double ra = pa.ok() ? pa->download_bytes_per_sec : 0.0;
+                     const double rb = pb.ok() ? pb->download_bytes_per_sec : 0.0;
+                     return ra > rb;
+                   });
+  std::vector<Share> shares;
+  std::set<int> attempted;
+  TransferReport report;
+  for (const ShareLocation& loc : ordered) {
+    if (shares.size() >= chunk.t) {
+      break;
+    }
+    if (!attempted.insert(loc.csp).second) {
+      continue;
+    }
+    auto state = registry_.state(loc.csp);
+    if (!state.ok() || *state != CspState::kActive) {
+      continue;
+    }
+    auto conn = registry_.connector(loc.csp);
+    if (!conn.ok()) {
+      continue;
+    }
+    Result<Bytes> data =
+        DownloadWithRetry(**conn, TransferKind::kGet, loc.csp,
+                          ShareName(chunk.id, loc.share_index, chunk.t),
+                          config_.transfer_retry, report);
+    if (!data.ok()) {
+      if (IsCspHealthFailure(data.status())) {
+        (void)NoteTransferFailure(loc.csp, data.status());
+      }
+      continue;
+    }
+    monitor_.RecordProbe(loc.csp, now_, true);
+    shares.push_back(Share{loc.share_index, *std::move(data)});
+  }
+  if (shares.size() < chunk.t) {
+    return UnavailableError(StrCat("readahead chunk ", chunk.id.ToHex(),
+                                   ": only ", shares.size(), " of t=", chunk.t,
+                                   " shares reachable"));
+  }
+  std::string decode_key = config_.key_string;
+  if (chunk.dedup) {
+    CYRUS_ASSIGN_OR_RETURN(decode_key,
+                           deriver_.UnwrapForUser(chunk.wrapped_key, chunk.id));
+  }
+  CYRUS_ASSIGN_OR_RETURN(
+      SecretSharingCodec decoder,
+      SecretSharingCodec::Create(decode_key, chunk.t, kMaxShares));
+  out->assign(chunk.size, 0);
+  CYRUS_RETURN_IF_ERROR(decoder.DecodeInto(shares, MutableByteSpan(*out)));
+  if (Sha1::Hash(*out) != chunk.id) {
+    // No error correction on the background path: the next foreground
+    // gather of this chunk runs the full repair machinery.
+    return DataLossError(StrCat("readahead chunk ", chunk.id.ToHex(),
+                                " failed integrity check"));
+  }
+  RecordTransferMetrics(report, metrics_);
+  return OkStatus();
+}
+
+void CyrusClient::MaybeScheduleReadahead(const std::string& name,
+                                         const FileVersion& version,
+                                         uint64_t offset, uint64_t len) {
+  if (config_.readahead_chunks == 0 || pool_ == nullptr ||
+      !chunk_cache_.enabled()) {
+    return;
+  }
+  uint64_t generation = 0;
+  uint64_t resume = 0;
+  {
+    std::lock_guard<std::mutex> lock(readahead_mutex_);
+    StreamState& stream = streams_[name];
+    const bool sequential = len > 0 && offset == stream.next_offset;
+    stream.next_offset = offset + len;
+    if (!sequential) {
+      // A seek (or a fresh mid-file stream): bump the generation so
+      // in-flight prefetches for the abandoned position self-cancel, and
+      // prefetch nothing until the reader looks sequential again.
+      ++stream.generation;
+      return;
+    }
+    generation = stream.generation;
+    resume = stream.next_offset;
+  }
+
+  // Pick the next K chunks past the consumed range. The chunk containing
+  // `resume` mid-chunk was covering in the call that just finished, so
+  // only records starting at or after it matter. Everything here runs on
+  // the driver thread (tree/chunk-table reads); the tasks capture copies.
+  struct Prefetch {
+    ChunkRecord chunk;
+    std::vector<ShareLocation> locations;
+  };
+  std::vector<Prefetch> picks;
+  std::set<Sha1Digest> picked;
+  for (const ChunkRecord& chunk : version.chunks) {
+    if (picks.size() >= config_.readahead_chunks) {
+      break;
+    }
+    if (chunk.offset < resume || picked.count(chunk.id) > 0 ||
+        chunk_cache_.Peek(chunk.id) != nullptr) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(readahead_mutex_);
+      if (!readahead_inflight_.insert(chunk.id).second) {
+        continue;  // an earlier call is already fetching it
+      }
+      ++readahead_active_;
+    }
+    picked.insert(chunk.id);
+    picks.push_back(Prefetch{chunk, ResolveChunkLocations(version, chunk.id)});
+  }
+
+  for (Prefetch& pick : picks) {
+    readahead_issued_->Increment();
+    pool_->SubmitBackground([this, name, generation, pick = std::move(pick)] {
+      bool stale = true;
+      {
+        std::lock_guard<std::mutex> lock(readahead_mutex_);
+        auto it = streams_.find(name);
+        stale = it == streams_.end() || it->second.generation != generation;
+      }
+      if (stale) {
+        readahead_cancelled_->Increment();  // credited: the reader seeked
+      } else {
+        Bytes chunk_bytes;
+        if (FetchChunkForCache(pick.chunk, pick.locations, &chunk_bytes).ok()) {
+          chunk_cache_.Put(pick.chunk.id,
+                           std::make_shared<const Bytes>(std::move(chunk_bytes)));
+          readahead_completed_->Increment();
+        } else {
+          readahead_cancelled_->Increment();
+        }
+      }
+      std::lock_guard<std::mutex> lock(readahead_mutex_);
+      readahead_inflight_.erase(pick.chunk.id);
+      if (--readahead_active_ == 0) {
+        readahead_idle_.notify_all();
+      }
+    });
+  }
+}
+
+void CyrusClient::WaitForReadahead() {
+  std::unique_lock<std::mutex> lock(readahead_mutex_);
+  readahead_idle_.wait(lock, [this] { return readahead_active_ == 0; });
+}
+
+CyrusClient::ReadaheadStats CyrusClient::readahead_stats() const {
+  ReadaheadStats stats;
+  stats.issued = readahead_issued_->value();
+  stats.completed = readahead_completed_->value();
+  stats.cancelled = readahead_cancelled_->value();
+  return stats;
+}
+
+void CyrusClient::InvalidateCachedChunks(const std::vector<ChunkRecord>& released,
+                                         const std::vector<ChunkRecord>* kept) {
+  if (!chunk_cache_.enabled()) {
+    return;
+  }
+  std::set<Sha1Digest> keep;
+  if (kept != nullptr) {
+    for (const ChunkRecord& chunk : *kept) {
+      keep.insert(chunk.id);
+    }
+  }
+  std::set<Sha1Digest> seen;
+  for (const ChunkRecord& chunk : released) {
+    if (seen.insert(chunk.id).second && keep.count(chunk.id) == 0) {
+      chunk_cache_.Invalidate(chunk.id);
+    }
+  }
 }
 
 Result<PutResult> CyrusClient::ImportForeignObject(int csp, std::string_view object_name,
@@ -2172,6 +2706,7 @@ Status CyrusClient::Delete(std::string_view name) {
   CYRUS_RETURN_IF_ERROR(UploadMetadata(marker, report));
   // Only after the marker is durable do the dead head's chunks lose their
   // references; zero-ref dedup chunks become reclaimable by the next scrub.
+  InvalidateCachedChunks(released_chunks, nullptr);
   if (convergent_writes()) {
     ReleaseChunkRefs(released_chunks);
   }
@@ -2199,6 +2734,12 @@ void CyrusClient::ReleaseChunkRefs(const std::vector<ChunkRecord>& chunks) {
     }
     if (global) {
       (void)config_.share_index->Release(chunk.id);
+    }
+    // A chunk at zero references is scrub-reclaimable: its cached
+    // plaintext must not outlive the shares.
+    const ChunkEntry* after = chunk_table_.Find(chunk.id);
+    if (after == nullptr || after->refcount == 0) {
+      chunk_cache_.Invalidate(chunk.id);
     }
   }
 }

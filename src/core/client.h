@@ -21,6 +21,7 @@
 #define SRC_CORE_CLIENT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,6 +35,7 @@
 #include "src/cloud/registry.h"
 #include "src/crypto/convergent.h"
 #include "src/dedup/share_index.h"
+#include "src/core/chunk_cache.h"
 #include "src/core/hash_ring.h"
 #include "src/core/hedged_fetch.h"
 #include "src/core/local_cache.h"
@@ -169,6 +171,34 @@ struct CyrusConfig {
   std::string dedup_salt;
   ShareIndex* share_index = nullptr;
 
+  // Decoded-chunk plaintext cache backing GetRange (src/core/chunk_cache.h):
+  // a byte-budgeted sharded ARC keyed by chunk id. Range reads populate it;
+  // whole-file Gets consult it for hits (and duplicate fills) but do not
+  // populate it, so one large download cannot flush a streaming working
+  // set. 0 disables caching entirely.
+  uint64_t chunk_cache_bytes = 64ull << 20;
+  size_t chunk_cache_shards = 8;
+
+  // Sequential-read detector: when consecutive GetRange calls are
+  // contiguous, prefetch up to this many following chunks into the chunk
+  // cache on background-priority pool tasks. A seek bumps the stream's
+  // generation, cancelling (crediting) prefetches not yet started. 0
+  // disables readahead.
+  uint32_t readahead_chunks = 4;
+
+  // Fragment scheduling for memory-constrained serving: a range Get admits
+  // at most this many decoded chunks into its pipeline window at once,
+  // streaming them into the result in order instead of buffering the whole
+  // span. 0 = use the pipeline window unchanged. Whole-file Gets keep the
+  // plain window (parity with the legacy path).
+  uint32_t max_resident_chunks = 0;
+
+  // Route whole-file Get/GetVersion through the unified range scheduler
+  // (GetRange(name, 0, size) internally), so both paths share one gather
+  // engine. Off restores GetFullFileLegacy - kept as an A/B lever (like
+  // use_buffer_pool) for one release.
+  bool get_via_range_path = true;
+
   // Observability sinks. Pipeline counters/histograms go to `metrics`;
   // each Put/Get/ScrubOnce also records a stage timeline (chunking ->
   // encode -> place -> upload -> metadata publish) into `traces`. nullptr
@@ -209,6 +239,15 @@ struct GetResult {
   // Backup (hedged) share downloads that completed successfully before the
   // gather returned; launch totals are in cyrus_hedged_requests_total.
   size_t hedged_downloads = 0;
+  // Full size of the version read (== content.size() for whole-file Gets;
+  // the Content-Range total for range reads).
+  uint64_t file_size = 0;
+  // First byte offset this result covers (0 for whole-file Gets).
+  uint64_t range_offset = 0;
+  // Covering chunks served from the decoded-chunk cache vs downloaded and
+  // decoded from the CSPs.
+  size_t chunks_from_cache = 0;
+  size_t chunks_decoded = 0;
   TransferReport transfer;
 };
 
@@ -248,6 +287,16 @@ class CyrusClient {
   Result<PutResult> Put(std::string_view name, ByteSpan content);
   Result<GetResult> Get(std::string_view name);
   Result<GetResult> GetVersion(std::string_view name, const Sha1Digest& version_id);
+
+  // Range read: bytes [offset, offset+len) of the newest live head. Only
+  // the covering chunks are fetched and decoded (cache hits skip the CSPs
+  // entirely); `len` is clamped to the end of the file, and an offset past
+  // the end fails with InvalidArgument (the REST layer's 416). Contiguous
+  // GetRange calls on one name are detected as a sequential stream and
+  // trigger background readahead of the next config.readahead_chunks
+  // chunks; any seek cancels prefetches not yet started.
+  Result<GetResult> GetRange(std::string_view name, uint64_t offset,
+                             uint64_t len);
   Status Delete(std::string_view name);
   Result<std::vector<FileListing>> List(std::string_view directory_prefix);
 
@@ -388,6 +437,21 @@ class CyrusClient {
   void set_time(double now) { now_.store(now, std::memory_order_relaxed); }
   double now() const { return now_.load(std::memory_order_relaxed); }
 
+  // The decoded-chunk plaintext cache behind GetRange (tests, benches).
+  ChunkCache& chunk_cache() { return chunk_cache_; }
+
+  // Blocks until every issued readahead prefetch has finished (stored,
+  // failed, or self-cancelled). Benches and tests use it to separate
+  // cache warm-up from measurement; production callers never need it.
+  void WaitForReadahead();
+
+  struct ReadaheadStats {
+    uint64_t issued = 0;     // prefetch tasks handed to the pool
+    uint64_t completed = 0;  // decoded, verified, and cached
+    uint64_t cancelled = 0;  // credited back: a seek staled the stream
+  };
+  ReadaheadStats readahead_stats() const;
+
  private:
   explicit CyrusClient(CyrusConfig config, Chunker chunker);
 
@@ -424,10 +488,43 @@ class CyrusClient {
                              TransferReport& report, obs::TraceBuilder* trace,
                              PutResult& result);
 
-  // Get()/GetVersion() body, recording into the given trace.
-  Result<GetResult> GetVersionTraced(std::string_view name,
-                                     const Sha1Digest& version_id,
-                                     obs::TraceBuilder& trace);
+  // Whole-file gather predating the unified range scheduler; kept one
+  // release as the config.get_via_range_path=false A/B lever.
+  Result<GetResult> GetFullFileLegacy(std::string_view name,
+                                      const Sha1Digest& version_id,
+                                      obs::TraceBuilder& trace);
+
+  // The unified range scheduler behind GetRange and (when
+  // config.get_via_range_path) whole-file Get/GetVersion: assembles bytes
+  // [offset, offset+len) of `version_id` from cache hits plus pipelined
+  // gathers of the covering chunks. `whole_file` selects the zero-copy
+  // decode-into-result layout (and the whole-file SHA-1 check) instead of
+  // per-chunk cache-owned buffers.
+  Result<GetResult> GetRangeTraced(std::string_view name,
+                                   const Sha1Digest& version_id,
+                                   uint64_t offset, uint64_t len,
+                                   bool whole_file, obs::TraceBuilder& trace);
+
+  // Lean gather for readahead: downloads t shares of `chunk` from
+  // `locations`, decodes, and hash-verifies into `out`. Deliberately no
+  // hedging, no lazy migration, no error-correcting repair - a background
+  // prefetch must never race the foreground path's chunk-table updates.
+  // Runs on a pool worker; touches only thread-safe components.
+  Status FetchChunkForCache(const ChunkRecord& chunk,
+                            const std::vector<ShareLocation>& locations,
+                            Bytes* out);
+
+  // Sequential-stream detection and prefetch scheduling after a GetRange
+  // of [offset, offset+len) on `version`. Driver thread only.
+  void MaybeScheduleReadahead(const std::string& name,
+                              const FileVersion& version, uint64_t offset,
+                              uint64_t len);
+
+  // Drops released chunks from the decoded-chunk cache. `kept` (nullable)
+  // lists chunks still referenced by the superseding version - an
+  // overwrite with unchanged chunks must not cold-start its readers.
+  void InvalidateCachedChunks(const std::vector<ChunkRecord>& released,
+                              const std::vector<ChunkRecord>* kept);
 
   // Downloads and reconstructs one chunk per its ChunkRecord, decoding
   // straight into `dst` - the chunk's slice of the assembled file (exactly
@@ -511,6 +608,22 @@ class CyrusClient {
   // before pool_/hedge_pool_ so the worker threads (whose ScatterChunk /
   // repair frames hold PooledBuffer handles) join before the pool dies.
   BufferPool codec_buffers_;
+  // Decoded-chunk plaintext cache (GetRange hits skip the CSPs entirely).
+  // Declared before pool_ for the same reason as codec_buffers_: the pool
+  // destructor *drains* queued readahead tasks, and those insert here.
+  ChunkCache chunk_cache_;
+  // --- Sequential-read detector / readahead state. Guarded by
+  // readahead_mutex_; declared before pool_ (prefetch tasks drained at
+  // pool destruction read it). ---
+  struct StreamState {
+    uint64_t next_offset = 0;  // where a contiguous reader resumes
+    uint64_t generation = 0;   // bumped on seek; stale prefetches cancel
+  };
+  mutable std::mutex readahead_mutex_;
+  std::map<std::string, StreamState, std::less<>> streams_;
+  std::set<Sha1Digest> readahead_inflight_;  // ids queued or downloading
+  size_t readahead_active_ = 0;
+  std::condition_variable readahead_idle_;
   std::unique_ptr<DownloadSelector> selector_;
   // Transfer worker threads (null when transfer_concurrency == 1).
   std::unique_ptr<ThreadPool> pool_;
@@ -549,6 +662,10 @@ class CyrusClient {
   obs::Counter* chunks_gathered_ = nullptr;
   obs::Counter* shares_migrated_ = nullptr;
   obs::Counter* codec_creates_ = nullptr;
+  obs::Counter* range_gets_total_ = nullptr;
+  obs::Counter* readahead_issued_ = nullptr;
+  obs::Counter* readahead_completed_ = nullptr;
+  obs::Counter* readahead_cancelled_ = nullptr;
   obs::Histogram* put_latency_ms_ = nullptr;
   obs::Histogram* get_latency_ms_ = nullptr;
 };

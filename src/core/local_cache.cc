@@ -1,7 +1,10 @@
 #include "src/core/local_cache.h"
 
+#include <algorithm>
 #include <fstream>
 #include <system_error>
+
+#include "src/crypto/sha1.h"
 
 #include "src/meta/serialize.h"
 #include "src/util/strings.h"
@@ -10,7 +13,8 @@ namespace cyrus {
 namespace {
 
 constexpr uint32_t kMagic = 0x43594c43;  // "CYLC"
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;   // v2: trailing SHA-1 checksum
+constexpr size_t kChecksumBytes = 20;
 
 }  // namespace
 
@@ -29,12 +33,28 @@ Bytes EncodeLocalCache(const LocalCacheSnapshot& snapshot,
   for (const std::string& base : snapshot.known_meta_bases) {
     w.WriteString(base);
   }
-  return w.TakeData();
+  Bytes data = w.TakeData();
+  // Trailing whole-payload checksum: length-prefix parsing alone misses a
+  // bit flip inside a serialized blob, and a client that trusts a silently
+  // corrupted cache serves wrong metadata until the next full sync. Any
+  // corruption now fails the load, and the caller falls back to Recover().
+  const Sha1Digest checksum = Sha1::Hash(ByteSpan(data));
+  data.insert(data.end(), checksum.bytes.begin(), checksum.bytes.end());
+  return data;
 }
 
 Result<LocalCacheSnapshot> DecodeLocalCache(ByteSpan data,
                                             const Sha1Digest& key_fingerprint) {
-  BinaryReader r(data);
+  if (data.size() < kChecksumBytes) {
+    return DataLossError("local cache shorter than its checksum");
+  }
+  const ByteSpan payload = data.first(data.size() - kChecksumBytes);
+  const ByteSpan trailer = data.last(kChecksumBytes);
+  const Sha1Digest checksum = Sha1::Hash(payload);
+  if (!std::equal(trailer.begin(), trailer.end(), checksum.bytes.begin())) {
+    return DataLossError("local cache checksum mismatch (truncated or corrupted)");
+  }
+  BinaryReader r(payload);
   CYRUS_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) {
     return DataLossError("local cache magic mismatch");

@@ -25,6 +25,8 @@ std::string_view RejectReasonName(RejectReason reason) {
       return "shard-overloaded";
     case RejectReason::kWindowFull:
       return "window-full";
+    case RejectReason::kPrefetchShed:
+      return "prefetch-shed";
   }
   return "unknown";
 }
@@ -56,7 +58,8 @@ std::optional<RejectReason> RejectReasonOf(const Status& status) {
   for (RejectReason reason :
        {RejectReason::kUnknownTenant, RejectReason::kRateLimited,
         RejectReason::kByteQuota, RejectReason::kStorageQuota,
-        RejectReason::kShardOverloaded, RejectReason::kWindowFull}) {
+        RejectReason::kShardOverloaded, RejectReason::kWindowFull,
+        RejectReason::kPrefetchShed}) {
     if (name == RejectReasonName(reason)) {
       return reason;
     }

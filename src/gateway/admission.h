@@ -29,6 +29,7 @@ enum class RejectReason : int {
   kStorageQuota = 3,    // stored-bytes ceiling reached
   kShardOverloaded = 4, // shard queue past its reject depth
   kWindowFull = 5,      // tenant's in-flight window exhausted (backpressure)
+  kPrefetchShed = 6,    // readahead op shed under quota/window pressure
 };
 
 std::string_view RejectReasonName(RejectReason reason);

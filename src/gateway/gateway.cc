@@ -68,7 +68,8 @@ GatewayService::GatewayService(
   for (RejectReason reason :
        {RejectReason::kUnknownTenant, RejectReason::kRateLimited,
         RejectReason::kByteQuota, RejectReason::kStorageQuota,
-        RejectReason::kShardOverloaded, RejectReason::kWindowFull}) {
+        RejectReason::kShardOverloaded, RejectReason::kWindowFull,
+        RejectReason::kPrefetchShed}) {
     reject_counters_[static_cast<int>(reason)] = metrics_->GetCounter(
         "cyrus_gateway_admission_rejects_total",
         {{"reason", std::string(RejectReasonName(reason))}},
@@ -185,7 +186,8 @@ void GatewayService::AdjustWindow(Tenant* tenant, int shard_id) {
 
 GatewayService::Admission GatewayService::Admit(std::string_view tenant_name,
                                                 std::string_view path,
-                                                bool is_put, uint64_t bytes) {
+                                                bool is_put, uint64_t bytes,
+                                                bool prefetch) {
   Admission adm;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tenants_.find(tenant_name);
@@ -196,6 +198,45 @@ GatewayService::Admission GatewayService::Admit(std::string_view tenant_name,
   }
   Tenant* tenant = it->second.get();
   adm.tenant = tenant;
+  if (prefetch) {
+    // Prefetch is strictly lower-class traffic: shed it while there is
+    // still headroom a foreground op could use, and shed it *before* it
+    // takes any tokens - a refused prefetch must not burn the quota the
+    // foreground reader is about to spend. All three probes below are
+    // read-only (AvailableAt refills, never consumes; ShardFor skips the
+    // residency update a real Route performs).
+    if (tenant->in_flight * 2 >= tenant->window) {
+      adm.status = MakeRejectStatus(
+          RejectReason::kPrefetchShed,
+          StrCat("window half-used: ", tenant->in_flight, " of ",
+                 tenant->window, " in flight"));
+      return adm;
+    }
+    if (tenant->quotas.ops_per_sec > 0) {
+      const double burn = 1.0 - tenant->op_bucket.AvailableAt(now_s_) /
+                                    tenant->op_bucket.capacity();
+      if (burn >= options_.prefetch_shed_burn) {
+        adm.status = MakeRejectStatus(
+            RejectReason::kPrefetchShed,
+            StrCat("op-bucket burn ", burn, " >= ",
+                   options_.prefetch_shed_burn));
+        return adm;
+      }
+    }
+    const Result<int> peek =
+        shard_map_.ShardFor(QualifiedPath(tenant_name, path));
+    if (peek.ok()) {
+      Shard& target = *shards_.at(peek.value());
+      const size_t depth = ShardDepthLocked(target);
+      if (depth >= options_.shard_depth_high) {
+        adm.status = MakeRejectStatus(
+            RejectReason::kPrefetchShed,
+            StrCat("shard ", peek.value(), " depth ", depth, " >= ",
+                   options_.shard_depth_high));
+        return adm;
+      }
+    }
+  }
   if (tenant->in_flight >= tenant->window) {
     adm.status = MakeRejectStatus(
         RejectReason::kWindowFull,
@@ -314,9 +355,10 @@ void GatewayService::RecordResult(std::string_view op, bool ok,
                    {{"op", std::string(op)}, {"result", ok ? "ok" : "error"}},
                    "Gateway operations by op and outcome")
       ->Increment();
-  obs::Histogram* histogram = op == "put"   ? latency_put_
-                              : op == "get" ? latency_get_
-                                            : latency_other_;
+  obs::Histogram* histogram = op == "put" ? latency_put_
+                              : (op == "get" || op == "get_range")
+                                  ? latency_get_
+                                  : latency_other_;
   histogram->Observe(latency_s * 1000.0);
 }
 
@@ -378,6 +420,35 @@ Result<GetResult> GatewayService::Get(std::string_view tenant,
   }
   Complete(adm.tenant, adm.shard, result.ok());
   RecordResult("get", result.ok(), adm.virtual_latency_s);
+  return result;
+}
+
+Result<GetResult> GatewayService::GetRange(std::string_view tenant,
+                                           std::string_view path,
+                                           uint64_t offset, uint64_t len,
+                                           bool prefetch) {
+  obs::TraceBuilder trace(options_.traces, "gateway.get_range",
+                          QualifiedPath(tenant, path));
+  Admission adm;
+  {
+    obs::ScopedSpan span = trace.Span("admit+route");
+    adm = Admit(tenant, path, /*is_put=*/false, 0, prefetch);
+  }
+  if (!adm.status.ok()) {
+    RecordReject(tenant, adm.status, "get_range");
+    return adm.status;
+  }
+  Result<GetResult> result = [&] {
+    obs::ScopedSpan span = trace.Span("execute");
+    Shard& shard = *shards_.at(adm.shard);
+    std::lock_guard<std::mutex> lock(shard.exec_mutex);
+    return shard.client->GetRange(QualifiedPath(tenant, path), offset, len);
+  }();
+  if (result.ok()) {
+    bytes_out_->Increment(result.value().content.size());
+  }
+  Complete(adm.tenant, adm.shard, result.ok());
+  RecordResult("get_range", result.ok(), adm.virtual_latency_s);
   return result;
 }
 

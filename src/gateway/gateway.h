@@ -64,6 +64,10 @@ struct GatewayOptions {
   // Fraction of the tenant's op bucket consumed (1 - available/capacity)
   // past which the window also shrinks.
   double quota_burn_high = 0.9;
+  // Burn fraction past which *prefetch-tagged* ops are shed (typed
+  // kPrefetchShed) before consuming any tokens - deliberately far below
+  // quota_burn_high, so readahead yields to foreground load first.
+  double prefetch_shed_burn = 0.5;
   // Queue depth past which requests are refused outright (typed
   // kShardOverloaded) instead of queued.
   size_t shard_queue_reject_depth = 256;
@@ -130,6 +134,15 @@ class GatewayService {
   Result<PutResult> Put(std::string_view tenant, std::string_view path,
                         ByteSpan content);
   Result<GetResult> Get(std::string_view tenant, std::string_view path);
+  // Range read: bytes [offset, offset+len) of the tenant file, clamped to
+  // the file end (the REST layer turns it into a 206). `prefetch` tags the
+  // op as speculative readahead: admission sheds it first - typed
+  // kPrefetchShed, *before* it consumes any quota tokens - when the
+  // tenant's window is half used, its op-bucket burn passes
+  // prefetch_shed_burn, or the target shard is past shard_depth_high.
+  Result<GetResult> GetRange(std::string_view tenant, std::string_view path,
+                             uint64_t offset, uint64_t len,
+                             bool prefetch = false);
   Status Delete(std::string_view tenant, std::string_view path);
   Result<std::vector<FileListing>> List(std::string_view tenant,
                                         std::string_view prefix);
@@ -196,9 +209,10 @@ class GatewayService {
                  std::vector<std::unique_ptr<CyrusClient>> shard_clients);
 
   // is_put: charges the byte bucket and storage ceiling for `bytes`.
+  // prefetch: run the shed checks first; a shed consumes nothing.
   // Takes mutex_ internally.
   Admission Admit(std::string_view tenant, std::string_view path,
-                  bool is_put, uint64_t bytes);
+                  bool is_put, uint64_t bytes, bool prefetch = false);
   void Complete(Tenant* tenant, int shard, bool ok);
   void AdjustWindow(Tenant* tenant, int shard);
   size_t ShardDepthLocked(Shard& shard) const;
@@ -224,7 +238,7 @@ class GatewayService {
   std::map<std::string, uint64_t> rejects_by_reason_;
 
   // Cached instruments (reject counters indexed by RejectReason).
-  obs::Counter* reject_counters_[6] = {};
+  obs::Counter* reject_counters_[7] = {};
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
   obs::Histogram* latency_put_ = nullptr;

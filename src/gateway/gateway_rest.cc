@@ -30,6 +30,59 @@ HttpResponse GatewayErrorResponse(const Status& status) {
   return response;
 }
 
+// Parses "bytes=<first>-[<last>]" into an inclusive byte range (*last is
+// UINT64_MAX for the open-ended form). Returns false for anything else -
+// multi-ranges, the suffix form "bytes=-N", garbage - which the download
+// handler treats as "serve the whole file": RFC 7233 allows a server to
+// ignore Range headers it does not support.
+bool ParseByteRange(std::string_view header, uint64_t* first, uint64_t* last) {
+  constexpr std::string_view kBytes = "bytes=";
+  if (header.compare(0, kBytes.size(), kBytes) != 0) {
+    return false;
+  }
+  header.remove_prefix(kBytes.size());
+  const size_t dash = header.find('-');
+  if (dash == std::string_view::npos || dash == 0 ||
+      header.find(',') != std::string_view::npos) {
+    return false;
+  }
+  auto parse_u64 = [](std::string_view digits, uint64_t* out) {
+    if (digits.empty()) {
+      return false;
+    }
+    uint64_t value = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9' || value > (UINT64_MAX - 9) / 10) {
+        return false;
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = value;
+    return true;
+  };
+  if (!parse_u64(header.substr(0, dash), first)) {
+    return false;
+  }
+  const std::string_view tail = header.substr(dash + 1);
+  if (tail.empty()) {
+    *last = UINT64_MAX;
+    return true;
+  }
+  return parse_u64(tail, last) && *last >= *first;
+}
+
+// True when the request tags itself as speculative readahead (shed first
+// under pressure): "x-cyrus-prefetch: 1|true" or "?prefetch=1|true".
+bool IsPrefetchRequest(const HttpRequest& request) {
+  for (std::string_view tag :
+       {request.Header("x-cyrus-prefetch"), request.Query("prefetch")}) {
+    if (tag == "1" || tag == "true") {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int HttpStatusForGatewayError(const Status& status) {
@@ -47,6 +100,7 @@ int HttpStatusForGatewayError(const Status& status) {
       case RejectReason::kByteQuota:
       case RejectReason::kShardOverloaded:
       case RejectReason::kWindowFull:
+      case RejectReason::kPrefetchShed:
         return 429;  // Too Many Requests
     }
   }
@@ -171,12 +225,46 @@ HttpResponse GatewayRestFrontend::HandleTenantFiles(const HttpRequest& request,
     if (name.empty()) {
       return HttpResponse::Error(400, "missing name parameter");
     }
+    // "Range: bytes=a-b" serves [a, b] (clamped to the file end) as a 206
+    // with Content-Range; forms we do not support (suffix "-N",
+    // multi-range) are ignored per RFC 7233 and the whole file is served.
+    // A range starting past the end is 416.
+    uint64_t first = 0;
+    uint64_t last = 0;
+    const std::string_view range_header = request.Header("range");
+    if (!range_header.empty() && ParseByteRange(range_header, &first, &last)) {
+      const uint64_t len =
+          last == UINT64_MAX ? UINT64_MAX : last - first + 1;
+      Result<GetResult> result = gateway_->GetRange(
+          tenant, name, first, len, IsPrefetchRequest(request));
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kInvalidArgument &&
+            !IsGatewayReject(result.status())) {
+          HttpResponse response =
+              HttpResponse::Error(416, std::string(result.status().message()));
+          return response;
+        }
+        return GatewayErrorResponse(result.status());
+      }
+      GetResult& got = result.value();
+      const uint64_t end =
+          got.range_offset + (got.content.empty() ? 0 : got.content.size() - 1);
+      HttpResponse response = HttpResponse::Ok(std::move(got.content),
+                                               "application/octet-stream");
+      response.status = 206;
+      response.headers["content-range"] =
+          StrCat("bytes ", got.range_offset, "-", end, "/", got.file_size);
+      response.headers["accept-ranges"] = "bytes";
+      return response;
+    }
     Result<GetResult> result = gateway_->Get(tenant, name);
     if (!result.ok()) {
       return GatewayErrorResponse(result.status());
     }
-    return HttpResponse::Ok(std::move(result.value().content),
-                            "application/octet-stream");
+    HttpResponse response = HttpResponse::Ok(std::move(result.value().content),
+                                             "application/octet-stream");
+    response.headers["accept-ranges"] = "bytes";
+    return response;
   }
   if (action == "delete") {
     if (request.method != HttpMethod::kPost) {

@@ -84,13 +84,13 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Enqueue(Task task) {
+void ThreadPool::Enqueue(Task task, bool background) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (task.group != nullptr) {
       ++task.group->pending_;
     }
-    queue_.push(std::move(task));
+    (background ? background_queue_ : queue_).push(std::move(task));
     ++in_flight_;
   }
   TasksCounter()->Increment();
@@ -99,11 +99,15 @@ void ThreadPool::Enqueue(Task task) {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  Enqueue(Task{std::move(task), nullptr});
+  Enqueue(Task{std::move(task), nullptr}, /*background=*/false);
 }
 
 void ThreadPool::Submit(TaskGroup& group, std::function<void()> task) {
-  Enqueue(Task{std::move(task), &group});
+  Enqueue(Task{std::move(task), &group}, /*background=*/false);
+}
+
+void ThreadPool::SubmitBackground(std::function<void()> task) {
+  Enqueue(Task{std::move(task), nullptr}, /*background=*/true);
 }
 
 void ThreadPool::Wait() {
@@ -125,8 +129,9 @@ void ThreadPool::WaitGroup(TaskGroup& group) {
 }
 
 void ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
-  Task task = std::move(queue_.front());
-  queue_.pop();
+  std::queue<Task>& source = queue_.empty() ? background_queue_ : queue_;
+  Task task = std::move(source.front());
+  source.pop();
   lock.unlock();
   QueueDepthGauge()->Add(-1.0);
   ActiveWorkersGauge()->Add(1.0);
@@ -144,8 +149,10 @@ void ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::unique_lock<std::mutex> lock(mutex_);
-    work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    work_available_.wait(lock, [this] {
+      return shutting_down_ || !queue_.empty() || !background_queue_.empty();
+    });
+    if (queue_.empty() && background_queue_.empty()) {
       return;  // shutting down and drained
     }
     RunOneTask(lock);

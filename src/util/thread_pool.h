@@ -66,6 +66,12 @@ class ThreadPool {
   // the task's execution (WaitGroup before it leaves scope).
   void Submit(TaskGroup& group, std::function<void()> task);
 
+  // Enqueues a background-priority task: workers only pick it up when the
+  // foreground queue is empty, so bulk prefetch (chunk readahead) never
+  // delays a pipelined Put/Get already waiting for a thread. Background
+  // tasks still count toward Wait() and are drained at destruction.
+  void SubmitBackground(std::function<void()> task);
+
   // Blocks until every task submitted against `group` has finished. Safe
   // to call from inside a pool task: while the group is unfinished the
   // calling thread executes queued tasks (any task, not just the group's),
@@ -98,16 +104,18 @@ class ThreadPool {
   };
 
   void WorkerLoop();
-  // Pops and runs the front task. Requires `lock` held on entry; releases
-  // it around the task body and reacquires before returning.
+  // Pops and runs the front task - foreground queue first, background
+  // otherwise. Requires `lock` held on entry; releases it around the task
+  // body and reacquires before returning.
   void RunOneTask(std::unique_lock<std::mutex>& lock);
-  void Enqueue(Task task);
+  void Enqueue(Task task, bool background);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::queue<Task> queue_;
+  std::queue<Task> background_queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };

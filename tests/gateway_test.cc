@@ -73,7 +73,8 @@ TEST(AdmissionTest, RejectStatusRoundTripsEveryReason) {
   for (RejectReason reason :
        {RejectReason::kUnknownTenant, RejectReason::kRateLimited,
         RejectReason::kByteQuota, RejectReason::kStorageQuota,
-        RejectReason::kShardOverloaded, RejectReason::kWindowFull}) {
+        RejectReason::kShardOverloaded, RejectReason::kWindowFull,
+        RejectReason::kPrefetchShed}) {
     const Status status = MakeRejectStatus(reason, "detail");
     EXPECT_TRUE(IsGatewayReject(status)) << status;
     ASSERT_TRUE(RejectReasonOf(status).has_value()) << status;
@@ -374,6 +375,66 @@ TEST(GatewayTest, MetricsAndTracesCoverTheRequestPath) {
   EXPECT_NE(trace.FindSpan("execute"), nullptr);
 }
 
+// --- range reads & prefetch shedding -------------------------------------
+
+TEST(GatewayTest, GetRangeServesTheRequestedSlice) {
+  obs::MetricsRegistry metrics;
+  auto gateway = MakeGateway(QuietOptions(&metrics), 2);
+  ASSERT_TRUE(gateway->RegisterTenant("vera").ok());
+  Bytes content(20 * 1024);
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(gateway->Put("vera", "movie.bin", content).ok());
+
+  Result<GetResult> got = gateway->GetRange("vera", "movie.bin", 5000, 1234);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->content,
+            Bytes(content.begin() + 5000, content.begin() + 5000 + 1234));
+  EXPECT_EQ(got->range_offset, 5000u);
+  EXPECT_EQ(got->file_size, content.size());
+
+  // Past-the-end start is the client's InvalidArgument, not a reject.
+  Result<GetResult> past =
+      gateway->GetRange("vera", "movie.bin", content.size() + 1, 1);
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsGatewayReject(past.status()));
+}
+
+TEST(GatewayTest, PrefetchShedsBeforeForegroundUnderQuotaBurn) {
+  obs::MetricsRegistry metrics;
+  GatewayOptions options = QuietOptions(&metrics);
+  options.prefetch_shed_burn = 0.5;
+  auto gateway = MakeGateway(options, 1);
+  TenantQuotas quotas;
+  quotas.ops_per_sec = 10.0;
+  quotas.ops_burst = 10.0;
+  ASSERT_TRUE(gateway->RegisterTenant("pia", quotas).ok());
+  ASSERT_TRUE(gateway->Put("pia", "s.bin", Bytes(8 * 1024, 0x5A)).ok());
+
+  // Burn past the shed threshold (6 of 10 tokens) with foreground reads.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(gateway->GetRange("pia", "s.bin", 0, 512).ok()) << i;
+  }
+
+  // A prefetch-tagged read sheds with the typed reason - before consuming
+  // a token, so the foreground read right after it still gets one.
+  Result<GetResult> prefetch =
+      gateway->GetRange("pia", "s.bin", 512, 512, /*prefetch=*/true);
+  ASSERT_FALSE(prefetch.ok());
+  EXPECT_EQ(RejectReasonOf(prefetch.status()), RejectReason::kPrefetchShed);
+
+  Result<GetResult> foreground = gateway->GetRange("pia", "s.bin", 512, 512);
+  EXPECT_TRUE(foreground.ok()) << foreground.status();
+
+  // Under a refilled bucket the same prefetch op is admitted again.
+  gateway->set_time(10.0);
+  Result<GetResult> later =
+      gateway->GetRange("pia", "s.bin", 1024, 512, /*prefetch=*/true);
+  EXPECT_TRUE(later.ok()) << later.status();
+}
+
 // --- REST frontend -------------------------------------------------------
 
 TEST(GatewayRestTest, UploadDownloadDeleteListRoundTrip) {
@@ -448,6 +509,92 @@ TEST(GatewayRestTest, TypedRejectsMapToTransportCodes) {
   read.path = "/gateway/mina/files/download";
   read.query["name"] = "x";
   EXPECT_EQ(frontend.Handle(read).status, 429);
+}
+
+TEST(GatewayRestTest, RangeHeaderGets206WithContentRange) {
+  obs::MetricsRegistry metrics;
+  auto gateway = MakeGateway(QuietOptions(&metrics), 2);
+  ASSERT_TRUE(gateway->RegisterTenant("ola").ok());
+  GatewayRestFrontend frontend(gateway.get(), &metrics);
+
+  Bytes content(4096);
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<uint8_t>(i);
+  }
+  HttpRequest upload;
+  upload.method = HttpMethod::kPost;
+  upload.path = "/gateway/ola/files/upload";
+  upload.query["name"] = "clip.bin";
+  upload.body = content;
+  ASSERT_EQ(frontend.Handle(upload).status, 200);
+
+  HttpRequest download;
+  download.path = "/gateway/ola/files/download";
+  download.query["name"] = "clip.bin";
+
+  // Closed range: inclusive bounds, 206, Content-Range with the full size.
+  download.headers["range"] = "bytes=100-355";
+  HttpResponse part = frontend.Handle(download);
+  EXPECT_EQ(part.status, 206);
+  EXPECT_EQ(part.body, Bytes(content.begin() + 100, content.begin() + 356));
+  EXPECT_EQ(part.headers["content-range"], "bytes 100-355/4096");
+
+  // Open-ended range: to the end of the file.
+  download.headers["range"] = "bytes=4000-";
+  HttpResponse tail = frontend.Handle(download);
+  EXPECT_EQ(tail.status, 206);
+  EXPECT_EQ(tail.body, Bytes(content.begin() + 4000, content.end()));
+  EXPECT_EQ(tail.headers["content-range"], "bytes 4000-4095/4096");
+
+  // End clamped to the file size.
+  download.headers["range"] = "bytes=4090-999999";
+  HttpResponse clamped = frontend.Handle(download);
+  EXPECT_EQ(clamped.status, 206);
+  EXPECT_EQ(clamped.headers["content-range"], "bytes 4090-4095/4096");
+
+  // Unsupported forms are ignored per RFC 7233: full 200 response.
+  for (const char* ignored : {"bytes=-500", "bytes=5-2", "items=0-4", "junk"}) {
+    download.headers["range"] = ignored;
+    HttpResponse full = frontend.Handle(download);
+    EXPECT_EQ(full.status, 200) << ignored;
+    EXPECT_EQ(full.body, content) << ignored;
+    EXPECT_EQ(full.headers["accept-ranges"], "bytes") << ignored;
+  }
+
+  // A start past the end is 416 Range Not Satisfiable.
+  download.headers["range"] = "bytes=5000-6000";
+  EXPECT_EQ(frontend.Handle(download).status, 416);
+}
+
+TEST(GatewayRestTest, PrefetchTaggedRangeShedsWith429) {
+  obs::MetricsRegistry metrics;
+  GatewayOptions options = QuietOptions(&metrics);
+  options.prefetch_shed_burn = 0.5;
+  auto gateway = MakeGateway(options, 1);
+  TenantQuotas quotas;
+  quotas.ops_per_sec = 10.0;
+  quotas.ops_burst = 10.0;
+  ASSERT_TRUE(gateway->RegisterTenant("rui", quotas).ok());
+  ASSERT_TRUE(gateway->Put("rui", "v.bin", Bytes(2048, 0x7C)).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(gateway->GetRange("rui", "v.bin", 0, 128).ok()) << i;
+  }
+  GatewayRestFrontend frontend(gateway.get(), &metrics);
+
+  HttpRequest prefetch;
+  prefetch.path = "/gateway/rui/files/download";
+  prefetch.query["name"] = "v.bin";
+  prefetch.headers["range"] = "bytes=128-255";
+  prefetch.headers["x-cyrus-prefetch"] = "1";
+  HttpResponse shed = frontend.Handle(prefetch);
+  EXPECT_EQ(shed.status, 429);
+  auto body = JsonValue::Parse(ToString(shed.body));
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value()["error"].AsString(), "prefetch-shed");
+
+  // The same request untagged is foreground and admitted.
+  prefetch.headers.erase("x-cyrus-prefetch");
+  EXPECT_EQ(frontend.Handle(prefetch).status, 206);
 }
 
 TEST(GatewayRestTest, UnknownRoutesAre404) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "src/cloud/simulated_csp.h"
@@ -157,6 +158,62 @@ TEST(LocalCacheTest, FileSaveLoadRoundTrip) {
   EXPECT_EQ(loaded->versions.size(), 1u);
   fs::remove(path);
   EXPECT_EQ(LoadLocalCache(path, fp).status().code(), StatusCode::kNotFound);
+}
+
+// A snapshot file chopped mid-payload (crash during a copy, torn disk)
+// must fail the load cleanly; the client then rebuilds with Recover() and
+// still serves every file.
+TEST(LocalCacheTest, TruncatedFileFailsLoadAndRecoverServes) {
+  const fs::path path = fs::temp_directory_path() / "cyrus-cache-truncated.bin";
+  CacheCloud cloud = MakeCloud("writer");
+  const Bytes content = RandomContent(8 * 1024, 9);
+  ASSERT_TRUE(cloud.client->Put("t.bin", content).ok());
+  const Sha1Digest fp = Sha1::Hash(std::string_view("cache test key"));
+  ASSERT_TRUE(SaveLocalCache(path, cloud.client->ExportCache(), fp).ok());
+
+  fs::resize_file(path, fs::file_size(path) / 2);
+  auto loaded = LoadLocalCache(path, fp);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss) << loaded.status();
+
+  CacheCloud restarted = MakeCloud("writer", cloud.csps);
+  ASSERT_TRUE(restarted.client->Recover().ok());
+  auto get = restarted.client->Get("t.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+  fs::remove(path);
+}
+
+// A single flipped byte anywhere in the payload must trip the trailing
+// checksum - length-prefixed parsing alone can miss bit rot inside a
+// serialized blob - and Recover() again restores service.
+TEST(LocalCacheTest, CorruptedFileFailsLoadAndRecoverServes) {
+  const fs::path path = fs::temp_directory_path() / "cyrus-cache-corrupt.bin";
+  CacheCloud cloud = MakeCloud("writer");
+  const Bytes content = RandomContent(6 * 1024, 10);
+  ASSERT_TRUE(cloud.client->Put("c.bin", content).ok());
+  const Sha1Digest fp = Sha1::Hash(std::string_view("cache test key"));
+  const Bytes encoded = EncodeLocalCache(cloud.client->ExportCache(), fp);
+  ASSERT_TRUE(SaveLocalCache(path, cloud.client->ExportCache(), fp).ok());
+
+  // Flip one byte in the middle of the payload, past every header field.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(static_cast<std::streamoff>(encoded.size() / 2));
+    const char flipped = static_cast<char>(encoded[encoded.size() / 2] ^ 0xFF);
+    file.write(&flipped, 1);
+  }
+  auto loaded = LoadLocalCache(path, fp);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss) << loaded.status();
+
+  CacheCloud restarted = MakeCloud("writer", cloud.csps);
+  ASSERT_TRUE(restarted.client->Recover().ok());
+  auto get = restarted.client->Get("c.bin");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(get->content, content);
+  fs::remove(path);
 }
 
 }  // namespace
