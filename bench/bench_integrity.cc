@@ -1,0 +1,444 @@
+// End-to-end share integrity under active corruption and at-rest bit rot
+// (the chaos bar for per-share authentication + scrub healing).
+//
+// Three scenarios over the fault-injecting connector layer, 5 CSPs, t=2,
+// n=5 (every chunk keeps a share on every provider):
+//
+//   clean - no faults. Baseline Get latency and proof that the digest
+//     checks are free of false positives: zero rejected shares across the
+//     whole run.
+//
+//   corrupt-csp0 - one provider corrupts 100% of its downloads while
+//     advertising the fastest link, so the selector always puts it in the
+//     primary set. Every Get must still return intact plaintext
+//     (availability 1.0 at the content level): the poisoned shares are
+//     rejected *before* decode and replaced from clean providers. The
+//     repeat offender must end the run quarantined (registry kFailed), and
+//     the Get p99 must stay within 2.5x the clean baseline - the price of
+//     detection + failover, not of retry storms.
+//
+//   scrub-rot - ~1% of at-rest share objects get one byte flipped while
+//     the data sits cold. Budgeted scrub passes (sampled digest checks,
+//     no decode on the clean path) must find and heal every rotted share
+//     in one rotation of the cursor, a follow-up rotation must scan
+//     completely clean, and every file must read back intact afterwards.
+//
+// Emits BENCH_integrity.json. Exits non-zero when
+//   - any Get returns corrupt plaintext or fails outright in any scenario,
+//   - the clean run rejects a share or the corrupt run rejects none,
+//   - the corrupting CSP is not quarantined by the end of its run,
+//   - the corrupt-run Get p99 exceeds 2.5x the clean p99 (+1 ms slack),
+//   - scrub heals fewer shares than were rotted, or the follow-up sweep
+//     still finds failures.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/cloud/fault_injection.h"
+#include "src/cloud/simulated_csp.h"
+#include "src/core/client.h"
+#include "src/crypto/naming.h"
+#include "src/rest/json.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cyrus {
+namespace {
+
+constexpr int kNumCsps = 5;
+constexpr size_t kFileBytes = 16 * 1024;  // 16 x 1 KB chunks
+constexpr int kTrials = 20;
+constexpr double kTailBarFactor = 2.5;
+
+struct IntegrityBed {
+  std::vector<std::shared_ptr<FaultInjectingConnector>> faults;
+  std::unique_ptr<CyrusClient> client;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+IntegrityBed MakeBed(uint64_t seed, bool corrupt_csp0,
+                     uint32_t integrity_samples_per_pass,
+                     uint64_t scrub_budget_bytes) {
+  IntegrityBed bed;
+  bed.metrics = std::make_unique<obs::MetricsRegistry>();
+
+  CyrusConfig config;
+  config.client_id = "bench-integrity";
+  config.key_string = StrCat("integrity-key-", seed);
+  config.t = 2;
+  config.cluster_aware = false;
+  config.transfer_concurrency = 4;
+  // Pin Eq. (1) off its feasible range so every chunk targets n = kNumCsps
+  // shares: the corrupting provider then holds a share of every chunk.
+  config.default_failure_prob = 0.5;
+  config.epsilon = 1e-9;
+  // Fixed 1 KB chunks so every trial moves identical bytes.
+  config.chunker.modulus = 1024;
+  config.chunker.min_chunk_size = 1024;
+  config.chunker.max_chunk_size = 1024;
+  config.transfer_retry.max_attempts = 2;
+  config.transfer_retry.initial_backoff_ms = 1.0;
+  config.transfer_retry.seed = seed;
+  config.metrics = bed.metrics.get();
+  config.repair.integrity_samples_per_pass = integrity_samples_per_pass;
+  config.repair.bandwidth_budget_bytes = scrub_budget_bytes;
+
+  auto client = CyrusClient::Create(std::move(config));
+  if (!client.ok()) {
+    std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+    std::abort();
+  }
+  bed.client = std::move(client).value();
+
+  for (int i = 0; i < kNumCsps; ++i) {
+    SimulatedCspOptions o;
+    o.id = StrCat("csp", i);
+    FaultInjectionOptions faults;
+    faults.seed = seed * 131 + static_cast<uint64_t>(i);
+    faults.metrics = bed.metrics.get();
+    if (corrupt_csp0 && i == 0) {
+      faults.download_corrupt_prob = 1.0;
+    }
+    auto injector = std::make_shared<FaultInjectingConnector>(
+        std::make_shared<SimulatedCsp>(o), faults);
+    bed.faults.push_back(injector);
+    CspProfile profile;
+    profile.rtt_ms = 1.0;
+    // The corrupting CSP advertises the best link, so the selector always
+    // puts it in the primary download set - the worst case the verify-
+    // before-decode path must cover.
+    profile.download_bytes_per_sec = (i == 0) ? 50e6 : 8e6;
+    profile.upload_bytes_per_sec = 5e6;
+    auto added = bed.client->AddCsp(injector, profile, Credentials{"token"});
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddCsp: %s\n", added.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return bed;
+}
+
+Bytes MakeContent(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TransferCell {
+  double get_availability = 0.0;
+  double get_p50_ms = 0.0;
+  double get_p99_ms = 0.0;
+  uint64_t rejected_shares = 0;
+  bool csp0_quarantined = false;
+};
+
+// One transfer scenario: `kTrials` fresh files, each Put then Get back.
+// Availability counts only byte-exact plaintext; a Get that "succeeds"
+// with wrong bytes counts as unavailable (and is the one outcome per-share
+// authentication exists to prevent).
+TransferCell RunTransferCell(bool corrupt_csp0, uint64_t seed) {
+  IntegrityBed bed = MakeBed(seed, corrupt_csp0,
+                             /*integrity_samples_per_pass=*/0,
+                             /*scrub_budget_bytes=*/0);
+  TransferCell cell;
+  std::vector<double> get_ms;
+  int get_ok = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Bytes content = MakeContent(kFileBytes, seed ^ (0x1417 + trial));
+    const std::string name = StrCat("file-", trial, ".bin");
+    auto put = bed.client->Put(name, content);
+    if (!put.ok()) {
+      continue;
+    }
+    const double get_start = NowMs();
+    auto get = bed.client->Get(name);
+    get_ms.push_back(NowMs() - get_start);
+    if (get.ok() && get->content == content) {
+      ++get_ok;
+      cell.rejected_shares += get->integrity_rejected_shares;
+    }
+  }
+  cell.get_availability = static_cast<double>(get_ok) / kTrials;
+  if (!get_ms.empty()) {
+    cell.get_p50_ms = bench::Percentile(get_ms, 50.0);
+    cell.get_p99_ms = bench::Percentile(get_ms, 99.0);
+  }
+  auto state = bed.client->registry().state(0);
+  cell.csp0_quarantined = state.ok() && *state == CspState::kFailed;
+  return cell;
+}
+
+struct ScrubCell {
+  uint64_t total_shares = 0;
+  uint64_t rotted = 0;
+  uint64_t healed = 0;
+  uint64_t heal_passes = 0;
+  uint64_t verify_failures = 0;
+  uint64_t bytes_moved = 0;
+  bool files_intact = false;
+};
+
+// At-rest rot scenario: a dataset sits cold while ~1% of its share objects
+// get one byte flipped, then budgeted scrub passes sweep the table.
+ScrubCell RunScrubCell(uint64_t seed) {
+  constexpr int kFiles = 12;
+  constexpr uint32_t kSamplesPerPass = 32;
+  constexpr uint64_t kBudgetBytes = 512 * 1024;
+
+  IntegrityBed bed = MakeBed(seed, /*corrupt_csp0=*/false, kSamplesPerPass,
+                             kBudgetBytes);
+  ScrubCell cell;
+
+  std::vector<Bytes> contents;
+  for (int i = 0; i < kFiles; ++i) {
+    contents.push_back(MakeContent(kFileBytes, seed ^ (0xA110 + i)));
+    auto put = bed.client->Put(StrCat("cold-", i, ".bin"), contents.back());
+    if (!put.ok()) {
+      std::fprintf(stderr, "Put: %s\n", put.status().ToString().c_str());
+      std::abort();
+    }
+  }
+
+  // Flip one byte in ~1% of share objects, spread across providers by the
+  // seeded rng; force at least 3 so the run always has something to heal.
+  const ChunkTable& table = bed.client->chunk_table();
+  struct Loc {
+    Sha1Digest chunk_id;
+    uint32_t share_index;
+    uint32_t t;
+    int csp;
+  };
+  std::vector<Loc> locations;
+  for (const Sha1Digest& chunk_id : table.AllChunkIds()) {
+    const ChunkEntry* entry = table.Find(chunk_id);
+    if (entry == nullptr) {
+      continue;
+    }
+    for (const ChunkShare& share : entry->shares) {
+      locations.push_back(Loc{chunk_id, share.share_index, entry->t, share.csp});
+    }
+  }
+  cell.total_shares = locations.size();
+  Rng rot_rng(seed * 7 + 5);
+  std::vector<size_t> to_rot;
+  for (size_t i = 0; i < locations.size(); ++i) {
+    if (rot_rng.NextDouble(0.0, 1.0) < 0.01) {
+      to_rot.push_back(i);
+    }
+  }
+  for (size_t i = 0; to_rot.size() < 3 && i < locations.size(); i += 17) {
+    if (std::find(to_rot.begin(), to_rot.end(), i) == to_rot.end()) {
+      to_rot.push_back(i);
+    }
+  }
+  for (size_t i : to_rot) {
+    const Loc& loc = locations[i];
+    if (loc.csp < 0 || loc.csp >= static_cast<int>(bed.faults.size())) {
+      continue;
+    }
+    if (bed.faults[loc.csp]
+            ->RotStoredObject(ShareName(loc.chunk_id, loc.share_index, loc.t),
+                              /*byte_index=*/13)
+            .ok()) {
+      ++cell.rotted;
+    }
+  }
+
+  // One full rotation of the sampled cursor heals everything the rot pass
+  // planted; a second rotation must scan clean.
+  const size_t chunks = table.AllChunkIds().size();
+  const uint64_t passes_per_sweep =
+      (chunks + kSamplesPerPass - 1) / kSamplesPerPass;
+  for (uint64_t pass = 0; pass < passes_per_sweep; ++pass) {
+    auto scrub = bed.client->ScrubOnce();
+    if (!scrub.ok()) {
+      std::fprintf(stderr, "ScrubOnce: %s\n", scrub.status().ToString().c_str());
+      std::abort();
+    }
+    ++cell.heal_passes;
+    cell.healed += scrub->stats.shares_healed;
+    cell.bytes_moved += scrub->stats.bytes_moved;
+  }
+  for (uint64_t pass = 0; pass < passes_per_sweep; ++pass) {
+    auto scrub = bed.client->ScrubOnce();
+    if (!scrub.ok()) {
+      std::fprintf(stderr, "ScrubOnce: %s\n", scrub.status().ToString().c_str());
+      std::abort();
+    }
+    cell.verify_failures += scrub->stats.integrity_failures;
+    cell.bytes_moved += scrub->stats.bytes_moved;
+  }
+
+  cell.files_intact = true;
+  for (int i = 0; i < kFiles; ++i) {
+    auto get = bed.client->Get(StrCat("cold-", i, ".bin"));
+    if (!get.ok() || get->content != contents[i] ||
+        get->integrity_rejected_shares != 0) {
+      cell.files_intact = false;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+}  // namespace cyrus
+
+int main() {
+  using namespace cyrus;
+  using bench::BenchReport;
+
+  std::printf(
+      "Share integrity chaos bar: %d CSPs, t=2, n=%d, %d trials of a\n"
+      "%zu-byte file per transfer cell. corrupt-csp0 poisons 100%% of one\n"
+      "provider's downloads; scrub-rot flips one byte in ~1%% of at-rest\n"
+      "share objects and sweeps with budgeted scrub passes.\n\n",
+      kNumCsps, kNumCsps, kTrials, kFileBytes);
+
+  BenchReport report("integrity");
+  report.SetParam("t", uint64_t{2});
+  report.SetParam("n", uint64_t{kNumCsps});
+  report.SetParam("file_bytes", uint64_t{kFileBytes});
+  report.SetParam("trials_per_cell", uint64_t{kTrials});
+  report.SetParam("tail_bar_factor", kTailBarFactor);
+
+  bool failed = false;
+
+  std::printf("%-14s | %7s | %9s %9s | %8s | %s\n", "scenario", "get_av",
+              "get_p50", "get_p99", "rejected", "quarantined");
+
+  const TransferCell clean = RunTransferCell(/*corrupt_csp0=*/false, 9000);
+  std::printf("%-14s | %7.2f | %8.1fms %8.1fms | %8llu | %s\n", "clean",
+              clean.get_availability, clean.get_p50_ms, clean.get_p99_ms,
+              static_cast<unsigned long long>(clean.rejected_shares), "-");
+  if (clean.get_availability < 1.0) {
+    std::fprintf(stderr, "FAIL: clean-run Get availability below 1.0\n");
+    failed = true;
+  }
+  if (clean.rejected_shares != 0) {
+    std::fprintf(stderr,
+                 "FAIL: clean run rejected %llu shares (digest false "
+                 "positives)\n",
+                 static_cast<unsigned long long>(clean.rejected_shares));
+    failed = true;
+  }
+
+  const TransferCell corrupt = RunTransferCell(/*corrupt_csp0=*/true, 9001);
+  std::printf("%-14s | %7.2f | %8.1fms %8.1fms | %8llu | %s\n", "corrupt-csp0",
+              corrupt.get_availability, corrupt.get_p50_ms, corrupt.get_p99_ms,
+              static_cast<unsigned long long>(corrupt.rejected_shares),
+              corrupt.csp0_quarantined ? "yes" : "NO");
+  if (corrupt.get_availability < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: Get availability %.2f below 1.0 with one fully "
+                 "corrupting CSP\n",
+                 corrupt.get_availability);
+    failed = true;
+  }
+  if (corrupt.rejected_shares == 0) {
+    std::fprintf(stderr,
+                 "FAIL: corrupting CSP produced no integrity rejections "
+                 "(corruption was not exercised)\n");
+    failed = true;
+  }
+  if (!corrupt.csp0_quarantined) {
+    std::fprintf(stderr, "FAIL: corrupting CSP was not quarantined\n");
+    failed = true;
+  }
+  // Detection + failover may cost extra downloads on the first chunks, but
+  // must not turn into a retry storm: p99 within 2.5x the clean baseline,
+  // plus 1 ms absolute slack because the baseline is small enough that
+  // scheduler jitter alone can breach a pure ratio.
+  if (corrupt.get_p99_ms > clean.get_p99_ms * kTailBarFactor + 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: corrupt-run Get p99 %.2f ms exceeds %.1fx the clean "
+                 "p99 %.2f ms\n",
+                 corrupt.get_p99_ms, kTailBarFactor, clean.get_p99_ms);
+    failed = true;
+  }
+
+  for (const auto* cell : {&clean, &corrupt}) {
+    JsonValue row{JsonValue::Object{}};
+    row.Set("scenario", cell == &clean ? "clean" : "corrupt-csp0");
+    row.Set("get_availability", cell->get_availability);
+    row.Set("get_p50_ms", cell->get_p50_ms);
+    row.Set("get_p99_ms", cell->get_p99_ms);
+    row.Set("integrity_rejected_shares", cell->rejected_shares);
+    row.Set("csp0_quarantined", cell->csp0_quarantined);
+    report.AddRow(std::move(row));
+  }
+
+  const ScrubCell scrub = RunScrubCell(9002);
+  std::printf(
+      "\nscrub-rot: %llu/%llu shares rotted, %llu healed over %llu passes "
+      "(%llu share bytes moved); follow-up sweep found %llu failures; "
+      "files intact: %s\n",
+      static_cast<unsigned long long>(scrub.rotted),
+      static_cast<unsigned long long>(scrub.total_shares),
+      static_cast<unsigned long long>(scrub.healed),
+      static_cast<unsigned long long>(scrub.heal_passes),
+      static_cast<unsigned long long>(scrub.bytes_moved),
+      static_cast<unsigned long long>(scrub.verify_failures),
+      scrub.files_intact ? "yes" : "NO");
+  if (scrub.rotted == 0 || scrub.healed != scrub.rotted) {
+    std::fprintf(stderr, "FAIL: scrub healed %llu of %llu rotted shares\n",
+                 static_cast<unsigned long long>(scrub.healed),
+                 static_cast<unsigned long long>(scrub.rotted));
+    failed = true;
+  }
+  if (scrub.verify_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: follow-up scrub sweep still found %llu failures\n",
+                 static_cast<unsigned long long>(scrub.verify_failures));
+    failed = true;
+  }
+  if (!scrub.files_intact) {
+    std::fprintf(stderr, "FAIL: a file read back corrupt after healing\n");
+    failed = true;
+  }
+
+  JsonValue row{JsonValue::Object{}};
+  row.Set("scenario", "scrub-rot");
+  row.Set("total_shares", scrub.total_shares);
+  row.Set("shares_rotted", scrub.rotted);
+  row.Set("shares_healed", scrub.healed);
+  row.Set("heal_passes", scrub.heal_passes);
+  row.Set("bytes_moved", scrub.bytes_moved);
+  row.Set("followup_failures", scrub.verify_failures);
+  row.Set("files_intact", scrub.files_intact);
+  report.AddRow(std::move(row));
+
+  const double tail_ratio =
+      clean.get_p99_ms > 0.0 ? corrupt.get_p99_ms / clean.get_p99_ms : 0.0;
+  std::printf(
+      "\nHeadline: one fully-corrupting CSP costs %.2fx on Get p99 "
+      "(%.1f ms -> %.1f ms) at availability %.2f; the bar is %.1fx.\n",
+      tail_ratio, clean.get_p99_ms, corrupt.get_p99_ms,
+      corrupt.get_availability, kTailBarFactor);
+
+  JsonValue headline{JsonValue::Object{}};
+  headline.Set("scenario", "headline");
+  headline.Set("corrupt_p99_over_clean", tail_ratio);
+  headline.Set("corrupt_get_availability", corrupt.get_availability);
+  headline.Set("scrub_heal_rate",
+               scrub.rotted > 0
+                   ? static_cast<double>(scrub.healed) / scrub.rotted
+                   : 0.0);
+  report.AddRow(std::move(headline));
+  std::printf("wrote %s\n", report.Write().c_str());
+
+  return failed ? 1 : 0;
+}

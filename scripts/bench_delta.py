@@ -2,7 +2,7 @@
 """Compare fresh BENCH_*.json artifacts against the committed baselines.
 
 Usage:
-    scripts/bench_delta.py [--baselines DIR] BENCH_foo.json [BENCH_bar.json ...]
+    scripts/bench_delta.py [--baselines DIR] [--strict] BENCH_foo.json ...
 
 Each bench binary emits BENCH_<name>.json (see bench/common.h); the blessed
 snapshots live in bench/baselines/. For every row shared between the current
@@ -11,8 +11,11 @@ the relative change, flagging anything that moved more than --flag-pct
 (default 10%). Rows are matched by their non-numeric fields (phase, skew,
 window, ...), so reordering or appending rows never misreports a delta.
 
-Exit status is always 0: the deltas are advisory (each bench binary enforces
-its own hard bars and exits non-zero itself). Stdlib only.
+By default exit status is always 0: the deltas are advisory (each bench
+binary enforces its own hard bars and exits non-zero itself). With --strict
+any flagged field fails the run (exit 1) - CI tiers pair it with a looser
+--flag-pct so only gross regressions gate, while scheduler-level jitter
+stays advisory. Stdlib only.
 """
 
 import argparse
@@ -87,6 +90,7 @@ def diff_artifact(current_path, baseline_path, flag_pct):
         print(f"  {flagged} field(s) moved >= {flag_pct:g}% (marked <<)")
     else:
         print(f"  all matched fields within {flag_pct:g}% of baseline")
+    return flagged
 
 
 def main():
@@ -103,8 +107,14 @@ def main():
         default=10.0,
         help="relative change (percent) past which a field is flagged",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any field is flagged (regression gate)",
+    )
     args = parser.parse_args()
 
+    total_flagged = 0
     for path in args.artifacts:
         # Deltas are advisory, so a missing or unreadable side is a warning,
         # never a failure: a bench that didn't run (fresh checkout, filtered
@@ -119,9 +129,12 @@ def main():
             print(f"  no baseline at {baseline}; skipping")
             continue
         try:
-            diff_artifact(path, baseline, args.flag_pct)
+            total_flagged += diff_artifact(path, baseline, args.flag_pct)
         except (json.JSONDecodeError, OSError) as err:
             print(f"  unreadable artifact or baseline ({err}); skipping")
+    if args.strict and total_flagged:
+        print(f"STRICT: {total_flagged} flagged field(s); failing the run")
+        return 1
     return 0
 
 

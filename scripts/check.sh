@@ -22,18 +22,26 @@
 #                                   #   byte accounting, warm TTFB,
 #                                   #   readahead rebuffers, whole-file
 #                                   #   A/B parity)
+#   scripts/check.sh --integrity    # + share-integrity tier (`ctest -L
+#                                   #   integrity`, also in the fast tier):
+#                                   #   per-share authentication, corrupt-
+#                                   #   CSP isolation, breaker weighting /
+#                                   #   quarantine, legacy combinatorial
+#                                   #   upgrade, scrub bit-rot healing
 #   scripts/check.sh --all          # every labeled suite
 #   scripts/check.sh --bench        # + bench binaries with hard bars
 #                                   #   (pipeline, degraded, repair, the
 #                                   #   10k-client gateway soak, the
-#                                   #   cross-user dedup economics run, and
-#                                   #   the fig12 codec gate with its >=10x
-#                                   #   AVX2 kernel bar), then a delta
-#                                   #   report vs bench/baselines/
+#                                   #   cross-user dedup economics run, the
+#                                   #   integrity chaos bar, and the fig12
+#                                   #   codec gate with its >=10x AVX2
+#                                   #   kernel bar), then a strict delta
+#                                   #   gate vs bench/baselines/
 #   scripts/check.sh --tsan         # ThreadSanitizer build of the stress
 #                                   #   battery + gateway concurrency tests
-#                                   #   + buffer-pool checkout + codec
-#                                   #   stress loop in build-tsan/
+#                                   #   + buffer-pool checkout + integrity
+#                                   #   gather/heal + codec stress loop in
+#                                   #   build-tsan/
 #
 # Flags compose: `scripts/check.sh --stress --bench`. The fast tier always
 # runs first; labeled suites are opt-in so the default stays quick enough
@@ -48,6 +56,7 @@ RUN_METRICS=0
 RUN_CHAOS=0
 RUN_CODEC=0
 RUN_STREAM=0
+RUN_INTEGRITY=0
 RUN_BENCH=0
 RUN_TSAN=0
 
@@ -59,7 +68,8 @@ for arg in "$@"; do
     --chaos)   RUN_CHAOS=1 ;;
     --codec)   RUN_CODEC=1 ;;
     --stream)  RUN_STREAM=1 ;;
-    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1; RUN_CODEC=1; RUN_STREAM=1 ;;
+    --integrity) RUN_INTEGRITY=1 ;;
+    --all)     RUN_STRESS=1; RUN_SOAK=1; RUN_METRICS=1; RUN_CHAOS=1; RUN_CODEC=1; RUN_STREAM=1; RUN_INTEGRITY=1 ;;
     --bench)   RUN_BENCH=1 ;;
     --tsan)    RUN_TSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -120,11 +130,17 @@ if [[ "$RUN_STREAM" == 1 ]]; then
   (cd build && ./bench/bench_streaming)
 fi
 
+if [[ "$RUN_INTEGRITY" == 1 ]]; then
+  echo "== integrity: share authentication + corrupt-CSP isolation + scrub =="
+  ctest --test-dir build -L integrity --output-on-failure
+fi
+
 if [[ "$RUN_BENCH" == 1 ]]; then
-  echo "== bench: pipeline / degraded / repair / gateway / dedup bars =="
+  echo "== bench: pipeline / degraded / repair / gateway / dedup / integrity bars =="
   # Each binary enforces its own hard bars and exits non-zero on a miss
   # (e.g. pipelined Put slower than sequential, gateway probe p99 blowing
-  # the 1.5x isolation bar under 2x overload).
+  # the 1.5x isolation bar under 2x overload, any Get surfacing corrupt
+  # plaintext in the integrity chaos run).
   (cd build &&
     ./bench/bench_pipeline &&
     ./bench/bench_degraded &&
@@ -132,22 +148,27 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     ./bench/bench_gateway &&
     ./bench/bench_dedup &&
     ./bench/bench_streaming &&
+    ./bench/bench_integrity &&
     ./bench/bench_fig12_erasure)
-  echo "== bench: delta vs bench/baselines =="
-  python3 scripts/bench_delta.py \
+  echo "== bench: delta vs bench/baselines (strict past 50%) =="
+  # --strict turns gross movements into failures; the loose 50% threshold
+  # keeps scheduler-level timing jitter advisory while still catching real
+  # regressions the per-binary bars are too coarse to see.
+  python3 scripts/bench_delta.py --strict --flag-pct 50 \
     build/BENCH_pipeline.json build/BENCH_degraded.json \
     build/BENCH_repair.json build/BENCH_gateway.json \
-    build/BENCH_dedup.json build/BENCH_streaming.json build/BENCH_codec.json
+    build/BENCH_dedup.json build/BENCH_streaming.json \
+    build/BENCH_integrity.json build/BENCH_codec.json
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress battery + gateway concurrency under ThreadSanitizer =="
   configure build-tsan -DENABLE_TSAN=ON
-  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test buffer_pool_test chunk_cache_test codec_stress_test
+  cmake --build build-tsan --parallel --target pipeline_stress_test thread_pool_test degraded_test gateway_test dedup_test buffer_pool_test chunk_cache_test integrity_test codec_stress_test
   (cd build-tsan && ./tests/thread_pool_test && ./tests/pipeline_stress_test && ./tests/degraded_test &&
     ./tests/gateway_test && ./tests/dedup_test &&
     ./tests/buffer_pool_test && ./tests/chunk_cache_test &&
-    ./tests/codec_stress_test)
+    ./tests/integrity_test && ./tests/codec_stress_test)
 fi
 
 echo "OK"

@@ -102,6 +102,28 @@ double AvailabilityMonitor::LatencyEstimateMs(int csp, double fallback_ms) const
   return it->second.latency_ewma_ms;
 }
 
+void AvailabilityMonitor::RecordIntegrityFailure(int csp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++history_[csp].integrity_failures;
+}
+
+uint64_t AvailabilityMonitor::IntegrityFailureCount(int csp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = history_.find(csp);
+  return it == history_.end() ? 0 : it->second.integrity_failures;
+}
+
+std::map<int, uint64_t> AvailabilityMonitor::IntegrityFailureCounts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<int, uint64_t> counts;
+  for (const auto& [csp, h] : history_) {
+    if (h.integrity_failures > 0) {
+      counts[csp] = h.integrity_failures;
+    }
+  }
+  return counts;
+}
+
 const std::vector<double>& PaperAnnualDowntimeHours() {
   // CloudHarmony-style annual downtime for the four commercial providers
   // (paper: "downtime varies from 1.37 to 18.53 hours per year"). The two

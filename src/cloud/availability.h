@@ -14,6 +14,7 @@
 #ifndef SRC_CLOUD_AVAILABILITY_H_
 #define SRC_CLOUD_AVAILABILITY_H_
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -51,6 +52,17 @@ class AvailabilityMonitor {
   // EWMA transfer latency for `csp`; `fallback_ms` when no samples yet.
   double LatencyEstimateMs(int csp, double fallback_ms) const;
 
+  // Records a share downloaded from `csp` that failed its digest check.
+  // Integrity failures are tracked separately from reachability: a lying
+  // CSP answers promptly, so the probe history alone would call it healthy.
+  void RecordIntegrityFailure(int csp);
+
+  // Cumulative integrity failures attributed to `csp`.
+  uint64_t IntegrityFailureCount(int csp) const;
+
+  // Snapshot of every CSP with at least one integrity failure.
+  std::map<int, uint64_t> IntegrityFailureCounts() const;
+
  private:
   struct History {
     double first_probe = 0.0;
@@ -60,6 +72,7 @@ class AvailabilityMonitor {
     bool any_probe = false;
     double latency_ewma_ms = 0.0;
     bool any_latency = false;
+    uint64_t integrity_failures = 0;
   };
 
   // Requires mutex_ held.

@@ -186,6 +186,16 @@ void CircuitBreaker::ForceHalfOpen() {
   DrainTransitions();
 }
 
+void CircuitBreaker::ForceOpen() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (state_ != State::kOpen) {
+      TransitionLocked(State::kOpen);
+    }
+  }
+  DrainTransitions();
+}
+
 void CircuitBreaker::ForceClose() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == State::kClosed) {

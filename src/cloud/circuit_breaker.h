@@ -93,6 +93,14 @@ class CircuitBreaker {
   // the repair engine has independent evidence the CSP may be back).
   void ForceHalfOpen();
 
+  // Forces the breaker open immediately (with a fresh cooldown), firing
+  // the transition callback so placement evicts the CSP. The integrity
+  // path's quarantine primitive: a CSP serving corrupted bytes answers
+  // promptly, so its transfer-level "successes" keep resetting the
+  // consecutive-failure count and the trip must come from cumulative
+  // evidence instead. No-op when already open.
+  void ForceOpen();
+
   // Forces the breaker closed WITHOUT firing the transition callback. Used
   // by MarkCspRecovered, which already holds the topology mutex the
   // callback would re-take: the registry state is being fixed by the

@@ -46,6 +46,12 @@ FaultInjectingConnector::FaultInjectingConnector(
   downloads_corrupted_ =
       registry.GetCounter("cyrus_fault_downloads_corrupted_total", csp,
                           "Downloads returned with injected byte flips");
+  uploads_corrupted_ =
+      registry.GetCounter("cyrus_fault_uploads_corrupted_total", csp,
+                          "Uploads stored with injected byte flips");
+  objects_rotted_ =
+      registry.GetCounter("cyrus_fault_objects_rotted_total", csp,
+                          "Stored objects bit-rotted in place");
   injected_latency_ms_ = registry.GetGauge("cyrus_fault_injected_latency_ms_total", csp,
                                            "Cumulative injected virtual latency");
   baseline_ = RawCounters();
@@ -100,6 +106,7 @@ Result<std::vector<ObjectInfo>> FaultInjectingConnector::List(
 
 Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
   double sleep_ms = 0.0;
+  Bytes corrupted;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CYRUS_RETURN_IF_ERROR(RollFaults(/*allow_transient=*/true));
@@ -107,10 +114,23 @@ Status FaultInjectingConnector::Upload(std::string_view name, ByteSpan data) {
       uploads_lost_->Increment();
       return OkStatus();  // the silent part of silent loss
     }
+    if (options_.upload_corrupt_prob > 0.0 && !data.empty() &&
+        rng_.NextBool(options_.upload_corrupt_prob)) {
+      // Corrupt a private copy so the caller's buffer (possibly pooled and
+      // reused for other CSPs) is untouched; what lands at rest is rotten
+      // from the first byte.
+      corrupted.assign(data.begin(), data.end());
+      const size_t flips = 1 + rng_.NextBelow(3);
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t pos = rng_.NextBelow(corrupted.size());
+        corrupted[pos] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      }
+      uploads_corrupted_->Increment();
+    }
     sleep_ms = DrawRealSleepMsLocked();
   }
   SleepMs(sleep_ms);
-  Status status = inner_->Upload(name, data);
+  Status status = inner_->Upload(name, corrupted.empty() ? data : ByteSpan(corrupted));
   if (status.ok() && options_.down_after_uploads > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (++successful_uploads_ >= options_.down_after_uploads) {
@@ -222,6 +242,26 @@ Result<size_t> FaultInjectingConnector::DestroyRandomObjects(double fraction) {
   return destroyed;
 }
 
+Status FaultInjectingConnector::RotStoredObject(std::string_view name,
+                                                size_t byte_index) {
+  // Bypasses the fault dice like DestroyObject: rot happens at the
+  // provider, not on a client call, so it must land even during an outage.
+  auto stored = inner_->Download(name);
+  CYRUS_RETURN_IF_ERROR(stored.status());
+  if (stored->empty()) {
+    return FailedPreconditionError(
+        StrCat(inner_->id(), ": cannot rot empty object ", name));
+  }
+  Bytes bytes = *std::move(stored);
+  // Deterministic single-byte flip: callers pick the byte, repeated runs
+  // produce identical rot, and XOR with a fixed nonzero mask guarantees the
+  // stored bytes actually change.
+  bytes[byte_index % bytes.size()] ^= 0x5a;
+  CYRUS_RETURN_IF_ERROR(inner_->Upload(name, bytes));
+  objects_rotted_->Increment();
+  return OkStatus();
+}
+
 FaultInjectionCounters FaultInjectingConnector::RawCounters() const {
   FaultInjectionCounters raw;
   raw.calls = calls_->value();
@@ -230,6 +270,8 @@ FaultInjectionCounters FaultInjectingConnector::RawCounters() const {
   raw.uploads_lost = uploads_lost_->value();
   raw.objects_destroyed = objects_destroyed_->value();
   raw.downloads_corrupted = downloads_corrupted_->value();
+  raw.uploads_corrupted = uploads_corrupted_->value();
+  raw.objects_rotted = objects_rotted_->value();
   raw.injected_latency_ms = injected_latency_ms_->value();
   return raw;
 }
@@ -248,6 +290,8 @@ FaultInjectionCounters FaultInjectingConnector::counters() const {
   out.uploads_lost = delta(raw.uploads_lost, baseline_.uploads_lost);
   out.objects_destroyed = delta(raw.objects_destroyed, baseline_.objects_destroyed);
   out.downloads_corrupted = delta(raw.downloads_corrupted, baseline_.downloads_corrupted);
+  out.uploads_corrupted = delta(raw.uploads_corrupted, baseline_.uploads_corrupted);
+  out.objects_rotted = delta(raw.objects_rotted, baseline_.objects_rotted);
   out.injected_latency_ms =
       std::max(0.0, raw.injected_latency_ms - baseline_.injected_latency_ms);
   return out;

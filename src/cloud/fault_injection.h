@@ -54,9 +54,14 @@ struct FaultInjectionOptions {
   double real_sleep_max_ms = 0.0;
   // Probability that a Download returns the stored bytes with one or more
   // seeded byte flips (bit rot / tampering in transit). The corruption is
-  // silent: the call reports success, so only the decode integrity path or
-  // a scrub catches it.
+  // silent: the call reports success, so only the share-digest check (or,
+  // for legacy metadata, the decode integrity path / a scrub) catches it.
   double download_corrupt_prob = 0.0;
+  // Probability that an Upload *stores* seeded-flipped bytes while still
+  // reporting success - corruption at rest from the first byte, as opposed
+  // to download_corrupt_prob's corruption on the wire (which leaves the
+  // stored object clean).
+  double upload_corrupt_prob = 0.0;
   // After this many successful (non-dropped) Uploads the connector enters
   // the permanent-outage state, as if the process or provider died
   // mid-Put. 0 disables. The crash-recovery tests use this to abandon a
@@ -78,6 +83,8 @@ struct FaultInjectionCounters {
   uint64_t uploads_lost = 0;        // silently dropped uploads
   uint64_t objects_destroyed = 0;   // stored objects silently removed
   uint64_t downloads_corrupted = 0; // downloads returned with flipped bytes
+  uint64_t uploads_corrupted = 0;   // uploads stored with flipped bytes
+  uint64_t objects_rotted = 0;      // stored objects bit-rotted in place
   double injected_latency_ms = 0.0;
 };
 
@@ -109,6 +116,13 @@ class FaultInjectingConnector : public CloudConnector {
   // what a provider-side data-loss incident looks like from the client.
   // Returns how many objects were destroyed.
   Result<size_t> DestroyRandomObjects(double fraction);
+
+  // Deterministically flips one byte of the named stored object in place
+  // (at `byte_index` modulo the object size) - injectable at-rest bit rot
+  // for the scrub integrity pass. Bypasses the fault dice like
+  // DestroyObject: this models decay at the provider, not a client call.
+  // kNotFound if absent, kFailedPrecondition if the object is empty.
+  Status RotStoredObject(std::string_view name, size_t byte_index);
 
   // Faults injected by this instance: current registry totals minus the
   // baseline captured at construction (or the last ResetCounters()), so
@@ -146,6 +160,8 @@ class FaultInjectingConnector : public CloudConnector {
   obs::Counter* uploads_lost_;
   obs::Counter* objects_destroyed_;
   obs::Counter* downloads_corrupted_;
+  obs::Counter* uploads_corrupted_;
+  obs::Counter* objects_rotted_;
   obs::Gauge* injected_latency_ms_;
   FaultInjectionCounters baseline_;
 };

@@ -145,6 +145,28 @@ void AnnotateConflicts(const std::vector<const FileVersion*>& live,
       std::string(name), std::move(ids)});
 }
 
+// Copies the per-share digests stored on chunk-table/ShareIndex rows into a
+// ChunkRecord's authentication list (one entry per distinct share index).
+void AdoptShareDigests(const std::vector<ChunkShare>& shares, ChunkRecord& record) {
+  for (const ChunkShare& s : shares) {
+    if (s.has_digest() && record.FindShareDigest(s.share_index) == nullptr) {
+      record.SetShareDigest(s.share_index, s.digest);
+    }
+  }
+}
+
+// The digest recorded for `share_index`, or null when the scatter produced
+// none for it.
+const Sha1Digest* DigestForIndex(const std::vector<ShareDigest>& digests,
+                                 uint32_t share_index) {
+  for (const ShareDigest& sd : digests) {
+    if (sd.share_index == share_index) {
+      return &sd.digest;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
@@ -234,6 +256,19 @@ CyrusClient::CyrusClient(CyrusConfig config, Chunker chunker)
       "cyrus_readahead_cancelled_total", {},
       "Prefetches credited back because the reader seeked (or the fetch "
       "failed) before they ran");
+  integrity_failures_ = metrics_->GetCounter(
+      "cyrus_integrity_rejected_shares_total", {},
+      "Share downloads discarded before decode because the bytes failed "
+      "digest authentication (per-CSP attribution is in the labeled "
+      "cyrus_integrity_failures_total series)");
+  integrity_shares_healed_ = metrics_->GetCounter(
+      "cyrus_integrity_shares_healed_total", {},
+      "Corrupt shares overwritten in place with freshly re-encoded bytes "
+      "after a gather identified them");
+  integrity_records_upgraded_ = metrics_->GetCounter(
+      "cyrus_integrity_records_upgraded_total", {},
+      "Legacy (pre-digest) chunk records upgraded with per-share digests "
+      "derived on first read");
   put_latency_ms_ = metrics_->GetHistogram("cyrus_client_put_latency_ms", {}, {},
                                            "End-to-end Put pipeline wall time");
   get_latency_ms_ = metrics_->GetHistogram("cyrus_client_get_latency_ms", {}, {},
@@ -404,6 +439,63 @@ Status CyrusClient::NoteTransferFailure(int csp, const Status& status) {
   return MarkCspFailed(csp);
 }
 
+Status CyrusClient::NoteIntegrityFailure(int csp) {
+  integrity_failures_->Increment();
+  std::string csp_id = StrCat("csp-", csp);
+  if (auto name = registry_.name(csp); name.ok()) {
+    csp_id = *std::move(name);
+  }
+  metrics_
+      ->GetCounter("cyrus_integrity_failures_total", {{"csp", csp_id}},
+                   "Share downloads whose bytes failed digest authentication, "
+                   "attributed to the CSP that served them")
+      ->Increment();
+  uint64_t ledger = 0;
+  {
+    std::lock_guard<std::mutex> topology(topology_mutex_);
+    monitor_.RecordIntegrityFailure(csp);
+    monitor_.RecordProbe(csp, now_, false);
+    ledger = monitor_.IntegrityFailureCount(csp);
+  }
+  if (config_.breaker.enabled) {
+    // A provider returning corrupted bytes while answering promptly never
+    // times out, so the breaker decorator saw a *success*; replay the
+    // failure into it with the configured weight so a lying CSP trips the
+    // breaker faster than a merely flaky one.
+    if (auto breaker = breaker_for(csp); breaker != nullptr) {
+      const uint32_t weight = std::max<uint32_t>(config_.integrity_failure_weight, 1);
+      for (uint32_t i = 0; i < weight; ++i) {
+        breaker->RecordFailure();
+      }
+      // Consecutive counting alone cannot accumulate integrity evidence:
+      // every corrupt download is a transfer-level success that resets the
+      // streak before this replay. The monitor's cumulative ledger can -
+      // once the weighted total crosses the trip bar, quarantine outright.
+      if (ledger * weight >= config_.breaker.failure_threshold) {
+        breaker->ForceOpen();
+      }
+    }
+    return OkStatus();
+  }
+  if (config_.integrity_quarantine_threshold > 0 &&
+      monitor_.IntegrityFailureCount(csp) >= config_.integrity_quarantine_threshold) {
+    return MarkCspFailed(csp);
+  }
+  return OkStatus();
+}
+
+void CyrusClient::AugmentRecordDigests(ChunkRecord& record) const {
+  const ChunkEntry* entry = chunk_table_.Find(record.id);
+  if (entry == nullptr) {
+    return;
+  }
+  for (const ChunkShare& share : entry->shares) {
+    if (share.has_digest() && record.FindShareDigest(share.share_index) == nullptr) {
+      record.SetShareDigest(share.share_index, share.digest);
+    }
+  }
+}
+
 uint32_t CyrusClient::PutQuorum(uint32_t n) const {
   if (config_.put_failure_budget < 0) {
     return config_.t;
@@ -467,6 +559,7 @@ Result<std::vector<int>> CyrusClient::PlaceShares(const Sha1Digest& chunk_id,
 Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     const SecretSharingCodec& codec, const Sha1Digest& chunk_id, ByteSpan chunk,
     const std::string& file, const std::string& journal_id,
+    std::vector<ShareDigest>* share_digests,
     TransferReport& report, obs::TraceBuilder* trace) {
   // The codec is built once per Put (the dispersal matrix depends only on
   // (key, t, n), not on chunk content) and shared read-only by every
@@ -665,6 +758,16 @@ Result<std::vector<ShareLocation>> CyrusClient::ScatterChunk(
     return UnavailableError(StrCat("only ", locations.size(), " of ", n,
                                    " shares uploaded; need at least ", quorum));
   }
+  // Authentication records: the digest of each placed share's bytes, keyed
+  // by share index (index i's bytes are identical wherever it lands, so
+  // the failover re-placements above share the first upload's digest).
+  if (share_digests != nullptr && config_.verify_share_digests) {
+    share_digests->reserve(locations.size());
+    for (const ShareLocation& loc : locations) {
+      share_digests->push_back(
+          ShareDigest{loc.share_index, Sha1::Hash(share_spans[loc.share_index])});
+    }
+  }
   aggregator_.ExpectChunk(file, chunk_id, static_cast<uint32_t>(locations.size()));
   for (size_t i = 0; i < locations.size(); ++i) {
     aggregator_.OnShareEvent(file, chunk_id, /*success=*/true);
@@ -691,6 +794,8 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
                                 const std::vector<int>& selected_csps,
                                 std::vector<ShareLocation>& updated_shares,
                                 size_t& migrated, size_t& hedged_downloads,
+                                size_t& integrity_rejected,
+                                std::vector<ShareDigest>& upgraded_digests,
                                 TransferReport& report) {
   if (dst.size() != chunk.size) {
     return InvalidArgumentError("gather destination size mismatch");
@@ -796,6 +901,12 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
   // Download t shares, preferring the optimizer's CSP choices.
   std::vector<Share> shares;
   std::set<int> attempted;
+  // Locations whose downloaded bytes failed digest authentication: the
+  // share is discarded *before* decode (a poisoned share would otherwise
+  // corrupt the reconstruction), the CSP is indicted, and the loops below
+  // top up from alternates - so the Get still succeeds whenever any t
+  // clean shares exist anywhere.
+  std::vector<ShareLocation> integrity_bad;
   auto try_download = [&](const ShareLocation& loc) -> bool {
     if (!attempted.insert(loc.csp).second) {
       return false;
@@ -823,6 +934,17 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
         (void)NoteTransferFailure(loc.csp, data.status());
       }
       return false;
+    }
+    if (config_.verify_share_digests) {
+      if (const Sha1Digest* want = chunk.FindShareDigest(loc.share_index)) {
+        if (Sha1::Hash(*data) != *want) {
+          ++integrity_rejected;
+          integrity_bad.push_back(loc);
+          (void)NoteIntegrityFailure(loc.csp);
+          aggregator_.OnShareEvent(file_name, chunk.id, /*success=*/false);
+          return false;
+        }
+      }
     }
     monitor_.RecordProbe(loc.csp, now_, true);
     shares.push_back(Share{loc.share_index, *std::move(data)});
@@ -872,6 +994,12 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
     }
   }
   if (shares.size() < chunk.t) {
+    if (!integrity_bad.empty()) {
+      return IntegrityError(StrCat(
+          "chunk ", chunk.id.ToHex(), ": only ", shares.size(), " of t=",
+          chunk.t, " shares authenticated (", integrity_bad.size(),
+          " failed share digest checks)"));
+    }
     return DataLossError(StrCat("chunk ", chunk.id.ToHex(), ": only ", shares.size(),
                                 " of t=", chunk.t, " shares reachable"));
   }
@@ -898,11 +1026,40 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
     scratch_heap.assign(share_len, 0);
     return MutableByteSpan(scratch_heap);
   };
+  // Overwrites the share at `loc` with freshly encoded bytes from the
+  // verified plaintext in dst (uploads are idempotent overwrites under the
+  // content-addressed name). Best effort: a failed heal is the scrub
+  // engine's problem, not this Get's.
+  size_t healed = 0;
+  auto heal_share = [&](const ShareLocation& loc) {
+    if (location_state(loc) != CspState::kActive) {
+      return;
+    }
+    PooledBuffer fresh_buf;
+    MutableByteSpan fresh = acquire_share_buf(fresh_buf);
+    auto encoded = decoder.EncodeShareInto(dst, loc.share_index, fresh);
+    auto conn = registry_.connector(loc.csp);
+    if (encoded.ok() && conn.ok()) {
+      const std::string object = ShareName(chunk.id, loc.share_index, chunk.t);
+      if (UploadWithRetry(**conn, TransferKind::kPut, loc.csp, object, fresh,
+                          config_.transfer_retry, report)
+              .ok()) {
+        ++healed;
+      }
+    }
+  };
+
+  bool decode_corrected = false;
   CYRUS_RETURN_IF_ERROR(decoder.DecodeInto(shares, dst));
   if (Sha1::Hash(dst) != chunk.id) {
-    // A share is corrupted (bit rot or a tampering provider). Pull every
-    // reachable share and run the error-correcting decode (§5.1 footnote
-    // 9); the redundancy beyond t is exactly what pays for this.
+    // A share is corrupted (bit rot or a tampering provider) and the
+    // record predates per-share digests, so the bad share could not be
+    // screened out up front. Pull every reachable share and run the
+    // error-correcting decode (§5.1 footnote 9): the exhaustive t-subset
+    // search both recovers the plaintext and *identifies* the corrupt
+    // indices - the combinatorial fallback that lets legacy metadata be
+    // upgraded in place below.
+    decode_corrected = true;
     for (const ShareLocation& loc : locations) {
       if (location_state(loc) == CspState::kActive) {
         (void)try_download(loc);
@@ -910,30 +1067,30 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
     }
     auto corrected = decoder.DecodeWithErrorCorrection(shares, chunk.size);
     if (!corrected.ok() || Sha1::Hash(corrected->chunk) != chunk.id) {
-      return DataLossError(StrCat("chunk ", chunk.id.ToHex(),
-                                  " failed integrity check after decode"));
+      return IntegrityError(StrCat("chunk ", chunk.id.ToHex(),
+                                   " failed integrity check after decode"));
     }
     std::copy(corrected->chunk.begin(), corrected->chunk.end(), dst.begin());
     // Repair: overwrite each corrupted share with freshly encoded bytes at
     // its existing location.
     for (uint32_t bad_index : corrected->corrupted_indices) {
       for (const ShareLocation& loc : locations) {
-        if (loc.share_index != bad_index ||
-            location_state(loc) != CspState::kActive) {
-          continue;
+        if (loc.share_index == bad_index) {
+          heal_share(loc);
+          break;
         }
-        PooledBuffer fresh_buf;
-        MutableByteSpan fresh = acquire_share_buf(fresh_buf);
-        auto encoded = decoder.EncodeShareInto(dst, bad_index, fresh);
-        auto conn = registry_.connector(loc.csp);
-        if (encoded.ok() && conn.ok()) {
-          const std::string object = ShareName(chunk.id, bad_index, chunk.t);
-          (void)UploadWithRetry(**conn, TransferKind::kPut, loc.csp, object,
-                                fresh, config_.transfer_retry, report);
-        }
-        break;
       }
     }
+  }
+  // Shares the digest check rejected pre-decode are healed in place from
+  // the now-verified plaintext, so a transiently-corrupting CSP stops
+  // poisoning future reads (a persistently-lying one is quarantined by
+  // NoteIntegrityFailure regardless of what this write does).
+  for (const ShareLocation& loc : integrity_bad) {
+    heal_share(loc);
+  }
+  if (healed > 0) {
+    integrity_shares_healed_->Increment(healed);
   }
 
   // Lazy share migration (paper §5.5, Figure 9): regenerate shares whose
@@ -975,8 +1132,36 @@ Status CyrusClient::GatherChunk(const std::string& file_name,
     const uint32_t old_index = loc.share_index;
     loc.csp = target;
     loc.share_index = new_index;
-    (void)chunk_table_.MoveShare(chunk.id, old_csp, old_index, target, new_index);
+    (void)chunk_table_.MoveShare(chunk.id, old_csp, old_index, target, new_index,
+                                 Sha1::Hash(fresh));
     ++migrated;
+  }
+
+  // Digest bookkeeping: whenever this gather changed what the CSPs store
+  // (healed or migrated shares) or the record predates per-share digests,
+  // derive the authoritative digest set from the verified plaintext -
+  // share bytes are a pure function of (chunk, key, index), so re-encoding
+  // reproduces exactly what a clean provider holds. The chunk table is
+  // updated here (same distinct-entry contract as MoveShare above); the
+  // caller folds `upgraded_digests` into the version's ChunkRecord on the
+  // driver and republishes the metadata.
+  if (config_.verify_share_digests &&
+      (chunk.share_digests.empty() || migrated > 0 || healed > 0 ||
+       decode_corrected)) {
+    std::set<uint32_t> indices;
+    for (const ShareLocation& loc : repaired) {
+      indices.insert(loc.share_index);
+    }
+    for (uint32_t index : indices) {
+      PooledBuffer buf;
+      MutableByteSpan span = acquire_share_buf(buf);
+      if (!decoder.EncodeShareInto(dst, index, span).ok()) {
+        continue;
+      }
+      const Sha1Digest digest = Sha1::Hash(span);
+      upgraded_digests.push_back(ShareDigest{index, digest});
+      (void)chunk_table_.SetShareDigest(chunk.id, index, digest);
+    }
   }
   updated_shares = std::move(repaired);
   return OkStatus();
@@ -1230,7 +1415,11 @@ Status CyrusClient::RegisterVersionChunks(const FileVersion& version) {
     entry.dedup = chunk.dedup;
     entry.wrapped_key = chunk.wrapped_key;
     for (const ShareLocation& loc : version.SharesOfChunk(chunk.id)) {
-      entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+      ChunkShare share{loc.share_index, loc.csp};
+      if (const Sha1Digest* d = chunk.FindShareDigest(loc.share_index)) {
+        share.digest = *d;
+      }
+      entry.shares.push_back(share);
     }
     CYRUS_RETURN_IF_ERROR(chunk_table_.Insert(chunk.id, std::move(entry)));
   }
@@ -1361,13 +1550,19 @@ Status CyrusClient::RescatterDedupChunk(const Sha1Digest& chunk_id, ByteSpan chu
       SecretSharingCodec codec,
       SecretSharingCodec::Create(content_key, config_.t, n));
   codec_creates_->Increment();
+  std::vector<ShareDigest> digests;
   CYRUS_ASSIGN_OR_RETURN(
       std::vector<ShareLocation> locations,
-      ScatterChunk(codec, chunk_id, chunk, file, journal_id, report, trace));
+      ScatterChunk(codec, chunk_id, chunk, file, journal_id, &digests, report,
+                   trace));
   std::vector<ChunkShare> shares;
   shares.reserve(locations.size());
   for (const ShareLocation& loc : locations) {
-    shares.push_back(ChunkShare{loc.share_index, loc.csp});
+    ChunkShare share{loc.share_index, loc.csp};
+    if (const Sha1Digest* d = DigestForIndex(digests, loc.share_index)) {
+      share.digest = *d;
+    }
+    shares.push_back(share);
   }
   if (config_.share_index != nullptr) {
     ShareIndexEntry published;
@@ -1487,6 +1682,7 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
     bool index_hit = false;  // served by the cross-user ShareIndex (ref taken)
     ShareIndexEntry index_entry;
     Bytes wrapped_key;       // per-user wrap of the content key (convergent)
+    std::vector<ShareDigest> digests;  // per-share auth records from the scatter
   };
   std::list<ScatterSlot> slots;
   OrderedPipeline::Options window;
@@ -1554,14 +1750,15 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
         codec_creates_->Increment();
         slot->locations =
             ScatterChunk(*chunk_codec, slot->chunk_id, chunk_bytes,
-                         version.file_name, journal_id, slot->report, &trace);
+                         version.file_name, journal_id, &slot->digests,
+                         slot->report, &trace);
       };
     } else {
       inflight.insert(chunk_id);
       work = [this, slot, chunk_bytes, &codec, &version, &journal_id, &trace] {
         slot->locations =
             ScatterChunk(codec, slot->chunk_id, chunk_bytes, version.file_name,
-                         journal_id, slot->report, &trace);
+                         journal_id, &slot->digests, slot->report, &trace);
       };
     }
     auto on_complete = [this, slot, n, convergent, chunk_bytes, &version,
@@ -1606,10 +1803,11 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
                 ShareLocation{slot->chunk_id, s.share_index, s.csp});
           }
         }
-        version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
-                                             slot->span.size, existing->t,
-                                             existing->n, existing->dedup,
-                                             existing->wrapped_key});
+        ChunkRecord record{slot->chunk_id, slot->span.offset, slot->span.size,
+                           existing->t, existing->n, existing->dedup,
+                           existing->wrapped_key, {}};
+        AdoptShareDigests(existing->shares, record);
+        version.chunks.push_back(std::move(record));
         return OkStatus();
       }
       if (slot->index_hit) {
@@ -1620,9 +1818,11 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
         ++result.dedup_chunks;
         ++result.index_hit_chunks;
         chunks_deduped_->Increment();
-        version.chunks.push_back(ChunkRecord{
-            slot->chunk_id, slot->span.offset, slot->span.size,
-            slot->index_entry.t, slot->index_entry.n, true, slot->wrapped_key});
+        ChunkRecord record{slot->chunk_id, slot->span.offset, slot->span.size,
+                           slot->index_entry.t, slot->index_entry.n, true,
+                           slot->wrapped_key, {}};
+        AdoptShareDigests(slot->index_entry.shares, record);
+        version.chunks.push_back(std::move(record));
         ChunkEntry entry;
         entry.size = slot->span.size;
         entry.logical_size = slot->span.size;
@@ -1650,9 +1850,10 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       // commit may have landed fewer, and the gap is repair debt the scrub
       // engine completes against exactly this record.
       const uint32_t stored = static_cast<uint32_t>(locations.size());
-      version.chunks.push_back(ChunkRecord{slot->chunk_id, slot->span.offset,
-                                           slot->span.size, config_.t, n,
-                                           convergent, slot->wrapped_key});
+      ChunkRecord record{slot->chunk_id, slot->span.offset, slot->span.size,
+                         config_.t, n, convergent, slot->wrapped_key, {}};
+      record.share_digests = slot->digests;
+      version.chunks.push_back(std::move(record));
       ChunkEntry entry;
       entry.size = slot->span.size;
       entry.logical_size = slot->span.size;
@@ -1661,7 +1862,11 @@ Result<PutResult> CyrusClient::Put(std::string_view name, ByteSpan content) {
       entry.dedup = convergent;
       entry.wrapped_key = slot->wrapped_key;
       for (const ShareLocation& loc : locations) {
-        entry.shares.push_back(ChunkShare{loc.share_index, loc.csp});
+        ChunkShare share{loc.share_index, loc.csp};
+        if (const Sha1Digest* d = DigestForIndex(slot->digests, loc.share_index)) {
+          share.digest = *d;
+        }
+        entry.shares.push_back(share);
       }
       if (convergent && config_.share_index != nullptr) {
         // Publish the layout for every other writer. Racing publishers of
@@ -1900,6 +2105,8 @@ Result<GetResult> CyrusClient::GetFullFileLegacy(std::string_view name,
     std::vector<ShareLocation> updated;
     size_t migrated = 0;
     size_t hedged = 0;
+    size_t integrity_rejected = 0;
+    std::vector<ShareDigest> upgraded;
     TransferReport report;
   };
   std::list<GatherSlot> slots;  // stable addresses; outlives the pipeline
@@ -1910,10 +2117,15 @@ Result<GetResult> CyrusClient::GetFullFileLegacy(std::string_view name,
   OrderedPipeline pipeline(pool_.get(), window);
 
   Status pipeline_status;
+  size_t digest_republish = 0;  // chunks whose version record gained digests
   for (size_t i = 0; i < unique_ids.size(); ++i) {
     slots.emplace_back();
     GatherSlot* slot = &slots.back();
     slot->chunk = *by_id[unique_ids[i]];
+    // A record synced from v1/v2 metadata carries no digests; the chunk
+    // table may have them (a Put or an earlier upgrade recorded them), and
+    // workers must not read it, so merge here on the driver.
+    AugmentRecordDigests(slot->chunk);
     slot->dst = MutableByteSpan(result.content.data() + slot->chunk.offset,
                                 slot->chunk.size);
     slot->locations = ResolveChunkLocations(*version, unique_ids[i]);
@@ -1922,12 +2134,15 @@ Result<GetResult> CyrusClient::GetFullFileLegacy(std::string_view name,
     auto work = [this, slot, &file_name] {
       slot->status = GatherChunk(file_name, slot->chunk, slot->dst,
                                  slot->locations, slot->selected, slot->updated,
-                                 slot->migrated, slot->hedged, slot->report);
+                                 slot->migrated, slot->hedged,
+                                 slot->integrity_rejected, slot->upgraded,
+                                 slot->report);
     };
     auto on_complete = [this, slot, &version, &version_id, &result,
-                        &gather_span]() -> Status {
+                        &gather_span, &digest_republish]() -> Status {
       result.transfer.Append(slot->report);
       result.hedged_downloads += slot->hedged;
+      result.integrity_rejected_shares += slot->integrity_rejected;
       CYRUS_RETURN_IF_ERROR(slot->status);
       chunks_gathered_->Increment();
       ++result.chunks_decoded;
@@ -1947,14 +2162,28 @@ Result<GetResult> CyrusClient::GetFullFileLegacy(std::string_view name,
         CYRUS_RETURN_IF_ERROR(
             tree_.UpdateShareLocations(version->id, std::move(merged)));
         version = tree_.Find(version_id);  // re-resolve after mutation
-        if (slot->chunk.dedup && config_.share_index != nullptr) {
-          // Keep the cross-user layout current so the next writer's dedup
-          // hit points at the migrated shares, not the dead CSP. Best
-          // effort: a missed update self-heals on that writer's repair.
-          if (const ChunkEntry* moved = chunk_table_.Find(slot->chunk.id)) {
-            (void)config_.share_index->ReplaceShares(slot->chunk.id,
-                                                     moved->shares);
-          }
+      }
+      // Fold freshly derived per-share digests into the version's
+      // ChunkRecord (legacy upgrade, or new digests minted by healing /
+      // migration) so the republished metadata authenticates future reads.
+      if (!slot->upgraded.empty()) {
+        if (slot->chunk.share_digests.empty()) {
+          ++result.digest_upgraded_chunks;
+          integrity_records_upgraded_->Increment();
+        }
+        ++digest_republish;
+        CYRUS_RETURN_IF_ERROR(tree_.UpdateChunkShareDigests(
+            version->id, slot->chunk.id, slot->upgraded));
+        version = tree_.Find(version_id);  // re-resolve after mutation
+      }
+      if ((slot->migrated > 0 || !slot->upgraded.empty()) &&
+          slot->chunk.dedup && config_.share_index != nullptr) {
+        // Keep the cross-user layout current so the next writer's dedup
+        // hit points at the migrated shares, not the dead CSP. Best
+        // effort: a missed update self-heals on that writer's repair.
+        if (const ChunkEntry* moved = chunk_table_.Find(slot->chunk.id)) {
+          (void)config_.share_index->ReplaceShares(slot->chunk.id,
+                                                   moved->shares);
         }
       }
       return OkStatus();
@@ -1974,7 +2203,7 @@ Result<GetResult> CyrusClient::GetFullFileLegacy(std::string_view name,
   }
   CYRUS_RETURN_IF_ERROR(pipeline_status);
   gather_span.End();
-  if (result.migrated_shares > 0) {
+  if (result.migrated_shares > 0 || digest_republish > 0) {
     shares_migrated_->Increment(result.migrated_shares);
     obs::ScopedSpan republish_span = trace.Span("republish_meta");
     TransferReport meta_report;
@@ -2141,6 +2370,8 @@ Result<GetResult> CyrusClient::GetRangeTraced(std::string_view name,
     std::vector<ShareLocation> updated;
     size_t migrated = 0;
     size_t hedged = 0;
+    size_t integrity_rejected = 0;
+    std::vector<ShareDigest> upgraded;
     TransferReport report;
   };
   std::list<GatherSlot> slots;  // stable addresses; outlives the pipeline
@@ -2155,10 +2386,14 @@ Result<GetResult> CyrusClient::GetRangeTraced(std::string_view name,
   OrderedPipeline pipeline(pool_.get(), window);
 
   Status pipeline_status;
+  size_t digest_republish = 0;  // chunks whose version record gained digests
   for (size_t i = 0; i < to_gather.size(); ++i) {
     slots.emplace_back();
     GatherSlot* slot = &slots.back();
     slot->chunk = *by_id.at(to_gather[i]);
+    // Merge chunk-table digests into the worker's record copy (see the
+    // legacy path): workers authenticate against the record alone.
+    AugmentRecordDigests(slot->chunk);
     if (whole_file) {
       slot->dst = MutableByteSpan(result.content.data() + slot->chunk.offset,
                                   slot->chunk.size);
@@ -2172,13 +2407,16 @@ Result<GetResult> CyrusClient::GetRangeTraced(std::string_view name,
     auto work = [this, slot, &file_name] {
       slot->status = GatherChunk(file_name, slot->chunk, slot->dst,
                                  slot->locations, slot->selected, slot->updated,
-                                 slot->migrated, slot->hedged, slot->report);
+                                 slot->migrated, slot->hedged,
+                                 slot->integrity_rejected, slot->upgraded,
+                                 slot->report);
     };
     auto on_complete = [this, slot, &version, &version_id, &result, &gather_span,
-                        &resident, &dup_ids, &copy_overlap,
+                        &resident, &dup_ids, &copy_overlap, &digest_republish,
                         whole_file]() -> Status {
       result.transfer.Append(slot->report);
       result.hedged_downloads += slot->hedged;
+      result.integrity_rejected_shares += slot->integrity_rejected;
       CYRUS_RETURN_IF_ERROR(slot->status);
       chunks_gathered_->Increment();
       ++result.chunks_decoded;
@@ -2198,11 +2436,24 @@ Result<GetResult> CyrusClient::GetRangeTraced(std::string_view name,
         CYRUS_RETURN_IF_ERROR(
             tree_.UpdateShareLocations(version->id, std::move(merged)));
         version = tree_.Find(version_id);  // re-resolve after mutation
-        if (slot->chunk.dedup && config_.share_index != nullptr) {
-          if (const ChunkEntry* moved = chunk_table_.Find(slot->chunk.id)) {
-            (void)config_.share_index->ReplaceShares(slot->chunk.id,
-                                                     moved->shares);
-          }
+      }
+      // Fold freshly derived per-share digests into the version's
+      // ChunkRecord so the republished metadata authenticates future reads.
+      if (!slot->upgraded.empty()) {
+        if (slot->chunk.share_digests.empty()) {
+          ++result.digest_upgraded_chunks;
+          integrity_records_upgraded_->Increment();
+        }
+        ++digest_republish;
+        CYRUS_RETURN_IF_ERROR(tree_.UpdateChunkShareDigests(
+            version->id, slot->chunk.id, slot->upgraded));
+        version = tree_.Find(version_id);  // re-resolve after mutation
+      }
+      if ((slot->migrated > 0 || !slot->upgraded.empty()) &&
+          slot->chunk.dedup && config_.share_index != nullptr) {
+        if (const ChunkEntry* moved = chunk_table_.Find(slot->chunk.id)) {
+          (void)config_.share_index->ReplaceShares(slot->chunk.id,
+                                                   moved->shares);
         }
       }
 
@@ -2231,7 +2482,7 @@ Result<GetResult> CyrusClient::GetRangeTraced(std::string_view name,
   }
   CYRUS_RETURN_IF_ERROR(pipeline_status);
   gather_span.End();
-  if (result.migrated_shares > 0) {
+  if (result.migrated_shares > 0 || digest_republish > 0) {
     shares_migrated_->Increment(result.migrated_shares);
     obs::ScopedSpan republish_span = trace.Span("republish_meta");
     TransferReport meta_report;
@@ -2316,6 +2567,16 @@ Status CyrusClient::FetchChunkForCache(const ChunkRecord& chunk,
         (void)NoteTransferFailure(loc.csp, data.status());
       }
       continue;
+    }
+    if (config_.verify_share_digests) {
+      if (const Sha1Digest* want = chunk.FindShareDigest(loc.share_index)) {
+        if (Sha1::Hash(*data) != *want) {
+          // Discard and indict, but no healing here: the background path
+          // must never race the foreground gather's repair writes.
+          (void)NoteIntegrityFailure(loc.csp);
+          continue;
+        }
+      }
     }
     monitor_.RecordProbe(loc.csp, now_, true);
     shares.push_back(Share{loc.share_index, *std::move(data)});
@@ -2490,20 +2751,22 @@ Result<ScrubReport> CyrusClient::ScrubOnce() {
   // scrub pass can complete degraded writes onto it.
   CYRUS_RETURN_IF_ERROR(ProbeRecoveredCsps());
   CYRUS_ASSIGN_OR_RETURN(ScrubReport report, repair_->ScrubOnce(&trace));
-  if (report.repaired_chunks.empty()) {
+  if (report.repaired_chunks.empty() && report.upgraded_chunks.empty()) {
     return report;
   }
   obs::ScopedSpan republish_span = trace.Span("republish_meta");
   // The engine rewrote the chunk table; fold each repaired chunk's new
-  // locations into every version referencing it and republish that
-  // version's metadata so other clients find the rebuilt shares (the same
-  // contract lazy migration honors in GetVersion).
-  const std::set<Sha1Digest> repaired(report.repaired_chunks.begin(),
-                                      report.repaired_chunks.end());
+  // locations - and each touched chunk's per-share digests (integrity
+  // heals and legacy upgrades) - into every version referencing it and
+  // republish that version's metadata so other clients find the rebuilt
+  // shares (the same contract lazy migration honors in GetVersion).
+  std::set<Sha1Digest> touched(report.repaired_chunks.begin(),
+                               report.repaired_chunks.end());
+  touched.insert(report.upgraded_chunks.begin(), report.upgraded_chunks.end());
   for (const FileVersion* version : tree_.AllVersions()) {
     std::set<Sha1Digest> affected;
     for (const ChunkRecord& chunk : version->chunks) {
-      if (repaired.count(chunk.id) > 0) {
+      if (touched.count(chunk.id) > 0) {
         affected.insert(chunk.id);
       }
     }
@@ -2516,17 +2779,28 @@ Result<ScrubReport> CyrusClient::ScrubOnce() {
         merged.push_back(loc);
       }
     }
+    std::map<Sha1Digest, std::vector<ShareDigest>> fresh_digests;
     for (const Sha1Digest& chunk_id : affected) {
       const ChunkEntry* entry = chunk_table_.Find(chunk_id);
       if (entry == nullptr) {
         continue;  // evicted between repair and republish; keep old rows out
       }
+      std::vector<ShareDigest>& digests = fresh_digests[chunk_id];
       for (const ChunkShare& share : entry->shares) {
         merged.push_back(ShareLocation{chunk_id, share.share_index, share.csp});
+        if (share.has_digest()) {
+          digests.push_back(ShareDigest{share.share_index, share.digest});
+        }
       }
     }
     const Sha1Digest version_id = version->id;
     CYRUS_RETURN_IF_ERROR(tree_.UpdateShareLocations(version_id, std::move(merged)));
+    for (auto& [chunk_id, digests] : fresh_digests) {
+      if (!digests.empty()) {
+        CYRUS_RETURN_IF_ERROR(tree_.UpdateChunkShareDigests(
+            version_id, chunk_id, std::move(digests)));
+      }
+    }
     const FileVersion* refreshed = tree_.Find(version_id);
     TransferReport meta_report;
     CYRUS_RETURN_IF_ERROR(UploadMetadata(*refreshed, meta_report));

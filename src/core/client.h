@@ -154,6 +154,23 @@ struct CyrusConfig {
   // state transitions the legacy path used.
   CircuitBreakerOptions breaker;
 
+  // End-to-end share integrity. When on (the default), every share whose
+  // ChunkRecord carries a per-share digest is authenticated *before* decode;
+  // a mismatch is a typed kIntegrity failure that is failover-eligible (the
+  // gather discards the poisoned share and tops up from alternate CSPs), so
+  // Get succeeds whenever any t clean shares exist. Off reproduces the
+  // pre-digest client exactly: Put records no digests and Get authenticates
+  // nothing (useful for writing legacy-format metadata in tests).
+  bool verify_share_digests = true;
+  // A CSP returning corrupted bytes is worse than one timing out: each
+  // integrity failure counts as this many breaker failures, so a
+  // repeatedly-lying provider trips its breaker sooner than a flaky one.
+  uint32_t integrity_failure_weight = 3;
+  // Without breakers: integrity failures from one CSP before it is marked
+  // failed outright (quarantined from placement and selection until a scrub
+  // re-verifies it). 0 disables the quarantine.
+  uint32_t integrity_quarantine_threshold = 3;
+
   // Crash-safe Put: path of the local write-intent journal. Empty (the
   // default) disables journaling; RecoverFromJournal() is then a no-op.
   std::string journal_path;
@@ -248,6 +265,13 @@ struct GetResult {
   // decoded from the CSPs.
   size_t chunks_from_cache = 0;
   size_t chunks_decoded = 0;
+  // Legacy (pre-digest) chunk records whose per-share digests were derived
+  // during this read - via the combinatorial decode path - and recorded in
+  // the chunk table and republished metadata.
+  size_t digest_upgraded_chunks = 0;
+  // Shares rejected before decode because their bytes failed digest
+  // authentication (each also feeds the owning CSP's health accounting).
+  size_t integrity_rejected_shares = 0;
   TransferReport transfer;
 };
 
@@ -465,12 +489,16 @@ class CyrusClient {
   // (nullable) receives encode/place/upload spans.
   // `journal_id` (empty = journaling off) write-ahead-logs every placement
   // target before its upload, so a crash mid-scatter leaves a deletable
-  // record of every object that may exist.
+  // record of every object that may exist. `share_digests` (nullable)
+  // receives the SHA-1 of each successfully placed share's bytes, keyed by
+  // share index - the authentication records Put threads into the chunk
+  // table, the version metadata, and the shared ShareIndex.
   Result<std::vector<ShareLocation>> ScatterChunk(const SecretSharingCodec& codec,
                                                   const Sha1Digest& chunk_id,
                                                   ByteSpan chunk,
                                                   const std::string& file,
                                                   const std::string& journal_id,
+                                                  std::vector<ShareDigest>* share_digests,
                                                   TransferReport& report,
                                                   obs::TraceBuilder* trace);
 
@@ -534,12 +562,18 @@ class CyrusClient {
   // ShareMap) on the driver thread and folds `updated_shares` back into
   // the version there, so this function never reads the mutable
   // FileVersion. Workers write disjoint dst slices, never the vector.
+  // `integrity_rejected` counts shares discarded pre-decode on digest
+  // mismatch; `upgraded_digests`, when filled, is the authoritative digest
+  // set this gather derived for a legacy (digestless) record - the driver
+  // folds it into the version's ChunkRecord and republishes the metadata.
   Status GatherChunk(const std::string& file_name, const ChunkRecord& chunk,
                      MutableByteSpan dst,
                      const std::vector<ShareLocation>& locations,
                      const std::vector<int>& selected_csps,
                      std::vector<ShareLocation>& updated_shares,
                      size_t& migrated, size_t& hedged_downloads,
+                     size_t& integrity_rejected,
+                     std::vector<ShareDigest>& upgraded_digests,
                      TransferReport& report);
 
   // Routes a failed transfer into the health machinery: with breakers on,
@@ -548,6 +582,20 @@ class CyrusClient {
   // monitor is fed; without them this is the legacy immediate
   // MarkCspFailed. No-op for statuses that do not indict the provider.
   Status NoteTransferFailure(int csp, const Status& status);
+
+  // Routes a share-digest mismatch into the health machinery: the
+  // availability monitor's integrity ledger always records it; with
+  // breakers on the failure is replayed integrity_failure_weight times into
+  // the CSP's breaker, without them the CSP is marked failed once its
+  // ledger reaches integrity_quarantine_threshold. Safe from pipeline
+  // workers (same locking as NoteTransferFailure).
+  Status NoteIntegrityFailure(int csp);
+
+  // Merges chunk-table share digests into a version-sourced ChunkRecord
+  // copy that predates them (or was synced from v1/v2 metadata), so gather
+  // workers can authenticate without reading the mutable chunk table.
+  // Driver-thread only.
+  void AugmentRecordDigests(ChunkRecord& record) const;
 
   // Current share locations of a chunk: the global chunk table wins (it
   // sees migrations from other files); falls back to the version's
@@ -666,6 +714,14 @@ class CyrusClient {
   obs::Counter* readahead_issued_ = nullptr;
   obs::Counter* readahead_completed_ = nullptr;
   obs::Counter* readahead_cancelled_ = nullptr;
+  // Integrity pipeline: shares rejected pre-decode (total; the per-CSP
+  // breakdown is the labeled cyrus_integrity_failures_total series looked
+  // up on the - rare - failure path), shares re-uploaded in place after a
+  // gather identified them as corrupt, and legacy records upgraded with
+  // freshly derived digests.
+  obs::Counter* integrity_failures_ = nullptr;
+  obs::Counter* integrity_shares_healed_ = nullptr;
+  obs::Counter* integrity_records_upgraded_ = nullptr;
   obs::Histogram* put_latency_ms_ = nullptr;
   obs::Histogram* get_latency_ms_ = nullptr;
 };

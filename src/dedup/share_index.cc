@@ -15,7 +15,10 @@ namespace cyrus {
 namespace {
 
 constexpr uint32_t kMagic = 0x43594449;  // "CYDI"
-constexpr uint32_t kFormatVersion = 2;   // v2 added the pending_delete flag
+// v2 added the pending_delete flag; v3 entries append per-share digests
+// (readable either way: DecodeEntry treats the digest block as optional, so
+// v2 snapshots and old journal lines parse with digests left unknown).
+constexpr uint32_t kFormatVersion = 3;
 
 // Same durability trick as put_journal: after rename(), the new directory
 // entry must itself be fsynced or a crash can resurface the old journal.
@@ -44,6 +47,22 @@ Bytes EncodeEntry(const ShareIndexEntry& entry) {
     w.WriteU32(share.share_index);
     w.WriteI32(share.csp);
   }
+  // Per-share digests ride as a trailing block keyed by share index, so old
+  // readers (which stop at the shares) and old records (which lack the
+  // block; DecodeEntry treats it as optional) both stay compatible.
+  uint32_t with_digest = 0;
+  for (const ChunkShare& share : entry.shares) {
+    if (share.has_digest()) {
+      ++with_digest;
+    }
+  }
+  w.WriteU32(with_digest);
+  for (const ChunkShare& share : entry.shares) {
+    if (share.has_digest()) {
+      w.WriteU32(share.share_index);
+      w.WriteDigest(share.digest);
+    }
+  }
   return w.TakeData();
 }
 
@@ -62,6 +81,21 @@ Result<ShareIndexEntry> DecodeEntry(BinaryReader& r) {
     CYRUS_ASSIGN_OR_RETURN(share.share_index, r.ReadU32());
     CYRUS_ASSIGN_OR_RETURN(share.csp, r.ReadI32());
     entry.shares.push_back(share);
+  }
+  if (!r.AtEnd()) {
+    // Optional trailing digest block (records written since per-share
+    // authentication landed).
+    CYRUS_ASSIGN_OR_RETURN(uint32_t with_digest, r.ReadU32());
+    for (uint32_t s = 0; s < with_digest; ++s) {
+      CYRUS_ASSIGN_OR_RETURN(uint32_t index, r.ReadU32());
+      CYRUS_ASSIGN_OR_RETURN(Sha1Digest digest, r.ReadDigest());
+      for (ChunkShare& share : entry.shares) {
+        if (share.share_index == index) {
+          share.digest = digest;
+          break;
+        }
+      }
+    }
   }
   return entry;
 }
@@ -419,10 +453,15 @@ Status ShareIndex::Publish(const Sha1Digest& chunk_id, ShareIndexEntry entry) {
       mine.pending_delete = mine.pending_delete && entry.pending_delete;
       for (const ChunkShare& share : entry.shares) {
         bool known = false;
-        for (const ChunkShare& existing : mine.shares) {
+        for (ChunkShare& existing : mine.shares) {
           if (existing.share_index == share.share_index &&
               existing.csp == share.csp) {
             known = true;
+            // Convergent encoding makes racing publishers byte-identical,
+            // so a digest learned by either is authoritative for both.
+            if (!existing.has_digest() && share.has_digest()) {
+              existing.digest = share.digest;
+            }
             break;
           }
         }
@@ -649,7 +688,7 @@ Status ShareIndex::Load(ByteSpan data, const std::vector<std::string>& csp_direc
     return DataLossError("share index magic mismatch");
   }
   CYRUS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kFormatVersion) {
+  if (version < 2 || version > kFormatVersion) {
     return DataLossError(StrCat("unsupported share index version ", version));
   }
   CYRUS_ASSIGN_OR_RETURN(uint32_t num_names, r.ReadU32());

@@ -572,6 +572,19 @@ GatewayStats GatewayService::Stats() const {
       stats.dedup_hit_rate = dedup.hit_rate();
     }
   }
+  // Integrity failures accumulate per shard client (each runs its own
+  // availability monitor); fold them into one per-CSP ledger keyed by
+  // connector id so the operator view survives shard-local index spaces.
+  for (const auto& [id, shard] : shards_) {
+    CyrusClient* client = shard->client.get();
+    for (const auto& [csp, count] :
+         client->availability_monitor().IntegrityFailureCounts()) {
+      auto name = client->registry().name(csp);
+      const std::string key = name.ok() ? *name : StrCat("csp-", csp);
+      stats.integrity_failures_by_csp[key] += count;
+      stats.integrity_failures_total += count;
+    }
+  }
   return stats;
 }
 

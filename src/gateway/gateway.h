@@ -113,6 +113,11 @@ struct GatewayStats {
   uint64_t dedup_physical_bytes = 0;
   double dedup_ratio = 1.0;
   double dedup_hit_rate = 0.0;
+  // Share-digest mismatches observed by the shard clients, keyed by the
+  // offending CSP's connector id - the "who is feeding us corrupt bytes"
+  // view an operator checks before quarantining a provider.
+  uint64_t integrity_failures_total = 0;
+  std::map<std::string, uint64_t> integrity_failures_by_csp;
 };
 
 class GatewayService {

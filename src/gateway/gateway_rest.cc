@@ -113,6 +113,13 @@ int HttpStatusForGatewayError(const Status& status) {
       return 403;
     case StatusCode::kUnavailable:
       return 503;
+    case StatusCode::kDataLoss:
+    case StatusCode::kIntegrity:
+      // The backing store returned bytes we could not authenticate (or not
+      // enough of them to decode): a bad gateway upstream, not a server
+      // bug. The typed reason ("integrity" / "data loss") rides in the
+      // error body so callers can tell rot from outage.
+      return 502;
     default:
       return 500;
   }
@@ -191,6 +198,12 @@ HttpResponse GatewayRestFrontend::HandleStats() const {
   body.Set("tenant_window", JsonValue(std::move(window_fields)));
   body.Set("num_tenants", static_cast<uint64_t>(stats.num_tenants));
   body.Set("num_shards", static_cast<uint64_t>(stats.num_shards));
+  body.Set("integrity_failures_total", stats.integrity_failures_total);
+  JsonValue::Object integrity_fields;
+  for (const auto& [csp, count] : stats.integrity_failures_by_csp) {
+    integrity_fields.emplace(csp, JsonValue(count));
+  }
+  body.Set("integrity_failures_by_csp", JsonValue(std::move(integrity_fields)));
   return JsonOk(body);
 }
 

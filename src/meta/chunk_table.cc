@@ -7,9 +7,10 @@ namespace cyrus {
 namespace {
 
 constexpr uint32_t kMagic = 0x43595254;  // "CYRT"
-// v2 adds logical_size + the convergent-dedup fields per entry; v1 streams
-// are still readable (logical_size defaults to size, dedup to off).
-constexpr uint32_t kFormatVersion = 2;
+// v2 adds logical_size + the convergent-dedup fields per entry; v3 adds a
+// per-share digest. v1/v2 streams are still readable (logical_size defaults
+// to size, dedup to off, digests to unknown).
+constexpr uint32_t kFormatVersion = 3;
 
 }  // namespace
 
@@ -70,7 +71,8 @@ Status ChunkTable::Release(const Sha1Digest& chunk_id) {
 }
 
 Status ChunkTable::MoveShare(const Sha1Digest& chunk_id, int32_t old_csp,
-                             uint32_t old_index, int32_t new_csp, uint32_t new_index) {
+                             uint32_t old_index, int32_t new_csp, uint32_t new_index,
+                             const Sha1Digest& new_digest) {
   auto it = entries_.find(chunk_id);
   if (it == entries_.end()) {
     return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not tracked"));
@@ -79,11 +81,31 @@ Status ChunkTable::MoveShare(const Sha1Digest& chunk_id, int32_t old_csp,
     if (share.csp == old_csp && share.share_index == old_index) {
       share.csp = new_csp;
       share.share_index = new_index;
+      // Migration derives fresh share bytes, so the old digest never
+      // applies; callers that hashed the new bytes pass the digest along,
+      // everyone else resets it to unknown.
+      share.digest = new_digest;
       return OkStatus();
     }
   }
   return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " has no share ", old_index,
                               " on CSP ", old_csp));
+}
+
+Status ChunkTable::SetShareDigest(const Sha1Digest& chunk_id, uint32_t share_index,
+                                  const Sha1Digest& digest) {
+  auto it = entries_.find(chunk_id);
+  if (it == entries_.end()) {
+    return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " not tracked"));
+  }
+  for (ChunkShare& share : it->second.shares) {
+    if (share.share_index == share_index) {
+      share.digest = digest;
+      return OkStatus();
+    }
+  }
+  return NotFoundError(StrCat("chunk ", chunk_id.ToHex(), " has no share ",
+                              share_index));
 }
 
 Status ChunkTable::ResetShares(const Sha1Digest& chunk_id, uint32_t t, uint32_t n,
@@ -155,9 +177,14 @@ Status ChunkTable::Absorb(ChunkTable other) {
     mine.refcount += incoming.refcount;
     for (const ChunkShare& share : incoming.shares) {
       bool known = false;
-      for (const ChunkShare& existing : mine.shares) {
+      for (ChunkShare& existing : mine.shares) {
         if (existing.share_index == share.share_index && existing.csp == share.csp) {
           known = true;
+          // Both sides describe the same stored object; adopt the digest
+          // from whichever shard learned it.
+          if (!existing.has_digest() && share.has_digest()) {
+            existing.digest = share.digest;
+          }
           break;
         }
       }
@@ -218,6 +245,7 @@ Bytes ChunkTable::Serialize() const {
     for (const ChunkShare& share : entry.shares) {
       w.WriteU32(share.share_index);
       w.WriteI32(share.csp);
+      w.WriteDigest(share.digest);
     }
   }
   return w.TakeData();
@@ -255,6 +283,9 @@ Result<ChunkTable> ChunkTable::Deserialize(ByteSpan data) {
       ChunkShare share;
       CYRUS_ASSIGN_OR_RETURN(share.share_index, r.ReadU32());
       CYRUS_ASSIGN_OR_RETURN(share.csp, r.ReadI32());
+      if (version >= 3) {
+        CYRUS_ASSIGN_OR_RETURN(share.digest, r.ReadDigest());
+      }
       entry.shares.push_back(share);
     }
     table.entries_.emplace(id, std::move(entry));

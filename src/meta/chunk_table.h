@@ -27,6 +27,13 @@ namespace cyrus {
 struct ChunkShare {
   uint32_t share_index = 0;
   int32_t csp = -1;
+  // SHA-1 of the stored share bytes; the all-zero digest means "unknown"
+  // (legacy metadata predating per-share authentication). Readers verify a
+  // downloaded share against this before it enters decode; scrub verifies
+  // it without decoding at all.
+  Sha1Digest digest{};
+
+  bool has_digest() const { return !(digest == Sha1Digest{}); }
 };
 
 struct ChunkEntry {
@@ -73,7 +80,13 @@ class ChunkTable {
   // Figure 9). The index changes because migration derives a fresh share
   // rather than re-creating the lost one byte-for-byte.
   Status MoveShare(const Sha1Digest& chunk_id, int32_t old_csp, uint32_t old_index,
-                   int32_t new_csp, uint32_t new_index);
+                   int32_t new_csp, uint32_t new_index,
+                   const Sha1Digest& new_digest = Sha1Digest{});
+
+  // Records (or corrects) the stored digest of one share. kNotFound if the
+  // share index is not tracked for the chunk.
+  Status SetShareDigest(const Sha1Digest& chunk_id, uint32_t share_index,
+                        const Sha1Digest& digest);
 
   // Adds a share location (e.g. a regenerated share with a fresh index).
   Status AddShare(const Sha1Digest& chunk_id, ChunkShare share);

@@ -9,11 +9,31 @@ namespace cyrus {
 namespace {
 
 // v2 adds the convergent-dedup (flag, wrapped key) pair per ChunkMap row;
-// v1 objects written by older clients still parse (no dedup fields).
-constexpr uint32_t kFormatVersion = 2;
+// v3 adds per-share digests per row. v1/v2 objects written by older clients
+// still parse (no dedup fields / no share digests).
+constexpr uint32_t kFormatVersion = 3;
 constexpr uint32_t kMagic = 0x43595253;  // "CYRS"
 
 }  // namespace
+
+const Sha1Digest* ChunkRecord::FindShareDigest(uint32_t share_index) const {
+  for (const ShareDigest& sd : share_digests) {
+    if (sd.share_index == share_index) {
+      return &sd.digest;
+    }
+  }
+  return nullptr;
+}
+
+void ChunkRecord::SetShareDigest(uint32_t share_index, const Sha1Digest& digest) {
+  for (ShareDigest& sd : share_digests) {
+    if (sd.share_index == share_index) {
+      sd.digest = digest;
+      return;
+    }
+  }
+  share_digests.push_back(ShareDigest{share_index, digest});
+}
 
 Bytes FileVersion::Serialize() const {
   BinaryWriter w;
@@ -38,6 +58,11 @@ Bytes FileVersion::Serialize() const {
     w.WriteU32(c.n);
     w.WriteU8(c.dedup ? 1 : 0);
     w.WriteBytes(c.wrapped_key);
+    w.WriteU32(static_cast<uint32_t>(c.share_digests.size()));
+    for (const ShareDigest& sd : c.share_digests) {
+      w.WriteU32(sd.share_index);
+      w.WriteDigest(sd.digest);
+    }
   }
   // ShareMap.
   w.WriteU32(static_cast<uint32_t>(shares.size()));
@@ -88,6 +113,16 @@ Result<FileVersion> FileVersion::Deserialize(ByteSpan data) {
       CYRUS_ASSIGN_OR_RETURN(uint8_t dedup, r.ReadU8());
       c.dedup = dedup != 0;
       CYRUS_ASSIGN_OR_RETURN(c.wrapped_key, r.ReadBytes());
+    }
+    if (version >= 3) {
+      CYRUS_ASSIGN_OR_RETURN(uint32_t num_digests, r.ReadU32());
+      c.share_digests.reserve(num_digests);
+      for (uint32_t d = 0; d < num_digests; ++d) {
+        ShareDigest sd;
+        CYRUS_ASSIGN_OR_RETURN(sd.share_index, r.ReadU32());
+        CYRUS_ASSIGN_OR_RETURN(sd.digest, r.ReadDigest());
+        c.share_digests.push_back(sd);
+      }
     }
     v.chunks.push_back(c);
   }

@@ -32,6 +32,16 @@ inline bool IsNullDigest(const Sha1Digest& d) {
   return true;
 }
 
+// Per-share authentication record: SHA-1 of the stored share bytes, keyed
+// by share index (share bytes are a pure function of (chunk, key, index),
+// so every CSP holding index i stores identical bytes).
+struct ShareDigest {
+  uint32_t share_index = 0;
+  Sha1Digest digest;
+
+  friend bool operator==(const ShareDigest& a, const ShareDigest& b) = default;
+};
+
 // ChunkMap row.
 struct ChunkRecord {
   Sha1Digest id;       // SHA-1 of chunk content
@@ -46,6 +56,15 @@ struct ChunkRecord {
   // encoded under the user key directly (wire format v1 compatible).
   bool dedup = false;
   Bytes wrapped_key;
+  // Per-share digests (wire v3): readers authenticate each downloaded share
+  // against its entry *before* decode. Empty for legacy v1/v2 metadata -
+  // those fall back to the post-decode combinatorial identification path
+  // and get upgraded in place on first repair.
+  std::vector<ShareDigest> share_digests;
+
+  // nullptr when no digest is recorded for the index.
+  const Sha1Digest* FindShareDigest(uint32_t share_index) const;
+  void SetShareDigest(uint32_t share_index, const Sha1Digest& digest);
 };
 
 // ShareMap row.

@@ -78,6 +78,13 @@ class VersionTree {
   // the id. kNotFound if the version is absent.
   Status UpdateShareLocations(const Sha1Digest& id, std::vector<ShareLocation> shares);
 
+  // Records per-share digests on every ChunkMap row of `id` that references
+  // `chunk_id` (a gather's legacy upgrade, or a scrub heal minting fresh
+  // digests). Unknown share indices are appended; known ones overwritten.
+  // kNotFound if the version is absent.
+  Status UpdateChunkShareDigests(const Sha1Digest& id, const Sha1Digest& chunk_id,
+                                 std::vector<ShareDigest> digests);
+
  private:
   std::map<Sha1Digest, FileVersion> nodes_;
   std::multimap<Sha1Digest, Sha1Digest> children_;          // parent -> child

@@ -71,6 +71,18 @@ RepairEngine::RepairEngine(RepairContext context, RepairEngineOptions options)
   scrub_counters_.bytes_reclaimed =
       metrics_->GetCounter("cyrus_scrub_bytes_reclaimed_total", {},
                            "Physical share bytes freed by orphan reclaim");
+  scrub_counters_.integrity_checked =
+      metrics_->GetCounter("cyrus_scrub_integrity_checked_total", {},
+                           "At-rest shares downloaded and digest-checked");
+  scrub_counters_.integrity_failures =
+      metrics_->GetCounter("cyrus_scrub_integrity_failures_total", {},
+                           "At-rest shares failing their digest check (bit rot)");
+  scrub_counters_.shares_healed =
+      metrics_->GetCounter("cyrus_scrub_shares_healed_total", {},
+                           "Rotted shares re-encoded and overwritten in place");
+  scrub_counters_.records_upgraded =
+      metrics_->GetCounter("cyrus_scrub_records_upgraded_total", {},
+                           "Digestless chunk entries given full digest sets");
 }
 
 void RepairEngine::RefreshDebtGaugesLocked() {
@@ -117,6 +129,10 @@ void RepairEngine::Fold(const RepairStats& delta) {
   stats_.shares_reclaimed += delta.shares_reclaimed;
   stats_.bytes_reclaimed += delta.bytes_reclaimed;
   stats_.reclaims_deferred += delta.reclaims_deferred;
+  stats_.shares_integrity_checked += delta.shares_integrity_checked;
+  stats_.integrity_failures += delta.integrity_failures;
+  stats_.shares_healed += delta.shares_healed;
+  stats_.records_upgraded += delta.records_upgraded;
 
   // Mirror the same deltas into the registry so dashboards and /metrics see
   // scrub health without holding a RepairEngine reference.
@@ -133,6 +149,10 @@ void RepairEngine::Fold(const RepairStats& delta) {
   scrub_counters_.chunks_reclaimed->Increment(delta.chunks_reclaimed);
   scrub_counters_.shares_reclaimed->Increment(delta.shares_reclaimed);
   scrub_counters_.bytes_reclaimed->Increment(delta.bytes_reclaimed);
+  scrub_counters_.integrity_checked->Increment(delta.shares_integrity_checked);
+  scrub_counters_.integrity_failures->Increment(delta.integrity_failures);
+  scrub_counters_.shares_healed->Increment(delta.shares_healed);
+  scrub_counters_.records_upgraded->Increment(delta.records_upgraded);
 }
 
 // ---------------------------------------------------------------------------
@@ -657,6 +677,219 @@ void RepairEngine::ReclaimOrphans(uint64_t* budget_left, RepairStats& delta) {
   }
 }
 
+void RepairEngine::IntegrityPass(uint64_t* budget_left, ScrubReport& report,
+                                 RepairStats& delta) {
+  if (options_.integrity_samples_per_pass == 0 ||
+      context_.chunk_table == nullptr || context_.registry == nullptr) {
+    return;
+  }
+  std::vector<Sha1Digest> ids = context_.chunk_table->AllChunkIds();
+  if (ids.empty()) {
+    return;
+  }
+  // AllChunkIds is sorted (map order), so a persistent cursor turns the
+  // budgeted sample into a rotating full sweep across passes.
+  const size_t start = integrity_cursor_ % ids.size();
+  uint32_t sampled = 0;
+  size_t scanned = 0;
+  for (; scanned < ids.size() && sampled < options_.integrity_samples_per_pass;
+       ++scanned) {
+    const Sha1Digest& chunk_id = ids[(start + scanned) % ids.size()];
+    const ChunkEntry* entry = context_.chunk_table->Find(chunk_id);
+    if (entry == nullptr || entry->shares.empty() ||
+        (entry->dedup && entry->refcount == 0)) {
+      continue;  // vanished or condemned; nothing at rest worth checking
+    }
+    const uint32_t t = entry->t;
+    const uint64_t share_bytes = ShareSize(entry->size, t);
+    if (budget_left != nullptr &&
+        *budget_left < share_bytes * entry->shares.size()) {
+      break;  // cursor stays on this chunk; the next pass resumes here
+    }
+    ++sampled;
+    auto spend = [&](uint64_t bytes) {
+      delta.bytes_moved += bytes;
+      if (budget_left != nullptr) {
+        *budget_left -= std::min(*budget_left, bytes);
+      }
+    };
+
+    // Pull every reachable share once; the digest checks and any heal both
+    // work from these bytes, so a sampled chunk costs at most n downloads.
+    std::vector<ChunkShare> locs;
+    std::vector<Share> shares;
+    for (const ChunkShare& share : entry->shares) {
+      auto conn = context_.registry->connector(share.csp);
+      if (!conn.ok()) {
+        continue;
+      }
+      auto data = DownloadWithRetry(**conn, TransferKind::kGet, share.csp,
+                                    ShareName(chunk_id, share.share_index, t),
+                                    options_.retry, report.transfer);
+      if (!data.ok()) {
+        if (data.status().code() == StatusCode::kUnavailable &&
+            context_.mark_csp_failed) {
+          (void)context_.mark_csp_failed(share.csp);
+        }
+        continue;
+      }
+      spend(data->size());
+      locs.push_back(share);
+      shares.push_back(Share{share.share_index, *std::move(data)});
+    }
+    if (shares.empty()) {
+      continue;
+    }
+    delta.shares_integrity_checked += shares.size();
+
+    bool all_have_digests = true;
+    std::vector<size_t> bad;  // indices into locs/shares failing their digest
+    for (size_t i = 0; i < locs.size(); ++i) {
+      if (!locs[i].has_digest()) {
+        all_have_digests = false;
+        continue;
+      }
+      if (Sha1::Hash(shares[i].data) != locs[i].digest) {
+        bad.push_back(i);
+        ++delta.integrity_failures;
+        if (context_.monitor != nullptr) {
+          context_.monitor->RecordIntegrityFailure(locs[i].csp);
+        }
+      }
+    }
+    if (all_have_digests && bad.empty()) {
+      continue;  // fully authenticated and clean; the common case
+    }
+
+    // Something to heal or upgrade: resolve the chunk's codec once.
+    std::string codec_key = *context_.key_string;
+    if (context_.chunk_key) {
+      auto resolved = context_.chunk_key(chunk_id, *entry);
+      if (!resolved.ok()) {
+        continue;
+      }
+      codec_key = *std::move(resolved);
+    }
+    auto codec = SecretSharingCodec::Create(codec_key, t, kMaxShares);
+    if (!codec.ok()) {
+      continue;
+    }
+    const size_t share_len = ShareSize(entry->size, t);
+    Bytes scratch_heap;
+    auto acquire_share_buf = [&](PooledBuffer& handle) -> MutableByteSpan {
+      if (context_.buffers != nullptr) {
+        handle = context_.buffers->Acquire(std::max<size_t>(share_len, 1));
+        return handle.span(share_len);
+      }
+      scratch_heap.assign(share_len, 0);
+      return MutableByteSpan(scratch_heap);
+    };
+
+    // Recover the plaintext. With digests we can decode straight from t
+    // authenticated shares; without (legacy entry) the error-correcting
+    // decode both recovers the chunk and names the rotted indices.
+    Bytes data;
+    std::vector<uint32_t> rotted;
+    for (size_t i : bad) {
+      rotted.push_back(locs[i].share_index);
+    }
+    if (all_have_digests) {
+      std::vector<Share> clean;
+      for (size_t i = 0; i < shares.size(); ++i) {
+        bool is_bad = false;
+        for (size_t b : bad) {
+          is_bad = is_bad || b == i;
+        }
+        if (!is_bad && clean.size() < t) {
+          clean.push_back(shares[i]);
+        }
+      }
+      if (clean.size() < t) {
+        continue;  // fewer than t clean shares reachable; repair pass owns it
+      }
+      auto decoded = codec->Decode(clean, entry->size);
+      if (!decoded.ok() || Sha1::Hash(*decoded) != chunk_id) {
+        continue;  // digests lied about cleanliness; do not spread bad bytes
+      }
+      data = *std::move(decoded);
+    } else {
+      auto corrected = codec->DecodeWithErrorCorrection(shares, entry->size);
+      if (!corrected.ok() || Sha1::Hash(corrected->chunk) != chunk_id) {
+        continue;
+      }
+      data = std::move(corrected->chunk);
+      for (uint32_t index : corrected->corrupted_indices) {
+        bool counted = false;
+        for (uint32_t known : rotted) {
+          counted = counted || known == index;
+        }
+        if (!counted) {
+          rotted.push_back(index);
+          ++delta.integrity_failures;
+          for (const ChunkShare& loc : locs) {
+            if (loc.share_index == index && context_.monitor != nullptr) {
+              context_.monitor->RecordIntegrityFailure(loc.csp);
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // Heal in place: the share at index i is a pure function of the chunk,
+    // so overwriting the object restores exactly the bytes the digest names.
+    bool healed_all = true;
+    for (uint32_t index : rotted) {
+      for (const ChunkShare& loc : locs) {
+        if (loc.share_index != index) {
+          continue;
+        }
+        PooledBuffer fresh_buf;
+        MutableByteSpan fresh = acquire_share_buf(fresh_buf);
+        auto encoded = codec->EncodeShareInto(data, index, fresh);
+        auto conn = context_.registry->connector(loc.csp);
+        if (encoded.ok() && conn.ok() &&
+            UploadWithRetry(**conn, TransferKind::kPut, loc.csp,
+                            ShareName(chunk_id, index, t), fresh,
+                            options_.retry, report.transfer)
+                .ok()) {
+          spend(fresh.size());
+          ++delta.shares_healed;
+        } else {
+          healed_all = false;
+        }
+        break;
+      }
+    }
+    if (!rotted.empty() && healed_all) {
+      report.repaired_chunks.push_back(chunk_id);
+    }
+
+    // Legacy entries earned a full digest set from the verified plaintext;
+    // record it so every future read authenticates before decoding.
+    if (!all_have_digests) {
+      for (const ChunkShare& share : entry->shares) {
+        PooledBuffer buf;
+        MutableByteSpan span = acquire_share_buf(buf);
+        if (!codec->EncodeShareInto(data, share.share_index, span).ok()) {
+          continue;
+        }
+        (void)context_.chunk_table->SetShareDigest(chunk_id, share.share_index,
+                                                   Sha1::Hash(span));
+      }
+      ++delta.records_upgraded;
+      report.upgraded_chunks.push_back(chunk_id);
+      if (context_.share_index != nullptr && entry->dedup) {
+        const ChunkEntry* fresh = context_.chunk_table->Find(chunk_id);
+        if (fresh != nullptr) {
+          (void)context_.share_index->ReplaceShares(chunk_id, fresh->shares);
+        }
+      }
+    }
+  }
+  integrity_cursor_ = (start + scanned) % ids.size();
+}
+
 Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
   if (context_.chunk_table == nullptr || context_.registry == nullptr ||
       context_.ring == nullptr || context_.key_string == nullptr) {
@@ -727,6 +960,13 @@ Result<ScrubReport> RepairEngine::ScrubOnce(obs::TraceBuilder* trace) {
     }
   }
   repair_span.End();
+
+  obs::ScopedSpan integrity_span;
+  if (trace != nullptr) {
+    integrity_span = trace->Span("integrity");
+  }
+  IntegrityPass(budget_left, report, delta);
+  integrity_span.End();
 
   obs::ScopedSpan reclaim_span;
   if (trace != nullptr) {

@@ -61,6 +61,11 @@ struct RepairEngineOptions {
   uint64_t bandwidth_budget_bytes = 0;
   // Transient-failure retry for probe and repair transfers.
   RetryOptions retry;
+  // Chunks whose at-rest share bytes one pass samples for bit rot (digest
+  // check without decode); 0 disables the integrity pass. A persistent
+  // cursor rotates the sample window so successive passes cover the whole
+  // table. Downloads are charged against the same bandwidth budget.
+  uint32_t integrity_samples_per_pass = 0;
 };
 
 // Monotonic counters over the engine's lifetime.
@@ -82,6 +87,11 @@ struct RepairStats {
   // The budget blocked the deletes, or some failed and the entry was kept
   // as a pending-delete tombstone; either way the next pass retries.
   uint64_t reclaims_deferred = 0;
+  // Bit-rot integrity pass (sampled digest checks of at-rest shares).
+  uint64_t shares_integrity_checked = 0;  // shares downloaded and hashed
+  uint64_t integrity_failures = 0;        // digest mismatches found at rest
+  uint64_t shares_healed = 0;             // rotted shares re-encoded in place
+  uint64_t records_upgraded = 0;          // digestless entries given digests
 };
 
 // One chunk's health as seen by a scan.
@@ -107,6 +117,10 @@ struct ScrubReport {
   TransferReport transfer;   // every repair transfer, for the flow simulator
   std::vector<Sha1Digest> repaired_chunks;
   std::vector<ChunkHealth> unrepaired;  // still degraded after the pass
+  // Chunks whose table entries gained share digests this pass (either
+  // legacy digestless entries upgraded, or healed shares re-digested); the
+  // owning client republishes metadata for versions referencing them.
+  std::vector<Sha1Digest> upgraded_chunks;
 };
 
 // Everything the engine borrows from the owning client. Raw pointers: the
@@ -222,6 +236,17 @@ class RepairEngine {
   // orphaned. No-op without a share_index.
   void ReclaimOrphans(uint64_t* budget_left, RepairStats& delta);
 
+  // Sampled bit-rot pass: downloads the shares of up to
+  // options_.integrity_samples_per_pass chunks (round-robin from a
+  // persistent cursor), hashes each against the table's stored digest, and
+  // heals mismatches in place (decode from clean shares, re-encode the
+  // rotted index, overwrite the object). Entries without digests take the
+  // error-correcting decode once and are upgraded with a full digest set.
+  // Healed/upgraded chunks land in report.repaired_chunks /
+  // report.upgraded_chunks for metadata republish. No-op when the knob is 0.
+  void IntegrityPass(uint64_t* budget_left, ScrubReport& report,
+                     RepairStats& delta);
+
   // Adds `delta` to the lifetime totals and mirrors it into the registry's
   // cyrus_scrub_* counters.
   void Fold(const RepairStats& delta);
@@ -253,8 +278,17 @@ class RepairEngine {
     obs::Counter* chunks_reclaimed = nullptr;
     obs::Counter* shares_reclaimed = nullptr;
     obs::Counter* bytes_reclaimed = nullptr;
+    obs::Counter* integrity_checked = nullptr;
+    obs::Counter* integrity_failures = nullptr;
+    obs::Counter* shares_healed = nullptr;
+    obs::Counter* records_upgraded = nullptr;
   };
   ScrubCounters scrub_counters_;
+
+  // Round-robin position of the sampled integrity pass over the chunk-id
+  // space, so successive budgeted passes sweep the whole table instead of
+  // re-checking the same prefix.
+  size_t integrity_cursor_ = 0;
 
   // Degraded-write ledger: chunk -> shares still owed to reach target n.
   // Own mutex (not the scrub path's implicit driver-thread serialization)

@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kIntegrity:
+      return "integrity";
   }
   return "unknown";
 }
@@ -84,6 +86,9 @@ Status UnimplementedError(std::string message) {
 }
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status IntegrityError(std::string message) {
+  return Status(StatusCode::kIntegrity, std::move(message));
 }
 
 }  // namespace cyrus

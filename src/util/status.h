@@ -31,6 +31,9 @@ enum class StatusCode : int {
   kConflict = 10,         // concurrent-update conflict detected
   kUnimplemented = 11,
   kDeadlineExceeded = 12, // operation exceeded its latency deadline; retryable
+  kIntegrity = 13,        // share bytes failed digest authentication; the
+                          // object exists but a CSP returned (or stores)
+                          // corrupted data - failover to other shares
 };
 
 // Returns a stable lowercase name, e.g. "not_found".
@@ -87,6 +90,7 @@ Status InternalError(std::string message);
 Status ConflictError(std::string message);
 Status UnimplementedError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status IntegrityError(std::string message);
 
 // Propagates a non-OK status from an expression to the caller.
 #define CYRUS_RETURN_IF_ERROR(expr)               \

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/gateway/shard_map.h"
@@ -34,6 +35,53 @@ FileVersion MakeVersion(std::string_view name, std::string_view content_tag,
     v.shares.push_back(ShareLocation{chunk.id, i, static_cast<int32_t>(i)});
   }
   return v;
+}
+
+// Serializes `v` in a legacy envelope format (1 = pre-dedup, 2 = dedup but
+// pre-digest), byte-identical to what those clients wrote, so the decoder's
+// backward-compatibility paths are pinned against the historical layouts.
+Bytes SerializeAtVersion(const FileVersion& v, uint32_t format_version) {
+  BinaryWriter w;
+  w.WriteU32(0x43595253);  // "CYRS"
+  w.WriteU32(format_version);
+  w.WriteDigest(v.id);
+  w.WriteDigest(v.content_id);
+  w.WriteDigest(v.prev_id);
+  w.WriteString(v.client_id);
+  w.WriteString(v.file_name);
+  w.WriteU8(v.deleted ? 1 : 0);
+  w.WriteDouble(v.modified_time);
+  w.WriteU64(v.size);
+  w.WriteU32(static_cast<uint32_t>(v.chunks.size()));
+  for (const ChunkRecord& c : v.chunks) {
+    w.WriteDigest(c.id);
+    w.WriteU64(c.offset);
+    w.WriteU64(c.size);
+    w.WriteU32(c.t);
+    w.WriteU32(c.n);
+    if (format_version >= 2) {
+      w.WriteU8(c.dedup ? 1 : 0);
+      w.WriteBytes(c.wrapped_key);
+    }
+    if (format_version >= 3) {
+      w.WriteU32(static_cast<uint32_t>(c.share_digests.size()));
+      for (const ShareDigest& sd : c.share_digests) {
+        w.WriteU32(sd.share_index);
+        w.WriteDigest(sd.digest);
+      }
+    }
+  }
+  w.WriteU32(static_cast<uint32_t>(v.shares.size()));
+  for (const ShareLocation& s : v.shares) {
+    w.WriteDigest(s.chunk_id);
+    w.WriteU32(s.share_index);
+    w.WriteI32(s.csp);
+  }
+  w.WriteU32(static_cast<uint32_t>(v.csp_directory.size()));
+  for (const std::string& name : v.csp_directory) {
+    w.WriteString(name);
+  }
+  return w.TakeData();
 }
 
 // --- BinaryWriter / BinaryReader ---
@@ -102,6 +150,108 @@ TEST(FileVersionTest, DeserializeRejectsTrailingBytes) {
   Bytes data = v.Serialize();
   data.push_back(0);
   EXPECT_EQ(FileVersion::Deserialize(data).status().code(), StatusCode::kDataLoss);
+}
+
+// v1 (pre-dedup) and v2 (pre-digest) envelopes written by older clients
+// still parse; the absent fields come back defaulted, and a v1 -> v2 -> v3
+// upgrade of the same logical record survives each hop intact.
+TEST(FileVersionTest, LegacyEnvelopeVersionsRoundTrip) {
+  FileVersion v = MakeVersion("legacy.bin", "legacy");
+  v.chunks[0].dedup = true;
+  v.chunks[0].wrapped_key = Bytes{9, 9, 9};
+  v.chunks[0].SetShareDigest(0, Id("share-0"));
+  v.chunks[0].SetShareDigest(1, Id("share-1"));
+
+  // v1: no dedup pair, no digests.
+  auto v1 = FileVersion::Deserialize(SerializeAtVersion(v, 1));
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(v1->id, v.id);
+  EXPECT_FALSE(v1->chunks[0].dedup);
+  EXPECT_TRUE(v1->chunks[0].wrapped_key.empty());
+  EXPECT_TRUE(v1->chunks[0].share_digests.empty());
+
+  // v2: dedup pair survives, digests are still absent.
+  auto v2 = FileVersion::Deserialize(SerializeAtVersion(v, 2));
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_TRUE(v2->chunks[0].dedup);
+  EXPECT_EQ(v2->chunks[0].wrapped_key, (Bytes{9, 9, 9}));
+  EXPECT_TRUE(v2->chunks[0].share_digests.empty());
+
+  // v3 (the current writer): the digest set rides along and FindShareDigest
+  // resolves by index.
+  auto v3 = FileVersion::Deserialize(v.Serialize());
+  ASSERT_TRUE(v3.ok()) << v3.status();
+  ASSERT_EQ(v3->chunks[0].share_digests.size(), 2u);
+  const Sha1Digest* d1 = v3->chunks[0].FindShareDigest(1);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(*d1, Id("share-1"));
+  EXPECT_EQ(v3->chunks[0].FindShareDigest(7), nullptr);
+
+  // The upgrade path a gather takes: re-serializing the v2 parse after
+  // SetShareDigest produces a v3 object equal to the original.
+  FileVersion upgraded = *v2;
+  upgraded.chunks[0].SetShareDigest(0, Id("share-0"));
+  upgraded.chunks[0].SetShareDigest(1, Id("share-1"));
+  EXPECT_EQ(upgraded.Serialize(), v.Serialize());
+}
+
+TEST(FileVersionTest, SetShareDigestOverwritesInPlace) {
+  ChunkRecord c;
+  c.SetShareDigest(3, Id("first"));
+  c.SetShareDigest(3, Id("second"));
+  ASSERT_EQ(c.share_digests.size(), 1u);
+  EXPECT_EQ(*c.FindShareDigest(3), Id("second"));
+}
+
+// A torn or truncated envelope - interrupted upload, partial object - must
+// fail with a typed kDataLoss at every cut point, including cuts that land
+// inside the v3 digest block, and never parse into a half-record.
+TEST(FileVersionTest, TornEnvelopeFailsCleanAtEveryCut) {
+  FileVersion v = MakeVersion("torn.bin", "torn");
+  v.chunks[0].SetShareDigest(0, Id("d0"));
+  v.chunks[0].SetShareDigest(1, Id("d1"));
+  v.chunks[0].SetShareDigest(2, Id("d2"));
+  const Bytes full = v.Serialize();
+  ASSERT_TRUE(FileVersion::Deserialize(full).ok());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    auto torn = FileVersion::Deserialize(ByteSpan(full.data(), cut));
+    ASSERT_FALSE(torn.ok()) << "cut at " << cut << " parsed";
+    EXPECT_EQ(torn.status().code(), StatusCode::kDataLoss) << "cut at " << cut;
+  }
+}
+
+// A digest-count field torn off from its payload (the count says 3, the
+// bytes end after 1) is the nastiest truncation: the reader must not trust
+// the count and over-read.
+TEST(FileVersionTest, DigestCountBeyondBufferFails) {
+  FileVersion v = MakeVersion("lying-count.bin", "lie");
+  v.chunks[0].SetShareDigest(0, Id("d0"));
+  Bytes data = v.Serialize();
+  // Locate the digest-count u32 (value 1) right before the first digest
+  // entry and inflate it; the object now claims more digests than it holds.
+  const Bytes entry_prefix = [&] {
+    BinaryWriter w;
+    w.WriteU32(1);  // count
+    w.WriteU32(0);  // share_index
+    return w.TakeData();
+  }();
+  auto it = std::search(data.begin(), data.end(), entry_prefix.begin(),
+                        entry_prefix.end());
+  ASSERT_NE(it, data.end());
+  *it = 0xFF;  // count 1 -> huge little-endian count
+  auto parsed = FileVersion::Deserialize(data);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+// Format versions from the future are refused outright rather than
+// misparsed field-by-field.
+TEST(FileVersionTest, FutureFormatVersionRejected) {
+  const FileVersion v = MakeVersion("future.bin", "future");
+  const Bytes data = SerializeAtVersion(v, 4);
+  auto parsed = FileVersion::Deserialize(data);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(FileVersionTest, SharesOfChunkSortedByIndex) {
@@ -432,6 +582,70 @@ TEST(FileVersionTest, DedupChunkRecordRoundTrip) {
   ASSERT_EQ(back->chunks.size(), 1u);
   EXPECT_TRUE(back->chunks[0].dedup);
   EXPECT_EQ(back->chunks[0].wrapped_key, (Bytes{1, 2, 3, 4, 5}));
+}
+
+// Per-share digests in the chunk table: SetShareDigest records, MoveShare
+// carries (or clears) the digest, and both survive a serialize round trip.
+TEST(ChunkTableTest, ShareDigestsRoundTrip) {
+  ChunkTable table;
+  ChunkEntry entry;
+  entry.size = 2048;
+  entry.t = 2;
+  entry.n = 3;
+  entry.shares = {{0, 5}, {1, 6}, {2, 7}};
+  ASSERT_TRUE(table.Insert(Id("cs"), entry).ok());
+  ASSERT_TRUE(table.SetShareDigest(Id("cs"), 0, Id("sd-0")).ok());
+  ASSERT_TRUE(table.SetShareDigest(Id("cs"), 2, Id("sd-2")).ok());
+  EXPECT_EQ(table.SetShareDigest(Id("cs"), 9, Id("sd-9")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(table.SetShareDigest(Id("nope"), 0, Id("x")).code(),
+            StatusCode::kNotFound);
+
+  auto back = ChunkTable::Deserialize(table.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  const ChunkEntry* e = back->Find(Id("cs"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->shares.size(), 3u);
+  EXPECT_TRUE(e->shares[0].has_digest());
+  EXPECT_EQ(e->shares[0].digest, Id("sd-0"));
+  EXPECT_FALSE(e->shares[1].has_digest());  // all-zero sentinel = unknown
+  EXPECT_TRUE(e->shares[2].has_digest());
+
+  // MoveShare to a new index without a fresh digest clears the stale one
+  // (index i's bytes differ from index j's); with a digest, it adopts it.
+  ASSERT_TRUE(back->MoveShare(Id("cs"), 5, 0, 8, 3).ok());
+  EXPECT_FALSE(back->Find(Id("cs"))->shares[0].has_digest());
+  ASSERT_TRUE(back->MoveShare(Id("cs"), 7, 2, 9, 4, Id("sd-4")).ok());
+  const ChunkShare& moved = back->Find(Id("cs"))->shares[2];
+  EXPECT_EQ(moved.share_index, 4u);
+  EXPECT_TRUE(moved.has_digest());
+  EXPECT_EQ(moved.digest, Id("sd-4"));
+}
+
+// VersionTree::UpdateChunkShareDigests patches every ChunkMap row holding
+// the chunk (duplicate content within one file shares its stored shares).
+TEST(VersionTreeTest, UpdateChunkShareDigests) {
+  VersionTree tree;
+  FileVersion v = MakeVersion("dup.bin", "dup");
+  ChunkRecord twin = v.chunks[0];  // same chunk id, second row
+  twin.offset = v.chunks[0].size;
+  v.chunks.push_back(twin);
+  v.size = v.chunks[0].size * 2;
+  ASSERT_TRUE(tree.Insert(v).ok());
+
+  ASSERT_TRUE(tree.UpdateChunkShareDigests(
+                      v.id, v.chunks[0].id,
+                      {ShareDigest{0, Id("u-0")}, ShareDigest{2, Id("u-2")}})
+                  .ok());
+  const FileVersion* stored = tree.Find(v.id);
+  ASSERT_NE(stored, nullptr);
+  for (const ChunkRecord& chunk : stored->chunks) {
+    ASSERT_EQ(chunk.share_digests.size(), 2u);
+    EXPECT_EQ(*chunk.FindShareDigest(0), Id("u-0"));
+    EXPECT_EQ(*chunk.FindShareDigest(2), Id("u-2"));
+  }
+  EXPECT_EQ(tree.UpdateChunkShareDigests(Id("missing"), v.chunks[0].id, {}).code(),
+            StatusCode::kNotFound);
 }
 
 TEST(ChunkTableTest, TotalUniqueBytes) {
